@@ -1,0 +1,38 @@
+"""Microbench: the hash-indexed CompatibleTuples (Alg. 2) vs pairwise scan."""
+
+from repro.algorithms.compatibility import (
+    compatible,
+    compatible_tuples,
+)
+
+
+def _pools(scenario):
+    left = list(scenario.source.tuples())
+    right = list(scenario.target.tuples())
+    return left, right
+
+
+def test_indexed_compatible_tuples(benchmark, modcell_scenarios):
+    left, right = _pools(modcell_scenarios["bike"])
+    result = benchmark(compatible_tuples, left, right)
+    assert any(result.values())
+
+
+def test_bruteforce_all_pairs(benchmark, modcell_scenarios):
+    """The quadratic scan Alg. 2 avoids (restricted slice)."""
+    left, right = _pools(modcell_scenarios["bike"])
+    left = left[:60]
+
+    def run():
+        return {
+            t.tuple_id: [
+                u.tuple_id for u in right if compatible(t, u)
+            ]
+            for t in left
+        }
+
+    indexed = compatible_tuples(left, right)
+    brute = benchmark(run)
+    assert {k: sorted(v) for k, v in brute.items()} == {
+        k: sorted(v) for k, v in indexed.items()
+    }

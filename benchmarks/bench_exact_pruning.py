@@ -1,0 +1,43 @@
+"""Ablation bench: branch-and-bound pruning in the exact search
+(DESIGN.md decision 4).
+"""
+
+import pytest
+
+from repro.datagen.perturb import PerturbationConfig, perturb
+from repro.datagen.synthetic import generate_dataset
+from repro.mappings.constraints import MatchOptions
+from repro.algorithms.exact import exact_compare
+
+OPTIONS = MatchOptions.versioning()
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    # Small enough that the un-pruned search still exhausts within a
+    # bounded node budget, so the bench contrasts nodes-to-optimum.
+    return perturb(
+        generate_dataset("doct", rows=18, seed=0),
+        PerturbationConfig.mod_cell(5.0, seed=1),
+    )
+
+
+def test_exact_with_pruning(benchmark, small_scenario):
+    result = benchmark(
+        exact_compare, small_scenario.source, small_scenario.target,
+        OPTIONS, 500_000, True,
+    )
+    assert result.exhausted
+
+
+def test_exact_without_pruning(benchmark, small_scenario):
+    result = benchmark(
+        exact_compare, small_scenario.source, small_scenario.target,
+        OPTIONS, 500_000, False,
+    )
+    # Same optimum with and without pruning (when both exhaust).
+    pruned = exact_compare(
+        small_scenario.source, small_scenario.target, OPTIONS
+    )
+    if result.exhausted and pruned.exhausted:
+        assert result.similarity == pytest.approx(pruned.similarity)

@@ -1,0 +1,22 @@
+"""Figure 8 kernels: signature accuracy across cell-change percentages."""
+
+import pytest
+
+from repro.datagen.perturb import PerturbationConfig, perturb
+from repro.datagen.synthetic import generate_dataset
+from repro.mappings.constraints import MatchOptions
+from repro.algorithms.signature import signature_compare
+
+OPTIONS = MatchOptions.versioning()
+
+
+@pytest.mark.parametrize("percent", [1, 5, 25, 50])
+def test_signature_at_change_rate(benchmark, percent):
+    scenario = perturb(
+        generate_dataset("doct", rows=300, seed=0),
+        PerturbationConfig.mod_cell(float(percent), seed=1),
+    )
+    result = benchmark(
+        signature_compare, scenario.source, scenario.target, OPTIONS
+    )
+    assert 0.0 <= result.similarity <= 1.0

@@ -1,0 +1,66 @@
+"""Microbench: homomorphism, isomorphism, and core computation."""
+
+import pytest
+
+from repro.core.instance import prepare_for_comparison
+from repro.core.values import LabeledNull
+from repro.datagen.synthetic import generate_dataset
+from repro.homomorphism.core import compute_core
+from repro.homomorphism.homomorphism import find_homomorphism
+from repro.homomorphism.isomorphism import are_isomorphic
+
+
+def test_isomorphism_check(benchmark):
+    instance = generate_dataset("doct", rows=500, seed=0)
+    renamed = instance.with_fresh_ids("v")
+    import random
+
+    shuffled = renamed.shuffled(random.Random(1))
+    assert benchmark(are_isomorphic, instance, shuffled)
+
+
+def test_homomorphism_null_heavy(benchmark):
+    from repro.core.instance import Instance
+
+    rows = 300
+    general = Instance.from_rows(
+        "R", ("A", "B"),
+        [(f"k{i}", LabeledNull(f"N{i}")) for i in range(rows)],
+        id_prefix="l",
+    )
+    specific = Instance.from_rows(
+        "R", ("A", "B"),
+        [(f"k{i}", f"v{i}") for i in range(rows)],
+        id_prefix="r",
+    )
+    h = benchmark(find_homomorphism, general, specific)
+    assert h is not None
+
+
+def test_core_computation(benchmark):
+    from repro.core.instance import Instance
+
+    rows = [("a", "b"), ("c", "d")]
+    rows += [("a", LabeledNull(f"N{i}")) for i in range(10)]
+    rows += [(LabeledNull(f"M{i}"), "d") for i in range(10)]
+    instance = Instance.from_rows("R", ("A", "B"), rows)
+    core = benchmark(compute_core, instance)
+    assert len(core) == 2
+
+
+def test_blockwise_core_on_exchange_solution(benchmark):
+    """Block-wise core computation on a redundant universal solution."""
+    from repro.dataexchange.scenarios import generate_exchange_scenario
+    from repro.homomorphism.blocks import compute_core_blockwise
+
+    scenario = generate_exchange_scenario(doctors=80, seed=0)
+    core = benchmark(compute_core_blockwise, scenario.u2)
+    assert len(core) == len(scenario.gold)
+
+
+def test_blockwise_is_core_check(benchmark):
+    from repro.dataexchange.scenarios import generate_exchange_scenario
+    from repro.homomorphism.blocks import is_core_blockwise
+
+    scenario = generate_exchange_scenario(doctors=80, seed=0)
+    assert benchmark(is_core_blockwise, scenario.gold)

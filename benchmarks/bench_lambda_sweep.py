@@ -1,0 +1,33 @@
+"""Sensitivity bench: the λ penalty parameter (DESIGN.md decision 5).
+
+λ only affects scoring, not matching, so runtimes should be flat across the
+sweep while scores move monotonically.
+"""
+
+import pytest
+
+from repro.mappings.constraints import MatchOptions
+from repro.algorithms.signature import signature_compare
+
+
+@pytest.mark.parametrize("lam", [0.0, 0.25, 0.5, 0.75, 0.99])
+def test_lambda_sweep(benchmark, modcell_scenarios, lam):
+    scenario = modcell_scenarios["doct"]
+    options = MatchOptions.versioning(lam=lam)
+    result = benchmark(
+        signature_compare, scenario.source, scenario.target, options
+    )
+    assert 0.0 <= result.similarity <= 1.0
+
+
+def test_lambda_monotone(modcell_scenarios):
+    """Higher λ = more credit for null/constant cells = higher score."""
+    scenario = modcell_scenarios["doct"]
+    scores = [
+        signature_compare(
+            scenario.source, scenario.target,
+            MatchOptions.versioning(lam=lam),
+        ).similarity
+        for lam in (0.0, 0.5, 0.99)
+    ]
+    assert scores == sorted(scores)

@@ -1,0 +1,48 @@
+"""Benchmarks: local-search refinement of greedy matches."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.datagen.perturb import PerturbationConfig, perturb
+from repro.datagen.synthetic import generate_dataset
+from repro.mappings.constraints import MatchOptions
+from repro.algorithms.refine import refine_match
+from repro.algorithms.signature import signature_compare
+
+OPTIONS = MatchOptions.versioning()
+
+
+@pytest.fixture(scope="module")
+def noisy_scenario():
+    """A high-noise scenario where the greedy leaves score on the table."""
+    return perturb(
+        generate_dataset("doct", rows=150, seed=0),
+        PerturbationConfig.mod_cell(30.0, seed=1),
+    )
+
+
+def test_refinement_pass(benchmark, noisy_scenario):
+    base = signature_compare(
+        noisy_scenario.source, noisy_scenario.target, OPTIONS
+    )
+    refined = benchmark(refine_match, base, 500)
+    assert refined.similarity >= base.similarity
+
+
+def test_refinement_on_adversarial_nulls(benchmark):
+    """All-null tuples: greedy commits arbitrarily, refinement can only help."""
+    N = LabeledNull
+    left = Instance.from_rows(
+        "R", ("A", "B"),
+        [(N(f"L{i}"), "x" if i % 2 else N(f"M{i}")) for i in range(12)],
+        id_prefix="l",
+    )
+    right = Instance.from_rows(
+        "R", ("A", "B"),
+        [(N(f"R{i}"), "x" if i % 3 else N(f"S{i}")) for i in range(12)],
+        id_prefix="r",
+    )
+    base = signature_compare(left, right, OPTIONS)
+    refined = benchmark(refine_match, base, 300)
+    assert refined.similarity >= base.similarity

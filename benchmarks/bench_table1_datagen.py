@@ -1,0 +1,16 @@
+"""Table 1 kernels: synthetic dataset generation."""
+
+import pytest
+
+from repro.datagen.synthetic import generate_dataset
+
+
+@pytest.mark.parametrize("dataset", ["doct", "bike", "git", "bus", "nba"])
+def test_generate_dataset(benchmark, dataset):
+    instance = benchmark(generate_dataset, dataset, 1000, 0)
+    assert len(instance) == 1000
+
+
+def test_generate_iris_full(benchmark):
+    instance = benchmark(generate_dataset, "iris", None, 0)
+    assert len(instance) == 120

@@ -1,0 +1,37 @@
+"""Table 3 kernels: signature algorithm on n:m redundancy scenarios."""
+
+import pytest
+
+from repro.mappings.constraints import MatchOptions
+from repro.algorithms.signature import signature_compare
+
+OPTIONS = MatchOptions.general()
+
+
+@pytest.mark.parametrize("dataset", ["doct", "bike", "git"])
+def test_signature_redundant(benchmark, redundant_scenarios, dataset):
+    scenario = redundant_scenarios[dataset]
+    result = benchmark(
+        signature_compare, scenario.source, scenario.target, OPTIONS
+    )
+    assert abs(result.similarity - scenario.gold_score()) < 0.02
+
+
+def test_exact_redundant_small(benchmark):
+    """The non-functional powerset search on a tiny n:m scenario."""
+    from repro.datagen.perturb import PerturbationConfig, perturb
+    from repro.datagen.synthetic import generate_dataset
+    from repro.algorithms.exact import exact_compare
+
+    scenario = perturb(
+        generate_dataset("doct", rows=25, seed=0),
+        PerturbationConfig.add_random_and_redundant(
+            percent=5.0, random_percent=10.0, redundant_percent=10.0, seed=1
+        ),
+    )
+    # The powerset search is exponential; a small node budget keeps the
+    # bench representative of per-node cost without multi-minute rounds.
+    result = benchmark(
+        exact_compare, scenario.source, scenario.target, OPTIONS, 30_000
+    )
+    assert 0.0 <= result.similarity <= 1.0

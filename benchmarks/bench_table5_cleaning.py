@@ -1,0 +1,51 @@
+"""Table 5 kernels: error injection, repair surrogates, and the metrics."""
+
+import pytest
+
+from repro.cleaning.errorgen import inject_errors
+from repro.cleaning.metrics import instance_f1, repair_f1, signature_score
+from repro.cleaning.systems import repair
+from repro.datagen.synthetic import generate_dataset, profile
+
+
+@pytest.fixture(scope="module")
+def bus_setup():
+    bus = generate_dataset("bus", rows=800, seed=0)
+    fds = profile("bus").functional_dependencies()
+    dirty = inject_errors(bus, fds, error_rate=0.05, seed=1)
+    return bus, fds, dirty
+
+
+def test_error_injection(benchmark):
+    bus = generate_dataset("bus", rows=800, seed=0)
+    fds = profile("bus").functional_dependencies()
+    dirty = benchmark(inject_errors, bus, fds, 0.05, 1)
+    assert dirty.errors
+
+
+@pytest.mark.parametrize("system", ["llunatic", "holistic", "sampling"])
+def test_repair_system(benchmark, bus_setup, system):
+    _bus, fds, dirty = bus_setup
+    result = benchmark(repair, dirty.dirty, fds, system, 2)
+    assert result.repaired is not None
+
+
+def test_signature_metric(benchmark, bus_setup):
+    bus, fds, dirty = bus_setup
+    repaired = repair(dirty.dirty, fds, "llunatic", seed=2).repaired
+    score = benchmark(signature_score, bus, repaired)
+    assert score > 0.9
+
+
+def test_f1_metrics(benchmark, bus_setup):
+    bus, fds, dirty = bus_setup
+    result = repair(dirty.dirty, fds, "holistic", seed=2)
+
+    def both():
+        repair_f1(
+            bus, result.repaired, dirty.error_cells,
+            set(result.changed_cells),
+        )
+        return instance_f1(bus, result.repaired)
+
+    assert benchmark(both) > 0.9

@@ -1,0 +1,59 @@
+"""Table 6 kernels: the chase, core checks, and universal-vs-core scoring."""
+
+import pytest
+
+from repro.core.instance import prepare_for_comparison
+from repro.dataexchange.scenarios import (
+    generate_exchange_scenario,
+    generate_source,
+    missing_rows,
+    row_score,
+)
+from repro.homomorphism.homomorphism import find_homomorphism
+from repro.mappings.constraints import MatchOptions
+from repro.algorithms.signature import signature_compare
+
+OPTIONS = MatchOptions.record_merging()
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return generate_exchange_scenario(doctors=200, seed=0)
+
+
+def test_chase(benchmark):
+    from repro.dataexchange.chase import chase
+    from repro.dataexchange.scenarios import TARGET_SCHEMA, _doctor_tgd
+
+    source = generate_source(200, seed=0)
+    tgd = _doctor_tgd("gold", "Doctor")
+    result = benchmark(chase, source, [tgd], TARGET_SCHEMA)
+    assert len(result) > 0
+
+
+@pytest.mark.parametrize("label", ["W", "U1", "U2"])
+def test_solution_scoring(benchmark, scenario, label):
+    solution = scenario.solutions()[label]
+    left, right = prepare_for_comparison(solution, scenario.gold)
+    result = benchmark(signature_compare, left, right, OPTIONS)
+    if label == "W":
+        assert result.similarity == pytest.approx(0.0)
+    else:
+        assert result.similarity > 0.7
+
+
+def test_homomorphism_check(benchmark, scenario):
+    left, right = prepare_for_comparison(scenario.u1, scenario.gold)
+    h = benchmark(find_homomorphism, left, right)
+    assert h is not None
+
+
+def test_row_baselines(benchmark, scenario):
+    def run():
+        return (
+            row_score(scenario.u1, scenario.gold),
+            missing_rows(scenario.u1, scenario.gold),
+        )
+
+    score, missing = benchmark(run)
+    assert missing == 0 and score < 1.0

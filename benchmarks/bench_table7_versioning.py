@@ -1,0 +1,34 @@
+"""Table 7 kernels: the diff baseline vs signature version comparison."""
+
+import pytest
+
+from repro.datagen.synthetic import generate_dataset
+from repro.versioning.difftool import diff_instances
+from repro.versioning.operations import (
+    removed_and_shuffled_version,
+    removed_columns_version,
+    shuffled_version,
+)
+from repro.versioning.report import compare_versions
+
+
+@pytest.fixture(scope="module")
+def nba():
+    return generate_dataset("nba", rows=1000, seed=0)
+
+
+def test_diff_baseline(benchmark, nba):
+    modified = shuffled_version(nba, seed=1)
+    report = benchmark(diff_instances, nba, modified)
+    assert report.matched < len(nba)
+
+
+@pytest.mark.parametrize("variant", ["S", "RS", "C"])
+def test_signature_versioning(benchmark, nba, variant):
+    modified = {
+        "S": lambda: shuffled_version(nba, seed=1),
+        "RS": lambda: removed_and_shuffled_version(nba, seed=1),
+        "C": lambda: removed_columns_version(nba, seed=1),
+    }[variant]()
+    comparison = benchmark(compare_versions, nba, modified)
+    assert comparison.signature_matched == min(len(nba), len(modified))

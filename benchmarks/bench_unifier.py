@@ -1,0 +1,62 @@
+"""Ablation bench: the snapshotting unifier (DESIGN.md decision 1).
+
+Times tuple unification with rollback — the inner loop of every matching
+algorithm — plus the value-mapping extraction.
+"""
+
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.algorithms.unifier import Unifier
+
+
+def _instances(rows=2000):
+    left_rows = []
+    right_rows = []
+    for i in range(rows):
+        left_rows.append((f"c{i}", LabeledNull(f"L{i}"), f"d{i % 50}"))
+        right_rows.append((f"c{i}", LabeledNull(f"R{i}"), f"d{i % 50}"))
+    left = Instance.from_rows("R", ("A", "B", "C"), left_rows, id_prefix="l")
+    right = Instance.from_rows("R", ("A", "B", "C"), right_rows, id_prefix="r")
+    return left, right
+
+
+def test_unify_tuples_throughput(benchmark):
+    left, right = _instances()
+    left_tuples = list(left.tuples())
+    right_tuples = list(right.tuples())
+
+    def run():
+        unifier = Unifier.for_instances(left, right)
+        for t, t_prime in zip(left_tuples, right_tuples):
+            unifier.unify_tuples(t, t_prime)
+        return unifier
+
+    unifier = benchmark(run)
+    assert unifier.find(LabeledNull("L0")) == unifier.find(LabeledNull("R0"))
+
+
+def test_compatibility_probe_rollback(benchmark):
+    """The pure IsCompatible check: unify + full rollback per pair."""
+    left, right = _instances(500)
+    left_tuples = list(left.tuples())
+    right_tuples = list(right.tuples())
+    unifier = Unifier.for_instances(left, right)
+
+    def run():
+        hits = 0
+        for t in left_tuples[:100]:
+            for t_prime in right_tuples[:20]:
+                if unifier.compatible_tuples(t, t_prime):
+                    hits += 1
+        return hits
+
+    assert benchmark(run) > 0
+
+
+def test_value_mapping_extraction(benchmark):
+    left, right = _instances(1000)
+    unifier = Unifier.for_instances(left, right)
+    for t, t_prime in zip(left.tuples(), right.tuples()):
+        unifier.unify_tuples(t, t_prime)
+    h_l, h_r = benchmark(unifier.to_value_mappings)
+    assert len(h_l) + len(h_r) > 0

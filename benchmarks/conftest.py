@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark suite.
+
+The benchmarks time the kernels behind every table and figure of the paper
+at laptop-friendly sizes.  They are written for ``pytest-benchmark``::
+
+    pytest benchmarks/ --benchmark-only
+
+Sizes are deliberately modest so the full suite runs in a few minutes; the
+experiment drivers (``python -m repro.experiments``) are the place for
+larger-scale regeneration of the tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.perturb import PerturbationConfig, perturb
+from repro.datagen.synthetic import generate_dataset
+
+
+@pytest.fixture(scope="session")
+def modcell_scenarios():
+    """modCell 5% scenarios per dataset (Table 2 inputs)."""
+    return {
+        name: perturb(
+            generate_dataset(name, rows=300, seed=0),
+            PerturbationConfig.mod_cell(5.0, seed=1),
+        )
+        for name in ("doct", "bike", "git")
+    }
+
+
+@pytest.fixture(scope="session")
+def redundant_scenarios():
+    """addRandomAndRedundant scenarios per dataset (Table 3 inputs)."""
+    return {
+        name: perturb(
+            generate_dataset(name, rows=300, seed=0),
+            PerturbationConfig.add_random_and_redundant(
+                percent=5.0, random_percent=10.0, redundant_percent=10.0,
+                seed=1,
+            ),
+        )
+        for name in ("doct", "bike", "git")
+    }

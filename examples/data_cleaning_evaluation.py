@@ -1,0 +1,64 @@
+"""Evaluating data-cleaning systems with a null-aware similarity.
+
+The scenario behind the paper's Table 5: several repair systems clean a
+dirty instance; some mark unresolvable conflicts with labeled nulls.  The
+standard F1 metric counts every null as an error, misranking cautious
+systems; the instance-similarity score gives nulls partial (λ) credit while
+still penalizing wrong repairs.
+
+Run with::
+
+    python examples/data_cleaning_evaluation.py
+"""
+
+from repro.cleaning.errorgen import inject_errors
+from repro.cleaning.metrics import evaluate_repair
+from repro.cleaning.systems import SYSTEM_PRESETS, repair
+from repro.datagen.synthetic import generate_dataset, profile
+
+
+def main() -> None:
+    # A stand-in for the paper's Bus dataset: 25 attributes with the FDs
+    # RouteId -> RouteName and StopId -> StopName holding by construction.
+    clean = generate_dataset("bus", rows=1500, seed=0)
+    fds = profile("bus").functional_dependencies()
+    print("Declared constraints:")
+    for fd in fds:
+        print(f"  {fd}")
+
+    # BART-style error injection: corrupt 5% of the FD right-hand-side
+    # cells so that the in-group majority still witnesses the gold value.
+    dirty = inject_errors(clean, fds, error_rate=0.05, seed=1)
+    print(f"\nInjected {len(dirty.errors)} errors into "
+          f"{clean.size()} cells\n")
+
+    header = f"{'system':<12} {'F1':>7} {'F1 inst.':>9} {'Sig score':>10}"
+    print(header)
+    print("-" * len(header))
+    evaluations = []
+    for index, system_name in enumerate(sorted(SYSTEM_PRESETS)):
+        result = repair(dirty.dirty, fds, system_name, seed=10 + index)
+        evaluation = evaluate_repair(
+            clean,
+            result.repaired,
+            dirty.error_cells,
+            set(result.changed_cells),
+            system_name,
+        )
+        evaluations.append(evaluation)
+        print(
+            f"{evaluation.system:<12} {evaluation.f1:>7.3f} "
+            f"{evaluation.f1_instance:>9.3f} {evaluation.signature:>10.3f}"
+        )
+
+    print(
+        "\nReading the table: F1 punishes the labeled nulls systems "
+        "introduce for genuine conflicts;\nF1-instance hides everything "
+        "(all solutions are >99% clean); the signature score keeps\nthe "
+        "ranking while giving nulls λ credit — the paper's argument for a "
+        "standard, null-aware\ninstance-comparison metric."
+    )
+
+
+if __name__ == "__main__":
+    main()

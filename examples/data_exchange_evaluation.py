@@ -1,0 +1,66 @@
+"""Evaluating data-exchange solutions against a core gold standard.
+
+The scenario behind the paper's Table 6: different schema mappings (and
+Skolemization strategies) produce different target instances for the same
+source.  Row-count baselines cannot tell a wrong mapping from a perfect
+one; the instance similarity can — and its non-injective matches also act
+as a scalable homomorphism check between solutions.
+
+Run with::
+
+    python examples/data_exchange_evaluation.py
+"""
+
+from repro import MatchOptions, compare
+from repro.dataexchange.scenarios import (
+    generate_exchange_scenario,
+    missing_rows,
+    row_score,
+)
+from repro.homomorphism.core import is_core
+from repro.homomorphism.homomorphism import has_homomorphism
+from repro.core.instance import prepare_for_comparison
+
+
+def main() -> None:
+    scenario = generate_exchange_scenario(doctors=120, seed=0)
+    gold = scenario.gold
+
+    print("Source: Doctor(Name, Spec, Hospital, City) "
+          "+ a decoy Person table")
+    print("Target: DoctorInfo(Name, Spec, HId) / "
+          "HospitalInfo(HId, Hospital, City)\n")
+    print(f"Core gold solution: {len(gold)} tuples, "
+          f"{gold.null_occurrence_count()} labeled nulls "
+          f"(is_core={is_core(gold)})\n")
+
+    options = MatchOptions.record_merging()  # universal-vs-core matching
+    header = (
+        f"{'solution':<10} {'#tuples':>8} {'missing':>8} "
+        f"{'row score':>10} {'sig score':>10} {'hom->core':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, solution in scenario.solutions().items():
+        left, right = prepare_for_comparison(solution, gold)
+        result = compare(left, right, options=options, prepare=False)
+        folds = has_homomorphism(*prepare_for_comparison(solution, gold))
+        print(
+            f"{label:<10} {len(solution):>8} "
+            f"{missing_rows(solution, gold):>8} "
+            f"{row_score(solution, gold):>10.2f} "
+            f"{result.similarity:>10.3f} {str(folds):>10}"
+        )
+
+    print(
+        "\nThe wrong mapping (W) read the decoy table: its row count is "
+        "perfect but no tuple matches\nthe core (similarity 0, no "
+        "homomorphism).  The redundant user mappings U1/U2 are genuine\n"
+        "universal solutions — they fold homomorphically onto the core and "
+        "score high, with the\nsimilarity quantifying exactly how much "
+        "redundancy each carries."
+    )
+
+
+if __name__ == "__main__":
+    main()

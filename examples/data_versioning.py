@@ -1,0 +1,92 @@
+"""Data versioning: recovering what changed between dataset versions.
+
+The scenario of the paper's Sec. 7.2 (Table 7): a dataset evolves in a data
+lake — rows get shuffled, removed, columns dropped — and no keys relate the
+versions.  The command-line ``diff`` tool fails on anything but pure row
+removal; the signature algorithm recovers the tuple correspondence and
+quantifies the change.
+
+Run with::
+
+    python examples/data_versioning.py
+"""
+
+from repro.datagen.synthetic import generate_dataset
+from repro.versioning.operations import (
+    removed_and_shuffled_version,
+    removed_columns_version,
+    removed_rows_version,
+    shuffled_version,
+)
+from repro.versioning.report import compare_versions
+
+
+def main() -> None:
+    # A stand-in for the paper's Iris dataset (120 rows, 5 attributes).
+    original = generate_dataset("iris", rows=120, seed=0)
+
+    variants = {
+        "shuffled rows (S)": shuffled_version(original, seed=1),
+        "removed rows (R)": removed_rows_version(original, seed=1),
+        "removed + shuffled (RS)": removed_and_shuffled_version(
+            original, seed=1
+        ),
+        "removed column (C)": removed_columns_version(original, seed=1),
+    }
+
+    print(f"Original: {len(original)} tuples, "
+          f"{original.schema.relation('Iris').arity} attributes\n")
+    header = (
+        f"{'variant':<26} {'diff #M':>8} {'diff #LNM':>10} "
+        f"{'sig #M':>7} {'sig #LNM':>9} {'sig score':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    for label, modified in variants.items():
+        comparison = compare_versions(original, modified)
+        print(
+            f"{label:<26} {comparison.diff.matched:>8} "
+            f"{comparison.diff.left_non_matching:>10} "
+            f"{comparison.signature_matched:>7} "
+            f"{comparison.signature_left_non_matching:>9} "
+            f"{comparison.similarity:>10.3f}"
+        )
+
+    print(
+        "\ndiff only survives ordered row removal; the signature match "
+        "recovers every correspondence,\nincluding across the dropped "
+        "column (padded with fresh labeled nulls, Sec. 4.3)."
+    )
+
+    # The match also names the concrete differences, e.g. deleted tuples:
+    comparison = compare_versions(
+        original, removed_rows_version(original, seed=1)
+    )
+    deleted = comparison.result.match.unmatched_left()
+    print(f"\nTuples deleted between versions ({len(deleted)}):")
+    for t in deleted[:5]:
+        print(f"  {t}")
+    if len(deleted) > 5:
+        print(f"  ... and {len(deleted) - 5} more")
+
+    # The structured delta classifies every difference (the paper's intro:
+    # "two Null values in I (t2) have been updated to 'VLDB End.'").
+    from repro.core.values import LabeledNull
+    from repro.core.instance import Instance
+    from repro.versioning.delta import diff_versions
+
+    old = Instance.from_rows(
+        "Conf", ("Name", "Org"),
+        [("VLDB", LabeledNull("N1")), ("SIGMOD", "ACM")], name="old",
+    )
+    new = Instance.from_rows(
+        "Conf", ("Name", "Org"),
+        [("VLDB", "VLDB End."), ("SIGMOD", "ACM"), ("ICDE", "IEEE")],
+        name="new",
+    )
+    print("\nStructured delta of a small edit:")
+    print(diff_versions(old, new).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Quickstart: comparing incomplete database instances.
+
+Reproduces the paper's running example (Figs. 1 and 6): three versions of a
+``Conference`` table containing labeled nulls, compared without any key
+attributes.  Shows the similarity scores, the instance match explaining
+them, and how constraints tailor the comparison.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Instance, LabeledNull, MatchOptions, compare
+
+# ---------------------------------------------------------------------------
+# The paper's Fig. 1: an instance I and two later versions I1, I2.
+# Labeled nulls stand for unknown values; equal labels denote the same
+# unknown value within one instance.
+# ---------------------------------------------------------------------------
+
+ATTRS = ("Name", "Year", "Place", "Org")
+
+
+def n(label: str) -> LabeledNull:
+    return LabeledNull(label)
+
+
+original = Instance.from_rows(
+    "Conference",
+    ATTRS,
+    [
+        ("VLDB", 1975, "Framingham", "VLDB End."),
+        ("VLDB", 1976, n("N1"), n("N2")),
+        ("SIGMOD", 1975, "San Jose", "ACM"),
+    ],
+    name="I",
+)
+
+version_1 = Instance.from_rows(
+    "Conference",
+    ATTRS,
+    [
+        ("SIGMOD", 1975, "San Jose", "ACM"),
+        ("VLDB", n("M1"), "Framingham", "VLDB End."),
+        (n("M2"), 1976, "Brussels", "IEEE"),
+        ("VLDB", n("M3"), n("M4"), "VLDB End."),
+    ],
+    name="I1",
+)
+
+version_2 = Instance.from_rows(
+    "Conference",
+    ATTRS,
+    [
+        (n("P1"), 1975, n("P2"), n("P3")),
+        ("CC&P", 1980, "Montreal", n("P4")),
+        ("VLDB", 1976, "Brussels", "VLDB End."),
+        ("VLDB", 1975, "Framingham", "VLDB End."),
+    ],
+    name="I2",
+)
+
+
+def main() -> None:
+    # Data-versioning semantics: tuples are unique entities that may be
+    # inserted or deleted, so the tuple mapping is 1:1 but not total.
+    options = MatchOptions.versioning()
+
+    print("=== Which version is closer to the original? ===\n")
+    for version in (version_1, version_2):
+        result = compare(original, version, options=options)
+        print(
+            f"similarity(I, {version.name}) = {result.similarity:.4f}  "
+            f"[{len(result.match.m)} matched tuples, "
+            f"{result.elapsed_seconds * 1000:.1f} ms]"
+        )
+    print()
+
+    # The instance match *explains* the score: which tuples correspond,
+    # which null substitutions make them equal, and what has no counterpart.
+    signature_result = compare(original, version_1, options=options)
+    print("=== Explanation of similarity(I, I1) ===\n")
+    print(signature_result.explain())
+    print()
+
+    # Isomorphic instances (same information, renamed nulls) score exactly 1.
+    renamed = original.rename_nulls(
+        {n("N1"): n("Z1"), n("N2"): n("Z2")}, name="I-renamed"
+    )
+    iso_result = compare(original, renamed, options=options)
+    print(f"similarity(I, I-renamed) = {iso_result.similarity}  (isomorphic)")
+
+    # The exact algorithm is optimal but exponential; the signature
+    # algorithm is the scalable default.  On small instances they agree.
+    exact = compare(original, version_1, algorithm="exact", options=options)
+    agreed = abs(exact.similarity - signature_result.similarity) < 1e-9
+    print(
+        f"exact similarity(I, I1) = {exact.similarity:.4f}  "
+        f"(signature matched it: {agreed})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,167 @@
+"""repro — similarity measures for incomplete database instances.
+
+A from-scratch reproduction of *Similarity Measures For Incomplete Database
+Instances* (EDBT 2024): compare relational instances containing labeled
+nulls, without relying on keys, and obtain both a similarity score in
+``[0, 1]`` and an *instance match* explaining it.
+
+Quickstart
+----------
+>>> from repro import Instance, LabeledNull, compare
+>>> N1, Na = LabeledNull("N1"), LabeledNull("Na")
+>>> I = Instance.from_rows("Conf", ("Name", "Year"),
+...     [("VLDB", 1975), ("SIGMOD", N1)], id_prefix="l")
+>>> J = Instance.from_rows("Conf", ("Name", "Year"),
+...     [("VLDB", 1975), ("SIGMOD", Na)], id_prefix="r")
+>>> result = compare(I, J)
+>>> result.similarity
+1.0
+
+The two entry points are :func:`compare` (full result with match and stats)
+and :func:`similarity` (just the score).  Constraints for specific
+applications — data versioning, data-exchange solution comparison,
+constraint-repair evaluation — are presets on
+:class:`~repro.mappings.MatchOptions`.
+"""
+
+from __future__ import annotations
+
+from .algorithms.exact import DEFAULT_NODE_BUDGET, exact_compare
+from .algorithms.ground import ground_compare, symmetric_difference_similarity
+from .algorithms.partial import partial_signature_compare
+from .algorithms.refine import refine_match
+from .algorithms.result import ComparisonResult
+from .algorithms.signature import signature_compare
+from .core.errors import ReproError
+from .core.instance import Instance, prepare_for_comparison
+from .core.schema import RelationSchema, Schema
+from .core.tuples import Cell, Tuple
+from .core.values import LabeledNull, NullFactory, is_constant, is_null
+from .mappings.constraints import DEFAULT_LAMBDA, MatchOptions
+from .mappings.instance_match import InstanceMatch
+from .mappings.tuple_mapping import TupleMapping
+from .mappings.value_mapping import ValueMapping
+from .scoring.match_score import score_match
+
+__version__ = "1.0.0"
+
+_ALGORITHMS = ("signature", "exact", "ground", "partial")
+
+
+def compare(
+    left: Instance,
+    right: Instance,
+    algorithm: str = "signature",
+    options: MatchOptions | None = None,
+    prepare: bool = True,
+    align_schemas: bool = False,
+    refine: bool = False,
+    **kwargs,
+) -> ComparisonResult:
+    """Compare two instances and return score, match, and statistics.
+
+    Parameters
+    ----------
+    left, right:
+        The instances to compare.  They must share a schema — or pass
+        ``align_schemas=True`` to bridge attribute differences with the
+        padding trick of Sec. 4.3 (missing attributes are added with a
+        distinct fresh null per row).
+    algorithm:
+        ``"signature"`` (default, the scalable approximate algorithm),
+        ``"exact"`` (optimal, exponential; accepts ``node_budget=``),
+        ``"ground"`` (PTIME, ground instances only), or ``"partial"``
+        (partial tuple matches, Sec. 6.3; accepts ``min_agreeing_cells=``
+        and friends).
+    options:
+        Structural constraints and λ; defaults to
+        :meth:`MatchOptions.general`.
+    prepare:
+        When ``True`` (default), tuple ids and labeled nulls are made
+        disjoint automatically (semantics-preserving re-identification); the
+        returned match then refers to the prepared copies.  Pass ``False``
+        if the inputs already satisfy the preconditions and you need the
+        match to reference your exact tuple objects.
+    refine:
+        Post-process the match with local-search hill climbing
+        (:func:`repro.algorithms.refine.refine_match`); never lowers the
+        score, costs extra time.
+    **kwargs:
+        Forwarded to the selected algorithm.
+
+    Returns
+    -------
+    ComparisonResult
+        ``result.similarity`` is the score; ``result.match`` explains it.
+    """
+    if algorithm not in _ALGORITHMS:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose one of {_ALGORITHMS}"
+        )
+    if align_schemas:
+        from .versioning.operations import align_schemas as _align
+
+        left, right = _align(left, right)
+    if prepare:
+        left, right = prepare_for_comparison(left, right)
+    if algorithm == "signature":
+        result = signature_compare(left, right, options=options, **kwargs)
+    elif algorithm == "exact":
+        result = exact_compare(left, right, options=options, **kwargs)
+    elif algorithm == "ground":
+        result = ground_compare(left, right, options=options, **kwargs)
+    else:
+        result = partial_signature_compare(
+            left, right, options=options, **kwargs
+        )
+    if refine:
+        result = refine_match(result)
+    return result
+
+
+def similarity(
+    left: Instance,
+    right: Instance,
+    algorithm: str = "signature",
+    options: MatchOptions | None = None,
+    **kwargs,
+) -> float:
+    """The similarity score of two instances (Def. 3.2), in ``[0, 1]``.
+
+    A convenience wrapper around :func:`compare` returning only the score.
+    """
+    return compare(
+        left, right, algorithm=algorithm, options=options, **kwargs
+    ).similarity
+
+
+__all__ = [
+    "Cell",
+    "ComparisonResult",
+    "DEFAULT_LAMBDA",
+    "DEFAULT_NODE_BUDGET",
+    "Instance",
+    "InstanceMatch",
+    "LabeledNull",
+    "MatchOptions",
+    "NullFactory",
+    "RelationSchema",
+    "ReproError",
+    "Schema",
+    "Tuple",
+    "TupleMapping",
+    "ValueMapping",
+    "__version__",
+    "compare",
+    "exact_compare",
+    "ground_compare",
+    "is_constant",
+    "is_null",
+    "partial_signature_compare",
+    "prepare_for_comparison",
+    "refine_match",
+    "score_match",
+    "signature_compare",
+    "similarity",
+    "symmetric_difference_similarity",
+]

@@ -1,0 +1,47 @@
+"""Comparison algorithms: exact, signature, ground, and partial matching."""
+
+from .compatibility import (
+    AttributeIndex,
+    c_compatible,
+    compatible,
+    compatible_tuples,
+    compatible_tuples_of_instances,
+)
+from .exact import DEFAULT_NODE_BUDGET, exact_compare
+from .ground import ground_compare, symmetric_difference_similarity
+from .refine import DEFAULT_MOVE_BUDGET, refine_match
+from .partial import (
+    all_signatures,
+    normalized_edit_similarity,
+    partial_signature_compare,
+)
+from .result import ComparisonResult
+from .signature import (
+    maximal_signature,
+    signature_compare,
+    signature_of,
+    signature_step_only_score,
+)
+from .unifier import Unifier
+
+__all__ = [
+    "AttributeIndex",
+    "ComparisonResult",
+    "DEFAULT_NODE_BUDGET",
+    "Unifier",
+    "all_signatures",
+    "c_compatible",
+    "compatible",
+    "compatible_tuples",
+    "compatible_tuples_of_instances",
+    "exact_compare",
+    "ground_compare",
+    "maximal_signature",
+    "normalized_edit_similarity",
+    "partial_signature_compare",
+    "refine_match",
+    "signature_compare",
+    "signature_of",
+    "signature_step_only_score",
+    "symmetric_difference_similarity",
+]

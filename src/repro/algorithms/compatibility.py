@@ -1,0 +1,153 @@
+"""Compatible-tuple discovery (paper Def. 6.1 and Alg. 2).
+
+Two tuples are *c-compatible* (``t ∼ t'``) when they have no conflicting
+constants: no attribute where both are constants and the constants differ.
+They are *compatible* (``t ≃ t'``) when value mappings ``h_l, h_r`` with
+``h_l(t) = h_r(t')`` exist.  c-compatibility is necessary but not
+sufficient — e.g. ``⟨a1, b1, c1⟩`` and ``⟨a1, N1, N1⟩`` are c-compatible but
+not compatible, because ``N1`` cannot be mapped to both ``b1`` and ``c1``.
+
+``compatible_tuples`` implements Alg. 2: a per-attribute hash index ``V_A``
+mapping each constant to the right tuples holding it (plus a ``*`` bucket for
+nulls) avoids the quadratic all-pairs scan whenever tuples have constants to
+index on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..core.instance import Instance
+from ..core.tuples import Tuple
+from ..core.values import Value, is_constant, is_null
+from .unifier import Unifier
+
+NULL_BUCKET = ("__repro_null_bucket__",)
+"""Sentinel key for the ``*`` entry of the attribute index (Alg. 2 line 8)."""
+
+
+def c_compatible(t: Tuple, t_prime: Tuple) -> bool:
+    """``t ∼ t'``: no attribute holds two distinct constants (Def. 6.1)."""
+    if t.relation.name != t_prime.relation.name:
+        return False
+    for left_value, right_value in zip(t.values, t_prime.values):
+        if (
+            is_constant(left_value)
+            and is_constant(right_value)
+            and left_value != right_value
+        ):
+            return False
+    return True
+
+
+def compatible(t: Tuple, t_prime: Tuple) -> bool:
+    """``t ≃ t'``: value mappings with ``h_l(t) = h_r(t')`` exist (Def. 6.1).
+
+    Checked by unifying the tuples cell-wise in a scratch unifier; the check
+    is linear in the arity.
+    """
+    if t.relation.name != t_prime.relation.name:
+        return False
+    scratch = Unifier(
+        (v for v in t.values if is_null(v)),
+        (v for v in t_prime.values if is_null(v)),
+    )
+    return scratch.try_unify_tuples(t, t_prime)
+
+
+class AttributeIndex:
+    """The hash index ``V_A`` of Alg. 2 for one relation of the right instance.
+
+    For each attribute ``A``, maps every constant ``c`` to the set of right
+    tuple ids with ``t'[A] = c`` and keeps a ``*`` bucket of right tuple ids
+    with a null at ``A``.
+    """
+
+    def __init__(self, right_tuples: Iterable[Tuple], attributes: Sequence[str]) -> None:
+        self.attributes = tuple(attributes)
+        self._buckets: list[dict[Value, set[str]]] = [
+            {} for _ in self.attributes
+        ]
+        self._all_ids: set[str] = set()
+        for t_prime in right_tuples:
+            self._all_ids.add(t_prime.tuple_id)
+            for position, value in enumerate(t_prime.values):
+                key = NULL_BUCKET if is_null(value) else value
+                self._buckets[position].setdefault(key, set()).add(
+                    t_prime.tuple_id
+                )
+
+    def all_ids(self) -> set[str]:
+        """Ids of all indexed right tuples."""
+        return set(self._all_ids)
+
+    def c_compatible_ids(self, t: Tuple) -> set[str]:
+        """Right ids c-compatible with ``t`` (Alg. 2 lines 10–14).
+
+        For each constant attribute of ``t`` the candidates are
+        ``V_A[t.A] ∪ V_A[*]``; null attributes impose no restriction.  The
+        per-attribute sets are intersected smallest-first.
+        """
+        per_attribute: list[set[str]] = []
+        for position, value in enumerate(t.values):
+            if is_null(value):
+                continue
+            bucket = self._buckets[position]
+            candidates = bucket.get(value, set()) | bucket.get(
+                NULL_BUCKET, set()
+            )
+            if not candidates:
+                return set()
+            per_attribute.append(candidates)
+        if not per_attribute:
+            return set(self._all_ids)
+        per_attribute.sort(key=len)
+        result = set(per_attribute[0])
+        for candidates in per_attribute[1:]:
+            result &= candidates
+            if not result:
+                break
+        return result
+
+
+def compatible_tuples(
+    left_tuples: Iterable[Tuple],
+    right_tuples: Iterable[Tuple],
+    right_lookup: dict[str, Tuple] | None = None,
+) -> dict[str, list[str]]:
+    """``CompatibleTuples`` (Alg. 2) for one relation.
+
+    Returns a dictionary from each left tuple id to the list of right tuple
+    ids it is compatible with (``t ≃ t'``), pruned via the c-compatibility
+    index first.
+    """
+    right_tuples = list(right_tuples)
+    if right_lookup is None:
+        right_lookup = {t.tuple_id: t for t in right_tuples}
+    left_tuples = list(left_tuples)
+    if not left_tuples or not right_tuples:
+        return {t.tuple_id: [] for t in left_tuples}
+    index = AttributeIndex(right_tuples, left_tuples[0].relation.attributes)
+    result: dict[str, list[str]] = {}
+    for t in left_tuples:
+        candidates = index.c_compatible_ids(t)
+        confirmed = [
+            right_id
+            for right_id in sorted(candidates)
+            if compatible(t, right_lookup[right_id])
+        ]
+        result[t.tuple_id] = confirmed
+    return result
+
+
+def compatible_tuples_of_instances(
+    left: Instance, right: Instance
+) -> dict[str, list[str]]:
+    """``CompatibleTuples`` across all relations of two instances."""
+    result: dict[str, list[str]] = {}
+    for relation in left.relations():
+        right_relation = right.relation(relation.schema.name)
+        result.update(
+            compatible_tuples(iter(relation), iter(right_relation))
+        )
+    return result

@@ -1,0 +1,286 @@
+"""The exact instance-comparison algorithm (paper Alg. 1).
+
+The exact algorithm solves the optimization problem of Def. 3.2: among all
+complete instance matches (subject to the requested injectivity constraints)
+find one maximizing ``score(M)``.
+
+Step 1 finds compatible tuple pairs with the hash-based
+:func:`repro.algorithms.compatibility.compatible_tuples` index.  Step 2
+searches the combinations:
+
+* **functional search** (left-injective options): depth-first over left
+  tuples, assigning each either one compatible right tuple or "unmatched".
+  Because the score of a subset may beat the score of a superset (matching a
+  tuple can force value-mapping merges that penalize other pairs), the
+  "unmatched" branch is always explored — this realizes the paper's
+  observation that all non-total sub-mappings must be considered.
+* **non-functional search** (general options): depth-first include/exclude
+  over the whole list of compatible pairs — the powerset construction of
+  Alg. 1 lines 3–5.
+
+Candidate mappings are kept consistent incrementally with a snapshotting
+:class:`~repro.algorithms.unifier.Unifier` (the ``FindCompleteInstanceMatch``
+check), and a branch-and-bound upper bound prunes hopeless subtrees.  The
+search is exponential — Theorem 5.11 shows the problem is NP-hard — so a
+``node_budget`` caps the explored nodes; when the budget is hit the result is
+flagged ``exhausted=False`` and the score is a lower bound.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.instance import Instance
+from ..core.tuples import Tuple
+from ..mappings.constraints import MatchOptions
+from ..mappings.instance_match import InstanceMatch
+from ..mappings.tuple_mapping import TupleMapping
+from ..scoring.match_score import score_match
+from ..scoring.sizes import normalization_denominator
+from .compatibility import compatible_tuples_of_instances
+from .result import ComparisonResult
+from .unifier import Unifier
+
+DEFAULT_NODE_BUDGET = 2_000_000
+"""Default cap on search nodes before the exact search gives up."""
+
+
+class _ExactSearch:
+    """Shared state of the exact depth-first search."""
+
+    def __init__(
+        self,
+        left: Instance,
+        right: Instance,
+        options: MatchOptions,
+        node_budget: int,
+        prune: bool = True,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.options = options
+        self.node_budget = node_budget
+        self.prune = prune
+        self.nodes = 0
+        self.exhausted = True
+        self.denominator = normalization_denominator(left, right)
+        self.unifier = Unifier.for_instances(left, right)
+        self.current_pairs: list[tuple[str, str]] = []
+        self.best_score = -1.0
+        self.best_pairs: list[tuple[str, str]] = []
+        self.compatible = compatible_tuples_of_instances(left, right)
+        self.right_use_count: dict[str, int] = {}
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def _spend_node(self) -> bool:
+        """Account for one search node; returns False when budget exhausted."""
+        self.nodes += 1
+        if self.nodes > self.node_budget:
+            self.exhausted = False
+            return False
+        return True
+
+    def _evaluate_leaf(self) -> None:
+        """Score the current candidate tuple mapping and update the best."""
+        match = _build_match(
+            self.left, self.right, self.current_pairs, self.unifier
+        )
+        score = score_match(match, lam=self.options.lam)
+        if score > self.best_score:
+            self.best_score = score
+            self.best_pairs = list(self.current_pairs)
+
+    def _pair_bound(self, pair_count_bound: int) -> float:
+        """Optimistic score bound for a completion with ≤ ``pair_count_bound``
+        additional high-value pairs.
+
+        Each matched pair (t, t') can contribute at most ``arity`` to the
+        score of ``t`` plus ``arity`` to the score of ``t'``; image averaging
+        and ⊓ penalties only lower that.
+        """
+        if self.denominator == 0:
+            return 1.0
+        committed = sum(
+            2 * self.left.get_tuple(left_id).relation.arity
+            for left_id, _ in self.current_pairs
+        )
+        # Upper-bound the remaining pairs with the largest arity present.
+        max_arity = max(
+            (rel.arity for rel in self.left.schema), default=0
+        )
+        return (committed + 2 * max_arity * pair_count_bound) / self.denominator
+
+    # -- functional (left-injective) search ------------------------------------
+
+    def run_functional(self) -> None:
+        """DFS assigning each left tuple one right tuple or "unmatched"."""
+        left_tuples = sorted(
+            self.left.tuples(),
+            key=lambda t: (len(self.compatible.get(t.tuple_id, [])), t.tuple_id),
+        )
+        self._functional_dfs(left_tuples, 0)
+
+    def _functional_dfs(self, left_tuples: list[Tuple], index: int) -> None:
+        if not self._spend_node():
+            return
+        if index == len(left_tuples):
+            self._evaluate_leaf()
+            return
+        remaining = len(left_tuples) - index
+        if self.prune and self._pair_bound(remaining) <= self.best_score:
+            return
+        t = left_tuples[index]
+        for right_id in self.compatible.get(t.tuple_id, []):
+            if (
+                self.options.right_injective
+                and self.right_use_count.get(right_id, 0) > 0
+            ):
+                continue
+            t_prime = self.right.get_tuple(right_id)
+            token = self.unifier.snapshot()
+            if not _unify_quietly(self.unifier, t, t_prime):
+                self.unifier.rollback(token)
+                continue
+            self.current_pairs.append((t.tuple_id, right_id))
+            self.right_use_count[right_id] = (
+                self.right_use_count.get(right_id, 0) + 1
+            )
+            self._functional_dfs(left_tuples, index + 1)
+            self.right_use_count[right_id] -= 1
+            self.current_pairs.pop()
+            self.unifier.rollback(token)
+            if not self.exhausted:
+                return
+        # "Unmatched" branch: subsets may score higher than supersets.
+        self._functional_dfs(left_tuples, index + 1)
+
+    # -- non-functional (general) search ------------------------------------
+
+    def run_non_functional(self) -> None:
+        """DFS including/excluding every compatible pair (powerset search)."""
+        pairs = [
+            (left_id, right_id)
+            for left_id, right_ids in sorted(self.compatible.items())
+            for right_id in right_ids
+        ]
+        self._powerset_dfs(pairs, 0)
+
+    def _powerset_dfs(self, pairs: list[tuple[str, str]], index: int) -> None:
+        if not self._spend_node():
+            return
+        if index == len(pairs):
+            self._evaluate_leaf()
+            return
+        if self.prune and self._pair_bound(len(pairs) - index) <= self.best_score:
+            return
+        left_id, right_id = pairs[index]
+        t = self.left.get_tuple(left_id)
+        t_prime = self.right.get_tuple(right_id)
+        allowed = not (
+            self.options.right_injective
+            and self.right_use_count.get(right_id, 0) > 0
+        )
+        if allowed:
+            token = self.unifier.snapshot()
+            if _unify_quietly(self.unifier, t, t_prime):
+                self.current_pairs.append((left_id, right_id))
+                self.right_use_count[right_id] = (
+                    self.right_use_count.get(right_id, 0) + 1
+                )
+                self._powerset_dfs(pairs, index + 1)
+                self.right_use_count[right_id] -= 1
+                self.current_pairs.pop()
+            self.unifier.rollback(token)
+            if not self.exhausted:
+                return
+        self._powerset_dfs(pairs, index + 1)
+
+
+def _unify_quietly(unifier: Unifier, t: Tuple, t_prime: Tuple) -> bool:
+    """Unify the pair cell-wise inside the caller's snapshot; True on success."""
+    try:
+        for left_value, right_value in zip(t.values, t_prime.values):
+            unifier.unify(left_value, right_value)
+    except Exception:  # UnificationConflict; caller rolls back
+        return False
+    return True
+
+
+def _build_match(
+    left: Instance,
+    right: Instance,
+    pairs: list[tuple[str, str]],
+    unifier: Unifier,
+) -> InstanceMatch:
+    """Materialize an :class:`InstanceMatch` from pairs + unifier state."""
+    h_l, h_r = unifier.to_value_mappings()
+    return InstanceMatch(
+        left=left, right=right, h_l=h_l, h_r=h_r, m=TupleMapping(pairs)
+    )
+
+
+def exact_compare(
+    left: Instance,
+    right: Instance,
+    options: MatchOptions | None = None,
+    node_budget: int = DEFAULT_NODE_BUDGET,
+    prune: bool = True,
+) -> ComparisonResult:
+    """Run the exact algorithm (Alg. 1) and return the best instance match.
+
+    Parameters
+    ----------
+    left, right:
+        The instances to compare.  They must satisfy the comparison
+        preconditions (shared schema, disjoint ids and nulls) — use
+        :func:`repro.core.instance.prepare_for_comparison` if they may not.
+    options:
+        Match constraints and λ; defaults to the fully general setting.
+    node_budget:
+        Cap on explored search nodes.  On overrun the result carries
+        ``exhausted=False`` and the best score found so far.
+    prune:
+        Enable the branch-and-bound upper-bound pruning (disable only for
+        the ablation benchmark measuring its effect).
+
+    Examples
+    --------
+    >>> from repro.core.instance import Instance
+    >>> I = Instance.from_rows("R", ("A",), [("x",)], id_prefix="l")
+    >>> J = Instance.from_rows("R", ("A",), [("x",)], id_prefix="r")
+    >>> exact_compare(I, J).similarity
+    1.0
+    """
+    if options is None:
+        options = MatchOptions.general()
+    left.assert_comparable_with(right)
+    started = time.perf_counter()
+    search = _ExactSearch(left, right, options, node_budget, prune=prune)
+    if options.functional:
+        search.run_functional()
+    else:
+        search.run_non_functional()
+
+    # Rebuild the winning match (the search unifier has been rolled back).
+    final_unifier = Unifier.for_instances(left, right)
+    for left_id, right_id in search.best_pairs:
+        final_unifier.unify_tuples(
+            left.get_tuple(left_id), right.get_tuple(right_id)
+        )
+    match = _build_match(left, right, search.best_pairs, final_unifier)
+    score = score_match(match, lam=options.lam)
+    candidate_pairs = sum(len(v) for v in search.compatible.values())
+    return ComparisonResult(
+        similarity=score,
+        match=match,
+        options=options,
+        algorithm="exact",
+        exhausted=search.exhausted,
+        stats={
+            "nodes_explored": search.nodes,
+            "candidate_pairs": candidate_pairs,
+            "node_budget": node_budget,
+        },
+        elapsed_seconds=time.perf_counter() - started,
+    )

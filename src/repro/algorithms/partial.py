@@ -1,0 +1,239 @@
+"""Partial tuple matching (paper Sec. 6.3 and the Sec. 9 future-work items).
+
+Complete matches require matched tuples to agree on *every* attribute under
+the value mappings.  Partial matches relax this: two tuples may be matched
+when they agree on some attributes, with disagreeing cells scoring 0 (and
+optionally partial credit for *similar* constants via a pluggable string
+similarity, the paper's future-work extension).
+
+Following Sec. 6.3:
+
+* Property 1 is replaced by Property 2 — ``S[t, A] = S[t', A]`` for *any*
+  shared signature implies c-compatibility on ``A`` — so the signature map
+  indexes **every** signature of a tuple, not only the maximal one (bounded
+  by ``max_signature_width`` to keep the blowup in check).
+* The greedy structure of the signature algorithm is retained; a pair is
+  accepted when its agreeing cells can be unified consistently with the
+  growing match and it clears ``min_agreeing_cells``.
+
+The resulting instance match is generally *not* complete; its score uses the
+same cell-score cascade, where conflicting cells contribute 0 via the
+``h_l(t.A) != h_r(t'.A)`` case of Def. 5.5.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+from typing import Callable, Iterable, Sequence
+
+from ..core.instance import Instance
+from ..core.tuples import Tuple
+from ..core.values import is_constant
+from ..mappings.constraints import MatchOptions
+from ..mappings.instance_match import InstanceMatch
+from ..mappings.tuple_mapping import TupleMapping
+from ..scoring.match_score import score_match
+from .result import ComparisonResult
+from .signature import SignatureKey, signature_of
+from .unifier import Unifier
+
+ConstantSimilarity = Callable[[object, object], float]
+"""Optional similarity on constants in ``[0, 1]`` (1 = identical)."""
+
+
+def all_signatures(
+    t: Tuple, max_width: int | None = None
+) -> Iterable[tuple[frozenset[str], SignatureKey]]:
+    """Yield every non-empty signature of ``t`` (Property 2 indexing).
+
+    ``max_width`` caps the subset size; ``None`` enumerates the full
+    powerset of the tuple's constant attributes (exponential — use with
+    care, exactly as the paper warns).
+    """
+    ground = t.constant_attributes()
+    widths = range(1, len(ground) + 1)
+    if max_width is not None:
+        widths = range(1, min(len(ground), max_width) + 1)
+    for width in widths:
+        for subset in combinations(sorted(ground), width):
+            yield frozenset(subset), signature_of(t, subset)
+
+
+def _agreeing_unification(
+    unifier: Unifier, t: Tuple, t_prime: Tuple, min_agreeing_cells: int
+) -> bool:
+    """Unify the cells of the pair that *can* agree; commit if enough do.
+
+    Cells whose unification conflicts with the growing match are skipped
+    (they will score 0).  Returns ``False`` — with the unifier untouched —
+    when fewer than ``min_agreeing_cells`` cells agree.
+    """
+    token = unifier.snapshot()
+    agreeing = 0
+    for left_value, right_value in zip(t.values, t_prime.values):
+        inner = unifier.snapshot()
+        try:
+            unifier.unify(left_value, right_value)
+        except Exception:  # UnificationConflict — cell disagrees
+            unifier.rollback(inner)
+            continue
+        unifier.commit(inner)
+        agreeing += 1
+    if agreeing < min_agreeing_cells:
+        unifier.rollback(token)
+        return False
+    unifier.commit(token)
+    return True
+
+
+def partial_signature_compare(
+    left: Instance,
+    right: Instance,
+    options: MatchOptions | None = None,
+    min_agreeing_cells: int = 1,
+    max_signature_width: int | None = 3,
+    constant_similarity: ConstantSimilarity | None = None,
+    similarity_threshold: float = 0.8,
+) -> ComparisonResult:
+    """Greedy partial matching via shared signatures (Sec. 6.3).
+
+    Parameters
+    ----------
+    min_agreeing_cells:
+        A pair is only accepted when at least this many cells agree under
+        the growing value mappings.
+    max_signature_width:
+        Cap on the signature subset size indexed per tuple (the paper notes
+        the full powerset map is substantially slower).
+    constant_similarity, similarity_threshold:
+        Optional string-similarity relaxation (paper Sec. 9): constants
+        ``c, c'`` with ``constant_similarity(c, c') >= similarity_threshold``
+        are treated as agreeing for acceptance purposes.  They still score 0
+        under the strict Def. 5.5 cell score; use the returned match to
+        post-process if graded scoring is desired.
+    """
+    if options is None:
+        options = MatchOptions.versioning()
+    left.assert_comparable_with(right)
+    started = time.perf_counter()
+
+    unifier = Unifier.for_instances(left, right)
+    mapping = TupleMapping()
+    matched_left: set[str] = set()
+    matched_right: set[str] = set()
+
+    def blocked(left_id: str, right_id: str) -> bool:
+        if options.left_injective and left_id in matched_left:
+            return True
+        if options.right_injective and right_id in matched_right:
+            return True
+        return False
+
+    def cell_bounds(t: Tuple, t_prime: Tuple) -> tuple[int, int]:
+        """``(upper bound on agreeing cells, similar-constant bonus cells)``.
+
+        A *bonus* cell holds two unequal constants that clear the similarity
+        threshold: it counts toward the acceptance gate even though strict
+        unification (and hence Def. 5.5 scoring) treats it as disagreeing.
+        """
+        agreeing = 0
+        bonus = 0
+        for left_value, right_value in zip(t.values, t_prime.values):
+            if is_constant(left_value) and is_constant(right_value):
+                if left_value == right_value:
+                    agreeing += 1
+                elif constant_similarity is not None and (
+                    constant_similarity(left_value, right_value)
+                    >= similarity_threshold
+                ):
+                    agreeing += 1
+                    bonus += 1
+            else:
+                agreeing += 1  # a null can potentially agree with anything
+        return agreeing, bonus
+
+    pairs_added = 0
+    for relation in left.relations():
+        right_relation = right.relation(relation.schema.name)
+        # Index every (width-capped) signature of every left tuple.
+        sigmap: dict[SignatureKey, list[Tuple]] = {}
+        for t in relation:
+            for _, key in all_signatures(t, max_width=max_signature_width):
+                sigmap.setdefault(key, []).append(t)
+
+        # Probe with right tuples, most constants first.
+        for t_prime in sorted(
+            right_relation, key=lambda x: (-x.constant_count(), x.tuple_id)
+        ):
+            if options.right_injective and t_prime.tuple_id in matched_right:
+                continue
+            seen: set[str] = set()
+            candidates: list[Tuple] = []
+            for subset, key in sorted(
+                all_signatures(t_prime, max_width=max_signature_width),
+                key=lambda pair: -len(pair[0]),
+            ):
+                for t in sigmap.get(key, []):
+                    if t.tuple_id not in seen:
+                        seen.add(t.tuple_id)
+                        candidates.append(t)
+            for t in candidates:
+                if blocked(t.tuple_id, t_prime.tuple_id):
+                    continue
+                can_agree, bonus = cell_bounds(t, t_prime)
+                if can_agree < min_agreeing_cells:
+                    continue
+                # Similar-constant cells satisfy the gate without unifying.
+                required_strict = max(0, min_agreeing_cells - bonus)
+                if _agreeing_unification(
+                    unifier, t, t_prime, required_strict
+                ):
+                    mapping.add(t.tuple_id, t_prime.tuple_id)
+                    matched_left.add(t.tuple_id)
+                    matched_right.add(t_prime.tuple_id)
+                    pairs_added += 1
+                    if options.right_injective:
+                        break
+
+    h_l, h_r = unifier.to_value_mappings()
+    match = InstanceMatch(left=left, right=right, h_l=h_l, h_r=h_r, m=mapping)
+    score = score_match(match, lam=options.lam)
+    return ComparisonResult(
+        similarity=score,
+        match=match,
+        options=options,
+        algorithm="partial-signature",
+        exhausted=True,
+        stats={
+            "pairs_added": pairs_added,
+            "min_agreeing_cells": min_agreeing_cells,
+            "max_signature_width": max_signature_width,
+        },
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def normalized_edit_similarity(a: object, b: object) -> float:
+    """A simple constant similarity: normalized Levenshtein on ``str()`` forms.
+
+    Provided as a ready-made ``constant_similarity`` plug-in for
+    :func:`partial_signature_compare`.
+    """
+    s, t = str(a), str(b)
+    if s == t:
+        return 1.0
+    if not s or not t:
+        return 0.0
+    previous = list(range(len(t) + 1))
+    for i, cs in enumerate(s, start=1):
+        current = [i]
+        for j, ct in enumerate(t, start=1):
+            current.append(min(
+                previous[j] + 1,
+                current[j - 1] + 1,
+                previous[j - 1] + (cs != ct),
+            ))
+        previous = current
+    distance = previous[-1]
+    return 1.0 - distance / max(len(s), len(t))

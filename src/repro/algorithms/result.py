@@ -1,0 +1,78 @@
+"""Comparison results.
+
+Every algorithm returns a :class:`ComparisonResult`: the similarity score,
+the instance match that achieves (or approximates) it, the options used, and
+algorithm-specific statistics (signature-step ablation counts, search-node
+counts, timings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..mappings.constraints import MatchOptions
+from ..mappings.explain import MatchStatistics, explain_match, match_statistics
+from ..mappings.instance_match import InstanceMatch
+
+
+@dataclass
+class ComparisonResult:
+    """Outcome of comparing two instances.
+
+    Attributes
+    ----------
+    similarity:
+        The (exact or approximate) similarity score in ``[0, 1]``.
+    match:
+        The instance match realizing the score — the *explanation* of the
+        similarity (Sec. 1).
+    options:
+        Constraints/λ the comparison ran under.
+    algorithm:
+        ``"exact"``, ``"signature"``, ``"ground"``, or ``"partial-signature"``.
+    exhausted:
+        For the exact algorithm: whether the search space was fully explored
+        (``False`` when a node budget cut the search short; the score is then
+        a lower bound).
+    stats:
+        Algorithm-specific counters (e.g. ``signature_pairs``,
+        ``completion_pairs``, ``nodes_explored``).
+    elapsed_seconds:
+        Wall-clock time of the comparison.
+    """
+
+    similarity: float
+    match: InstanceMatch
+    options: MatchOptions
+    algorithm: str
+    exhausted: bool = True
+    stats: dict[str, Any] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    def statistics(self) -> MatchStatistics:
+        """#M / #LNM / #RNM counts of the realized match (Table 7 columns)."""
+        return match_statistics(self.match)
+
+    def explain(self, max_rows: int = 20) -> str:
+        """Render a human-readable explanation of the match."""
+        header = (
+            f"similarity = {self.similarity:.4f} "
+            f"({self.algorithm}, {self.options.describe()})"
+        )
+        return header + "\n" + explain_match(self.match, max_rows=max_rows)
+
+    def constraint_violations(self) -> list[str]:
+        """Which requested constraints the realized match fails (if any).
+
+        Totality constraints are validated post-hoc: e.g. under
+        ``MatchOptions.universal_vs_core`` an unmatched tuple signals a
+        non-universal solution (the Table 6 "Wrong" scenario).
+        """
+        return self.options.violations(self.match, self.match.left, self.match.right)
+
+    def __repr__(self) -> str:
+        return (
+            f"ComparisonResult(similarity={self.similarity:.4f}, "
+            f"algorithm={self.algorithm!r}, |m|={len(self.match.m)})"
+        )

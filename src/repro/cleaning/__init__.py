@@ -1,0 +1,38 @@
+"""Constraint-repair substrate: FDs, error generation, systems, metrics."""
+
+from .constraints import (
+    FunctionalDependency,
+    ViolationGroup,
+    find_violations,
+    satisfies,
+)
+from .errorgen import CellKey, DirtyDataset, inject_errors
+from .metrics import (
+    CleaningEvaluation,
+    F1Score,
+    evaluate_repair,
+    instance_f1,
+    repair_f1,
+    signature_score,
+)
+from .systems import SYSTEM_PRESETS, RepairResult, RepairSystemConfig, repair
+
+__all__ = [
+    "CellKey",
+    "CleaningEvaluation",
+    "DirtyDataset",
+    "F1Score",
+    "FunctionalDependency",
+    "RepairResult",
+    "RepairSystemConfig",
+    "SYSTEM_PRESETS",
+    "ViolationGroup",
+    "evaluate_repair",
+    "find_violations",
+    "inject_errors",
+    "instance_f1",
+    "repair",
+    "repair_f1",
+    "satisfies",
+    "signature_score",
+]

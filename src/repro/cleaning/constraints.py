@@ -1,0 +1,127 @@
+"""Functional dependencies and violation detection.
+
+The data-repair experiment (Table 5) cleans instances that violate
+functional dependencies such as ``Conference: Name → Org`` (paper Ex. 2.1).
+This module detects violating cell groups; the repair systems in
+:mod:`repro.cleaning.systems` act on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..core.instance import Instance
+from ..core.tuples import Tuple
+from ..core.values import Value, is_constant
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """An FD ``relation: lhs → rhs`` with a single right-hand attribute."""
+
+    relation: str
+    lhs: tuple[str, ...]
+    rhs: str
+
+    def __str__(self) -> str:
+        return f"{self.relation}: {', '.join(self.lhs)} -> {self.rhs}"
+
+    def key_of(self, t: Tuple) -> tuple[Value, ...] | None:
+        """The LHS value vector of ``t``, or ``None`` if any LHS cell is a null.
+
+        Following the certain-violation semantics used by repair tools,
+        groups are formed over constant LHS values only.
+        """
+        key = tuple(t[a] for a in self.lhs)
+        if not all(is_constant(v) for v in key):
+            return None
+        return key
+
+
+@dataclass
+class ViolationGroup:
+    """Tuples sharing an FD left-hand side with conflicting right-hand values.
+
+    Attributes
+    ----------
+    fd:
+        The violated dependency.
+    key:
+        The shared LHS value vector.
+    tuples:
+        All tuples in the group (violating and agreeing alike).
+    value_counts:
+        Constant RHS values with their multiplicities.
+    """
+
+    fd: FunctionalDependency
+    key: tuple[Value, ...]
+    tuples: list[Tuple]
+    value_counts: dict[Value, int]
+
+    def majority_value(self) -> Value | None:
+        """The strictly most frequent RHS constant, or ``None`` on a tie."""
+        if not self.value_counts:
+            return None
+        ranked = sorted(
+            self.value_counts.items(), key=lambda kv: (-kv[1], str(kv[0]))
+        )
+        if len(ranked) > 1 and ranked[0][1] == ranked[1][1]:
+            return None
+        return ranked[0][0]
+
+    def minority_tuples(self) -> list[Tuple]:
+        """Tuples whose RHS constant disagrees with the majority value.
+
+        Empty when the group has no strict majority.
+        """
+        majority = self.majority_value()
+        if majority is None:
+            return []
+        return [
+            t
+            for t in self.tuples
+            if is_constant(t[self.fd.rhs]) and t[self.fd.rhs] != majority
+        ]
+
+
+def find_violations(
+    instance: Instance, fds: list[FunctionalDependency]
+) -> Iterator[ViolationGroup]:
+    """Yield every violated FD group of ``instance``.
+
+    A group violates its FD when at least two distinct constant RHS values
+    occur for one LHS key.
+
+    Examples
+    --------
+    >>> from repro.core.instance import Instance
+    >>> inst = Instance.from_rows("R", ("K", "V"),
+    ...     [("a", "x"), ("a", "y"), ("b", "z")])
+    >>> fd = FunctionalDependency("R", ("K",), "V")
+    >>> groups = list(find_violations(inst, [fd]))
+    >>> len(groups), groups[0].key
+    (1, ('a',))
+    """
+    for fd in fds:
+        groups: dict[tuple[Value, ...], list[Tuple]] = {}
+        for t in instance.relation(fd.relation):
+            key = fd.key_of(t)
+            if key is not None:
+                groups.setdefault(key, []).append(t)
+        for key, tuples in groups.items():
+            value_counts: dict[Value, int] = {}
+            for t in tuples:
+                value = t[fd.rhs]
+                if is_constant(value):
+                    value_counts[value] = value_counts.get(value, 0) + 1
+            if len(value_counts) > 1:
+                yield ViolationGroup(
+                    fd=fd, key=key, tuples=tuples, value_counts=value_counts
+                )
+
+
+def satisfies(instance: Instance, fds: list[FunctionalDependency]) -> bool:
+    """Whether ``instance`` has no certain FD violations."""
+    return not any(find_violations(instance, fds))

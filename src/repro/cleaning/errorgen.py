@@ -1,0 +1,131 @@
+"""BART-style error generation for the data-repair experiment.
+
+The paper's Table 5 setting: start from a clean (gold) instance, inject
+errors that violate the declared FDs, hand the dirty instance to several
+repair systems, and measure how close each repaired solution is to the gold.
+This module plays the role of BART (Arocena et al., PVLDB 2015): it corrupts
+*detectable* cells — RHS values inside FD groups large enough that the
+majority still identifies the original value — so that repair quality, not
+detectability, is what the experiment measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.instance import Instance
+from ..core.tuples import Tuple
+from ..utils.rand import make_rng
+from .constraints import FunctionalDependency
+
+CellKey = tuple[str, str]
+"""Cell address used by the cleaning metrics: ``(tuple id, attribute)``."""
+
+
+@dataclass
+class DirtyDataset:
+    """A corrupted instance plus the record of what was corrupted.
+
+    Attributes
+    ----------
+    clean:
+        The gold instance.
+    dirty:
+        The corrupted instance (same schema and tuple ids as ``clean``).
+    errors:
+        For each corrupted cell: ``(gold value, dirty value)``.
+    """
+
+    clean: Instance
+    dirty: Instance
+    errors: dict[CellKey, tuple[object, object]] = field(default_factory=dict)
+
+    @property
+    def error_cells(self) -> set[CellKey]:
+        """The addresses of all corrupted cells."""
+        return set(self.errors)
+
+
+def inject_errors(
+    clean: Instance,
+    fds: list[FunctionalDependency],
+    error_rate: float = 0.05,
+    seed: int = 0,
+) -> DirtyDataset:
+    """Corrupt ``error_rate`` of the eligible FD right-hand-side cells.
+
+    Eligibility: a cell is corrupted only when its FD group holds at least
+    three tuples and no other cell of the group has been corrupted yet, so
+    a strict in-group majority always still witnesses the gold value.
+    Corruptions alternate between typos (``value + "*err"``) and value swaps
+    (the RHS value of a different group), both of which create certain FD
+    violations.
+
+    Examples
+    --------
+    >>> from repro.core.instance import Instance
+    >>> inst = Instance.from_rows("R", ("K", "V"),
+    ...     [("a", "x")] * 3 + [("b", "y")] * 3)
+    >>> fd = FunctionalDependency("R", ("K",), "V")
+    >>> dirty = inject_errors(inst, [fd], error_rate=0.5, seed=1)
+    >>> all(dirty.dirty.get_tuple(t).values != dirty.clean.get_tuple(t).values
+    ...     for t, _ in dirty.error_cells)
+    True
+    """
+    rng = make_rng(seed)
+    dirty_rows: dict[str, list] = {
+        t.tuple_id: list(t.values) for t in clean.tuples()
+    }
+    errors: dict[CellKey, tuple[object, object]] = {}
+
+    for fd in fds:
+        relation = clean.relation(fd.relation)
+        schema = relation.schema
+        rhs_position = schema.position(fd.rhs)
+        groups: dict[tuple, list[Tuple]] = {}
+        for t in relation:
+            key = fd.key_of(t)
+            if key is not None:
+                groups.setdefault(key, []).append(t)
+
+        eligible_groups = [
+            tuples for tuples in groups.values() if len(tuples) >= 3
+        ]
+        if not eligible_groups:
+            continue
+        other_values = sorted(
+            {str(t[fd.rhs]) for tuples in groups.values() for t in tuples}
+        )
+        budget = round(
+            sum(len(g) for g in eligible_groups) * error_rate
+        )
+        rng.shuffle(eligible_groups)
+        injected_for_fd = 0
+        for index, tuples in enumerate(eligible_groups):
+            if injected_for_fd >= budget:
+                break
+            victim = rng.choice(tuples)
+            cell: CellKey = (victim.tuple_id, fd.rhs)
+            if cell in errors:
+                continue
+            gold_value = victim[fd.rhs]
+            if index % 2 == 0:
+                dirty_value = f"{gold_value}*err"
+            else:
+                candidates = [
+                    v for v in other_values if v != str(gold_value)
+                ]
+                dirty_value = (
+                    rng.choice(candidates)
+                    if candidates
+                    else f"{gold_value}*err"
+                )
+            dirty_rows[victim.tuple_id][rhs_position] = dirty_value
+            errors[cell] = (gold_value, dirty_value)
+            injected_for_fd += 1
+
+    dirty = Instance(clean.schema, name=f"{clean.name}-dirty")
+    for relation in clean.relations():
+        for t in relation:
+            dirty.add(t.with_values(dirty_rows[t.tuple_id]))
+    return DirtyDataset(clean=clean, dirty=dirty, errors=errors)

@@ -1,0 +1,142 @@
+"""Data-cleaning evaluation metrics (Table 5 columns).
+
+Three metrics over a (gold, repaired) instance pair:
+
+* **F1** — the standard repair metric: f-measure restricted to cells that
+  were dirty and/or changed by the system.  A labeled null introduced by the
+  system differs from the gold constant and therefore counts as an error —
+  exactly the F1 weakness Table 5 demonstrates.
+* **F1-instance** — cell accuracy over the whole instance (precision =
+  recall = fraction of cells equal to gold, as both instances have the same
+  cells), which hides the error provenance.
+* **Signature score** — the null-aware instance similarity of this paper,
+  computed by the signature algorithm under the data-repair constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.instance import Instance, prepare_for_comparison
+from ..mappings.constraints import MatchOptions
+from ..algorithms.signature import signature_compare
+from .errorgen import CellKey
+
+
+@dataclass(frozen=True)
+class F1Score:
+    """Precision / recall / F1 triple."""
+
+    precision: float
+    recall: float
+    f1: float
+
+
+def _cell_value(instance: Instance, cell: CellKey):
+    tuple_id, attribute = cell
+    return instance.get_tuple(tuple_id)[attribute]
+
+
+def repair_f1(
+    gold: Instance,
+    repaired: Instance,
+    error_cells: set[CellKey],
+    changed_cells: set[CellKey],
+) -> F1Score:
+    """The standard repair F1 over dirty/changed cells.
+
+    * precision — correctly repaired cells / cells the system changed;
+    * recall — correctly repaired cells / cells that were dirty;
+    * a cell is *correctly repaired* when the repaired value equals the gold
+      value (labeled nulls never equal constants, hence count as wrong).
+
+    Examples
+    --------
+    >>> from repro.core.instance import Instance
+    >>> gold = Instance.from_rows("R", ("V",), [("x",)])
+    >>> good = Instance.from_rows("R", ("V",), [("x",)])
+    >>> repair_f1(gold, good, {("t1", "V")}, {("t1", "V")}).f1
+    1.0
+    """
+    correct_changed = sum(
+        1
+        for cell in changed_cells
+        if _cell_value(repaired, cell) == _cell_value(gold, cell)
+    )
+    correct_dirty = sum(
+        1
+        for cell in error_cells
+        if _cell_value(repaired, cell) == _cell_value(gold, cell)
+    )
+    precision = correct_changed / len(changed_cells) if changed_cells else 1.0
+    recall = correct_dirty / len(error_cells) if error_cells else 1.0
+    if precision + recall == 0.0:
+        return F1Score(precision, recall, 0.0)
+    f1 = 2 * precision * recall / (precision + recall)
+    return F1Score(precision, recall, f1)
+
+
+def instance_f1(gold: Instance, repaired: Instance) -> float:
+    """Cell accuracy over all cells (the paper's "F1 Inst." column).
+
+    Both instances share schema and tuple ids; every cell is compared for
+    exact equality (nulls count as mismatches against constants).
+    """
+    total = 0
+    correct = 0
+    for t in gold.tuples():
+        other = repaired.get_tuple(t.tuple_id)
+        for value, other_value in zip(t.values, other.values):
+            total += 1
+            if value == other_value:
+                correct += 1
+    return correct / total if total else 1.0
+
+
+def signature_score(
+    gold: Instance,
+    repaired: Instance,
+    options: MatchOptions | None = None,
+) -> float:
+    """The paper's null-aware similarity between a repair and the gold.
+
+    Uses the data-repair constraint preset (complete, fully injective
+    matches) with the signature algorithm, after preparing disjoint
+    ids/nulls.
+    """
+    if options is None:
+        options = MatchOptions.data_repair()
+    left, right = prepare_for_comparison(repaired, gold)
+    return signature_compare(left, right, options=options).similarity
+
+
+@dataclass(frozen=True)
+class CleaningEvaluation:
+    """One Table 5 row: a system's three metric values."""
+
+    system: str
+    f1: float
+    f1_instance: float
+    signature: float
+
+
+def evaluate_repair(
+    gold: Instance,
+    repaired: Instance,
+    error_cells: set[CellKey],
+    changed_cells: set[CellKey],
+    system_name: str,
+    lam: float | None = None,
+) -> CleaningEvaluation:
+    """Compute all three Table 5 metrics for one repaired solution."""
+    options = (
+        MatchOptions.data_repair()
+        if lam is None
+        else MatchOptions.data_repair(lam=lam)
+    )
+    return CleaningEvaluation(
+        system=system_name,
+        f1=repair_f1(gold, repaired, error_cells, changed_cells).f1,
+        f1_instance=instance_f1(gold, repaired),
+        signature=signature_score(gold, repaired, options=options),
+    )

@@ -1,0 +1,49 @@
+"""Core relational model: values, schemas, tuples, and instances."""
+
+from .errors import (
+    ChaseError,
+    InstanceError,
+    MappingError,
+    RepairError,
+    ReproError,
+    SchemaError,
+    ScoringError,
+    UnificationConflict,
+)
+from .instance import Instance, RelationInstance, prepare_for_comparison
+from .schema import RelationSchema, Schema
+from .tuples import Cell, Tuple
+from .values import (
+    LabeledNull,
+    NullFactory,
+    Value,
+    constants_in,
+    is_constant,
+    is_null,
+    nulls_in,
+)
+
+__all__ = [
+    "Cell",
+    "ChaseError",
+    "Instance",
+    "InstanceError",
+    "LabeledNull",
+    "MappingError",
+    "NullFactory",
+    "RelationInstance",
+    "RelationSchema",
+    "RepairError",
+    "ReproError",
+    "Schema",
+    "SchemaError",
+    "ScoringError",
+    "Tuple",
+    "UnificationConflict",
+    "Value",
+    "constants_in",
+    "is_constant",
+    "is_null",
+    "nulls_in",
+    "prepare_for_comparison",
+]

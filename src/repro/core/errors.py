@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch every library failure with a single ``except`` clause while still being
+able to distinguish schema problems from matching problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or two schemas are incompatible.
+
+    Raised, for example, when a tuple's arity does not match its relation's
+    arity or when two instances being compared do not share a schema.
+    """
+
+
+class InstanceError(ReproError):
+    """An instance violates a structural invariant.
+
+    Raised, for example, when tuple identifiers collide inside an instance or
+    across two instances being compared.
+    """
+
+
+class MappingError(ReproError):
+    """A value mapping, tuple mapping, or instance match is ill-formed.
+
+    Raised, for example, when a value mapping maps a constant to a different
+    value, or when an instance match declared *complete* maps tuples whose
+    images under the value mappings disagree.
+    """
+
+
+class UnificationConflict(MappingError):
+    """Two distinct constants were forced into the same unification class.
+
+    This signals that a candidate tuple mapping admits no pair of value
+    mappings ``(h_l, h_r)`` making it a complete instance match.
+    """
+
+
+class ScoringError(ReproError):
+    """A similarity score could not be computed.
+
+    Raised, for example, for an out-of-range ``lam`` penalty parameter.
+    """
+
+
+class ChaseError(ReproError):
+    """The data-exchange chase failed (e.g. malformed tgd)."""
+
+
+class RepairError(ReproError):
+    """A data-repair operation failed (e.g. unknown repair system name)."""

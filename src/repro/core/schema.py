@@ -1,0 +1,179 @@
+"""Relational schemas.
+
+A relational schema ``R`` (paper Sec. 2) is a finite set of relation symbols
+``{R_1, ..., R_k}``, each with a fixed arity.  We additionally carry attribute
+*names* because the signature algorithm (Sec. 6.2) encodes signatures
+positionally by attribute name in lexicographic order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from .errors import SchemaError
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Schema of a single relation: a name plus an ordered attribute list.
+
+    Parameters
+    ----------
+    name:
+        Relation symbol, e.g. ``"Conference"``.
+    attributes:
+        Ordered attribute names, e.g. ``("Name", "Year", "Place", "Org")``.
+        Attribute names must be unique within the relation.
+
+    Examples
+    --------
+    >>> conf = RelationSchema("Conference", ("Name", "Year", "Place", "Org"))
+    >>> conf.arity
+    4
+    >>> conf.position("Year")
+    1
+    """
+
+    name: str
+    attributes: tuple[str, ...]
+    _positions: Mapping[str, int] = field(
+        init=False, repr=False, compare=False, hash=False, default=None
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        attrs = tuple(self.attributes)
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"duplicate attributes in relation {self.name!r}: {attrs}")
+        object.__setattr__(self, "attributes", attrs)
+        object.__setattr__(
+            self, "_positions", {attr: idx for idx, attr in enumerate(attrs)}
+        )
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes of this relation."""
+        return len(self.attributes)
+
+    def position(self, attribute: str) -> int:
+        """Return the 0-based position of ``attribute``.
+
+        Raises :class:`SchemaError` if the attribute does not exist.
+        """
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}; "
+                f"attributes are {self.attributes}"
+            ) from None
+
+    def has_attribute(self, attribute: str) -> bool:
+        """Return whether ``attribute`` belongs to this relation."""
+        return attribute in self._positions
+
+    def lexicographic_attributes(self) -> tuple[str, ...]:
+        """Attributes sorted lexicographically (signature ordering, Def. 6.2)."""
+        return tuple(sorted(self.attributes))
+
+    def project(self, attributes: Iterable[str]) -> "RelationSchema":
+        """Return a new schema keeping only ``attributes`` (in original order)."""
+        keep = set(attributes)
+        missing = keep - set(self.attributes)
+        if missing:
+            raise SchemaError(
+                f"cannot project {self.name!r} on unknown attributes {sorted(missing)}"
+            )
+        return RelationSchema(
+            self.name, tuple(a for a in self.attributes if a in keep)
+        )
+
+    def extend(self, new_attributes: Iterable[str]) -> "RelationSchema":
+        """Return a schema with ``new_attributes`` appended.
+
+        Used for schema alignment (paper Sec. 4.3): when comparing instances
+        with different schemas the narrower one is padded with null columns.
+        """
+        return RelationSchema(self.name, self.attributes + tuple(new_attributes))
+
+
+class Schema:
+    """A multi-relation schema: an ordered collection of :class:`RelationSchema`.
+
+    Examples
+    --------
+    >>> schema = Schema([
+    ...     RelationSchema("Conference", ("Name", "Year")),
+    ...     RelationSchema("Paper", ("Title", "ConfName")),
+    ... ])
+    >>> sorted(schema.relation_names())
+    ['Conference', 'Paper']
+    """
+
+    def __init__(self, relations: Iterable[RelationSchema]) -> None:
+        self._relations: dict[str, RelationSchema] = {}
+        for relation in relations:
+            if relation.name in self._relations:
+                raise SchemaError(f"duplicate relation name {relation.name!r}")
+            self._relations[relation.name] = relation
+
+    @classmethod
+    def single(cls, name: str, attributes: Iterable[str]) -> "Schema":
+        """Convenience constructor for a one-relation schema."""
+        return cls([RelationSchema(name, tuple(attributes))])
+
+    def relation(self, name: str) -> RelationSchema:
+        """Return the relation schema called ``name``."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(
+                f"schema has no relation {name!r}; relations are "
+                f"{sorted(self._relations)}"
+            ) from None
+
+    def relation_names(self) -> tuple[str, ...]:
+        """Relation names in insertion order."""
+        return tuple(self._relations)
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __hash__(self) -> int:  # pragma: no cover - schemas rarely hashed
+        return hash(tuple(sorted(self._relations.items(), key=lambda kv: kv[0])))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{r.name}({', '.join(r.attributes)})" for r in self._relations.values()
+        )
+        return f"Schema[{parts}]"
+
+    def total_arity(self) -> int:
+        """Sum of the arities of all relations."""
+        return sum(relation.arity for relation in self)
+
+    def is_compatible_with(self, other: "Schema") -> bool:
+        """Whether two schemas describe the same relations and attributes.
+
+        Instance comparison (Def. 3.2) assumes both instances share a schema;
+        this predicate is the check :func:`repro.compare` performs up front.
+        """
+        if set(self.relation_names()) != set(other.relation_names()):
+            return False
+        return all(
+            self.relation(name).attributes == other.relation(name).attributes
+            for name in self.relation_names()
+        )

@@ -1,0 +1,168 @@
+"""Tuples and cells.
+
+A tuple (paper Sec. 2) is a sequence of values over the attributes of one
+relation, carrying a unique *tuple identifier*.  Identifiers are **not**
+semantic keys — they only let the library reference tuples, address cells
+(``t_id.A``), and report tuple mappings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from .errors import SchemaError
+from .schema import RelationSchema
+from .values import LabeledNull, Value, is_constant, is_null
+
+
+@dataclass(frozen=True)
+class Cell:
+    """Address of a cell: tuple identifier, relation, and attribute.
+
+    A cell is a *location* in an instance (paper Sec. 2: ``t_id.A_i``), not a
+    value.  Cells are the unit of accounting for the data-cleaning metrics
+    (Table 5) and for the perturbation framework (Tables 2–3).
+    """
+
+    tuple_id: str
+    relation: str
+    attribute: str
+
+    def __repr__(self) -> str:
+        return f"{self.tuple_id}.{self.attribute}"
+
+
+class Tuple:
+    """An immutable tuple with a unique identifier.
+
+    Parameters
+    ----------
+    tuple_id:
+        Unique identifier within an instance (and across two instances being
+        compared; :class:`repro.core.instance.Instance` enforces this).
+    relation:
+        Schema of the relation this tuple belongs to.
+    values:
+        The cell values, positionally aligned with ``relation.attributes``.
+
+    Examples
+    --------
+    >>> from repro.core.values import LabeledNull
+    >>> schema = RelationSchema("Conf", ("Name", "Year"))
+    >>> t = Tuple("t1", schema, ("VLDB", LabeledNull("N1")))
+    >>> t["Name"]
+    'VLDB'
+    >>> t.null_attributes()
+    ('Year',)
+    """
+
+    __slots__ = ("tuple_id", "relation", "values", "_hash")
+
+    def __init__(
+        self, tuple_id: str, relation: RelationSchema, values: Sequence[Value]
+    ) -> None:
+        values = tuple(values)
+        if len(values) != relation.arity:
+            raise SchemaError(
+                f"tuple {tuple_id!r} has {len(values)} values but relation "
+                f"{relation.name!r} has arity {relation.arity}"
+            )
+        self.tuple_id = str(tuple_id)
+        self.relation = relation
+        self.values = values
+        self._hash = hash((self.tuple_id, relation.name, values))
+
+    # -- value access -----------------------------------------------------
+
+    def __getitem__(self, attribute: str) -> Value:
+        return self.values[self.relation.position(attribute)]
+
+    def value_at(self, position: int) -> Value:
+        """Return the value at 0-based ``position``."""
+        return self.values[position]
+
+    def items(self) -> Iterator[tuple[str, Value]]:
+        """Yield ``(attribute, value)`` pairs in schema order."""
+        return zip(self.relation.attributes, self.values)
+
+    def cells(self) -> Iterator[tuple[Cell, Value]]:
+        """Yield ``(cell, value)`` pairs in schema order."""
+        for attribute, value in self.items():
+            yield Cell(self.tuple_id, self.relation.name, attribute), value
+
+    # -- null / constant structure ----------------------------------------
+
+    def null_attributes(self) -> tuple[str, ...]:
+        """Attributes whose value is a labeled null."""
+        return tuple(a for a, v in self.items() if is_null(v))
+
+    def constant_attributes(self) -> tuple[str, ...]:
+        """Attributes whose value is a constant (``A_ground`` in Alg. 4)."""
+        return tuple(a for a, v in self.items() if is_constant(v))
+
+    def nulls(self) -> tuple[LabeledNull, ...]:
+        """The labeled nulls appearing in this tuple (with repetitions)."""
+        return tuple(v for v in self.values if is_null(v))
+
+    def constants(self) -> tuple[Value, ...]:
+        """The constants appearing in this tuple (with repetitions)."""
+        return tuple(v for v in self.values if is_constant(v))
+
+    def is_ground(self) -> bool:
+        """Whether the tuple contains no nulls."""
+        return not any(is_null(v) for v in self.values)
+
+    def constant_count(self) -> int:
+        """Number of constant-valued cells (used to order greedy matching)."""
+        return sum(1 for v in self.values if is_constant(v))
+
+    # -- derivation ---------------------------------------------------------
+
+    def with_values(self, values: Sequence[Value]) -> "Tuple":
+        """Return a tuple with the same id/relation but new ``values``."""
+        return Tuple(self.tuple_id, self.relation, values)
+
+    def with_id(self, tuple_id: str) -> "Tuple":
+        """Return a tuple with the same relation/values but a new id."""
+        return Tuple(tuple_id, self.relation, self.values)
+
+    def substituted(self, mapping: Mapping[Value, Value]) -> "Tuple":
+        """Apply a value substitution to every cell.
+
+        Values absent from ``mapping`` are kept unchanged.  This is the
+        workhorse behind applying value mappings and null renamings.
+        """
+        return self.with_values(tuple(mapping.get(v, v) for v in self.values))
+
+    def content(self) -> tuple[str, tuple[Value, ...]]:
+        """Identity-free content: ``(relation name, values)``.
+
+        Two tuples with equal content are equal *as facts* regardless of
+        their identifiers — the notion the symmetric difference (Sec. 3)
+        and the ground PTIME algorithm operate on.
+        """
+        return (self.relation.name, self.values)
+
+    # -- dunder -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tuple):
+            return NotImplemented
+        return (
+            self.tuple_id == other.tuple_id
+            and self.relation.name == other.relation.name
+            and self.values == other.values
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(
+            f"{a}={v.label if is_null(v) else v!r}" for a, v in self.items()
+        )
+        return f"<{self.tuple_id}: {self.relation.name}({rendered})>"
+
+    def __len__(self) -> int:
+        return len(self.values)

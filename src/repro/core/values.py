@@ -1,0 +1,154 @@
+"""Value domain for instances with labeled nulls.
+
+The paper (Sec. 2) assumes two countably infinite, disjoint domains:
+
+* ``Consts`` — ordinary constants.  We represent constants with plain Python
+  values (strings, ints, floats, ...), i.e. anything hashable that is not a
+  :class:`LabeledNull`.
+* ``Vars`` — labeled nulls ``N0, N1, ...``.  We represent these with the
+  dedicated :class:`LabeledNull` type.
+
+Two labeled nulls are equal iff they carry the same label; the *identity* of a
+label has no semantics beyond equality within one instance (renaming nulls
+yields an isomorphic instance).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Hashable, Iterable, Iterator
+
+Value = Hashable
+"""Type alias for a cell value: a constant or a :class:`LabeledNull`."""
+
+
+class LabeledNull:
+    """A labeled null (a member of ``Vars``).
+
+    Parameters
+    ----------
+    label:
+        The null's label, e.g. ``"N1"``.  Labels are compared with ``==``;
+        nulls with equal labels denote the same unknown value *within one
+        instance*.
+
+    Examples
+    --------
+    >>> LabeledNull("N1") == LabeledNull("N1")
+    True
+    >>> LabeledNull("N1") == LabeledNull("N2")
+    False
+    >>> LabeledNull("N1") == "N1"
+    False
+    """
+
+    __slots__ = ("label", "_hash")
+
+    def __init__(self, label: str) -> None:
+        if not isinstance(label, str) or not label:
+            raise ValueError(f"null label must be a non-empty string, got {label!r}")
+        self.label = label
+        self._hash = hash(("repro.LabeledNull", label))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LabeledNull):
+            return self.label == other.label
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, LabeledNull):
+            return self.label != other.label
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Null({self.label})"
+
+    def renamed(self, new_label: str) -> "LabeledNull":
+        """Return a null with ``new_label`` (used by renaming utilities)."""
+        return LabeledNull(new_label)
+
+
+def is_null(value: Any) -> bool:
+    """Return ``True`` iff ``value`` is a labeled null (member of ``Vars``)."""
+    return isinstance(value, LabeledNull)
+
+
+def is_constant(value: Any) -> bool:
+    """Return ``True`` iff ``value`` is a constant (member of ``Consts``)."""
+    return not isinstance(value, LabeledNull)
+
+
+class NullFactory:
+    """Factory producing fresh labeled nulls with a common prefix.
+
+    The factory guarantees that labels it hands out never repeat, which is how
+    the library maintains the paper's assumption ``Vars(I) ∩ Vars(I') = ∅``
+    when it invents nulls (chase, perturbation, schema padding).
+
+    The factory is thread-safe; the chase and the perturbation framework may
+    share one.
+
+    Examples
+    --------
+    >>> fresh = NullFactory(prefix="N")
+    >>> fresh(), fresh()
+    (Null(N0), Null(N1))
+    """
+
+    def __init__(self, prefix: str = "N", start: int = 0) -> None:
+        self.prefix = prefix
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+
+    def __call__(self) -> LabeledNull:
+        """Return a labeled null with a never-before-issued label."""
+        with self._lock:
+            index = next(self._counter)
+        return LabeledNull(f"{self.prefix}{index}")
+
+    def many(self, count: int) -> list[LabeledNull]:
+        """Return ``count`` fresh nulls."""
+        return [self() for _ in range(count)]
+
+
+def nulls_in(values: Iterable[Value]) -> Iterator[LabeledNull]:
+    """Yield the labeled nulls among ``values`` (with repetitions)."""
+    for value in values:
+        if isinstance(value, LabeledNull):
+            yield value
+
+
+def constants_in(values: Iterable[Value]) -> Iterator[Value]:
+    """Yield the constants among ``values`` (with repetitions)."""
+    for value in values:
+        if not isinstance(value, LabeledNull):
+            yield value
+
+
+def rename_disjoint(
+    values: Iterable[Value], taken_labels: set[str], prefix: str = "R"
+) -> dict[LabeledNull, LabeledNull]:
+    """Build a renaming of the nulls in ``values`` away from ``taken_labels``.
+
+    Returns a dictionary mapping each null whose label collides with
+    ``taken_labels`` to a fresh null whose label is outside both
+    ``taken_labels`` and the labels already used by ``values``.
+
+    This implements the paper's remark that nulls can always be renamed to
+    make two instances var-disjoint without changing their semantics.
+    """
+    own_labels = {v.label for v in values if isinstance(v, LabeledNull)}
+    renaming: dict[LabeledNull, LabeledNull] = {}
+    counter = itertools.count()
+    for label in sorted(own_labels & taken_labels):
+        while True:
+            candidate = f"{prefix}{next(counter)}"
+            if candidate not in taken_labels and candidate not in own_labels:
+                break
+        renaming[LabeledNull(label)] = LabeledNull(candidate)
+        own_labels.add(candidate)
+    return renaming

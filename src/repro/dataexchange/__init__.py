@@ -1,0 +1,38 @@
+"""Data-exchange substrate: tgds, the chase, and the Table 6 scenario."""
+
+from .chase import (
+    SKOLEM_SCOPE_BODY,
+    SKOLEM_SCOPE_HEAD,
+    SkolemFactory,
+    chase,
+)
+from .scenarios import (
+    SOURCE_SCHEMA,
+    TARGET_SCHEMA,
+    ExchangeScenario,
+    generate_exchange_scenario,
+    generate_source,
+    masked_content_multiset,
+    missing_rows,
+    row_score,
+)
+from .tgds import TGD, Atom, Var, mapping_labels_unique
+
+__all__ = [
+    "Atom",
+    "ExchangeScenario",
+    "SKOLEM_SCOPE_BODY",
+    "SKOLEM_SCOPE_HEAD",
+    "SOURCE_SCHEMA",
+    "SkolemFactory",
+    "TARGET_SCHEMA",
+    "TGD",
+    "Var",
+    "chase",
+    "generate_exchange_scenario",
+    "generate_source",
+    "mapping_labels_unique",
+    "masked_content_multiset",
+    "missing_rows",
+    "row_score",
+]

@@ -1,0 +1,187 @@
+"""The naive chase for source-to-target tgds.
+
+Given a source instance and a schema mapping (a set of s-t tgds), the chase
+materializes a canonical *universal solution*: for every homomorphic match of
+a tgd body in the source, the head atoms are instantiated, with existential
+variables replaced by Skolem-derived labeled nulls.
+
+The Skolem *scope* controls how nulls are shared across firings:
+
+* ``"head"`` — the null for existential ``y`` is keyed by the universal
+  variables that co-occur with ``y``'s atoms in the head.  This merges
+  logically-identical existentials and produces compact (often core)
+  solutions.
+* ``"body"`` — keyed by the full body binding: every distinct source binding
+  gets its own nulls, yielding the redundant canonical solution that the
+  Table 6 user mappings (U1/U2) exhibit.
+
+Target tuples are deduplicated by content (set semantics).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ..core.errors import ChaseError
+from ..core.instance import Instance
+from ..core.schema import Schema
+from ..core.values import LabeledNull, Value
+from .tgds import TGD, Atom, Var, mapping_labels_unique
+
+SKOLEM_SCOPE_HEAD = "head"
+SKOLEM_SCOPE_BODY = "body"
+
+
+class SkolemFactory:
+    """Memoized Skolem nulls: one null per (tgd, variable, key values)."""
+
+    def __init__(self, prefix: str = "Sk") -> None:
+        self._memo: dict[tuple, LabeledNull] = {}
+        self._counter = itertools.count()
+        self.prefix = prefix
+
+    def null_for(self, tgd_label: str, var_name: str, key: tuple) -> LabeledNull:
+        """The null for Skolem term ``f_{tgd,var}(key)`` (memoized)."""
+        memo_key = (tgd_label, var_name, key)
+        if memo_key not in self._memo:
+            self._memo[memo_key] = LabeledNull(
+                f"{self.prefix}{next(self._counter)}"
+            )
+        return self._memo[memo_key]
+
+
+def _match_body(
+    source: Instance, atoms: tuple[Atom, ...]
+) -> Iterator[dict[Var, Value]]:
+    """Enumerate all homomorphic matches of the body in the source.
+
+    Straightforward backtracking join: atoms are matched left to right, each
+    against the tuples of its relation, extending the binding.
+    """
+
+    def extend(index: int, binding: dict[Var, Value]) -> Iterator[dict[Var, Value]]:
+        if index == len(atoms):
+            yield dict(binding)
+            return
+        atom = atoms[index]
+        relation = source.relation(atom.relation)
+        arity = relation.schema.arity
+        if len(atom.terms) != arity:
+            raise ChaseError(
+                f"atom {atom!r} arity mismatch with relation "
+                f"{atom.relation!r} (arity {arity})"
+            )
+        for t in relation:
+            added: list[Var] = []
+            ok = True
+            for term, value in zip(atom.terms, t.values):
+                if isinstance(term, Var):
+                    bound = binding.get(term)
+                    if bound is None:
+                        binding[term] = value
+                        added.append(term)
+                    elif bound != value:
+                        ok = False
+                        break
+                elif term != value:
+                    ok = False
+                    break
+            if ok:
+                yield from extend(index + 1, binding)
+            for var in added:
+                del binding[var]
+
+    yield from extend(0, {})
+
+
+def _skolem_key(
+    tgd: TGD, var: Var, binding: dict[Var, Value], scope: str
+) -> tuple:
+    if scope == SKOLEM_SCOPE_BODY:
+        universals = sorted(tgd.universal_variables(), key=lambda v: v.name)
+        return tuple(binding[v] for v in universals)
+    # head scope: universal variables co-occurring with `var` in head atoms.
+    co_vars: set[Var] = set()
+    for atom in tgd.head:
+        if var in atom.variables():
+            co_vars |= atom.variables()
+    universals = sorted(
+        co_vars & tgd.universal_variables(), key=lambda v: v.name
+    )
+    return tuple(binding[v] for v in universals)
+
+
+def chase(
+    source: Instance,
+    tgds: list[TGD],
+    target_schema: Schema,
+    skolem_scope: str = SKOLEM_SCOPE_HEAD,
+    name: str = "J",
+    id_prefix: str = "j",
+) -> Instance:
+    """Chase ``source`` with the mapping and return the target instance.
+
+    Examples
+    --------
+    >>> from repro.core.instance import Instance
+    >>> from repro.core.schema import Schema
+    >>> from repro.dataexchange.tgds import Atom, TGD, Var
+    >>> src = Instance.from_rows("D", ("Name", "Hosp"), [("ann", "h1")])
+    >>> n, h, e = Var("n"), Var("h"), Var("e")
+    >>> tgd = TGD("m1", (Atom("D", (n, h)),),
+    ...           (Atom("W", (n, e)), Atom("H", (e, h))))
+    >>> from repro.core.schema import RelationSchema
+    >>> target = Schema([RelationSchema("W", ("Name", "HId")),
+    ...                  RelationSchema("H", ("HId", "Hosp"))])
+    >>> result = chase(src, [tgd], target)
+    >>> len(result)
+    2
+    """
+    mapping_labels_unique(tgds)
+    if skolem_scope not in (SKOLEM_SCOPE_HEAD, SKOLEM_SCOPE_BODY):
+        raise ChaseError(f"unknown skolem scope {skolem_scope!r}")
+    skolems = SkolemFactory()
+    target = Instance(target_schema, name=name)
+    seen_contents: set[tuple] = set()
+    tuple_counter = itertools.count(1)
+
+    for tgd in tgds:
+        existentials = tgd.existential_variables()
+        scope = tgd.skolem_scope or skolem_scope
+        if scope not in (SKOLEM_SCOPE_HEAD, SKOLEM_SCOPE_BODY):
+            raise ChaseError(
+                f"unknown skolem scope {scope!r} on tgd {tgd.label!r}"
+            )
+        for binding in _match_body(source, tgd.body):
+            null_binding: dict[Var, LabeledNull] = {
+                var: skolems.null_for(
+                    tgd.label, var.name, _skolem_key(tgd, var, binding, scope)
+                )
+                for var in existentials
+            }
+            for atom in tgd.head:
+                values: list[Value] = []
+                for term in atom.terms:
+                    if isinstance(term, Var):
+                        if term in binding:
+                            values.append(binding[term])
+                        elif term in null_binding:
+                            values.append(null_binding[term])
+                        else:
+                            raise ChaseError(
+                                f"unbound variable {term!r} in head of "
+                                f"{tgd.label!r}"
+                            )
+                    else:
+                        values.append(term)
+                content = (atom.relation, tuple(values))
+                if content in seen_contents:
+                    continue
+                seen_contents.add(content)
+                target.add_row(
+                    atom.relation,
+                    f"{id_prefix}{next(tuple_counter)}",
+                    values,
+                )
+    return target

@@ -1,0 +1,217 @@
+"""The Doctors data-exchange scenario of Table 6.
+
+Source schema: ``Doctor(Name, Spec, Hospital, City)`` plus a staging table
+``Person`` with the same shape but a disjoint vocabulary (the table the
+*wrong* mapping reads).  Target schema: a vertical partition
+``DoctorInfo(Name, Spec, HId)`` / ``HospitalInfo(HId, Hospital, City)`` with
+an existential hospital identifier — the classic surrogate-key exchange of
+the paper's Fig. 4.
+
+Four mappings are compared against the **core gold solution**:
+
+* **gold** — the correct mapping chased with Skolemized existentials; the
+  shared surrogate ``HId`` is pinned by each doctor's name, so the chase
+  result *is* the core (verified by ``compute_core`` in the tests).
+* **U1** — the correct mapping plus two redundant tgds re-deriving
+  ``DoctorInfo`` and ``HospitalInfo`` separately with per-row existentials:
+  a heavily redundant universal solution (≈ 2× the core size, matching the
+  paper's U1/gold ratio of ~0.6).
+* **U2** — the correct mapping plus only the redundant ``HospitalInfo``
+  tgd — a mildly redundant universal solution (paper ratio ~0.8).
+* **wrong (W)** — the gold tgd applied to the ``Person`` table: same
+  cardinality profile as the gold, but every constant is alien to the core —
+  a non-universal solution that row-count metrics cannot distinguish from a
+  perfect one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.instance import Instance
+from ..core.schema import RelationSchema, Schema
+from ..utils.rand import make_rng, zipf_index
+from .chase import SKOLEM_SCOPE_BODY, SKOLEM_SCOPE_HEAD, chase
+from .tgds import TGD, Atom, Var
+
+SOURCE_SCHEMA = Schema(
+    [
+        RelationSchema("Doctor", ("Name", "Spec", "Hospital", "City")),
+        RelationSchema("Person", ("Name", "Spec", "Hospital", "City")),
+    ]
+)
+
+TARGET_SCHEMA = Schema(
+    [
+        RelationSchema("DoctorInfo", ("Name", "Spec", "HId")),
+        RelationSchema("HospitalInfo", ("HId", "Hospital", "City")),
+    ]
+)
+
+
+def _doctor_tgd(label: str, relation: str) -> TGD:
+    n, s, h, c, e = Var("n"), Var("s"), Var("h"), Var("c"), Var("e")
+    return TGD(
+        label,
+        body=(Atom(relation, (n, s, h, c)),),
+        head=(
+            Atom("DoctorInfo", (n, s, e)),
+            Atom("HospitalInfo", (e, h, c)),
+        ),
+    )
+
+
+def _redundant_doctorinfo_tgd(label: str) -> TGD:
+    n, s, h, c, e2 = Var("n"), Var("s"), Var("h"), Var("c"), Var("e2")
+    return TGD(
+        label,
+        body=(Atom("Doctor", (n, s, h, c)),),
+        head=(Atom("DoctorInfo", (n, s, e2)),),
+        skolem_scope="body",
+    )
+
+
+def _redundant_hospitalinfo_tgd(label: str) -> TGD:
+    n, s, h, c, e3 = Var("n"), Var("s"), Var("h"), Var("c"), Var("e3")
+    return TGD(
+        label,
+        body=(Atom("Doctor", (n, s, h, c)),),
+        head=(Atom("HospitalInfo", (e3, h, c)),),
+        skolem_scope="body",
+    )
+
+
+@dataclass
+class ExchangeScenario:
+    """A generated Table 6 scenario: source plus the four target solutions."""
+
+    source: Instance
+    gold: Instance
+    u1: Instance
+    u2: Instance
+    wrong: Instance
+
+    def solutions(self) -> dict[str, Instance]:
+        """The three evaluated solutions keyed by their Table 6 names."""
+        return {"W": self.wrong, "U1": self.u1, "U2": self.u2}
+
+
+def generate_source(
+    doctors: int, seed: int = 0, hospitals: int | None = None
+) -> Instance:
+    """A random Doctors source with a same-shape disjoint Person table."""
+    rng = make_rng(seed)
+    hospitals = hospitals if hospitals is not None else max(1, doctors // 10)
+    source = Instance(SOURCE_SCHEMA, name="source")
+    for relation, prefix in (("Doctor", "doc"), ("Person", "per")):
+        for index in range(doctors):
+            hospital = zipf_index(rng, hospitals, skew=1.3)
+            source.add_row(
+                relation,
+                f"{prefix}{index}",
+                (
+                    f"{prefix}_name{index}",
+                    f"{prefix}_spec{rng.randrange(25)}",
+                    f"{prefix}_hosp{hospital}",
+                    f"{prefix}_city{hospital % max(1, hospitals // 2)}",
+                ),
+            )
+    return source
+
+
+def generate_exchange_scenario(
+    doctors: int = 200, seed: int = 0
+) -> ExchangeScenario:
+    """Chase all four Table 6 mappings over one random source.
+
+    Examples
+    --------
+    >>> scenario = generate_exchange_scenario(doctors=20, seed=1)
+    >>> len(scenario.u1) > len(scenario.gold)
+    True
+    """
+    source = generate_source(doctors, seed=seed)
+    gold_tgd = _doctor_tgd("gold", "Doctor")
+    wrong_tgd = _doctor_tgd("wrong", "Person")
+
+    gold = chase(
+        source, [gold_tgd], TARGET_SCHEMA,
+        skolem_scope=SKOLEM_SCOPE_HEAD, name="gold", id_prefix="g",
+    )
+    u1 = chase(
+        source,
+        [
+            gold_tgd,
+            _redundant_doctorinfo_tgd("extra_doc"),
+            _redundant_hospitalinfo_tgd("extra_hosp"),
+        ],
+        TARGET_SCHEMA,
+        skolem_scope=SKOLEM_SCOPE_HEAD,
+        name="U1",
+        id_prefix="a",
+    )
+    u2 = chase(
+        source,
+        [gold_tgd, _redundant_hospitalinfo_tgd("extra_hosp")],
+        TARGET_SCHEMA,
+        skolem_scope=SKOLEM_SCOPE_HEAD,
+        name="U2",
+        id_prefix="b",
+    )
+    wrong = chase(
+        source, [wrong_tgd], TARGET_SCHEMA,
+        skolem_scope=SKOLEM_SCOPE_HEAD, name="W", id_prefix="w",
+    )
+    return ExchangeScenario(
+        source=source, gold=gold, u1=u1, u2=u2, wrong=wrong
+    )
+
+
+def masked_content_multiset(instance: Instance):
+    """Tuple contents with nulls masked to ``*`` (row-level comparison).
+
+    Two tuples that differ only in null labels/identities collapse to the
+    same masked content — the granularity at which the Table 6 "Missing
+    Rows" baseline counts.
+    """
+    from collections import Counter
+
+    from ..core.values import is_null
+
+    return Counter(
+        (
+            t.relation.name,
+            tuple("*" if is_null(v) else v for v in t.values),
+        )
+        for t in instance.tuples()
+    )
+
+
+def missing_rows(solution: Instance, gold: Instance) -> int:
+    """Rows of ``solution`` whose masked content never occurs in the gold.
+
+    Redundant duplicates of gold rows (differing only in their nulls) are
+    *not* missing — they fold onto gold rows homomorphically.  A row counts
+    as missing only when no gold row shares its constant pattern, which is
+    what happens when a mapping read the wrong source data.
+    """
+    gold_contents = set(masked_content_multiset(gold))
+    missing = 0
+    for content, count in masked_content_multiset(solution).items():
+        if content not in gold_contents:
+            missing += count
+    return missing
+
+
+def row_score(solution: Instance, gold: Instance) -> float:
+    """The Table 6 baseline: the row-count ratio ``min/max``.
+
+    This metric is deliberately naive — it is blind to *which* rows were
+    produced, which is exactly the failure mode the wrong mapping exposes.
+    """
+    a, b = len(solution), len(gold)
+    if a == 0 and b == 0:
+        return 1.0
+    if max(a, b) == 0:
+        return 0.0
+    return min(a, b) / max(a, b)

@@ -1,0 +1,103 @@
+"""Source-to-target tuple-generating dependencies (s-t tgds).
+
+A tgd ``∀x̄ φ(x̄) → ∃ȳ ψ(x̄, ȳ)`` relates a source schema to a target schema
+(Fagin et al., "Data Exchange: Semantics and Query Answering").  Atoms use
+:class:`Var` terms and constants; variables occurring only in the head are
+existential and materialize as labeled nulls during the chase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..core.errors import ChaseError
+
+
+@dataclass(frozen=True)
+class Var:
+    """A tgd variable, identified by name."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+Term = Union[Var, object]
+"""An atom argument: a variable or a constant."""
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A relational atom ``R(t_1, ..., t_n)``."""
+
+    relation: str
+    terms: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", tuple(self.terms))
+
+    def variables(self) -> set[Var]:
+        """Variables appearing in this atom."""
+        return {t for t in self.terms if isinstance(t, Var)}
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({rendered})"
+
+
+@dataclass(frozen=True)
+class TGD:
+    """A source-to-target tgd: ``body → head``.
+
+    Attributes
+    ----------
+    label:
+        Name used for Skolem functions and reports; labels must be unique
+        within a mapping.
+    body, head:
+        Conjunctions of atoms over the source / target schema.
+    skolem_scope:
+        Optional per-tgd override of the chase's Skolemization scope
+        (``"head"`` or ``"body"``); ``None`` inherits the chase-level
+        setting.  Mixing scopes is how user mappings with different
+        Skolemization strategies (paper Sec. 7.2) are modelled.
+    """
+
+    label: str
+    body: tuple[Atom, ...]
+    head: tuple[Atom, ...]
+    skolem_scope: str | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        object.__setattr__(self, "head", tuple(self.head))
+        if not self.body or not self.head:
+            raise ChaseError(f"tgd {self.label!r} needs body and head atoms")
+
+    def universal_variables(self) -> set[Var]:
+        """Variables bound by the body (∀-quantified)."""
+        variables: set[Var] = set()
+        for atom in self.body:
+            variables |= atom.variables()
+        return variables
+
+    def existential_variables(self) -> set[Var]:
+        """Head-only variables (∃-quantified — become labeled nulls)."""
+        head_vars: set[Var] = set()
+        for atom in self.head:
+            head_vars |= atom.variables()
+        return head_vars - self.universal_variables()
+
+    def __repr__(self) -> str:
+        body = " ∧ ".join(repr(a) for a in self.body)
+        head = " ∧ ".join(repr(a) for a in self.head)
+        return f"[{self.label}] {body} → {head}"
+
+
+def mapping_labels_unique(tgds: list[TGD]) -> None:
+    """Validate that a schema mapping has unique tgd labels."""
+    labels = [tgd.label for tgd in tgds]
+    if len(set(labels)) != len(labels):
+        raise ChaseError(f"duplicate tgd labels in mapping: {labels}")

@@ -1,0 +1,23 @@
+"""Synthetic datasets and gold-mapping-tracked perturbations (Sec. 7.1)."""
+
+from .perturb import PerturbationConfig, PerturbationScenario, perturb
+from .synthetic import (
+    PROFILES,
+    ColumnSpec,
+    DatasetProfile,
+    dataset_statistics,
+    generate_dataset,
+    profile,
+)
+
+__all__ = [
+    "PROFILES",
+    "ColumnSpec",
+    "DatasetProfile",
+    "PerturbationConfig",
+    "PerturbationScenario",
+    "dataset_statistics",
+    "generate_dataset",
+    "perturb",
+    "profile",
+]

@@ -1,0 +1,321 @@
+"""Synthetic dataset generators matching the paper's Table 1 profiles.
+
+The paper evaluates on six datasets: Doctors (synthetic), Bikeshare, GitHub,
+Bus, Iris, and NBA.  The real CSV downloads are not redistributable here, so
+each dataset is replaced by a seeded generator that reproduces the
+statistics the algorithms are sensitive to (Table 1): row count, arity, and
+the distinct-value profile per column (unique identifiers vs. skewed
+categorical domains).  See DESIGN.md ("Substitutions") for why this
+preserves the experimental behaviour: the comparison algorithms only observe
+(constant, null) patterns and value collisions.
+
+Each profile lists per-column specs; generation is O(rows · arity) and fully
+deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.instance import Instance
+from ..utils.rand import make_rng, zipf_index
+
+KIND_UNIQUE = "unique"
+KIND_CATEGORICAL = "categorical"
+KIND_NUMERIC = "numeric"
+KIND_DERIVED = "derived"
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Specification of one generated column.
+
+    Attributes
+    ----------
+    name:
+        Attribute name.
+    kind:
+        ``"unique"`` (one distinct value per row, like an id or timestamp),
+        ``"categorical"`` (a skewed domain of ``domain`` values),
+        ``"numeric"`` (integers in ``[0, domain)``), or ``"derived"`` (a
+        value functionally determined by the ``source`` column — this is how
+        profiles encode the functional dependencies the cleaning experiment
+        relies on, e.g. ``RouteId → RouteName``).
+    domain:
+        Domain size for categorical/numeric columns; ignored otherwise.
+    skew:
+        Skew exponent for categorical sampling (0 = uniform; larger =
+        more concentrated on early domain values).
+    source:
+        For derived columns: the determining column's name (must appear
+        earlier in the profile).
+    """
+
+    name: str
+    kind: str
+    domain: int = 0
+    skew: float = 0.0
+    source: str = ""
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """A dataset profile: name, default size, and column specs."""
+
+    name: str
+    relation: str
+    default_rows: int
+    columns: tuple[ColumnSpec, ...]
+
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    def attribute_names(self) -> tuple[str, ...]:
+        """The attribute names in column order."""
+        return tuple(column.name for column in self.columns)
+
+    def functional_dependencies(self):
+        """The FDs the profile guarantees (from its derived columns).
+
+        Returns :class:`repro.cleaning.FunctionalDependency` objects; these
+        are the constraints the Table 5 cleaning experiment declares.
+        """
+        from ..cleaning.constraints import FunctionalDependency
+
+        return [
+            FunctionalDependency(self.relation, (column.source,), column.name)
+            for column in self.columns
+            if column.kind == KIND_DERIVED
+        ]
+
+
+def _cat(name: str, domain: int, skew: float = 0.8) -> ColumnSpec:
+    return ColumnSpec(name, KIND_CATEGORICAL, domain=domain, skew=skew)
+
+
+def _uniq(name: str) -> ColumnSpec:
+    return ColumnSpec(name, KIND_UNIQUE)
+
+
+def _num(name: str, domain: int) -> ColumnSpec:
+    return ColumnSpec(name, KIND_NUMERIC, domain=domain)
+
+
+def _derived(name: str, source: str) -> ColumnSpec:
+    return ColumnSpec(name, KIND_DERIVED, source=source)
+
+
+#: The six dataset profiles of Table 1.  Rows / arity match the paper;
+#: distinct-value counts approximate the reported ``#Distinct val.``.
+PROFILES: dict[str, DatasetProfile] = {
+    # Doctors: 20000 rows, 5 attrs, ~44600 distinct (name/npi high card).
+    "doct": DatasetProfile(
+        "doct",
+        "Doctor",
+        20000,
+        (
+            _uniq("Name"),
+            _cat("Spec", 60, skew=0.7),
+            _cat("Hospital", 12000, skew=0.5),
+            _cat("City", 12000, skew=0.5),
+            _cat("County", 600, skew=0.7),
+        ),
+    ),
+    # Bikeshare: 10000 rows, 9 attrs, ~23974 distinct.
+    "bike": DatasetProfile(
+        "bike",
+        "Bikeshare",
+        10000,
+        (
+            _num("Duration", 6000),
+            _uniq("StartDate"),
+            _cat("EndDate", 8000, skew=0.2),
+            _cat("StartStationId", 500, skew=0.8),
+            _derived("StartStation", "StartStationId"),
+            _cat("EndStationId", 500, skew=0.8),
+            _derived("EndStation", "EndStationId"),
+            _cat("BikeNumber", 1200, skew=0.4),
+            _cat("MemberType", 2, skew=0.0),
+        ),
+    ),
+    # GitHub: 10000 rows, 19 attrs, ~39142 distinct.
+    "git": DatasetProfile(
+        "git",
+        "GitRepo",
+        10000,
+        (
+            _uniq("RepoUrl"),
+            _uniq("CommitSha"),
+            _cat("Owner", 6000, skew=0.3),
+            _cat("AuthorEmail", 6000, skew=0.3),
+            _cat("AuthorName", 5000, skew=0.4),
+            _cat("Language", 40, skew=0.9),
+            _num("Stars", 2000),
+            _num("Forks", 1500),
+            _num("Watchers", 1200),
+            _num("OpenIssues", 500),
+            _num("SizeKb", 4000),
+            _cat("License", 20, skew=0.8),
+            _cat("DefaultBranch", 8, skew=0.9),
+            _cat("HasWiki", 2, skew=0.0),
+            _cat("HasPages", 2, skew=0.0),
+            _cat("Fork", 2, skew=0.0),
+            _cat("CreatedYear", 15, skew=0.3),
+            _cat("UpdatedYear", 10, skew=0.3),
+            _cat("Topic", 300, skew=0.7),
+        ),
+    ),
+    # Bus: 20000 rows, 25 attrs, ~29930 distinct.
+    "bus": DatasetProfile(
+        "bus",
+        "Bus",
+        20000,
+        (
+            _uniq("RecordId"),
+            _cat("RouteId", 2000, skew=0.3),
+            _derived("RouteName", "RouteId"),
+            _cat("Direction", 2, skew=0.0),
+            _cat("StopId", 2500, skew=0.4),
+            _derived("StopName", "StopId"),
+            _cat("Operator", 12, skew=0.8),
+            _cat("Garage", 40, skew=0.6),
+            _cat("VehicleId", 1500, skew=0.3),
+            _cat("DriverId", 900, skew=0.3),
+            _cat("ShiftType", 4, skew=0.2),
+            _cat("DayType", 3, skew=0.2),
+            _num("ScheduledTime", 720),
+            _num("ActualTime", 720),
+            _num("DelayMinutes", 120),
+            _cat("Borough", 6, skew=0.5),
+            _cat("ZipCode", 250, skew=0.5),
+            _cat("FareZone", 8, skew=0.4),
+            _cat("AccessibleFlag", 2, skew=0.0),
+            _cat("ExpressFlag", 2, skew=0.0),
+            _num("PassengerCount", 90),
+            _num("Capacity", 6),
+            _cat("WeatherCode", 10, skew=0.6),
+            _cat("Season", 4, skew=0.0),
+            _cat("Status", 5, skew=0.8),
+        ),
+    ),
+    # Iris: 120 rows, 5 attrs, ~76 distinct values.
+    "iris": DatasetProfile(
+        "iris",
+        "Iris",
+        120,
+        (
+            _cat("SepalLength", 35, skew=0.2),
+            _cat("SepalWidth", 23, skew=0.2),
+            _cat("PetalLength", 43, skew=0.2),
+            _cat("PetalWidth", 22, skew=0.2),
+            _cat("Species", 3, skew=0.0),
+        ),
+    ),
+    # NBA: 9360 rows, 11 attrs, ~2823 distinct values.
+    "nba": DatasetProfile(
+        "nba",
+        "Nba",
+        9360,
+        (
+            _cat("Player", 480, skew=0.3),
+            _cat("Team", 30, skew=0.0),
+            _cat("Season", 70, skew=0.2),
+            _num("Games", 83),
+            _num("Points", 2400),
+            _num("Rebounds", 1200),
+            _num("Assists", 900),
+            _num("Steals", 250),
+            _num("Blocks", 350),
+            _cat("Position", 5, skew=0.2),
+            _cat("College", 320, skew=0.5),
+        ),
+    ),
+}
+
+
+def profile(name: str) -> DatasetProfile:
+    """Return the profile called ``name`` (``doct``/``bike``/``git``/...)."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset profile {name!r}; available: {sorted(PROFILES)}"
+        ) from None
+
+
+def _column_value(spec: ColumnSpec, row_index: int, scale: float, rng,
+                  row_so_far: dict):
+    if spec.kind == KIND_UNIQUE:
+        return f"{spec.name}#{row_index}"
+    if spec.kind == KIND_DERIVED:
+        # Functionally determined by the source column: the profile-level
+        # FDs (RouteId → RouteName etc.) hold by construction.
+        return f"{spec.name}:{row_so_far[spec.source]}"
+    if spec.kind == KIND_NUMERIC:
+        domain = max(1, round(spec.domain * min(1.0, scale)))
+        return rng.randrange(domain)
+    # Categorical: when generating fewer rows than the profile default,
+    # shrink the domain proportionally so collision rates (and hence the
+    # distinct-value ratio of Table 1) are preserved at every size.
+    domain = max(1, round(spec.domain * min(1.0, scale)))
+    index = zipf_index(rng, domain, skew=1.0 + spec.skew)
+    return f"{spec.name}_{index}"
+
+
+def generate_dataset(
+    name: str,
+    rows: int | None = None,
+    seed: int = 0,
+    instance_name: str | None = None,
+) -> Instance:
+    """Generate an instance for dataset profile ``name``.
+
+    Parameters
+    ----------
+    name:
+        Profile name (see :data:`PROFILES`).
+    rows:
+        Number of rows; defaults to the profile's paper size.
+    seed:
+        RNG seed; identical seeds yield identical instances.
+
+    Examples
+    --------
+    >>> inst = generate_dataset("iris", rows=10, seed=1)
+    >>> len(inst), inst.schema.relation("Iris").arity
+    (10, 5)
+    """
+    spec = profile(name)
+    rng = make_rng(seed)
+    count = spec.default_rows if rows is None else rows
+    scale = count / spec.default_rows
+    rows_out = []
+    for row_index in range(count):
+        row_so_far: dict = {}
+        for column in spec.columns:
+            row_so_far[column.name] = _column_value(
+                column, row_index, scale, rng, row_so_far
+            )
+        rows_out.append(tuple(row_so_far[c.name] for c in spec.columns))
+    return Instance.from_rows(
+        spec.relation,
+        spec.attribute_names(),
+        rows_out,
+        name=instance_name if instance_name is not None else name,
+        id_prefix="t",
+    )
+
+
+def dataset_statistics(instance: Instance) -> dict[str, int]:
+    """The Table 1 statistics of an instance: rows, distinct values, attrs.
+
+    ``attributes`` is the total arity across relations (for the
+    single-relation experiment datasets this is simply the column count).
+    """
+    return {
+        "rows": len(instance),
+        "distinct_values": instance.distinct_value_count(),
+        "attributes": instance.schema.total_arity(),
+    }

@@ -1,0 +1,5 @@
+"""Data-lake discovery: similarity search and near-duplicate detection."""
+
+from .lake import DataLake, DuplicatePair, SearchHit
+
+__all__ = ["DataLake", "DuplicatePair", "SearchHit"]

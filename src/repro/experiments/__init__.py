@@ -1,0 +1,43 @@
+"""Experiment drivers regenerating every table and figure of Sec. 7."""
+
+from . import (
+    ablation,
+    figure8,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from .harness import SCALES, SizeLadder, emit_table, format_table
+
+EXPERIMENTS = {
+    "ablation": ablation.run,
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "figure8": figure8.run,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ablation",
+    "SCALES",
+    "SizeLadder",
+    "emit_table",
+    "figure8",
+    "format_table",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+]

@@ -1,0 +1,50 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments table2 --scale default --seed 0
+    python -m repro.experiments all --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import EXPERIMENTS
+from .harness import SCALES
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and run the selected experiment(s)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale", choices=SCALES, default="quick",
+        help="instance-size ladder (quick: seconds; default: minutes; "
+             "paper: original sizes)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [
+        args.experiment
+    ]
+    for name in names:
+        started = time.perf_counter()
+        EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

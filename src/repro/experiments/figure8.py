@@ -1,0 +1,86 @@
+"""Figure 8 — impact of the % of changed cells on the signature score error.
+
+For C% ∈ {1, 5, 10, ..., 50}, generate a modCell scenario per dataset and
+measure ``score_by_construction − signature_score``.  The paper observes
+the difference staying below ~0.008 and *shrinking* for heavy perturbation
+(fewer possible mappings → fewer greedy mistakes).
+
+A *negative* difference means the greedy algorithm found a better match
+than the construction: under heavy perturbation the original positional
+correspondence stops being the optimal one, and the constructed score is
+only a lower bound on the exact optimum (which the signature score can
+then exceed).
+"""
+
+from __future__ import annotations
+
+from ..algorithms.signature import signature_compare
+from ..datagen.perturb import PerturbationConfig, perturb
+from ..datagen.synthetic import generate_dataset
+from ..mappings.constraints import MatchOptions
+from .harness import Out, emit_table, render_ascii_chart
+
+DATASETS = ("bike", "doct", "git")
+
+PERCENTS = {
+    "quick": (1, 5, 25, 50),
+    "default": (1, 5, 10, 15, 25, 50),
+    "paper": (1, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50),
+}
+
+ROWS = {"quick": 200, "default": 1000, "paper": 1000}
+
+
+def run(scale: str = "quick", seed: int = 0, out: Out = print) -> list[dict]:
+    """Regenerate the Figure 8 series at the requested scale."""
+    options = MatchOptions.versioning()
+    rows_count = ROWS[scale]
+    series = []
+    for dataset in DATASETS:
+        base = generate_dataset(dataset, rows=rows_count, seed=seed)
+        for percent in PERCENTS[scale]:
+            scenario = perturb(
+                base, PerturbationConfig.mod_cell(float(percent), seed=seed)
+            )
+            gold_score = scenario.gold_score(lam=options.lam)
+            result = signature_compare(
+                scenario.source, scenario.target, options
+            )
+            series.append(
+                {
+                    "dataset": dataset,
+                    "percent": percent,
+                    "gold_score": gold_score,
+                    "signature_score": result.similarity,
+                    "difference": gold_score - result.similarity,
+                }
+            )
+    emit_table(
+        out,
+        ["Dataset", "C%", "Constructed", "Sig Score", "Difference"],
+        [
+            (
+                s["dataset"], s["percent"],
+                f"{s['gold_score']:.4f}",
+                f"{s['signature_score']:.4f}",
+                f"{s['difference']:+.4f}",
+            )
+            for s in series
+        ],
+        title=(
+            "Figure 8: constructed-minus-signature score vs % of changed "
+            f"cells ({rows_count}-row instances; negative = greedy beat "
+            "the constructed lower bound)"
+        ),
+    )
+    chart_series = {}
+    for point in series:
+        chart_series.setdefault(point["dataset"], []).append(
+            (float(point["percent"]), point["difference"])
+        )
+    out(render_ascii_chart(
+        chart_series,
+        title="Figure 8 (ASCII): score difference vs C%",
+    ))
+    out("")
+    return series

@@ -1,0 +1,136 @@
+"""Shared infrastructure for the experiment drivers.
+
+Every experiment module exposes ``run(scale=..., seed=..., out=...)`` that
+returns the table rows as dictionaries and pretty-prints them in the paper's
+layout.  ``scale`` selects the size ladder:
+
+* ``"quick"`` — seconds-long sanity sizes (used by the test suite);
+* ``"default"`` — minutes-long laptop sizes preserving the paper's shape;
+* ``"paper"`` — the paper's original sizes (hours; exact-algorithm rows
+  fall back to score-by-construction exactly as the starred entries of
+  Tables 2–3 do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+Out = Callable[[str], None]
+
+SCALES = ("quick", "default", "paper")
+
+
+@dataclass(frozen=True)
+class SizeLadder:
+    """Instance sizes per scale for the Table 2/3 style experiments."""
+
+    quick: tuple[int, ...]
+    default: tuple[int, ...]
+    paper: tuple[int, ...]
+
+    def for_scale(self, scale: str) -> tuple[int, ...]:
+        """The sizes configured for ``scale``."""
+        if scale not in SCALES:
+            raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}")
+        return getattr(self, scale)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+    rendered_rows = [
+        ["" if cell is None else _format_cell(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def emit_table(
+    out: Out,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> None:
+    """Print a formatted table through the experiment's output callback."""
+    out(format_table(headers, rows, title=title))
+    out("")
+
+
+def render_ascii_chart(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render (x, y) series as an ASCII scatter chart (one glyph per series).
+
+    A dependency-free stand-in for the paper's figures: good enough to see
+    the shape of a curve in a terminal or a CI log.
+    """
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        return title
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = "*o+x#@"
+    for index, (name, pts) in enumerate(sorted(series.items())):
+        glyph = glyphs[index % len(glyphs)]
+        for x, y in pts:
+            column = round((x - x_low) / x_span * (width - 1))
+            row = height - 1 - round((y - y_low) / y_span * (height - 1))
+            grid[row][column] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{y_low:.4f} .. {y_high:.4f}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: [{x_low:g} .. {x_high:g}]")
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}"
+        for i, name in enumerate(sorted(series))
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def summarize_counts(value: int) -> str:
+    """Render large counts like the paper's ``.5k`` / ``49k`` shorthand."""
+    if value >= 1_000_000:
+        return f"{value / 1_000_000:.1f}M"
+    if value >= 10_000:
+        return f"{round(value / 1000)}k"
+    if value >= 1_000:
+        return f"{value / 1000:.1f}k"
+    return str(value)

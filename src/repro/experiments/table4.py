@@ -1,0 +1,70 @@
+"""Table 4 — ablation of the signature algorithm's two steps.
+
+On *addRandomAndRedundant* scenarios, report the fraction of tuple-mapping
+pairs discovered by the signature-based step vs the exhaustive
+``CompatibleTuples`` completion step, and the score achievable using
+signature-based matches only vs the final score.  The paper finds ≈99% of
+matches in the signature step — the reason the algorithm is fast.
+"""
+
+from __future__ import annotations
+
+from ..algorithms.signature import signature_compare, signature_step_only_score
+from ..datagen.perturb import PerturbationConfig, perturb
+from ..datagen.synthetic import generate_dataset
+from ..mappings.constraints import MatchOptions
+from .harness import Out, emit_table
+
+DATASETS = ("doct", "bike", "git")
+
+ROWS = {"quick": 200, "default": 1000, "paper": 1000}
+
+
+def run(scale: str = "quick", seed: int = 0, out: Out = print) -> list[dict]:
+    """Regenerate Table 4 at the requested scale."""
+    options = MatchOptions.general()
+    rows_count = ROWS[scale]
+    rows = []
+    for dataset in DATASETS:
+        base = generate_dataset(dataset, rows=rows_count, seed=seed)
+        scenario = perturb(
+            base,
+            PerturbationConfig.add_random_and_redundant(
+                percent=5.0, random_percent=10.0, redundant_percent=10.0,
+                seed=seed,
+            ),
+        )
+        result = signature_compare(scenario.source, scenario.target, options)
+        total = result.stats["signature_pairs"] + result.stats["completion_pairs"]
+        sb_fraction = (
+            result.stats["signature_pairs"] / total if total else 1.0
+        )
+        sb_score = signature_step_only_score(result)
+        rows.append(
+            {
+                "dataset": dataset,
+                "rows": rows_count,
+                "signature_pairs": result.stats["signature_pairs"],
+                "completion_pairs": result.stats["completion_pairs"],
+                "sb_match_percent": 100.0 * sb_fraction,
+                "ex_match_percent": 100.0 * (1.0 - sb_fraction),
+                "sb_score": sb_score,
+                "final_score": result.similarity,
+            }
+        )
+    emit_table(
+        out,
+        ["Dataset", "%Matches SB", "%Matches Ex", "Score SB", "Score Final"],
+        [
+            (
+                f"{r['dataset']} {r['rows']}",
+                f"{r['sb_match_percent']:.2f}",
+                f"{r['ex_match_percent']:.2f}",
+                f"{r['sb_score']:.3f}",
+                f"{r['final_score']:.3f}",
+            )
+            for r in rows
+        ],
+        title="Table 4: signature-based (SB) step vs exhaustive (Ex) step",
+    )
+    return rows

@@ -1,0 +1,38 @@
+"""Homomorphisms, isomorphisms, and cores of instances with labeled nulls."""
+
+from .blocks import (
+    compute_core_blockwise,
+    is_core_blockwise,
+    null_blocks,
+)
+from .core import compute_core, is_core
+from .homomorphism import (
+    DEFAULT_HOM_BUDGET,
+    HomomorphismSearch,
+    find_homomorphism,
+    has_homomorphism,
+    homomorphically_equivalent,
+)
+from .isomorphism import (
+    DEFAULT_ISO_BUDGET,
+    IsomorphismSearch,
+    are_isomorphic,
+    find_isomorphism,
+)
+
+__all__ = [
+    "DEFAULT_HOM_BUDGET",
+    "DEFAULT_ISO_BUDGET",
+    "HomomorphismSearch",
+    "IsomorphismSearch",
+    "are_isomorphic",
+    "compute_core",
+    "compute_core_blockwise",
+    "find_homomorphism",
+    "find_isomorphism",
+    "has_homomorphism",
+    "homomorphically_equivalent",
+    "is_core",
+    "is_core_blockwise",
+    "null_blocks",
+]

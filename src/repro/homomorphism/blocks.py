@@ -1,0 +1,249 @@
+"""Null blocks and block-wise core computation.
+
+The *Gaifman graph of nulls* connects two tuples when they share a labeled
+null; its connected components are the instance's **blocks**.  Ground tuples
+form singleton blocks.  For chase-generated instances blocks are small (the
+arity of a tgd bounds them), and the classic result of Fagin, Kolaitis and
+Popa ("Data Exchange: Getting to the Core") computes the core block by
+block: a fold of the whole instance can be decomposed into folds that each
+move a single block into the rest of the instance.
+
+:func:`compute_core_blockwise` exploits this: instead of searching for an
+endomorphism of the entire instance (exponential in ``|I|``), it searches,
+per block, for a homomorphism of that block into the full instance that
+*shrinks* it — exponential only in the block size.  On the Table 6
+data-exchange solutions this turns core computation from infeasible to
+milliseconds.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from ..core.instance import Instance
+from ..core.tuples import Tuple
+from ..core.values import is_null
+from ..utils.unionfind import UnionFind
+from .homomorphism import DEFAULT_HOM_BUDGET, HomomorphismSearch
+
+
+def null_blocks(instance: Instance) -> list[list[Tuple]]:
+    """Partition tuples into blocks connected via shared labeled nulls.
+
+    Ground tuples form singleton blocks.  Blocks are returned sorted by
+    (size, first tuple id) for determinism.
+
+    Examples
+    --------
+    >>> from repro.core.instance import Instance
+    >>> from repro.core.values import LabeledNull
+    >>> N = LabeledNull
+    >>> inst = Instance.from_rows("R", ("A", "B"),
+    ...     [(N("x"), "1"), (N("x"), "2"), ("g", "3")])
+    >>> [len(block) for block in null_blocks(inst)]
+    [1, 2]
+    """
+    components: UnionFind = UnionFind()
+    anchor_of_null: dict = {}
+    for t in instance.tuples():
+        components.add(t.tuple_id)
+        for null in set(t.nulls()):
+            if null in anchor_of_null:
+                components.union(anchor_of_null[null], t.tuple_id)
+            else:
+                anchor_of_null[null] = t.tuple_id
+
+    groups: dict[str, list[Tuple]] = {}
+    for t in instance.tuples():
+        groups.setdefault(components.find(t.tuple_id), []).append(t)
+    blocks = [
+        sorted(group, key=lambda t: t.tuple_id) for group in groups.values()
+    ]
+    blocks.sort(key=lambda block: (len(block), block[0].tuple_id))
+    return blocks
+
+
+def _sub_instance(instance: Instance, tuples: list[Tuple], name: str) -> Instance:
+    result = Instance(instance.schema, name=name)
+    for t in tuples:
+        result.add(t)
+    return result
+
+
+def _dedupe_by_content(instance: Instance) -> Instance:
+    """Drop tuples whose content duplicates an earlier tuple (set semantics)."""
+    result = Instance(instance.schema, name=instance.name)
+    seen: set = set()
+    for t in instance.tuples():
+        content = t.content()
+        if content in seen:
+            continue
+        seen.add(content)
+        result.add(t)
+    return result
+
+
+def _shrinks(block: list[Tuple], h, rest_contents: Counter) -> bool:
+    """Whether mapping ``block`` through ``h`` loses at least one fact.
+
+    The fold ``I ↦ h(B) ∪ (I \\ B)`` shrinks the instance iff some image
+    tuple duplicates a fact of the rest, or two block tuples collapse.
+    """
+    image_contents = Counter(h.apply_tuple(t).content() for t in block)
+    if len(image_contents) < len(block):
+        return True
+    return any(
+        content in rest_contents for content in image_contents
+    )
+
+
+def compute_core_blockwise(
+    instance: Instance,
+    budget: int = DEFAULT_HOM_BUDGET,
+    name: str | None = None,
+) -> Instance:
+    """Compute the core by folding one null block at a time.
+
+    Correct whenever folds decompose block-wise — in particular for
+    instances whose blocks do not gain new null links through folding
+    (chase-generated target instances).  For arbitrary instances the result
+    is a (possibly non-minimal) retract; :func:`repro.homomorphism.core
+    .compute_core` remains the general fallback.
+    """
+    current = _dedupe_by_content(
+        instance.with_fresh_ids(
+            "c", name=name if name is not None else f"core({instance.name})"
+        )
+    )
+    changed = True
+    while changed:
+        changed = False
+        blocks = null_blocks(current)
+        all_contents = current.content_multiset()
+        for block in blocks:
+            if all(t.is_ground() for t in block):
+                continue
+            rest_contents = all_contents - Counter(
+                t.content() for t in block
+            )
+            block_instance = _sub_instance(current, block, "block")
+            # Search for a hom of the block into the full instance that
+            # shrinks it.  The plain search may return the identity, so we
+            # enumerate candidate searches by forbidding identity images:
+            # try mapping the block while requiring at least one fact to
+            # land on the rest / collapse.
+            search = _ShrinkingBlockSearch(
+                block_instance, current, rest_contents, budget=budget
+            )
+            h = search.find_shrinking()
+            if h is None:
+                continue
+            surviving = [
+                t for t in current.tuples()
+                if t.tuple_id not in {b.tuple_id for b in block}
+            ]
+            folded = _sub_instance(current, surviving, current.name)
+            seen = set(folded.content_multiset())
+            for t in block:
+                image = h.apply_tuple(t)
+                if image.content() in seen:
+                    continue
+                seen.add(image.content())
+                folded.add(image)
+            current = folded
+            changed = True
+            break
+    return current
+
+
+class _ShrinkingBlockSearch(HomomorphismSearch):
+    """Homomorphism search accepting only solutions that shrink the block."""
+
+    def __init__(self, block, target, rest_contents, budget):
+        super().__init__(block, target, budget=budget)
+        self._block_tuples = list(block.tuples())
+        self._rest_contents = rest_contents
+
+    def find_shrinking(self):
+        """Enumerate homomorphisms until a shrinking one is found."""
+        found = []
+
+        def accept(assignment) -> bool:
+            from ..mappings.value_mapping import ValueMapping
+
+            h = ValueMapping(dict(assignment))
+            if _shrinks(self._block_tuples, h, self._rest_contents):
+                found.append(h)
+                return True
+            return False
+
+        self._enumerate(0, {}, accept)
+        return found[0] if found else None
+
+    def _enumerate(self, index, assignment, accept) -> bool:
+        if index == len(self._ordered):
+            return accept(assignment)
+        t = self._ordered[index]
+        for t_prime in self._candidates(t, assignment):
+            self.steps += 1
+            if self.steps > self.budget:
+                self.exhausted = False
+                return False
+            added = _extend_for_enumeration(t, t_prime, assignment)
+            if added is None:
+                continue
+            if self._enumerate(index + 1, assignment, accept):
+                return True
+            for null in added:
+                del assignment[null]
+            if not self.exhausted:
+                return False
+        return False
+
+
+def _extend_for_enumeration(t, t_prime, assignment):
+    """Extend ``assignment`` so that h(t) = t'; None when inconsistent."""
+    from ..core.values import is_constant
+
+    added = []
+    for value, target_value in zip(t.values, t_prime.values):
+        if is_constant(value):
+            if value != target_value:
+                for null in added:
+                    del assignment[null]
+                return None
+            continue
+        bound = assignment.get(value)
+        if bound is None:
+            assignment[value] = target_value
+            added.append(value)
+        elif bound != target_value:
+            for null in added:
+                del assignment[null]
+            return None
+    return added
+
+
+def is_core_blockwise(
+    instance: Instance, budget: int = DEFAULT_HOM_BUDGET
+) -> bool:
+    """Whether no block of ``instance`` admits a shrinking fold.
+
+    Duplicate tuple contents (bag artifacts) also disqualify an instance:
+    a core is a set of facts.
+    """
+    if any(count > 1 for count in instance.content_multiset().values()):
+        return False
+    blocks = null_blocks(instance)
+    all_contents = instance.content_multiset()
+    for block in blocks:
+        if all(t.is_ground() for t in block):
+            continue
+        rest_contents = all_contents - Counter(t.content() for t in block)
+        block_instance = _sub_instance(instance, block, "block")
+        search = _ShrinkingBlockSearch(
+            block_instance, instance, rest_contents, budget=budget
+        )
+        if search.find_shrinking() is not None:
+            return False
+    return True

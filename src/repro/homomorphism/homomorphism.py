@@ -1,0 +1,172 @@
+"""Homomorphisms between instances with labeled nulls (paper Sec. 2).
+
+A homomorphism ``h : adom(I) → adom(I')`` fixes constants and maps every
+tuple of ``I`` onto a tuple of ``I'`` (``∀ t ∈ I : h(t) ∈ I'``).  Finding one
+is NP-hard in general; this module implements a backtracking search with the
+same c-compatibility pruning the comparison algorithms use, which is fast on
+the universal-solution instances of the data-exchange experiments.
+
+Homomorphisms are the yardstick of the data-exchange substrate: ``J`` is a
+universal solution iff it has a homomorphism into every solution, and all
+universal solutions are homomorphically equivalent (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.instance import Instance
+from ..core.tuples import Tuple
+from ..core.values import LabeledNull, Value, is_constant, is_null
+from ..mappings.value_mapping import ValueMapping
+from .search_index import TargetIndex
+
+DEFAULT_HOM_BUDGET = 5_000_000
+"""Default cap on backtracking steps for homomorphism search."""
+
+
+class HomomorphismSearch:
+    """Backtracking search for homomorphisms ``source → target``.
+
+    Parameters
+    ----------
+    source, target:
+        Instances over the same schema.
+    budget:
+        Maximum number of candidate tuple examinations before giving up
+        (the search then reports "not found" with ``exhausted=False``).
+    """
+
+    def __init__(
+        self, source: Instance, target: Instance, budget: int = DEFAULT_HOM_BUDGET
+    ) -> None:
+        self.source = source
+        self.target = target
+        self.budget = budget
+        self.steps = 0
+        self.exhausted = True
+        self._index = TargetIndex(target)
+        # Order source tuples most-constrained first: fewest candidate
+        # images, then most constants.  Assigning low-fanout tuples first
+        # binds shared nulls early and keeps backtracking shallow (e.g. the
+        # entity tuples of a data-exchange solution pin their surrogate
+        # nulls before the fact tuples that reuse them are placed).
+        def fanout(t: Tuple) -> int:
+            return sum(1 for _ in self._index.candidates(t.relation.name, t.values))
+
+        self._ordered: list[Tuple] = sorted(
+            source.tuples(),
+            key=lambda t: (fanout(t), -t.constant_count(), t.tuple_id),
+        )
+
+    def find(self) -> ValueMapping | None:
+        """Return a homomorphism as a :class:`ValueMapping`, or ``None``."""
+        assignment: dict[LabeledNull, Value] = {}
+        if self._search(0, assignment):
+            return ValueMapping(assignment)
+        return None
+
+    def exists(self) -> bool:
+        """Whether a homomorphism ``source → target`` exists."""
+        return self.find() is not None
+
+    # -- internals -------------------------------------------------------------
+
+    def _search(self, index: int, assignment: dict[LabeledNull, Value]) -> bool:
+        if index == len(self._ordered):
+            return True
+        t = self._ordered[index]
+        for t_prime in self._candidates(t, assignment):
+            self.steps += 1
+            if self.steps > self.budget:
+                self.exhausted = False
+                return False
+            added = _extend(t, t_prime, assignment)
+            if added is None:
+                continue
+            if self._search(index + 1, assignment):
+                return True
+            for null in added:
+                del assignment[null]
+            if not self.exhausted:
+                return False
+        return False
+
+    def _candidates(
+        self, t: Tuple, assignment: dict[LabeledNull, Value]
+    ) -> Iterator[Tuple]:
+        """Target tuples whose constants agree with ``t``'s current image."""
+        image_values = [
+            assignment.get(v, v) if is_null(v) else v for v in t.values
+        ]
+        yield from self._index.candidates(t.relation.name, image_values)
+
+
+def _extend(
+    t: Tuple, t_prime: Tuple, assignment: dict[LabeledNull, Value]
+) -> list[LabeledNull] | None:
+    """Try to extend ``assignment`` so that ``h(t) = t_prime``.
+
+    Returns the list of newly bound nulls on success (for backtracking), or
+    ``None`` when the pair is inconsistent with the assignment.
+    """
+    added: list[LabeledNull] = []
+    for value, target_value in zip(t.values, t_prime.values):
+        if is_constant(value):
+            if value != target_value:
+                _unbind(assignment, added)
+                return None
+            continue
+        bound = assignment.get(value)
+        if bound is None:
+            assignment[value] = target_value
+            added.append(value)
+        elif bound != target_value:
+            _unbind(assignment, added)
+            return None
+    return added
+
+
+def _unbind(
+    assignment: dict[LabeledNull, Value], added: list[LabeledNull]
+) -> None:
+    for null in added:
+        del assignment[null]
+
+
+def find_homomorphism(
+    source: Instance, target: Instance, budget: int = DEFAULT_HOM_BUDGET
+) -> ValueMapping | None:
+    """Find a homomorphism ``source → target`` (or ``None``).
+
+    Examples
+    --------
+    >>> from repro.core.instance import Instance
+    >>> from repro.core.values import LabeledNull
+    >>> I = Instance.from_rows("R", ("A",), [(LabeledNull("N1"),)], id_prefix="a")
+    >>> J = Instance.from_rows("R", ("A",), [("x",)], id_prefix="b")
+    >>> h = find_homomorphism(I, J)
+    >>> h(LabeledNull("N1"))
+    'x'
+    """
+    return HomomorphismSearch(source, target, budget=budget).find()
+
+
+def has_homomorphism(
+    source: Instance, target: Instance, budget: int = DEFAULT_HOM_BUDGET
+) -> bool:
+    """Whether a homomorphism ``source → target`` exists."""
+    return find_homomorphism(source, target, budget=budget) is not None
+
+
+def homomorphically_equivalent(
+    left: Instance, right: Instance, budget: int = DEFAULT_HOM_BUDGET
+) -> bool:
+    """Whether homomorphisms exist in both directions.
+
+    Universal solutions of the same data-exchange scenario are exactly the
+    homomorphically equivalent solutions (Sec. 4.3).
+    """
+    return has_homomorphism(left, right, budget=budget) and has_homomorphism(
+        right, left, budget=budget
+    )

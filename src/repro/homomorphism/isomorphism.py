@@ -1,0 +1,182 @@
+"""Isomorphism of instances with labeled nulls (paper Sec. 2).
+
+Two instances are isomorphic — they represent the same incomplete database —
+iff there is a *bijective homomorphism* between them: a homomorphism that
+maps nulls to nulls injectively and induces a bijection on tuples.
+Isomorphic instances must receive similarity 1 (Eq. 2); the tests use this
+module as the oracle for that axiom.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.instance import Instance
+from ..core.tuples import Tuple
+from ..core.values import LabeledNull, Value, is_constant, is_null
+from ..mappings.value_mapping import ValueMapping
+from .search_index import TargetIndex
+
+DEFAULT_ISO_BUDGET = 5_000_000
+"""Default cap on backtracking steps for isomorphism search."""
+
+
+class IsomorphismSearch:
+    """Backtracking search for a bijective homomorphism ``left → right``."""
+
+    def __init__(
+        self, left: Instance, right: Instance, budget: int = DEFAULT_ISO_BUDGET
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.budget = budget
+        self.steps = 0
+        self.exhausted = True
+        self._index = TargetIndex(right)
+        self._ordered: list[Tuple] = sorted(
+            left.tuples(),
+            key=lambda t: (-t.constant_count(), t.tuple_id),
+        )
+
+    def find(self) -> ValueMapping | None:
+        """Return an isomorphism as a :class:`ValueMapping`, or ``None``.
+
+        Fast rejections first: relation cardinalities and the multisets of
+        constants-per-position must agree.
+        """
+        if not _profiles_agree(self.left, self.right):
+            return None
+        assignment: dict[LabeledNull, LabeledNull] = {}
+        used_nulls: set[LabeledNull] = set()
+        used_tuples: set[str] = set()
+        if self._search(0, assignment, used_nulls, used_tuples):
+            return ValueMapping(assignment)
+        return None
+
+    def _search(
+        self,
+        index: int,
+        assignment: dict[LabeledNull, LabeledNull],
+        used_nulls: set[LabeledNull],
+        used_tuples: set[str],
+    ) -> bool:
+        if index == len(self._ordered):
+            return True
+        t = self._ordered[index]
+        for t_prime in self._candidates(t, assignment):
+            self.steps += 1
+            if self.steps > self.budget:
+                self.exhausted = False
+                return False
+            if t_prime.tuple_id in used_tuples:
+                continue
+            added = _extend_injective(t, t_prime, assignment, used_nulls)
+            if added is None:
+                continue
+            used_tuples.add(t_prime.tuple_id)
+            if self._search(index + 1, assignment, used_nulls, used_tuples):
+                return True
+            used_tuples.discard(t_prime.tuple_id)
+            for null in added:
+                used_nulls.discard(assignment[null])
+                del assignment[null]
+            if not self.exhausted:
+                return False
+        return False
+
+    def _candidates(
+        self, t: Tuple, assignment: dict[LabeledNull, LabeledNull]
+    ) -> Iterator[Tuple]:
+        image_values: list[Value] = [
+            assignment.get(v, v) if is_null(v) else v for v in t.values
+        ]
+        yield from self._index.candidates(t.relation.name, image_values)
+
+
+def _extend_injective(
+    t: Tuple,
+    t_prime: Tuple,
+    assignment: dict[LabeledNull, LabeledNull],
+    used_nulls: set[LabeledNull],
+) -> list[LabeledNull] | None:
+    """Extend an injective null-to-null assignment so ``h(t) = t'``."""
+    added: list[LabeledNull] = []
+
+    def undo() -> None:
+        for null in added:
+            used_nulls.discard(assignment[null])
+            del assignment[null]
+
+    for value, target_value in zip(t.values, t_prime.values):
+        if is_constant(value):
+            if value != target_value:
+                undo()
+                return None
+            continue
+        # Nulls must map to nulls for a bijective homomorphism.
+        if not is_null(target_value):
+            undo()
+            return None
+        bound = assignment.get(value)
+        if bound is None:
+            if target_value in used_nulls:
+                undo()
+                return None
+            assignment[value] = target_value
+            used_nulls.add(target_value)
+            added.append(value)
+        elif bound != target_value:
+            undo()
+            return None
+    return added
+
+
+def _profiles_agree(left: Instance, right: Instance) -> bool:
+    """Cheap necessary conditions for isomorphism."""
+    if len(left) != len(right):
+        return False
+    if len(left.vars()) != len(right.vars()):
+        return False
+    for relation in left.relations():
+        other = right.relation(relation.schema.name)
+        if len(relation) != len(other):
+            return False
+        # Multisets of "constant patterns" per relation must agree: nulls
+        # replaced by a placeholder.
+        def pattern_multiset(rel):
+            from collections import Counter
+
+            return Counter(
+                tuple(
+                    "\0null" if is_null(v) else v for v in t.values
+                )
+                for t in rel
+            )
+
+        if pattern_multiset(relation) != pattern_multiset(other):
+            return False
+    return True
+
+
+def find_isomorphism(
+    left: Instance, right: Instance, budget: int = DEFAULT_ISO_BUDGET
+) -> ValueMapping | None:
+    """Find a bijective homomorphism ``left → right`` (or ``None``)."""
+    return IsomorphismSearch(left, right, budget=budget).find()
+
+
+def are_isomorphic(
+    left: Instance, right: Instance, budget: int = DEFAULT_ISO_BUDGET
+) -> bool:
+    """Whether the instances represent the same incomplete database.
+
+    Examples
+    --------
+    >>> from repro.core.instance import Instance
+    >>> from repro.core.values import LabeledNull
+    >>> I = Instance.from_rows("R", ("A",), [(LabeledNull("N1"),)], id_prefix="a")
+    >>> J = Instance.from_rows("R", ("A",), [(LabeledNull("Nz"),)], id_prefix="b")
+    >>> are_isomorphic(I, J)
+    True
+    """
+    return find_isomorphism(left, right, budget=budget) is not None

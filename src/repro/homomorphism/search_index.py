@@ -1,0 +1,78 @@
+"""Candidate indexes for homomorphism search.
+
+For each relation of the target instance we build the same per-attribute
+constant index Alg. 2 uses (constants plus a ``*`` bucket for nulls), so a
+source tuple's candidate images are found by intersecting small sets instead
+of scanning the relation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..core.instance import Instance
+from ..core.tuples import Tuple
+from ..core.values import Value, is_null
+
+
+class TargetIndex:
+    """Per-relation, per-attribute value index over a target instance."""
+
+    def __init__(self, target: Instance) -> None:
+        self._tuples: dict[str, dict[str, Tuple]] = {}
+        self._buckets: dict[str, list[dict[Value, set[str]]]] = {}
+        self._null_buckets: dict[str, list[set[str]]] = {}
+        self._all_ids: dict[str, set[str]] = {}
+        for relation in target.relations():
+            name = relation.schema.name
+            arity = relation.schema.arity
+            self._tuples[name] = {}
+            self._buckets[name] = [{} for _ in range(arity)]
+            self._null_buckets[name] = [set() for _ in range(arity)]
+            self._all_ids[name] = set()
+            for t in relation:
+                self._tuples[name][t.tuple_id] = t
+                self._all_ids[name].add(t.tuple_id)
+                for position, value in enumerate(t.values):
+                    if is_null(value):
+                        self._null_buckets[name][position].add(t.tuple_id)
+                    else:
+                        self._buckets[name][position].setdefault(
+                            value, set()
+                        ).add(t.tuple_id)
+
+    def candidates(
+        self, relation_name: str, image_values: Sequence[Value]
+    ) -> Iterator[Tuple]:
+        """Target tuples that could equal the (partially bound) image.
+
+        A position whose image is a constant ``c`` restricts candidates to
+        target tuples with exactly ``c`` there — a homomorphism image
+        ``h(t)`` must literally be a tuple of the target, so a target null
+        can never stand in for a constant.  Positions whose image is a null
+        (bound to a target null or still unbound) impose no index
+        restriction; the caller's extension check enforces consistency.
+        """
+        per_position: list[set[str]] = []
+        buckets = self._buckets.get(relation_name)
+        if buckets is None:
+            return
+        for position, value in enumerate(image_values):
+            if is_null(value):
+                continue
+            exact = buckets[position].get(value, set())
+            if not exact:
+                return
+            per_position.append(exact)
+        if not per_position:
+            ids = self._all_ids[relation_name]
+        else:
+            per_position.sort(key=len)
+            ids = set(per_position[0])
+            for candidate_set in per_position[1:]:
+                ids &= candidate_set
+                if not ids:
+                    return
+        lookup = self._tuples[relation_name]
+        for tuple_id in sorted(ids):
+            yield lookup[tuple_id]

@@ -1,0 +1,30 @@
+"""Instance I/O: CSV and JSON round-tripping."""
+
+from .csvio import NULL_PREFIX, instance_to_csv_text, read_csv, write_csv
+from .serialization import (
+    instance_from_dict,
+    instance_from_json,
+    instance_to_dict,
+    instance_to_json,
+    match_to_dict,
+    result_to_dict,
+    result_to_json,
+    value_from_json,
+    value_to_json,
+)
+
+__all__ = [
+    "NULL_PREFIX",
+    "instance_from_dict",
+    "instance_from_json",
+    "instance_to_csv_text",
+    "instance_to_dict",
+    "instance_to_json",
+    "match_to_dict",
+    "read_csv",
+    "result_to_dict",
+    "result_to_json",
+    "value_from_json",
+    "value_to_json",
+    "write_csv",
+]

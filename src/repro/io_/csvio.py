@@ -1,0 +1,121 @@
+"""CSV import/export for instances with labeled nulls.
+
+Labeled nulls are encoded as ``_N:<label>`` cells (configurable); everything
+else round-trips as strings.  This mirrors how data-repair tools exchange
+instances containing variables via CSV files.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from ..core.instance import Instance
+from ..core.values import LabeledNull, Value, is_null
+
+NULL_PREFIX = "_N:"
+"""Default cell prefix marking a labeled null in CSV files."""
+
+
+def _encode(value: Value, null_prefix: str) -> str:
+    if is_null(value):
+        return f"{null_prefix}{value.label}"
+    return str(value)
+
+
+def _decode(cell: str, null_prefix: str) -> Value:
+    if cell.startswith(null_prefix):
+        return LabeledNull(cell[len(null_prefix):])
+    return cell
+
+
+def write_csv(
+    instance: Instance,
+    destination: str | Path | TextIO,
+    relation_name: str | None = None,
+    null_prefix: str = NULL_PREFIX,
+    include_ids: bool = False,
+) -> None:
+    """Write one relation of ``instance`` as CSV with a header row.
+
+    Parameters
+    ----------
+    relation_name:
+        Relation to export; defaults to the only relation of a
+        single-relation instance.
+    include_ids:
+        Prepend a ``_tid`` column with tuple identifiers (useful for
+        debugging; ids are regenerated on load anyway).
+    """
+    if relation_name is None:
+        names = instance.schema.relation_names()
+        if len(names) != 1:
+            raise ValueError(
+                "relation_name is required for multi-relation instances"
+            )
+        relation_name = names[0]
+    relation = instance.relation(relation_name)
+
+    def dump(handle: TextIO) -> None:
+        writer = csv.writer(handle)
+        header = list(relation.schema.attributes)
+        if include_ids:
+            header = ["_tid"] + header
+        writer.writerow(header)
+        for t in relation:
+            row = [_encode(v, null_prefix) for v in t.values]
+            if include_ids:
+                row = [t.tuple_id] + row
+            writer.writerow(row)
+
+    if isinstance(destination, (str, Path)):
+        with open(destination, "w", newline="") as handle:
+            dump(handle)
+    else:
+        dump(destination)
+
+
+def read_csv(
+    source: str | Path | TextIO,
+    relation_name: str = "R",
+    null_prefix: str = NULL_PREFIX,
+    name: str = "I",
+    id_prefix: str = "t",
+) -> Instance:
+    """Read a CSV with a header row into a single-relation instance.
+
+    Cells starting with ``null_prefix`` become labeled nulls.
+
+    Examples
+    --------
+    >>> text = "A,B\\nx,_N:N1\\ny,2\\n"
+    >>> inst = read_csv(io.StringIO(text))
+    >>> inst.get_tuple("t1")["B"]
+    Null(N1)
+    """
+    def load(handle: TextIO) -> Instance:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError("CSV input is empty (no header row)") from None
+        rows: Iterable[list[Value]] = (
+            [_decode(cell, null_prefix) for cell in row] for row in reader
+        )
+        return Instance.from_rows(
+            relation_name, header, rows, name=name, id_prefix=id_prefix
+        )
+
+    if isinstance(source, (str, Path)):
+        with open(source, newline="") as handle:
+            return load(handle)
+    return load(source)
+
+
+def instance_to_csv_text(instance: Instance, **kwargs) -> str:
+    """Render a single-relation instance as a CSV string."""
+    buffer = io.StringIO()
+    write_csv(instance, buffer, **kwargs)
+    return buffer.getvalue()

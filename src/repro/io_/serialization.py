@@ -1,0 +1,133 @@
+"""JSON serialization for instances, matches, and comparison results.
+
+The JSON wire format tags labeled nulls as ``{"null": "<label>"}`` objects so
+that constants and nulls round-trip unambiguously.  Comparison results are
+exported for downstream analysis of the experiment harness.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..core.instance import Instance
+from ..core.schema import RelationSchema, Schema
+from ..core.tuples import Tuple
+from ..core.values import LabeledNull, Value, is_null
+from ..mappings.instance_match import InstanceMatch
+from ..algorithms.result import ComparisonResult
+
+
+def value_to_json(value: Value) -> Any:
+    """Encode one cell value (nulls become ``{"null": label}``)."""
+    if is_null(value):
+        return {"null": value.label}
+    return value
+
+
+def value_from_json(payload: Any) -> Value:
+    """Decode one cell value."""
+    if isinstance(payload, dict) and set(payload) == {"null"}:
+        return LabeledNull(payload["null"])
+    return payload
+
+
+def instance_to_dict(instance: Instance) -> dict:
+    """Encode an instance as a JSON-compatible dictionary."""
+    return {
+        "name": instance.name,
+        "relations": [
+            {
+                "name": relation.schema.name,
+                "attributes": list(relation.schema.attributes),
+                "tuples": [
+                    {
+                        "id": t.tuple_id,
+                        "values": [value_to_json(v) for v in t.values],
+                    }
+                    for t in relation
+                ],
+            }
+            for relation in instance.relations()
+        ],
+    }
+
+
+def instance_from_dict(payload: dict) -> Instance:
+    """Decode an instance from :func:`instance_to_dict` output."""
+    schema = Schema(
+        [
+            RelationSchema(rel["name"], tuple(rel["attributes"]))
+            for rel in payload["relations"]
+        ]
+    )
+    instance = Instance(schema, name=payload.get("name", "I"))
+    for rel in payload["relations"]:
+        relation_schema = schema.relation(rel["name"])
+        for entry in rel["tuples"]:
+            instance.add(
+                Tuple(
+                    entry["id"],
+                    relation_schema,
+                    [value_from_json(v) for v in entry["values"]],
+                )
+            )
+    return instance
+
+
+def instance_to_json(instance: Instance, **json_kwargs) -> str:
+    """Encode an instance as a JSON string."""
+    return json.dumps(instance_to_dict(instance), **json_kwargs)
+
+
+def instance_from_json(text: str) -> Instance:
+    """Decode an instance from a JSON string.
+
+    Examples
+    --------
+    >>> from repro.core.instance import Instance
+    >>> from repro.core.values import LabeledNull
+    >>> inst = Instance.from_rows("R", ("A",), [(LabeledNull("N1"),)])
+    >>> round_tripped = instance_from_json(instance_to_json(inst))
+    >>> round_tripped.get_tuple("t1")["A"]
+    Null(N1)
+    """
+    return instance_from_dict(json.loads(text))
+
+
+def match_to_dict(match: InstanceMatch) -> dict:
+    """Encode an instance match (value mappings + tuple mapping)."""
+    return {
+        "left": match.left.name,
+        "right": match.right.name,
+        "h_l": {
+            null.label: value_to_json(image) for null, image in match.h_l.items()
+        },
+        "h_r": {
+            null.label: value_to_json(image) for null, image in match.h_r.items()
+        },
+        "pairs": sorted(match.m),
+    }
+
+
+def result_to_dict(result: ComparisonResult) -> dict:
+    """Encode a comparison result (scores, stats, and the match)."""
+    stats = {
+        key: value
+        for key, value in result.stats.items()
+        if isinstance(value, (int, float, str, bool))
+    }
+    return {
+        "similarity": result.similarity,
+        "algorithm": result.algorithm,
+        "options": result.options.describe(),
+        "exhausted": result.exhausted,
+        "elapsed_seconds": result.elapsed_seconds,
+        "stats": stats,
+        "match": match_to_dict(result.match),
+    }
+
+
+def result_to_json(result: ComparisonResult, **json_kwargs) -> str:
+    """Encode a comparison result as a JSON string."""
+    return json.dumps(result_to_dict(result), **json_kwargs)

@@ -1,0 +1,19 @@
+"""Value mappings, tuple mappings, instance matches, and match constraints."""
+
+from .constraints import DEFAULT_LAMBDA, MatchOptions
+from .explain import MatchStatistics, explain_match, match_statistics
+from .instance_match import InstanceMatch
+from .tuple_mapping import MappingClassification, TupleMapping
+from .value_mapping import ValueMapping
+
+__all__ = [
+    "DEFAULT_LAMBDA",
+    "InstanceMatch",
+    "MappingClassification",
+    "MatchOptions",
+    "MatchStatistics",
+    "TupleMapping",
+    "ValueMapping",
+    "explain_match",
+    "match_statistics",
+]

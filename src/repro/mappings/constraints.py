@@ -1,0 +1,146 @@
+"""Match constraints and application presets (paper Sec. 4.3).
+
+The instance-similarity framework is tailored to applications by restricting
+tuple mappings (injectivity, totality).  :class:`MatchOptions` bundles those
+restrictions plus the scoring parameter λ, and provides the presets the paper
+discusses:
+
+* **versioning** — tuples are unique entities that may be inserted/deleted:
+  fully injective, not necessarily total.
+* **record merging** — multiple old records may merge into one: left
+  injective only.
+* **universal vs. core** — each universal-solution tuple maps to exactly one
+  core tuple and everything must be covered: left injective + total.
+* **universal vs. universal** — information can be split/merged across
+  tuples: total, no injectivity requirement.
+* **data repair** — compare repairs cell-by-cell: complete and fully
+  injective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..core.errors import ScoringError
+from ..core.instance import Instance
+from .instance_match import InstanceMatch
+
+DEFAULT_LAMBDA = 0.5
+"""Default penalty λ for matching a null against a constant (0 ≤ λ < 1)."""
+
+
+@dataclass(frozen=True)
+class MatchOptions:
+    """Constraints and parameters governing a comparison.
+
+    Attributes
+    ----------
+    left_injective, right_injective:
+        Require the tuple mapping to be functional on the respective side.
+    left_total, right_total:
+        Require every tuple of the respective instance to be matched.
+        Totality is treated as a *validation* constraint (the algorithms try
+        to match everything anyway; a result that fails a totality
+        requirement is reported via :meth:`violations`).
+    lam:
+        The λ penalty for matching a labeled null against a constant
+        (Def. 5.5); must satisfy ``0 <= lam < 1``.
+    """
+
+    left_injective: bool = False
+    right_injective: bool = False
+    left_total: bool = False
+    right_total: bool = False
+    lam: float = DEFAULT_LAMBDA
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lam < 1.0:
+            raise ScoringError(f"lambda must be in [0, 1), got {self.lam}")
+
+    # -- presets ------------------------------------------------------------
+
+    @classmethod
+    def general(cls, lam: float = DEFAULT_LAMBDA) -> "MatchOptions":
+        """No structural restrictions (the most general n:m setting)."""
+        return cls(lam=lam)
+
+    @classmethod
+    def versioning(cls, lam: float = DEFAULT_LAMBDA) -> "MatchOptions":
+        """Data versioning: fully injective, partial allowed (Sec. 4.3)."""
+        return cls(left_injective=True, right_injective=True, lam=lam)
+
+    @classmethod
+    def record_merging(cls, lam: float = DEFAULT_LAMBDA) -> "MatchOptions":
+        """Merging domains (e.g. patient records): left injective only."""
+        return cls(left_injective=True, lam=lam)
+
+    @classmethod
+    def universal_vs_core(cls, lam: float = DEFAULT_LAMBDA) -> "MatchOptions":
+        """Compare a universal solution (left) to a core solution (right).
+
+        Left injective (Fagin et al.'s 1:1 homomorphism onto the core) and
+        total on both sides (Sec. 4.3 data-exchange discussion).
+        """
+        return cls(
+            left_injective=True, left_total=True, right_total=True, lam=lam
+        )
+
+    @classmethod
+    def universal_vs_universal(cls, lam: float = DEFAULT_LAMBDA) -> "MatchOptions":
+        """Compare two universal solutions: total, non-injective."""
+        return cls(left_total=True, right_total=True, lam=lam)
+
+    @classmethod
+    def data_repair(cls, lam: float = DEFAULT_LAMBDA) -> "MatchOptions":
+        """Compare repairs against a gold repair: fully injective."""
+        return cls(left_injective=True, right_injective=True, lam=lam)
+
+    # -- behaviour ----------------------------------------------------------
+
+    @property
+    def functional(self) -> bool:
+        """Alias used by the algorithms: left injective = functional on I."""
+        return self.left_injective
+
+    @property
+    def fully_injective(self) -> bool:
+        """1:1 tuple mappings required."""
+        return self.left_injective and self.right_injective
+
+    def with_lambda(self, lam: float) -> "MatchOptions":
+        """Return a copy with a different λ."""
+        return replace(self, lam=lam)
+
+    def violations(
+        self, match: InstanceMatch, left: Instance, right: Instance
+    ) -> list[str]:
+        """Describe which of these constraints ``match`` violates."""
+        problems = []
+        classification = match.m.classify(left, right)
+        if self.left_injective and not classification.left_injective:
+            problems.append("tuple mapping is not left injective")
+        if self.right_injective and not classification.right_injective:
+            problems.append("tuple mapping is not right injective")
+        if self.left_total and not classification.left_total:
+            problems.append("tuple mapping is not total on the left instance")
+        if self.right_total and not classification.right_total:
+            problems.append("tuple mapping is not total on the right instance")
+        return problems
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``"1:1 partial, λ=0.5"``."""
+        if self.fully_injective:
+            shape = "1:1"
+        elif self.left_injective:
+            shape = "n:1"
+        elif self.right_injective:
+            shape = "1:n"
+        else:
+            shape = "n:m"
+        total = []
+        if self.left_total:
+            total.append("left-total")
+        if self.right_total:
+            total.append("right-total")
+        coverage = " ".join(total) if total else "partial"
+        return f"{shape} {coverage}, λ={self.lam}"

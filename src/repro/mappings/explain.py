@@ -1,0 +1,93 @@
+"""Human-readable explanations of instance matches.
+
+The paper motivates that, as a side-effect, the similarity computation
+returns a mapping that *explains* the score (Sec. 1, Sec. 7.2): which tuples
+correspond, how nulls were substituted, and which tuples have no counterpart.
+This module renders that explanation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.tuples import Tuple
+from ..core.values import is_null
+from .instance_match import InstanceMatch
+
+
+@dataclass(frozen=True)
+class MatchStatistics:
+    """Counts reported by the versioning experiment (Table 7).
+
+    Attributes
+    ----------
+    matched_pairs:
+        Number of pairs in the tuple mapping (``#M``).
+    left_non_matching:
+        Left tuples with no counterpart (``#LNM``).
+    right_non_matching:
+        Right tuples with no counterpart (``#RNM``).
+    """
+
+    matched_pairs: int
+    left_non_matching: int
+    right_non_matching: int
+
+
+def match_statistics(match: InstanceMatch) -> MatchStatistics:
+    """Compute the #M / #LNM / #RNM counts for ``match``."""
+    return MatchStatistics(
+        matched_pairs=len(match.m),
+        left_non_matching=len(match.unmatched_left()),
+        right_non_matching=len(match.unmatched_right()),
+    )
+
+
+def _render_tuple(t: Tuple) -> str:
+    rendered = ", ".join(
+        f"{a}={v.label if is_null(v) else v}" for a, v in t.items()
+    )
+    return f"{t.tuple_id}({rendered})"
+
+
+def explain_match(match: InstanceMatch, max_rows: int = 20) -> str:
+    """Render a multi-line explanation of an instance match.
+
+    Shows up to ``max_rows`` matched pairs, the value-mapping substitutions
+    each pair relies on, and the unmatched tuples on either side.
+    """
+    lines = [
+        f"Instance match {match.left.name!r} ~ {match.right.name!r} "
+        f"[{match.classification().describe()}]"
+    ]
+
+    lines.append(f"Matched pairs ({len(match.m)}):")
+    for index, (t, t_prime) in enumerate(sorted(
+        match.pairs(), key=lambda p: (p[0].tuple_id, p[1].tuple_id)
+    )):
+        if index >= max_rows:
+            lines.append(f"  ... and {len(match.m) - max_rows} more")
+            break
+        lines.append(f"  {_render_tuple(t)}  <->  {_render_tuple(t_prime)}")
+        substitutions = []
+        for value, side_h in ((t, match.h_l), (t_prime, match.h_r)):
+            for cell_value in value.values:
+                if is_null(cell_value) and side_h(cell_value) != cell_value:
+                    image = side_h(cell_value)
+                    rendered = image.label if is_null(image) else repr(image)
+                    substitutions.append(f"{cell_value.label}→{rendered}")
+        if substitutions:
+            lines.append(f"      via {{{', '.join(sorted(set(substitutions)))}}}")
+
+    for label, tuples in (
+        ("left", match.unmatched_left()),
+        ("right", match.unmatched_right()),
+    ):
+        lines.append(f"Unmatched {label} tuples ({len(tuples)}):")
+        for index, t in enumerate(sorted(tuples, key=lambda x: x.tuple_id)):
+            if index >= max_rows:
+                lines.append(f"  ... and {len(tuples) - max_rows} more")
+                break
+            lines.append(f"  {_render_tuple(t)}")
+
+    return "\n".join(lines)

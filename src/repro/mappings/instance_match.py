@@ -1,0 +1,148 @@
+"""Instance matches (paper Def. 4.3).
+
+An instance match is a triple ``M = (h_l, h_r, m)``: a value mapping for the
+left instance, a value mapping for the right instance, and a tuple mapping.
+``M`` is *complete* when every matched pair agrees under the value mappings:
+``∀ (t, t') ∈ m : h_l(t) = h_r(t')``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import MappingError
+from ..core.instance import Instance
+from ..core.tuples import Tuple
+from .tuple_mapping import MappingClassification, TupleMapping
+from .value_mapping import ValueMapping
+
+
+@dataclass
+class InstanceMatch:
+    """An instance match ``(h_l, h_r, m)`` between two instances.
+
+    Attributes
+    ----------
+    left, right:
+        The matched instances (``I`` and ``I'`` in the paper).
+    h_l, h_r:
+        Value mappings for the left and right instance respectively.
+    m:
+        The tuple mapping.
+
+    Examples
+    --------
+    >>> from repro.core.instance import Instance
+    >>> from repro.core.values import LabeledNull
+    >>> I = Instance.from_rows("R", ("A",), [(LabeledNull("N1"),)], id_prefix="l")
+    >>> J = Instance.from_rows("R", ("A",), [(LabeledNull("Na"),)], id_prefix="r")
+    >>> M = InstanceMatch(I, J, ValueMapping({LabeledNull("N1"): LabeledNull("Na")}),
+    ...                   ValueMapping(), TupleMapping([("l1", "r1")]))
+    >>> M.is_complete()
+    True
+    """
+
+    left: Instance
+    right: Instance
+    h_l: ValueMapping = field(default_factory=ValueMapping)
+    h_r: ValueMapping = field(default_factory=ValueMapping)
+    m: TupleMapping = field(default_factory=TupleMapping)
+
+    # -- pair access ------------------------------------------------------------
+
+    def pairs(self) -> list[tuple[Tuple, Tuple]]:
+        """The matched tuple pairs as actual tuples (not ids)."""
+        return [
+            (self.left.get_tuple(left_id), self.right.get_tuple(right_id))
+            for left_id, right_id in self.m
+        ]
+
+    def unmatched_left(self) -> list[Tuple]:
+        """Left tuples not participating in any pair (the "differences")."""
+        matched = self.m.matched_left_ids()
+        return [t for t in self.left.tuples() if t.tuple_id not in matched]
+
+    def unmatched_right(self) -> list[Tuple]:
+        """Right tuples not participating in any pair."""
+        matched = self.m.matched_right_ids()
+        return [t for t in self.right.tuples() if t.tuple_id not in matched]
+
+    # -- completeness (Def. 4.3) ---------------------------------------------
+
+    def violating_pairs(self) -> list[tuple[Tuple, Tuple]]:
+        """Pairs ``(t, t')`` with ``h_l(t) != h_r(t')`` (empty iff complete)."""
+        violations = []
+        for t, t_prime in self.pairs():
+            if t.relation.name != t_prime.relation.name:
+                violations.append((t, t_prime))
+                continue
+            left_image = tuple(self.h_l(v) for v in t.values)
+            right_image = tuple(self.h_r(v) for v in t_prime.values)
+            if left_image != right_image:
+                violations.append((t, t_prime))
+        return violations
+
+    def is_complete(self) -> bool:
+        """Whether ``∀ (t, t') ∈ m : h_l(t) = h_r(t')``."""
+        return not self.violating_pairs()
+
+    def assert_complete(self) -> None:
+        """Raise :class:`MappingError` unless the match is complete."""
+        violations = self.violating_pairs()
+        if violations:
+            t, t_prime = violations[0]
+            raise MappingError(
+                f"instance match is not complete: h_l({t.tuple_id}) != "
+                f"h_r({t_prime.tuple_id}) (and {len(violations) - 1} more)"
+            )
+
+    # -- structure ----------------------------------------------------------------
+
+    def classification(self) -> MappingClassification:
+        """Structural classification of the underlying tuple mapping."""
+        return self.m.classify(self.left, self.right)
+
+    def inverted(self) -> "InstanceMatch":
+        """``M^{-1} = (h_r, h_l, m^{-1})`` — used by the symmetry lemma."""
+        return InstanceMatch(
+            left=self.right,
+            right=self.left,
+            h_l=self.h_r,
+            h_r=self.h_l,
+            m=self.m.inverted(),
+        )
+
+    def is_homomorphism_left_to_right(self) -> bool:
+        """Whether ``M`` encodes a homomorphism ``I → I'`` (Sec. 4.3 remark).
+
+        Requires: ``m`` total on the left, left injective (functional), and
+        ``h_r`` the identity on the right instance.
+        """
+        return (
+            self.m.is_left_total(self.left)
+            and self.m.is_left_injective()
+            and self.h_r.is_identity_on(self.right)
+            and self.is_complete()
+        )
+
+    def is_isomorphism(self) -> bool:
+        """Whether ``M`` encodes an isomorphism (total both sides + 1:1).
+
+        Additionally requires both value mappings to be injective on nulls and
+        to map nulls to nulls, so that the induced bijective homomorphism
+        exists.
+        """
+        classification = self.classification()
+        if not (classification.total and classification.fully_injective):
+            return False
+        if not self.is_complete():
+            return False
+        return self.h_l.is_injective_on_nulls(
+            self.left
+        ) and self.h_r.is_injective_on_nulls(self.right)
+
+    def __repr__(self) -> str:
+        return (
+            f"InstanceMatch({self.left.name!r}~{self.right.name!r}, "
+            f"|m|={len(self.m)}, |h_l|={len(self.h_l)}, |h_r|={len(self.h_r)})"
+        )

@@ -1,0 +1,59 @@
+"""Cell scores (paper Def. 5.5).
+
+For a matched pair ``(t, t') ∈ m`` and attribute ``A``::
+
+    score(M, t, t', A) =
+        0                      if h_l(t.A) != h_r(t'.A)
+        1                      if t.A, t'.A ∈ Consts and t.A = t'.A
+        2 / ⊓(t.A, t'.A)       if t.A, t'.A ∈ Vars and h_l(t.A) = h_r(t'.A)
+        2λ / ⊓(t.A, t'.A)      otherwise, with h_l(t.A) = h_r(t'.A)
+
+where ``⊓(t.A, t'.A) = ⊓(t.A) + ⊓(t'.A)`` measures value-mapping
+non-injectivity (Eq. 6) and ``0 ≤ λ < 1`` penalizes matching a null against a
+constant.  The four cases satisfy the necessary conditions of Lemma 5.4,
+which the property-test suite verifies directly.
+"""
+
+from __future__ import annotations
+
+from ..core.values import Value, is_constant, is_null
+from .noninjectivity import NonInjectivityMeasure
+
+
+def cell_score(
+    left_value: Value,
+    right_value: Value,
+    left_image: Value,
+    right_image: Value,
+    measure: NonInjectivityMeasure,
+    lam: float,
+) -> float:
+    """Score one attribute of a matched tuple pair.
+
+    Parameters
+    ----------
+    left_value, right_value:
+        The raw cell values ``t.A`` and ``t'.A``.
+    left_image, right_image:
+        Their images ``h_l(t.A)`` and ``h_r(t'.A)``.
+    measure:
+        Precomputed ⊓ lookup.
+    lam:
+        The null-to-constant penalty λ.
+    """
+    if left_image != right_image:
+        return 0.0
+    if is_constant(left_value) and is_constant(right_value):
+        # Constants are fixed by value mappings, so equality of images means
+        # equality of the constants themselves.
+        return 1.0
+    denominator = measure.pair(left_value, right_value)
+    if is_null(left_value) and is_null(right_value):
+        return 2.0 / denominator
+    # Exactly one side is a null matched against a constant: λ penalty.
+    return (2.0 * lam) / denominator
+
+
+def max_cell_score() -> float:
+    """The largest achievable cell score (two matched constants)."""
+    return 1.0

@@ -1,0 +1,203 @@
+"""Executable checks for Lemma 5.4's cell-score conditions.
+
+Lemma 5.4 states four conditions any cell-score function must satisfy for
+the induced similarity to respect the axioms Eqs. (1)–(5):
+
+1. equal constants score 1;
+2. on isomorphic instances, cells related by the (injective) value
+   mappings score 1;
+3. on non-isomorphic instances, some related cell scores < 1;
+4. the score is symmetric under swapping the instances.
+
+This module turns those conditions into executable checks over concrete
+witness scenarios, so alternative scoring functions (e.g. graded
+string-similarity scorers, a future-work direction of the paper) can be
+certified before being plugged in.  The library's own
+:func:`repro.scoring.cell_score.cell_score` passes all four — that is the
+"easy to see" step of Theorem 5.6, mechanized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from ..core.instance import Instance
+from ..core.values import LabeledNull, Value
+from ..mappings.instance_match import InstanceMatch
+from ..mappings.tuple_mapping import TupleMapping
+from ..mappings.value_mapping import ValueMapping
+from .noninjectivity import NonInjectivityMeasure
+
+
+class CellScorer(Protocol):
+    """Signature of a pluggable cell-score function (matches ``cell_score``)."""
+
+    def __call__(
+        self,
+        left_value: Value,
+        right_value: Value,
+        left_image: Value,
+        right_image: Value,
+        measure: NonInjectivityMeasure,
+        lam: float,
+    ) -> float: ...
+
+
+@dataclass(frozen=True)
+class ConditionReport:
+    """Outcome of one Lemma 5.4 condition check."""
+
+    condition: int
+    holds: bool
+    detail: str
+
+
+def _measure_for(match: InstanceMatch) -> NonInjectivityMeasure:
+    return NonInjectivityMeasure(match)
+
+
+def _isomorphic_witness() -> tuple[InstanceMatch, LabeledNull, LabeledNull]:
+    n1, na = LabeledNull("lem_N1"), LabeledNull("lem_Na")
+    left = Instance.from_rows(
+        "W", ("A", "B"), [(n1, "c")], id_prefix="wl"
+    )
+    right = Instance.from_rows(
+        "W", ("A", "B"), [(na, "c")], id_prefix="wr"
+    )
+    match = InstanceMatch(
+        left, right, ValueMapping({n1: na}), ValueMapping(),
+        TupleMapping([("wl1", "wr1")]),
+    )
+    return match, n1, na
+
+
+def _non_isomorphic_witness() -> tuple[InstanceMatch, list]:
+    """I = {(N1),(N2)} vs I'' = {(N5),(N5)} — the Sec. 3 example."""
+    n1, n2, n5 = (
+        LabeledNull("lem_M1"), LabeledNull("lem_M2"), LabeledNull("lem_M5")
+    )
+    left = Instance.from_rows("W", ("A",), [(n1,), (n2,)], id_prefix="nl")
+    right = Instance.from_rows("W", ("A",), [(n5,), (n5,)], id_prefix="nr")
+    match = InstanceMatch(
+        left, right, ValueMapping({n1: n5, n2: n5}), ValueMapping(),
+        TupleMapping([("nl1", "nr1"), ("nl2", "nr2")]),
+    )
+    cells = [(n1, n5), (n2, n5)]
+    return match, cells
+
+
+def check_cell_score_conditions(
+    scorer: CellScorer, lam: float = 0.5
+) -> list[ConditionReport]:
+    """Check ``scorer`` against the four Lemma 5.4 conditions.
+
+    Returns one report per condition.  The checks use concrete witness
+    instances; they are sound (a failed check is a real violation) but, as
+    with any testing, not a full proof of the universally quantified lemma.
+
+    Examples
+    --------
+    >>> from repro.scoring.cell_score import cell_score
+    >>> all(r.holds for r in check_cell_score_conditions(cell_score))
+    True
+    """
+    reports: list[ConditionReport] = []
+
+    # Condition 1: equal constants score 1.
+    iso_match, n1, na = _isomorphic_witness()
+    measure = _measure_for(iso_match)
+    value = scorer("c", "c", "c", "c", measure, lam)
+    reports.append(
+        ConditionReport(
+            1, value == 1.0,
+            f"score(c, c) = {value} (must be 1)",
+        )
+    )
+
+    # Condition 2: injectively related cells of isomorphic instances score 1.
+    value = scorer(n1, na, na, na, measure, lam)
+    reports.append(
+        ConditionReport(
+            2, value == 1.0,
+            f"score(N1, Na) under injective renaming = {value} (must be 1)",
+        )
+    )
+
+    # Condition 3: some related cell of a non-isomorphic pair scores < 1.
+    non_iso_match, cells = _non_isomorphic_witness()
+    measure = _measure_for(non_iso_match)
+    scores = [
+        scorer(
+            left_null, right_null,
+            non_iso_match.h_l(left_null), non_iso_match.h_r(right_null),
+            measure, lam,
+        )
+        for left_null, right_null in cells
+    ]
+    reports.append(
+        ConditionReport(
+            3, any(s < 1.0 for s in scores),
+            f"scores on the folded pair = {scores} (some must be < 1)",
+        )
+    )
+
+    # Condition 4: symmetry — score(M, t, t', A) = score(M^-1, t', t, A).
+    inverted = non_iso_match.inverted()
+    inverted_measure = _measure_for(inverted)
+    forward = scorer(
+        cells[0][0], cells[0][1],
+        non_iso_match.h_l(cells[0][0]), non_iso_match.h_r(cells[0][1]),
+        measure, lam,
+    )
+    backward = scorer(
+        cells[0][1], cells[0][0],
+        inverted.h_l(cells[0][1]), inverted.h_r(cells[0][0]),
+        inverted_measure, lam,
+    )
+    reports.append(
+        ConditionReport(
+            4, abs(forward - backward) < 1e-12,
+            f"forward = {forward}, backward = {backward} (must be equal)",
+        )
+    )
+    return reports
+
+
+def assert_valid_cell_scorer(scorer: CellScorer, lam: float = 0.5) -> None:
+    """Raise :class:`AssertionError` if any Lemma 5.4 condition fails."""
+    for report in check_cell_score_conditions(scorer, lam=lam):
+        assert report.holds, (
+            f"Lemma 5.4 condition {report.condition} violated: "
+            f"{report.detail}"
+        )
+
+
+def make_constant_similarity_scorer(
+    base: CellScorer, similarity: Callable[[Value, Value], float]
+) -> CellScorer:
+    """Wrap a scorer with graded credit for *similar* unequal constants.
+
+    The paper's future-work extension (Sec. 9): instead of 0 for unequal
+    constants, score them by a string-similarity function.  Note the result
+    deliberately VIOLATES Lemma 5.4 via condition 3/1 trade-offs unless the
+    similarity is the strict equality — the checker makes that visible,
+    which is the point of shipping it.
+    """
+
+    def scorer(
+        left_value, right_value, left_image, right_image, measure, lam
+    ):
+        from ..core.values import is_constant
+
+        if (
+            is_constant(left_value)
+            and is_constant(right_value)
+            and left_value != right_value
+        ):
+            return similarity(left_value, right_value)
+        return base(
+            left_value, right_value, left_image, right_image, measure, lam
+        )
+
+    return scorer

@@ -1,0 +1,20 @@
+"""Instance sizes (paper Def. 5.1).
+
+``size(I) = Σ_{t ∈ I} arity(R) = |I| · arity(R)`` per relation, summed over
+the relations of a multi-relation instance.  The instance match score
+normalizes the sum of tuple scores by ``size(I) + size(I')``.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import Instance
+
+
+def instance_size(instance: Instance) -> int:
+    """``size(I)``: total number of cells in the instance."""
+    return instance.size()
+
+
+def normalization_denominator(left: Instance, right: Instance) -> int:
+    """``size(I) + size(I')`` — the match-score denominator (Def. 5.3)."""
+    return instance_size(left) + instance_size(right)

@@ -1,0 +1,15 @@
+"""Internal utilities: union-find, seeded randomness, timing."""
+
+from .rand import make_rng, sample_without_replacement, weighted_choice, zipf_index
+from .timing import Stopwatch, timed
+from .unionfind import UnionFind
+
+__all__ = [
+    "Stopwatch",
+    "UnionFind",
+    "make_rng",
+    "sample_without_replacement",
+    "timed",
+    "weighted_choice",
+    "zipf_index",
+]

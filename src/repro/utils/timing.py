@@ -1,0 +1,53 @@
+"""Wall-clock timing helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch with named laps.
+
+    Examples
+    --------
+    >>> watch = Stopwatch()
+    >>> with watch.lap("phase1"):
+    ...     pass
+    >>> "phase1" in watch.laps
+    True
+    """
+
+    laps: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def lap(self, name: str):
+        """Context manager timing one named phase (accumulates on reuse)."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.laps[name] = self.laps.get(name, 0.0) + time.perf_counter() - start
+
+    def total(self) -> float:
+        """Sum of all lap times in seconds."""
+        return sum(self.laps.values())
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a single-element list receiving elapsed seconds.
+
+    >>> with timed() as elapsed:
+    ...     pass
+    >>> elapsed[0] >= 0.0
+    True
+    """
+    holder = [0.0]
+    start = time.perf_counter()
+    try:
+        yield holder
+    finally:
+        holder[0] = time.perf_counter() - start

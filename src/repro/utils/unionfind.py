@@ -1,0 +1,133 @@
+"""Disjoint-set (union-find) over arbitrary hashable elements.
+
+This is the engine behind the most-general-unifier construction
+(:mod:`repro.algorithms.unifier`): unifying two cell values unions their
+classes, and the non-injectivity measure ⊓ (paper Eq. 6) is read off the
+per-side null counts of each class.
+
+The structure supports *snapshots* with O(changes) rollback, which the greedy
+signature algorithm and the exact branch-and-bound search use to test a
+tentative tuple pair and undo it cheaply when it conflicts.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterable, Iterator, TypeVar
+
+E = TypeVar("E", bound=Hashable)
+
+
+class UnionFind(Generic[E]):
+    """Union-find with union-by-size, path compression, and undo log.
+
+    Path compression is only applied when no snapshot is active (compression
+    is hard to undo); with an active snapshot :meth:`find` walks parent
+    pointers without mutating them, so rollback only needs to revert the
+    explicit unions.
+
+    Examples
+    --------
+    >>> uf = UnionFind()
+    >>> uf.union("a", "b")
+    True
+    >>> uf.connected("a", "b")
+    True
+    >>> token = uf.snapshot()
+    >>> uf.union("b", "c")
+    True
+    >>> uf.rollback(token)
+    >>> uf.connected("a", "c")
+    False
+    """
+
+    def __init__(self, elements: Iterable[E] = ()) -> None:
+        self._parent: dict[E, E] = {}
+        self._size: dict[E, int] = {}
+        # Undo log: list of (child_root, parent_root) unions, in order.
+        self._log: list[tuple[E, E]] = []
+        self._snapshots = 0
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: E) -> None:
+        """Register ``element`` as a singleton class (idempotent)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._size[element] = 1
+
+    def __contains__(self, element: E) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, element: E) -> E:
+        """Return the canonical representative of ``element``'s class."""
+        self.add(element)
+        parent = self._parent
+        root = element
+        while parent[root] != root:
+            root = parent[root]
+        if self._snapshots == 0:
+            # Path compression (safe: no rollback can be requested).
+            current = element
+            while parent[current] != root:
+                parent[current], current = root, parent[current]
+        return root
+
+    def connected(self, a: E, b: E) -> bool:
+        """Whether ``a`` and ``b`` are in the same class."""
+        return self.find(a) == self.find(b)
+
+    def union(self, a: E, b: E) -> bool:
+        """Merge the classes of ``a`` and ``b``.
+
+        Returns ``True`` if a merge happened, ``False`` if they already
+        shared a class.
+        """
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        # root_b becomes a child of root_a.
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+        self._log.append((root_b, root_a))
+        return True
+
+    def class_size(self, element: E) -> int:
+        """Number of elements in ``element``'s class."""
+        return self._size[self.find(element)]
+
+    def snapshot(self) -> int:
+        """Open a snapshot; returns a token for :meth:`rollback`.
+
+        While any snapshot is open, path compression is disabled so that
+        rollback restores the exact prior state.
+        """
+        self._snapshots += 1
+        return len(self._log)
+
+    def rollback(self, token: int) -> None:
+        """Undo all unions performed after ``snapshot`` returned ``token``."""
+        if self._snapshots <= 0:
+            raise RuntimeError("rollback without a matching snapshot")
+        while len(self._log) > token:
+            child, parent = self._log.pop()
+            self._parent[child] = child
+            self._size[parent] -= self._size[child]
+        self._snapshots -= 1
+
+    def commit(self) -> None:
+        """Close the most recent snapshot, keeping its unions."""
+        if self._snapshots <= 0:
+            raise RuntimeError("commit without a matching snapshot")
+        self._snapshots -= 1
+
+    def classes(self) -> Iterator[list[E]]:
+        """Yield the classes as lists (order unspecified)."""
+        buckets: dict[E, list[E]] = {}
+        for element in self._parent:
+            buckets.setdefault(self.find(element), []).append(element)
+        yield from buckets.values()

@@ -1,0 +1,44 @@
+"""Data versioning substrate: version operations, diff baseline, reports."""
+
+from .delta import (
+    CellChange,
+    TupleUpdate,
+    VersionDelta,
+    delta_from_match,
+    diff_versions,
+)
+from .difftool import DiffReport, diff_instances, serialize_rows
+from .history import (
+    VersionHistory,
+    pairwise_similarities,
+    reconstruct_history,
+)
+from .operations import (
+    align_schemas,
+    removed_and_shuffled_version,
+    removed_columns_version,
+    removed_rows_version,
+    shuffled_version,
+)
+from .report import VersionComparison, compare_versions
+
+__all__ = [
+    "CellChange",
+    "DiffReport",
+    "TupleUpdate",
+    "VersionDelta",
+    "VersionComparison",
+    "VersionHistory",
+    "align_schemas",
+    "compare_versions",
+    "delta_from_match",
+    "diff_instances",
+    "diff_versions",
+    "removed_and_shuffled_version",
+    "removed_columns_version",
+    "pairwise_similarities",
+    "reconstruct_history",
+    "removed_rows_version",
+    "serialize_rows",
+    "shuffled_version",
+]

@@ -1,0 +1,175 @@
+"""Version-history reconstruction from pairwise similarities.
+
+The paper's introduction motivates using instance similarity to "show users
+how instances evolve over time by determining the order in which versions
+were created".  This module implements that application: given a set of
+dataset versions (no timestamps, no keys, possibly incomplete), reconstruct
+a plausible evolution structure.
+
+Model: versions form a tree rooted at a designated (or inferred) origin;
+each edit step changes relatively little, so an evolution edge should
+connect highly similar versions.  A maximum-similarity spanning tree over
+the pairwise similarity graph is therefore the maximum-likelihood history
+under independent edits — the classic phylogeny heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.instance import Instance, prepare_for_comparison
+from ..mappings.constraints import MatchOptions
+from ..algorithms.signature import signature_compare
+
+
+@dataclass
+class VersionHistory:
+    """A reconstructed evolution tree over named versions.
+
+    Attributes
+    ----------
+    root:
+        The origin version's name.
+    parent:
+        Parent pointers: ``parent[name]`` is the version ``name`` was most
+        plausibly derived from (absent for the root).
+    similarities:
+        The pairwise similarity matrix used, keyed by frozenset pairs.
+    """
+
+    root: str
+    parent: dict[str, str]
+    similarities: dict[frozenset, float] = field(default_factory=dict)
+
+    def children(self, name: str) -> list[str]:
+        """Versions derived directly from ``name``."""
+        return sorted(
+            child for child, parent in self.parent.items() if parent == name
+        )
+
+    def edges(self) -> list[tuple[str, str, float]]:
+        """``(parent, child, similarity)`` triples of the tree."""
+        return sorted(
+            (
+                parent,
+                child,
+                self.similarities[frozenset((parent, child))],
+            )
+            for child, parent in self.parent.items()
+        )
+
+    def chain_from_root(self) -> list[str] | None:
+        """The linear order when the tree is a path from the root, else None."""
+        order = [self.root]
+        current = self.root
+        while True:
+            children = self.children(current)
+            if not children:
+                return order
+            if len(children) > 1:
+                return None
+            current = children[0]
+            order.append(current)
+
+    def render(self) -> str:
+        """ASCII rendering of the evolution tree."""
+        lines: list[str] = []
+
+        def walk(name: str, depth: int) -> None:
+            prefix = "  " * depth + ("└─ " if depth else "")
+            if depth:
+                similarity = self.similarities[
+                    frozenset((self.parent[name], name))
+                ]
+                lines.append(f"{prefix}{name}  (sim {similarity:.3f})")
+            else:
+                lines.append(f"{prefix}{name}")
+            for child in self.children(name):
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+
+def pairwise_similarities(
+    versions: dict[str, Instance],
+    options: MatchOptions | None = None,
+) -> dict[frozenset, float]:
+    """Similarity for every unordered pair of versions."""
+    if options is None:
+        options = MatchOptions.versioning()
+    names = sorted(versions)
+    similarities: dict[frozenset, float] = {}
+    for index, first in enumerate(names):
+        for second in names[index + 1:]:
+            left, right = prepare_for_comparison(
+                versions[first], versions[second]
+            )
+            result = signature_compare(left, right, options)
+            similarities[frozenset((first, second))] = result.similarity
+    return similarities
+
+
+def reconstruct_history(
+    versions: dict[str, Instance],
+    root: str | None = None,
+    options: MatchOptions | None = None,
+) -> VersionHistory:
+    """Reconstruct an evolution tree over ``versions``.
+
+    Builds the maximum-similarity spanning tree (Prim's algorithm) over the
+    pairwise similarity graph, rooted at ``root``.  When ``root`` is not
+    given, the version with the highest total similarity to all others is
+    used (a centroid heuristic for the origin).
+
+    Examples
+    --------
+    >>> from repro.core.instance import Instance
+    >>> v1 = Instance.from_rows("R", ("A",), [("x",), ("y",)], name="v1")
+    >>> v2 = Instance.from_rows("R", ("A",), [("x",), ("y",), ("z",)], name="v2")
+    >>> v3 = Instance.from_rows("R", ("A",), [("x",), ("y",), ("z",), ("w",)],
+    ...                         name="v3")
+    >>> history = reconstruct_history({"v1": v1, "v2": v2, "v3": v3},
+    ...                               root="v1")
+    >>> history.chain_from_root()
+    ['v1', 'v2', 'v3']
+    """
+    if not versions:
+        raise ValueError("reconstruct_history needs at least one version")
+    if len(versions) == 1:
+        (only,) = versions
+        return VersionHistory(root=only, parent={})
+    similarities = pairwise_similarities(versions, options=options)
+
+    names = sorted(versions)
+    if root is None:
+        def total(name: str) -> float:
+            return sum(
+                similarities[frozenset((name, other))]
+                for other in names
+                if other != name
+            )
+
+        root = max(names, key=total)
+    elif root not in versions:
+        raise ValueError(f"unknown root version {root!r}")
+
+    # Prim's algorithm for the maximum spanning tree.
+    in_tree = {root}
+    parent: dict[str, str] = {}
+    while len(in_tree) < len(names):
+        best: tuple[float, str, str] | None = None
+        for inside in sorted(in_tree):
+            for outside in names:
+                if outside in in_tree:
+                    continue
+                weight = similarities[frozenset((inside, outside))]
+                candidate = (weight, inside, outside)
+                if best is None or candidate > best:
+                    best = candidate
+        assert best is not None
+        _, inside, outside = best
+        parent[outside] = inside
+        in_tree.add(outside)
+
+    return VersionHistory(root=root, parent=parent, similarities=similarities)

@@ -1,0 +1,122 @@
+"""Dataset-version generation operations (paper Sec. 7.2, Table 7).
+
+Given an instance, Table 7 evaluates four derived versions:
+
+* **S** — shuffle the rows;
+* **R** — remove some rows;
+* **RS** — remove some rows, then shuffle;
+* **C** — remove some columns.
+
+Each operation returns the new version; the schema-changing **C** operation
+pairs with :func:`align_schemas` (the Sec. 4.3 padding trick) before
+comparison.
+"""
+
+from __future__ import annotations
+
+from ..core.instance import Instance
+from ..core.values import NullFactory
+from ..utils.rand import make_rng
+
+
+def shuffled_version(
+    instance: Instance, seed: int = 0, name: str | None = None
+) -> Instance:
+    """The S variant: same tuples, shuffled order, fresh ids."""
+    rng = make_rng(seed)
+    shuffled = instance.shuffled(rng, name=name or f"{instance.name}-S")
+    return shuffled.with_fresh_ids("v", name=shuffled.name)
+
+
+def removed_rows_version(
+    instance: Instance,
+    remove_fraction: float = 0.175,
+    seed: int = 0,
+    name: str | None = None,
+) -> Instance:
+    """The R variant: remove ``remove_fraction`` of the rows (order kept).
+
+    The default fraction matches the paper's Iris 120 → 99 reduction.
+    """
+    rng = make_rng(seed)
+    doomed: set[str] = set()
+    for relation in instance.relations():
+        ids = sorted(relation.ids())
+        k = round(len(ids) * remove_fraction)
+        doomed.update(rng.sample(ids, min(k, len(ids))))
+    kept = instance.filtered(
+        lambda t: t.tuple_id not in doomed,
+        name=name or f"{instance.name}-R",
+    )
+    return kept.with_fresh_ids("v", name=kept.name)
+
+
+def removed_and_shuffled_version(
+    instance: Instance,
+    remove_fraction: float = 0.175,
+    seed: int = 0,
+    name: str | None = None,
+) -> Instance:
+    """The RS variant: remove rows, then shuffle."""
+    removed = removed_rows_version(
+        instance, remove_fraction=remove_fraction, seed=seed
+    )
+    rng = make_rng(seed + 1)
+    shuffled = removed.shuffled(rng, name=name or f"{instance.name}-RS")
+    return shuffled.with_fresh_ids("v", name=shuffled.name)
+
+
+def removed_columns_version(
+    instance: Instance,
+    drop_count: int = 1,
+    seed: int = 0,
+    name: str | None = None,
+) -> Instance:
+    """The C variant: drop ``drop_count`` columns of each relation.
+
+    Requires a single-relation instance (all Table 7 datasets are).
+    """
+    rng = make_rng(seed)
+    names = instance.schema.relation_names()
+    if len(names) != 1:
+        raise ValueError("removed_columns_version expects a single relation")
+    relation_name = names[0]
+    attributes = list(instance.schema.relation(relation_name).attributes)
+    if drop_count >= len(attributes):
+        raise ValueError("cannot drop all columns")
+    dropped = set(rng.sample(attributes, drop_count))
+    kept_attrs = [a for a in attributes if a not in dropped]
+    projected = instance.projected(
+        relation_name, kept_attrs, name=name or f"{instance.name}-C"
+    )
+    return projected.with_fresh_ids("v", name=projected.name)
+
+
+def align_schemas(
+    left: Instance, right: Instance
+) -> tuple[Instance, Instance]:
+    """Pad both instances to the union of their schemas (Sec. 4.3).
+
+    An attribute missing on one side is added there with a distinct fresh
+    null per row, so tuples can still be matched without constraints on the
+    missing attribute.  Returns padded copies (inputs untouched).
+    """
+    fresh = NullFactory(prefix="Pad")
+    from ..core.schema import RelationSchema, Schema
+
+    left_names = set(left.schema.relation_names())
+    right_names = set(right.schema.relation_names())
+    if left_names != right_names:
+        raise ValueError(
+            "align_schemas requires the same relation names on both sides"
+        )
+    merged_relations = []
+    for name in left.schema.relation_names():
+        left_attrs = left.schema.relation(name).attributes
+        right_attrs = right.schema.relation(name).attributes
+        extra = [a for a in right_attrs if a not in left_attrs]
+        merged_relations.append(RelationSchema(name, left_attrs + tuple(extra)))
+    merged = Schema(merged_relations)
+    return left.padded_to(merged, fresh=fresh), right.padded_to(
+        merged, fresh=fresh
+    )

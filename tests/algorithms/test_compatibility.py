@@ -1,0 +1,158 @@
+"""Tests for c-compatibility, compatibility, and CompatibleTuples (Alg. 2)."""
+
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.algorithms.compatibility import (
+    AttributeIndex,
+    c_compatible,
+    compatible,
+    compatible_tuples,
+    compatible_tuples_of_instances,
+)
+
+N1, N2, Va = LabeledNull("N1"), LabeledNull("N2"), LabeledNull("Va")
+
+
+def tuples_of(rows, attrs=("A", "B", "C"), prefix="t"):
+    inst = Instance.from_rows("R", attrs, rows, id_prefix=prefix)
+    return list(inst.tuples())
+
+
+class TestCCompatible:
+    def test_equal_constants(self):
+        t, t_prime = tuples_of([("a", "b", "c")]) + tuples_of(
+            [("a", "b", "c")], prefix="r"
+        )
+        assert c_compatible(t, t_prime)
+
+    def test_conflicting_constants(self):
+        t, = tuples_of([("a", "b", "c")])
+        t_prime, = tuples_of([("a", "X", "c")], prefix="r")
+        assert not c_compatible(t, t_prime)
+
+    def test_nulls_never_conflict(self):
+        t, = tuples_of([("a", N1, "c")])
+        t_prime, = tuples_of([("a", "anything", Va)], prefix="r")
+        assert c_compatible(t, t_prime)
+
+    def test_different_relations_incompatible(self):
+        t, = tuples_of([("a", "b", "c")])
+        inst = Instance.from_rows("S", ("A", "B", "C"), [("a", "b", "c")],
+                                  id_prefix="s")
+        assert not c_compatible(t, inst.get_tuple("s1"))
+
+
+class TestCompatible:
+    def test_paper_example_c_compatible_but_not_compatible(self):
+        """⟨a1,b1,c1⟩ ~ ⟨a1,N1,N1⟩ but not ≃ (Def. 6.1 discussion)."""
+        t, = tuples_of([("a1", "b1", "c1")])
+        t_prime, = tuples_of([("a1", Va, Va)], prefix="r")
+        assert c_compatible(t, t_prime)
+        assert not compatible(t, t_prime)
+
+    def test_repeated_null_same_constant_ok(self):
+        t, = tuples_of([("a1", "b1", "b1")])
+        t_prime, = tuples_of([("a1", Va, Va)], prefix="r")
+        assert compatible(t, t_prime)
+
+    def test_null_to_null(self):
+        t, = tuples_of([(N1, "b", "c")])
+        t_prime, = tuples_of([(Va, "b", "c")], prefix="r")
+        assert compatible(t, t_prime)
+
+    def test_cross_cell_chain_conflict(self):
+        # N1 appears twice on the left, forcing b1 = c1 via Va: conflict.
+        t, = tuples_of([("a", N1, N1)])
+        t_prime, = tuples_of([("a", "b1", "c1")], prefix="r")
+        assert not compatible(t, t_prime)
+
+
+class TestAttributeIndex:
+    def test_constant_lookup(self):
+        rights = tuples_of(
+            [("a", "b", "c"), ("a", "X", "c"), (N1, "b", "c")], prefix="r"
+        )
+        index = AttributeIndex(rights, ("A", "B", "C"))
+        t, = tuples_of([("a", "b", "c")])
+        ids = index.c_compatible_ids(t)
+        assert ids == {"r1", "r3"}
+
+    def test_all_null_left_tuple_matches_everything(self):
+        rights = tuples_of([("a", "b", "c"), ("d", "e", "f")], prefix="r")
+        index = AttributeIndex(rights, ("A", "B", "C"))
+        t, = tuples_of([(N1, N1, N2)])
+        assert index.c_compatible_ids(t) == {"r1", "r2"}
+
+    def test_no_candidates(self):
+        rights = tuples_of([("a", "b", "c")], prefix="r")
+        index = AttributeIndex(rights, ("A", "B", "C"))
+        t, = tuples_of([("zzz", "b", "c")])
+        assert index.c_compatible_ids(t) == set()
+
+    def test_all_ids(self):
+        rights = tuples_of([("a", "b", "c")], prefix="r")
+        assert AttributeIndex(rights, ("A", "B", "C")).all_ids() == {"r1"}
+
+
+class TestCompatibleTuples:
+    def test_figure7_style_example(self):
+        """t2 = <a1, N3, c1> is compatible with right tuples sharing a1/c1."""
+        lefts = tuples_of([("a1", N1, "c1")], prefix="l")
+        rights = tuples_of(
+            [("a1", "b1", "c1"), ("a1", "b2", "c1"), ("a2", "b1", "c1")],
+            prefix="r",
+        )
+        result = compatible_tuples(lefts, rights)
+        assert result["l1"] == ["r1", "r2"]
+
+    def test_pruning_via_index_matches_bruteforce(self):
+        import random
+
+        rng = random.Random(5)
+        values = ["a", "b", "c", None]
+        rows = []
+        for i in range(30):
+            row = []
+            for _ in range(3):
+                v = rng.choice(values)
+                row.append(LabeledNull(f"L{i}_{len(row)}") if v is None else v)
+            rows.append(tuple(row))
+        lefts = tuples_of(rows[:15], prefix="l")
+        rights = tuples_of(
+            [
+                tuple(
+                    LabeledNull(f"R{i}_{j}") if isinstance(v, LabeledNull) else v
+                    for j, v in enumerate(row)
+                )
+                for i, row in enumerate(rows[15:])
+            ],
+            prefix="r",
+        )
+        result = compatible_tuples(lefts, rights)
+        for t in lefts:
+            brute = [
+                t_prime.tuple_id
+                for t_prime in rights
+                if compatible(t, t_prime)
+            ]
+            assert sorted(result[t.tuple_id]) == sorted(brute)
+
+    def test_instances_wrapper_multi_relation(self):
+        from repro.core.schema import RelationSchema, Schema
+
+        schema = Schema(
+            [RelationSchema("R", ("A",)), RelationSchema("S", ("B",))]
+        )
+        left = Instance(schema, name="L")
+        left.add_row("R", "l1", ("x",))
+        left.add_row("S", "l2", ("y",))
+        right = Instance(schema, name="R")
+        right.add_row("R", "r1", ("x",))
+        right.add_row("S", "r2", ("y",))
+        result = compatible_tuples_of_instances(left, right)
+        assert result == {"l1": ["r1"], "l2": ["r2"]}
+
+    def test_empty_inputs(self):
+        assert compatible_tuples([], []) == {}
+        lefts = tuples_of([("a", "b", "c")])
+        assert compatible_tuples(lefts, [])["t1"] == []

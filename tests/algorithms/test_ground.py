@@ -1,0 +1,95 @@
+"""Tests for the ground-instance PTIME algorithm and symmetric difference."""
+
+import pytest
+
+from repro.core.errors import InstanceError
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.algorithms.ground import (
+    ground_compare,
+    symmetric_difference_similarity,
+)
+from repro.algorithms.signature import signature_compare
+from repro.mappings.constraints import MatchOptions
+
+
+def inst(rows, prefix="l"):
+    return Instance.from_rows("R", ("A", "B"), rows, id_prefix=prefix)
+
+
+class TestSymmetricDifference:
+    def test_identical(self):
+        left = inst([("x", 1), ("y", 2)], "l")
+        right = inst([("x", 1), ("y", 2)], "r")
+        assert symmetric_difference_similarity(left, right) == 1.0
+
+    def test_disjoint(self):
+        left = inst([("x", 1)], "l")
+        right = inst([("q", 2)], "r")
+        assert symmetric_difference_similarity(left, right) == 0.0
+
+    def test_half_overlap(self):
+        left = inst([("x", 1), ("y", 2)], "l")
+        right = inst([("x", 1), ("z", 3)], "r")
+        assert symmetric_difference_similarity(left, right) == 0.5
+
+    def test_multiset_semantics(self):
+        left = inst([("x", 1), ("x", 1)], "l")
+        right = inst([("x", 1)], "r")
+        # shared = 1, total = 3, symdiff = 1 -> 1 - 1/3
+        assert symmetric_difference_similarity(left, right) == pytest.approx(
+            2 / 3
+        )
+
+    def test_rejects_nulls(self):
+        left = inst([(LabeledNull("N1"), 1)], "l")
+        right = inst([("x", 1)], "r")
+        with pytest.raises(InstanceError):
+            symmetric_difference_similarity(left, right)
+
+    def test_empty_instances(self):
+        assert symmetric_difference_similarity(inst([], "l"), inst([], "r")) == 1.0
+
+
+class TestGroundCompare:
+    def test_agrees_with_symmetric_difference(self):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(10):
+            rows_left = [
+                (rng.choice("abc"), rng.randrange(3)) for _ in range(8)
+            ]
+            rows_right = [
+                (rng.choice("abc"), rng.randrange(3)) for _ in range(8)
+            ]
+            left, right = inst(rows_left, "l"), inst(rows_right, "r")
+            assert ground_compare(left, right).similarity == pytest.approx(
+                symmetric_difference_similarity(left, right)
+            )
+
+    def test_agrees_with_signature_on_ground(self):
+        left = inst([("x", 1), ("y", 2), ("z", 3)], "l")
+        right = inst([("x", 1), ("y", 9), ("w", 3)], "r")
+        ground = ground_compare(left, right).similarity
+        sig = signature_compare(
+            left, right, MatchOptions.versioning()
+        ).similarity
+        assert ground == pytest.approx(sig)
+
+    def test_match_is_fully_injective(self):
+        left = inst([("x", 1), ("x", 1)], "l")
+        right = inst([("x", 1), ("x", 1)], "r")
+        result = ground_compare(left, right)
+        assert result.match.m.is_fully_injective()
+        assert len(result.match.m) == 2
+
+    def test_rejects_nulls(self):
+        left = inst([(LabeledNull("N1"), 1)], "l")
+        right = inst([("x", 1)], "r")
+        with pytest.raises(InstanceError):
+            ground_compare(left, right)
+
+    def test_algorithm_label(self):
+        left, right = inst([("x", 1)], "l"), inst([("x", 1)], "r")
+        assert ground_compare(left, right).algorithm == "ground"

@@ -1,0 +1,136 @@
+"""Tests for partial tuple matching (Sec. 6.3, Property 2)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.mappings.constraints import MatchOptions
+from repro.algorithms.partial import (
+    all_signatures,
+    normalized_edit_similarity,
+    partial_signature_compare,
+)
+from repro.algorithms.signature import signature_compare
+
+LAM = 0.5
+N = LabeledNull
+
+
+def inst(rows, attrs=("A", "B", "C"), prefix="l"):
+    return Instance.from_rows("R", attrs, rows, id_prefix=prefix)
+
+
+class TestAllSignatures:
+    def test_enumerates_powerset(self):
+        t = inst([("x", "y", N("N1"))]).get_tuple("l1")
+        signatures = list(all_signatures(t))
+        subsets = {frozenset(s) for s, _ in signatures}
+        assert subsets == {
+            frozenset({"A"}), frozenset({"B"}), frozenset({"A", "B"})
+        }
+
+    def test_width_cap(self):
+        t = inst([("x", "y", "z")]).get_tuple("l1")
+        signatures = list(all_signatures(t, max_width=1))
+        assert all(len(s) == 1 for s, _ in signatures)
+
+    def test_all_null_tuple_has_no_signatures(self):
+        t = inst([(N("a"), N("b"), N("c"))]).get_tuple("l1")
+        assert list(all_signatures(t)) == []
+
+
+class TestPartialMatching:
+    def test_conflicting_constant_still_matched(self):
+        """Tuples differing in one constant get matched partially."""
+        left = inst([("x", "y", "salary1")], prefix="l")
+        right = inst([("x", "y", "salary2")], prefix="r")
+        result = partial_signature_compare(
+            left, right, MatchOptions.versioning(lam=LAM),
+            min_agreeing_cells=2,
+        )
+        assert len(result.match.m) == 1
+        # 2 agreeing constant cells out of 3 per side.
+        assert result.similarity == pytest.approx(4 / 6)
+        # The complete-match algorithms would not match these at all.
+        strict = signature_compare(
+            left, right, MatchOptions.versioning(lam=LAM)
+        )
+        assert len(strict.match.m) == 0
+
+    def test_min_agreeing_cells_threshold(self):
+        left = inst([("x", "q1", "q2")], prefix="l")
+        right = inst([("x", "w1", "w2")], prefix="r")
+        permissive = partial_signature_compare(
+            left, right, MatchOptions.versioning(lam=LAM),
+            min_agreeing_cells=1,
+        )
+        assert len(permissive.match.m) == 1
+        strict = partial_signature_compare(
+            left, right, MatchOptions.versioning(lam=LAM),
+            min_agreeing_cells=2,
+        )
+        assert len(strict.match.m) == 0
+
+    def test_identical_instances_score_one(self):
+        left = inst([("x", "y", "z"), ("u", "v", "w")], prefix="l")
+        right = inst([("x", "y", "z"), ("u", "v", "w")], prefix="r")
+        result = partial_signature_compare(
+            left, right, MatchOptions.versioning(lam=LAM)
+        )
+        assert result.similarity == pytest.approx(1.0)
+
+    def test_injectivity_respected(self):
+        left = inst([("x", "y", "a"), ("x", "y", "b")], prefix="l")
+        right = inst([("x", "y", "c")], prefix="r")
+        result = partial_signature_compare(
+            left, right, MatchOptions.versioning(lam=LAM),
+            min_agreeing_cells=2,
+        )
+        assert result.match.m.is_fully_injective()
+        assert len(result.match.m) == 1
+
+    def test_nulls_participate(self):
+        left = inst([("x", N("N1"), "c1")], prefix="l")
+        right = inst([("x", "bound", "c2")], prefix="r")
+        result = partial_signature_compare(
+            left, right, MatchOptions.versioning(lam=LAM),
+            min_agreeing_cells=2,
+        )
+        assert len(result.match.m) == 1
+        # N1 got bound to "bound" for the agreeing cell.
+        assert result.match.h_l(N("N1")) == "bound"
+
+    def test_string_similarity_relaxation(self):
+        left = inst([("alpha", "y", "z")], prefix="l")
+        right = inst([("alphb", "y", "z")], prefix="r")
+        without = partial_signature_compare(
+            left, right, MatchOptions.versioning(lam=LAM),
+            min_agreeing_cells=3,
+        )
+        assert len(without.match.m) == 0
+        with_sim = partial_signature_compare(
+            left, right, MatchOptions.versioning(lam=LAM),
+            min_agreeing_cells=3,
+            constant_similarity=normalized_edit_similarity,
+            similarity_threshold=0.7,
+        )
+        # The similar-constant cell satisfies the acceptance gate even
+        # though strict unification treats it as disagreeing.
+        assert len(with_sim.match.m) == 1
+
+
+class TestEditSimilarity:
+    def test_identical(self):
+        assert normalized_edit_similarity("abc", "abc") == 1.0
+
+    def test_completely_different(self):
+        assert normalized_edit_similarity("abc", "xyz") == 0.0
+
+    def test_one_edit(self):
+        assert normalized_edit_similarity("abcd", "abce") == pytest.approx(0.75)
+
+    def test_empty(self):
+        assert normalized_edit_similarity("", "x") == 0.0
+
+    def test_non_strings_coerced(self):
+        assert normalized_edit_similarity(1234, 1235) == pytest.approx(0.75)

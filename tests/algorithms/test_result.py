@@ -1,0 +1,46 @@
+"""Tests for ComparisonResult ergonomics."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.mappings.constraints import MatchOptions
+from repro.algorithms.signature import signature_compare
+
+
+def make_result(options=None):
+    left = Instance.from_rows(
+        "R", ("A",), [("x",), ("y",)], id_prefix="l", name="L"
+    )
+    right = Instance.from_rows(
+        "R", ("A",), [("x",), ("z",)], id_prefix="r", name="R"
+    )
+    return signature_compare(
+        left, right, options or MatchOptions.versioning()
+    )
+
+
+class TestResult:
+    def test_statistics(self):
+        stats = make_result().statistics()
+        assert stats.matched_pairs == 1
+        assert stats.left_non_matching == 1
+        assert stats.right_non_matching == 1
+
+    def test_explain_contains_score_and_algorithm(self):
+        text = make_result().explain()
+        assert "similarity = 0.5000" in text
+        assert "signature" in text
+
+    def test_repr(self):
+        assert "similarity=0.5000" in repr(make_result())
+
+    def test_constraint_violations_for_totality(self):
+        result = make_result(MatchOptions.universal_vs_core())
+        problems = result.constraint_violations()
+        assert any("total" in p for p in problems)
+
+    def test_no_violations_when_satisfied(self):
+        assert make_result().constraint_violations() == []
+
+    def test_elapsed_recorded(self):
+        assert make_result().elapsed_seconds >= 0.0

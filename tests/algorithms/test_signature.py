@@ -1,0 +1,210 @@
+"""Tests for the signature algorithm (Algs. 3–4)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.mappings.constraints import MatchOptions
+from repro.algorithms.exact import exact_compare
+from repro.algorithms.signature import (
+    maximal_signature,
+    signature_compare,
+    signature_of,
+    signature_step_only_score,
+)
+
+LAM = 0.5
+N = LabeledNull
+
+
+def inst(rows, attrs=("A", "B"), prefix="l", name="I"):
+    return Instance.from_rows("R", attrs, rows, id_prefix=prefix, name=name)
+
+
+class TestSignatures:
+    def test_signature_lexicographic_order(self):
+        t = inst([("x", "y")], attrs=("B", "A")).get_tuple("l1")
+        assert signature_of(t, ("B", "A")) == (("A", "y"), ("B", "x"))
+
+    def test_maximal_signature_skips_nulls(self):
+        t = inst([(N("N1"), "y")]).get_tuple("l1")
+        assert maximal_signature(t) == (("B", "y"),)
+
+    def test_all_null_tuple_has_empty_signature(self):
+        t = inst([(N("N1"), N("N2"))]).get_tuple("l1")
+        assert maximal_signature(t) == ()
+
+
+class TestCorrectness:
+    def test_identical_ground(self):
+        left = inst([("x", 1), ("y", 2)], prefix="l")
+        right = inst([("x", 1), ("y", 2)], prefix="r")
+        result = signature_compare(left, right, MatchOptions.versioning(lam=LAM))
+        assert result.similarity == pytest.approx(1.0)
+
+    def test_isomorphic(self, example_57_instances):
+        left, right = example_57_instances
+        result = signature_compare(left, right, MatchOptions.versioning(lam=LAM))
+        assert result.similarity == pytest.approx(1.0)
+
+    def test_match_is_complete(self):
+        left = inst([(N("N1"), "u"), ("z", N("N2"))], prefix="l")
+        right = inst([("a", "u"), ("z", "q")], prefix="r")
+        result = signature_compare(left, right, MatchOptions.versioning(lam=LAM))
+        assert result.match.is_complete()
+
+    def test_disjoint_ground_scores_zero(self):
+        left = inst([("x", 1)], prefix="l")
+        right = inst([("q", 9)], prefix="r")
+        assert signature_compare(
+            left, right, MatchOptions.versioning(lam=LAM)
+        ).similarity == 0.0
+
+    def test_different_null_positions_found_in_completion(self):
+        """Fig. 6's t2/t5: compatible but no signature-based match."""
+        left = inst(
+            [(N("N2"), "VLDB", N("N4"), "VLDB End.")],
+            attrs=("Id", "Name", "Year", "Org"), prefix="l",
+        )
+        right = inst(
+            [(N("Vb"), "VLDB", 1976, N("Vc"))],
+            attrs=("Id", "Name", "Year", "Org"), prefix="r",
+        )
+        result = signature_compare(left, right, MatchOptions.versioning(lam=LAM))
+        assert len(result.match.m) == 1
+        # Found by the completion step, not the signature step: the maximal
+        # signatures differ in attributes.
+        assert result.stats["completion_pairs"] == 1
+        assert result.stats["signature_pairs"] == 0
+
+    def test_injectivity_respected(self):
+        left = inst([("x", 1), ("x", 1), ("x", 1)], prefix="l")
+        right = inst([("x", 1)], prefix="r")
+        result = signature_compare(left, right, MatchOptions.versioning(lam=LAM))
+        assert result.match.m.is_fully_injective()
+        assert len(result.match.m) == 1
+
+    def test_non_injective_general_matches_all(self):
+        left = inst([("x", 1), ("x", 1)], prefix="l")
+        right = inst([("x", 1)], prefix="r")
+        result = signature_compare(left, right, MatchOptions.general(lam=LAM))
+        assert len(result.match.m) == 2
+
+
+class TestApproximationQuality:
+    def test_matches_exact_on_random_small_instances(self):
+        """Signature score ≈ exact score on small random inputs (Sec. 7.1)."""
+        import random
+
+        rng = random.Random(23)
+        worst_gap = 0.0
+        for trial in range(10):
+            def rand_row(side, i):
+                def val(j):
+                    if rng.random() < 0.7:
+                        return rng.choice(["a", "b", "c", "d"])
+                    return N(f"{side}{trial}_{i}_{j}")
+                return (val(0), val(1))
+
+            left = inst([rand_row("L", i) for i in range(4)], prefix="l")
+            right = inst([rand_row("R", i) for i in range(4)], prefix="r")
+            options = MatchOptions.versioning(lam=LAM)
+            exact_score = exact_compare(left, right, options).similarity
+            sig_score = signature_compare(left, right, options).similarity
+            assert sig_score <= exact_score + 1e-9
+            worst_gap = max(worst_gap, exact_score - sig_score)
+        # The greedy algorithm should stay close on these small instances.
+        assert worst_gap <= 0.35
+
+    def test_perturbed_clone_scores_high(self):
+        rows = [(f"v{i}", f"w{i}") for i in range(50)]
+        left = inst(rows, prefix="l")
+        perturbed = [
+            (N(f"P{i}"), w) if i % 10 == 0 else (v, w)
+            for i, (v, w) in enumerate(rows)
+        ]
+        right = inst(perturbed, prefix="r")
+        result = signature_compare(left, right, MatchOptions.versioning(lam=LAM))
+        assert result.similarity > 0.9
+        assert len(result.match.m) == 50
+
+
+class TestAblationInstrumentation:
+    def test_signature_fraction_reported(self):
+        left = inst([("x", 1), ("y", 2)], prefix="l")
+        right = inst([("x", 1), ("y", 2)], prefix="r")
+        result = signature_compare(left, right, MatchOptions.versioning(lam=LAM))
+        assert result.stats["signature_fraction"] == 1.0
+        assert result.stats["signature_pairs"] == 2
+        assert result.stats["completion_pairs"] == 0
+
+    def test_signature_step_only_score(self):
+        left = inst(
+            [("x", 1), (N("N2"), N("N4"))], prefix="l"
+        )
+        right = inst(
+            [("x", 1), (N("Vb"), 9)], prefix="r"
+        )
+        result = signature_compare(left, right, MatchOptions.versioning(lam=LAM))
+        sb_score = signature_step_only_score(result)
+        assert sb_score <= result.similarity + 1e-9
+
+
+class TestMultiRelation:
+    def test_relations_matched_independently(self):
+        from repro.core.schema import RelationSchema, Schema
+
+        schema = Schema(
+            [RelationSchema("R", ("A",)), RelationSchema("S", ("B",))]
+        )
+        left = Instance(schema, name="L")
+        left.add_row("R", "l1", ("x",))
+        left.add_row("S", "l2", ("x",))
+        right = Instance(schema, name="R")
+        right.add_row("R", "r1", ("x",))
+        right.add_row("S", "r2", ("x",))
+        result = signature_compare(left, right, MatchOptions.versioning(lam=LAM))
+        assert result.similarity == pytest.approx(1.0)
+        assert ("l1", "r1") in result.match.m
+        assert ("l2", "r2") in result.match.m
+        # cross-relation pairs never created
+        assert ("l1", "r2") not in result.match.m
+
+
+class TestCaseClassification:
+    """The Sec. 6.2 runtime cases, reported in result stats."""
+
+    def test_case_4_fully_injective(self):
+        left = inst([("x", 1)], prefix="l")
+        right = inst([("x", 1)], prefix="r")
+        result = signature_compare(left, right, MatchOptions.versioning())
+        assert result.stats["case"] == "case-4-fully-injective"
+
+    def test_case_3_functional(self):
+        left = inst([("x", 1)], prefix="l")
+        right = inst([("x", 1)], prefix="r")
+        result = signature_compare(
+            left, right, MatchOptions.record_merging()
+        )
+        assert result.stats["case"] == "case-3-functional"
+
+    def test_case_2_fully_signature_based(self):
+        left = inst([("x", 1), ("y", 2)], prefix="l")
+        right = inst([("x", 1), ("y", 2)], prefix="r")
+        result = signature_compare(left, right, MatchOptions.general())
+        assert result.stats["case"] == "case-2-fully-signature-based"
+
+    def test_case_1_general(self):
+        # Tuples whose null positions differ (Fig. 6's t2/t5 shape): the
+        # completion step must contribute, so the run is the general case.
+        left = inst(
+            [(N("N2"), "VLDB", N("N4"), "VLDB End.")],
+            attrs=("Id", "Name", "Year", "Org"), prefix="l",
+        )
+        right = inst(
+            [(N("Vb"), "VLDB", 1976, N("Vc"))],
+            attrs=("Id", "Name", "Year", "Org"), prefix="r",
+        )
+        result = signature_compare(left, right, MatchOptions.general())
+        assert result.stats["completion_pairs"] > 0
+        assert result.stats["case"] == "case-1-general"

@@ -1,0 +1,175 @@
+"""Tests for the most-general unifier."""
+
+import pytest
+
+from repro.core.errors import UnificationConflict
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.algorithms.unifier import Unifier
+
+N1, N2, N3 = (LabeledNull(x) for x in ("N1", "N2", "N3"))
+Va, Vb = LabeledNull("Va"), LabeledNull("Vb")
+
+
+def make_unifier():
+    return Unifier({N1, N2, N3}, {Va, Vb})
+
+
+class TestUnify:
+    def test_null_null(self):
+        u = make_unifier()
+        u.unify(N1, Va)
+        assert u.find(N1) == u.find(Va)
+
+    def test_null_constant(self):
+        u = make_unifier()
+        u.unify(N1, "c")
+        assert u.class_constant(N1) == "c"
+
+    def test_constant_conflict(self):
+        u = make_unifier()
+        u.unify(N1, "c")
+        with pytest.raises(UnificationConflict):
+            u.unify(N1, "d")
+
+    def test_transitive_constant_conflict(self):
+        u = make_unifier()
+        u.unify(N1, Va)
+        u.unify(Va, "c")
+        with pytest.raises(UnificationConflict):
+            u.unify(N1, "d")
+
+    def test_same_constant_ok(self):
+        u = make_unifier()
+        u.unify(N1, "c")
+        u.unify(N2, "c")  # two classes share nothing: both map to c
+        assert u.find(N1) == u.find(N2)  # constant c links them
+
+    def test_shared_nulls_rejected(self):
+        with pytest.raises(UnificationConflict, match="share"):
+            Unifier({N1}, {N1})
+
+    def test_can_unify_is_pure(self):
+        u = make_unifier()
+        u.unify(N1, "c")
+        assert not u.can_unify(N1, "d")
+        assert u.can_unify(N1, "c")
+        assert u.can_unify(N2, Va)
+        # no state change
+        assert u.find(N2) != u.find(Va)
+
+    def test_side_counts(self):
+        u = make_unifier()
+        u.unify(N1, Va)
+        u.unify(N2, Va)
+        assert u.side_counts(N1) == (2, 1)
+        assert u.side_counts(Va) == (2, 1)
+
+
+class TestTupleUnification:
+    def _tuples(self, left_values, right_values):
+        left = Instance.from_rows("R", ("A", "B", "C"), [left_values], id_prefix="l")
+        right = Instance.from_rows("R", ("A", "B", "C"), [right_values], id_prefix="r")
+        return left.get_tuple("l1"), right.get_tuple("r1")
+
+    def test_unify_tuples_success(self):
+        u = make_unifier()
+        t, t_prime = self._tuples(("a", N1, "c"), ("a", Va, "c"))
+        u.unify_tuples(t, t_prime)
+        assert u.find(N1) == u.find(Va)
+
+    def test_unify_tuples_conflict_rolls_back(self):
+        u = make_unifier()
+        # N1 would need to equal both b1 and c1 (paper's Def. 6.1 example).
+        t, t_prime = self._tuples(("a1", "b1", "c1"), ("a1", Va, Va))
+        with pytest.raises(UnificationConflict):
+            u.unify_tuples(t, t_prime)
+        # State unchanged: Va unbound.
+        assert u.class_constant(Va) is None
+
+    def test_try_unify_tuples(self):
+        u = make_unifier()
+        t, t_prime = self._tuples(("a1", "b1", "c1"), ("a1", Va, Va))
+        assert not u.try_unify_tuples(t, t_prime)
+        t2, t2_prime = self._tuples(("a1", "b1", "c1"), ("a1", Va, "c1"))
+        assert u.try_unify_tuples(t2, t2_prime)
+
+    def test_compatible_tuples_is_pure(self):
+        u = make_unifier()
+        t, t_prime = self._tuples(("a", N1, "c"), ("a", Va, "c"))
+        assert u.compatible_tuples(t, t_prime)
+        assert u.find(N1) != u.find(Va)  # rolled back
+
+    def test_compatibility_respects_accumulated_state(self):
+        u = make_unifier()
+        u.unify(Va, "b1")
+        t, t_prime = self._tuples(("a", "b2", "c"), ("a", Va, "c"))
+        assert not u.compatible_tuples(t, t_prime)
+
+
+class TestSnapshots:
+    def test_rollback_restores_constants_and_counts(self):
+        u = make_unifier()
+        u.unify(N1, Va)
+        token = u.snapshot()
+        u.unify(N1, "c")
+        u.unify(N2, Va)
+        u.rollback(token)
+        assert u.class_constant(N1) is None
+        assert u.side_counts(N1) == (1, 1)
+
+    def test_nested(self):
+        u = make_unifier()
+        outer = u.snapshot()
+        u.unify(N1, Va)
+        inner = u.snapshot()
+        u.unify(N2, Vb)
+        u.rollback(inner)
+        assert u.find(N1) == u.find(Va)
+        assert u.find(N2) != u.find(Vb)
+        u.commit(outer)
+        assert u.find(N1) == u.find(Va)
+
+
+class TestValueMappingExtraction:
+    def test_constant_class(self):
+        u = make_unifier()
+        u.unify(N1, Va)
+        u.unify(Va, "c")
+        h_l, h_r = u.to_value_mappings()
+        assert h_l(N1) == "c"
+        assert h_r(Va) == "c"
+
+    def test_null_only_class_canonical(self):
+        u = make_unifier()
+        u.unify(N1, Va)
+        u.unify(N2, Va)
+        h_l, h_r = u.to_value_mappings()
+        # All three values map to one common target.
+        targets = {h_l(N1), h_l(N2), h_r(Va)}
+        assert len(targets) == 1
+
+    def test_untouched_nulls_identity(self):
+        u = make_unifier()
+        u.unify(N1, Va)
+        h_l, h_r = u.to_value_mappings()
+        assert h_l(N3) == N3
+        assert h_r(Vb) == Vb
+
+    def test_extraction_realizes_complete_match(self):
+        u = make_unifier()
+        left = Instance.from_rows("R", ("A", "B"), [(N1, "x")], id_prefix="l")
+        right = Instance.from_rows("R", ("A", "B"), [(Va, "x")], id_prefix="r")
+        t, t_prime = left.get_tuple("l1"), right.get_tuple("r1")
+        u.unify_tuples(t, t_prime)
+        h_l, h_r = u.to_value_mappings()
+        assert tuple(h_l(v) for v in t.values) == tuple(
+            h_r(v) for v in t_prime.values
+        )
+
+    def test_for_instances(self):
+        left = Instance.from_rows("R", ("A",), [(N1,)], id_prefix="l")
+        right = Instance.from_rows("R", ("A",), [(Va,)], id_prefix="r")
+        u = Unifier.for_instances(left, right)
+        u.unify(N1, Va)
+        assert u.find(N1) == u.find(Va)

@@ -1,0 +1,76 @@
+"""Tests for FDs and violation detection."""
+
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.cleaning.constraints import (
+    FunctionalDependency,
+    find_violations,
+    satisfies,
+)
+
+FD = FunctionalDependency("R", ("K",), "V")
+
+
+def inst(rows):
+    return Instance.from_rows("R", ("K", "V"), rows)
+
+
+class TestDetection:
+    def test_clean_instance(self):
+        assert satisfies(inst([("a", "x"), ("a", "x"), ("b", "y")]), [FD])
+
+    def test_single_violation_group(self):
+        groups = list(find_violations(inst([("a", "x"), ("a", "y")]), [FD]))
+        assert len(groups) == 1
+        assert groups[0].key == ("a",)
+        assert groups[0].value_counts == {"x": 1, "y": 1}
+
+    def test_multiple_groups(self):
+        groups = list(
+            find_violations(
+                inst([("a", "x"), ("a", "y"), ("b", "p"), ("b", "q")]), [FD]
+            )
+        )
+        assert {g.key for g in groups} == {("a",), ("b",)}
+
+    def test_null_lhs_excluded(self):
+        rows = [(LabeledNull("N1"), "x"), (LabeledNull("N1"), "y")]
+        assert satisfies(inst(rows), [FD])
+
+    def test_null_rhs_not_a_certain_violation(self):
+        rows = [("a", "x"), ("a", LabeledNull("N1"))]
+        assert satisfies(inst(rows), [FD])
+
+    def test_composite_lhs(self):
+        fd = FunctionalDependency("R2", ("A", "B"), "C")
+        instance = Instance.from_rows(
+            "R2", ("A", "B", "C"),
+            [("a", "b", "x"), ("a", "b", "y"), ("a", "c", "z")],
+        )
+        groups = list(find_violations(instance, [fd]))
+        assert len(groups) == 1
+        assert groups[0].key == ("a", "b")
+
+
+class TestViolationGroup:
+    def test_majority_value(self):
+        groups = list(
+            find_violations(inst([("a", "x"), ("a", "x"), ("a", "y")]), [FD])
+        )
+        assert groups[0].majority_value() == "x"
+
+    def test_tie_has_no_majority(self):
+        groups = list(find_violations(inst([("a", "x"), ("a", "y")]), [FD]))
+        assert groups[0].majority_value() is None
+        assert groups[0].minority_tuples() == []
+
+    def test_minority_tuples(self):
+        groups = list(
+            find_violations(inst([("a", "x"), ("a", "x"), ("a", "y")]), [FD])
+        )
+        minority = groups[0].minority_tuples()
+        assert len(minority) == 1
+        assert minority[0]["V"] == "y"
+
+    def test_str(self):
+        assert str(FD) == "R: K -> V"

@@ -1,0 +1,67 @@
+"""Tests for BART-style error generation."""
+
+from repro.cleaning.constraints import FunctionalDependency, satisfies
+from repro.cleaning.errorgen import inject_errors
+from repro.core.instance import Instance
+
+FD = FunctionalDependency("R", ("K", ), "V")
+
+
+def clean_instance(groups=10, size=4):
+    rows = []
+    for g in range(groups):
+        rows.extend((f"k{g}", f"v{g}") for _ in range(size))
+    return Instance.from_rows("R", ("K", "V"), rows)
+
+
+class TestInjection:
+    def test_errors_break_fds(self):
+        dirty = inject_errors(clean_instance(), [FD], error_rate=0.2, seed=1)
+        assert not satisfies(dirty.dirty, [FD])
+
+    def test_error_record_is_accurate(self):
+        dirty = inject_errors(clean_instance(), [FD], error_rate=0.2, seed=1)
+        for (tuple_id, attr), (gold, bad) in dirty.errors.items():
+            assert dirty.clean.get_tuple(tuple_id)[attr] == gold
+            assert dirty.dirty.get_tuple(tuple_id)[attr] == bad
+            assert gold != bad
+
+    def test_untouched_cells_identical(self):
+        dirty = inject_errors(clean_instance(), [FD], error_rate=0.2, seed=1)
+        error_cells = dirty.error_cells
+        for t in dirty.clean.tuples():
+            other = dirty.dirty.get_tuple(t.tuple_id)
+            for attr, value in t.items():
+                if (t.tuple_id, attr) not in error_cells:
+                    assert other[attr] == value
+
+    def test_majority_survives_per_group(self):
+        """At most one corruption per group: in-group majority stays gold."""
+        dirty = inject_errors(clean_instance(), [FD], error_rate=0.9, seed=2)
+        corrupted_groups = {}
+        for (tuple_id, _attr) in dirty.error_cells:
+            key = dirty.clean.get_tuple(tuple_id)["K"]
+            corrupted_groups[key] = corrupted_groups.get(key, 0) + 1
+        assert all(count == 1 for count in corrupted_groups.values())
+
+    def test_budget_respected(self):
+        dirty = inject_errors(clean_instance(50, 4), [FD], error_rate=0.05,
+                              seed=3)
+        assert len(dirty.errors) == round(200 * 0.05)
+
+    def test_small_groups_ineligible(self):
+        instance = Instance.from_rows(
+            "R", ("K", "V"), [("a", "x"), ("a", "x"), ("b", "y")]
+        )
+        dirty = inject_errors(instance, [FD], error_rate=1.0, seed=4)
+        assert len(dirty.errors) == 0  # no group has >= 3 tuples
+
+    def test_deterministic(self):
+        a = inject_errors(clean_instance(), [FD], error_rate=0.3, seed=7)
+        b = inject_errors(clean_instance(), [FD], error_rate=0.3, seed=7)
+        assert a.errors == b.errors
+
+    def test_zero_rate(self):
+        dirty = inject_errors(clean_instance(), [FD], error_rate=0.0, seed=1)
+        assert not dirty.errors
+        assert satisfies(dirty.dirty, [FD])

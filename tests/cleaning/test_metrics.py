@@ -1,0 +1,109 @@
+"""Tests for the cleaning metrics (F1, F1-instance, signature score)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.cleaning.metrics import (
+    evaluate_repair,
+    instance_f1,
+    repair_f1,
+    signature_score,
+)
+
+
+def gold():
+    return Instance.from_rows(
+        "R", ("K", "V"), [("a", "x"), ("b", "y"), ("c", "z")]
+    )
+
+
+def with_cells(base, changes):
+    result = Instance(base.schema, name="repaired")
+    for t in base.tuples():
+        values = list(t.values)
+        for (tuple_id, attr), value in changes.items():
+            if tuple_id == t.tuple_id:
+                values[t.relation.position(attr)] = value
+        result.add(t.with_values(values))
+    return result
+
+
+class TestRepairF1:
+    def test_perfect_repair(self):
+        score = repair_f1(gold(), gold(), {("t1", "V")}, {("t1", "V")})
+        assert score.f1 == 1.0
+
+    def test_null_counts_as_error(self):
+        """The F1 weakness Table 5 demonstrates: nulls are never 'correct'."""
+        repaired = with_cells(gold(), {("t1", "V"): LabeledNull("N1")})
+        score = repair_f1(
+            gold(), repaired, {("t1", "V")}, {("t1", "V")}
+        )
+        assert score.f1 == 0.0
+
+    def test_precision_vs_recall(self):
+        # System changed 2 cells; 1 correct.  Errors were 2; 1 fixed.
+        repaired = with_cells(gold(), {("t2", "V"): "wrong"})
+        score = repair_f1(
+            gold(),
+            repaired,
+            error_cells={("t1", "V"), ("t2", "V")},
+            changed_cells={("t1", "V"), ("t2", "V")},
+        )
+        assert score.precision == pytest.approx(0.5)
+        assert score.recall == pytest.approx(0.5)
+
+    def test_no_errors_no_changes(self):
+        score = repair_f1(gold(), gold(), set(), set())
+        assert score.f1 == 1.0
+
+    def test_all_wrong(self):
+        repaired = with_cells(gold(), {("t1", "V"): "bad"})
+        score = repair_f1(gold(), repaired, {("t1", "V")}, {("t1", "V")})
+        assert score.f1 == 0.0
+
+
+class TestInstanceF1:
+    def test_identical(self):
+        assert instance_f1(gold(), gold()) == 1.0
+
+    def test_one_bad_cell(self):
+        repaired = with_cells(gold(), {("t1", "V"): "bad"})
+        assert instance_f1(gold(), repaired) == pytest.approx(5 / 6)
+
+    def test_null_is_mismatch(self):
+        repaired = with_cells(gold(), {("t1", "V"): LabeledNull("N1")})
+        assert instance_f1(gold(), repaired) == pytest.approx(5 / 6)
+
+
+class TestSignatureScore:
+    def test_identical(self):
+        assert signature_score(gold(), gold()) == pytest.approx(1.0)
+
+    def test_null_gets_lambda_credit(self):
+        """Unlike F1, the signature score gives λ credit for nulls."""
+        repaired = with_cells(gold(), {("t1", "V"): LabeledNull("N1")})
+        score = signature_score(gold(), repaired)
+        # Pairs t2/t3 contribute 2 per side (8 total); pair t1 contributes
+        # 1 + 2λ/2 = 1.5 per side (3 total): 11 of 12 cells.
+        assert score == pytest.approx(11 / 12)
+        assert score > instance_f1(gold(), repaired)
+
+    def test_wrong_constant_unmatches_tuple(self):
+        repaired = with_cells(gold(), {("t1", "V"): "bad"})
+        score = signature_score(gold(), repaired)
+        # tuple t1 cannot be matched at all: 4 of 12 cells lost.
+        assert score == pytest.approx(8 / 12)
+
+
+class TestEvaluateRepair:
+    def test_bundle(self):
+        repaired = with_cells(gold(), {("t1", "V"): LabeledNull("N1")})
+        evaluation = evaluate_repair(
+            gold(), repaired, {("t1", "V")}, {("t1", "V")}, "demo"
+        )
+        assert evaluation.system == "demo"
+        assert evaluation.f1 == 0.0
+        assert evaluation.f1_instance == pytest.approx(5 / 6)
+        assert evaluation.signature > evaluation.f1_instance - 0.2

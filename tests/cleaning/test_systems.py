@@ -1,0 +1,105 @@
+"""Tests for the repair-system surrogates."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.values import is_null
+from repro.cleaning.constraints import FunctionalDependency, satisfies
+from repro.cleaning.errorgen import inject_errors
+from repro.cleaning.systems import (
+    SYSTEM_PRESETS,
+    RepairSystemConfig,
+    repair,
+)
+from repro.core.errors import RepairError
+
+FD = FunctionalDependency("R", ("K",), "V")
+
+
+def dirty_instance():
+    rows = []
+    for g in range(12):
+        rows.extend((f"k{g}", f"v{g}") for _ in range(4))
+    clean = Instance.from_rows("R", ("K", "V"), rows)
+    return clean, inject_errors(clean, [FD], error_rate=0.5, seed=1)
+
+
+class TestRepairMechanics:
+    def test_llunatic_restores_majority(self):
+        instance = Instance.from_rows(
+            "R", ("K", "V"), [("a", "x"), ("a", "x"), ("a", "bad")]
+        )
+        result = repair(instance, [FD], "llunatic", seed=1)
+        assert result.repaired.get_tuple("t3")["V"] == "x"
+        assert set(result.changed_cells) == {("t3", "V")}
+
+    def test_tie_gets_shared_null(self):
+        instance = Instance.from_rows(
+            "R", ("K", "V"), [("a", "x"), ("a", "y")]
+        )
+        result = repair(instance, [FD], "llunatic", seed=1)
+        values = [t["V"] for t in result.repaired.tuples()]
+        assert all(is_null(v) for v in values)
+        assert values[0] == values[1]  # one shared conflict null
+
+    def test_repairs_satisfy_fds(self):
+        _clean, dirty = dirty_instance()
+        for name in SYSTEM_PRESETS:
+            result = repair(dirty.dirty, [FD], name, seed=5)
+            assert satisfies(result.repaired, [FD]), name
+
+    def test_unknown_system_rejected(self):
+        instance = Instance.from_rows("R", ("K", "V"), [("a", "x")])
+        with pytest.raises(RepairError, match="unknown repair system"):
+            repair(instance, [FD], "nope")
+
+    def test_custom_config(self):
+        _clean, dirty = dirty_instance()
+        config = RepairSystemConfig("all-null", repair_rate=0.0)
+        result = repair(dirty.dirty, [FD], config, seed=2)
+        changed_values = list(result.changed_cells.values())
+        assert changed_values
+        assert all(is_null(v) for v in changed_values)
+
+    def test_changed_cells_recorded(self):
+        _clean, dirty = dirty_instance()
+        result = repair(dirty.dirty, [FD], "holistic", seed=3)
+        for (tuple_id, attr), value in result.changed_cells.items():
+            assert result.repaired.get_tuple(tuple_id)[attr] == value
+            assert dirty.dirty.get_tuple(tuple_id)[attr] != value
+
+    def test_clean_input_untouched(self):
+        instance = Instance.from_rows(
+            "R", ("K", "V"), [("a", "x"), ("a", "x"), ("b", "y")]
+        )
+        result = repair(instance, [FD], "holoclean", seed=1)
+        assert not result.changed_cells
+        assert result.repaired.content_multiset() == instance.content_multiset()
+
+
+class TestSystemCharacteristics:
+    def test_llunatic_most_accurate(self):
+        clean, dirty = dirty_instance()
+        fixed = {}
+        for index, name in enumerate(("llunatic", "sampling")):
+            result = repair(dirty.dirty, [FD], name, seed=20 + index)
+            fixed[name] = sum(
+                1
+                for cell in dirty.error_cells
+                if result.repaired.get_tuple(cell[0])[cell[1]]
+                == clean.get_tuple(cell[0])[cell[1]]
+            )
+        assert fixed["llunatic"] > fixed["sampling"]
+
+    def test_sampling_changes_lhs_cells(self):
+        _clean, dirty = dirty_instance()
+        result = repair(dirty.dirty, [FD], "sampling", seed=30)
+        lhs_changes = [
+            cell for cell in result.changed_cells if cell[1] == "K"
+        ]
+        assert lhs_changes  # the sampled valid-but-wrong repairs
+
+    def test_presets_complete(self):
+        assert set(SYSTEM_PRESETS) == {
+            "llunatic", "holoclean", "holistic", "sampling"
+        }

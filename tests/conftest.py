@@ -1,0 +1,91 @@
+"""Shared fixtures and instance builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.schema import RelationSchema, Schema
+from repro.core.values import LabeledNull
+
+
+def null(label: str) -> LabeledNull:
+    """Shorthand for building labeled nulls in tests."""
+    return LabeledNull(label)
+
+
+def make_instance(rows, attrs=("A", "B", "C"), relation="R", id_prefix="t",
+                  name="I"):
+    """Build a single-relation instance from plain rows."""
+    return Instance.from_rows(
+        relation, attrs, rows, id_prefix=id_prefix, name=name
+    )
+
+
+@pytest.fixture
+def conference_schema() -> Schema:
+    """The running-example schema of the paper (Fig. 1)."""
+    return Schema.single("Conference", ("Name", "Year", "Place", "Org"))
+
+
+@pytest.fixture
+def paper_fig1_instances():
+    """The three instance versions of Fig. 1 (I, I1, I2)."""
+    attrs = ("Name", "Year", "Place", "Org")
+
+    def build(rows, prefix, name):
+        return Instance.from_rows(
+            "Conference", attrs, rows, id_prefix=prefix, name=name
+        )
+
+    instance_i = build(
+        [
+            ("VLDB", 1975, "Framingham", "VLDB End."),
+            ("VLDB", 1976, null("N1"), null("N2")),
+            ("SIGMOD", 1975, "San Jose", "ACM"),
+        ],
+        "a",
+        "I",
+    )
+    instance_i1 = build(
+        [
+            ("SIGMOD", 1975, "San Jose", "ACM"),
+            ("VLDB", null("M1"), "Framingham", "VLDB End."),
+            (null("M2"), 1976, "Brussels", "IEEE"),
+            ("VLDB", null("M3"), null("M4"), "VLDB End."),
+        ],
+        "b",
+        "I1",
+    )
+    instance_i2 = build(
+        [
+            (null("P1"), 1975, null("P2"), null("P3")),
+            ("CC&P", 1980, "Montreal", null("P4")),
+            ("VLDB", 1976, "Brussels", "VLDB End."),
+            ("VLDB", 1975, "Framingham", "VLDB End."),
+        ],
+        "c",
+        "I2",
+    )
+    return instance_i, instance_i1, instance_i2
+
+
+@pytest.fixture
+def example_57_instances():
+    """Instances of paper Example 5.7 (isomorphic pair)."""
+    attrs = ("Id", "Year", "Org")
+    left = Instance.from_rows(
+        "R",
+        attrs,
+        [(null("N1"), 1975, "VLDB End."), (null("N2"), 1976, "VLDB End.")],
+        id_prefix="l",
+        name="I",
+    )
+    right = Instance.from_rows(
+        "R",
+        attrs,
+        [(null("Na"), 1975, "VLDB End."), (null("Nb"), 1976, "VLDB End.")],
+        id_prefix="r",
+        name="I'",
+    )
+    return left, right

@@ -1,0 +1,218 @@
+"""Tests for instances with labeled nulls."""
+
+import random
+
+import pytest
+
+from repro.core.errors import InstanceError, SchemaError
+from repro.core.instance import Instance, prepare_for_comparison
+from repro.core.schema import RelationSchema, Schema
+from repro.core.tuples import Tuple
+from repro.core.values import LabeledNull, NullFactory
+
+N1, N2 = LabeledNull("N1"), LabeledNull("N2")
+
+
+def simple(rows, **kwargs):
+    return Instance.from_rows("R", ("A", "B"), rows, **kwargs)
+
+
+class TestConstruction:
+    def test_from_rows(self):
+        inst = simple([("x", 1), ("y", 2)])
+        assert len(inst) == 2
+        assert inst.get_tuple("t1")["A"] == "x"
+
+    def test_id_prefix_and_start(self):
+        inst = simple([("x", 1)], id_prefix="row", id_start=7)
+        assert inst.ids() == {"row7"}
+
+    def test_duplicate_id_rejected(self):
+        inst = simple([("x", 1)])
+        rel = inst.schema.relation("R")
+        with pytest.raises(InstanceError, match="duplicate"):
+            inst.add(Tuple("t1", rel, ("z", 3)))
+
+    def test_add_row(self):
+        inst = simple([("x", 1)])
+        t = inst.add_row("R", "t99", ("q", 9))
+        assert t.tuple_id == "t99"
+        assert len(inst) == 2
+
+    def test_unknown_relation_rejected(self):
+        inst = simple([("x", 1)])
+        other_rel = RelationSchema("S", ("A", "B"))
+        with pytest.raises(SchemaError):
+            inst.add(Tuple("t9", other_rel, ("x", 1)))
+
+    def test_multi_relation(self):
+        schema = Schema(
+            [RelationSchema("R", ("A",)), RelationSchema("S", ("B",))]
+        )
+        inst = Instance(schema)
+        inst.add_row("R", "r1", ("x",))
+        inst.add_row("S", "s1", ("y",))
+        assert len(inst) == 2
+        assert inst.get_tuple("s1")["B"] == "y"
+
+    def test_empty_like(self):
+        inst = simple([("x", 1)])
+        empty = Instance.empty_like(inst)
+        assert len(empty) == 0
+        assert empty.schema is inst.schema
+
+
+class TestDerivedNotions:
+    def test_consts_vars_adom(self):
+        inst = simple([("x", N1), (N2, 2)])
+        assert inst.consts() == {"x", 2}
+        assert inst.vars() == {N1, N2}
+        assert inst.adom() == {"x", 2, N1, N2}
+
+    def test_is_ground(self):
+        assert simple([("x", 1)]).is_ground()
+        assert not simple([("x", N1)]).is_ground()
+
+    def test_size_is_cells(self):
+        assert simple([("x", 1), ("y", 2)]).size() == 4
+
+    def test_occurrence_counts(self):
+        inst = simple([("x", N1), (N1, 2)])
+        assert inst.null_occurrence_count() == 2
+        assert inst.constant_occurrence_count() == 2
+
+    def test_distinct_value_count(self):
+        inst = simple([("x", N1), ("x", N1)])
+        assert inst.distinct_value_count() == 2
+
+    def test_content_multiset(self):
+        inst = simple([("x", 1), ("x", 1)], id_prefix="a")
+        counts = inst.content_multiset()
+        assert counts[("R", ("x", 1))] == 2
+
+
+class TestTransformations:
+    def test_map_values(self):
+        inst = simple([("x", N1)])
+        mapped = inst.map_values({N1: "filled"})
+        assert mapped.get_tuple("t1")["B"] == "filled"
+        assert inst.get_tuple("t1")["B"] == N1  # original untouched
+
+    def test_rename_nulls(self):
+        inst = simple([("x", N1)])
+        renamed = inst.rename_nulls({N1: LabeledNull("Z1")})
+        assert renamed.vars() == {LabeledNull("Z1")}
+
+    def test_rename_nulls_non_injective_rejected(self):
+        inst = simple([(N1, N2)])
+        target = LabeledNull("Z")
+        with pytest.raises(InstanceError, match="injective"):
+            inst.rename_nulls({N1: target, N2: target})
+
+    def test_rename_nulls_capture_rejected(self):
+        inst = simple([(N1, N2)])
+        with pytest.raises(InstanceError, match="capture"):
+            inst.rename_nulls({N1: N2})
+
+    def test_with_fresh_ids(self):
+        inst = simple([("x", 1), ("y", 2)])
+        fresh = inst.with_fresh_ids("q")
+        assert fresh.ids() == {"q1", "q2"}
+        # values preserved in order
+        assert [t["A"] for t in fresh.tuples()] == ["x", "y"]
+
+    def test_shuffled_preserves_content(self):
+        inst = simple([(i, i) for i in range(20)])
+        shuffled = inst.shuffled(random.Random(3))
+        assert shuffled.content_multiset() == inst.content_multiset()
+
+    def test_filtered(self):
+        inst = simple([("x", 1), ("y", 2)])
+        kept = inst.filtered(lambda t: t["A"] == "x")
+        assert len(kept) == 1
+
+    def test_projected(self):
+        inst = simple([("x", 1)])
+        projected = inst.projected("R", ["A"])
+        assert projected.schema.relation("R").attributes == ("A",)
+        assert projected.get_tuple("t1").values == ("x",)
+
+    def test_padded_to_adds_fresh_nulls(self):
+        inst = Instance.from_rows("R", ("A",), [("x",), ("y",)])
+        target = Schema.single("R", ("A", "B"))
+        padded = inst.padded_to(target, fresh=NullFactory(prefix="P"))
+        values = [t["B"] for t in padded.tuples()]
+        assert all(v.label.startswith("P") for v in values)
+        assert values[0] != values[1]  # distinct null per row
+
+    def test_padded_to_cannot_drop(self):
+        inst = simple([("x", 1)])
+        target = Schema.single("R", ("A",))
+        with pytest.raises(SchemaError, match="drop"):
+            inst.padded_to(target)
+
+
+class TestComparisonPreconditions:
+    def test_assert_comparable_ok(self):
+        left = simple([("x", 1)], id_prefix="l")
+        right = simple([("x", 1)], id_prefix="r")
+        left.assert_comparable_with(right)  # no raise
+
+    def test_shared_ids_rejected(self):
+        left = simple([("x", 1)])
+        right = simple([("x", 1)])
+        with pytest.raises(InstanceError, match="share tuple ids"):
+            left.assert_comparable_with(right)
+
+    def test_shared_nulls_rejected(self):
+        left = simple([("x", N1)], id_prefix="l")
+        right = simple([("y", N1)], id_prefix="r")
+        with pytest.raises(InstanceError, match="share labeled nulls"):
+            left.assert_comparable_with(right)
+
+    def test_schema_mismatch_rejected(self):
+        left = simple([("x", 1)], id_prefix="l")
+        right = Instance.from_rows("S", ("A", "B"), [("x", 1)], id_prefix="r")
+        with pytest.raises(SchemaError):
+            left.assert_comparable_with(right)
+
+    def test_prepare_for_comparison(self):
+        left = simple([("x", N1)])
+        right = simple([("y", N1)])
+        prepared_left, prepared_right = prepare_for_comparison(left, right)
+        prepared_left.assert_comparable_with(prepared_right)
+        # same shapes
+        assert len(prepared_left) == 1
+        assert len(prepared_right) == 1
+        # right null renamed, left kept
+        assert prepared_left.vars() == {N1}
+        assert prepared_right.vars() != {N1}
+
+
+class TestFromDicts:
+    def test_basic(self):
+        inst = Instance.from_dicts(
+            "R", [{"A": "x", "B": 1}, {"A": "y", "B": 2}]
+        )
+        assert len(inst) == 2
+        assert inst.get_tuple("t2")["B"] == 2
+
+    def test_explicit_attribute_order(self):
+        inst = Instance.from_dicts(
+            "R", [{"B": 1, "A": "x"}], attributes=("A", "B")
+        )
+        assert inst.get_tuple("t1").values == ("x", 1)
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(SchemaError, match="missing attributes"):
+            Instance.from_dicts("R", [{"A": "x"}], attributes=("A", "B"))
+
+    def test_empty_needs_attributes(self):
+        with pytest.raises(SchemaError, match="attributes are required"):
+            Instance.from_dicts("R", [])
+        inst = Instance.from_dicts("R", [], attributes=("A",))
+        assert len(inst) == 0
+
+    def test_nulls_allowed(self):
+        inst = Instance.from_dicts("R", [{"A": N1}])
+        assert inst.vars() == {N1}

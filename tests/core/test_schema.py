@@ -1,0 +1,104 @@
+"""Tests for relational schemas."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.schema import RelationSchema, Schema
+
+
+class TestRelationSchema:
+    def test_arity(self):
+        rel = RelationSchema("R", ("A", "B", "C"))
+        assert rel.arity == 3
+
+    def test_position_lookup(self):
+        rel = RelationSchema("R", ("A", "B"))
+        assert rel.position("A") == 0
+        assert rel.position("B") == 1
+
+    def test_position_unknown_attribute(self):
+        rel = RelationSchema("R", ("A",))
+        with pytest.raises(SchemaError, match="no attribute"):
+            rel.position("Z")
+
+    def test_has_attribute(self):
+        rel = RelationSchema("R", ("A",))
+        assert rel.has_attribute("A")
+        assert not rel.has_attribute("B")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            RelationSchema("R", ("A", "A"))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", ("A",))
+
+    def test_lexicographic_attributes(self):
+        rel = RelationSchema("R", ("Z", "A", "M"))
+        assert rel.lexicographic_attributes() == ("A", "M", "Z")
+
+    def test_project(self):
+        rel = RelationSchema("R", ("A", "B", "C"))
+        projected = rel.project(["C", "A"])
+        assert projected.attributes == ("A", "C")  # original order kept
+
+    def test_project_unknown_attribute(self):
+        rel = RelationSchema("R", ("A",))
+        with pytest.raises(SchemaError, match="unknown"):
+            rel.project(["B"])
+
+    def test_extend(self):
+        rel = RelationSchema("R", ("A",)).extend(["B"])
+        assert rel.attributes == ("A", "B")
+
+    def test_zero_arity_allowed(self):
+        rel = RelationSchema("R", ())
+        assert rel.arity == 0
+
+    def test_frozen_equality(self):
+        assert RelationSchema("R", ("A",)) == RelationSchema("R", ("A",))
+        assert RelationSchema("R", ("A",)) != RelationSchema("R", ("B",))
+
+
+class TestSchema:
+    def test_single(self):
+        schema = Schema.single("R", ("A", "B"))
+        assert schema.relation_names() == ("R",)
+        assert schema.relation("R").arity == 2
+
+    def test_multi_relation(self):
+        schema = Schema(
+            [RelationSchema("R", ("A",)), RelationSchema("S", ("B", "C"))]
+        )
+        assert len(schema) == 2
+        assert schema.total_arity() == 3
+        assert "S" in schema
+        assert "T" not in schema
+
+    def test_duplicate_relation_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate relation"):
+            Schema([RelationSchema("R", ("A",)), RelationSchema("R", ("B",))])
+
+    def test_unknown_relation(self):
+        schema = Schema.single("R", ("A",))
+        with pytest.raises(SchemaError, match="no relation"):
+            schema.relation("S")
+
+    def test_compatibility(self):
+        left = Schema.single("R", ("A", "B"))
+        right = Schema.single("R", ("A", "B"))
+        other = Schema.single("R", ("A", "C"))
+        assert left.is_compatible_with(right)
+        assert not left.is_compatible_with(other)
+        assert not left.is_compatible_with(Schema.single("S", ("A", "B")))
+
+    def test_equality(self):
+        assert Schema.single("R", ("A",)) == Schema.single("R", ("A",))
+        assert Schema.single("R", ("A",)) != Schema.single("R", ("B",))
+
+    def test_iteration_order(self):
+        schema = Schema(
+            [RelationSchema("Z", ("A",)), RelationSchema("A", ("B",))]
+        )
+        assert [rel.name for rel in schema] == ["Z", "A"]

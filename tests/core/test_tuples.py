@@ -1,0 +1,114 @@
+"""Tests for tuples and cells."""
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.schema import RelationSchema
+from repro.core.tuples import Cell, Tuple
+from repro.core.values import LabeledNull
+
+REL = RelationSchema("Conf", ("Name", "Year", "Org"))
+N1 = LabeledNull("N1")
+
+
+def make(values, tid="t1"):
+    return Tuple(tid, REL, values)
+
+
+class TestTupleBasics:
+    def test_getitem(self):
+        t = make(("VLDB", 1975, N1))
+        assert t["Name"] == "VLDB"
+        assert t["Year"] == 1975
+        assert t["Org"] == N1
+
+    def test_value_at(self):
+        t = make(("VLDB", 1975, N1))
+        assert t.value_at(1) == 1975
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(SchemaError, match="arity"):
+            make(("VLDB", 1975))
+
+    def test_items_order(self):
+        t = make(("VLDB", 1975, N1))
+        assert list(t.items()) == [("Name", "VLDB"), ("Year", 1975), ("Org", N1)]
+
+    def test_cells(self):
+        t = make(("VLDB", 1975, N1))
+        cells = list(t.cells())
+        assert cells[0][0] == Cell("t1", "Conf", "Name")
+        assert cells[0][1] == "VLDB"
+
+    def test_len(self):
+        assert len(make(("VLDB", 1975, N1))) == 3
+
+    def test_equality_and_hash(self):
+        a = make(("VLDB", 1975, N1))
+        b = make(("VLDB", 1975, LabeledNull("N1")))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != make(("VLDB", 1975, N1), tid="t2")
+
+    def test_id_coerced_to_string(self):
+        t = Tuple(42, REL, ("VLDB", 1975, N1))
+        assert t.tuple_id == "42"
+
+
+class TestNullStructure:
+    def test_null_and_constant_attributes(self):
+        t = make((N1, 1975, N1))
+        assert t.null_attributes() == ("Name", "Org")
+        assert t.constant_attributes() == ("Year",)
+
+    def test_nulls_with_repetitions(self):
+        t = make((N1, 1975, N1))
+        assert t.nulls() == (N1, N1)
+
+    def test_constants(self):
+        t = make((N1, 1975, "ACM"))
+        assert t.constants() == (1975, "ACM")
+
+    def test_is_ground(self):
+        assert make(("VLDB", 1975, "ACM")).is_ground()
+        assert not make(("VLDB", 1975, N1)).is_ground()
+
+    def test_constant_count(self):
+        assert make((N1, 1975, N1)).constant_count() == 1
+
+
+class TestDerivation:
+    def test_with_values(self):
+        t = make(("VLDB", 1975, N1))
+        t2 = t.with_values(("ICDE", 1984, "IEEE"))
+        assert t2.tuple_id == "t1"
+        assert t2["Name"] == "ICDE"
+        assert t["Name"] == "VLDB"  # original untouched
+
+    def test_with_id(self):
+        t = make(("VLDB", 1975, N1)).with_id("x9")
+        assert t.tuple_id == "x9"
+
+    def test_substituted(self):
+        t = make((N1, 1975, N1))
+        t2 = t.substituted({N1: "fresh"})
+        assert t2.values == ("fresh", 1975, "fresh")
+
+    def test_substituted_leaves_unlisted_values(self):
+        t = make((N1, 1975, "ACM"))
+        t2 = t.substituted({LabeledNull("other"): "x"})
+        assert t2.values == t.values
+
+    def test_content_ignores_id(self):
+        a = make(("VLDB", 1975, N1), tid="t1")
+        b = make(("VLDB", 1975, N1), tid="t2")
+        assert a.content() == b.content()
+
+
+class TestCell:
+    def test_repr(self):
+        assert repr(Cell("t3", "R", "Year")) == "t3.Year"
+
+    def test_cell_equality(self):
+        assert Cell("t1", "R", "A") == Cell("t1", "R", "A")
+        assert Cell("t1", "R", "A") != Cell("t1", "R", "B")

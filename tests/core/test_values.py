@@ -1,0 +1,107 @@
+"""Tests for the value domain (constants vs. labeled nulls)."""
+
+import pytest
+
+from repro.core.values import (
+    LabeledNull,
+    NullFactory,
+    constants_in,
+    is_constant,
+    is_null,
+    nulls_in,
+    rename_disjoint,
+)
+
+
+class TestLabeledNull:
+    def test_equality_by_label(self):
+        assert LabeledNull("N1") == LabeledNull("N1")
+        assert LabeledNull("N1") != LabeledNull("N2")
+
+    def test_null_never_equals_constant(self):
+        assert LabeledNull("N1") != "N1"
+        assert not (LabeledNull("N1") == "N1")
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(LabeledNull("N1")) == hash(LabeledNull("N1"))
+
+    def test_usable_in_sets(self):
+        nulls = {LabeledNull("N1"), LabeledNull("N1"), LabeledNull("N2")}
+        assert len(nulls) == 2
+
+    def test_hash_distinct_from_label_string(self):
+        # Nulls must not collide with the string of their own label in
+        # mixed-value dictionaries.
+        bucket = {LabeledNull("x"): 1, "x": 2}
+        assert bucket[LabeledNull("x")] == 1
+        assert bucket["x"] == 2
+
+    def test_repr_shows_label(self):
+        assert "N7" in repr(LabeledNull("N7"))
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(ValueError):
+            LabeledNull("")
+
+    def test_rejects_non_string_label(self):
+        with pytest.raises(ValueError):
+            LabeledNull(3)
+
+    def test_renamed(self):
+        assert LabeledNull("N1").renamed("N9") == LabeledNull("N9")
+
+
+class TestPredicates:
+    def test_is_null(self):
+        assert is_null(LabeledNull("N1"))
+        assert not is_null("N1")
+        assert not is_null(42)
+        assert not is_null(None)
+
+    def test_is_constant(self):
+        assert is_constant("x")
+        assert is_constant(0)
+        assert is_constant(None)
+        assert not is_constant(LabeledNull("N1"))
+
+    def test_filters(self):
+        values = ["a", LabeledNull("N1"), 3, LabeledNull("N2")]
+        assert list(nulls_in(values)) == [LabeledNull("N1"), LabeledNull("N2")]
+        assert list(constants_in(values)) == ["a", 3]
+
+
+class TestNullFactory:
+    def test_fresh_labels_never_repeat(self):
+        factory = NullFactory(prefix="N")
+        produced = [factory() for _ in range(100)]
+        assert len(set(produced)) == 100
+
+    def test_prefix_respected(self):
+        factory = NullFactory(prefix="Sk")
+        assert factory().label.startswith("Sk")
+
+    def test_many(self):
+        factory = NullFactory()
+        assert len(factory.many(5)) == 5
+
+    def test_start_offset(self):
+        factory = NullFactory(prefix="N", start=10)
+        assert factory().label == "N10"
+
+
+class TestRenameDisjoint:
+    def test_no_collision_no_renaming(self):
+        values = [LabeledNull("A1"), "c"]
+        assert rename_disjoint(values, {"B1"}) == {}
+
+    def test_collisions_renamed_away(self):
+        values = [LabeledNull("N1"), LabeledNull("N2")]
+        renaming = rename_disjoint(values, {"N1"})
+        assert set(renaming) == {LabeledNull("N1")}
+        new_label = renaming[LabeledNull("N1")].label
+        assert new_label not in {"N1", "N2"}
+
+    def test_renaming_avoids_own_labels(self):
+        values = [LabeledNull("N1"), LabeledNull("R0")]
+        renaming = rename_disjoint(values, {"N1"}, prefix="R")
+        assert renaming[LabeledNull("N1")].label != "R0"

@@ -1,0 +1,157 @@
+"""Tests for tgds and the naive chase."""
+
+import pytest
+
+from repro.core.errors import ChaseError
+from repro.core.instance import Instance
+from repro.core.schema import RelationSchema, Schema
+from repro.core.values import is_null
+from repro.dataexchange.chase import (
+    SKOLEM_SCOPE_BODY,
+    SKOLEM_SCOPE_HEAD,
+    SkolemFactory,
+    chase,
+)
+from repro.dataexchange.tgds import TGD, Atom, Var, mapping_labels_unique
+
+TARGET = Schema(
+    [
+        RelationSchema("W", ("Name", "HId")),
+        RelationSchema("H", ("HId", "Hosp")),
+    ]
+)
+
+
+def source(rows):
+    return Instance.from_rows("D", ("Name", "Hosp"), rows, id_prefix="d")
+
+
+def partition_tgd():
+    n, h, e = Var("n"), Var("h"), Var("e")
+    return TGD(
+        "m1",
+        body=(Atom("D", (n, h)),),
+        head=(Atom("W", (n, e)), Atom("H", (e, h))),
+    )
+
+
+class TestTGD:
+    def test_variable_classification(self):
+        tgd = partition_tgd()
+        assert {v.name for v in tgd.universal_variables()} == {"n", "h"}
+        assert {v.name for v in tgd.existential_variables()} == {"e"}
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ChaseError):
+            TGD("bad", body=(), head=(Atom("W", (Var("n"), Var("e"))),))
+
+    def test_duplicate_labels_rejected(self):
+        tgd = partition_tgd()
+        with pytest.raises(ChaseError, match="duplicate"):
+            mapping_labels_unique([tgd, tgd])
+
+    def test_constants_in_atoms(self):
+        n, e = Var("n"), Var("e")
+        tgd = TGD(
+            "m2",
+            body=(Atom("D", (n, "fixed")),),
+            head=(Atom("W", (n, e)),),
+        )
+        result = chase(
+            source([("ann", "fixed"), ("bob", "other")]), [tgd], TARGET
+        )
+        names = {t["Name"] for t in result.relation("W")}
+        assert names == {"ann"}
+
+
+class TestChase:
+    def test_existentials_become_nulls(self):
+        result = chase(source([("ann", "h1")]), [partition_tgd()], TARGET)
+        w = next(iter(result.relation("W")))
+        h = next(iter(result.relation("H")))
+        assert is_null(w["HId"])
+        assert w["HId"] == h["HId"]  # shared existential
+
+    def test_head_scope_merges_equal_keys(self):
+        result = chase(
+            source([("ann", "h1"), ("ann", "h1")]),
+            [partition_tgd()],
+            TARGET,
+            skolem_scope=SKOLEM_SCOPE_HEAD,
+        )
+        # duplicate source rows produce identical target tuples -> dedup
+        assert len(result.relation("W")) == 1
+        assert len(result.relation("H")) == 1
+
+    def test_body_scope_vs_head_scope_nulls(self):
+        rows = [("ann", "h1"), ("bob", "h1")]
+        n, h, e = Var("n"), Var("h"), Var("e")
+        hospital_only = TGD(
+            "m3", body=(Atom("D", (n, h)),), head=(Atom("H", (e, h)),)
+        )
+        head_scoped = chase(
+            source(rows), [hospital_only], TARGET,
+            skolem_scope=SKOLEM_SCOPE_HEAD,
+        )
+        body_scoped = chase(
+            source(rows), [hospital_only], TARGET,
+            skolem_scope=SKOLEM_SCOPE_BODY,
+        )
+        # Head scope keys the null on h alone: one H tuple for h1.
+        assert len(head_scoped.relation("H")) == 1
+        # Body scope keys on (h, n): one null per source row.
+        assert len(body_scoped.relation("H")) == 2
+
+    def test_per_tgd_scope_override(self):
+        rows = [("ann", "h1"), ("bob", "h1")]
+        n, h, e = Var("n"), Var("h"), Var("e")
+        overridden = TGD(
+            "m4", body=(Atom("D", (n, h)),), head=(Atom("H", (e, h)),),
+            skolem_scope="body",
+        )
+        result = chase(
+            source(rows), [overridden], TARGET,
+            skolem_scope=SKOLEM_SCOPE_HEAD,
+        )
+        assert len(result.relation("H")) == 2
+
+    def test_join_body(self):
+        schema = Schema(
+            [
+                RelationSchema("A", ("X", "Y")),
+                RelationSchema("B", ("Y", "Z")),
+            ]
+        )
+        src = Instance(schema)
+        src.add_row("A", "a1", ("1", "k"))
+        src.add_row("A", "a2", ("2", "m"))
+        src.add_row("B", "b1", ("k", "9"))
+        x, y, z = Var("x"), Var("y"), Var("z")
+        join_tgd = TGD(
+            "join",
+            body=(Atom("A", (x, y)), Atom("B", (y, z))),
+            head=(Atom("W", (x, z)),),
+        )
+        result = chase(src, [join_tgd], TARGET)
+        contents = {t.values for t in result.relation("W")}
+        assert contents == {("1", "9")}
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ChaseError, match="scope"):
+            chase(source([]), [partition_tgd()], TARGET, skolem_scope="zap")
+
+    def test_arity_mismatch_rejected(self):
+        n, e = Var("n"), Var("e")
+        bad = TGD(
+            "bad", body=(Atom("D", (n,)),), head=(Atom("W", (n, e)),)
+        )
+        with pytest.raises(ChaseError, match="arity"):
+            chase(source([("ann", "h1")]), [bad], TARGET)
+
+    def test_skolem_factory_memoizes(self):
+        factory = SkolemFactory()
+        a = factory.null_for("m", "e", ("x",))
+        b = factory.null_for("m", "e", ("x",))
+        c = factory.null_for("m", "e", ("y",))
+        assert a == b
+        assert a != c

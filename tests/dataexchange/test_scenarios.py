@@ -1,0 +1,80 @@
+"""Tests for the Table 6 exchange scenario and its baselines."""
+
+import pytest
+
+from repro.core.instance import prepare_for_comparison
+from repro.dataexchange.scenarios import (
+    generate_exchange_scenario,
+    missing_rows,
+    row_score,
+)
+from repro.homomorphism.core import is_core
+from repro.homomorphism.homomorphism import has_homomorphism
+from repro.mappings.constraints import MatchOptions
+from repro.algorithms.signature import signature_compare
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return generate_exchange_scenario(doctors=40, seed=0)
+
+
+class TestSolutionStructure:
+    def test_gold_is_core(self, scenario):
+        assert is_core(scenario.gold)
+
+    def test_solutions_fold_onto_gold(self, scenario):
+        """U1/U2 are universal: homomorphisms into the core exist."""
+        for solution in (scenario.u1, scenario.u2):
+            left, right = prepare_for_comparison(solution, scenario.gold)
+            assert has_homomorphism(left, right)
+
+    def test_wrong_mapping_does_not_fold(self, scenario):
+        left, right = prepare_for_comparison(scenario.wrong, scenario.gold)
+        assert not has_homomorphism(left, right)
+
+    def test_redundancy_ordering(self, scenario):
+        assert len(scenario.u1) > len(scenario.u2) > len(scenario.gold)
+
+    def test_wrong_same_cardinality_as_gold(self, scenario):
+        assert len(scenario.wrong) == len(scenario.gold)
+
+
+class TestBaselines:
+    def test_row_score_blind_to_wrong_mapping(self, scenario):
+        assert row_score(scenario.wrong, scenario.gold) == 1.0
+        assert row_score(scenario.u1, scenario.gold) < 1.0
+
+    def test_missing_rows(self, scenario):
+        assert missing_rows(scenario.wrong, scenario.gold) == len(
+            scenario.wrong
+        )
+        assert missing_rows(scenario.u1, scenario.gold) == 0
+        assert missing_rows(scenario.u2, scenario.gold) == 0
+
+    def test_row_score_empty_edge(self):
+        from repro.core.instance import Instance
+
+        empty = Instance.from_rows("R", ("A",), [])
+        assert row_score(empty, empty) == 1.0
+
+
+class TestSignatureVerdict:
+    """The Table 6 claim: sig score exposes W and credits U1/U2."""
+
+    def test_scores(self, scenario):
+        options = MatchOptions.record_merging()
+        scores = {}
+        for label, solution in scenario.solutions().items():
+            left, right = prepare_for_comparison(solution, scenario.gold)
+            scores[label] = signature_compare(left, right, options).similarity
+        assert scores["W"] == pytest.approx(0.0)
+        assert scores["U1"] > 0.7
+        assert scores["U2"] > scores["U1"]
+
+    def test_gold_vs_itself(self, scenario):
+        left, right = prepare_for_comparison(scenario.gold, scenario.gold)
+        result = signature_compare(
+            left, right, MatchOptions.versioning()
+        )
+        assert result.similarity == pytest.approx(1.0)

@@ -1,0 +1,118 @@
+"""Semantic checks of chase outputs: solutions satisfy their mappings.
+
+The chase must produce instances ``J`` with ``(I, J) |= Σ``: for every
+body match in the source there is a corresponding head match in the target
+(with existentials witnessed by *some* values).  These tests verify that
+directly rather than trusting construction.
+"""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.schema import RelationSchema, Schema
+from repro.core.values import Value, is_null
+from repro.dataexchange.chase import chase
+from repro.dataexchange.scenarios import (
+    SOURCE_SCHEMA,
+    TARGET_SCHEMA,
+    generate_exchange_scenario,
+    generate_source,
+)
+from repro.dataexchange.tgds import TGD, Atom, Var
+
+
+def _satisfies_tgd(source: Instance, target: Instance, tgd: TGD) -> bool:
+    """Naive check of ``(source, target) |= tgd``."""
+
+    def match_atoms(instance, atoms, binding):
+        if not atoms:
+            yield binding
+            return
+        atom, *rest = atoms
+        for t in instance.relation(atom.relation):
+            extended = dict(binding)
+            ok = True
+            for term, value in zip(atom.terms, t.values):
+                if isinstance(term, Var):
+                    if term in extended and extended[term] != value:
+                        ok = False
+                        break
+                    extended[term] = value
+                elif term != value:
+                    ok = False
+                    break
+            if ok:
+                yield from match_atoms(instance, rest, extended)
+
+    for body_binding in match_atoms(source, list(tgd.body), {}):
+        restricted = {
+            var: value
+            for var, value in body_binding.items()
+            if var in tgd.universal_variables()
+        }
+        witnessed = any(
+            True for _ in match_atoms(target, list(tgd.head), dict(restricted))
+        )
+        if not witnessed:
+            return False
+    return True
+
+
+class TestSolutionsSatisfyMappings:
+    def test_all_scenario_solutions_are_solutions(self):
+        from repro.dataexchange.scenarios import _doctor_tgd
+
+        scenario = generate_exchange_scenario(doctors=25, seed=0)
+        gold_tgd = _doctor_tgd("gold", "Doctor")
+        for solution in (scenario.gold, scenario.u1, scenario.u2):
+            assert _satisfies_tgd(scenario.source, solution, gold_tgd), (
+                solution.name
+            )
+
+    def test_wrong_solution_fails_the_correct_mapping(self):
+        from repro.dataexchange.scenarios import _doctor_tgd
+
+        scenario = generate_exchange_scenario(doctors=25, seed=0)
+        gold_tgd = _doctor_tgd("gold", "Doctor")
+        # W only covers the Person table; the Doctor rows are unwitnessed.
+        assert not _satisfies_tgd(scenario.source, scenario.wrong, gold_tgd)
+
+    def test_existentials_are_nulls_everywhere(self):
+        scenario = generate_exchange_scenario(doctors=15, seed=1)
+        for solution in (scenario.gold, scenario.u1, scenario.u2):
+            for t in solution.relation("DoctorInfo"):
+                assert is_null(t["HId"])
+            for t in solution.relation("HospitalInfo"):
+                assert is_null(t["HId"])
+
+    def test_shared_existential_links_relations(self):
+        scenario = generate_exchange_scenario(doctors=15, seed=1)
+        doctor_ids = {t["HId"] for t in scenario.gold.relation("DoctorInfo")}
+        hospital_ids = {
+            t["HId"] for t in scenario.gold.relation("HospitalInfo")
+        }
+        assert doctor_ids == hospital_ids
+
+
+class TestChaseDeterminism:
+    def test_same_source_same_solution(self):
+        source = generate_source(20, seed=3)
+        from repro.dataexchange.scenarios import _doctor_tgd
+
+        tgd = _doctor_tgd("gold", "Doctor")
+        first = chase(source, [tgd], TARGET_SCHEMA)
+        second = chase(source, [tgd], TARGET_SCHEMA)
+        assert first.content_multiset() == second.content_multiset()
+
+    def test_source_schema_shape(self):
+        source = generate_source(10, seed=0)
+        assert set(source.schema.relation_names()) == {"Doctor", "Person"}
+        assert len(source.relation("Doctor")) == 10
+        assert len(source.relation("Person")) == 10
+        doctor_values = {
+            v for t in source.relation("Doctor") for v in t.values
+        }
+        person_values = {
+            v for t in source.relation("Person") for v in t.values
+        }
+        assert not doctor_values & person_values  # disjoint vocabularies

@@ -1,0 +1,93 @@
+"""Tests for the synthetic dataset generators (Table 1 profiles)."""
+
+import pytest
+
+from repro.cleaning.constraints import satisfies
+from repro.datagen.synthetic import (
+    PROFILES,
+    dataset_statistics,
+    generate_dataset,
+    profile,
+)
+
+
+class TestProfiles:
+    def test_all_profiles_present(self):
+        assert set(PROFILES) == {"doct", "bike", "git", "bus", "iris", "nba"}
+
+    def test_paper_arities(self):
+        assert profile("doct").arity == 5
+        assert profile("bike").arity == 9
+        assert profile("git").arity == 19
+        assert profile("bus").arity == 25
+        assert profile("iris").arity == 5
+        assert profile("nba").arity == 11
+
+    def test_paper_default_rows(self):
+        assert profile("doct").default_rows == 20000
+        assert profile("iris").default_rows == 120
+        assert profile("nba").default_rows == 9360
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError, match="unknown dataset profile"):
+            profile("nope")
+
+    def test_derived_columns_define_fds(self):
+        fds = profile("bus").functional_dependencies()
+        pairs = {(fd.lhs[0], fd.rhs) for fd in fds}
+        assert ("RouteId", "RouteName") in pairs
+        assert ("StopId", "StopName") in pairs
+
+
+class TestGeneration:
+    def test_row_count(self):
+        assert len(generate_dataset("doct", rows=50)) == 50
+
+    def test_default_rows_used(self):
+        assert len(generate_dataset("iris")) == 120
+
+    def test_deterministic_for_seed(self):
+        a = generate_dataset("bike", rows=40, seed=7)
+        b = generate_dataset("bike", rows=40, seed=7)
+        assert a.content_multiset() == b.content_multiset()
+
+    def test_different_seeds_differ(self):
+        a = generate_dataset("bike", rows=40, seed=1)
+        b = generate_dataset("bike", rows=40, seed=2)
+        assert a.content_multiset() != b.content_multiset()
+
+    def test_instances_are_ground(self):
+        assert generate_dataset("nba", rows=30).is_ground()
+
+    def test_generated_data_satisfies_profile_fds(self):
+        bus = generate_dataset("bus", rows=300, seed=3)
+        assert satisfies(bus, profile("bus").functional_dependencies())
+        bike = generate_dataset("bike", rows=300, seed=3)
+        assert satisfies(bike, profile("bike").functional_dependencies())
+
+    def test_unique_columns_are_unique(self):
+        doct = generate_dataset("doct", rows=200, seed=0)
+        names = [t["Name"] for t in doct.tuples()]
+        assert len(set(names)) == len(names)
+
+    def test_distinct_ratio_close_to_paper(self):
+        """The distinct-values-per-row ratio approximates Table 1."""
+        paper_ratio = {
+            "doct": 44600 / 20000,
+            "bike": 23974 / 10000,
+            "git": 39142 / 10000,
+            "bus": 29930 / 20000,
+            "nba": 2823 / 9360,
+        }
+        for name, expected in paper_ratio.items():
+            instance = generate_dataset(name, rows=1000, seed=0)
+            ratio = instance.distinct_value_count() / len(instance)
+            assert ratio == pytest.approx(expected, rel=0.45), name
+
+
+class TestStatistics:
+    def test_statistics_shape(self):
+        stats = dataset_statistics(generate_dataset("iris", rows=60))
+        assert stats["rows"] == 60
+        assert stats["attributes"] == 5
+        assert stats["distinct_values"] > 0

@@ -1,0 +1,109 @@
+"""Tests for data-lake discovery (search / near-duplicates)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.datagen.perturb import PerturbationConfig, perturb
+from repro.datagen.synthetic import generate_dataset
+from repro.discovery.lake import DataLake
+from repro.versioning.operations import removed_columns_version
+
+
+def simple(rows, name="I", relation="R", attrs=("A", "B")):
+    return Instance.from_rows(relation, attrs, rows, name=name)
+
+
+@pytest.fixture
+def lake():
+    lake = DataLake()
+    lake.add("orig", simple([("x", 1), ("y", 2), ("z", 3)]))
+    lake.add("copy", simple([("x", 1), ("y", 2), ("z", 3)]))
+    lake.add("near", simple([("x", 1), ("y", 2), ("q", 9)]))
+    lake.add("far", simple([("p", 7), ("q", 8), ("r", 9)]))
+    return lake
+
+
+class TestRegistry:
+    def test_add_and_len(self, lake):
+        assert len(lake) == 4
+        assert "orig" in lake
+        assert lake.names() == ["copy", "far", "near", "orig"]
+
+    def test_duplicate_name_rejected(self, lake):
+        with pytest.raises(ValueError, match="already"):
+            lake.add("orig", simple([("a", 0)]))
+
+    def test_remove(self, lake):
+        lake.remove("far")
+        assert "far" not in lake
+
+
+class TestSearch:
+    def test_ranking(self, lake):
+        hits = lake.search(simple([("x", 1), ("y", 2), ("z", 3)]), top_k=4)
+        names = [h.name for h in hits]
+        assert set(names[:2]) == {"copy", "orig"}
+        assert names[2] == "near"
+        assert names[3] == "far"
+        assert hits[0].similarity == 1.0
+        assert hits[3].similarity == 0.0
+
+    def test_top_k_limits(self, lake):
+        assert len(lake.search(simple([("x", 1)]), top_k=2)) == 2
+
+    def test_incomparable_relation_skipped(self, lake):
+        query = Instance.from_rows("Other", ("A", "B"), [("x", 1)])
+        assert lake.search(query) == []
+
+    def test_schema_drift_bridged_with_padding(self, lake):
+        # A candidate that lost a column still matches via Sec. 4.3 padding.
+        projected = removed_columns_version(lake.get("orig"), seed=1)
+        lake.add("projected", projected)
+        hits = lake.search(lake.get("orig"), top_k=10)
+        hit = next(h for h in hits if h.name == "projected")
+        assert hit.matched_tuples == 3
+        assert 0.5 < hit.similarity < 1.0
+
+
+class TestNearDuplicates:
+    def test_threshold(self, lake):
+        pairs = lake.near_duplicates(threshold=0.99)
+        assert [(p.first, p.second) for p in pairs] == [("copy", "orig")]
+
+    def test_lower_threshold_catches_near(self, lake):
+        pairs = lake.near_duplicates(threshold=0.6)
+        names = {frozenset((p.first, p.second)) for p in pairs}
+        assert frozenset(("copy", "orig")) in names
+        assert frozenset(("near", "orig")) in names
+        assert frozenset(("far", "orig")) not in names
+
+    def test_clusters(self, lake):
+        clusters = lake.duplicate_clusters(threshold=0.6)
+        assert {"copy", "orig", "near"} in clusters
+        assert all("far" not in cluster for cluster in clusters)
+
+    def test_no_duplicates(self):
+        lake = DataLake()
+        lake.add("a", simple([("1", "2")]))
+        lake.add("b", simple([("3", "4")]))
+        assert lake.near_duplicates() == []
+        assert lake.duplicate_clusters() == []
+
+
+class TestIncompleteTables:
+    def test_null_tables_found(self):
+        """Lake dedup over incomplete tables (the paper's XASH use case)."""
+        base = generate_dataset("iris", rows=40, seed=0)
+        dirty = perturb(base, PerturbationConfig.mod_cell(8.0, seed=1)).target
+        dirty = Instance.from_rows(
+            "Iris", base.schema.relation("Iris").attributes,
+            [t.values for t in dirty.tuples()], name="dirty",
+        )
+        lake = DataLake()
+        lake.add("base", base)
+        lake.add("dirty-version", dirty)
+        lake.add("other", generate_dataset("iris", rows=40, seed=99))
+        pairs = lake.near_duplicates(threshold=0.5)
+        assert any(
+            {p.first, p.second} == {"base", "dirty-version"} for p in pairs
+        )

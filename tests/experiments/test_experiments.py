@@ -1,0 +1,150 @@
+"""Smoke and shape tests for the experiment drivers (quick scale).
+
+Each driver must run end-to-end and reproduce the paper's qualitative
+claims; the absolute values live in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    figure8,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+SILENT = lambda _line: None  # noqa: E731 - terse sink for experiment output
+
+
+@pytest.fixture(scope="module")
+def table2_rows():
+    return table2.run(scale="quick", seed=0, out=SILENT)
+
+
+@pytest.fixture(scope="module")
+def table3_rows():
+    return table3.run(scale="quick", seed=0, out=SILENT)
+
+
+class TestRegistry:
+    def test_all_tables_and_figures_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "table7", "figure8", "ablation",
+        }
+
+
+class TestAblation:
+    def test_aligned_dominates_on_exchange(self):
+        from repro.experiments import ablation
+
+        records = ablation.run(scale="quick", out=SILENT)
+        exchange = {
+            r["greedy"]: r for r in records
+            if r.get("workload") == "U1 vs core (exchange)"
+        }
+        assert exchange["aligned"]["score"] >= exchange["plain"]["score"]
+        lambdas = [r for r in records if "lam" in r]
+        scores = [r["score"] for r in sorted(lambdas, key=lambda r: r["lam"])]
+        assert scores == sorted(scores)
+
+
+class TestTable1:
+    def test_profiles_covered(self):
+        rows = table1.run(scale="quick", out=SILENT)
+        assert {r["dataset"] for r in rows} == {
+            "doct", "bike", "git", "bus", "iris", "nba"
+        }
+        for row in rows:
+            assert row["attrs"] == row["paper_attrs"]
+
+
+class TestTable2:
+    def test_signature_close_to_reference(self, table2_rows):
+        for row in table2_rows:
+            assert abs(row["score_difference"]) < 0.01, row
+
+    def test_signature_much_faster_than_exact(self, table2_rows):
+        exact_rows = [r for r in table2_rows if r["exact_time"] is not None]
+        assert exact_rows
+        for row in exact_rows:
+            assert row["signature_time"] < row["exact_time"]
+
+    def test_exact_agrees_when_exhausted(self, table2_rows):
+        for row in table2_rows:
+            if row["exact_exhausted"]:
+                assert row["exact_score"] >= row["signature_score"] - 1e-9
+
+
+class TestTable3:
+    def test_nm_scenarios_close(self, table3_rows):
+        for row in table3_rows:
+            assert abs(row["score_difference"]) < 0.02, row
+
+    def test_tuple_counts_grew(self, table3_rows):
+        for row in table3_rows:
+            assert row["source_tuples"] > row["rows"]
+
+
+class TestFigure8:
+    def test_differences_small_at_low_noise(self):
+        series = figure8.run(scale="quick", out=SILENT)
+        for point in series:
+            if point["percent"] <= 5:
+                assert abs(point["difference"]) < 0.01, point
+
+
+class TestTable4:
+    def test_signature_step_dominates(self):
+        rows = table4.run(scale="quick", out=SILENT)
+        for row in rows:
+            assert row["sb_match_percent"] > 50.0
+            assert row["sb_score"] <= row["final_score"] + 1e-9
+
+
+class TestTable5:
+    def test_metric_interactions(self):
+        rows = {r["system"]: r for r in table5.run(scale="quick", out=SILENT)}
+        # Ranking: llunatic best on F1, sampling worst.
+        assert rows["llunatic"]["f1"] > rows["holistic"]["f1"] > rows[
+            "sampling"
+        ]["f1"]
+        # F1-instance hides the differences (all near 1).
+        for row in rows.values():
+            assert row["f1_instance"] > 0.98
+        # Signature score preserves the F1 ranking while crediting nulls.
+        assert rows["llunatic"]["signature"] >= rows["sampling"]["signature"]
+        assert rows["sampling"]["signature"] > rows["sampling"]["f1"]
+
+
+class TestTable6:
+    def test_wrong_mapping_exposed(self):
+        rows = {r["scenario"]: r for r in table6.run(scale="quick", out=SILENT)}
+        wrong = rows["Doct-W"]
+        assert wrong["row_score"] == pytest.approx(1.0)
+        assert wrong["signature_score"] == pytest.approx(0.0)
+        assert wrong["missing_rows"] == wrong["solution_tuples"]
+        for label in ("Doct-U1", "Doct-U2"):
+            assert rows[label]["signature_score"] > 0.7
+            assert rows[label]["missing_rows"] == 0
+
+
+class TestTable7:
+    def test_diff_vs_signature(self):
+        rows = table7.run(scale="quick", out=SILENT)
+        by_key = {(r["dataset"], r["variant"]): r for r in rows}
+        for dataset in ("iris", "nba"):
+            shuffled = by_key[(dataset, "S")]
+            assert shuffled["sig_M"] == shuffled["TO"]
+            assert shuffled["diff_M"] < shuffled["TO"]
+            removed = by_key[(dataset, "R")]
+            assert removed["diff_M"] == removed["TM"]
+            assert removed["sig_M"] == removed["TM"]
+            columns = by_key[(dataset, "C")]
+            assert columns["diff_M"] == 0
+            assert columns["sig_M"] == columns["TO"]

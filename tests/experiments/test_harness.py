@@ -1,0 +1,89 @@
+"""Tests for the experiment harness utilities and the CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main as cli_main
+from repro.experiments.harness import (
+    SizeLadder,
+    format_table,
+    summarize_counts,
+)
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["A", "Value"], [("x", 1.23456), ("longer", 2)], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[1] and "Value" in lines[1]
+        assert "1.235" in text  # floats formatted to 3 decimals
+
+    def test_summarize_counts(self):
+        assert summarize_counts(950) == "950"
+        assert summarize_counts(1500) == "1.5k"
+        assert summarize_counts(49000) == "49k"
+        assert summarize_counts(1_960_000) == "2.0M"
+
+    def test_size_ladder(self):
+        ladder = SizeLadder(quick=(1,), default=(2,), paper=(3,))
+        assert ladder.for_scale("quick") == (1,)
+        assert ladder.for_scale("paper") == (3,)
+        with pytest.raises(ValueError, match="unknown scale"):
+            ladder.for_scale("giant")
+
+
+class TestCLI:
+    def test_runs_single_experiment(self, capsys):
+        assert cli_main(["table1", "--scale", "quick"]) == 0
+        output = capsys.readouterr().out
+        assert "Table 1" in output
+        assert "completed in" in output
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            cli_main(["table99"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            cli_main(["table1", "--scale", "galactic"])
+
+
+class TestInstancePretty:
+    def test_pretty_renders_nulls_and_truncates(self):
+        from repro.core.instance import Instance
+        from repro.core.values import LabeledNull
+
+        inst = Instance.from_rows(
+            "R", ("A", "B"),
+            [(LabeledNull("N1"), str(i)) for i in range(25)],
+        )
+        text = inst.pretty(max_rows=5)
+        assert "R (25 tuples)" in text
+        assert "N1" in text
+        assert "..." in text
+
+
+class TestAsciiChart:
+    def test_renders_series(self):
+        from repro.experiments.harness import render_ascii_chart
+
+        text = render_ascii_chart(
+            {"a": [(0, 0.0), (10, 1.0)], "b": [(5, 0.5)]},
+            width=20, height=5, title="demo",
+        )
+        assert text.startswith("demo")
+        assert "*=a" in text and "o=b" in text
+        assert "x: [0 .. 10]" in text
+
+    def test_empty_series(self):
+        from repro.experiments.harness import render_ascii_chart
+
+        assert render_ascii_chart({}, title="t") == "t"
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        from repro.experiments.harness import render_ascii_chart
+
+        text = render_ascii_chart({"a": [(1, 0.5), (2, 0.5)]})
+        assert "0.5000" in text

@@ -1,0 +1,112 @@
+"""Tests for null blocks and block-wise core computation."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.homomorphism.blocks import (
+    compute_core_blockwise,
+    is_core_blockwise,
+    null_blocks,
+)
+from repro.homomorphism.core import compute_core, is_core
+from repro.homomorphism.isomorphism import are_isomorphic
+
+N = LabeledNull
+
+
+def inst(rows, attrs=("A", "B"), prefix="t"):
+    return Instance.from_rows("R", attrs, rows, id_prefix=prefix)
+
+
+class TestNullBlocks:
+    def test_ground_tuples_are_singletons(self):
+        blocks = null_blocks(inst([("a", "b"), ("c", "d")]))
+        assert [len(b) for b in blocks] == [1, 1]
+
+    def test_shared_null_links_tuples(self):
+        blocks = null_blocks(
+            inst([(N("x"), "1"), (N("x"), "2"), ("g", "3")])
+        )
+        assert sorted(len(b) for b in blocks) == [1, 2]
+
+    def test_transitive_linking(self):
+        blocks = null_blocks(
+            inst([(N("x"), N("y")), (N("y"), N("z")), (N("z"), "c")])
+        )
+        assert len(blocks) == 1
+        assert len(blocks[0]) == 3
+
+    def test_distinct_nulls_distinct_blocks(self):
+        blocks = null_blocks(inst([(N("x"), "1"), (N("y"), "2")]))
+        assert [len(b) for b in blocks] == [1, 1]
+
+    def test_empty_instance(self):
+        assert null_blocks(inst([])) == []
+
+
+class TestBlockwiseCore:
+    def test_simple_fold(self):
+        instance = inst([("a", "b"), ("a", N("N1"))])
+        core = compute_core_blockwise(instance)
+        assert len(core) == 1
+        assert core.is_ground()
+
+    def test_duplicate_contents_deduped(self):
+        instance = inst([("a", "b"), ("a", "b"), (N("x"), N("x"))])
+        core = compute_core_blockwise(instance)
+        counts = core.content_multiset()
+        assert all(c == 1 for c in counts.values())
+
+    def test_agrees_with_naive_core_on_random_instances(self):
+        import random
+
+        rng = random.Random(17)
+        for trial in range(25):
+            rows = []
+            for i in range(6):
+                def val(j):
+                    if rng.random() < 0.5:
+                        return rng.choice("ab")
+                    return N(f"B{trial}_{i % 3}_{j}")
+                rows.append((val(0), val(1)))
+            instance = inst(rows)
+            naive = compute_core(instance)
+            blockwise = compute_core_blockwise(instance)
+            assert len(naive) == len(blockwise)
+            assert are_isomorphic(naive, blockwise)
+
+    def test_exchange_gold_is_core(self):
+        from repro.dataexchange.scenarios import generate_exchange_scenario
+
+        scenario = generate_exchange_scenario(doctors=120, seed=0)
+        assert is_core_blockwise(scenario.gold)
+        # and the redundant solutions are not cores
+        assert not is_core_blockwise(scenario.u1)
+        assert not is_core_blockwise(scenario.u2)
+
+    def test_exchange_redundancy_folds_to_gold_size(self):
+        from repro.dataexchange.scenarios import generate_exchange_scenario
+
+        scenario = generate_exchange_scenario(doctors=60, seed=0)
+        core = compute_core_blockwise(scenario.u2)
+        assert len(core) == len(scenario.gold)
+
+    def test_blockwise_result_is_core(self):
+        instance = inst(
+            [("a", "b"), ("a", N("N1")), (N("N2"), "b"), (N("N3"), N("N4"))]
+        )
+        core = compute_core_blockwise(instance)
+        assert is_core(core)
+        assert is_core_blockwise(core)
+
+
+class TestIsCoreBlockwise:
+    def test_ground_set_is_core(self):
+        assert is_core_blockwise(inst([("a", "b"), ("c", "d")]))
+
+    def test_duplicates_not_core(self):
+        assert not is_core_blockwise(inst([("a", "b"), ("a", "b")]))
+
+    def test_foldable_not_core(self):
+        assert not is_core_blockwise(inst([("a", "b"), ("a", N("N1"))]))

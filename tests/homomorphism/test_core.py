@@ -1,0 +1,82 @@
+"""Tests for core computation."""
+
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.homomorphism.core import compute_core, is_core
+from repro.homomorphism.homomorphism import homomorphically_equivalent
+from repro.homomorphism.isomorphism import are_isomorphic
+
+N = LabeledNull
+
+
+def inst(rows, attrs=("A", "B"), prefix="t", name="I"):
+    return Instance.from_rows("R", attrs, rows, id_prefix=prefix, name=name)
+
+
+class TestComputeCore:
+    def test_redundant_null_tuple_folds(self):
+        instance = inst([("a", "b"), ("a", N("N1"))])
+        core = compute_core(instance)
+        assert len(core) == 1
+        assert core.is_ground()
+
+    def test_ground_instance_is_its_own_core(self):
+        instance = inst([("a", "b"), ("c", "d")])
+        core = compute_core(instance)
+        assert len(core) == 2
+        assert core.content_multiset() == instance.content_multiset()
+
+    def test_core_is_hom_equivalent_to_input(self):
+        instance = inst(
+            [("a", "b"), ("a", N("N1")), (N("N2"), "b"), (N("N3"), N("N4"))]
+        )
+        core = compute_core(instance)
+        assert homomorphically_equivalent(instance, core)
+        assert is_core(core)
+
+    def test_chain_of_folds(self):
+        instance = inst(
+            [("a", "b"), ("a", N("N1")), (N("N2"), N("N1"))]
+        )
+        core = compute_core(instance)
+        assert len(core) == 1
+
+    def test_non_redundant_nulls_survive(self):
+        # (N1, c) does not fold onto (a, b): c is not b.
+        instance = inst([("a", "b"), (N("N1"), "c")])
+        core = compute_core(instance)
+        assert len(core) == 2
+
+    def test_core_unique_up_to_isomorphism(self):
+        base = [("a", "b"), ("a", N("N1")), (N("N2"), "b")]
+        core1 = compute_core(inst(base, prefix="x"))
+        core2 = compute_core(inst(list(reversed(base)), prefix="y"))
+        assert are_isomorphic(core1, core2)
+
+    def test_linked_nulls_fold_together(self):
+        # N1 links two tuples; folding must respect the shared null.
+        instance = inst(
+            [("a", "b"), ("c", "d"), (N("N1"), "b"), (N("N1"), "d")]
+        )
+        core = compute_core(instance)
+        # N1 -> a requires (a, d) to exist: it does not; N1 -> c requires
+        # (c, b): it does not.  So no fold of the linked pair; but each
+        # null tuple alone cannot fold either without moving N1 both ways.
+        assert len(core) == 4
+
+    def test_input_not_modified(self):
+        instance = inst([("a", "b"), ("a", N("N1"))])
+        before = instance.content_multiset()
+        compute_core(instance)
+        assert instance.content_multiset() == before
+
+
+class TestIsCore:
+    def test_ground_is_core(self):
+        assert is_core(inst([("a", "b")]))
+
+    def test_redundant_is_not_core(self):
+        assert not is_core(inst([("a", "b"), ("a", N("N1"))]))
+
+    def test_empty_is_core(self):
+        assert is_core(inst([]))

@@ -1,0 +1,123 @@
+"""Tests for homomorphism search."""
+
+from repro.core.instance import Instance
+from repro.core.schema import RelationSchema, Schema
+from repro.core.values import LabeledNull
+from repro.homomorphism.homomorphism import (
+    HomomorphismSearch,
+    find_homomorphism,
+    has_homomorphism,
+    homomorphically_equivalent,
+)
+
+N = LabeledNull
+
+
+def inst(rows, attrs=("A", "B"), prefix="t", name="I"):
+    return Instance.from_rows("R", attrs, rows, id_prefix=prefix, name=name)
+
+
+class TestBasics:
+    def test_identity_hom(self):
+        left = inst([("x", 1)], prefix="l")
+        right = inst([("x", 1)], prefix="r")
+        assert has_homomorphism(left, right)
+
+    def test_null_to_constant(self):
+        left = inst([(N("N1"), 1)], prefix="l")
+        right = inst([("x", 1)], prefix="r")
+        h = find_homomorphism(left, right)
+        assert h is not None
+        assert h(N("N1")) == "x"
+
+    def test_constant_cannot_fold(self):
+        left = inst([("x", 1)], prefix="l")
+        right = inst([("y", 1)], prefix="r")
+        assert not has_homomorphism(left, right)
+
+    def test_repeated_null_must_agree(self):
+        left = inst([(N("N1"), N("N1"))], prefix="l")
+        right = inst([("a", "b")], prefix="r")
+        assert not has_homomorphism(left, right)
+        right_ok = inst([("a", "a")], prefix="q")
+        assert has_homomorphism(left, right_ok)
+
+    def test_cross_tuple_consistency(self):
+        left = inst([(N("N1"), "u"), (N("N1"), "v")], prefix="l")
+        right = inst([("a", "u"), ("b", "v")], prefix="r")
+        # N1 would need to be both a and b.
+        assert not has_homomorphism(left, right)
+        right_ok = inst([("a", "u"), ("a", "v")], prefix="q")
+        assert has_homomorphism(left, right_ok)
+
+    def test_direction_matters(self):
+        general = inst([(N("N1"), 1)], prefix="l")
+        specific = inst([("x", 1)], prefix="r")
+        assert has_homomorphism(general, specific)
+        assert not has_homomorphism(specific, general)
+
+    def test_hom_equivalence(self):
+        left = inst([(N("N1"), 1)], prefix="l")
+        right = inst([(N("M1"), 1)], prefix="r")
+        assert homomorphically_equivalent(left, right)
+
+    def test_empty_source_trivially_maps(self):
+        left = inst([], prefix="l")
+        right = inst([("x", 1)], prefix="r")
+        assert has_homomorphism(left, right)
+
+    def test_nonempty_into_empty_fails(self):
+        left = inst([("x", 1)], prefix="l")
+        right = inst([], prefix="r")
+        assert not has_homomorphism(left, right)
+
+
+class TestMultiRelation:
+    def test_nulls_shared_across_relations(self):
+        schema = Schema(
+            [RelationSchema("R", ("A",)), RelationSchema("S", ("A",))]
+        )
+        left = Instance(schema, name="L")
+        left.add_row("R", "l1", (N("N1"),))
+        left.add_row("S", "l2", (N("N1"),))
+        right = Instance(schema, name="R")
+        right.add_row("R", "r1", ("x",))
+        right.add_row("S", "r2", ("y",))
+        # N1 must map to x (for R) and y (for S): impossible.
+        assert not has_homomorphism(left, right)
+        right.add_row("S", "r3", ("x",))
+        assert has_homomorphism(left, right)
+
+
+class TestBudget:
+    def test_budget_overflow_reported(self):
+        # A combinatorial instance: many all-null tuples.
+        left = inst(
+            [(N(f"L{i}"), N(f"M{i}")) for i in range(8)], prefix="l"
+        )
+        right = inst(
+            [(f"x{i}", f"y{j}") for i in range(4) for j in range(4)],
+            prefix="r",
+        )
+        search = HomomorphismSearch(left, right, budget=3)
+        assert search.find() is not None or not search.exhausted
+
+    def test_search_counts_steps(self):
+        left = inst([("x", 1)], prefix="l")
+        right = inst([("x", 1)], prefix="r")
+        search = HomomorphismSearch(left, right)
+        assert search.exists()
+        assert search.steps >= 1
+
+
+class TestUniversalSolutionProperty:
+    def test_universal_maps_into_more_specific(self):
+        """A universal solution has a hom into every solution (Sec. 4.3)."""
+        universal = inst(
+            [("VLDB", N("Y1")), (N("C1"), 1976)], prefix="u"
+        )
+        solution = inst(
+            [("VLDB", 1975), ("SIGMOD", 1976), ("extra", 2000)], prefix="s"
+        )
+        assert has_homomorphism(universal, solution)
+        assert not has_homomorphism(solution, universal)

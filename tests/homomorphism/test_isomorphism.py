@@ -1,0 +1,86 @@
+"""Tests for isomorphism of instances with labeled nulls."""
+
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.homomorphism.isomorphism import are_isomorphic, find_isomorphism
+
+N = LabeledNull
+
+
+def inst(rows, attrs=("A", "B"), prefix="t"):
+    return Instance.from_rows("R", attrs, rows, id_prefix=prefix)
+
+
+class TestIsomorphic:
+    def test_null_renaming(self):
+        left = inst([(N("N1"), 1), (N("N2"), 2)], prefix="l")
+        right = inst([(N("X"), 1), (N("Y"), 2)], prefix="r")
+        assert are_isomorphic(left, right)
+
+    def test_shuffled_rows(self):
+        left = inst([("a", 1), ("b", 2)], prefix="l")
+        right = inst([("b", 2), ("a", 1)], prefix="r")
+        assert are_isomorphic(left, right)
+
+    def test_mapping_is_injective_null_to_null(self):
+        left = inst([(N("N1"), N("N2"))], prefix="l")
+        right = inst([(N("X"), N("Y"))], prefix="r")
+        h = find_isomorphism(left, right)
+        assert h is not None
+        assert h(N("N1")) != h(N("N2"))
+
+    def test_shared_null_structure_respected(self):
+        left = inst([(N("N1"), N("N1"))], prefix="l")
+        right_same = inst([(N("X"), N("X"))], prefix="r")
+        right_diff = inst([(N("X"), N("Y"))], prefix="q")
+        assert are_isomorphic(left, right_same)
+        assert not are_isomorphic(left, right_diff)
+
+
+class TestNotIsomorphic:
+    def test_cardinality_mismatch(self):
+        assert not are_isomorphic(
+            inst([("a", 1)], prefix="l"), inst([("a", 1), ("b", 2)], prefix="r")
+        )
+
+    def test_null_count_mismatch(self):
+        left = inst([(N("N1"), N("N2"))], prefix="l")
+        right = inst([(N("X"), N("X"))], prefix="r")
+        assert not are_isomorphic(left, right)
+
+    def test_null_cannot_equal_constant(self):
+        left = inst([(N("N1"), 1)], prefix="l")
+        right = inst([("x", 1)], prefix="r")
+        assert not are_isomorphic(left, right)
+
+    def test_paper_sec3_example(self):
+        """I = {(N1),(N2)} vs I'' = {(N5),(N5)} are NOT isomorphic."""
+        left = Instance.from_rows("R", ("A",), [(N("N1"),), (N("N2"),)],
+                                  id_prefix="l")
+        right = Instance.from_rows("R", ("A",), [(N("N5"),), (N("N5"),)],
+                                   id_prefix="r")
+        assert not are_isomorphic(left, right)
+
+    def test_different_constants(self):
+        assert not are_isomorphic(inst([("a", 1)], prefix="l"), inst([("b", 1)], prefix="r"))
+
+
+class TestSymmetry:
+    def test_isomorphism_is_symmetric(self):
+        import random
+
+        rng = random.Random(9)
+        for trial in range(10):
+            def rows(side):
+                out = []
+                for i in range(4):
+                    def val(j):
+                        if rng.random() < 0.5:
+                            return rng.choice("ab")
+                        return N(f"{side}{trial}_{i}_{j}")
+                    out.append((val(0), val(1)))
+                return out
+
+            left = inst(rows("L"), prefix="l")
+            right = inst(rows("R"), prefix="r")
+            assert are_isomorphic(left, right) == are_isomorphic(right, left)

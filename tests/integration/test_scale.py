@@ -1,0 +1,69 @@
+"""Large-scale sanity tests (deselected by default; run with ``-m slow``).
+
+These exercise the paper-scale code paths: the signature algorithm on
+10k-row instances, Table 7 at NBA's full size, and the exchange pipeline at
+thousands of tuples.
+"""
+
+import time
+
+import pytest
+
+from repro.datagen.perturb import PerturbationConfig, perturb
+from repro.datagen.synthetic import generate_dataset
+from repro.mappings.constraints import MatchOptions
+from repro.algorithms.signature import signature_compare
+
+pytestmark = pytest.mark.slow
+
+
+class TestPaperScale:
+    def test_signature_10k_doct(self):
+        scenario = perturb(
+            generate_dataset("doct", rows=10000, seed=0),
+            PerturbationConfig.mod_cell(5.0, seed=1),
+        )
+        started = time.perf_counter()
+        result = signature_compare(
+            scenario.source, scenario.target, MatchOptions.versioning()
+        )
+        elapsed = time.perf_counter() - started
+        assert abs(result.similarity - scenario.gold_score()) < 0.01
+        assert elapsed < 120.0
+
+    def test_table7_full_nba(self):
+        from repro.versioning.operations import shuffled_version
+        from repro.versioning.report import compare_versions
+
+        nba = generate_dataset("nba", rows=9360, seed=0)
+        comparison = compare_versions(nba, shuffled_version(nba, seed=1))
+        assert comparison.signature_matched == 9360
+        assert comparison.similarity == pytest.approx(1.0)
+
+    def test_exchange_paper_size(self):
+        from repro.core.instance import prepare_for_comparison
+        from repro.dataexchange.scenarios import generate_exchange_scenario
+
+        scenario = generate_exchange_scenario(doctors=2800, seed=0)
+        left, right = prepare_for_comparison(scenario.u1, scenario.gold)
+        result = signature_compare(
+            left, right, MatchOptions.record_merging()
+        )
+        assert result.similarity > 0.8
+
+    def test_cleaning_paper_size(self):
+        from repro.cleaning.errorgen import inject_errors
+        from repro.cleaning.metrics import evaluate_repair
+        from repro.cleaning.systems import repair
+        from repro.datagen.synthetic import profile
+
+        bus = generate_dataset("bus", rows=20000, seed=0)
+        fds = profile("bus").functional_dependencies()
+        dirty = inject_errors(bus, fds, error_rate=0.05, seed=1)
+        result = repair(dirty.dirty, fds, "llunatic", seed=2)
+        evaluation = evaluate_repair(
+            bus, result.repaired, dirty.error_cells,
+            set(result.changed_cells), "llunatic",
+        )
+        assert evaluation.f1 > 0.98
+        assert evaluation.signature > 0.99

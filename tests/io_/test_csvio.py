@@ -1,0 +1,65 @@
+"""Tests for CSV I/O with labeled-null encoding."""
+
+import io
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.io_.csvio import instance_to_csv_text, read_csv, write_csv
+
+N1 = LabeledNull("N1")
+
+
+class TestRoundTrip:
+    def test_basic_round_trip(self):
+        inst = Instance.from_rows(
+            "R", ("A", "B"), [("x", N1), ("y", "2")]
+        )
+        text = instance_to_csv_text(inst)
+        loaded = read_csv(io.StringIO(text))
+        assert loaded.get_tuple("t1")["B"] == N1
+        assert loaded.get_tuple("t2")["A"] == "y"
+
+    def test_null_prefix_configurable(self):
+        inst = Instance.from_rows("R", ("A",), [(N1,)])
+        text = instance_to_csv_text(inst, null_prefix="@@")
+        assert "@@N1" in text
+        loaded = read_csv(io.StringIO(text), null_prefix="@@")
+        assert loaded.get_tuple("t1")["A"] == N1
+
+    def test_include_ids(self):
+        inst = Instance.from_rows("R", ("A",), [("x",)], id_prefix="row")
+        text = instance_to_csv_text(inst, include_ids=True)
+        assert "_tid" in text.splitlines()[0]
+        assert "row1" in text
+
+    def test_file_round_trip(self, tmp_path):
+        inst = Instance.from_rows("R", ("A", "B"), [("x", N1)])
+        path = tmp_path / "out.csv"
+        write_csv(inst, path)
+        loaded = read_csv(path, relation_name="R")
+        assert loaded.get_tuple("t1")["B"] == N1
+
+    def test_header_preserved(self):
+        inst = Instance.from_rows("Conf", ("Name", "Year"), [("VLDB", "1975")])
+        loaded = read_csv(
+            io.StringIO(instance_to_csv_text(inst)), relation_name="Conf"
+        )
+        assert loaded.schema.relation("Conf").attributes == ("Name", "Year")
+
+
+class TestErrors:
+    def test_empty_csv_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            read_csv(io.StringIO(""))
+
+    def test_multi_relation_requires_name(self):
+        from repro.core.schema import RelationSchema, Schema
+
+        schema = Schema(
+            [RelationSchema("R", ("A",)), RelationSchema("S", ("B",))]
+        )
+        inst = Instance(schema)
+        with pytest.raises(ValueError, match="relation_name"):
+            write_csv(inst, io.StringIO())

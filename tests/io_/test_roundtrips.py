@@ -1,0 +1,87 @@
+"""Round-trip properties: I/O must preserve comparison outcomes."""
+
+import io
+
+import pytest
+
+from repro import MatchOptions, compare
+from repro.datagen.perturb import PerturbationConfig, perturb
+from repro.datagen.synthetic import generate_dataset
+from repro.io_.csvio import instance_to_csv_text, read_csv
+from repro.io_.serialization import instance_from_json, instance_to_json
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return perturb(
+        generate_dataset("iris", rows=40, seed=0),
+        PerturbationConfig.mod_cell(8.0, seed=1),
+    )
+
+
+class TestCsvPreservesSimilarity:
+    def test_similarity_survives_csv_round_trip(self, scenario):
+        options = MatchOptions.versioning()
+        direct = compare(
+            scenario.source, scenario.target, options=options
+        ).similarity
+
+        def round_trip(instance, name):
+            text = instance_to_csv_text(instance)
+            return read_csv(
+                io.StringIO(text), relation_name="Iris", name=name
+            )
+
+        loaded_source = round_trip(scenario.source, "s")
+        loaded_target = round_trip(scenario.target, "t")
+        reloaded = compare(
+            loaded_source, loaded_target, options=options
+        ).similarity
+        assert reloaded == pytest.approx(direct)
+
+    def test_null_structure_preserved(self, scenario):
+        text = instance_to_csv_text(scenario.source)
+        loaded = read_csv(io.StringIO(text), relation_name="Iris")
+        assert (
+            loaded.null_occurrence_count()
+            == scenario.source.null_occurrence_count()
+        )
+        assert len(loaded.vars()) == len(scenario.source.vars())
+
+
+class TestJsonPreservesSimilarity:
+    def test_similarity_survives_json_round_trip(self, scenario):
+        options = MatchOptions.versioning()
+        direct = compare(
+            scenario.source, scenario.target, options=options
+        ).similarity
+        loaded_source = instance_from_json(instance_to_json(scenario.source))
+        loaded_target = instance_from_json(instance_to_json(scenario.target))
+        reloaded = compare(
+            loaded_source, loaded_target, options=options
+        ).similarity
+        assert reloaded == pytest.approx(direct)
+
+    def test_ids_preserved_exactly(self, scenario):
+        loaded = instance_from_json(instance_to_json(scenario.source))
+        assert loaded.ids() == scenario.source.ids()
+        for t in scenario.source.tuples():
+            assert loaded.get_tuple(t.tuple_id).values == t.values
+
+
+class TestCsvTypeCaveat:
+    def test_csv_stringifies_numbers(self):
+        """CSV is text: numeric constants come back as strings.
+
+        This matters when one side was loaded from CSV and the other built
+        programmatically — 1975 != "1975".  JSON round-trips preserve types.
+        """
+        from repro.core.instance import Instance
+
+        inst = Instance.from_rows("R", ("Year",), [(1975,)])
+        loaded = read_csv(
+            io.StringIO(instance_to_csv_text(inst)), relation_name="R"
+        )
+        assert loaded.get_tuple("t1")["Year"] == "1975"
+        json_loaded = instance_from_json(instance_to_json(inst))
+        assert json_loaded.get_tuple("t1")["Year"] == 1975

@@ -1,0 +1,72 @@
+"""Tests for JSON serialization of instances, matches, and results."""
+
+from repro.core.instance import Instance
+from repro.core.schema import RelationSchema, Schema
+from repro.core.values import LabeledNull
+from repro.io_.serialization import (
+    instance_from_json,
+    instance_to_json,
+    match_to_dict,
+    result_to_dict,
+    value_from_json,
+    value_to_json,
+)
+from repro.mappings.constraints import MatchOptions
+from repro.algorithms.signature import signature_compare
+
+N1 = LabeledNull("N1")
+
+
+class TestValues:
+    def test_constant_round_trip(self):
+        assert value_from_json(value_to_json("x")) == "x"
+        assert value_from_json(value_to_json(42)) == 42
+
+    def test_null_round_trip(self):
+        assert value_from_json(value_to_json(N1)) == N1
+
+    def test_dict_constant_not_confused_with_null(self):
+        # Only {"null": ...} is a null tag.
+        payload = {"other": "x"}
+        assert value_from_json(payload) == payload
+
+
+class TestInstances:
+    def test_round_trip_multi_relation(self):
+        schema = Schema(
+            [RelationSchema("R", ("A",)), RelationSchema("S", ("B", "C"))]
+        )
+        inst = Instance(schema, name="demo")
+        inst.add_row("R", "r1", (N1,))
+        inst.add_row("S", "s1", ("x", "y"))
+        loaded = instance_from_json(instance_to_json(inst))
+        assert loaded.name == "demo"
+        assert loaded.get_tuple("r1")["A"] == N1
+        assert loaded.get_tuple("s1")["C"] == "y"
+        assert loaded.content_multiset() == inst.content_multiset()
+
+    def test_empty_instance(self):
+        inst = Instance.from_rows("R", ("A",), [])
+        loaded = instance_from_json(instance_to_json(inst))
+        assert len(loaded) == 0
+
+
+class TestResults:
+    def _result(self):
+        left = Instance.from_rows("R", ("A",), [(N1,)], id_prefix="l")
+        right = Instance.from_rows(
+            "R", ("A",), [(LabeledNull("Na"),)], id_prefix="r"
+        )
+        return signature_compare(left, right, MatchOptions.versioning())
+
+    def test_match_to_dict(self):
+        payload = match_to_dict(self._result().match)
+        assert payload["pairs"] == [("l1", "r1")]
+        assert "h_l" in payload and "h_r" in payload
+
+    def test_result_to_dict(self):
+        payload = result_to_dict(self._result())
+        assert payload["similarity"] == 1.0
+        assert payload["algorithm"] == "signature"
+        assert payload["exhausted"] is True
+        assert isinstance(payload["stats"], dict)

@@ -1,0 +1,93 @@
+"""Tests for match constraints and application presets (Sec. 4.3)."""
+
+import pytest
+
+from repro.core.errors import ScoringError
+from repro.core.instance import Instance
+from repro.mappings.constraints import DEFAULT_LAMBDA, MatchOptions
+from repro.mappings.instance_match import InstanceMatch
+from repro.mappings.tuple_mapping import TupleMapping
+
+
+class TestPresets:
+    def test_general(self):
+        options = MatchOptions.general()
+        assert not options.left_injective
+        assert not options.right_injective
+        assert not options.functional
+
+    def test_versioning_fully_injective_partial(self):
+        options = MatchOptions.versioning()
+        assert options.fully_injective
+        assert not options.left_total and not options.right_total
+
+    def test_record_merging_left_injective_only(self):
+        options = MatchOptions.record_merging()
+        assert options.left_injective and not options.right_injective
+
+    def test_universal_vs_core(self):
+        options = MatchOptions.universal_vs_core()
+        assert options.left_injective
+        assert options.left_total and options.right_total
+        assert not options.right_injective
+
+    def test_universal_vs_universal(self):
+        options = MatchOptions.universal_vs_universal()
+        assert options.left_total and options.right_total
+        assert not options.left_injective
+
+    def test_data_repair(self):
+        assert MatchOptions.data_repair().fully_injective
+
+    def test_default_lambda(self):
+        assert MatchOptions.general().lam == DEFAULT_LAMBDA
+
+
+class TestLambda:
+    def test_lambda_range_enforced(self):
+        with pytest.raises(ScoringError):
+            MatchOptions(lam=1.0)
+        with pytest.raises(ScoringError):
+            MatchOptions(lam=-0.1)
+
+    def test_lambda_zero_allowed(self):
+        assert MatchOptions(lam=0.0).lam == 0.0
+
+    def test_with_lambda(self):
+        options = MatchOptions.versioning().with_lambda(0.25)
+        assert options.lam == 0.25
+        assert options.fully_injective  # other fields preserved
+
+
+class TestViolations:
+    def _setup(self):
+        left = Instance.from_rows("R", ("A",), [("x",), ("y",)], id_prefix="l")
+        right = Instance.from_rows("R", ("A",), [("x",), ("y",)], id_prefix="r")
+        return left, right
+
+    def test_no_violations(self):
+        left, right = self._setup()
+        match = InstanceMatch(left, right, m=TupleMapping([("l1", "r1")]))
+        assert MatchOptions.versioning().violations(match, left, right) == []
+
+    def test_injectivity_violation_reported(self):
+        left, right = self._setup()
+        match = InstanceMatch(
+            left, right, m=TupleMapping([("l1", "r1"), ("l1", "r2")])
+        )
+        problems = MatchOptions.versioning().violations(match, left, right)
+        assert any("left injective" in p for p in problems)
+
+    def test_totality_violation_reported(self):
+        left, right = self._setup()
+        match = InstanceMatch(left, right, m=TupleMapping([("l1", "r1")]))
+        problems = MatchOptions.universal_vs_core().violations(
+            match, left, right
+        )
+        assert any("total on the left" in p for p in problems)
+        assert any("total on the right" in p for p in problems)
+
+    def test_describe(self):
+        assert "1:1" in MatchOptions.versioning().describe()
+        assert "n:m" in MatchOptions.general().describe()
+        assert "λ" in MatchOptions.general().describe()

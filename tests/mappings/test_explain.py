@@ -1,0 +1,68 @@
+"""Tests for match statistics and explanations."""
+
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.mappings.explain import explain_match, match_statistics
+from repro.mappings.instance_match import InstanceMatch
+from repro.mappings.tuple_mapping import TupleMapping
+from repro.mappings.value_mapping import ValueMapping
+
+N1, Na = LabeledNull("N1"), LabeledNull("Na")
+
+
+def make_match():
+    left = Instance.from_rows(
+        "R", ("A", "B"), [(N1, "c"), ("q", "r")], id_prefix="l", name="L"
+    )
+    right = Instance.from_rows(
+        "R", ("A", "B"), [(Na, "c"), ("s", "t")], id_prefix="r", name="R"
+    )
+    return InstanceMatch(
+        left, right,
+        ValueMapping({N1: Na}),
+        ValueMapping(),
+        TupleMapping([("l1", "r1")]),
+    )
+
+
+class TestStatistics:
+    def test_counts(self):
+        stats = match_statistics(make_match())
+        assert stats.matched_pairs == 1
+        assert stats.left_non_matching == 1
+        assert stats.right_non_matching == 1
+
+    def test_empty_match(self):
+        match = make_match()
+        match.m = TupleMapping()
+        stats = match_statistics(match)
+        assert stats.matched_pairs == 0
+        assert stats.left_non_matching == 2
+
+
+class TestExplanation:
+    def test_mentions_pairs_and_substitutions(self):
+        text = explain_match(make_match())
+        assert "l1" in text and "r1" in text
+        assert "N1→Na" in text
+        assert "Unmatched left tuples (1):" in text
+        assert "l2" in text
+        assert "Unmatched right tuples (1):" in text
+
+    def test_truncation(self):
+        left = Instance.from_rows(
+            "R", ("A",), [(str(i),) for i in range(30)], id_prefix="l"
+        )
+        right = Instance.from_rows(
+            "R", ("A",), [(str(i),) for i in range(30)], id_prefix="r"
+        )
+        match = InstanceMatch(
+            left, right,
+            m=TupleMapping((f"l{i}", f"r{i}") for i in range(1, 31)),
+        )
+        text = explain_match(match, max_rows=5)
+        assert "... and 25 more" in text
+
+    def test_classification_header(self):
+        text = explain_match(make_match())
+        assert "1:1" in text

@@ -1,0 +1,142 @@
+"""Tests for instance matches (Def. 4.3)."""
+
+import pytest
+
+from repro.core.errors import MappingError
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.mappings.instance_match import InstanceMatch
+from repro.mappings.tuple_mapping import TupleMapping
+from repro.mappings.value_mapping import ValueMapping
+
+N1, N2, Na, Nb = (LabeledNull(x) for x in ("N1", "N2", "Na", "Nb"))
+
+
+def pair_instances():
+    left = Instance.from_rows(
+        "R", ("A", "B"), [(N1, "c"), (N2, "d")], id_prefix="l", name="L"
+    )
+    right = Instance.from_rows(
+        "R", ("A", "B"), [(Na, "c"), (Nb, "d")], id_prefix="r", name="R"
+    )
+    return left, right
+
+
+class TestCompleteness:
+    def test_complete_match(self):
+        left, right = pair_instances()
+        match = InstanceMatch(
+            left,
+            right,
+            ValueMapping({N1: Na, N2: Nb}),
+            ValueMapping(),
+            TupleMapping([("l1", "r1"), ("l2", "r2")]),
+        )
+        assert match.is_complete()
+        match.assert_complete()
+
+    def test_incomplete_match_detected(self):
+        left, right = pair_instances()
+        match = InstanceMatch(
+            left,
+            right,
+            ValueMapping(),  # N1 not mapped to Na
+            ValueMapping(),
+            TupleMapping([("l1", "r1")]),
+        )
+        assert not match.is_complete()
+        assert len(match.violating_pairs()) == 1
+        with pytest.raises(MappingError, match="not complete"):
+            match.assert_complete()
+
+    def test_empty_mapping_is_complete(self):
+        left, right = pair_instances()
+        assert InstanceMatch(left, right).is_complete()
+
+    def test_constant_mismatch_is_incomplete(self):
+        left = Instance.from_rows("R", ("A",), [("x",)], id_prefix="l")
+        right = Instance.from_rows("R", ("A",), [("y",)], id_prefix="r")
+        match = InstanceMatch(left, right, m=TupleMapping([("l1", "r1")]))
+        assert not match.is_complete()
+
+
+class TestStructure:
+    def test_unmatched_sides(self):
+        left, right = pair_instances()
+        match = InstanceMatch(
+            left,
+            right,
+            ValueMapping({N1: Na}),
+            ValueMapping(),
+            TupleMapping([("l1", "r1")]),
+        )
+        assert [t.tuple_id for t in match.unmatched_left()] == ["l2"]
+        assert [t.tuple_id for t in match.unmatched_right()] == ["r2"]
+
+    def test_pairs_materialized(self):
+        left, right = pair_instances()
+        match = InstanceMatch(
+            left, right, ValueMapping({N1: Na}), ValueMapping(),
+            TupleMapping([("l1", "r1")]),
+        )
+        (t, t_prime), = match.pairs()
+        assert t.tuple_id == "l1" and t_prime.tuple_id == "r1"
+
+    def test_inverted_swaps_everything(self):
+        left, right = pair_instances()
+        match = InstanceMatch(
+            left, right, ValueMapping({N1: Na}), ValueMapping(),
+            TupleMapping([("l1", "r1")]),
+        )
+        inv = match.inverted()
+        assert inv.left is right and inv.right is left
+        assert ("r1", "l1") in inv.m
+        assert inv.is_complete() == match.is_complete()
+
+    def test_isomorphism_detection(self):
+        left, right = pair_instances()
+        match = InstanceMatch(
+            left,
+            right,
+            ValueMapping({N1: Na, N2: Nb}),
+            ValueMapping(),
+            TupleMapping([("l1", "r1"), ("l2", "r2")]),
+        )
+        assert match.is_isomorphism()
+
+    def test_non_injective_value_mapping_is_not_isomorphism(self):
+        left = Instance.from_rows(
+            "R", ("A",), [(N1,), (N2,)], id_prefix="l"
+        )
+        right = Instance.from_rows(
+            "R", ("A",), [(Na,), (Na,)], id_prefix="r"
+        )
+        # Only possible complete total 1:1 match folds N1, N2 onto Na.
+        match = InstanceMatch(
+            left,
+            right,
+            ValueMapping({N1: Na, N2: Na}),
+            ValueMapping(),
+            TupleMapping([("l1", "r1"), ("l2", "r2")]),
+        )
+        assert match.is_complete()
+        assert not match.is_isomorphism()
+
+    def test_homomorphism_detection(self):
+        left, right = pair_instances()
+        match = InstanceMatch(
+            left,
+            right,
+            ValueMapping({N1: Na, N2: Nb}),
+            ValueMapping(),
+            TupleMapping([("l1", "r1"), ("l2", "r2")]),
+        )
+        assert match.is_homomorphism_left_to_right()
+
+    def test_partial_match_is_not_homomorphism(self):
+        left, right = pair_instances()
+        match = InstanceMatch(
+            left, right, ValueMapping({N1: Na}), ValueMapping(),
+            TupleMapping([("l1", "r1")]),
+        )
+        assert not match.is_homomorphism_left_to_right()

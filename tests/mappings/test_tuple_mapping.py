@@ -1,0 +1,109 @@
+"""Tests for tuple mappings and their taxonomy (Def. 4.2)."""
+
+import pytest
+
+from repro.core.errors import MappingError
+from repro.core.instance import Instance
+from repro.mappings.tuple_mapping import TupleMapping
+
+
+def instances():
+    left = Instance.from_rows("R", ("A",), [("x",), ("y",)], id_prefix="l")
+    right = Instance.from_rows("R", ("A",), [("x",), ("y",)], id_prefix="r")
+    return left, right
+
+
+class TestContainer:
+    def test_add_and_contains(self):
+        m = TupleMapping()
+        m.add("l1", "r1")
+        assert ("l1", "r1") in m
+        assert ("l1", "r2") not in m
+        assert len(m) == 1
+
+    def test_add_idempotent(self):
+        m = TupleMapping()
+        m.add("l1", "r1")
+        m.add("l1", "r1")
+        assert len(m) == 1
+
+    def test_remove(self):
+        m = TupleMapping([("l1", "r1")])
+        m.remove("l1", "r1")
+        assert len(m) == 0
+        assert m.image("l1") == frozenset()
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(MappingError):
+            TupleMapping().remove("l1", "r1")
+
+    def test_images(self):
+        m = TupleMapping([("l1", "r1"), ("l1", "r2"), ("l2", "r1")])
+        assert m.image("l1") == {"r1", "r2"}
+        assert m.preimage("r1") == {"l1", "l2"}
+        assert m.matched_left_ids() == {"l1", "l2"}
+        assert m.matched_right_ids() == {"r1", "r2"}
+
+    def test_inverted(self):
+        m = TupleMapping([("l1", "r1")])
+        assert ("r1", "l1") in m.inverted()
+
+    def test_copy_independent(self):
+        m = TupleMapping([("l1", "r1")])
+        clone = m.copy()
+        clone.add("l2", "r2")
+        assert len(m) == 1
+
+    def test_equality(self):
+        assert TupleMapping([("a", "b")]) == TupleMapping([("a", "b")])
+        assert TupleMapping([("a", "b")]) != TupleMapping()
+
+
+class TestTaxonomy:
+    def test_left_injective(self):
+        assert TupleMapping([("l1", "r1"), ("l2", "r1")]).is_left_injective()
+        assert not TupleMapping([("l1", "r1"), ("l1", "r2")]).is_left_injective()
+
+    def test_right_injective(self):
+        assert TupleMapping([("l1", "r1"), ("l1", "r2")]).is_right_injective()
+        assert not TupleMapping(
+            [("l1", "r1"), ("l2", "r1")]
+        ).is_right_injective()
+
+    def test_fully_injective(self):
+        assert TupleMapping([("l1", "r1"), ("l2", "r2")]).is_fully_injective()
+
+    def test_totality(self):
+        left, right = instances()
+        m = TupleMapping([("l1", "r1")])
+        assert not m.is_left_total(left)
+        assert not m.is_right_total(right)
+        m.add("l2", "r2")
+        assert m.is_left_total(left)
+        assert m.is_right_total(right)
+
+    def test_classify_describe(self):
+        left, right = instances()
+        m = TupleMapping([("l1", "r1"), ("l2", "r2")])
+        c = m.classify(left, right)
+        assert c.fully_injective and c.total
+        assert c.describe() == "1:1, total"
+
+    def test_classify_nm(self):
+        left, right = instances()
+        m = TupleMapping([("l1", "r1"), ("l1", "r2"), ("l2", "r1")])
+        c = m.classify(left, right)
+        assert not c.left_injective and not c.right_injective
+        assert c.describe().startswith("n:m")
+
+    def test_empty_mapping_is_vacuously_injective(self):
+        m = TupleMapping()
+        assert m.is_fully_injective()
+
+    def test_validate_against(self):
+        left, right = instances()
+        TupleMapping([("l1", "r1")]).validate_against(left, right)
+        with pytest.raises(MappingError, match="left id"):
+            TupleMapping([("zz", "r1")]).validate_against(left, right)
+        with pytest.raises(MappingError, match="right id"):
+            TupleMapping([("l1", "zz")]).validate_against(left, right)

@@ -1,0 +1,92 @@
+"""Tests for value mappings (Def. 4.1)."""
+
+import pytest
+
+from repro.core.errors import MappingError
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.mappings.value_mapping import ValueMapping
+
+N1, N2, N3 = LabeledNull("N1"), LabeledNull("N2"), LabeledNull("N3")
+
+
+class TestApplication:
+    def test_identity_on_constants(self):
+        h = ValueMapping({N1: "x"})
+        assert h("anything") == "anything"
+        assert h(42) == 42
+
+    def test_assigned_null(self):
+        h = ValueMapping({N1: "x", N2: N3})
+        assert h(N1) == "x"
+        assert h(N2) == N3
+
+    def test_unassigned_null_is_fixed(self):
+        h = ValueMapping()
+        assert h(N1) == N1
+
+    def test_apply_tuple(self):
+        inst = Instance.from_rows("R", ("A", "B"), [(N1, "c")])
+        t = inst.get_tuple("t1")
+        h = ValueMapping({N1: "v"})
+        assert h.apply_tuple(t).values == ("v", "c")
+
+    def test_apply_instance(self):
+        inst = Instance.from_rows("R", ("A",), [(N1,), ("c",)])
+        h = ValueMapping({N1: "v"})
+        mapped = h.apply_instance(inst)
+        assert {t["A"] for t in mapped.tuples()} == {"v", "c"}
+
+
+class TestFunctionality:
+    def test_cannot_remap_constant(self):
+        h = ValueMapping()
+        with pytest.raises(MappingError, match="fix constants"):
+            h.assign("c", "d")
+
+    def test_conflicting_assignment_rejected(self):
+        h = ValueMapping({N1: "x"})
+        with pytest.raises(MappingError, match="conflicting"):
+            h.assign(N1, "y")
+
+    def test_reassignment_same_image_ok(self):
+        h = ValueMapping({N1: "x"})
+        h.assign(N1, "x")
+        assert h(N1) == "x"
+
+
+class TestIntrospection:
+    def test_domain_nulls(self):
+        h = ValueMapping({N1: "x"})
+        assert h.domain_nulls() == {N1}
+
+    def test_is_identity_on(self):
+        inst = Instance.from_rows("R", ("A",), [(N1,)])
+        assert ValueMapping().is_identity_on(inst)
+        assert not ValueMapping({N1: "x"}).is_identity_on(inst)
+        # mapping other nulls does not break identity on this instance
+        assert ValueMapping({N2: "x"}).is_identity_on(inst)
+
+    def test_is_injective_on_nulls(self):
+        inst = Instance.from_rows("R", ("A", "B"), [(N1, N2)])
+        assert ValueMapping({N1: "x", N2: "y"}).is_injective_on_nulls(inst)
+        assert not ValueMapping({N1: "x", N2: "x"}).is_injective_on_nulls(inst)
+        assert ValueMapping().is_injective_on_nulls(inst)
+
+    def test_fiber_sizes(self):
+        inst = Instance.from_rows("R", ("A", "B"), [(N1, N2)])
+        h = ValueMapping({N1: N3, N2: N3})
+        fibers = h.fiber_sizes(inst)
+        assert fibers == {N1: 2, N2: 2}
+
+    def test_equality_and_copy(self):
+        h = ValueMapping({N1: "x"})
+        clone = h.copy()
+        assert clone == h
+        clone.assign(N2, "y")
+        assert clone != h
+
+    def test_len_and_items(self):
+        h = ValueMapping({N1: "x", N2: "y"})
+        assert len(h) == 2
+        assert dict(h.items()) == {N1: "x", N2: "y"}

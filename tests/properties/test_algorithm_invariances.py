@@ -1,0 +1,176 @@
+"""Property-based invariances of the comparison algorithms.
+
+The similarity of two incomplete instances must not depend on
+representation artifacts: null labels, tuple identifiers, row order, or
+which instance is called "left".  These properties are checked for the
+signature algorithm (the production path) on random instances.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.instance import Instance, prepare_for_comparison
+from repro.core.values import LabeledNull
+from repro.mappings.constraints import MatchOptions
+from repro.algorithms.signature import signature_compare
+
+CONSTANTS = ["a", "b", "c", "d"]
+LAM = 0.5
+
+
+@st.composite
+def instance_pair(draw, max_rows: int = 5, arity: int = 3):
+    """Two random same-schema instances with nulls."""
+
+    def build(prefix: str):
+        n_rows = draw(st.integers(min_value=0, max_value=max_rows))
+        null_pool = [LabeledNull(f"{prefix}{k}") for k in range(5)]
+        rows = []
+        for _ in range(n_rows):
+            row = tuple(
+                draw(st.sampled_from(null_pool))
+                if draw(st.booleans())
+                else draw(st.sampled_from(CONSTANTS))
+                for _ in range(arity)
+            )
+            rows.append(row)
+        return Instance.from_rows(
+            "R", tuple(f"A{i}" for i in range(arity)), rows,
+            id_prefix=prefix,
+        )
+
+    return build("L"), build("R")
+
+
+def score(left, right, options=None):
+    left, right = prepare_for_comparison(left, right)
+    return signature_compare(
+        left, right, options or MatchOptions.versioning(lam=LAM)
+    ).similarity
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(instance_pair(max_rows=3), st.randoms(use_true_random=False))
+def test_exact_invariant_under_row_shuffle(pair, rng):
+    """The exact optimum cannot depend on row order."""
+    from repro.algorithms.exact import exact_compare
+
+    left, right = pair
+    shuffled = right.shuffled(rng)
+
+    def exact_score(a, b):
+        a, b = prepare_for_comparison(a, b)
+        return exact_compare(
+            a, b, MatchOptions.versioning(lam=LAM)
+        ).similarity
+
+    assert exact_score(left, right) == pytest.approx(
+        exact_score(left, shuffled)
+    )
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(instance_pair(), st.randoms(use_true_random=False))
+def test_greedy_nearly_invariant_under_row_shuffle(pair, rng):
+    """The greedy algorithm is order-sensitive only through tie-breaks.
+
+    Like the paper's greedy, different probe orders can commit different
+    (equally admissible) pairs; the resulting score wiggle is bounded, not
+    zero.  The strict invariance holds for the exact algorithm (see above).
+    """
+    left, right = pair
+    shuffled = right.shuffled(rng)
+    assert score(left, right) == pytest.approx(
+        score(left, shuffled), abs=0.25
+    )
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(instance_pair())
+def test_invariant_under_null_renaming(pair):
+    left, right = pair
+    renaming = {
+        null: LabeledNull(f"Z_{null.label}") for null in right.vars()
+    }
+    renamed = right.rename_nulls(renaming)
+    assert score(left, right) == pytest.approx(score(left, renamed))
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(instance_pair())
+def test_invariant_under_reidentification(pair):
+    left, right = pair
+    reidentified = right.with_fresh_ids("fresh")
+    assert score(left, right) == pytest.approx(score(left, reidentified))
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(instance_pair())
+def test_injective_options_produce_injective_matches(pair):
+    left, right = pair
+    left, right = prepare_for_comparison(left, right)
+    result = signature_compare(
+        left, right, MatchOptions.versioning(lam=LAM)
+    )
+    assert result.match.m.is_fully_injective()
+    result = signature_compare(
+        left, right, MatchOptions.record_merging(lam=LAM)
+    )
+    assert result.match.m.is_left_injective()
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(instance_pair())
+def test_matches_are_always_complete(pair):
+    left, right = pair
+    left, right = prepare_for_comparison(left, right)
+    for options in (
+        MatchOptions.general(lam=LAM),
+        MatchOptions.versioning(lam=LAM),
+        MatchOptions.record_merging(lam=LAM),
+    ):
+        result = signature_compare(left, right, options)
+        assert result.match.is_complete()
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(instance_pair(max_rows=3))
+def test_exact_general_never_scores_below_exact_injective(pair):
+    """Relaxing constraints enlarges the feasible match space (exact only).
+
+    ``similarity`` maximizes over matches, so dropping injectivity
+    constraints cannot lower the optimum.  Note this is *not* guaranteed
+    for the greedy signature algorithm: on adversarial null-heavy inputs
+    the non-injective greedy can commit worse pile-ups than the injective
+    one — which is exactly why the exact algorithm remains the reference.
+    """
+    from repro.algorithms.exact import exact_compare
+
+    left, right = pair
+    left, right = prepare_for_comparison(left, right)
+    general = exact_compare(left, right, MatchOptions.general(lam=LAM))
+    injective = exact_compare(
+        left, right, MatchOptions.versioning(lam=LAM)
+    )
+    if general.exhausted and injective.exhausted:
+        assert general.similarity >= injective.similarity - 1e-9
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(instance_pair())
+def test_lambda_monotonicity(pair):
+    """For a fixed matching regime, larger λ never lowers the score."""
+    left, right = pair
+    left, right = prepare_for_comparison(left, right)
+    scores = []
+    for lam in (0.0, 0.5, 0.9):
+        result = signature_compare(
+            left, right, MatchOptions.versioning(lam=lam)
+        )
+        scores.append(result.similarity)
+    # Greedy tie-breaks may shift matches slightly between λ values; allow
+    # small non-monotonic wiggle.
+    assert scores[0] <= scores[1] + 0.1
+    assert scores[1] <= scores[2] + 0.1

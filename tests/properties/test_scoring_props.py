@@ -1,0 +1,129 @@
+"""Property-based tests of the scoring cascade itself.
+
+These target the scoring layer directly (independent of the matching
+algorithms): bounds, decomposition consistency, λ monotonicity for a fixed
+match, and inversion symmetry.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.mappings.instance_match import InstanceMatch
+from repro.mappings.tuple_mapping import TupleMapping
+from repro.scoring.match_score import (
+    score_match,
+    score_match_with_breakdown,
+)
+from repro.algorithms.unifier import Unifier
+
+CONSTANTS = ["a", "b"]
+ARITY = 2
+
+
+@st.composite
+def matched_instances(draw):
+    """Two instances plus a feasible (unifier-built) tuple mapping."""
+    def build(prefix):
+        n_rows = draw(st.integers(min_value=1, max_value=4))
+        pool = [LabeledNull(f"{prefix}{k}") for k in range(4)]
+        rows = []
+        for _ in range(n_rows):
+            rows.append(tuple(
+                draw(st.sampled_from(pool))
+                if draw(st.booleans())
+                else draw(st.sampled_from(CONSTANTS))
+                for _ in range(ARITY)
+            ))
+        return Instance.from_rows(
+            "R", tuple(f"A{i}" for i in range(ARITY)), rows,
+            id_prefix=prefix,
+        )
+
+    left = build("L")
+    right = build("R")
+    # Draw a random candidate pair set; keep the unifiable prefix.
+    left_ids = sorted(left.ids())
+    right_ids = sorted(right.ids())
+    candidate_count = draw(st.integers(min_value=0, max_value=4))
+    unifier = Unifier.for_instances(left, right)
+    pairs = []
+    for _ in range(candidate_count):
+        lid = draw(st.sampled_from(left_ids))
+        rid = draw(st.sampled_from(right_ids))
+        if unifier.try_unify_tuples(
+            left.get_tuple(lid), right.get_tuple(rid)
+        ):
+            pairs.append((lid, rid))
+    h_l, h_r = unifier.to_value_mappings()
+    match = InstanceMatch(
+        left=left, right=right, h_l=h_l, h_r=h_r, m=TupleMapping(pairs)
+    )
+    return match
+
+
+@settings(max_examples=80, deadline=None, derandomize=True)
+@given(matched_instances())
+def test_score_bounds(match):
+    """Every feasible match scores within [0, 1]."""
+    score = score_match(match, lam=0.5)
+    assert 0.0 <= score <= 1.0 + 1e-12
+
+
+@settings(max_examples=80, deadline=None, derandomize=True)
+@given(matched_instances())
+def test_breakdown_consistency(match):
+    """Tuple scores sum to the numerator; relation scores recombine."""
+    breakdown = score_match_with_breakdown(match, lam=0.5)
+    numerator = sum(breakdown.left_tuple_scores.values()) + sum(
+        breakdown.right_tuple_scores.values()
+    )
+    assert breakdown.score == pytest.approx(
+        numerator / breakdown.denominator
+    )
+    # Size-weighted relation scores recombine to the total.
+    weighted = 0.0
+    for relation in match.left.schema:
+        size = (
+            len(match.left.relation(relation.name))
+            + len(match.right.relation(relation.name))
+        ) * relation.arity
+        weighted += breakdown.relation_scores[relation.name] * size
+    assert breakdown.score == pytest.approx(
+        weighted / breakdown.denominator
+    )
+
+
+@settings(max_examples=80, deadline=None, derandomize=True)
+@given(matched_instances())
+def test_inversion_symmetry(match):
+    """score(M) == score(M^-1) — Eq. (5) at the match level."""
+    assert score_match(match, lam=0.5) == pytest.approx(
+        score_match(match.inverted(), lam=0.5)
+    )
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(matched_instances())
+def test_lambda_monotone_for_fixed_match(match):
+    """For a FIXED match, the score is non-decreasing in λ (exactly)."""
+    scores = [
+        score_match(match, lam=lam) for lam in (0.0, 0.3, 0.6, 0.9)
+    ]
+    assert all(
+        earlier <= later + 1e-12
+        for earlier, later in zip(scores, scores[1:])
+    )
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(matched_instances())
+def test_tuple_scores_bounded_by_arity_normalized(match):
+    """Each tuple's score lies in [0, arity]."""
+    breakdown = score_match_with_breakdown(match, lam=0.5)
+    for scores in (breakdown.left_tuple_scores, breakdown.right_tuple_scores):
+        for value in scores.values():
+            assert -1e-12 <= value <= ARITY + 1e-12

@@ -1,0 +1,153 @@
+"""Property-based tests for the most-general unifier."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import UnificationConflict
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.algorithms.unifier import Unifier
+
+LEFT_NULLS = [LabeledNull(f"L{i}") for i in range(4)]
+RIGHT_NULLS = [LabeledNull(f"R{i}") for i in range(4)]
+CONSTANTS = ["a", "b", "c"]
+
+
+def left_value():
+    return st.one_of(
+        st.sampled_from(LEFT_NULLS), st.sampled_from(CONSTANTS)
+    )
+
+
+def right_value():
+    return st.one_of(
+        st.sampled_from(RIGHT_NULLS), st.sampled_from(CONSTANTS)
+    )
+
+
+@st.composite
+def unification_script(draw):
+    """A sequence of (left value, right value) unification requests."""
+    count = draw(st.integers(min_value=0, max_value=12))
+    return [
+        (draw(left_value()), draw(right_value())) for _ in range(count)
+    ]
+
+
+def apply_script(unifier, script):
+    for a, b in script:
+        try:
+            unifier.unify(a, b)
+        except UnificationConflict:
+            pass
+    return unifier
+
+
+def state_fingerprint(unifier):
+    values = LEFT_NULLS + RIGHT_NULLS + CONSTANTS
+    return tuple(
+        (
+            frozenset(
+                other for other in values
+                if unifier.find(other) == unifier.find(v)
+            ),
+            unifier.class_constant(v),
+        )
+        for v in values
+    )
+
+
+@settings(max_examples=80, deadline=None, derandomize=True)
+@given(unification_script(), unification_script())
+def test_rollback_restores_exact_state(base_script, extra_script):
+    """Snapshot/rollback is a perfect undo for arbitrary unify sequences."""
+    unifier = Unifier(LEFT_NULLS, RIGHT_NULLS)
+    apply_script(unifier, base_script)
+    before = state_fingerprint(unifier)
+    token = unifier.snapshot()
+    apply_script(unifier, extra_script)
+    unifier.rollback(token)
+    assert state_fingerprint(unifier) == before
+
+
+@settings(max_examples=80, deadline=None, derandomize=True)
+@given(unification_script())
+def test_classes_never_hold_two_constants(script):
+    unifier = Unifier(LEFT_NULLS, RIGHT_NULLS)
+    apply_script(unifier, script)
+    for value in LEFT_NULLS + RIGHT_NULLS:
+        constant = unifier.class_constant(value)
+        if constant is not None:
+            # every constant in the class equals the class constant
+            for other in CONSTANTS:
+                if unifier.find(other) == unifier.find(value):
+                    assert other == constant
+
+
+@settings(max_examples=80, deadline=None, derandomize=True)
+@given(unification_script())
+def test_value_mappings_realize_unifications(script):
+    """h_l / h_r extracted from the unifier equate exactly the classes."""
+    unifier = Unifier(LEFT_NULLS, RIGHT_NULLS)
+    applied = []
+    for a, b in script:
+        try:
+            unifier.unify(a, b)
+            applied.append((a, b))
+        except UnificationConflict:
+            pass
+    h_l, h_r = unifier.to_value_mappings()
+
+    def image(v):
+        return h_l(v) if v in LEFT_NULLS or v in CONSTANTS else h_r(v)
+
+    for a, b in applied:
+        left_image = h_l(a) if a in LEFT_NULLS else a
+        right_image = h_r(b) if b in RIGHT_NULLS else b
+        assert left_image == right_image
+
+
+@settings(max_examples=50, deadline=None, derandomize=True)
+@given(unification_script())
+def test_side_counts_match_class_membership(script):
+    unifier = Unifier(LEFT_NULLS, RIGHT_NULLS)
+    apply_script(unifier, script)
+    for value in LEFT_NULLS:
+        left_count, right_count = unifier.side_counts(value)
+        root = unifier.find(value)
+        actual_left = sum(
+            1 for n in LEFT_NULLS if unifier.find(n) == root
+        )
+        actual_right = sum(
+            1 for n in RIGHT_NULLS if unifier.find(n) == root
+        )
+        assert (left_count, right_count) == (actual_left, actual_right)
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(st.data())
+def test_unify_tuples_atomicity(data):
+    """A failing tuple unification leaves no partial bindings behind."""
+    arity = 3
+    left_rows = [tuple(
+        data.draw(left_value()) for _ in range(arity)
+    )]
+    right_rows = [tuple(
+        data.draw(right_value()) for _ in range(arity)
+    )]
+    left = Instance.from_rows("R", ("A", "B", "C"), left_rows, id_prefix="l")
+    right = Instance.from_rows("R", ("A", "B", "C"), right_rows, id_prefix="r")
+    unifier = Unifier.for_instances(left, right)
+    before = state_fingerprint(unifier)
+    try:
+        unifier.unify_tuples(left.get_tuple("l1"), right.get_tuple("r1"))
+    except UnificationConflict:
+        assert state_fingerprint(unifier) == before
+    else:
+        t, t_prime = left.get_tuple("l1"), right.get_tuple("r1")
+        h_l, h_r = unifier.to_value_mappings()
+        assert tuple(h_l(v) for v in t.values) == tuple(
+            h_r(v) for v in t_prime.values
+        )

@@ -1,0 +1,99 @@
+"""Tests for the four-case cell score (Def. 5.5) and ⊓ (Eq. 6)."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.mappings.instance_match import InstanceMatch
+from repro.mappings.tuple_mapping import TupleMapping
+from repro.mappings.value_mapping import ValueMapping
+from repro.scoring.cell_score import cell_score, max_cell_score
+from repro.scoring.noninjectivity import NonInjectivityMeasure
+
+N1, N2, Na, Nb = (LabeledNull(x) for x in ("N1", "N2", "Na", "Nb"))
+
+
+def measure_for(h_l=None, h_r=None, left_rows=((N1,), (N2,)),
+                right_rows=((Na,), (Nb,))):
+    left = Instance.from_rows("R", ("A",), left_rows, id_prefix="l")
+    right = Instance.from_rows("R", ("A",), right_rows, id_prefix="r")
+    match = InstanceMatch(
+        left, right, h_l or ValueMapping(), h_r or ValueMapping(),
+        TupleMapping(),
+    )
+    return NonInjectivityMeasure(match)
+
+
+class TestNonInjectivityMeasure:
+    def test_constants_are_one(self):
+        measure = measure_for()
+        assert measure.of("anything") == 1
+        assert measure.of(42) == 1
+
+    def test_injective_nulls_are_one(self):
+        measure = measure_for(h_l=ValueMapping({N1: Na, N2: Nb}))
+        assert measure.of(N1) == 1
+        assert measure.of(N2) == 1
+
+    def test_folded_nulls_counted(self):
+        measure = measure_for(h_l=ValueMapping({N1: Na, N2: Na}))
+        assert measure.of(N1) == 2
+        assert measure.of(N2) == 2
+        # Right side unaffected.
+        assert measure.of(Na) == 1
+
+    def test_null_to_constant_injective_counts_one(self):
+        """Ex. 5.10: a null mapped alone to a constant has ⊓ = 1 even when
+        the constant occurs in the instance."""
+        measure = measure_for(
+            h_l=ValueMapping({N1: "Mike"}),
+            left_rows=((N1,), ("Mike",)),
+        )
+        assert measure.of(N1) == 1
+
+    def test_two_nulls_to_same_constant_counted(self):
+        measure = measure_for(h_l=ValueMapping({N1: "x", N2: "x"}))
+        assert measure.of(N1) == 2
+
+    def test_pair_sums_both_sides(self):
+        measure = measure_for(h_l=ValueMapping({N1: Na, N2: Na}))
+        assert measure.pair(N1, Na) == 3
+
+    def test_unknown_null_defaults_to_one(self):
+        measure = measure_for()
+        assert measure.of(LabeledNull("stranger")) == 1
+
+
+class TestCellScore:
+    def test_case_mismatch_is_zero(self):
+        measure = measure_for()
+        assert cell_score("x", "y", "x", "y", measure, 0.5) == 0.0
+
+    def test_case_equal_constants_is_one(self):
+        measure = measure_for()
+        assert cell_score("x", "x", "x", "x", measure, 0.5) == 1.0
+
+    def test_case_null_null_injective_is_one(self):
+        h_l = ValueMapping({N1: Na})
+        measure = measure_for(h_l=h_l)
+        assert cell_score(N1, Na, Na, Na, measure, 0.5) == 1.0
+
+    def test_case_null_null_folded_penalized(self):
+        h_l = ValueMapping({N1: Na, N2: Na})
+        measure = measure_for(h_l=h_l)
+        assert cell_score(N1, Na, Na, Na, measure, 0.5) == pytest.approx(2 / 3)
+
+    def test_case_null_constant_lambda(self):
+        h_l = ValueMapping({N1: "x"})
+        measure = measure_for(h_l=h_l)
+        assert cell_score(N1, "x", "x", "x", measure, 0.5) == pytest.approx(0.5)
+        assert cell_score(N1, "x", "x", "x", measure, 0.0) == 0.0
+        assert cell_score(N1, "x", "x", "x", measure, 0.9) == pytest.approx(0.9)
+
+    def test_symmetric_in_sides(self):
+        h_r = ValueMapping({Na: "x"})
+        measure = measure_for(h_r=h_r)
+        assert cell_score("x", Na, "x", "x", measure, 0.5) == pytest.approx(0.5)
+
+    def test_max_cell_score(self):
+        assert max_cell_score() == 1.0

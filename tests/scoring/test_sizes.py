@@ -1,0 +1,59 @@
+"""Tests for instance sizes and the normalization denominator (Def. 5.1)."""
+
+from repro.core.instance import Instance
+from repro.core.schema import RelationSchema, Schema
+from repro.scoring.sizes import instance_size, normalization_denominator
+
+
+class TestSizes:
+    def test_single_relation(self):
+        inst = Instance.from_rows("R", ("A", "B", "C"), [("x",) * 3] * 4)
+        assert instance_size(inst) == 12
+
+    def test_multi_relation_weighted_by_arity(self):
+        schema = Schema(
+            [RelationSchema("R", ("A",)), RelationSchema("S", ("B", "C"))]
+        )
+        inst = Instance(schema)
+        inst.add_row("R", "r1", ("x",))
+        inst.add_row("S", "s1", ("y", "z"))
+        inst.add_row("S", "s2", ("y", "z"))
+        assert instance_size(inst) == 1 + 4
+
+    def test_empty(self):
+        inst = Instance.from_rows("R", ("A",), [])
+        assert instance_size(inst) == 0
+
+    def test_denominator_is_sum(self):
+        left = Instance.from_rows("R", ("A", "B"), [("x", 1)], id_prefix="l")
+        right = Instance.from_rows(
+            "R", ("A", "B"), [("x", 1), ("y", 2)], id_prefix="r"
+        )
+        assert normalization_denominator(left, right) == 2 + 4
+
+
+class TestSchemaAlignmentCompare:
+    def test_compare_with_align_schemas(self):
+        from repro import MatchOptions, compare
+
+        left = Instance.from_rows(
+            "R", ("A", "B"), [("x", "y")], id_prefix="l"
+        )
+        right = Instance.from_rows("R", ("A",), [("x",)], id_prefix="r")
+        result = compare(
+            left, right, options=MatchOptions.versioning(),
+            align_schemas=True,
+        )
+        # A matches (1 per side), B is constant-vs-padded-null (λ per side).
+        assert abs(result.similarity - (1 + 0.5) / 2) < 1e-9
+
+    def test_mismatched_schemas_still_rejected_without_flag(self):
+        import pytest
+
+        from repro import compare
+        from repro.core.errors import SchemaError
+
+        left = Instance.from_rows("R", ("A", "B"), [("x", "y")], id_prefix="l")
+        right = Instance.from_rows("R", ("A",), [("x",)], id_prefix="r")
+        with pytest.raises(SchemaError):
+            compare(left, right)

@@ -1,0 +1,117 @@
+"""Tests for the ``python -m repro`` CSV comparison CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def csv_pair(tmp_path):
+    left = tmp_path / "left.csv"
+    left.write_text(
+        "Name,Year,Org\nVLDB,1975,VLDB End.\nSIGMOD,1975,_N:N1\n"
+    )
+    right = tmp_path / "right.csv"
+    right.write_text(
+        "Name,Year,Org\nVLDB,1975,_N:V1\nSIGMOD,1975,ACM\n"
+    )
+    return str(left), str(right)
+
+
+class TestSimilarityCommand:
+    def test_prints_score(self, csv_pair, capsys):
+        left, right = csv_pair
+        assert main(["similarity", left, right, "--preset", "versioning"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == f"{(4 + 2 * 0.5) / 6:.6f}"
+
+    def test_lambda_flag(self, csv_pair, capsys):
+        left, right = csv_pair
+        main(["similarity", left, right, "--preset", "versioning",
+              "--lam", "0.0"])
+        assert capsys.readouterr().out.strip() == f"{4 / 6:.6f}"
+
+
+class TestCompareCommand:
+    def test_human_output(self, csv_pair, capsys):
+        left, right = csv_pair
+        assert main(["compare", left, right, "--preset", "versioning"]) == 0
+        out = capsys.readouterr().out
+        assert "similarity: 0.833333" in out
+        assert "matched: 2" in out
+
+    def test_explain(self, csv_pair, capsys):
+        left, right = csv_pair
+        main(["compare", left, right, "--explain"])
+        out = capsys.readouterr().out
+        assert "Matched pairs" in out
+        assert "V1→'VLDB End.'" in out
+
+    def test_json_output(self, csv_pair, capsys):
+        left, right = csv_pair
+        main(["compare", left, right, "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["similarity"] == pytest.approx(0.8333333)
+        assert payload["algorithm"] == "signature"
+
+    def test_exact_algorithm(self, csv_pair, capsys):
+        left, right = csv_pair
+        main(["compare", left, right, "--algorithm", "exact",
+              "--preset", "versioning"])
+        assert "algorithm:  exact" in capsys.readouterr().out
+
+    def test_totality_warning(self, tmp_path, capsys):
+        left = tmp_path / "l.csv"
+        left.write_text("A\nx\ny\n")
+        right = tmp_path / "r.csv"
+        right.write_text("A\nx\n")
+        main(["compare", str(left), str(right),
+              "--preset", "universal-vs-core"])
+        assert "warning:" in capsys.readouterr().out
+
+    def test_align_schemas_flag(self, tmp_path, capsys):
+        left = tmp_path / "l.csv"
+        left.write_text("A,B\nx,y\n")
+        right = tmp_path / "r.csv"
+        right.write_text("A\nx\n")
+        assert main([
+            "compare", str(left), str(right), "--align-schemas",
+            "--preset", "versioning",
+        ]) == 0
+        assert "similarity: 0.75" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["similarity", str(tmp_path / "nope.csv"),
+                  str(tmp_path / "nope2.csv")])
+
+    def test_unknown_preset(self, csv_pair):
+        left, right = csv_pair
+        with pytest.raises(SystemExit):
+            main(["compare", left, right, "--preset", "bogus"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestDiffCommand:
+    def test_structured_delta(self, csv_pair, capsys):
+        left, right = csv_pair
+        assert main(["diff", left, right, "--preset", "versioning"]) == 0
+        out = capsys.readouterr().out
+        assert "2 updated" in out
+        assert "(redacted)" in out and "(filled)" in out
+
+    def test_inserts_and_deletes_reported(self, tmp_path, capsys):
+        old = tmp_path / "old.csv"
+        old.write_text("A\nkeep\ngone\n")
+        new = tmp_path / "new.csv"
+        new.write_text("A\nkeep\nfresh\n")
+        main(["diff", str(old), str(new), "--preset", "versioning"])
+        out = capsys.readouterr().out
+        assert "1 inserted, 1 deleted" in out

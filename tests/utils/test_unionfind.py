@@ -1,0 +1,114 @@
+"""Tests for the snapshotting union-find."""
+
+import pytest
+
+from repro.utils.unionfind import UnionFind
+
+
+class TestBasics:
+    def test_singletons(self):
+        uf = UnionFind(["a", "b"])
+        assert not uf.connected("a", "b")
+        assert uf.class_size("a") == 1
+
+    def test_union_and_find(self):
+        uf = UnionFind()
+        assert uf.union("a", "b") is True
+        assert uf.connected("a", "b")
+        assert uf.class_size("a") == 2
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.union("a", "b") is False
+        assert uf.class_size("b") == 2
+
+    def test_transitivity(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.connected("a", "c")
+        assert uf.class_size("c") == 3
+
+    def test_contains_and_len(self):
+        uf = UnionFind(["a"])
+        assert "a" in uf
+        assert "z" not in uf
+        assert len(uf) == 1
+
+    def test_classes(self):
+        uf = UnionFind(["a", "b", "c"])
+        uf.union("a", "b")
+        classes = {frozenset(c) for c in uf.classes()}
+        assert classes == {frozenset({"a", "b"}), frozenset({"c"})}
+
+
+class TestSnapshots:
+    def test_rollback_reverts_unions(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        token = uf.snapshot()
+        uf.union("b", "c")
+        uf.union("c", "d")
+        uf.rollback(token)
+        assert uf.connected("a", "b")
+        assert not uf.connected("a", "c")
+        assert not uf.connected("c", "d")
+        assert uf.class_size("a") == 2
+        assert uf.class_size("c") == 1
+
+    def test_nested_snapshots(self):
+        uf = UnionFind()
+        outer = uf.snapshot()
+        uf.union("a", "b")
+        inner = uf.snapshot()
+        uf.union("c", "d")
+        uf.rollback(inner)
+        assert uf.connected("a", "b")
+        assert not uf.connected("c", "d")
+        uf.rollback(outer)
+        assert not uf.connected("a", "b")
+
+    def test_commit_keeps_changes(self):
+        uf = UnionFind()
+        token = uf.snapshot()
+        uf.union("a", "b")
+        uf.commit()
+        assert uf.connected("a", "b")
+
+    def test_rollback_without_snapshot_raises(self):
+        uf = UnionFind()
+        with pytest.raises(RuntimeError):
+            uf.rollback(0)
+
+    def test_commit_without_snapshot_raises(self):
+        uf = UnionFind()
+        with pytest.raises(RuntimeError):
+            uf.commit()
+
+    def test_find_during_snapshot_does_not_compress(self):
+        uf = UnionFind()
+        for i in range(10):
+            uf.union(i, i + 1)
+        token = uf.snapshot()
+        root = uf.find(0)
+        uf.union(100, 101)
+        uf.rollback(token)
+        assert uf.find(0) == root
+        assert not uf.connected(100, 101)
+
+    def test_stress_rollback_consistency(self):
+        import random
+
+        rng = random.Random(7)
+        uf = UnionFind(range(30))
+        # Commit a random base set of unions.
+        for _ in range(15):
+            uf.union(rng.randrange(30), rng.randrange(30))
+        base = {frozenset(c) for c in uf.classes()}
+        for _ in range(20):
+            token = uf.snapshot()
+            for _ in range(10):
+                uf.union(rng.randrange(30), rng.randrange(30))
+            uf.rollback(token)
+            assert {frozenset(c) for c in uf.classes()} == base

@@ -1,0 +1,133 @@
+"""Tests for structured version deltas."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.versioning.delta import (
+    CHANGE_FILLED,
+    CHANGE_REDACTED,
+    CHANGE_RENAMED_NULL,
+    delta_from_match,
+    diff_versions,
+)
+
+N = LabeledNull
+
+
+def inst(rows, attrs=("A", "B"), name="I"):
+    return Instance.from_rows("R", attrs, rows, name=name)
+
+
+class TestDiffVersions:
+    def test_identical_versions(self):
+        old = inst([("x", "y"), ("p", "q")], name="old")
+        new = inst([("p", "q"), ("x", "y")], name="new")
+        delta = diff_versions(old, new)
+        assert delta.summary() == {
+            "identical": 2, "updated": 0, "inserted": 0, "deleted": 0,
+        }
+        assert delta.similarity == pytest.approx(1.0)
+
+    def test_null_filled_in(self):
+        old = inst([("x", N("N1"))], name="old")
+        new = inst([("x", "now-known")], name="new")
+        delta = diff_versions(old, new)
+        assert len(delta.updated) == 1
+        (change,) = delta.updated[0].substantive_changes()
+        assert change.kind == CHANGE_FILLED
+        assert change.attribute == "B"
+        assert change.new_value == "now-known"
+
+    def test_constant_redacted_to_null(self):
+        old = inst([("x", "secret")], name="old")
+        new = inst([("x", N("V1"))], name="new")
+        delta = diff_versions(old, new)
+        (change,) = delta.updated[0].substantive_changes()
+        assert change.kind == CHANGE_REDACTED
+        assert change.old_value == "secret"
+
+    def test_null_renaming_is_not_an_update(self):
+        old = inst([("x", N("N1"))], name="old")
+        new = inst([("x", N("Totally-Different"))], name="new")
+        delta = diff_versions(old, new)
+        assert delta.summary()["identical"] == 1
+        assert delta.summary()["updated"] == 0
+
+    def test_inserts_and_deletes(self):
+        old = inst([("keep", "k"), ("gone", "g")], name="old")
+        new = inst([("keep", "k"), ("fresh", "f")], name="new")
+        delta = diff_versions(old, new)
+        assert [t["A"] for t in delta.deleted] == ["gone"]
+        assert [t["A"] for t in delta.inserted] == ["fresh"]
+
+    def test_constant_change_reads_as_delete_plus_insert(self):
+        old = inst([("x", "old-value")], name="old")
+        new = inst([("x", "new-value")], name="new")
+        delta = diff_versions(old, new)
+        assert delta.summary() == {
+            "identical": 0, "updated": 0, "inserted": 1, "deleted": 1,
+        }
+
+    def test_schema_drift_bridged(self):
+        old = inst([("x", "y")], name="old")
+        new = Instance.from_rows("R", ("A",), [("x",)], name="new")
+        delta = diff_versions(old, new)
+        # The padded column appears as a redaction of "y".
+        assert delta.summary()["updated"] == 1
+        (change,) = delta.updated[0].substantive_changes()
+        assert change.kind == CHANGE_REDACTED
+
+
+class TestRendering:
+    def test_render_mentions_everything(self):
+        old = inst([("x", N("N1")), ("gone", "g")], name="old")
+        new = inst([("x", "filled"), ("fresh", "f")], name="new")
+        delta = diff_versions(old, new)
+        text = delta.render()
+        assert "1 updated, 1 inserted, 1 deleted" in text
+        assert "-> 'filled' (filled)" in text
+        assert "inserted" in text and "deleted" in text
+
+    def test_change_render(self):
+        from repro.versioning.delta import CellChange
+
+        change = CellChange("Org", N("N2"), "VLDB End.", CHANGE_FILLED)
+        assert change.render() == "Org: N2 -> 'VLDB End.' (filled)"
+
+
+class TestDeltaFromMatch:
+    def test_paper_intro_example(self):
+        """Fig. 1's narrative: t2's nulls got updated to constants in I2."""
+        attrs = ("Name", "Year", "Place", "Org")
+        old = Instance.from_rows(
+            "Conference", attrs,
+            [
+                ("VLDB", 1975, "Framingham", "VLDB End."),
+                ("VLDB", 1976, N("N1"), N("N2")),
+                ("SIGMOD", 1975, "San Jose", "ACM"),
+            ],
+            name="I",
+        )
+        new = Instance.from_rows(
+            "Conference", attrs,
+            [
+                (N("P1"), 1975, N("P2"), N("P3")),
+                ("CC&P", 1980, "Montreal", N("P4")),
+                ("VLDB", 1976, "Brussels", "VLDB End."),
+                ("VLDB", 1975, "Framingham", "VLDB End."),
+            ],
+            name="I2",
+        )
+        delta = diff_versions(old, new)
+        # t2 (VLDB 1976) pairs with t17 (VLDB 1976 Brussels VLDB End.):
+        # its two nulls were filled in.
+        filled = [
+            change
+            for update in delta.updated
+            for change in update.substantive_changes()
+            if change.kind == CHANGE_FILLED
+        ]
+        assert {c.new_value for c in filled} >= {"Brussels", "VLDB End."}
+        # the new conference CC&P is an insert
+        assert any(t["Name"] == "CC&P" for t in delta.inserted)

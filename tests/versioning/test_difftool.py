@@ -1,0 +1,56 @@
+"""Tests for the diff baseline (LCS line semantics)."""
+
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.versioning.difftool import diff_instances, serialize_rows
+
+
+def inst(rows, prefix="l"):
+    return Instance.from_rows("R", ("A", "B"), rows, id_prefix=prefix)
+
+
+class TestSerializeRows:
+    def test_constant_rows(self):
+        lines = serialize_rows(inst([("x", 1)]))
+        assert lines == ["x,1"]
+
+    def test_nulls_serialize_as_labels(self):
+        lines = serialize_rows(inst([(LabeledNull("N1"), "y")]))
+        assert lines == ["N1,y"]
+
+
+class TestDiff:
+    def test_identical(self):
+        report = diff_instances(inst([("a", 1), ("b", 2)], "l"),
+                                inst([("a", 1), ("b", 2)], "r"))
+        assert report.matched == 2
+        assert report.left_non_matching == 0
+        assert report.right_non_matching == 0
+
+    def test_shuffled_rows_break_diff(self):
+        rows = [(f"v{i}", i) for i in range(10)]
+        report = diff_instances(
+            inst(rows, "l"), inst(list(reversed(rows)), "r")
+        )
+        # An LCS of a reversed sequence has length 1.
+        assert report.matched == 1
+        assert report.left_non_matching == 9
+
+    def test_removed_rows_kept_in_order_are_fine(self):
+        rows = [(f"v{i}", i) for i in range(10)]
+        report = diff_instances(inst(rows, "l"), inst(rows[:7], "r"))
+        assert report.matched == 7
+        assert report.left_non_matching == 3
+        assert report.right_non_matching == 0
+
+    def test_renamed_nulls_break_diff(self):
+        """diff cannot see that differently-labeled nulls are isomorphic."""
+        left = inst([(LabeledNull("N1"), "y")], "l")
+        right = inst([(LabeledNull("Nz"), "y")], "r")
+        report = diff_instances(left, right)
+        assert report.matched == 0
+
+    def test_empty_instances(self):
+        report = diff_instances(inst([], "l"), inst([], "r"))
+        assert report.matched == 0
+        assert report.left_non_matching == 0

@@ -1,0 +1,115 @@
+"""Tests for version-history reconstruction."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.datagen.perturb import PerturbationConfig, perturb
+from repro.datagen.synthetic import generate_dataset
+from repro.versioning.history import (
+    VersionHistory,
+    pairwise_similarities,
+    reconstruct_history,
+)
+
+
+def chain_versions():
+    """v1 -> v2 -> v3: each step adds rows, so adjacency = similarity."""
+    rows = [(f"x{i}",) for i in range(10)]
+    return {
+        "v1": Instance.from_rows("R", ("A",), rows, name="v1"),
+        "v2": Instance.from_rows("R", ("A",), rows + [("y1",)], name="v2"),
+        "v3": Instance.from_rows(
+            "R", ("A",), rows + [("y1",), ("y2",)], name="v3"
+        ),
+    }
+
+
+class TestPairwise:
+    def test_all_pairs_present(self):
+        sims = pairwise_similarities(chain_versions())
+        assert len(sims) == 3
+        assert all(0.0 <= s <= 1.0 for s in sims.values())
+
+    def test_adjacent_versions_most_similar(self):
+        sims = pairwise_similarities(chain_versions())
+        assert sims[frozenset(("v1", "v2"))] > sims[frozenset(("v1", "v3"))]
+        assert sims[frozenset(("v2", "v3"))] > sims[frozenset(("v1", "v3"))]
+
+
+class TestReconstruction:
+    def test_linear_chain_recovered(self):
+        history = reconstruct_history(chain_versions(), root="v1")
+        assert history.chain_from_root() == ["v1", "v2", "v3"]
+
+    def test_branching_history(self):
+        base_rows = [(f"x{i}",) for i in range(20)]
+        versions = {
+            "base": Instance.from_rows("R", ("A",), base_rows, name="base"),
+            "branch-a": Instance.from_rows(
+                "R", ("A",), base_rows + [("a1",), ("a2",)], name="a"
+            ),
+            "branch-b": Instance.from_rows(
+                "R", ("A",), base_rows + [("b1",), ("b2",)], name="b"
+            ),
+        }
+        history = reconstruct_history(versions, root="base")
+        assert history.parent["branch-a"] == "base"
+        assert history.parent["branch-b"] == "base"
+        assert history.chain_from_root() is None  # it branches
+
+    def test_root_inference_picks_centroid(self):
+        history = reconstruct_history(chain_versions())
+        # v2 is most similar to both others.
+        assert history.root == "v2"
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(ValueError, match="unknown root"):
+            reconstruct_history(chain_versions(), root="v9")
+
+    def test_single_version(self):
+        only = {"v1": Instance.from_rows("R", ("A",), [("x",)])}
+        history = reconstruct_history(only)
+        assert history.root == "v1"
+        assert history.parent == {}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            reconstruct_history({})
+
+    def test_perturbed_lineage_recovered(self):
+        """A realistic lineage: successive modCell perturbations."""
+        v1 = generate_dataset("iris", rows=60, seed=0)
+        v2 = perturb(v1, PerturbationConfig.mod_cell(4.0, seed=1)).target
+        v2 = Instance.from_rows(
+            "Iris", v1.schema.relation("Iris").attributes,
+            [t.values for t in v2.tuples()], name="v2",
+        )
+        v3 = perturb(v2, PerturbationConfig.mod_cell(4.0, seed=2)).target
+        v3 = Instance.from_rows(
+            "Iris", v1.schema.relation("Iris").attributes,
+            [t.values for t in v3.tuples()], name="v3",
+        )
+        history = reconstruct_history(
+            {"v1": v1, "v2": v2, "v3": v3}, root="v1"
+        )
+        assert history.chain_from_root() == ["v1", "v2", "v3"]
+
+
+class TestRendering:
+    def test_edges_and_render(self):
+        history = reconstruct_history(chain_versions(), root="v1")
+        edges = history.edges()
+        assert ("v1", "v2") in {(p, c) for p, c, _ in edges}
+        text = history.render()
+        assert "v1" in text and "└─ v2" in text
+        assert "sim" in text
+
+    def test_children(self):
+        history = VersionHistory(
+            root="a", parent={"b": "a", "c": "a"},
+            similarities={
+                frozenset(("a", "b")): 0.9, frozenset(("a", "c")): 0.8,
+            },
+        )
+        assert history.children("a") == ["b", "c"]
+        assert history.children("b") == []

@@ -1,0 +1,110 @@
+"""Tests for dataset-version generation operations (Table 7 variants)."""
+
+import pytest
+
+from repro.core.values import is_null
+from repro.datagen.synthetic import generate_dataset
+from repro.versioning.operations import (
+    align_schemas,
+    removed_and_shuffled_version,
+    removed_columns_version,
+    removed_rows_version,
+    shuffled_version,
+)
+
+
+@pytest.fixture
+def iris():
+    return generate_dataset("iris", rows=120, seed=0)
+
+
+class TestShuffle:
+    def test_content_preserved(self, iris):
+        version = shuffled_version(iris, seed=1)
+        assert version.content_multiset() == iris.content_multiset()
+
+    def test_order_changes(self, iris):
+        version = shuffled_version(iris, seed=1)
+        original_order = [t.values for t in iris.tuples()]
+        new_order = [t.values for t in version.tuples()]
+        assert original_order != new_order
+
+    def test_fresh_ids(self, iris):
+        version = shuffled_version(iris, seed=1)
+        assert not (version.ids() & iris.ids())
+
+
+class TestRemoveRows:
+    def test_default_fraction_matches_paper(self, iris):
+        version = removed_rows_version(iris, seed=1)
+        assert len(version) == 99  # 120 -> 99 as in Table 7
+
+    def test_remaining_rows_from_original(self, iris):
+        version = removed_rows_version(iris, seed=1)
+        original = iris.content_multiset()
+        removed = version.content_multiset()
+        assert all(original[key] >= count for key, count in removed.items())
+
+    def test_order_preserved(self, iris):
+        version = removed_rows_version(iris, seed=1)
+        original_values = [t.values for t in iris.tuples()]
+        version_values = [t.values for t in version.tuples()]
+        positions = []
+        cursor = 0
+        for values in version_values:
+            while original_values[cursor] != values:
+                cursor += 1
+            positions.append(cursor)
+            cursor += 1
+        assert positions == sorted(positions)
+
+
+class TestRemoveAndShuffle:
+    def test_count_and_content(self, iris):
+        version = removed_and_shuffled_version(iris, seed=1)
+        assert len(version) == 99
+        original = iris.content_multiset()
+        assert all(
+            original[key] >= count
+            for key, count in version.content_multiset().items()
+        )
+
+
+class TestRemoveColumns:
+    def test_drops_one_column(self, iris):
+        version = removed_columns_version(iris, drop_count=1, seed=1)
+        assert version.schema.relation("Iris").arity == 4
+
+    def test_cannot_drop_all(self, iris):
+        with pytest.raises(ValueError, match="cannot drop all"):
+            removed_columns_version(iris, drop_count=5, seed=1)
+
+    def test_row_count_preserved(self, iris):
+        version = removed_columns_version(iris, drop_count=2, seed=1)
+        assert len(version) == 120
+
+
+class TestAlignSchemas:
+    def test_padding_with_fresh_nulls(self, iris):
+        version = removed_columns_version(iris, drop_count=1, seed=1)
+        left, right = align_schemas(iris, version)
+        assert left.schema.is_compatible_with(right.schema)
+        # The modified side received fresh nulls in the dropped column.
+        dropped = set(iris.schema.relation("Iris").attributes) - set(
+            version.schema.relation("Iris").attributes
+        )
+        attribute = dropped.pop()
+        padded_values = [t[attribute] for t in right.tuples()]
+        assert all(is_null(v) for v in padded_values)
+        assert len(set(padded_values)) == len(padded_values)
+
+    def test_no_padding_needed(self, iris):
+        left, right = align_schemas(iris, shuffled_version(iris, seed=1))
+        assert left.content_multiset() == iris.content_multiset()
+
+    def test_relation_name_mismatch_rejected(self, iris):
+        from repro.core.instance import Instance
+
+        other = Instance.from_rows("Other", ("A",), [("x",)])
+        with pytest.raises(ValueError, match="relation names"):
+            align_schemas(iris, other)

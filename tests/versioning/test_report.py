@@ -1,0 +1,74 @@
+"""Tests for the version comparison report (Table 7 rows)."""
+
+import pytest
+
+from repro.datagen.synthetic import generate_dataset
+from repro.versioning.operations import (
+    removed_and_shuffled_version,
+    removed_columns_version,
+    removed_rows_version,
+    shuffled_version,
+)
+from repro.versioning.report import compare_versions
+
+
+@pytest.fixture(scope="module")
+def iris():
+    return generate_dataset("iris", rows=120, seed=0)
+
+
+class TestTable7Shapes:
+    """The qualitative claims of Table 7, one variant at a time."""
+
+    def test_shuffle_diff_fails_signature_succeeds(self, iris):
+        comparison = compare_versions(iris, shuffled_version(iris, seed=1))
+        assert comparison.signature_matched == 120
+        assert comparison.signature_left_non_matching == 0
+        assert comparison.signature_right_non_matching == 0
+        assert comparison.diff.matched < 120  # diff breaks on shuffles
+        assert comparison.similarity == pytest.approx(1.0)
+
+    def test_removed_rows_both_tools_agree(self, iris):
+        comparison = compare_versions(
+            iris, removed_rows_version(iris, seed=1)
+        )
+        assert comparison.signature_matched == 99
+        assert comparison.signature_left_non_matching == 21
+        assert comparison.diff.matched == 99
+        assert comparison.diff.left_non_matching == 21
+
+    def test_removed_and_shuffled_only_signature_survives(self, iris):
+        comparison = compare_versions(
+            iris, removed_and_shuffled_version(iris, seed=1)
+        )
+        assert comparison.signature_matched == 99
+        assert comparison.signature_left_non_matching == 21
+        assert comparison.signature_right_non_matching == 0
+        assert comparison.diff.matched < 99
+
+    def test_removed_column_diff_total_failure(self, iris):
+        comparison = compare_versions(
+            iris, removed_columns_version(iris, seed=1)
+        )
+        assert comparison.diff.matched == 0
+        assert comparison.signature_matched == 120
+        assert comparison.signature_left_non_matching == 0
+        # padded null column costs the λ penalty, so score < 1
+        assert 0.5 < comparison.similarity < 1.0
+
+
+class TestReportMechanics:
+    def test_as_row_layout(self, iris):
+        comparison = compare_versions(iris, shuffled_version(iris, seed=1))
+        row = comparison.as_row()
+        assert row["TO"] == 120
+        assert row["TM"] == 120
+        assert set(row) == {
+            "TO", "TM", "diff_M", "diff_LNM", "diff_RNM",
+            "sig_M", "sig_LNM", "sig_RNM", "sig_score",
+        }
+
+    def test_identical_versions(self, iris):
+        comparison = compare_versions(iris, iris.with_fresh_ids("v"))
+        assert comparison.similarity == pytest.approx(1.0)
+        assert comparison.diff.matched == 120
