@@ -41,11 +41,15 @@ from .mappings.constraints import DEFAULT_LAMBDA, MatchOptions
 from .mappings.instance_match import InstanceMatch
 from .mappings.tuple_mapping import TupleMapping
 from .mappings.value_mapping import ValueMapping
+from .runtime import Budget, CancellationToken, Outcome, compare_anytime
 from .scoring.match_score import score_match
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-_ALGORITHMS = ("signature", "exact", "ground", "partial")
+_ALGORITHMS = ("signature", "exact", "ground", "partial", "anytime")
+
+#: Algorithms that accept a shared :class:`Budget` execution control.
+_CONTROLLABLE = ("signature", "exact", "anytime")
 
 
 def compare(
@@ -56,6 +60,8 @@ def compare(
     prepare: bool = True,
     align_schemas: bool = False,
     refine: bool = False,
+    deadline: float | None = None,
+    token: CancellationToken | None = None,
     **kwargs,
 ) -> ComparisonResult:
     """Compare two instances and return score, match, and statistics.
@@ -70,9 +76,11 @@ def compare(
     algorithm:
         ``"signature"`` (default, the scalable approximate algorithm),
         ``"exact"`` (optimal, exponential; accepts ``node_budget=``),
-        ``"ground"`` (PTIME, ground instances only), or ``"partial"``
+        ``"ground"`` (PTIME, ground instances only), ``"partial"``
         (partial tuple matches, Sec. 6.3; accepts ``min_agreeing_cells=``
-        and friends).
+        and friends), or ``"anytime"`` (the graceful-degradation ladder
+        signature → refine → exact; see
+        :func:`repro.runtime.compare_anytime`).
     options:
         Structural constraints and λ; defaults to
         :meth:`MatchOptions.general`.
@@ -86,17 +94,32 @@ def compare(
         Post-process the match with local-search hill climbing
         (:func:`repro.algorithms.refine.refine_match`); never lowers the
         score, costs extra time.
+    deadline:
+        Wall-clock allowance in seconds.  Supported by ``"signature"``,
+        ``"exact"``, and ``"anytime"``; when the deadline trips, the result
+        carries a non-complete ``outcome`` and its score is a lower bound.
+    token:
+        A :class:`~repro.runtime.CancellationToken` for cooperative
+        cancellation (same algorithm support as ``deadline``).
     **kwargs:
         Forwarded to the selected algorithm.
 
     Returns
     -------
     ComparisonResult
-        ``result.similarity`` is the score; ``result.match`` explains it.
+        ``result.similarity`` is the score; ``result.match`` explains it;
+        ``result.outcome`` says whether the algorithm completed.
     """
     if algorithm not in _ALGORITHMS:
         raise ValueError(
             f"unknown algorithm {algorithm!r}; choose one of {_ALGORITHMS}"
+        )
+    if (deadline is not None or token is not None) and (
+        algorithm not in _CONTROLLABLE
+    ):
+        raise ValueError(
+            f"deadline/cancellation control is not supported for algorithm "
+            f"{algorithm!r}; choose one of {_CONTROLLABLE}"
         )
     if align_schemas:
         from .versioning.operations import align_schemas as _align
@@ -104,10 +127,29 @@ def compare(
         left, right = _align(left, right)
     if prepare:
         left, right = prepare_for_comparison(left, right)
-    if algorithm == "signature":
-        result = signature_compare(left, right, options=options, **kwargs)
+    control = kwargs.pop("control", None)
+    if (
+        control is None
+        and (deadline is not None or token is not None)
+        and algorithm in ("signature", "exact")
+    ):
+        node_limit = None
+        if algorithm == "exact":
+            node_limit = kwargs.pop("node_budget", DEFAULT_NODE_BUDGET)
+        control = Budget(node_limit=node_limit, deadline=deadline, token=token)
+    if algorithm == "anytime":
+        result = compare_anytime(
+            left, right, deadline=deadline, options=options, token=token,
+            prepare=False, **kwargs,
+        )
+    elif algorithm == "signature":
+        result = signature_compare(
+            left, right, options=options, control=control, **kwargs
+        )
     elif algorithm == "exact":
-        result = exact_compare(left, right, options=options, **kwargs)
+        result = exact_compare(
+            left, right, options=options, control=control, **kwargs
+        )
     elif algorithm == "ground":
         result = ground_compare(left, right, options=options, **kwargs)
     else:
@@ -115,7 +157,7 @@ def compare(
             left, right, options=options, **kwargs
         )
     if refine:
-        result = refine_match(result)
+        result = refine_match(result, control=control)
     return result
 
 
@@ -136,11 +178,15 @@ def similarity(
 
 
 __all__ = [
+    "Budget",
+    "CancellationToken",
     "Cell",
     "ComparisonResult",
     "DEFAULT_LAMBDA",
     "DEFAULT_NODE_BUDGET",
     "Instance",
+    "Outcome",
+    "compare_anytime",
     "InstanceMatch",
     "LabeledNull",
     "MatchOptions",

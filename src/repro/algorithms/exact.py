@@ -21,9 +21,11 @@ searches the combinations:
 Candidate mappings are kept consistent incrementally with a snapshotting
 :class:`~repro.algorithms.unifier.Unifier` (the ``FindCompleteInstanceMatch``
 check), and a branch-and-bound upper bound prunes hopeless subtrees.  The
-search is exponential — Theorem 5.11 shows the problem is NP-hard — so a
-``node_budget`` caps the explored nodes; when the budget is hit the result is
-flagged ``exhausted=False`` and the score is a lower bound.
+search is exponential — Theorem 5.11 shows the problem is NP-hard — so it
+runs under a :class:`~repro.runtime.Budget` combining a node cap, an
+optional wall-clock deadline, and cooperative cancellation; when any limit
+trips, the result carries the triggering :class:`~repro.runtime.Outcome`
+and the score is a lower bound.
 """
 
 from __future__ import annotations
@@ -35,6 +37,8 @@ from ..core.tuples import Tuple
 from ..mappings.constraints import MatchOptions
 from ..mappings.instance_match import InstanceMatch
 from ..mappings.tuple_mapping import TupleMapping
+from ..runtime.budget import Budget, resolve_control
+from ..runtime.cancellation import CancellationToken
 from ..scoring.match_score import score_match
 from ..scoring.sizes import normalization_denominator
 from .compatibility import compatible_tuples_of_instances
@@ -53,16 +57,14 @@ class _ExactSearch:
         left: Instance,
         right: Instance,
         options: MatchOptions,
-        node_budget: int,
+        control: Budget,
         prune: bool = True,
     ) -> None:
         self.left = left
         self.right = right
         self.options = options
-        self.node_budget = node_budget
+        self.control = control
         self.prune = prune
-        self.nodes = 0
-        self.exhausted = True
         self.denominator = normalization_denominator(left, right)
         self.unifier = Unifier.for_instances(left, right)
         self.current_pairs: list[tuple[str, str]] = []
@@ -70,16 +72,6 @@ class _ExactSearch:
         self.best_pairs: list[tuple[str, str]] = []
         self.compatible = compatible_tuples_of_instances(left, right)
         self.right_use_count: dict[str, int] = {}
-
-    # -- bookkeeping ------------------------------------------------------------
-
-    def _spend_node(self) -> bool:
-        """Account for one search node; returns False when budget exhausted."""
-        self.nodes += 1
-        if self.nodes > self.node_budget:
-            self.exhausted = False
-            return False
-        return True
 
     def _evaluate_leaf(self) -> None:
         """Score the current candidate tuple mapping and update the best."""
@@ -122,7 +114,7 @@ class _ExactSearch:
         self._functional_dfs(left_tuples, 0)
 
     def _functional_dfs(self, left_tuples: list[Tuple], index: int) -> None:
-        if not self._spend_node():
+        if not self.control.spend():
             return
         if index == len(left_tuples):
             self._evaluate_leaf()
@@ -150,7 +142,7 @@ class _ExactSearch:
             self.right_use_count[right_id] -= 1
             self.current_pairs.pop()
             self.unifier.rollback(token)
-            if not self.exhausted:
+            if self.control.interrupted:
                 return
         # "Unmatched" branch: subsets may score higher than supersets.
         self._functional_dfs(left_tuples, index + 1)
@@ -167,7 +159,7 @@ class _ExactSearch:
         self._powerset_dfs(pairs, 0)
 
     def _powerset_dfs(self, pairs: list[tuple[str, str]], index: int) -> None:
-        if not self._spend_node():
+        if not self.control.spend():
             return
         if index == len(pairs):
             self._evaluate_leaf()
@@ -192,7 +184,7 @@ class _ExactSearch:
                 self.right_use_count[right_id] -= 1
                 self.current_pairs.pop()
             self.unifier.rollback(token)
-            if not self.exhausted:
+            if self.control.interrupted:
                 return
         self._powerset_dfs(pairs, index + 1)
 
@@ -226,6 +218,9 @@ def exact_compare(
     options: MatchOptions | None = None,
     node_budget: int = DEFAULT_NODE_BUDGET,
     prune: bool = True,
+    deadline: float | None = None,
+    token: CancellationToken | None = None,
+    control: Budget | None = None,
 ) -> ComparisonResult:
     """Run the exact algorithm (Alg. 1) and return the best instance match.
 
@@ -238,11 +233,21 @@ def exact_compare(
     options:
         Match constraints and λ; defaults to the fully general setting.
     node_budget:
-        Cap on explored search nodes.  On overrun the result carries
-        ``exhausted=False`` and the best score found so far.
+        Cap on explored search nodes; must be positive (``ValueError``
+        otherwise) or ``None`` for unlimited.  On overrun the result
+        carries ``outcome=BUDGET_EXHAUSTED`` and the best score found so
+        far (a lower bound).
     prune:
         Enable the branch-and-bound upper-bound pruning (disable only for
         the ablation benchmark measuring its effect).
+    deadline:
+        Optional wall-clock allowance in seconds for this search.
+    token:
+        Optional :class:`~repro.runtime.CancellationToken`.
+    control:
+        A pre-built :class:`~repro.runtime.Budget` governing this search
+        (e.g. shared across an anytime ladder).  When given, it supersedes
+        ``node_budget`` / ``deadline`` / ``token``.
 
     Examples
     --------
@@ -256,11 +261,15 @@ def exact_compare(
         options = MatchOptions.general()
     left.assert_comparable_with(right)
     started = time.perf_counter()
-    search = _ExactSearch(left, right, options, node_budget, prune=prune)
-    if options.functional:
-        search.run_functional()
-    else:
-        search.run_non_functional()
+    control = resolve_control(
+        control, node_limit=node_budget, deadline=deadline, token=token
+    )
+    search = _ExactSearch(left, right, options, control, prune=prune)
+    if control.check():
+        if options.functional:
+            search.run_functional()
+        else:
+            search.run_non_functional()
 
     # Rebuild the winning match (the search unifier has been rolled back).
     final_unifier = Unifier.for_instances(left, right)
@@ -276,11 +285,12 @@ def exact_compare(
         match=match,
         options=options,
         algorithm="exact",
-        exhausted=search.exhausted,
+        outcome=control.outcome,
         stats={
-            "nodes_explored": search.nodes,
+            "nodes_explored": control.nodes,
             "candidate_pairs": candidate_pairs,
-            "node_budget": node_budget,
+            "node_budget": control.node_limit,
+            "outcome": control.outcome.value,
         },
         elapsed_seconds=time.perf_counter() - started,
     )

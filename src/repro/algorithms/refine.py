@@ -29,6 +29,7 @@ from ..core.instance import Instance
 from ..mappings.constraints import MatchOptions
 from ..mappings.instance_match import InstanceMatch
 from ..mappings.tuple_mapping import TupleMapping
+from ..runtime.budget import Budget, resolve_control
 from ..scoring.match_score import score_match
 from .compatibility import compatible_tuples_of_instances
 from .result import ComparisonResult
@@ -71,12 +72,16 @@ def refine_match(
     result: ComparisonResult,
     move_budget: int = DEFAULT_MOVE_BUDGET,
     max_passes: int = 3,
+    control: Budget | None = None,
 ) -> ComparisonResult:
     """Hill-climb from ``result``'s match; returns an improved (or equal) result.
 
     The returned similarity is never lower than the input's.  Works with any
     :class:`MatchOptions`; moves that would violate the options' injectivity
-    constraints are skipped.
+    constraints are skipped.  An optional ``control``
+    :class:`~repro.runtime.Budget` bounds the climb by wall clock /
+    cancellation on top of ``move_budget`` — when it trips mid-pass the
+    best-so-far match is returned with the triggering outcome.
 
     Examples
     --------
@@ -90,6 +95,7 @@ def refine_match(
     1.0
     """
     started = time.perf_counter()
+    control = resolve_control(control)
     left, right = result.match.left, result.match.right
     options = result.options
     lam = options.lam
@@ -108,6 +114,8 @@ def refine_match(
         nonlocal best_score, best_match, current_pairs
         nonlocal moves_tried, moves_accepted
         if candidate == current_pairs or not _respects(options, candidate):
+            return False
+        if not control.spend():
             return False
         moves_tried += 1
         outcome = _evaluate(left, right, candidate, lam)
@@ -128,7 +136,7 @@ def refine_match(
         matched_left = {pair[0] for pair in current_pairs}
         matched_right = {pair[1] for pair in current_pairs}
         for left_id in sorted(compatible):
-            if moves_tried >= move_budget:
+            if moves_tried >= move_budget or control.interrupted:
                 break
             if options.left_injective and left_id in matched_left:
                 continue
@@ -145,14 +153,14 @@ def refine_match(
 
         # Move 2: drop pairs whose removal helps.
         for pair in sorted(current_pairs):
-            if moves_tried >= move_budget:
+            if moves_tried >= move_budget or control.interrupted:
                 break
             if try_pairs(current_pairs - {pair}):
                 improved = True
 
         # Move 3: reassign a matched left tuple to a different right tuple.
         for left_id, right_id in sorted(current_pairs):
-            if moves_tried >= move_budget:
+            if moves_tried >= move_budget or control.interrupted:
                 break
             for alternative in compatible.get(left_id, []):
                 if alternative == right_id:
@@ -172,15 +180,18 @@ def refine_match(
                 if moves_tried >= move_budget:
                     break
 
-        if not improved or moves_tried >= move_budget:
+        if not improved or moves_tried >= move_budget or control.interrupted:
             break
 
+    # A tripped control outranks the input's outcome: the climb itself was
+    # cut short, so even an exact input is no longer known complete here.
+    outcome = control.outcome if control.interrupted else result.outcome
     return ComparisonResult(
         similarity=best_score,
         match=best_match,
         options=options,
         algorithm=f"{result.algorithm}+refine",
-        exhausted=result.exhausted,
+        outcome=outcome,
         stats={
             **result.stats,
             "refine_moves_tried": moves_tried,

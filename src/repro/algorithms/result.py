@@ -14,6 +14,7 @@ from typing import Any
 from ..mappings.constraints import MatchOptions
 from ..mappings.explain import MatchStatistics, explain_match, match_statistics
 from ..mappings.instance_match import InstanceMatch
+from ..runtime.outcome import Outcome
 
 
 @dataclass
@@ -30,16 +31,23 @@ class ComparisonResult:
     options:
         Constraints/λ the comparison ran under.
     algorithm:
-        ``"exact"``, ``"signature"``, ``"ground"``, or ``"partial-signature"``.
+        ``"exact"``, ``"signature"``, ``"ground"``, ``"partial-signature"``,
+        or ``"anytime(<rung>)"``.
     exhausted:
-        For the exact algorithm: whether the search space was fully explored
-        (``False`` when a node budget cut the search short; the score is then
-        a lower bound).
+        Deprecated alias for ``outcome.is_complete``, kept for callers of
+        the pre-:mod:`repro.runtime` API.  Prefer :attr:`outcome`, which
+        also says *why* a search stopped early.
     stats:
         Algorithm-specific counters (e.g. ``signature_pairs``,
         ``completion_pairs``, ``nodes_explored``).
     elapsed_seconds:
         Wall-clock time of the comparison.
+    outcome:
+        Why the algorithm stopped (:class:`~repro.runtime.Outcome`).
+        ``COMPLETED`` means the search ran to natural completion — for the
+        exact algorithm the score is then provably optimal; any other value
+        means the score is a valid lower bound obtained before the node
+        budget, deadline, or cancellation cut the search short.
     """
 
     similarity: float
@@ -49,6 +57,20 @@ class ComparisonResult:
     exhausted: bool = True
     stats: dict[str, Any] = field(default_factory=dict)
     elapsed_seconds: float = 0.0
+    outcome: Outcome = Outcome.COMPLETED
+
+    def __post_init__(self) -> None:
+        # Keep the deprecated bool and the outcome taxonomy consistent no
+        # matter which one the constructor was given.
+        if not self.outcome.is_complete:
+            self.exhausted = False
+        elif not self.exhausted:
+            self.outcome = Outcome.BUDGET_EXHAUSTED
+
+    @property
+    def completed(self) -> bool:
+        """Whether the algorithm ran to natural completion."""
+        return self.outcome.is_complete
 
     def statistics(self) -> MatchStatistics:
         """#M / #LNM / #RNM counts of the realized match (Table 7 columns)."""
@@ -72,7 +94,8 @@ class ComparisonResult:
         return self.options.violations(self.match, self.match.left, self.match.right)
 
     def __repr__(self) -> str:
+        suffix = "" if self.outcome.is_complete else f", outcome={self.outcome.value}"
         return (
             f"ComparisonResult(similarity={self.similarity:.4f}, "
-            f"algorithm={self.algorithm!r}, |m|={len(self.match.m)})"
+            f"algorithm={self.algorithm!r}, |m|={len(self.match.m)}{suffix})"
         )

@@ -39,6 +39,7 @@ from ..core.values import is_null as is_null_value
 from ..mappings.constraints import MatchOptions
 from ..mappings.instance_match import InstanceMatch
 from ..mappings.tuple_mapping import TupleMapping
+from ..runtime.budget import Budget, resolve_control
 from ..scoring.match_score import score_match
 from .compatibility import compatible_tuples
 from .result import ComparisonResult
@@ -92,11 +93,13 @@ class _MatchState:
         right: Instance,
         options: MatchOptions,
         align_preference: bool = True,
+        control: Budget | None = None,
     ) -> None:
         self.left = left
         self.right = right
         self.options = options
         self.align_preference = align_preference
+        self.control = resolve_control(control)
         self.unifier = Unifier.for_instances(left, right)
         self.mapping = TupleMapping()
         self.matched_left: set[str] = set()
@@ -232,6 +235,8 @@ def _find_signature_matches(
     for probe in sorted(
         probes, key=lambda t: (-t.constant_count(), t.tuple_id)
     ):
+        if not state.control.spend():
+            break  # budget tripped: keep the pairs committed so far
         if probe_injective and probe.tuple_id in probe_matched:
             continue
         ground = set(probe.constant_attributes())
@@ -301,6 +306,8 @@ def _completion_step(state: _MatchState) -> int:
         for t in sorted(
             left_pool, key=lambda x: (-x.constant_count(), x.tuple_id)
         ):
+            if not state.control.spend():
+                return added  # budget tripped: partial greedy match stands
             if options.left_injective and t.tuple_id in state.matched_left:
                 continue
             candidates = [
@@ -344,6 +351,7 @@ def signature_compare(
     right: Instance,
     options: MatchOptions | None = None,
     align_preference: bool = True,
+    control: Budget | None = None,
 ) -> ComparisonResult:
     """Run the signature algorithm (Alg. 3) and score the greedy match.
 
@@ -358,6 +366,11 @@ def signature_compare(
         them would create (see :meth:`Unifier.merge_cost`).  ``False``
         reproduces the paper's plain first-consistent-extension greedy; the
         ablation bench quantifies the difference.
+    control:
+        Optional :class:`~repro.runtime.Budget`.  The algorithm is
+        polynomial, so this mostly matters for cooperative cancellation:
+        when the budget trips, the pairs committed so far are scored and
+        returned with the triggering outcome.
 
     Examples
     --------
@@ -374,7 +387,10 @@ def signature_compare(
         options = MatchOptions.general()
     left.assert_comparable_with(right)
     started = time.perf_counter()
-    state = _MatchState(left, right, options, align_preference=align_preference)
+    state = _MatchState(
+        left, right, options,
+        align_preference=align_preference, control=control,
+    )
 
     signature_pairs = 0
     # With alignment on, the signature phase runs twice: phase A commits
@@ -409,7 +425,7 @@ def signature_compare(
         match=match,
         options=options,
         algorithm="signature",
-        exhausted=True,
+        outcome=state.control.outcome,
         stats={
             "signature_pairs": signature_pairs,
             "completion_pairs": completion_pairs,

@@ -57,7 +57,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("right", help="right CSV file")
         sub.add_argument(
             "--algorithm",
-            choices=("signature", "exact", "ground", "partial"),
+            choices=("signature", "exact", "ground", "partial", "anytime"),
             default="signature",
         )
         sub.add_argument(
@@ -80,6 +80,24 @@ def build_parser() -> argparse.ArgumentParser:
             "--align-schemas", action="store_true",
             help="pad differing columns with fresh nulls (Sec. 4.3)",
         )
+        if command in ("compare", "similarity"):
+            sub.add_argument(
+                "--deadline", type=float, default=None, metavar="SECONDS",
+                help=(
+                    "wall-clock allowance; supported by signature, exact, "
+                    "and anytime"
+                ),
+            )
+            sub.add_argument(
+                "--on-budget-exhausted",
+                choices=("fail", "degrade"),
+                default="degrade",
+                help=(
+                    "when a budget or deadline cuts the search short: "
+                    "'degrade' (default) reports the lower-bound score with "
+                    "a warning, 'fail' exits with status 3"
+                ),
+            )
         if command == "compare":
             sub.add_argument(
                 "--explain", action="store_true",
@@ -118,13 +136,31 @@ def main(argv: list[str] | None = None) -> int:
         print(delta.render())
         return 0
 
-    result = compare(
-        left,
-        right,
-        algorithm=args.algorithm,
-        options=options,
-        align_schemas=args.align_schemas,
-    )
+    try:
+        result = compare(
+            left,
+            right,
+            algorithm=args.algorithm,
+            options=options,
+            align_schemas=args.align_schemas,
+            deadline=getattr(args, "deadline", None),
+        )
+    except ValueError as error:
+        parser.error(str(error))
+
+    if not result.outcome.is_complete:
+        if getattr(args, "on_budget_exhausted", "degrade") == "fail":
+            print(
+                f"error: comparison did not complete ({result.outcome}); "
+                f"score {result.similarity:.6f} is only a lower bound",
+                file=sys.stderr,
+            )
+            return 3
+        print(
+            f"warning: comparison did not complete ({result.outcome}); "
+            "the score is a lower bound",
+            file=sys.stderr,
+        )
 
     if args.command == "similarity":
         print(f"{result.similarity:.6f}")

@@ -9,6 +9,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -33,14 +34,26 @@ def main(argv: list[str] | None = None) -> int:
              "paper: original sizes)",
     )
     parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock allowance for the exact searches "
+             "(experiments that support it; cut-short cells render with †)",
+    )
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [
         args.experiment
     ]
     for name in names:
+        runner = EXPERIMENTS[name]
+        kwargs = {"scale": args.scale, "seed": args.seed}
+        if args.deadline is not None:
+            if "deadline" in inspect.signature(runner).parameters:
+                kwargs["deadline"] = args.deadline
+            else:
+                print(f"[{name}: --deadline not supported; ignored]")
         started = time.perf_counter()
-        EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        runner(**kwargs)
         elapsed = time.perf_counter() - started
         print(f"[{name} completed in {elapsed:.1f}s]\n")
     return 0

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from ..runtime.outcome import Outcome
+
 Out = Callable[[str], None]
 
 SCALES = ("quick", "default", "paper")
@@ -123,6 +125,89 @@ def render_ascii_chart(
     )
     lines.append(legend)
     return "\n".join(lines)
+
+
+def outcome_marker(outcome: object) -> str:
+    """The paper's ``†`` timeout marker for a non-complete outcome.
+
+    Accepts an :class:`~repro.runtime.Outcome`, its string value, or
+    ``None`` (no outcome recorded → no marker).  Tables 2–3 append this to
+    time cells whose exact search was cut short by a budget, deadline, or
+    cancellation, mirroring the † entries of the paper.
+
+    Examples
+    --------
+    >>> from repro.runtime import Outcome
+    >>> outcome_marker(Outcome.COMPLETED)
+    ''
+    >>> outcome_marker("deadline-exceeded")
+    '†'
+    >>> outcome_marker(None)
+    ''
+    """
+    if outcome is None:
+        return ""
+    if not isinstance(outcome, Outcome):
+        outcome = Outcome(str(outcome))
+    return outcome.marker
+
+
+@dataclass
+class CellRun:
+    """The checkpointed result of one experiment cell.
+
+    A cell is one (dataset, size) table entry.  ``row`` is the cell's row
+    dictionary when any attempt succeeded; ``error`` is the last exception
+    message when every attempt failed.  Either way the cell is *recorded*:
+    one crashing or deadline-hit cell must not lose the rest of the table.
+    """
+
+    key: str
+    row: dict | None = None
+    error: str | None = None
+    attempts: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell produced a row."""
+        return self.row is not None
+
+
+def run_cells(
+    cells: Iterable[tuple[str, Callable[[], dict]]],
+    out: Out = print,
+    retries: int = 1,
+) -> list[CellRun]:
+    """Run experiment cells with per-cell retry and checkpointing.
+
+    Each entry of ``cells`` is ``(key, thunk)`` where the thunk computes the
+    cell's row dictionary.  A thunk that raises is retried up to ``retries``
+    extra times; if it still fails, a :class:`CellRun` carrying the error is
+    recorded and the remaining cells continue — partial tables beat lost
+    tables.  Deadline-hit cells do not raise at all: their row simply
+    carries a non-complete outcome and renders with the † marker.
+    """
+    import time as _time
+
+    runs: list[CellRun] = []
+    for key, thunk in cells:
+        run = CellRun(key=key)
+        started = _time.perf_counter()
+        for attempt in range(1 + max(0, retries)):
+            run.attempts = attempt + 1
+            try:
+                run.row = thunk()
+                break
+            except Exception as error:  # noqa: BLE001 - checkpoint anything
+                run.error = f"{type(error).__name__}: {error}"
+                if attempt < retries:
+                    out(f"[{key}] attempt {attempt + 1} failed: {run.error}; retrying")
+        run.elapsed_seconds = _time.perf_counter() - started
+        if not run.ok:
+            out(f"[{key}] FAILED after {run.attempts} attempt(s): {run.error}")
+        runs.append(run)
+    return runs
 
 
 def summarize_counts(value: int) -> str:

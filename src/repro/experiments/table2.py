@@ -20,7 +20,14 @@ from ..algorithms.signature import signature_compare
 from ..datagen.perturb import PerturbationConfig, perturb
 from ..datagen.synthetic import generate_dataset
 from ..mappings.constraints import MatchOptions
-from .harness import Out, SizeLadder, emit_table, summarize_counts
+from .harness import (
+    Out,
+    SizeLadder,
+    emit_table,
+    outcome_marker,
+    run_cells,
+    summarize_counts,
+)
 
 DATASETS = ("doct", "bike", "git")
 
@@ -38,10 +45,20 @@ EXACT_NODE_BUDGET = {"quick": 200_000, "default": 1_000_000, "paper": 5_000_000}
 
 
 def _exact_time_cell(row: dict) -> str:
-    """Render the Ex T(s) column; '†' marks a node-budget timeout."""
+    """Render the Ex T(s) column; '†' marks a cut-short exact search.
+
+    The marker now derives from the structured ``exact_outcome`` (node
+    budget, wall-clock deadline, or cancellation — the paper's 8-hour
+    timeout entries), falling back to the legacy ``exact_exhausted`` bool
+    for rows produced by older checkpoints.
+    """
     if row["exact_time"] is None:
         return "-"
-    suffix = "" if row["exact_exhausted"] else "†"
+    outcome = row.get("exact_outcome")
+    if outcome is not None:
+        suffix = outcome_marker(outcome)
+    else:
+        suffix = "" if row["exact_exhausted"] else "†"
     return f"{row['exact_time']:.2f}{suffix}"
 
 
@@ -52,8 +69,15 @@ def run_scenario(
     options: MatchOptions,
     run_exact: bool,
     node_budget: int = 200_000,
+    deadline: float | None = None,
 ) -> dict:
-    """Execute one (dataset, size) cell shared by Tables 2 and 3."""
+    """Execute one (dataset, size) cell shared by Tables 2 and 3.
+
+    ``deadline`` bounds the exact search in wall-clock seconds on top of
+    the node budget; a cut-short search leaves its lower-bound score in
+    ``exact_lower_bound`` and its structured stop reason in
+    ``exact_outcome`` (rendered as the † entries of the tables).
+    """
     base = generate_dataset(dataset, rows=rows, seed=config.seed)
     scenario = perturb(base, config)
     stats = scenario.statistics()
@@ -67,15 +91,21 @@ def run_scenario(
     exact_score = None
     exact_time = None
     exact_exhausted = False
+    exact_outcome = None
+    exact_lower_bound = None
     if run_exact:
         started = time.perf_counter()
         exact = exact_compare(
-            scenario.source, scenario.target, options, node_budget=node_budget
+            scenario.source, scenario.target, options,
+            node_budget=node_budget, deadline=deadline,
         )
         exact_time = time.perf_counter() - started
-        if exact.exhausted:
+        exact_outcome = exact.outcome.value
+        if exact.outcome.is_complete:
             exact_score = exact.similarity
             exact_exhausted = True
+        else:
+            exact_lower_bound = exact.similarity
 
     reference = exact_score if exact_score is not None else gold_score
     return {
@@ -88,28 +118,49 @@ def run_scenario(
         "exact_score": exact_score,
         "exact_time": exact_time,
         "exact_exhausted": exact_exhausted,
+        "exact_outcome": exact_outcome,
+        "exact_lower_bound": exact_lower_bound,
         "signature_score": signature.similarity,
         "signature_time": signature_time,
         "score_difference": reference - signature.similarity,
     }
 
 
-def run(scale: str = "quick", seed: int = 0, out: Out = print) -> list[dict]:
-    """Regenerate Table 2 at the requested scale."""
+def run(
+    scale: str = "quick",
+    seed: int = 0,
+    out: Out = print,
+    deadline: float | None = None,
+) -> list[dict]:
+    """Regenerate Table 2 at the requested scale.
+
+    ``deadline`` (seconds, per cell) bounds each exact search; cut-short
+    cells keep their partial row and render with the † marker.  Cells are
+    run through :func:`~repro.experiments.harness.run_cells`, so one
+    crashing cell is recorded and retried rather than losing the table.
+    """
     options = MatchOptions.versioning()
     sizes = LADDER.for_scale(scale)
     exact_limit = EXACT_LIMIT[scale]
-    rows = []
-    for dataset in DATASETS:
-        for size in sizes:
-            config = PerturbationConfig.mod_cell(5.0, seed=seed)
-            rows.append(
-                run_scenario(
-                    dataset, size, config, options,
-                    run_exact=size <= exact_limit,
-                    node_budget=EXACT_NODE_BUDGET[scale],
-                )
-            )
+
+    def cell(dataset: str, size: int):
+        config = PerturbationConfig.mod_cell(5.0, seed=seed)
+        return lambda: run_scenario(
+            dataset, size, config, options,
+            run_exact=size <= exact_limit,
+            node_budget=EXACT_NODE_BUDGET[scale],
+            deadline=deadline,
+        )
+
+    runs = run_cells(
+        [
+            (f"table2:{dataset}/{size}", cell(dataset, size))
+            for dataset in DATASETS
+            for size in sizes
+        ],
+        out=out,
+    )
+    rows = [run.row for run in runs if run.ok]
     emit_table(
         out,
         ["Data", "#T", "#C", "#V", "#T'", "#C'", "#V'",

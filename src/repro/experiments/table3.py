@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ..datagen.perturb import PerturbationConfig
 from ..mappings.constraints import MatchOptions
-from .harness import Out, SizeLadder, emit_table, summarize_counts
+from .harness import Out, SizeLadder, emit_table, run_cells, summarize_counts
 from .table2 import (
     EXACT_LIMIT,
     EXACT_NODE_BUDGET,
@@ -27,27 +27,44 @@ LADDER = SizeLadder(
 )
 
 
-def run(scale: str = "quick", seed: int = 0, out: Out = print) -> list[dict]:
-    """Regenerate Table 3 at the requested scale."""
+def run(
+    scale: str = "quick",
+    seed: int = 0,
+    out: Out = print,
+    deadline: float | None = None,
+) -> list[dict]:
+    """Regenerate Table 3 at the requested scale.
+
+    Same checkpoint/retry and per-cell ``deadline`` semantics as
+    :func:`repro.experiments.table2.run`.
+    """
     options = MatchOptions.general()
     sizes = LADDER.for_scale(scale)
     exact_limit = EXACT_LIMIT[scale]
-    rows = []
-    for dataset in DATASETS:
-        for size in sizes:
-            config = PerturbationConfig.add_random_and_redundant(
-                percent=5.0, random_percent=10.0, redundant_percent=10.0,
-                seed=seed,
-            )
-            rows.append(
-                run_scenario(
-                    dataset, size, config, options,
-                    # The non-functional powerset search explodes much
-                    # faster; halve the exact cutoff.
-                    run_exact=size <= max(50, exact_limit // 2),
-                    node_budget=EXACT_NODE_BUDGET[scale],
-                )
-            )
+
+    def cell(dataset: str, size: int):
+        config = PerturbationConfig.add_random_and_redundant(
+            percent=5.0, random_percent=10.0, redundant_percent=10.0,
+            seed=seed,
+        )
+        return lambda: run_scenario(
+            dataset, size, config, options,
+            # The non-functional powerset search explodes much
+            # faster; halve the exact cutoff.
+            run_exact=size <= max(50, exact_limit // 2),
+            node_budget=EXACT_NODE_BUDGET[scale],
+            deadline=deadline,
+        )
+
+    runs = run_cells(
+        [
+            (f"table3:{dataset}/{size}", cell(dataset, size))
+            for dataset in DATASETS
+            for size in sizes
+        ],
+        out=out,
+    )
+    rows = [run.row for run in runs if run.ok]
     emit_table(
         out,
         ["Data", "#T", "#C", "#V", "#T'", "#C'", "#V'",

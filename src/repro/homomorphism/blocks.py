@@ -185,9 +185,7 @@ class _ShrinkingBlockSearch(HomomorphismSearch):
             return accept(assignment)
         t = self._ordered[index]
         for t_prime in self._candidates(t, assignment):
-            self.steps += 1
-            if self.steps > self.budget:
-                self.exhausted = False
+            if not self.control.spend():
                 return False
             added = _extend_for_enumeration(t, t_prime, assignment)
             if added is None:
@@ -196,7 +194,7 @@ class _ShrinkingBlockSearch(HomomorphismSearch):
                 return True
             for null in added:
                 del assignment[null]
-            if not self.exhausted:
+            if self.control.interrupted:
                 return False
         return False
 
@@ -226,16 +224,19 @@ def _extend_for_enumeration(t, t_prime, assignment):
 
 def is_core_blockwise(
     instance: Instance, budget: int = DEFAULT_HOM_BUDGET
-) -> bool:
-    """Whether no block of ``instance`` admits a shrinking fold.
+) -> bool | None:
+    """Whether no block of ``instance`` admits a shrinking fold — tri-state.
 
     Duplicate tuple contents (bag artifacts) also disqualify an instance:
-    a core is a set of facts.
+    a core is a set of facts.  As with :func:`~repro.homomorphism.core
+    .is_core`, ``None`` (falsy) means some block search was cut short by
+    its budget, so core-ness could not be decided.
     """
     if any(count > 1 for count in instance.content_multiset().values()):
         return False
     blocks = null_blocks(instance)
     all_contents = instance.content_multiset()
+    inconclusive = False
     for block in blocks:
         if all(t.is_ground() for t in block):
             continue
@@ -246,4 +247,6 @@ def is_core_blockwise(
         )
         if search.find_shrinking() is not None:
             return False
-    return True
+        if search.control.interrupted:
+            inconclusive = True
+    return None if inconclusive else True

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from ..core.instance import Instance
 from ..mappings.value_mapping import ValueMapping
+from ..runtime.budget import Budget
 from .homomorphism import DEFAULT_HOM_BUDGET, HomomorphismSearch
 
 
@@ -43,12 +44,20 @@ def compute_core(
     instance: Instance,
     budget: int = DEFAULT_HOM_BUDGET,
     name: str | None = None,
+    control: Budget | None = None,
 ) -> Instance:
     """Compute the core of ``instance`` by iterated folding.
 
     Returns a new instance; the input is not modified.  The result is a
     retract of the input: homomorphically equivalent to it and admitting no
     further proper fold.
+
+    Core computation is *anytime*: each fold preserves homomorphic
+    equivalence, so when a shared ``control`` budget trips mid-way the
+    partially-folded instance returned is still a valid (just possibly
+    non-minimal) retract; ``control.outcome`` tells the caller whether
+    minimality was reached.  Without ``control`` each inner homomorphism
+    search gets its own ``budget``-step allowance (the legacy behaviour).
 
     Examples
     --------
@@ -66,24 +75,48 @@ def compute_core(
     changed = True
     while changed:
         changed = False
+        if control is not None and not control.check():
+            break
         for t in sorted(
             current.tuples(), key=lambda x: (x.constant_count(), x.tuple_id)
         ):
             # Try to retract: find h : current -> current \ {t}.
             target = current.filtered(lambda x: x.tuple_id != t.tuple_id)
-            search = HomomorphismSearch(current, target, budget=budget)
+            search = HomomorphismSearch(
+                current, target, budget=budget, control=control
+            )
             h = search.find()
             if h is not None:
                 current = _image_instance(current, h, current.name)
                 changed = True
                 break
+            if control is not None and control.interrupted:
+                break
     return current
 
 
-def is_core(instance: Instance, budget: int = DEFAULT_HOM_BUDGET) -> bool:
-    """Whether ``instance`` admits no proper fold (i.e., it is its own core)."""
+def is_core(
+    instance: Instance,
+    budget: int = DEFAULT_HOM_BUDGET,
+    control: Budget | None = None,
+) -> bool | None:
+    """Whether ``instance`` admits no proper fold — tri-state.
+
+    ``False`` when a fold was found (definitive), ``True`` when every fold
+    search completed without finding one (a proof), and ``None`` (falsy)
+    when at least one search was cut short by its budget/deadline/token so
+    core-ness could not be decided.
+    """
+    inconclusive = False
     for t in instance.tuples():
         target = instance.filtered(lambda x: x.tuple_id != t.tuple_id)
-        if HomomorphismSearch(instance, target, budget=budget).exists():
+        verdict = HomomorphismSearch(
+            instance, target, budget=budget, control=control
+        ).decide()
+        if verdict is True:
             return False
-    return True
+        if verdict is None:
+            inconclusive = True
+            if control is not None and control.interrupted:
+                break  # a shared tripped budget would cut every later search
+    return None if inconclusive else True

@@ -19,6 +19,8 @@ from ..core.instance import Instance
 from ..core.tuples import Tuple
 from ..core.values import LabeledNull, Value, is_constant, is_null
 from ..mappings.value_mapping import ValueMapping
+from ..runtime.budget import Budget, resolve_control
+from ..runtime.outcome import Outcome
 from .search_index import TargetIndex
 
 DEFAULT_HOM_BUDGET = 5_000_000
@@ -34,17 +36,24 @@ class HomomorphismSearch:
         Instances over the same schema.
     budget:
         Maximum number of candidate tuple examinations before giving up
-        (the search then reports "not found" with ``exhausted=False``).
+        (the search then stops with a non-complete :attr:`outcome`).
+    control:
+        A pre-built :class:`~repro.runtime.Budget` (node cap, deadline,
+        cancellation) governing this search; supersedes ``budget`` and may
+        be shared across several searches to bound them jointly.
     """
 
     def __init__(
-        self, source: Instance, target: Instance, budget: int = DEFAULT_HOM_BUDGET
+        self,
+        source: Instance,
+        target: Instance,
+        budget: int = DEFAULT_HOM_BUDGET,
+        control: Budget | None = None,
     ) -> None:
         self.source = source
         self.target = target
         self.budget = budget
-        self.steps = 0
-        self.exhausted = True
+        self.control = resolve_control(control, node_limit=budget)
         self._index = TargetIndex(target)
         # Order source tuples most-constrained first: fewest candidate
         # images, then most constants.  Assigning low-fanout tuples first
@@ -60,15 +69,47 @@ class HomomorphismSearch:
         )
 
     def find(self) -> ValueMapping | None:
-        """Return a homomorphism as a :class:`ValueMapping`, or ``None``."""
+        """Return a homomorphism as a :class:`ValueMapping`, or ``None``.
+
+        ``None`` is a *proof of absence* only when the search completed
+        (:attr:`exhausted` is true / :attr:`outcome` is ``COMPLETED``);
+        use :meth:`decide` for the tri-state answer.
+        """
         assignment: dict[LabeledNull, Value] = {}
         if self._search(0, assignment):
             return ValueMapping(assignment)
         return None
 
     def exists(self) -> bool:
-        """Whether a homomorphism ``source → target`` exists."""
+        """Whether a homomorphism was found (``False`` also when cut short —
+        prefer :meth:`decide`, which keeps those cases apart)."""
         return self.find() is not None
+
+    def decide(self) -> bool | None:
+        """Tri-state existence: ``True`` / ``False`` / ``None`` (inconclusive).
+
+        ``None`` means the budget, deadline, or a cancellation cut the
+        search before it could either find a homomorphism or exhaust the
+        space — the silent-wrong-answer case the old boolean API hid.
+        """
+        if self.find() is not None:
+            return True
+        return None if self.control.interrupted else False
+
+    @property
+    def steps(self) -> int:
+        """Candidate tuple examinations performed so far."""
+        return self.control.nodes
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the search ran to completion (no limit tripped)."""
+        return not self.control.interrupted
+
+    @property
+    def outcome(self) -> Outcome:
+        """Why the search stopped (``COMPLETED`` unless a limit tripped)."""
+        return self.control.outcome
 
     # -- internals -------------------------------------------------------------
 
@@ -77,9 +118,7 @@ class HomomorphismSearch:
             return True
         t = self._ordered[index]
         for t_prime in self._candidates(t, assignment):
-            self.steps += 1
-            if self.steps > self.budget:
-                self.exhausted = False
+            if not self.control.spend():
                 return False
             added = _extend(t, t_prime, assignment)
             if added is None:
@@ -88,7 +127,7 @@ class HomomorphismSearch:
                 return True
             for null in added:
                 del assignment[null]
-            if not self.exhausted:
+            if self.control.interrupted:
                 return False
         return False
 
@@ -135,7 +174,10 @@ def _unbind(
 
 
 def find_homomorphism(
-    source: Instance, target: Instance, budget: int = DEFAULT_HOM_BUDGET
+    source: Instance,
+    target: Instance,
+    budget: int = DEFAULT_HOM_BUDGET,
+    control: Budget | None = None,
 ) -> ValueMapping | None:
     """Find a homomorphism ``source → target`` (or ``None``).
 
@@ -149,24 +191,49 @@ def find_homomorphism(
     >>> h(LabeledNull("N1"))
     'x'
     """
-    return HomomorphismSearch(source, target, budget=budget).find()
+    return HomomorphismSearch(
+        source, target, budget=budget, control=control
+    ).find()
 
 
 def has_homomorphism(
-    source: Instance, target: Instance, budget: int = DEFAULT_HOM_BUDGET
-) -> bool:
-    """Whether a homomorphism ``source → target`` exists."""
-    return find_homomorphism(source, target, budget=budget) is not None
+    source: Instance,
+    target: Instance,
+    budget: int = DEFAULT_HOM_BUDGET,
+    control: Budget | None = None,
+) -> bool | None:
+    """Whether a homomorphism ``source → target`` exists — tri-state.
+
+    Returns ``True`` when one was found, ``False`` when the completed
+    search proved there is none, and ``None`` when the budget/deadline/
+    cancellation cut the search first (inconclusive).  ``None`` is falsy,
+    so boolean callers keep their old conservative behaviour while callers
+    that care can distinguish "proved absent" from "gave up".
+    """
+    return HomomorphismSearch(
+        source, target, budget=budget, control=control
+    ).decide()
 
 
 def homomorphically_equivalent(
-    left: Instance, right: Instance, budget: int = DEFAULT_HOM_BUDGET
-) -> bool:
-    """Whether homomorphisms exist in both directions.
+    left: Instance,
+    right: Instance,
+    budget: int = DEFAULT_HOM_BUDGET,
+    control: Budget | None = None,
+) -> bool | None:
+    """Whether homomorphisms exist in both directions — tri-state.
 
     Universal solutions of the same data-exchange scenario are exactly the
-    homomorphically equivalent solutions (Sec. 4.3).
+    homomorphically equivalent solutions (Sec. 4.3).  A definitive ``False``
+    in either direction decides the answer; otherwise an inconclusive
+    direction makes the whole answer ``None``.
     """
-    return has_homomorphism(left, right, budget=budget) and has_homomorphism(
-        right, left, budget=budget
-    )
+    forward = has_homomorphism(left, right, budget=budget, control=control)
+    if forward is False:
+        return False
+    backward = has_homomorphism(right, left, budget=budget, control=control)
+    if backward is False:
+        return False
+    if forward is None or backward is None:
+        return None
+    return True

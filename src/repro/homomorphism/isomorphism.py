@@ -15,6 +15,8 @@ from ..core.instance import Instance
 from ..core.tuples import Tuple
 from ..core.values import LabeledNull, Value, is_constant, is_null
 from ..mappings.value_mapping import ValueMapping
+from ..runtime.budget import Budget, resolve_control
+from ..runtime.outcome import Outcome
 from .search_index import TargetIndex
 
 DEFAULT_ISO_BUDGET = 5_000_000
@@ -25,13 +27,16 @@ class IsomorphismSearch:
     """Backtracking search for a bijective homomorphism ``left → right``."""
 
     def __init__(
-        self, left: Instance, right: Instance, budget: int = DEFAULT_ISO_BUDGET
+        self,
+        left: Instance,
+        right: Instance,
+        budget: int = DEFAULT_ISO_BUDGET,
+        control: Budget | None = None,
     ) -> None:
         self.left = left
         self.right = right
         self.budget = budget
-        self.steps = 0
-        self.exhausted = True
+        self.control = resolve_control(control, node_limit=budget)
         self._index = TargetIndex(right)
         self._ordered: list[Tuple] = sorted(
             left.tuples(),
@@ -53,6 +58,27 @@ class IsomorphismSearch:
             return ValueMapping(assignment)
         return None
 
+    def decide(self) -> bool | None:
+        """Tri-state: ``True`` / ``False`` / ``None`` when cut short."""
+        if self.find() is not None:
+            return True
+        return None if self.control.interrupted else False
+
+    @property
+    def steps(self) -> int:
+        """Candidate tuple examinations performed so far."""
+        return self.control.nodes
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the search ran to completion (no limit tripped)."""
+        return not self.control.interrupted
+
+    @property
+    def outcome(self) -> Outcome:
+        """Why the search stopped (``COMPLETED`` unless a limit tripped)."""
+        return self.control.outcome
+
     def _search(
         self,
         index: int,
@@ -64,9 +90,7 @@ class IsomorphismSearch:
             return True
         t = self._ordered[index]
         for t_prime in self._candidates(t, assignment):
-            self.steps += 1
-            if self.steps > self.budget:
-                self.exhausted = False
+            if not self.control.spend():
                 return False
             if t_prime.tuple_id in used_tuples:
                 continue
@@ -80,7 +104,7 @@ class IsomorphismSearch:
             for null in added:
                 used_nulls.discard(assignment[null])
                 del assignment[null]
-            if not self.exhausted:
+            if self.control.interrupted:
                 return False
         return False
 
@@ -159,16 +183,25 @@ def _profiles_agree(left: Instance, right: Instance) -> bool:
 
 
 def find_isomorphism(
-    left: Instance, right: Instance, budget: int = DEFAULT_ISO_BUDGET
+    left: Instance,
+    right: Instance,
+    budget: int = DEFAULT_ISO_BUDGET,
+    control: Budget | None = None,
 ) -> ValueMapping | None:
     """Find a bijective homomorphism ``left → right`` (or ``None``)."""
-    return IsomorphismSearch(left, right, budget=budget).find()
+    return IsomorphismSearch(left, right, budget=budget, control=control).find()
 
 
 def are_isomorphic(
-    left: Instance, right: Instance, budget: int = DEFAULT_ISO_BUDGET
-) -> bool:
-    """Whether the instances represent the same incomplete database.
+    left: Instance,
+    right: Instance,
+    budget: int = DEFAULT_ISO_BUDGET,
+    control: Budget | None = None,
+) -> bool | None:
+    """Whether the instances represent the same incomplete database — tri-state.
+
+    ``True`` / ``False`` are definitive; ``None`` (falsy) means the budget,
+    deadline, or a cancellation cut the search before it could decide.
 
     Examples
     --------
@@ -179,4 +212,6 @@ def are_isomorphic(
     >>> are_isomorphic(I, J)
     True
     """
-    return find_isomorphism(left, right, budget=budget) is not None
+    return IsomorphismSearch(
+        left, right, budget=budget, control=control
+    ).decide()

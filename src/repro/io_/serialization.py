@@ -121,6 +121,7 @@ def result_to_dict(result: ComparisonResult) -> dict:
         "similarity": result.similarity,
         "algorithm": result.algorithm,
         "options": result.options.describe(),
+        "outcome": result.outcome.value,
         "exhausted": result.exhausted,
         "elapsed_seconds": result.elapsed_seconds,
         "stats": stats,

@@ -1,0 +1,34 @@
+"""Unified execution control for the exponential searches.
+
+The comparison problem is NP-hard (Theorem 5.11), and so are the
+homomorphism, isomorphism, and core computations the substrates rely on.
+This package gives all of them one resource-control vocabulary:
+
+* :class:`Budget` — node limit + wall-clock deadline + cancellation token,
+  polled cheaply (amortized every ``check_interval`` nodes) inside every
+  search loop;
+* :class:`Outcome` — why a computation stopped (``COMPLETED`` /
+  ``BUDGET_EXHAUSTED`` / ``DEADLINE_EXCEEDED`` / ``CANCELLED``), carried on
+  :class:`~repro.algorithms.result.ComparisonResult` and the search objects
+  so "proved optimal" is distinguishable from "gave up";
+* :class:`CancellationToken` — cooperative external kill switch;
+* :func:`compare_anytime` — the graceful-degradation ladder
+  (signature → refine → exact) returning the best result the budget allows.
+
+See ``docs/RUNTIME.md`` for the full design.
+"""
+
+from .budget import DEFAULT_CHECK_INTERVAL, Budget, resolve_control
+from .cancellation import CancellationToken
+from .outcome import Outcome
+from .anytime import DEFAULT_ANYTIME_NODE_BUDGET, compare_anytime
+
+__all__ = [
+    "Budget",
+    "CancellationToken",
+    "DEFAULT_ANYTIME_NODE_BUDGET",
+    "DEFAULT_CHECK_INTERVAL",
+    "Outcome",
+    "compare_anytime",
+    "resolve_control",
+]

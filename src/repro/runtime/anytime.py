@@ -1,0 +1,171 @@
+"""The anytime comparison ladder: signature → refine → exact.
+
+The exact comparison algorithm is NP-hard (Theorem 5.11), so any caller
+with a latency requirement faces the choice the paper resolves with an
+8-hour timeout and starred table entries.  :func:`compare_anytime`
+systematizes that: it always produces *some* valid score, spends whatever
+budget remains improving it, and reports which rung of the ladder the
+returned score came from and whether it is exact or a lower bound.
+
+Rungs, cheapest first:
+
+1. **signature** — the scalable greedy algorithm; near-instant, provides
+   the floor.  Runs even under a 0-second deadline (it still honors the
+   cancellation token).
+2. **refine** — hill-climbing over the signature match; never lowers the
+   score, stops at the shared deadline.
+3. **exact** — the optimal search with the remaining wall clock (and a
+   node cap); if it completes, the returned score is provably optimal.
+
+Every rung's result is a complete, scoreable instance match, so whichever
+rung the budget cuts, the caller holds a usable explanation — the anytime
+property.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.instance import Instance, prepare_for_comparison
+from ..mappings.constraints import MatchOptions
+from .budget import DEFAULT_CHECK_INTERVAL, Budget
+from .cancellation import CancellationToken
+from .outcome import Outcome
+
+#: Default node cap for the exact rung (matches ``exact_compare``'s default).
+DEFAULT_ANYTIME_NODE_BUDGET = 2_000_000
+
+
+def compare_anytime(
+    left: Instance,
+    right: Instance,
+    deadline: float | None = None,
+    options: MatchOptions | None = None,
+    token: CancellationToken | None = None,
+    prepare: bool = True,
+    node_budget: int = DEFAULT_ANYTIME_NODE_BUDGET,
+    refine_move_budget: int | None = None,
+    check_interval: int = DEFAULT_CHECK_INTERVAL,
+):
+    """Best similarity obtainable within ``deadline`` seconds.
+
+    Parameters
+    ----------
+    left, right:
+        The instances to compare (prepared automatically unless
+        ``prepare=False``).
+    deadline:
+        Wall-clock allowance in seconds for the whole ladder; ``None``
+        runs every rung to completion.  ``deadline=0`` returns the
+        signature floor immediately.
+    options:
+        Match constraints and λ; defaults to :meth:`MatchOptions.general`.
+    token:
+        Cooperative cancellation; trips every rung within one check
+        interval.
+    node_budget:
+        Node cap for the exact rung (composes with the deadline).
+    refine_move_budget:
+        Move cap for the refine rung; ``None`` uses the refine default.
+
+    Returns
+    -------
+    ComparisonResult
+        ``result.similarity`` is the best score found (≥ the signature
+        floor).  ``result.outcome`` says whether the ladder completed;
+        ``result.stats["anytime_rung"]`` names the rung that produced the
+        score and ``result.stats["anytime_score_is_exact"]`` is ``True``
+        exactly when the exact rung finished, i.e. the score is provably
+        optimal rather than a lower bound.
+
+    Examples
+    --------
+    >>> from repro.core.instance import Instance
+    >>> I = Instance.from_rows("R", ("A",), [("x",)], id_prefix="l")
+    >>> J = Instance.from_rows("R", ("A",), [("x",)], id_prefix="r")
+    >>> result = compare_anytime(I, J, deadline=5.0)
+    >>> result.similarity
+    1.0
+    >>> result.stats["anytime_score_is_exact"]
+    True
+    """
+    # Imported here, not at module top: algorithms/ itself imports the
+    # runtime primitives, and a top-level import would be circular.
+    from ..algorithms.exact import exact_compare
+    from ..algorithms.refine import DEFAULT_MOVE_BUDGET, refine_match
+    from ..algorithms.result import ComparisonResult
+    from ..algorithms.signature import signature_compare
+
+    if options is None:
+        options = MatchOptions.general()
+    if prepare:
+        left, right = prepare_for_comparison(left, right)
+    started = time.perf_counter()
+    control = Budget(
+        deadline=deadline, token=token, check_interval=check_interval
+    ).start()
+
+    # Rung 1 — signature floor.  Deliberately *not* under the deadline (it
+    # must run even with deadline=0 so there is always a result), but under
+    # the token so cancellation still stops it.
+    floor_control = Budget(token=token, check_interval=check_interval)
+    best = signature_compare(
+        left, right, options=options, control=floor_control
+    )
+    best_rung = "signature"
+    rungs_run = ["signature"]
+    score_is_exact = False
+
+    # Rung 2 — refinement under the shared budget.
+    if control.check():
+        rungs_run.append("refine")
+        refined = refine_match(
+            best,
+            move_budget=(
+                DEFAULT_MOVE_BUDGET
+                if refine_move_budget is None
+                else refine_move_budget
+            ),
+            control=control,
+        )
+        if refined.similarity > best.similarity:
+            best, best_rung = refined, "refine"
+
+    # Rung 3 — exact search with the remaining wall clock and a node cap.
+    exact_outcome: Outcome | None = None
+    if control.check():
+        rungs_run.append("exact")
+        exact = exact_compare(
+            left,
+            right,
+            options=options,
+            control=control.child(node_limit=node_budget),
+        )
+        exact_outcome = exact.outcome
+        if exact.outcome.is_complete:
+            # Completed exact search dominates: its score is the optimum.
+            best, best_rung, score_is_exact = exact, "exact", True
+        elif exact.similarity > best.similarity:
+            best, best_rung = exact, "exact"
+
+    if exact_outcome is not None:
+        overall = exact_outcome
+    else:
+        control.check()  # classify why the ladder stopped early
+        overall = control.outcome
+
+    return ComparisonResult(
+        similarity=best.similarity,
+        match=best.match,
+        options=options,
+        algorithm=f"anytime({best_rung})",
+        outcome=overall,
+        stats={
+            **best.stats,
+            "anytime_rung": best_rung,
+            "anytime_rungs_run": ",".join(rungs_run),
+            "anytime_score_is_exact": score_is_exact,
+            "outcome": overall.value,
+        },
+        elapsed_seconds=time.perf_counter() - started,
+    )

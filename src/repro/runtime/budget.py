@@ -1,0 +1,236 @@
+"""The unified execution budget.
+
+A :class:`Budget` combines the three resource controls every exponential
+search in this repository needs:
+
+* a **node limit** — the classic search-node cap (the paper's stand-in for
+  its 8-hour exact-algorithm timeout);
+* a wall-clock **deadline** — seconds from :meth:`Budget.start`;
+* a cooperative **cancellation token** — external kill switch.
+
+Searches call :meth:`Budget.spend` once per node.  The node limit is a
+single integer comparison per call; the clock and the token are consulted
+only every ``check_interval`` nodes, so the control adds no measurable cost
+to the hot search loops while guaranteeing a cut-short search returns
+within one check interval of the triggering event.
+
+The first limit to trip wins and is recorded as the budget's
+:class:`~repro.runtime.outcome.Outcome`; subsequent ``spend`` calls return
+``False`` immediately without reclassifying the cause.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .cancellation import CancellationToken
+from .outcome import Outcome
+
+DEFAULT_CHECK_INTERVAL = 256
+"""How many spent nodes between wall-clock / cancellation checks."""
+
+
+class Budget:
+    """Node-count, deadline, and cancellation control for one computation.
+
+    Parameters
+    ----------
+    node_limit:
+        Maximum search nodes, or ``None`` for unlimited.  Must be positive —
+        a non-positive limit is a configuration error, not a request for an
+        empty search, and raises :class:`ValueError`.
+    deadline:
+        Wall-clock allowance in seconds, measured from :meth:`start`
+        (implicitly the first check), or ``None`` for no deadline.  A
+        deadline of ``0`` trips on the very first check.
+    token:
+        Optional :class:`~repro.runtime.cancellation.CancellationToken`.
+    check_interval:
+        Nodes between clock/token polls (amortization factor).
+
+    Examples
+    --------
+    >>> budget = Budget(node_limit=2)
+    >>> budget.spend(), budget.spend(), budget.spend()
+    (True, True, False)
+    >>> budget.outcome
+    <Outcome.BUDGET_EXHAUSTED: 'budget-exhausted'>
+    """
+
+    __slots__ = (
+        "node_limit",
+        "deadline",
+        "token",
+        "check_interval",
+        "nodes",
+        "_outcome",
+        "_started_at",
+        "_expires_at",
+        "_next_check",
+    )
+
+    def __init__(
+        self,
+        node_limit: int | None = None,
+        deadline: float | None = None,
+        token: CancellationToken | None = None,
+        check_interval: int = DEFAULT_CHECK_INTERVAL,
+    ) -> None:
+        if node_limit is not None and node_limit <= 0:
+            raise ValueError(
+                f"node_limit must be positive, got {node_limit} "
+                "(pass None for an unlimited budget)"
+            )
+        if deadline is not None and deadline < 0:
+            raise ValueError(f"deadline must be >= 0 seconds, got {deadline}")
+        if check_interval <= 0:
+            raise ValueError(
+                f"check_interval must be positive, got {check_interval}"
+            )
+        self.node_limit = node_limit
+        self.deadline = deadline
+        self.token = token
+        self.check_interval = check_interval
+        self.nodes = 0
+        self._outcome = Outcome.COMPLETED
+        self._started_at: float | None = None
+        self._expires_at: float | None = None
+        self._next_check = check_interval
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @classmethod
+    def unlimited(cls) -> Budget:
+        """A budget with no limits (still cancellable if a token is shared)."""
+        return cls()
+
+    def start(self) -> Budget:
+        """Anchor the deadline clock.  Idempotent; returns ``self``."""
+        if self._started_at is None:
+            self._started_at = time.monotonic()
+            if self.deadline is not None:
+                self._expires_at = self._started_at + self.deadline
+        return self
+
+    def child(
+        self,
+        node_limit: int | None = None,
+        check_interval: int | None = None,
+    ) -> Budget:
+        """A budget with its own node limit sharing this deadline and token.
+
+        The child expires at the *same absolute instant* as the parent (the
+        anytime ladder hands each rung the remaining wall clock this way)
+        but counts its own nodes, so a per-rung node cap composes with the
+        overall deadline.
+        """
+        self.start()
+        sub = Budget(
+            node_limit=node_limit,
+            token=self.token,
+            check_interval=check_interval or self.check_interval,
+        )
+        sub._started_at = self._started_at
+        sub._expires_at = self._expires_at
+        sub.deadline = self.deadline
+        return sub
+
+    # -- spending --------------------------------------------------------------
+
+    def spend(self, n: int = 1) -> bool:
+        """Account ``n`` search nodes; ``False`` once any limit has tripped.
+
+        Hot-loop contract: searches call this once per node and unwind
+        (keeping their best-so-far state consistent) as soon as it returns
+        ``False``.
+        """
+        if self._outcome is not Outcome.COMPLETED:
+            return False
+        self.nodes += n
+        if self.node_limit is not None and self.nodes > self.node_limit:
+            self._outcome = Outcome.BUDGET_EXHAUSTED
+            return False
+        if self.nodes >= self._next_check:
+            self._next_check = self.nodes + self.check_interval
+            return self.check()
+        return True
+
+    def check(self) -> bool:
+        """Consult the token and the clock *now* (no amortization).
+
+        Used at phase boundaries (e.g. between anytime-ladder rungs) where
+        an immediate answer matters — a deadline of ``0`` trips here before
+        any work is done.
+        """
+        if self._outcome is not Outcome.COMPLETED:
+            return False
+        if self.token is not None and self.token.cancelled:
+            self._outcome = Outcome.CANCELLED
+            return False
+        if self._started_at is None:
+            self.start()
+        if (
+            self._expires_at is not None
+            and time.monotonic() >= self._expires_at
+        ):
+            self._outcome = Outcome.DEADLINE_EXCEEDED
+            return False
+        return True
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def outcome(self) -> Outcome:
+        """``COMPLETED`` while running / finished clean, else the first cause."""
+        return self._outcome
+
+    @property
+    def interrupted(self) -> bool:
+        """Whether any limit has tripped."""
+        return self._outcome is not Outcome.COMPLETED
+
+    def elapsed_seconds(self) -> float:
+        """Seconds since :meth:`start` (``0.0`` if never started)."""
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
+    def remaining_seconds(self) -> float | None:
+        """Wall clock left before the deadline; ``None`` without a deadline."""
+        if self._expires_at is None:
+            return None if self.deadline is None else self.deadline
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def __repr__(self) -> str:
+        parts = [f"nodes={self.nodes}"]
+        if self.node_limit is not None:
+            parts.append(f"limit={self.node_limit}")
+        if self.deadline is not None:
+            parts.append(f"deadline={self.deadline}s")
+        if self.token is not None:
+            parts.append(repr(self.token))
+        parts.append(f"outcome={self._outcome.value}")
+        return f"Budget({', '.join(parts)})"
+
+
+def resolve_control(
+    control: Budget | None,
+    node_limit: int | None = None,
+    deadline: float | None = None,
+    token: CancellationToken | None = None,
+    check_interval: int = DEFAULT_CHECK_INTERVAL,
+) -> Budget:
+    """Normalize an algorithm's legacy budget kwargs into one started Budget.
+
+    Every search entry point accepts either a shared ``control`` budget
+    (which wins, enabling one budget to govern a whole pipeline) or the
+    individual ``node_limit`` / ``deadline`` / ``token`` knobs.
+    """
+    if control is not None:
+        return control.start()
+    return Budget(
+        node_limit=node_limit,
+        deadline=deadline,
+        token=token,
+        check_interval=check_interval,
+    ).start()

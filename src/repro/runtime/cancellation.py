@@ -1,0 +1,56 @@
+"""Cooperative cancellation for long-running searches.
+
+A :class:`CancellationToken` is handed to a :class:`~repro.runtime.budget
+.Budget`; the search polls the budget (amortized, every ``check_interval``
+steps), so after :meth:`CancellationToken.cancel` is called — typically from
+another thread, a signal handler, or a server request-abort hook — the
+search returns its best-so-far state within one check interval.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class CancellationToken:
+    """Thread-safe one-shot cancellation flag.
+
+    Examples
+    --------
+    >>> token = CancellationToken()
+    >>> token.cancelled
+    False
+    >>> token.cancel()
+    >>> token.cancelled
+    True
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        """Request cancellation.  Idempotent; safe from any thread."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether cancellation has been requested."""
+        return self._event.is_set()
+
+    def cancel_after(self, seconds: float) -> threading.Timer:
+        """Schedule :meth:`cancel` on a daemon timer thread; returns the timer.
+
+        A convenience for tests and ad-hoc timeouts; prefer a ``deadline``
+        on the :class:`~repro.runtime.budget.Budget` for plain wall-clock
+        limits (no extra thread).
+        """
+        timer = threading.Timer(seconds, self.cancel)
+        timer.daemon = True
+        timer.start()
+        return timer
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "live"
+        return f"CancellationToken({state})"

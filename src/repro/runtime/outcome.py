@@ -1,0 +1,49 @@
+"""Structured outcomes of resource-controlled computations.
+
+Every potentially-exponential search in this repository (exact comparison,
+homomorphism/isomorphism search, core folding, match refinement) runs under
+a :class:`~repro.runtime.budget.Budget` and finishes with an
+:class:`Outcome` saying *why* it stopped.  This replaces the lone
+``exhausted`` bool the modules used to carry, which conflated "proved
+optimal / proved absent" with "gave up" — the silent-wrong-answer failure
+mode the paper works around with its 8-hour timeout and starred table
+entries.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Outcome(str, Enum):
+    """Why a resource-controlled computation stopped.
+
+    * ``COMPLETED`` — the search ran to natural completion; its answer is
+      definitive (an exact score is optimal, a "no homomorphism" is a proof).
+    * ``BUDGET_EXHAUSTED`` — the node/step budget ran out; the answer is a
+      lower bound / inconclusive.
+    * ``DEADLINE_EXCEEDED`` — the wall-clock deadline passed; ditto.
+    * ``CANCELLED`` — a :class:`~repro.runtime.cancellation
+      .CancellationToken` was triggered; ditto.
+
+    The enum derives from ``str`` so outcomes serialize directly to JSON and
+    compare equal to their wire values (``Outcome.COMPLETED == "completed"``).
+    """
+
+    COMPLETED = "completed"
+    BUDGET_EXHAUSTED = "budget-exhausted"
+    DEADLINE_EXCEEDED = "deadline-exceeded"
+    CANCELLED = "cancelled"
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether the computation ran to natural completion."""
+        return self is Outcome.COMPLETED
+
+    @property
+    def marker(self) -> str:
+        """The paper's table annotation: ``"†"`` for any cut-short run."""
+        return "" if self.is_complete else "†"
+
+    def __str__(self) -> str:  # str(Outcome.COMPLETED) == "completed"
+        return self.value

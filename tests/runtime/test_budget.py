@@ -1,0 +1,164 @@
+"""Unit tests for the unified execution budget (runtime.budget)."""
+
+import time
+
+import pytest
+
+from repro.runtime import Budget, CancellationToken, Outcome
+from repro.runtime.budget import resolve_control
+
+
+class TestConstruction:
+    def test_node_limit_must_be_positive(self):
+        with pytest.raises(ValueError, match="node_limit"):
+            Budget(node_limit=0)
+        with pytest.raises(ValueError, match="node_limit"):
+            Budget(node_limit=-5)
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            Budget(deadline=-0.1)
+
+    def test_check_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="check_interval"):
+            Budget(check_interval=0)
+
+    def test_unlimited_never_trips(self):
+        budget = Budget.unlimited().start()
+        assert all(budget.spend() for _ in range(10_000))
+        assert budget.outcome is Outcome.COMPLETED
+        assert not budget.interrupted
+
+
+class TestNodeLimit:
+    def test_trips_after_limit(self):
+        budget = Budget(node_limit=2).start()
+        assert budget.spend()
+        assert budget.spend()
+        assert not budget.spend()
+        assert budget.outcome is Outcome.BUDGET_EXHAUSTED
+        assert budget.interrupted
+
+    def test_spend_stays_false_after_trip(self):
+        budget = Budget(node_limit=1).start()
+        budget.spend(), budget.spend()
+        assert not budget.spend()
+        assert budget.outcome is Outcome.BUDGET_EXHAUSTED
+
+
+class TestDeadline:
+    def test_zero_deadline_trips_on_first_check(self):
+        budget = Budget(deadline=0).start()
+        assert not budget.check()
+        assert budget.outcome is Outcome.DEADLINE_EXCEEDED
+
+    def test_expired_deadline_trips_within_one_interval(self):
+        budget = Budget(deadline=0.01, check_interval=8).start()
+        time.sleep(0.03)
+        spends = sum(1 for _ in range(100) if budget.spend())
+        assert budget.outcome is Outcome.DEADLINE_EXCEEDED
+        # The clock is polled every 8 nodes, so at most 8 spends succeed.
+        assert spends <= 8
+
+    def test_generous_deadline_does_not_trip(self):
+        budget = Budget(deadline=60).start()
+        assert budget.check()
+        assert budget.remaining_seconds() <= 60
+
+
+class TestCancellation:
+    def test_precancelled_token(self):
+        token = CancellationToken()
+        token.cancel()
+        budget = Budget(token=token).start()
+        assert not budget.check()
+        assert budget.outcome is Outcome.CANCELLED
+
+    def test_cancel_mid_spend_detected_within_interval(self):
+        token = CancellationToken()
+        budget = Budget(token=token, check_interval=4).start()
+        assert budget.spend()
+        token.cancel()
+        results = [budget.spend() for _ in range(10)]
+        assert False in results
+        assert budget.outcome is Outcome.CANCELLED
+
+    def test_cancel_after_timer(self):
+        token = CancellationToken()
+        timer = token.cancel_after(0.02)
+        try:
+            assert not token.cancelled
+            time.sleep(0.05)
+            assert token.cancelled
+        finally:
+            timer.cancel()
+
+
+class TestFirstCauseWins:
+    def test_node_limit_then_cancellation(self):
+        token = CancellationToken()
+        budget = Budget(node_limit=1, token=token).start()
+        budget.spend(), budget.spend()
+        assert budget.outcome is Outcome.BUDGET_EXHAUSTED
+        token.cancel()
+        assert not budget.spend()
+        assert not budget.check()
+        # The later cancellation does not reclassify the recorded cause.
+        assert budget.outcome is Outcome.BUDGET_EXHAUSTED
+
+
+class TestChild:
+    def test_child_shares_absolute_expiry(self):
+        parent = Budget(deadline=0).start()
+        child = parent.child(node_limit=100)
+        assert not child.check()
+        assert child.outcome is Outcome.DEADLINE_EXCEEDED
+        # The parent's own outcome is untouched by the child tripping.
+        assert parent.outcome is Outcome.COMPLETED
+
+    def test_child_counts_its_own_nodes(self):
+        parent = Budget(deadline=60).start()
+        parent.spend(50)
+        child = parent.child(node_limit=2)
+        assert child.nodes == 0
+        child.spend(), child.spend()
+        assert not child.spend()
+        assert child.outcome is Outcome.BUDGET_EXHAUSTED
+
+    def test_child_shares_token(self):
+        token = CancellationToken()
+        parent = Budget(token=token).start()
+        child = parent.child()
+        token.cancel()
+        assert not child.check()
+        assert child.outcome is Outcome.CANCELLED
+
+
+class TestResolveControl:
+    def test_explicit_control_wins(self):
+        control = Budget(node_limit=7)
+        assert resolve_control(control, node_limit=99) is control
+
+    def test_kwargs_build_started_budget(self):
+        budget = resolve_control(None, node_limit=3, deadline=5.0)
+        assert budget.node_limit == 3
+        assert budget.deadline == 5.0
+        assert budget.check()  # started, not expired
+
+
+class TestOutcome:
+    def test_values_and_markers(self):
+        assert Outcome.COMPLETED.is_complete
+        assert Outcome.COMPLETED.marker == ""
+        for outcome in (
+            Outcome.BUDGET_EXHAUSTED,
+            Outcome.DEADLINE_EXCEEDED,
+            Outcome.CANCELLED,
+        ):
+            assert not outcome.is_complete
+            assert outcome.marker == "†"
+
+    def test_round_trips_through_string(self):
+        for outcome in Outcome:
+            assert Outcome(outcome.value) is outcome
+            assert str(outcome) == outcome.value

@@ -1,0 +1,62 @@
+"""Checkpoint/retry cell runner and † markers (experiments.harness)."""
+
+from repro.experiments.harness import CellRun, outcome_marker, run_cells
+from repro.runtime import Outcome
+
+SILENT = lambda _line: None  # noqa: E731
+
+
+class TestOutcomeMarker:
+    def test_complete_unmarked(self):
+        assert outcome_marker(Outcome.COMPLETED) == ""
+        assert outcome_marker("completed") == ""
+
+    def test_cut_short_marked(self):
+        assert outcome_marker(Outcome.DEADLINE_EXCEEDED) == "†"
+        assert outcome_marker("budget-exhausted") == "†"
+        assert outcome_marker("cancelled") == "†"
+
+    def test_none_means_no_marker(self):
+        assert outcome_marker(None) == ""
+
+
+class TestRunCells:
+    def test_all_cells_succeed(self):
+        runs = run_cells(
+            [("a", lambda: {"v": 1}), ("b", lambda: {"v": 2})], out=SILENT
+        )
+        assert [r.key for r in runs] == ["a", "b"]
+        assert all(r.ok for r in runs)
+        assert [r.row["v"] for r in runs] == [1, 2]
+
+    def test_failed_cell_recorded_not_fatal(self):
+        def boom():
+            raise RuntimeError("cell exploded")
+
+        runs = run_cells(
+            [("bad", boom), ("good", lambda: {"v": 3})], out=SILENT, retries=0
+        )
+        bad, good = runs
+        assert not bad.ok
+        assert "cell exploded" in bad.error
+        assert bad.attempts == 1
+        assert good.ok and good.row == {"v": 3}
+
+    def test_retry_recovers_flaky_cell(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(None)
+            if len(attempts) < 2:
+                raise ValueError("transient")
+            return {"v": 42}
+
+        (run,) = run_cells([("flaky", flaky)], out=SILENT, retries=2)
+        assert run.ok
+        assert run.attempts == 2
+        assert run.row == {"v": 42}
+
+    def test_cell_run_defaults(self):
+        run = CellRun(key="k")
+        assert not run.ok
+        assert run.error is None

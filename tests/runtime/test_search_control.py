@@ -1,0 +1,91 @@
+"""Budget control threaded through the search algorithms.
+
+Covers the satellite behaviours: exact rejects a non-positive node budget,
+a budget cut mid-branch still yields a valid scoreable partial match, and
+the homomorphism-family predicates report tri-state outcomes instead of a
+silent ``False`` when their search is cut short.
+"""
+
+import pytest
+
+from repro.algorithms.exact import exact_compare
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.homomorphism.core import is_core
+from repro.homomorphism.homomorphism import has_homomorphism
+from repro.homomorphism.isomorphism import are_isomorphic
+from repro.mappings.constraints import MatchOptions
+from repro.runtime import Outcome
+from repro.scoring.match_score import score_match
+
+
+def null_chain(prefix: str, length: int = 3) -> Instance:
+    """R(A, B) rows chained through shared nulls: (N0,N1), (N1,N2), ..."""
+    nulls = [LabeledNull(f"{prefix}{i}") for i in range(length + 1)]
+    rows = [(nulls[i], nulls[i + 1]) for i in range(length)]
+    return Instance.from_rows("R", ("A", "B"), rows, id_prefix=prefix)
+
+
+class TestExactBudgetValidation:
+    def test_zero_node_budget_raises(self):
+        I = Instance.from_rows("R", ("A",), [("x",)], id_prefix="l")
+        J = Instance.from_rows("R", ("A",), [("x",)], id_prefix="r")
+        with pytest.raises(ValueError, match="node_limit"):
+            exact_compare(I, J, node_budget=0)
+
+    def test_negative_node_budget_raises(self):
+        I = Instance.from_rows("R", ("A",), [("x",)], id_prefix="l")
+        J = Instance.from_rows("R", ("A",), [("x",)], id_prefix="r")
+        with pytest.raises(ValueError, match="node_limit"):
+            exact_compare(I, J, node_budget=-1)
+
+
+class TestPartialMatchOnExhaustion:
+    def test_budget_cut_mid_branch_yields_scoreable_match(self):
+        # Large enough that a 10-node budget trips mid-branch.
+        rows = [(f"a{i}", LabeledNull(f"N{i}")) for i in range(12)]
+        other = [(f"a{i}", LabeledNull(f"M{i}")) for i in range(12)]
+        I = Instance.from_rows("R", ("A", "B"), rows, id_prefix="l")
+        J = Instance.from_rows("R", ("A", "B"), other, id_prefix="r")
+        options = MatchOptions.versioning()
+        result = exact_compare(I, J, options=options, node_budget=10)
+        assert result.outcome is Outcome.BUDGET_EXHAUSTED
+        assert not result.exhausted  # deprecated alias stays in sync
+        # The best-so-far match is complete and scoreable: re-scoring it
+        # reproduces the reported (lower bound) similarity.
+        assert result.match is not None
+        assert 0.0 <= result.similarity <= 1.0
+        assert score_match(result.match, lam=options.lam) == pytest.approx(
+            result.similarity
+        )
+        assert result.constraint_violations() == []
+
+
+class TestTriStateHomomorphism:
+    def test_has_homomorphism_inconclusive_on_tiny_budget(self):
+        source = null_chain("s")
+        target = Instance.from_rows(
+            "R", ("A", "B"), [("a", "b"), ("b", "c"), ("c", "d")],
+            id_prefix="g",
+        )
+        assert has_homomorphism(source, target) is True
+        verdict = has_homomorphism(source, target, budget=1)
+        assert verdict is None
+        assert not verdict  # falsy: boolean callers stay conservative
+
+    def test_is_core_tri_state(self):
+        chain = null_chain("c", length=2)  # (N0,N1), (N1,N2): a core
+        assert is_core(chain) is True
+        assert is_core(chain, budget=1) is None
+
+    def test_are_isomorphic_inconclusive_at_budget_one(self):
+        left = null_chain("x")
+        right = null_chain("y")
+        assert are_isomorphic(left, right) is True
+        assert are_isomorphic(left, right, budget=1) is None
+
+    def test_definitive_false_is_still_false(self):
+        left = Instance.from_rows("R", ("A", "B"), [("a", "b")], id_prefix="l")
+        right = Instance.from_rows("R", ("A", "B"), [("c", "d")], id_prefix="r")
+        assert has_homomorphism(left, right) is False
+        assert are_isomorphic(left, right) is False
