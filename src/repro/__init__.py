@@ -41,7 +41,16 @@ from .mappings.constraints import DEFAULT_LAMBDA, MatchOptions
 from .mappings.instance_match import InstanceMatch
 from .mappings.tuple_mapping import TupleMapping
 from .mappings.value_mapping import ValueMapping
-from .runtime import Budget, CancellationToken, Outcome, compare_anytime
+from .runtime import (
+    Budget,
+    CancellationToken,
+    Executor,
+    FaultPlan,
+    Outcome,
+    RetryPolicy,
+    WorkerLimits,
+    compare_anytime,
+)
 from .scoring.match_score import score_match
 
 __version__ = "1.1.0"
@@ -62,6 +71,7 @@ def compare(
     refine: bool = False,
     deadline: float | None = None,
     token: CancellationToken | None = None,
+    executor: Executor | None = None,
     **kwargs,
 ) -> ComparisonResult:
     """Compare two instances and return score, match, and statistics.
@@ -101,6 +111,15 @@ def compare(
     token:
         A :class:`~repro.runtime.CancellationToken` for cooperative
         cancellation (same algorithm support as ``deadline``).
+    executor:
+        An :class:`~repro.runtime.Executor` providing fault-tolerant
+        execution (worker isolation, memory caps, retry/backoff).
+        Supported for ``"exact"`` and ``"anytime"``.  A hard death of the
+        exponential stage — OOM, wall kill, crash — then *degrades* to the
+        signature tier instead of propagating: the result carries the
+        approximate score, the failure outcome (``oom``/``killed``/
+        ``crashed``), and the structured attempt log in
+        ``stats["fault_log"]``.
     **kwargs:
         Forwarded to the selected algorithm.
 
@@ -121,6 +140,11 @@ def compare(
             f"deadline/cancellation control is not supported for algorithm "
             f"{algorithm!r}; choose one of {_CONTROLLABLE}"
         )
+    if executor is not None and algorithm not in ("exact", "anytime"):
+        raise ValueError(
+            f"fault-tolerant execution is not supported for algorithm "
+            f"{algorithm!r}; choose 'exact' or 'anytime'"
+        )
     if align_schemas:
         from .versioning.operations import align_schemas as _align
 
@@ -130,6 +154,7 @@ def compare(
     control = kwargs.pop("control", None)
     if (
         control is None
+        and executor is None
         and (deadline is not None or token is not None)
         and algorithm in ("signature", "exact")
     ):
@@ -140,11 +165,16 @@ def compare(
     if algorithm == "anytime":
         result = compare_anytime(
             left, right, deadline=deadline, options=options, token=token,
-            prepare=False, **kwargs,
+            prepare=False, executor=executor, **kwargs,
         )
     elif algorithm == "signature":
         result = signature_compare(
             left, right, options=options, control=control, **kwargs
+        )
+    elif algorithm == "exact" and executor is not None:
+        result = _exact_with_executor(
+            left, right, options, control, executor, deadline=deadline,
+            token=token, **kwargs,
         )
     elif algorithm == "exact":
         result = exact_compare(
@@ -159,6 +189,60 @@ def compare(
     if refine:
         result = refine_match(result, control=control)
     return result
+
+
+def _exact_with_executor(
+    left: Instance,
+    right: Instance,
+    options: MatchOptions | None,
+    control: Budget | None,
+    executor: Executor,
+    deadline: float | None = None,
+    token: CancellationToken | None = None,
+    **kwargs,
+) -> ComparisonResult:
+    """Exact comparison under the fault-tolerance policy.
+
+    Each retry attempt gets a fresh budget (a dead attempt must not pass
+    its spent nodes to its successor); once retries are exhausted on a
+    resource death or crash, the comparison degrades to the signature tier
+    — the result then carries the approximate score, the failure outcome,
+    and the structured attempt log.
+    """
+    node_budget = kwargs.pop("node_budget", DEFAULT_NODE_BUDGET)
+
+    def attempt() -> ComparisonResult:
+        if control is not None:
+            return exact_compare(
+                left, right, options=options, control=control, **kwargs
+            )
+        return exact_compare(
+            left, right, options=options, node_budget=node_budget,
+            deadline=deadline, token=token, **kwargs,
+        )
+
+    report = executor.run(attempt, degrade=lambda: None, label="exact")
+    if not report.degraded and report.value is not None:
+        result = report.value
+        if report.attempts and len(report.attempts) > 1:
+            result.stats["fault_log"] = report.log_dicts()
+        return result
+
+    floor = signature_compare(left, right, options=options)
+    return ComparisonResult(
+        similarity=floor.similarity,
+        match=floor.match,
+        options=floor.options,
+        algorithm="exact→signature(degraded)",
+        outcome=report.outcome,
+        stats={
+            **floor.stats,
+            "degraded_from": "exact",
+            "fault_log": report.log_dicts(),
+            "outcome": report.outcome.value,
+        },
+        elapsed_seconds=floor.elapsed_seconds,
+    )
 
 
 def similarity(
@@ -184,8 +268,12 @@ __all__ = [
     "ComparisonResult",
     "DEFAULT_LAMBDA",
     "DEFAULT_NODE_BUDGET",
+    "Executor",
+    "FaultPlan",
     "Instance",
     "Outcome",
+    "RetryPolicy",
+    "WorkerLimits",
     "compare_anytime",
     "InstanceMatch",
     "LabeledNull",

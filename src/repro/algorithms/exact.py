@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import time
 
+from ..core.errors import UnificationConflict
 from ..core.instance import Instance
 from ..core.tuples import Tuple
 from ..mappings.constraints import MatchOptions
@@ -39,6 +40,7 @@ from ..mappings.instance_match import InstanceMatch
 from ..mappings.tuple_mapping import TupleMapping
 from ..runtime.budget import Budget, resolve_control
 from ..runtime.cancellation import CancellationToken
+from ..runtime.outcome import Outcome
 from ..scoring.match_score import score_match
 from ..scoring.sizes import normalization_denominator
 from .compatibility import compatible_tuples_of_instances
@@ -194,7 +196,7 @@ def _unify_quietly(unifier: Unifier, t: Tuple, t_prime: Tuple) -> bool:
     try:
         for left_value, right_value in zip(t.values, t_prime.values):
             unifier.unify(left_value, right_value)
-    except Exception:  # UnificationConflict; caller rolls back
+    except UnificationConflict:  # caller rolls back
         return False
     return True
 
@@ -266,10 +268,16 @@ def exact_compare(
     )
     search = _ExactSearch(left, right, options, control, prune=prune)
     if control.check():
-        if options.functional:
-            search.run_functional()
-        else:
-            search.run_non_functional()
+        try:
+            if options.functional:
+                search.run_functional()
+            else:
+                search.run_non_functional()
+        except RecursionError:
+            # A blown stack on a very deep search is a structured CRASHED
+            # outcome, not an escaping RecursionError: the best match found
+            # before the crash still scores as a lower bound.
+            control.trip(Outcome.CRASHED)
 
     # Rebuild the winning match (the search unifier has been rolled back).
     final_unifier = Unifier.for_instances(left, right)

@@ -27,6 +27,7 @@ import time
 from itertools import combinations
 from typing import Callable, Iterable, Sequence
 
+from ..core.errors import UnificationConflict
 from ..core.instance import Instance
 from ..core.tuples import Tuple
 from ..core.values import is_constant
@@ -75,7 +76,7 @@ def _agreeing_unification(
         inner = unifier.snapshot()
         try:
             unifier.unify(left_value, right_value)
-        except Exception:  # UnificationConflict — cell disagrees
+        except UnificationConflict:  # cell disagrees
             unifier.rollback(inner)
             continue
         unifier.commit(inner)

@@ -21,9 +21,11 @@ import json
 import sys
 
 from . import compare
+from .core.errors import ReproError
 from .io_.csvio import NULL_PREFIX, read_csv
 from .io_.serialization import result_to_dict
 from .mappings.constraints import MatchOptions
+from .runtime import Executor, FaultPlan, RetryPolicy, WorkerLimits
 
 PRESETS = {
     "general": MatchOptions.general,
@@ -93,9 +95,44 @@ def build_parser() -> argparse.ArgumentParser:
                 choices=("fail", "degrade"),
                 default="degrade",
                 help=(
-                    "when a budget or deadline cuts the search short: "
-                    "'degrade' (default) reports the lower-bound score with "
-                    "a warning, 'fail' exits with status 3"
+                    "when a budget or deadline cuts the search short — or "
+                    "the exact stage dies hard (oom/killed/crashed) under "
+                    "--isolate/--retries: 'degrade' (default) reports the "
+                    "lower-bound score with a warning, 'fail' exits with "
+                    "status 3"
+                ),
+            )
+            sub.add_argument(
+                "--isolate", action="store_true",
+                help=(
+                    "run the exponential stage in a worker subprocess with "
+                    "hard resource caps; its death degrades the comparison "
+                    "to the signature tier instead of crashing (exact and "
+                    "anytime only)"
+                ),
+            )
+            sub.add_argument(
+                "--max-memory", type=float, default=None, metavar="MB",
+                help=(
+                    "address-space cap for the isolated worker, in MiB "
+                    "(implies --isolate)"
+                ),
+            )
+            sub.add_argument(
+                "--retries", type=int, default=0, metavar="N",
+                help=(
+                    "retry a dead exponential stage up to N times with "
+                    "exponential backoff before degrading"
+                ),
+            )
+            sub.add_argument(
+                "--fault-plan", default=None, metavar="SPEC",
+                help=(
+                    "inject deterministic faults for testing degradation "
+                    "paths: comma-separated kind@site:N[#attempt], e.g. "
+                    "'memory-error@budget:3' (kinds: memory-error, "
+                    "timeout-error, crash, transient-error, garbage-result; "
+                    "sites: budget, chase, io, worker, *)"
                 ),
             )
         if command == "compare":
@@ -108,6 +145,42 @@ def build_parser() -> argparse.ArgumentParser:
                 help="emit the full result as JSON",
             )
     return parser
+
+
+def _build_executor(args, parser) -> Executor | None:
+    """Assemble the fault-tolerance policy from the CLI flags (or ``None``).
+
+    Any of ``--isolate`` / ``--max-memory`` / ``--retries`` /
+    ``--fault-plan`` activates the executor; it requires the ``exact`` or
+    ``anytime`` algorithm (the stages with a degradation tier below them).
+    Retry/degradation progress is logged to stderr as it happens.
+    """
+    isolate = getattr(args, "isolate", False)
+    max_memory = getattr(args, "max_memory", None)
+    retries = getattr(args, "retries", 0)
+    fault_plan_text = getattr(args, "fault_plan", None)
+    if not (isolate or max_memory is not None or retries or fault_plan_text):
+        return None
+    if args.algorithm not in ("exact", "anytime"):
+        parser.error(
+            "--isolate/--max-memory/--retries/--fault-plan require "
+            "--algorithm exact or anytime"
+        )
+    if retries < 0:
+        parser.error(f"--retries must be >= 0, got {retries}")
+    plan = None
+    if fault_plan_text:
+        try:
+            plan = FaultPlan.parse(fault_plan_text)
+        except ValueError as error:
+            parser.error(str(error))
+    return Executor(
+        isolate=isolate or max_memory is not None,
+        limits=WorkerLimits(max_memory_mb=max_memory),
+        retry=RetryPolicy(retries=retries),
+        fault_plan=plan,
+        out=lambda line: print(line, file=sys.stderr),
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -124,8 +197,10 @@ def main(argv: list[str] | None = None) -> int:
             args.right, relation_name=args.relation,
             null_prefix=args.null_prefix, name="right",
         )
-    except (OSError, ValueError) as error:
+    except (OSError, ValueError, ReproError) as error:
         parser.error(str(error))
+
+    executor = _build_executor(args, parser)
 
     options = PRESETS[args.preset](lam=args.lam)
 
@@ -144,21 +219,28 @@ def main(argv: list[str] | None = None) -> int:
             options=options,
             align_schemas=args.align_schemas,
             deadline=getattr(args, "deadline", None),
+            executor=executor,
         )
     except ValueError as error:
         parser.error(str(error))
 
     if not result.outcome.is_complete:
+        if result.outcome.value in ("oom", "killed", "crashed"):
+            detail = (
+                f"the exponential stage died ({result.outcome}) and the "
+                "comparison degraded to the approximate tier"
+            )
+        else:
+            detail = f"comparison did not complete ({result.outcome})"
         if getattr(args, "on_budget_exhausted", "degrade") == "fail":
             print(
-                f"error: comparison did not complete ({result.outcome}); "
-                f"score {result.similarity:.6f} is only a lower bound",
+                f"error: {detail}; score {result.similarity:.6f} is only "
+                "a lower bound",
                 file=sys.stderr,
             )
             return 3
         print(
-            f"warning: comparison did not complete ({result.outcome}); "
-            "the score is a lower bound",
+            f"warning: {detail}; the score is a lower bound",
             file=sys.stderr,
         )
 

@@ -45,6 +45,17 @@ class UnificationConflict(MappingError):
     """
 
 
+class FormatError(ReproError, ValueError):
+    """External input (CSV, JSON) is malformed or ambiguous.
+
+    Raised with the offending row/field named, so a truncated file or a
+    corrupt cell is a diagnosable data problem rather than a raw
+    ``KeyError``/``IndexError`` escaping from a parser internals.  Also a
+    ``ValueError``, so pre-existing ``except ValueError`` handlers around
+    the readers keep working.
+    """
+
+
 class ScoringError(ReproError):
     """A similarity score could not be computed.
 

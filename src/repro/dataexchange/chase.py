@@ -27,6 +27,7 @@ from ..core.errors import ChaseError
 from ..core.instance import Instance
 from ..core.schema import Schema
 from ..core.values import LabeledNull, Value
+from ..runtime.faults import fault_checkpoint
 from .tgds import TGD, Atom, Var, mapping_labels_unique
 
 SKOLEM_SCOPE_HEAD = "head"
@@ -154,6 +155,9 @@ def chase(
                 f"unknown skolem scope {scope!r} on tgd {tgd.label!r}"
             )
         for binding in _match_body(source, tgd.body):
+            # Fault-injection site: one "chase" checkpoint per tgd firing
+            # (no-op without an installed FaultPlan).
+            fault_checkpoint("chase")
             null_binding: dict[Var, LabeledNull] = {
                 var: skolems.null_for(
                     tgd.label, var.name, _skolem_key(tgd, var, binding, scope)

@@ -39,19 +39,54 @@ def main(argv: list[str] | None = None) -> int:
         help="per-cell wall-clock allowance for the exact searches "
              "(experiments that support it; cut-short cells render with †)",
     )
+    parser.add_argument(
+        "--isolate", action="store_true",
+        help="run exact searches in worker subprocesses; a dead worker "
+             "becomes a † cell instead of killing the run",
+    )
+    parser.add_argument(
+        "--max-memory", type=float, default=None, metavar="MB",
+        help="address-space cap for isolated workers, in MiB "
+             "(implies --isolate)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry a dead exact search up to N times with exponential "
+             "backoff before recording the † cell",
+    )
     args = parser.parse_args(argv)
+
+    executor = None
+    if args.isolate or args.max_memory is not None or args.retries:
+        from ..runtime import Executor, RetryPolicy, WorkerLimits
+
+        executor = Executor(
+            isolate=args.isolate or args.max_memory is not None,
+            limits=WorkerLimits(max_memory_mb=args.max_memory),
+            retry=RetryPolicy(retries=max(0, args.retries)),
+            out=print,
+        )
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [
         args.experiment
     ]
     for name in names:
         runner = EXPERIMENTS[name]
+        parameters = inspect.signature(runner).parameters
         kwargs = {"scale": args.scale, "seed": args.seed}
         if args.deadline is not None:
-            if "deadline" in inspect.signature(runner).parameters:
+            if "deadline" in parameters:
                 kwargs["deadline"] = args.deadline
             else:
                 print(f"[{name}: --deadline not supported; ignored]")
+        if executor is not None:
+            if "executor" in parameters:
+                kwargs["executor"] = executor
+            else:
+                print(
+                    f"[{name}: --isolate/--max-memory/--retries not "
+                    "supported; ignored]"
+                )
         started = time.perf_counter()
         runner(**kwargs)
         elapsed = time.perf_counter() - started

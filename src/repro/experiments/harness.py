@@ -178,17 +178,35 @@ def run_cells(
     cells: Iterable[tuple[str, Callable[[], dict]]],
     out: Out = print,
     retries: int = 1,
+    policy: "RetryPolicy | None" = None,
+    sleep: Callable[[float], None] | None = None,
 ) -> list[CellRun]:
-    """Run experiment cells with per-cell retry and checkpointing.
+    """Run experiment cells with per-cell retry, backoff, and checkpointing.
 
     Each entry of ``cells`` is ``(key, thunk)`` where the thunk computes the
     cell's row dictionary.  A thunk that raises is retried up to ``retries``
-    extra times; if it still fails, a :class:`CellRun` carrying the error is
-    recorded and the remaining cells continue — partial tables beat lost
-    tables.  Deadline-hit cells do not raise at all: their row simply
-    carries a non-complete outcome and renders with the † marker.
+    extra times — with exponential backoff between attempts, governed by
+    ``policy`` (defaults to :class:`~repro.runtime.RetryPolicy`) — and if it
+    still fails, a :class:`CellRun` carrying the error is recorded and the
+    remaining cells continue: partial tables beat lost tables.  Deadline-hit
+    cells do not raise at all; their row simply carries a non-complete
+    outcome and renders with the † marker.
+
+    ``KeyboardInterrupt``, ``SystemExit``, and
+    :class:`~repro.runtime.OperationCancelled` are *never* checkpointed as
+    cell errors: the user asked the whole run to stop, so they propagate.
     """
+    import random as _random
     import time as _time
+
+    from ..runtime.cancellation import OperationCancelled
+    from ..runtime.retry import RetryPolicy
+
+    if policy is None:
+        policy = RetryPolicy(retries=max(0, retries))
+    if sleep is None:
+        sleep = _time.sleep
+    rng = _random.Random(policy.seed)
 
     runs: list[CellRun] = []
     for key, thunk in cells:
@@ -199,10 +217,18 @@ def run_cells(
             try:
                 run.row = thunk()
                 break
+            except (KeyboardInterrupt, SystemExit, OperationCancelled):
+                # Deliberate stop, not a cell failure — do not checkpoint.
+                raise
             except Exception as error:  # noqa: BLE001 - checkpoint anything
                 run.error = f"{type(error).__name__}: {error}"
                 if attempt < retries:
-                    out(f"[{key}] attempt {attempt + 1} failed: {run.error}; retrying")
+                    delay = policy.delay(attempt + 1, rng)
+                    out(
+                        f"[{key}] attempt {attempt + 1} failed: "
+                        f"{run.error}; backing off {delay:.3f}s"
+                    )
+                    sleep(delay)
         run.elapsed_seconds = _time.perf_counter() - started
         if not run.ok:
             out(f"[{key}] FAILED after {run.attempts} attempt(s): {run.error}")

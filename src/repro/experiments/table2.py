@@ -70,6 +70,7 @@ def run_scenario(
     run_exact: bool,
     node_budget: int = 200_000,
     deadline: float | None = None,
+    executor=None,
 ) -> dict:
     """Execute one (dataset, size) cell shared by Tables 2 and 3.
 
@@ -77,6 +78,13 @@ def run_scenario(
     the node budget; a cut-short search leaves its lower-bound score in
     ``exact_lower_bound`` and its structured stop reason in
     ``exact_outcome`` (rendered as the † entries of the tables).
+
+    ``executor`` (an :class:`~repro.runtime.Executor`) runs the exact
+    search under the fault-tolerance policy — optionally memory-capped in
+    a worker subprocess, with retry/backoff.  A search that dies hard is
+    recorded as a non-complete outcome (``oom`` / ``killed`` /
+    ``crashed``) on the cell rather than crashing the table run; the cell
+    then renders with the † marker like any other cut-short search.
     """
     base = generate_dataset(dataset, rows=rows, seed=config.seed)
     scenario = perturb(base, config)
@@ -94,18 +102,34 @@ def run_scenario(
     exact_outcome = None
     exact_lower_bound = None
     if run_exact:
+        def attempt():
+            return exact_compare(
+                scenario.source, scenario.target, options,
+                node_budget=node_budget, deadline=deadline,
+            )
+
         started = time.perf_counter()
-        exact = exact_compare(
-            scenario.source, scenario.target, options,
-            node_budget=node_budget, deadline=deadline,
-        )
-        exact_time = time.perf_counter() - started
-        exact_outcome = exact.outcome.value
-        if exact.outcome.is_complete:
-            exact_score = exact.similarity
-            exact_exhausted = True
+        if executor is not None:
+            report = executor.run(
+                attempt, degrade=lambda: None,
+                label=f"exact:{dataset}/{rows}",
+            )
+            exact = report.value if not report.degraded else None
         else:
-            exact_lower_bound = exact.similarity
+            report = None
+            exact = attempt()
+        exact_time = time.perf_counter() - started
+        if exact is None:
+            # Hard death under the executor: the cell keeps the signature
+            # score and reports the death as its outcome.
+            exact_outcome = report.outcome.value
+        else:
+            exact_outcome = exact.outcome.value
+            if exact.outcome.is_complete:
+                exact_score = exact.similarity
+                exact_exhausted = True
+            else:
+                exact_lower_bound = exact.similarity
 
     reference = exact_score if exact_score is not None else gold_score
     return {
@@ -131,6 +155,7 @@ def run(
     seed: int = 0,
     out: Out = print,
     deadline: float | None = None,
+    executor=None,
 ) -> list[dict]:
     """Regenerate Table 2 at the requested scale.
 
@@ -138,6 +163,8 @@ def run(
     cells keep their partial row and render with the † marker.  Cells are
     run through :func:`~repro.experiments.harness.run_cells`, so one
     crashing cell is recorded and retried rather than losing the table.
+    ``executor`` adds worker isolation and retry/backoff to the exact
+    searches (see :func:`run_scenario`).
     """
     options = MatchOptions.versioning()
     sizes = LADDER.for_scale(scale)
@@ -150,6 +177,7 @@ def run(
             run_exact=size <= exact_limit,
             node_budget=EXACT_NODE_BUDGET[scale],
             deadline=deadline,
+            executor=executor,
         )
 
     runs = run_cells(

@@ -32,10 +32,12 @@ def run(
     seed: int = 0,
     out: Out = print,
     deadline: float | None = None,
+    executor=None,
 ) -> list[dict]:
     """Regenerate Table 3 at the requested scale.
 
-    Same checkpoint/retry and per-cell ``deadline`` semantics as
+    Same checkpoint/retry, per-cell ``deadline``, and ``executor``
+    (worker isolation + retry/backoff) semantics as
     :func:`repro.experiments.table2.run`.
     """
     options = MatchOptions.general()
@@ -54,6 +56,7 @@ def run(
             run_exact=size <= max(50, exact_limit // 2),
             node_budget=EXACT_NODE_BUDGET[scale],
             deadline=deadline,
+            executor=executor,
         )
 
     runs = run_cells(

@@ -74,9 +74,19 @@ class HomomorphismSearch:
         ``None`` is a *proof of absence* only when the search completed
         (:attr:`exhausted` is true / :attr:`outcome` is ``COMPLETED``);
         use :meth:`decide` for the tri-state answer.
+
+        A blown recursion stack (very deep source instances) is converted
+        into ``outcome=CRASHED`` rather than escaping as a raw
+        ``RecursionError`` — the caller keeps a usable inconclusive
+        answer.
         """
         assignment: dict[LabeledNull, Value] = {}
-        if self._search(0, assignment):
+        try:
+            found = self._search(0, assignment)
+        except RecursionError:
+            self.control.trip(Outcome.CRASHED)
+            return None
+        if found:
             return ValueMapping(assignment)
         return None
 

@@ -3,6 +3,15 @@
 Labeled nulls are encoded as ``_N:<label>`` cells (configurable); everything
 else round-trips as strings.  This mirrors how data-repair tools exchange
 instances containing variables via CSV files.
+
+Constants that would collide with the null encoding — a constant whose text
+itself starts with the null prefix (or with the escape prefix) — are written
+with the ``_C:`` escape prefix, so ``"_N:x"`` the *constant* round-trips as
+a constant instead of silently becoming ``LabeledNull("x")`` on re-read.
+``read_csv`` turns malformed input (empty files, ragged rows, empty null
+labels) into a :class:`~repro.core.errors.FormatError` naming the
+offending row and column; ``strict=True`` additionally rejects dangling
+escapes the encoder could not have produced.
 """
 
 from __future__ import annotations
@@ -12,22 +21,51 @@ import io
 from pathlib import Path
 from typing import Iterable, TextIO
 
+from ..core.errors import FormatError
 from ..core.instance import Instance
 from ..core.values import LabeledNull, Value, is_null
+from ..runtime.faults import fault_checkpoint
 
 NULL_PREFIX = "_N:"
 """Default cell prefix marking a labeled null in CSV files."""
+
+CONSTANT_ESCAPE = "_C:"
+"""Escape prefix for constants that would otherwise parse as nulls."""
 
 
 def _encode(value: Value, null_prefix: str) -> str:
     if is_null(value):
         return f"{null_prefix}{value.label}"
-    return str(value)
+    text = str(value)
+    if text.startswith(null_prefix) or text.startswith(CONSTANT_ESCAPE):
+        # Without the escape, the constant "_N:x" would come back from
+        # read_csv as LabeledNull("x") — a silent semantic corruption.
+        return f"{CONSTANT_ESCAPE}{text}"
+    return text
 
 
-def _decode(cell: str, null_prefix: str) -> Value:
+def _decode(
+    cell: str, null_prefix: str, strict: bool = False, where: str = ""
+) -> Value:
+    if cell.startswith(CONSTANT_ESCAPE):
+        text = cell[len(CONSTANT_ESCAPE):]
+        if strict and not (
+            text.startswith(null_prefix) or text.startswith(CONSTANT_ESCAPE)
+        ):
+            raise FormatError(
+                f"ambiguous cell {cell!r}{where}: the {CONSTANT_ESCAPE!r} "
+                f"escape must be followed by a {null_prefix!r}- or "
+                f"{CONSTANT_ESCAPE!r}-prefixed constant"
+            )
+        return text
     if cell.startswith(null_prefix):
-        return LabeledNull(cell[len(null_prefix):])
+        label = cell[len(null_prefix):]
+        if not label:
+            raise FormatError(
+                f"ambiguous cell {cell!r}{where}: a labeled null needs a "
+                "non-empty label"
+            )
+        return LabeledNull(label)
     return cell
 
 
@@ -39,6 +77,9 @@ def write_csv(
     include_ids: bool = False,
 ) -> None:
     """Write one relation of ``instance`` as CSV with a header row.
+
+    Constants colliding with the null encoding are escaped with
+    ``_C:`` so the file round-trips losslessly through :func:`read_csv`.
 
     Parameters
     ----------
@@ -65,6 +106,7 @@ def write_csv(
             header = ["_tid"] + header
         writer.writerow(header)
         for t in relation:
+            fault_checkpoint("io")
             row = [_encode(v, null_prefix) for v in t.values]
             if include_ids:
                 row = [t.tuple_id] + row
@@ -83,10 +125,19 @@ def read_csv(
     null_prefix: str = NULL_PREFIX,
     name: str = "I",
     id_prefix: str = "t",
+    strict: bool = False,
 ) -> Instance:
     """Read a CSV with a header row into a single-relation instance.
 
-    Cells starting with ``null_prefix`` become labeled nulls.
+    Cells starting with ``null_prefix`` become labeled nulls; cells
+    starting with the ``_C:`` escape are unescaped back to constants.
+    Malformed input — an empty file, a row whose cell count differs from
+    the header — raises :class:`~repro.core.errors.FormatError` naming
+    the offending row, never a bare ``KeyError``/``IndexError``.
+    Empty null labels (the bare ``_N:`` cell) are rejected in every mode
+    (``LabeledNull`` forbids them); ``strict=True`` additionally rejects
+    dangling escapes that a :func:`write_csv` encoder could not have
+    produced.
 
     Examples
     --------
@@ -100,12 +151,47 @@ def read_csv(
         try:
             header = next(reader)
         except StopIteration:
-            raise ValueError("CSV input is empty (no header row)") from None
-        rows: Iterable[list[Value]] = (
-            [_decode(cell, null_prefix) for cell in row] for row in reader
-        )
+            raise FormatError(
+                "CSV input is empty (no header row)"
+            ) from None
+        except csv.Error as error:
+            raise FormatError(
+                f"malformed CSV header row: {error}"
+            ) from error
+
+        def decoded_rows() -> Iterable[list[Value]]:
+            row_number = 1
+            while True:
+                try:
+                    row = next(reader)
+                except StopIteration:
+                    return
+                except csv.Error as error:
+                    raise FormatError(
+                        f"malformed CSV near row {row_number + 1}: {error}"
+                    ) from error
+                row_number += 1
+                fault_checkpoint("io")
+                if len(row) != len(header):
+                    raise FormatError(
+                        f"CSV row {row_number} has {len(row)} cell(s), "
+                        f"expected {len(header)} (columns "
+                        f"{', '.join(header)}); the file may be truncated"
+                    )
+                yield [
+                    _decode(
+                        cell, null_prefix, strict=strict,
+                        where=(
+                            f" (row {row_number}, "
+                            f"column {header[index]!r})"
+                        ),
+                    )
+                    for index, cell in enumerate(row)
+                ]
+
         return Instance.from_rows(
-            relation_name, header, rows, name=name, id_prefix=id_prefix
+            relation_name, header, decoded_rows(), name=name,
+            id_prefix=id_prefix,
         )
 
     if isinstance(source, (str, Path)):

@@ -10,12 +10,14 @@ from __future__ import annotations
 import json
 from typing import Any
 
+from ..core.errors import FormatError
 from ..core.instance import Instance
 from ..core.schema import RelationSchema, Schema
 from ..core.tuples import Tuple
 from ..core.values import LabeledNull, Value, is_null
 from ..mappings.instance_match import InstanceMatch
 from ..algorithms.result import ComparisonResult
+from ..runtime.faults import fault_checkpoint
 
 
 def value_to_json(value: Value) -> Any:
@@ -53,23 +55,66 @@ def instance_to_dict(instance: Instance) -> dict:
     }
 
 
+def _field(payload: Any, key: str, where: str) -> Any:
+    """``payload[key]`` with a diagnosable error instead of ``KeyError``."""
+    if not isinstance(payload, dict):
+        raise FormatError(
+            f"{where} must be an object, got {type(payload).__name__}"
+        )
+    try:
+        return payload[key]
+    except KeyError:
+        raise FormatError(f"{where} is missing the {key!r} field") from None
+
+
+def _list_field(payload: Any, key: str, where: str) -> list:
+    value = _field(payload, key, where)
+    if not isinstance(value, list):
+        raise FormatError(
+            f"field {key!r} of {where} must be a list, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
 def instance_from_dict(payload: dict) -> Instance:
-    """Decode an instance from :func:`instance_to_dict` output."""
+    """Decode an instance from :func:`instance_to_dict` output.
+
+    Malformed payloads — a missing field, a non-list where a list is
+    required, a tuple whose value count does not match its relation's
+    arity — raise :class:`~repro.core.errors.FormatError` naming the
+    offending relation/tuple/field, never a bare ``KeyError``.
+    """
+    relations = _list_field(payload, "relations", "instance payload")
     schema = Schema(
         [
-            RelationSchema(rel["name"], tuple(rel["attributes"]))
-            for rel in payload["relations"]
+            RelationSchema(
+                _field(rel, "name", f"relation #{index}"),
+                tuple(_list_field(rel, "attributes", f"relation #{index}")),
+            )
+            for index, rel in enumerate(relations)
         ]
     )
     instance = Instance(schema, name=payload.get("name", "I"))
-    for rel in payload["relations"]:
-        relation_schema = schema.relation(rel["name"])
-        for entry in rel["tuples"]:
+    for rel in relations:
+        relation_name = rel["name"]
+        relation_schema = schema.relation(relation_name)
+        for position, entry in enumerate(
+            _list_field(rel, "tuples", f"relation {relation_name!r}")
+        ):
+            fault_checkpoint("io")
+            where = f"tuple #{position} of relation {relation_name!r}"
+            values = _list_field(entry, "values", where)
+            if len(values) != len(relation_schema.attributes):
+                raise FormatError(
+                    f"{where} has {len(values)} value(s), expected "
+                    f"{len(relation_schema.attributes)}"
+                )
             instance.add(
                 Tuple(
-                    entry["id"],
+                    _field(entry, "id", where),
                     relation_schema,
-                    [value_from_json(v) for v in entry["values"]],
+                    [value_from_json(v) for v in values],
                 )
             )
     return instance
@@ -92,7 +137,11 @@ def instance_from_json(text: str) -> Instance:
     >>> round_tripped.get_tuple("t1")["A"]
     Null(N1)
     """
-    return instance_from_dict(json.loads(text))
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise FormatError(f"invalid JSON: {error}") from error
+    return instance_from_dict(payload)
 
 
 def match_to_dict(match: InstanceMatch) -> dict:

@@ -8,27 +8,97 @@ This package gives all of them one resource-control vocabulary:
   polled cheaply (amortized every ``check_interval`` nodes) inside every
   search loop;
 * :class:`Outcome` — why a computation stopped (``COMPLETED`` /
-  ``BUDGET_EXHAUSTED`` / ``DEADLINE_EXCEEDED`` / ``CANCELLED``), carried on
+  ``BUDGET_EXHAUSTED`` / ``DEADLINE_EXCEEDED`` / ``CANCELLED``, plus the
+  hard-failure classes ``OOM`` / ``KILLED`` / ``CRASHED``), carried on
   :class:`~repro.algorithms.result.ComparisonResult` and the search objects
   so "proved optimal" is distinguishable from "gave up";
 * :class:`CancellationToken` — cooperative external kill switch;
 * :func:`compare_anytime` — the graceful-degradation ladder
   (signature → refine → exact) returning the best result the budget allows.
 
-See ``docs/RUNTIME.md`` for the full design.
+On top of the cooperative layer sits the **fault-tolerant execution
+layer** (see ``docs/ROBUSTNESS.md``):
+
+* :class:`Executor` / :class:`RetryPolicy` — retry with exponential
+  backoff + jitter and a per-failure-class decision table (retry
+  transient, degrade on resource death, fail fast on
+  :class:`~repro.core.errors.ReproError`);
+* :func:`run_isolated` / :class:`WorkerLimits` — worker-subprocess
+  execution under hard ``setrlimit`` memory caps, a recursion guard, and a
+  wall-clock kill; deaths come back as structured outcomes, never as a
+  dead caller;
+* :class:`FaultPlan` — deterministic, replayable fault injection
+  (``MemoryError`` / ``TimeoutError`` / crash / garbage at the Nth budget
+  checkpoint, chase step, or IO row) so every degradation path is
+  exercised by tests rather than trusted.
+
+See ``docs/RUNTIME.md`` for the budget design.
 """
 
 from .budget import DEFAULT_CHECK_INTERVAL, Budget, resolve_control
-from .cancellation import CancellationToken
+from .cancellation import CancellationToken, OperationCancelled
+from .faults import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    GARBAGE_RESULT,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+    fault_checkpoint,
+)
+from .isolation import (
+    JOB_REGISTRY,
+    WorkerFailure,
+    WorkerLimits,
+    register_job,
+    resolve_job,
+    run_guarded,
+    run_isolated,
+)
 from .outcome import Outcome
+from .retry import (
+    DEFAULT_DECISIONS,
+    AttemptRecord,
+    Decision,
+    ExecutionReport,
+    Executor,
+    FailureClass,
+    RetryPolicy,
+    classify_failure,
+)
 from .anytime import DEFAULT_ANYTIME_NODE_BUDGET, compare_anytime
 
 __all__ = [
+    "AttemptRecord",
     "Budget",
     "CancellationToken",
     "DEFAULT_ANYTIME_NODE_BUDGET",
     "DEFAULT_CHECK_INTERVAL",
+    "DEFAULT_DECISIONS",
+    "Decision",
+    "ExecutionReport",
+    "Executor",
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FailureClass",
+    "FaultPlan",
+    "FaultSpec",
+    "GARBAGE_RESULT",
+    "InjectedCrash",
+    "InjectedFault",
+    "JOB_REGISTRY",
+    "OperationCancelled",
     "Outcome",
+    "RetryPolicy",
+    "WorkerFailure",
+    "WorkerLimits",
+    "classify_failure",
     "compare_anytime",
+    "fault_checkpoint",
+    "register_job",
     "resolve_control",
+    "resolve_job",
+    "run_guarded",
+    "run_isolated",
 ]

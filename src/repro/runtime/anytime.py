@@ -46,6 +46,7 @@ def compare_anytime(
     node_budget: int = DEFAULT_ANYTIME_NODE_BUDGET,
     refine_move_budget: int | None = None,
     check_interval: int = DEFAULT_CHECK_INTERVAL,
+    executor=None,
 ):
     """Best similarity obtainable within ``deadline`` seconds.
 
@@ -67,6 +68,15 @@ def compare_anytime(
         Node cap for the exact rung (composes with the deadline).
     refine_move_budget:
         Move cap for the refine rung; ``None`` uses the refine default.
+    executor:
+        Optional :class:`~repro.runtime.retry.Executor`.  When given, the
+        exact rung runs under its fault-tolerance policy — optionally in a
+        memory-capped worker subprocess, with retry/backoff — and a rung
+        that dies hard (``oom`` / ``killed`` / ``crashed``) *degrades*: the
+        signature/refine floor stands, the result's outcome reports the
+        death, and ``stats["fault_log"]`` carries the structured attempt
+        log.  Each retry attempt gets a fresh child budget, so a partly
+        spent node cap never leaks across attempts.
 
     Returns
     -------
@@ -133,20 +143,40 @@ def compare_anytime(
 
     # Rung 3 — exact search with the remaining wall clock and a node cap.
     exact_outcome: Outcome | None = None
+    fault_log: list[dict] | None = None
     if control.check():
         rungs_run.append("exact")
-        exact = exact_compare(
-            left,
-            right,
-            options=options,
-            control=control.child(node_limit=node_budget),
-        )
-        exact_outcome = exact.outcome
-        if exact.outcome.is_complete:
-            # Completed exact search dominates: its score is the optimum.
-            best, best_rung, score_is_exact = exact, "exact", True
-        elif exact.similarity > best.similarity:
-            best, best_rung = exact, "exact"
+
+        def attempt_exact() -> "ComparisonResult":
+            # Fresh child budget per attempt: a retried attempt must not
+            # inherit the nodes its dead predecessor already spent.
+            return exact_compare(
+                left,
+                right,
+                options=options,
+                control=control.child(node_limit=node_budget),
+            )
+
+        if executor is not None:
+            report = executor.run(
+                attempt_exact, degrade=lambda: None, label="exact-rung"
+            )
+            fault_log = report.log_dicts()
+            exact = report.value
+            if report.degraded or exact is None:
+                # The exact rung died hard; the signature/refine floor
+                # stands and the death is the ladder's outcome.
+                exact_outcome = report.outcome
+                exact = None
+        else:
+            exact = attempt_exact()
+        if exact is not None:
+            exact_outcome = exact.outcome
+            if exact.outcome.is_complete:
+                # Completed exact search dominates: its score is the optimum.
+                best, best_rung, score_is_exact = exact, "exact", True
+            elif exact.similarity > best.similarity:
+                best, best_rung = exact, "exact"
 
     if exact_outcome is not None:
         overall = exact_outcome
@@ -154,18 +184,24 @@ def compare_anytime(
         control.check()  # classify why the ladder stopped early
         overall = control.outcome
 
+    stats = {
+        **best.stats,
+        "anytime_rung": best_rung,
+        "anytime_rungs_run": ",".join(rungs_run),
+        "anytime_score_is_exact": score_is_exact,
+        "outcome": overall.value,
+    }
+    if fault_log is not None:
+        stats["fault_log"] = fault_log
+        stats["anytime_degraded"] = overall.value in (
+            "oom", "killed", "crashed"
+        )
     return ComparisonResult(
         similarity=best.similarity,
         match=best.match,
         options=options,
         algorithm=f"anytime({best_rung})",
         outcome=overall,
-        stats={
-            **best.stats,
-            "anytime_rung": best_rung,
-            "anytime_rungs_run": ",".join(rungs_run),
-            "anytime_score_is_exact": score_is_exact,
-            "outcome": overall.value,
-        },
+        stats=stats,
         elapsed_seconds=time.perf_counter() - started,
     )

@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 
 from .cancellation import CancellationToken
+from .faults import fault_checkpoint
 from .outcome import Outcome
 
 DEFAULT_CHECK_INTERVAL = 256
@@ -164,6 +165,9 @@ class Budget:
         """
         if self._outcome is not Outcome.COMPLETED:
             return False
+        # Fault-injection site: every un-amortized budget check is one
+        # "budget" checkpoint (no-op without an installed FaultPlan).
+        fault_checkpoint("budget")
         if self.token is not None and self.token.cancelled:
             self._outcome = Outcome.CANCELLED
             return False
@@ -176,6 +180,19 @@ class Budget:
             self._outcome = Outcome.DEADLINE_EXCEEDED
             return False
         return True
+
+    def trip(self, outcome: Outcome) -> None:
+        """Force a non-complete outcome (first cause wins, like any limit).
+
+        Used by guards that catch a hard failure *around* a search — e.g.
+        the homomorphism engine converting a ``RecursionError`` into a
+        structured ``CRASHED`` outcome — so the death is recorded with the
+        same first-trip-wins semantics as the cooperative limits.
+        """
+        if outcome.is_complete:
+            raise ValueError("trip() requires a non-complete outcome")
+        if self._outcome is Outcome.COMPLETED:
+            self._outcome = outcome
 
     # -- inspection ------------------------------------------------------------
 

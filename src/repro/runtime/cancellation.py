@@ -11,6 +11,18 @@ from __future__ import annotations
 
 import threading
 
+from ..core.errors import ReproError
+
+
+class OperationCancelled(ReproError):
+    """Raised by :meth:`CancellationToken.raise_if_cancelled`.
+
+    A distinct type (rather than a bare ``RuntimeError``) so checkpointing
+    layers — :func:`repro.experiments.harness.run_cells`, the retry
+    decision table — can *re-raise* cancellation instead of recording it as
+    just another cell error: a cancelled run must stop, not limp on.
+    """
+
 
 class CancellationToken:
     """Thread-safe one-shot cancellation flag.
@@ -38,6 +50,17 @@ class CancellationToken:
     def cancelled(self) -> bool:
         """Whether cancellation has been requested."""
         return self._event.is_set()
+
+    def raise_if_cancelled(self) -> None:
+        """Raise :class:`OperationCancelled` if cancellation was requested.
+
+        For code that prefers exception-style propagation over the
+        cooperative ``spend() -> False`` protocol (e.g. experiment cells
+        that must abort a whole table run, not checkpoint the cancellation
+        as a cell failure).
+        """
+        if self._event.is_set():
+            raise OperationCancelled("operation cancelled")
 
     def cancel_after(self, seconds: float) -> threading.Timer:
         """Schedule :meth:`cancel` on a daemon timer thread; returns the timer.

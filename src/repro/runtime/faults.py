@@ -1,0 +1,337 @@
+"""Deterministic fault injection for the robustness test surface.
+
+The exact comparison algorithm is NP-hard, and in practice it dies in ways
+cooperative budgets cannot catch — ``MemoryError`` mid-backtrack,
+``RecursionError`` deep in a homomorphism search, a chase run that explodes
+on a pathological scenario.  The degradation paths that handle those deaths
+(:mod:`repro.runtime.isolation`, :mod:`repro.runtime.retry`) must themselves
+be *tested*, not trusted, so this module provides a seeded, replayable way
+to make any of them happen on demand.
+
+A :class:`FaultPlan` is a set of :class:`FaultSpec` triggers.  Production
+code calls :func:`fault_checkpoint` at well-known **sites** —
+``"budget"`` (every amortized :meth:`~repro.runtime.budget.Budget.check`),
+``"chase"`` (every tgd firing), ``"io"`` (every CSV row), ``"worker"``
+(worker-job entry) — which is a no-op unless a plan is installed.  When the
+Nth checkpoint of a matching site is hit, the planned fault fires:
+
+* ``memory-error`` — raises :class:`MemoryError` (simulated OOM);
+* ``timeout-error`` — raises :class:`TimeoutError` (simulated hang/kill);
+* ``crash`` — raises :class:`InjectedCrash`, a ``BaseException`` that no
+  ``except Exception`` handler can swallow (in an isolated worker it turns
+  into a nonzero process exit, exactly like a real interpreter crash);
+* ``transient-error`` — raises :class:`InjectedFault` (a retriable
+  ``RuntimeError`` standing in for flaky infrastructure);
+* ``garbage-result`` — does not raise; instead the executor consults
+  :meth:`FaultPlan.should_garble` after the job returns and replaces the
+  result with the :data:`GARBAGE_RESULT` sentinel.
+
+Plans are deterministic: checkpoint counters reset on every install, so the
+same plan replayed over the same computation fires at exactly the same
+step.  A spec may be pinned to a specific retry attempt (``attempt=1``
+models a transient fault that a retry genuinely recovers from; the default
+``attempt=None`` fires on every attempt, modelling a persistent resource
+death).  A seeded ``probability`` mode exists for randomized soak tests and
+replays identically for a given plan seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+FAULT_KINDS = (
+    "memory-error",
+    "timeout-error",
+    "crash",
+    "transient-error",
+    "garbage-result",
+)
+
+FAULT_SITES = ("budget", "chase", "io", "worker")
+"""Well-known checkpoint sites (a spec may also name ``"*"`` for any site)."""
+
+
+class InjectedCrash(BaseException):
+    """A simulated hard crash.
+
+    Deliberately a ``BaseException``: ordinary ``except Exception`` recovery
+    code must *not* be able to swallow it, mirroring a segfault or an
+    ``os._exit`` in a C extension.  Only the isolation layer catches it (and
+    converts it into a nonzero worker exit / a ``crashed`` outcome).
+    """
+
+
+class InjectedFault(RuntimeError):
+    """A simulated transient infrastructure failure (retriable)."""
+
+
+class _GarbageResult:
+    """Singleton sentinel an injected worker returns instead of its result."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __reduce__(self):  # pickles back to the singleton across processes
+        return (_GarbageResult, ())
+
+    def __repr__(self) -> str:
+        return "<garbage-result>"
+
+
+GARBAGE_RESULT = _GarbageResult()
+"""What a garbage-injected job returns; executors must never trust it."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: fire ``kind`` at the ``at``-th hit of ``site``.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    site:
+        A checkpoint site (:data:`FAULT_SITES`) or ``"*"`` for any site.
+    at:
+        1-based checkpoint index at which the fault fires (counted per
+        site, reset on every plan install).  Ignored when ``probability``
+        is set.
+    attempt:
+        Fire only on this 1-based retry attempt (``None`` = every attempt).
+        ``attempt=1`` models a transient fault: the first try dies, the
+        retry succeeds.
+    probability:
+        When set, fire at each checkpoint with this probability using the
+        plan's seeded RNG instead of the deterministic ``at`` counter.
+    """
+
+    kind: str
+    site: str = "*"
+    at: int = 1
+    attempt: int | None = None
+    probability: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}"
+            )
+        if self.site != "*" and self.site not in FAULT_SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r}; choose from "
+                f"{FAULT_SITES} or '*'"
+            )
+        if self.at < 1:
+            raise ValueError(f"at must be a 1-based index, got {self.at}")
+        if self.probability is not None and not 0 <= self.probability <= 1:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+
+    def matches_site(self, site: str) -> bool:
+        """Whether this spec watches checkpoints of ``site``."""
+        return self.site in ("*", site)
+
+    def describe(self) -> str:
+        """The compact ``kind@site:at[#attempt]`` form (see :func:`parse_fault_plan`)."""
+        text = f"{self.kind}@{self.site}:{self.at}"
+        if self.attempt is not None:
+            text += f"#{self.attempt}"
+        return text
+
+
+@dataclass
+class FaultEvent:
+    """A fault that actually fired (recorded for assertions and logs)."""
+
+    kind: str
+    site: str
+    checkpoint: int
+    attempt: int
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "site": self.site,
+            "checkpoint": self.checkpoint,
+            "attempt": self.attempt,
+        }
+
+
+class FaultPlan:
+    """A replayable set of fault triggers, installable as a context manager.
+
+    Examples
+    --------
+    >>> from repro.runtime.faults import FaultPlan, fault_checkpoint
+    >>> plan = FaultPlan.single("memory-error", site="budget", at=2)
+    >>> with plan:
+    ...     fault_checkpoint("budget")      # checkpoint 1: no fault
+    ...     fault_checkpoint("budget")      # checkpoint 2: boom
+    Traceback (most recent call last):
+        ...
+    MemoryError: injected memory-error at budget checkpoint 2
+    >>> [e.kind for e in plan.events]
+    ['memory-error']
+    """
+
+    def __init__(self, specs: list[FaultSpec] | None = None, seed: int = 0):
+        self.specs: list[FaultSpec] = list(specs or [])
+        self.seed = seed
+        self.attempt = 1
+        self.events: list[FaultEvent] = []
+        self._counters: dict[str, int] = {}
+        self._rng = random.Random(seed)
+        self._garble_armed = False
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def single(
+        cls,
+        kind: str,
+        site: str = "*",
+        at: int = 1,
+        attempt: int | None = None,
+        seed: int = 0,
+    ) -> FaultPlan:
+        """A plan with one spec (the common test-fixture case)."""
+        return cls([FaultSpec(kind, site=site, at=at, attempt=attempt)], seed=seed)
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> FaultPlan:
+        """Parse the CLI form: comma-separated ``kind@site:at[#attempt]``.
+
+        ``site`` defaults to ``"*"`` and ``at`` to 1, so ``"memory-error"``
+        alone is valid.  Examples: ``"memory-error@budget:3"``,
+        ``"crash@worker:1#1,transient-error@io:2"``.
+        """
+        specs = []
+        for part in filter(None, (p.strip() for p in text.split(","))):
+            attempt = None
+            if "#" in part:
+                part, _, attempt_text = part.rpartition("#")
+                attempt = _parse_int(attempt_text, "attempt", text)
+            site, at = "*", 1
+            if "@" in part:
+                part, _, location = part.partition("@")
+                site = location
+                if ":" in location:
+                    site, _, at_text = location.partition(":")
+                    at = _parse_int(at_text, "checkpoint index", text)
+            try:
+                specs.append(
+                    FaultSpec(part, site=site, at=at, attempt=attempt)
+                )
+            except ValueError as error:
+                raise ValueError(f"bad fault plan {text!r}: {error}") from None
+        if not specs:
+            raise ValueError(f"fault plan {text!r} contains no faults")
+        return cls(specs, seed=seed)
+
+    def describe(self) -> str:
+        """The plan in its parseable CLI form."""
+        return ",".join(spec.describe() for spec in self.specs)
+
+    # -- installation ----------------------------------------------------------
+
+    def install(self) -> FaultPlan:
+        """Make this the process-wide active plan; counters reset.
+
+        Prefer the context-manager form (``with plan: ...``), which also
+        deactivates on exit.
+        """
+        global _ACTIVE
+        _ACTIVE = self
+        self._counters.clear()
+        self._rng = random.Random(self.seed)
+        self._garble_armed = False
+        return self
+
+    def uninstall(self) -> None:
+        """Deactivate (only if currently active)."""
+        global _ACTIVE
+        if _ACTIVE is self:
+            _ACTIVE = None
+
+    def __enter__(self) -> FaultPlan:
+        return self.install()
+
+    def __exit__(self, *_exc) -> None:
+        self.uninstall()
+
+    # -- firing ----------------------------------------------------------------
+
+    def hit(self, site: str) -> None:
+        """Record one checkpoint of ``site``; raise if a spec fires here."""
+        count = self._counters.get(site, 0) + 1
+        self._counters[site] = count
+        for spec in self.specs:
+            if not spec.matches_site(site):
+                continue
+            if spec.attempt is not None and spec.attempt != self.attempt:
+                continue
+            if spec.probability is not None:
+                if self._rng.random() >= spec.probability:
+                    continue
+            elif spec.at != count:
+                continue
+            self._fire(spec, site, count)
+
+    def _fire(self, spec: FaultSpec, site: str, count: int) -> None:
+        self.events.append(FaultEvent(spec.kind, site, count, self.attempt))
+        message = f"injected {spec.kind} at {site} checkpoint {count}"
+        if spec.kind == "memory-error":
+            raise MemoryError(message)
+        if spec.kind == "timeout-error":
+            raise TimeoutError(message)
+        if spec.kind == "crash":
+            raise InjectedCrash(message)
+        if spec.kind == "transient-error":
+            raise InjectedFault(message)
+        # garbage-result: no exception — arm the flag the executor polls
+        # after the job returns.
+        self._garble_armed = True
+
+    def should_garble(self) -> bool:
+        """Whether a fired ``garbage-result`` spec wants the result replaced.
+
+        One-shot per install: polling consumes the armed flag.
+        """
+        armed = self._garble_armed
+        self._garble_armed = False
+        return armed
+
+
+def _parse_int(text: str, what: str, plan_text: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise ValueError(
+            f"bad fault plan {plan_text!r}: {what} {text!r} is not an integer"
+        ) from None
+
+
+_ACTIVE: FaultPlan | None = None
+
+
+def fault_checkpoint(site: str) -> None:
+    """Hook production code calls at an injection site (no-op when inactive).
+
+    The fast path is one global read and a ``None`` comparison, so leaving
+    these hooks in hot-adjacent paths (budget checks, chase firings, CSV
+    rows) costs nothing in normal operation.
+    """
+    plan = _ACTIVE
+    if plan is not None:
+        plan.hit(site)
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently installed plan, if any (for executor result-garbling)."""
+    return _ACTIVE

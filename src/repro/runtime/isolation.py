@@ -1,0 +1,377 @@
+"""Process isolation: run a job in a worker with hard resource guards.
+
+The cooperative :class:`~repro.runtime.budget.Budget` handles the *polite*
+ways an exponential search can overrun — too many nodes, too long on the
+clock.  This module handles the impolite ones: ``MemoryError`` mid-
+backtrack, a ``RecursionError`` ten thousand frames into a homomorphism
+search, a genuine interpreter crash.  A job submitted through
+:func:`run_isolated` executes in a **worker subprocess** under
+
+* a hard address-space cap (``resource.setrlimit(RLIMIT_AS)``) — the soft
+  limit is the cap; the hard limit stays unlimited so the worker can lift
+  the cap *after* catching ``MemoryError`` and still report it cleanly;
+* a recursion-depth guard (``sys.setrecursionlimit``);
+* a wall-clock kill — the parent terminates a worker that overruns.
+
+Whatever happens in the worker comes back as a ``(status, payload)`` pair —
+``"ok"``, ``"oom"``, ``"killed"``, ``"crashed"``, ``"fatal"`` (a
+:class:`~repro.core.errors.ReproError` to re-raise), or ``"interrupt"`` —
+so the caller's process never dies with the job.  The in-process fallback
+:func:`run_guarded` applies the same classification without the subprocess
+(no hard memory cap or wall kill, but injected and organic
+``MemoryError`` / ``RecursionError`` / :class:`InjectedCrash` are still
+contained), which keeps the retry/degrade machinery testable and usable on
+platforms where ``fork`` is unavailable.
+
+Jobs may be passed as callables (``fork`` start method: nothing needs to be
+picklable except the *result*) or as registered job names
+(:data:`JOB_REGISTRY`), which also work under ``spawn``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..core.errors import ReproError
+from .cancellation import OperationCancelled
+from .faults import GARBAGE_RESULT, FaultPlan, InjectedCrash, fault_checkpoint
+from .outcome import Outcome
+
+_MEMORY_HEADROOM_BYTES = 0  # soft cap only; hard limit stays unlimited
+
+_CRASH_EXIT_CODE = 70  # EX_SOFTWARE: what an InjectedCrash worker exits with
+
+JOB_REGISTRY: dict[str, str] = {
+    "exact_compare": "repro.algorithms.exact:exact_compare",
+    "signature_compare": "repro.algorithms.signature:signature_compare",
+    "compare_anytime": "repro.runtime.anytime:compare_anytime",
+    "chase": "repro.dataexchange.chase:chase",
+    "compute_core": "repro.homomorphism.core:compute_core",
+    "find_homomorphism": "repro.homomorphism.homomorphism:find_homomorphism",
+}
+"""Registered job names → ``module:callable`` import paths.
+
+Every potentially-exponential entry point is pre-registered so callers (and
+future sharding/serving layers) can submit work by name across process
+boundaries without shipping code objects.
+"""
+
+
+def register_job(name: str, target: str) -> None:
+    """Register ``name`` → ``"module:callable"`` for isolated execution."""
+    if ":" not in target:
+        raise ValueError(
+            f"job target must be 'module:callable', got {target!r}"
+        )
+    JOB_REGISTRY[name] = target
+
+
+def resolve_job(job: str | Callable) -> Callable:
+    """Resolve a job name (via :data:`JOB_REGISTRY`) or pass a callable through."""
+    if callable(job):
+        return job
+    try:
+        target = JOB_REGISTRY[job]
+    except KeyError:
+        raise ReproError(
+            f"unknown job {job!r}; registered jobs: {sorted(JOB_REGISTRY)}"
+        ) from None
+    module_name, _, attribute = target.partition(":")
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+class WorkerFailure(ReproError):
+    """A job died in a worker and no degradation path was available.
+
+    Carries the structured :attr:`outcome` (``oom`` / ``killed`` /
+    ``crashed``) so callers that *do* want to handle it can branch on the
+    failure class rather than parse the message.
+    """
+
+    def __init__(self, outcome: Outcome, detail: str) -> None:
+        super().__init__(f"worker {outcome.value}: {detail}")
+        self.outcome = outcome
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class WorkerLimits:
+    """Hard resource caps applied inside a worker.
+
+    Parameters
+    ----------
+    max_memory_mb:
+        Address-space cap in MiB (``RLIMIT_AS`` soft limit).  Note this
+        bounds the whole interpreter, not just the job's data — caps below
+        the interpreter's resident footprint (a few tens of MiB) kill the
+        worker on its first allocation, which is still a graceful ``oom``.
+    wall_timeout:
+        Seconds before the parent terminates the worker (``killed``).
+    recursion_limit:
+        ``sys.setrecursionlimit`` value inside the worker; bounds runaway
+        recursive searches with a catchable ``RecursionError`` instead of a
+        stack overflow.
+    """
+
+    max_memory_mb: float | None = None
+    wall_timeout: float | None = None
+    recursion_limit: int | None = None
+
+    @property
+    def max_memory_bytes(self) -> int | None:
+        if self.max_memory_mb is None:
+            return None
+        return int(self.max_memory_mb * 1024 * 1024)
+
+
+def _apply_limits(limits: WorkerLimits) -> None:
+    """Apply the caps inside the worker (best-effort on exotic platforms)."""
+    if limits.recursion_limit is not None:
+        sys.setrecursionlimit(limits.recursion_limit)
+    cap = limits.max_memory_bytes
+    if cap is not None:
+        try:
+            import resource
+
+            _, hard = resource.getrlimit(resource.RLIMIT_AS)
+            resource.setrlimit(resource.RLIMIT_AS, (cap, hard))
+        except (ImportError, OSError, ValueError):  # pragma: no cover
+            pass  # platform without RLIMIT_AS: the wall kill still guards
+
+
+def _lift_memory_cap() -> None:
+    """Raise the soft memory cap back to the hard limit.
+
+    Called from the worker's ``MemoryError`` handler so that *reporting*
+    the failure (pickling a small tuple through the pipe) does not itself
+    die of the cap that caused it.
+    """
+    try:
+        import resource
+
+        _, hard = resource.getrlimit(resource.RLIMIT_AS)
+        resource.setrlimit(resource.RLIMIT_AS, (hard, hard))
+    except (ImportError, OSError, ValueError):  # pragma: no cover
+        pass
+
+
+def _worker_main(
+    conn,
+    job: str | Callable,
+    args: tuple,
+    kwargs: dict,
+    limits: WorkerLimits,
+    plan: FaultPlan | None,
+) -> None:
+    """Worker-side job runner; always reports through ``conn`` or exits."""
+    try:
+        _apply_limits(limits)
+        if plan is not None:
+            plan.install()
+        try:
+            fault_checkpoint("worker")
+            fn = resolve_job(job)
+            value = fn(*args, **kwargs)
+            if plan is not None and plan.should_garble():
+                value = GARBAGE_RESULT
+        finally:
+            if plan is not None:
+                plan.uninstall()
+        conn.send(("ok", value))
+    except MemoryError as error:
+        _lift_memory_cap()
+        conn.send(("oom", f"MemoryError: {error}"))
+    except RecursionError as error:
+        conn.send(("oom", f"RecursionError: {error}"))
+    except TimeoutError as error:
+        conn.send(("killed", f"TimeoutError: {error}"))
+    except InjectedCrash:
+        # Simulate a hard crash faithfully: no report, nonzero exit.
+        conn.close()
+        os._exit(_CRASH_EXIT_CODE)
+    except (KeyboardInterrupt, SystemExit, OperationCancelled) as error:
+        conn.send(("interrupt", type(error).__name__))
+    except SystemError as error:
+        # CPython reports failed C-level allocations as SystemError
+        # ("error return without exception set"); under an active memory
+        # cap that is the cap at work, not a crash.
+        if limits.max_memory_bytes is not None:
+            _lift_memory_cap()
+            conn.send(("oom", f"SystemError under memory cap: {error}"))
+        else:
+            conn.send(("crashed", f"SystemError: {error}"))
+    except ReproError as error:
+        try:
+            conn.send(("fatal", error))
+        except Exception:  # unpicklable exception payload
+            conn.send(("fatal", ReproError(f"{type(error).__name__}: {error}")))
+    except BaseException as error:  # noqa: BLE001 - the whole point
+        conn.send(("crashed", f"{type(error).__name__}: {error}"))
+    finally:
+        try:
+            conn.close()
+        except Exception:  # pragma: no cover
+            pass
+
+
+def run_isolated(
+    job: str | Callable,
+    args: tuple = (),
+    kwargs: dict | None = None,
+    limits: WorkerLimits | None = None,
+    plan: FaultPlan | None = None,
+) -> tuple[str, Any]:
+    """Run ``job`` in a worker subprocess; never raises for worker deaths.
+
+    Returns a ``(status, payload)`` pair:
+
+    * ``("ok", value)`` — the job finished; ``value`` is its result;
+    * ``("oom", detail)`` — memory cap or recursion guard killed it;
+    * ``("killed", detail)`` — the wall-clock kill fired;
+    * ``("crashed", detail)`` — nonzero exit, fatal signal, or an
+      unclassified exception;
+    * ``("fatal", error)`` — the job raised a :class:`ReproError`
+      (``error`` is the exception object, for the caller to re-raise);
+    * ``("interrupt", name)`` — ``KeyboardInterrupt`` / ``SystemExit``
+      inside the worker (the caller should re-raise).
+
+    Examples
+    --------
+    >>> status, value = run_isolated(len, args=([1, 2, 3],))
+    >>> status, value
+    ('ok', 3)
+    """
+    import multiprocessing
+
+    limits = limits or WorkerLimits()
+    kwargs = kwargs or {}
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        ctx = multiprocessing.get_context("spawn")
+        if callable(job):
+            raise ReproError(
+                "isolated execution of bare callables requires the 'fork' "
+                "start method; register the job and submit it by name"
+            ) from None
+    receiver, sender = ctx.Pipe(duplex=False)
+    process = ctx.Process(
+        target=_worker_main,
+        args=(sender, job, args, kwargs, limits, plan),
+        daemon=True,
+    )
+    process.start()
+    sender.close()
+
+    message: tuple[str, Any] | None = None
+    timed_out = False
+    try:
+        if receiver.poll(limits.wall_timeout):
+            message = receiver.recv()
+        else:
+            timed_out = True
+    except (EOFError, OSError):
+        message = None  # worker died before/while reporting
+    finally:
+        receiver.close()
+
+    if timed_out:
+        # Wall-clock overrun: escalate terminate → kill.  (A worker that
+        # merely *died* does not land here: its pipe EOF wakes the poll, so
+        # the death is classified by exit code below.)
+        process.terminate()
+        process.join(1.0)
+        if process.is_alive():  # pragma: no cover - stuck in kernel
+            process.kill()
+            process.join(1.0)
+        return (
+            "killed",
+            f"worker exceeded wall timeout of {limits.wall_timeout}s",
+        )
+
+    process.join(5.0)
+    if message is not None:
+        return message
+    code = process.exitcode
+    if code is not None and code < 0 and limits.max_memory_bytes is not None:
+        # Died on a signal with a memory cap in force: overwhelmingly the
+        # kernel OOM killer / allocation failure the cap is there to cause.
+        return ("oom", f"worker killed by signal {-code} under memory cap")
+    if code is not None and code < 0:
+        return ("crashed", f"worker killed by signal {-code}")
+    if (
+        code not in (0, _CRASH_EXIT_CODE)
+        and limits.max_memory_bytes is not None
+    ):
+        # A nonzero exit without a report under a memory cap: the cap hit
+        # before the worker's own MemoryError handler could run (e.g.
+        # during interpreter bootstrap).
+        return ("oom", f"worker exited with status {code} under memory cap")
+    return ("crashed", f"worker exited with status {code} without a result")
+
+
+def run_guarded(
+    job: str | Callable,
+    args: tuple = (),
+    kwargs: dict | None = None,
+    limits: WorkerLimits | None = None,
+    plan: FaultPlan | None = None,
+) -> tuple[str, Any]:
+    """In-process counterpart of :func:`run_isolated` (same status pairs).
+
+    Applies the recursion guard and catches resource deaths and injected
+    crashes, but cannot enforce a hard memory cap or wall kill — those need
+    the subprocess.  Used when isolation is disabled (the default for
+    library calls) and by the retry layer's tests.
+    """
+    limits = limits or WorkerLimits()
+    kwargs = kwargs or {}
+    saved_recursion = sys.getrecursionlimit()
+    if limits.recursion_limit is not None:
+        sys.setrecursionlimit(limits.recursion_limit)
+    try:
+        if plan is not None:
+            plan.install()
+        try:
+            fault_checkpoint("worker")
+            fn = resolve_job(job)
+            value = fn(*args, **kwargs)
+            if plan is not None and plan.should_garble():
+                value = GARBAGE_RESULT
+        finally:
+            if plan is not None:
+                plan.uninstall()
+        return ("ok", value)
+    except MemoryError as error:
+        return ("oom", f"MemoryError: {error}")
+    except RecursionError as error:
+        return ("oom", f"RecursionError: {error}")
+    except TimeoutError as error:
+        return ("killed", f"TimeoutError: {error}")
+    except InjectedCrash as error:
+        return ("crashed", f"InjectedCrash: {error}")
+    except (KeyboardInterrupt, SystemExit, OperationCancelled) as error:
+        return ("interrupt", type(error).__name__)
+    except ReproError as error:
+        return ("fatal", error)
+    except Exception as error:  # noqa: BLE001 - classified for the caller
+        return ("crashed", f"{type(error).__name__}: {error}")
+    finally:
+        sys.setrecursionlimit(saved_recursion)
+
+
+STATUS_OUTCOMES = {
+    "ok": Outcome.COMPLETED,
+    "oom": Outcome.OOM,
+    "killed": Outcome.KILLED,
+    "crashed": Outcome.CRASHED,
+}
+"""Map from worker status strings to structured outcomes.
+
+``"fatal"`` and ``"interrupt"`` are deliberately absent: they re-raise in
+the caller instead of becoming outcomes.
+"""

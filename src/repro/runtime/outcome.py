@@ -26,6 +26,18 @@ class Outcome(str, Enum):
     * ``CANCELLED`` — a :class:`~repro.runtime.cancellation
       .CancellationToken` was triggered; ditto.
 
+    The remaining members are *hard* failures reported by the fault-tolerant
+    execution layer (:mod:`repro.runtime.isolation`) — the computation did
+    not stop cooperatively, it died and was caught:
+
+    * ``OOM`` — the memory cap killed it (``MemoryError`` under
+      ``resource.setrlimit``, a recursion-depth blowup, or an OOM-killed
+      worker process).
+    * ``KILLED`` — the wall-clock kill fired (the worker overran its hard
+      timeout and was terminated, or a simulated ``TimeoutError``).
+    * ``CRASHED`` — the worker died with a nonzero exit / signal, raised an
+      unclassified exception, or returned a garbage result.
+
     The enum derives from ``str`` so outcomes serialize directly to JSON and
     compare equal to their wire values (``Outcome.COMPLETED == "completed"``).
     """
@@ -34,11 +46,24 @@ class Outcome(str, Enum):
     BUDGET_EXHAUSTED = "budget-exhausted"
     DEADLINE_EXCEEDED = "deadline-exceeded"
     CANCELLED = "cancelled"
+    OOM = "oom"
+    KILLED = "killed"
+    CRASHED = "crashed"
 
     @property
     def is_complete(self) -> bool:
         """Whether the computation ran to natural completion."""
         return self is Outcome.COMPLETED
+
+    @property
+    def is_resource_death(self) -> bool:
+        """Whether a hard resource guard (memory cap / wall kill) fired.
+
+        The retry layer's decision table degrades these to the approximate
+        tier instead of retrying forever: a computation that OOM-ed once
+        will OOM again on the same input.
+        """
+        return self in (Outcome.OOM, Outcome.KILLED)
 
     @property
     def marker(self) -> str:

@@ -1,0 +1,229 @@
+"""Fuzzing the readers: malformed input must fail as a diagnosable
+:class:`~repro.core.errors.ReproError`, never a raw ``KeyError`` /
+``IndexError`` / bare ``ValueError`` escaping from parser internals."""
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import FormatError, ReproError
+from repro.core.values import LabeledNull
+from repro.io_.csvio import (
+    CONSTANT_ESCAPE,
+    NULL_PREFIX,
+    instance_to_csv_text,
+    read_csv,
+    write_csv,
+)
+from repro.io_.serialization import (
+    instance_from_dict,
+    instance_from_json,
+    instance_to_dict,
+    instance_to_json,
+)
+from tests.conftest import make_instance
+
+
+def read_text(text: str, **kwargs):
+    return read_csv(io.StringIO(text), **kwargs)
+
+
+VALID_CSV = "A,B,C\nx,1,_N:N1\ny,2,z\n"
+
+
+class TestCSVTruncation:
+    @settings(max_examples=200, deadline=None)
+    @given(cut=st.integers(min_value=0, max_value=len(VALID_CSV)))
+    def test_any_prefix_fails_diagnosably_or_parses(self, cut):
+        text = VALID_CSV[:cut]
+        try:
+            read_text(text)
+        except ReproError as error:
+            # Diagnosable: the error names the offending row or states
+            # the file is empty.
+            assert "row" in str(error) or "empty" in str(error)
+        # KeyError/IndexError/bare ValueError would fail the test by
+        # escaping here.
+
+    def test_truncated_row_names_the_row(self):
+        with pytest.raises(FormatError, match="row 3"):
+            read_text("A,B\nx,1\ny\n")
+
+    def test_truncated_error_is_also_a_value_error(self):
+        # Compatibility: pre-existing `except ValueError` callers (the CLI)
+        # keep catching reader failures.
+        with pytest.raises(ValueError):
+            read_text("")
+
+    def test_empty_input_is_diagnosable(self):
+        with pytest.raises(FormatError, match="empty"):
+            read_text("")
+
+
+class TestCSVGarbage:
+    @settings(max_examples=200, deadline=None)
+    @given(text=st.text(max_size=200))
+    def test_arbitrary_text_never_escapes_raw_errors(self, text):
+        try:
+            read_text(text)
+        except ReproError:
+            pass
+        except csv_error_types() as error:  # pragma: no cover
+            pytest.fail(f"raw {type(error).__name__} escaped: {error}")
+
+    @settings(max_examples=100, deadline=None)
+    @given(blob=st.binary(max_size=200))
+    def test_arbitrary_bytes_decoded_as_latin1_never_escape(self, blob):
+        try:
+            read_text(blob.decode("latin-1"))
+        except ReproError:
+            pass
+
+
+def csv_error_types():
+    return (KeyError, IndexError)
+
+
+class TestCSVRoundTrip:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        text=st.text(
+            alphabet=st.characters(
+                blacklist_categories=("Cs",), blacklist_characters="\r\n\x00"
+            ),
+            max_size=30,
+        )
+    )
+    def test_any_constant_round_trips(self, text):
+        instance = make_instance([(text, "k", "v")])
+        back = read_text(instance_to_csv_text(instance))
+        (t,) = list(back.tuples())
+        assert t.values[0] == text
+        assert not isinstance(t.values[0], LabeledNull)
+
+    def test_null_prefixed_constant_survives(self):
+        # The historical corruption: the CONSTANT "_N:x" used to come back
+        # as LabeledNull("x").
+        instance = make_instance([("_N:x", "k", "v")])
+        text = instance_to_csv_text(instance)
+        assert f"{CONSTANT_ESCAPE}{NULL_PREFIX}x" in text
+        (t,) = list(read_text(text).tuples())
+        assert t.values[0] == "_N:x"
+
+    def test_escape_prefixed_constant_survives(self):
+        instance = make_instance([("_C:y", "k", "v")])
+        (t,) = list(read_text(instance_to_csv_text(instance)).tuples())
+        assert t.values[0] == "_C:y"
+
+    def test_actual_nulls_still_round_trip(self):
+        instance = make_instance([(LabeledNull("N1"), "k", "v")])
+        (t,) = list(read_text(instance_to_csv_text(instance)).tuples())
+        assert t.values[0] == LabeledNull("N1")
+
+
+class TestStrictMode:
+    def test_empty_null_label_rejected(self):
+        with pytest.raises(FormatError, match="column 'A'"):
+            read_text("A\n_N:\n", strict=True)
+
+    def test_dangling_escape_rejected(self):
+        with pytest.raises(FormatError, match="row 2"):
+            read_text("A\n_C:plain\n", strict=True)
+
+    def test_valid_escapes_accepted(self):
+        back = read_text("A\n_C:_N:x\n", strict=True)
+        (t,) = list(back.tuples())
+        assert t.values[0] == "_N:x"
+
+    def test_empty_null_label_rejected_even_leniently(self):
+        # LabeledNull("") is unconstructible, so this is corrupt in any
+        # mode; the reader must diagnose it rather than leak the internal
+        # ValueError.
+        with pytest.raises(FormatError, match="non-empty label"):
+            read_text("A\n_N:\n")
+
+    def test_lenient_mode_accepts_dangling_escape(self):
+        (t,) = list(read_text("A\n_C:plain\n").tuples())
+        assert t.values[0] == "plain"
+
+
+class TestSerializationFuzz:
+    def payload(self):
+        return instance_to_dict(make_instance([("x", 1, LabeledNull("N1"))]))
+
+    def test_valid_payload_round_trips(self):
+        back = instance_from_dict(self.payload())
+        (t,) = list(back.tuples())
+        assert t.values[2] == LabeledNull("N1")
+
+    def test_missing_relations_field_named(self):
+        with pytest.raises(FormatError, match="'relations'"):
+            instance_from_dict({"name": "I"})
+
+    def test_missing_tuple_id_named(self):
+        payload = self.payload()
+        del payload["relations"][0]["tuples"][0]["id"]
+        with pytest.raises(FormatError, match="tuple #0"):
+            instance_from_dict(payload)
+
+    def test_wrong_arity_named(self):
+        payload = self.payload()
+        payload["relations"][0]["tuples"][0]["values"].append("extra")
+        with pytest.raises(FormatError, match="expected 3"):
+            instance_from_dict(payload)
+
+    def test_non_list_tuples_named(self):
+        payload = self.payload()
+        payload["relations"][0]["tuples"] = "oops"
+        with pytest.raises(FormatError, match="'tuples'"):
+            instance_from_dict(payload)
+
+    def test_invalid_json_text(self):
+        with pytest.raises(FormatError, match="invalid JSON"):
+            instance_from_json("{truncated")
+
+    @settings(max_examples=150, deadline=None)
+    @given(data=st.data())
+    def test_deleting_any_field_fails_diagnosably(self, data):
+        payload = self.payload()
+        victims = [
+            ("relations",),
+            ("relations", 0, "name"),
+            ("relations", 0, "attributes"),
+            ("relations", 0, "tuples"),
+            ("relations", 0, "tuples", 0, "id"),
+            ("relations", 0, "tuples", 0, "values"),
+        ]
+        path = data.draw(st.sampled_from(victims))
+        node = payload
+        for step in path[:-1]:
+            node = node[step]
+        del node[path[-1]]
+        with pytest.raises(ReproError):
+            instance_from_dict(payload)
+
+    @settings(max_examples=100, deadline=None)
+    @given(text=st.text(max_size=120))
+    def test_arbitrary_json_text_never_escapes_raw_errors(self, text):
+        try:
+            instance_from_json(text)
+        except ReproError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        payload=st.recursive(
+            st.none() | st.booleans() | st.integers() | st.text(max_size=10),
+            lambda children: st.lists(children, max_size=3)
+            | st.dictionaries(st.text(max_size=5), children, max_size=3),
+            max_leaves=10,
+        )
+    )
+    def test_arbitrary_json_values_never_escape_raw_errors(self, payload):
+        try:
+            instance_from_json(json.dumps(payload))
+        except ReproError:
+            pass

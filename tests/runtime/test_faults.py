@@ -1,0 +1,204 @@
+"""Deterministic fault injection (runtime.faults)."""
+
+import pytest
+
+from repro.runtime.faults import (
+    FAULT_KINDS,
+    FAULT_SITES,
+    GARBAGE_RESULT,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+    active_plan,
+    fault_checkpoint,
+)
+
+
+class TestFaultSpec:
+    def test_defaults(self):
+        spec = FaultSpec("memory-error")
+        assert spec.site == "*"
+        assert spec.at == 1
+        assert spec.attempt is None
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("meltdown")
+
+    def test_rejects_unknown_site(self):
+        with pytest.raises(ValueError, match="unknown fault site"):
+            FaultSpec("crash", site="moon")
+
+    def test_rejects_nonpositive_checkpoint(self):
+        with pytest.raises(ValueError):
+            FaultSpec("crash", at=0)
+
+    def test_describe_round_trips_through_parse(self):
+        spec = FaultSpec("timeout-error", site="chase", at=3, attempt=2)
+        (parsed,) = FaultPlan.parse(spec.describe()).specs
+        assert parsed == spec
+
+    def test_wildcard_site_matches_everything(self):
+        spec = FaultSpec("crash")
+        assert all(spec.matches_site(site) for site in FAULT_SITES)
+
+    def test_specific_site_matches_only_itself(self):
+        spec = FaultSpec("crash", site="io")
+        assert spec.matches_site("io")
+        assert not spec.matches_site("budget")
+
+
+class TestFaultPlanParse:
+    def test_parse_kind_only(self):
+        (spec,) = FaultPlan.parse("memory-error").specs
+        assert spec.kind == "memory-error"
+        assert spec.site == "*"
+
+    def test_parse_full_form(self):
+        (spec,) = FaultPlan.parse("crash@worker:5#2").specs
+        assert (spec.kind, spec.site, spec.at, spec.attempt) == (
+            "crash", "worker", 5, 2
+        )
+
+    def test_parse_multiple_specs(self):
+        plan = FaultPlan.parse("memory-error@budget:1, crash@worker:2")
+        assert len(plan.specs) == 2
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("not a spec @@")
+
+
+class TestInjection:
+    def test_checkpoint_is_noop_without_plan(self):
+        assert active_plan() is None
+        fault_checkpoint("budget")  # must not raise
+
+    def test_memory_error_at_nth_checkpoint(self):
+        with FaultPlan.single("memory-error", site="budget", at=3) as plan:
+            fault_checkpoint("budget")
+            fault_checkpoint("budget")
+            with pytest.raises(MemoryError):
+                fault_checkpoint("budget")
+        assert plan.events and plan.events[0].checkpoint == 3
+
+    def test_site_mismatch_does_not_fire(self):
+        with FaultPlan.single("memory-error", site="chase", at=1):
+            fault_checkpoint("budget")
+            fault_checkpoint("io")  # different sites never trip a chase spec
+
+    def test_each_kind_raises_its_exception(self):
+        expectations = {
+            "memory-error": MemoryError,
+            "timeout-error": TimeoutError,
+            "crash": InjectedCrash,
+            "transient-error": InjectedFault,
+        }
+        assert set(expectations) | {"garbage-result"} == set(FAULT_KINDS)
+        for kind, exception in expectations.items():
+            with FaultPlan.single(kind, site="worker", at=1):
+                with pytest.raises(exception):
+                    fault_checkpoint("worker")
+
+    def test_injected_crash_evades_except_exception(self):
+        # The whole point of InjectedCrash: a bare `except Exception`
+        # must NOT swallow it (it models a hard process death).
+        assert not issubclass(InjectedCrash, Exception)
+        assert issubclass(InjectedCrash, BaseException)
+
+    def test_attempt_pinning_models_transient_faults(self):
+        plan = FaultPlan.single("memory-error", site="budget", at=1, attempt=1)
+        with plan:
+            plan.attempt = 1
+            with pytest.raises(MemoryError):
+                fault_checkpoint("budget")
+        with plan:  # re-install resets counters; attempt 2 sails through
+            plan.attempt = 2
+            fault_checkpoint("budget")
+
+    def test_garbage_result_arms_instead_of_raising(self):
+        with FaultPlan.single("garbage-result", site="worker", at=1) as plan:
+            fault_checkpoint("worker")  # arms, does not raise
+            assert plan.should_garble()
+            assert not plan.should_garble()  # one-shot
+
+    def test_install_resets_counters(self):
+        plan = FaultPlan.single("memory-error", site="budget", at=2)
+        with plan:
+            fault_checkpoint("budget")
+            with pytest.raises(MemoryError):
+                fault_checkpoint("budget")
+        with plan:
+            fault_checkpoint("budget")  # count restarted at zero
+            with pytest.raises(MemoryError):
+                fault_checkpoint("budget")
+
+    def test_uninstall_clears_global(self):
+        plan = FaultPlan.single("crash", site="budget")
+        plan.install()
+        assert active_plan() is plan
+        plan.uninstall()
+        assert active_plan() is None
+        fault_checkpoint("budget")
+
+    def test_probability_mode_is_seeded_and_replayable(self):
+        def fire_pattern(seed):
+            plan = FaultPlan(
+                [FaultSpec("transient-error", site="io", probability=0.5)],
+                seed=seed,
+            )
+            pattern = []
+            with plan:
+                for _ in range(20):
+                    try:
+                        fault_checkpoint("io")
+                        pattern.append(False)
+                    except InjectedFault:
+                        pattern.append(True)
+            return pattern
+
+        assert fire_pattern(7) == fire_pattern(7)  # deterministic replay
+        assert any(fire_pattern(7))  # and it does fire sometimes
+
+    def test_garbage_singleton_survives_pickle(self):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(GARBAGE_RESULT))
+        assert clone is GARBAGE_RESULT
+
+
+class TestThreadedCheckpoints:
+    """The checkpoints wired into budget, chase, and io actually fire."""
+
+    def test_budget_check_hits_the_budget_site(self):
+        from repro.runtime.budget import Budget
+
+        control = Budget(check_interval=1).start()
+        with FaultPlan.single("memory-error", site="budget", at=1):
+            with pytest.raises(MemoryError):
+                for _ in range(8):
+                    control.spend()
+
+    def test_csv_read_hits_the_io_site(self):
+        import io as _io
+
+        from repro.io_.csvio import read_csv
+
+        with FaultPlan.single("transient-error", site="io", at=2):
+            with pytest.raises(InjectedFault):
+                read_csv(_io.StringIO("A\nx\ny\nz\n"))
+
+    def test_chase_hits_the_chase_site(self):
+        from repro.core.instance import Instance
+        from repro.core.schema import RelationSchema, Schema
+        from repro.dataexchange.chase import chase
+        from repro.dataexchange.tgds import TGD, Atom, Var
+
+        source = Instance.from_rows("S", ("A",), [("x",)], id_prefix="s")
+        target = Schema([RelationSchema("T", ("A",))])
+        a = Var("a")
+        tgd = TGD("m1", body=(Atom("S", (a,)),), head=(Atom("T", (a,)),))
+        with FaultPlan.single("transient-error", site="chase", at=1):
+            with pytest.raises(InjectedFault):
+                chase(source, [tgd], target)

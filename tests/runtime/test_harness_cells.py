@@ -1,7 +1,10 @@
 """Checkpoint/retry cell runner and † markers (experiments.harness)."""
 
+import pytest
+
 from repro.experiments.harness import CellRun, outcome_marker, run_cells
-from repro.runtime import Outcome
+from repro.runtime import Outcome, RetryPolicy
+from repro.runtime.cancellation import OperationCancelled
 
 SILENT = lambda _line: None  # noqa: E731
 
@@ -18,6 +21,11 @@ class TestOutcomeMarker:
 
     def test_none_means_no_marker(self):
         assert outcome_marker(None) == ""
+
+    def test_hard_deaths_marked(self):
+        assert outcome_marker(Outcome.OOM) == "†"
+        assert outcome_marker("killed") == "†"
+        assert outcome_marker("crashed") == "†"
 
 
 class TestRunCells:
@@ -60,3 +68,35 @@ class TestRunCells:
         run = CellRun(key="k")
         assert not run.ok
         assert run.error is None
+
+    def test_keyboard_interrupt_is_not_checkpointed(self):
+        def interrupted():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_cells([("cell", interrupted)], out=SILENT, retries=3)
+
+    def test_cancellation_is_not_checkpointed(self):
+        def cancelled():
+            raise OperationCancelled("user asked to stop")
+
+        with pytest.raises(OperationCancelled):
+            run_cells([("cell", cancelled)], out=SILENT, retries=3)
+
+    def test_retries_back_off_exponentially(self):
+        sleeps, lines = [], []
+
+        def always_fails():
+            raise RuntimeError("flaky infra")
+
+        run_cells(
+            [("cell", always_fails)],
+            out=lines.append,
+            retries=2,
+            policy=RetryPolicy(
+                retries=2, base_delay=0.1, multiplier=2.0, jitter=0.0
+            ),
+            sleep=sleeps.append,
+        )
+        assert sleeps == pytest.approx([0.1, 0.2])
+        assert sum("backing off" in line for line in lines) == 2

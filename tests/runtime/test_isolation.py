@@ -1,0 +1,168 @@
+"""Process-isolated job execution (runtime.isolation)."""
+
+import time
+
+import pytest
+
+from repro.core.errors import ReproError, ScoringError
+from repro.runtime.faults import FaultPlan
+from repro.runtime.isolation import (
+    JOB_REGISTRY,
+    STATUS_OUTCOMES,
+    WorkerLimits,
+    register_job,
+    resolve_job,
+    run_guarded,
+    run_isolated,
+)
+from repro.runtime.outcome import Outcome
+
+
+def add(a, b):
+    return a + b
+
+
+def allocate_forever():
+    hog = []
+    while True:
+        hog.append(bytearray(16 * 1024 * 1024))
+
+
+def sleep_forever():
+    time.sleep(60)
+
+
+def recurse():
+    return recurse()
+
+
+def raise_repro():
+    raise ScoringError("bad lambda")
+
+
+def raise_interrupt():
+    raise KeyboardInterrupt
+
+
+class TestRegistry:
+    def test_builtin_jobs_registered(self):
+        for name in ("exact_compare", "signature_compare", "compare_anytime",
+                     "chase", "compute_core", "find_homomorphism"):
+            assert name in JOB_REGISTRY
+
+    def test_resolve_by_name(self):
+        target = resolve_job("signature_compare")
+        assert callable(target)
+
+    def test_resolve_callable_passthrough(self):
+        assert resolve_job(add) is add
+
+    def test_unknown_job_is_a_repro_error(self):
+        with pytest.raises(ReproError, match="unknown job"):
+            resolve_job("frobnicate")
+
+    def test_register_job_round_trips(self):
+        register_job("test-add", f"{__name__}:add")
+        try:
+            assert resolve_job("test-add") is add
+        finally:
+            del JOB_REGISTRY["test-add"]
+
+
+class TestRunIsolated:
+    def test_ok_result_crosses_the_process_boundary(self):
+        status, payload = run_isolated(add, args=(2, 3))
+        assert (status, payload) == ("ok", 5)
+
+    def test_memory_cap_reports_oom(self):
+        status, payload = run_isolated(
+            allocate_forever,
+            limits=WorkerLimits(max_memory_mb=128),
+        )
+        assert status == "oom"
+
+    def test_wall_timeout_reports_killed(self):
+        started = time.perf_counter()
+        status, _payload = run_isolated(
+            sleep_forever, limits=WorkerLimits(wall_timeout=0.5)
+        )
+        assert status == "killed"
+        assert time.perf_counter() - started < 10
+
+    def test_injected_crash_reports_crashed(self):
+        status, _payload = run_isolated(
+            add, args=(1, 1),
+            plan=FaultPlan.single("crash", site="worker", at=1),
+        )
+        assert status == "crashed"
+
+    def test_recursion_limit_is_a_resource_death(self):
+        status, _payload = run_isolated(
+            recurse, limits=WorkerLimits(recursion_limit=100)
+        )
+        assert status == "oom"
+
+    def test_repro_error_is_fatal_with_the_exception(self):
+        status, payload = run_isolated(raise_repro)
+        assert status == "fatal"
+        assert isinstance(payload, ScoringError)
+        assert "bad lambda" in str(payload)
+
+    def test_keyboard_interrupt_reports_interrupt(self):
+        status, _payload = run_isolated(raise_interrupt)
+        assert status == "interrupt"
+
+    def test_comparison_result_survives_the_pipe(self):
+        from repro.core.instance import Instance
+
+        left = Instance.from_rows("R", ("A",), [("x",)], id_prefix="l")
+        right = Instance.from_rows("R", ("A",), [("x",)], id_prefix="r")
+        status, result = run_isolated(
+            resolve_job("signature_compare"), args=(left, right)
+        )
+        assert status == "ok"
+        assert result.similarity == 1.0
+
+
+class TestRunGuarded:
+    def test_ok(self):
+        assert run_guarded(add, args=(2, 2)) == ("ok", 4)
+
+    def test_injected_memory_error_is_oom(self):
+        def boom():
+            raise MemoryError("synthetic")
+
+        status, _payload = run_guarded(boom)
+        assert status == "oom"
+
+    def test_recursion_limit_restored_after_guard(self):
+        import sys
+
+        before = sys.getrecursionlimit()
+        run_guarded(add, args=(1, 1),
+                    limits=WorkerLimits(recursion_limit=150))
+        assert sys.getrecursionlimit() == before
+
+    def test_repro_error_is_fatal(self):
+        status, payload = run_guarded(raise_repro)
+        assert status == "fatal"
+        assert isinstance(payload, ScoringError)
+
+
+class TestStatusOutcomes:
+    def test_mapping(self):
+        assert STATUS_OUTCOMES["ok"] is Outcome.COMPLETED
+        assert STATUS_OUTCOMES["oom"] is Outcome.OOM
+        assert STATUS_OUTCOMES["killed"] is Outcome.KILLED
+        assert STATUS_OUTCOMES["crashed"] is Outcome.CRASHED
+
+    def test_hard_outcomes_render_the_dagger(self):
+        assert Outcome.OOM.marker == "†"
+        assert Outcome.KILLED.marker == "†"
+        assert Outcome.CRASHED.marker == "†"
+
+    def test_resource_death_classification(self):
+        assert Outcome.OOM.is_resource_death
+        assert Outcome.KILLED.is_resource_death
+        assert not Outcome.CRASHED.is_resource_death
+        assert not Outcome.COMPLETED.is_resource_death

@@ -1,0 +1,274 @@
+"""Retry policy, failure classification, and the fault-tolerant Executor."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ReproError, ScoringError
+from repro.runtime.cancellation import OperationCancelled
+from repro.runtime.faults import FaultPlan, InjectedFault
+from repro.runtime.isolation import WorkerFailure
+from repro.runtime.outcome import Outcome
+from repro.runtime.retry import (
+    DEFAULT_DECISIONS,
+    Executor,
+    FailureClass,
+    RetryPolicy,
+    classify_failure,
+)
+
+
+class TestClassifyFailure:
+    def test_interrupts(self):
+        assert classify_failure(KeyboardInterrupt()) is FailureClass.INTERRUPT
+        assert classify_failure(SystemExit()) is FailureClass.INTERRUPT
+        assert (
+            classify_failure(OperationCancelled("stop"))
+            is FailureClass.INTERRUPT
+        )
+
+    def test_resource_deaths(self):
+        assert classify_failure(MemoryError()) is FailureClass.RESOURCE
+        assert classify_failure(RecursionError()) is FailureClass.RESOURCE
+        assert classify_failure(TimeoutError()) is FailureClass.RESOURCE
+
+    def test_library_bugs_are_fatal(self):
+        assert classify_failure(ScoringError("x")) is FailureClass.FATAL
+        assert classify_failure(ReproError("x")) is FailureClass.FATAL
+
+    def test_everything_else_is_transient(self):
+        assert classify_failure(InjectedFault("x")) is FailureClass.TRANSIENT
+        assert classify_failure(OSError("flaky")) is FailureClass.TRANSIENT
+
+    def test_decision_table(self):
+        assert DEFAULT_DECISIONS[FailureClass.TRANSIENT].retry
+        assert DEFAULT_DECISIONS[FailureClass.RESOURCE].retry
+        assert not DEFAULT_DECISIONS[FailureClass.FATAL].retry
+        assert not DEFAULT_DECISIONS[FailureClass.INTERRUPT].retry
+
+
+class TestRetryPolicy:
+    def test_exponential_growth(self):
+        policy = RetryPolicy(
+            retries=3, base_delay=1.0, multiplier=2.0, max_delay=100.0,
+            jitter=0.0,
+        )
+        rng = random.Random(0)
+        assert policy.delay(1, rng) == pytest.approx(1.0)
+        assert policy.delay(2, rng) == pytest.approx(2.0)
+        assert policy.delay(3, rng) == pytest.approx(4.0)
+
+    def test_max_delay_caps_the_curve(self):
+        policy = RetryPolicy(
+            retries=10, base_delay=1.0, multiplier=10.0, max_delay=5.0,
+            jitter=0.0,
+        )
+        rng = random.Random(0)
+        assert policy.delay(6, rng) == pytest.approx(5.0)
+
+    def test_jitter_is_seeded(self):
+        policy = RetryPolicy(retries=2, jitter=0.5, seed=3)
+        a = policy.delay(1, random.Random(policy.seed))
+        b = policy.delay(1, random.Random(policy.seed))
+        assert a == b
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+
+
+def _seven():
+    return 7
+
+
+def _recording_executor(**kwargs):
+    sleeps, lines = [], []
+    executor = Executor(
+        sleep=sleeps.append, out=lines.append, **kwargs
+    )
+    return executor, sleeps, lines
+
+
+class TestExecutor:
+    def test_success_needs_one_attempt(self):
+        executor, sleeps, _ = _recording_executor(
+            retry=RetryPolicy(retries=3)
+        )
+        report = executor.run(lambda: 41 + 1, label="answer")
+        assert report.completed
+        assert report.value == 42
+        assert len(report.attempts) == 0 or report.outcome is Outcome.COMPLETED
+        assert sleeps == []
+
+    def test_transient_failure_recovered_by_retry(self):
+        calls = []
+
+        def flaky():
+            calls.append(None)
+            if len(calls) < 2:
+                raise InjectedFault("blip")
+            return "ok"
+
+        executor, sleeps, lines = _recording_executor(
+            retry=RetryPolicy(retries=2)
+        )
+        report = executor.run(flaky, label="flaky")
+        assert report.completed and report.value == "ok"
+        assert len(calls) == 2
+        assert len(sleeps) == 1
+        assert any("backing off" in line for line in lines)
+
+    def test_resource_death_degrades_after_exhaustion(self):
+        def dies():
+            raise MemoryError("cap")
+
+        executor, sleeps, lines = _recording_executor(
+            retry=RetryPolicy(retries=2)
+        )
+        report = executor.run(dies, degrade=lambda: "floor", label="exact")
+        assert report.degraded
+        assert report.value == "floor"
+        assert report.outcome is Outcome.OOM
+        assert len(report.attempts) == 3
+        assert len(sleeps) == 2  # backoff between attempts, not after last
+        assert sum("backing off" in line for line in lines) == 2
+
+    def test_backoff_grows_between_attempts(self):
+        def dies():
+            raise MemoryError("cap")
+
+        executor, sleeps, _ = _recording_executor(
+            retry=RetryPolicy(retries=2, base_delay=0.1, multiplier=2.0,
+                              jitter=0.0),
+        )
+        executor.run(dies, degrade=lambda: None)
+        assert sleeps == pytest.approx([0.1, 0.2])
+
+    def test_no_degrade_raises_worker_failure(self):
+        def dies():
+            raise MemoryError("cap")
+
+        executor, _, _ = _recording_executor(retry=RetryPolicy(retries=0))
+        with pytest.raises(WorkerFailure) as info:
+            executor.run(dies, label="exact")
+        assert info.value.outcome is Outcome.OOM
+
+    def test_fatal_repro_error_fails_fast(self):
+        calls = []
+
+        def buggy():
+            calls.append(None)
+            raise ScoringError("lam out of range")
+
+        executor, sleeps, _ = _recording_executor(
+            retry=RetryPolicy(retries=5)
+        )
+        with pytest.raises(ScoringError):
+            executor.run(buggy, degrade=lambda: "never")
+        assert len(calls) == 1  # no retry on library bugs
+        assert sleeps == []
+
+    def test_interrupt_reraises(self):
+        def interrupted():
+            raise KeyboardInterrupt
+
+        executor, _, _ = _recording_executor(retry=RetryPolicy(retries=3))
+        with pytest.raises(KeyboardInterrupt):
+            executor.run(interrupted, degrade=lambda: "never")
+
+    def test_garbage_result_is_never_trusted(self):
+        plan = FaultPlan.single(
+            "garbage-result", site="worker", at=1, attempt=1
+        )
+        executor, _, lines = _recording_executor(
+            retry=RetryPolicy(retries=1), fault_plan=plan
+        )
+        report = executor.run(lambda: "real", label="job")
+        assert report.completed
+        assert report.value == "real"  # attempt 2 returned the real value
+        assert any("garbage" in line for line in lines)
+
+    def test_validate_hook_rejects_bad_values(self):
+        values = iter([None, "good"])
+        executor, _, _ = _recording_executor(retry=RetryPolicy(retries=1))
+        report = executor.run(
+            lambda: next(values),
+            validate=lambda v: v is not None,
+            degrade=lambda: "floor",
+        )
+        assert report.completed
+        assert report.value == "good"
+
+    def test_attempt_log_is_structured(self):
+        def dies():
+            raise MemoryError("cap")
+
+        executor, _, _ = _recording_executor(retry=RetryPolicy(retries=1))
+        report = executor.run(dies, degrade=lambda: None)
+        log = report.log_dicts()
+        assert len(log) == 2
+        assert log[0]["attempt"] == 1
+        assert log[0]["status"] == "oom"
+        assert log[0]["backoff_seconds"] is not None
+        assert log[1]["backoff_seconds"] is None  # last attempt: no backoff
+
+    def test_isolated_executor_survives_injected_crash(self):
+        plan = FaultPlan.single("crash", site="worker", at=1, attempt=1)
+        executor, _, lines = _recording_executor(
+            isolate=True, retry=RetryPolicy(retries=1), fault_plan=plan
+        )
+        report = executor.run(_seven, degrade=lambda: None, label="seven")
+        # Attempt 1 dies as a nonzero worker exit; attempt 2 runs clean.
+        assert report.completed
+        assert report.value == 7
+        assert len(report.attempts) == 2
+        assert report.attempts[0].status == "crashed"
+
+
+class TestAcceptanceScenario:
+    """ISSUE acceptance: injected OOM degrades anytime to the signature
+    floor with outcome ``oom`` and two logged backoff attempts."""
+
+    def test_injected_oom_degrades_with_two_backoffs(self):
+        from repro.core.instance import Instance
+        from repro.runtime.anytime import compare_anytime
+
+        left = Instance.from_rows(
+            "R", ("A", "B"), [("x", 1), ("y", 2)], id_prefix="l"
+        )
+        right = Instance.from_rows(
+            "R", ("A", "B"), [("x", 1), ("y", 3)], id_prefix="r"
+        )
+        executor, sleeps, lines = _recording_executor(
+            retry=RetryPolicy(retries=2),
+            fault_plan=FaultPlan.single("memory-error", site="budget", at=1),
+        )
+        result = compare_anytime(left, right, executor=executor)
+
+        assert result.outcome is Outcome.OOM
+        assert result.outcome.marker == "†"
+        assert result.stats["anytime_degraded"] is True
+        assert result.stats["anytime_rung"] in ("signature", "refine")
+        assert result.similarity > 0  # the floor stands
+        log = result.stats["fault_log"]
+        assert len(log) == 3
+        assert [e["status"] for e in log] == ["oom", "oom", "oom"]
+        assert sum(e["backoff_seconds"] is not None for e in log) == 2
+        assert sum("backing off" in line for line in lines) == 2
+
+    def test_transient_fault_recovered_by_retry_is_exact(self):
+        from repro.core.instance import Instance
+        from repro.runtime.anytime import compare_anytime
+
+        left = Instance.from_rows("R", ("A",), [("x",)], id_prefix="l")
+        right = Instance.from_rows("R", ("A",), [("x",)], id_prefix="r")
+        executor, _, _ = _recording_executor(
+            retry=RetryPolicy(retries=1),
+            fault_plan=FaultPlan.single(
+                "memory-error", site="budget", at=1, attempt=1
+            ),
+        )
+        result = compare_anytime(left, right, executor=executor)
+        assert result.outcome is Outcome.COMPLETED
+        assert result.stats["anytime_score_is_exact"] is True
+        assert result.similarity == 1.0
