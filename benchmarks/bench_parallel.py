@@ -1,0 +1,163 @@
+"""Benchmark the parallel batch-comparison engine; emit ``BENCH_parallel.json``.
+
+Standalone (not pytest-benchmark, unlike its siblings) so CI can run it on a
+tiny grid and archive the JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        --rows 80 --variants 8 --jobs 1 2 4 --out BENCH_parallel.json
+
+Measures, on a Table-2-shaped grid (one base instance vs N perturbed
+variants):
+
+* pairs/sec per ``jobs`` level and the speedup over the ``jobs=1`` serial
+  baseline (on a single-core runner the speedup is honestly ≈1× or below —
+  worker forks aren't free; the point of the figure is multi-core CI);
+* the signature-cache hit rate, plus cold-vs-warm batch timings at
+  ``jobs=1`` to isolate the cache's contribution;
+* a cross-level score check: every ``jobs`` level must reproduce the serial
+  scores and outcomes exactly, or the script exits 1 (the CI divergence
+  gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro import Algorithm  # noqa: E402
+from repro.datagen.perturb import PerturbationConfig, perturb  # noqa: E402
+from repro.datagen.synthetic import generate_dataset  # noqa: E402
+from repro.mappings.constraints import MatchOptions  # noqa: E402
+from repro.parallel import SignatureCache, compare_many  # noqa: E402
+
+
+def build_grid(rows: int, variants: int, seed: int):
+    """One base instance vs ``variants`` modCell perturbations of it.
+
+    The *same* base object is the left side of every pair, so the engine's
+    content-addressed cache prepares and indexes it exactly once per batch
+    — the Table 2/3 grid shape the cache is designed for.
+    """
+    base = generate_dataset("doct", rows=rows, seed=seed)
+    pairs = []
+    for index in range(variants):
+        scenario = perturb(
+            base, PerturbationConfig.mod_cell(5.0, seed=seed + index + 1)
+        )
+        pairs.append((base, scenario.target))
+    return pairs
+
+
+def run_level(pairs, algorithm, options, jobs: int) -> dict:
+    """Time one ``jobs`` level on a fresh cache."""
+    cache = SignatureCache()
+    started = time.perf_counter()
+    results = compare_many(
+        pairs, algorithm, options, jobs=jobs, cache=cache
+    )
+    elapsed = time.perf_counter() - started
+    return {
+        "jobs": jobs,
+        "elapsed_seconds": elapsed,
+        "pairs_per_second": len(pairs) / elapsed if elapsed else 0.0,
+        "cache": cache.stats(),
+        "scores": [result.similarity for result in results],
+        "outcomes": [result.outcome.value for result in results],
+    }
+
+
+def run_cache_effect(pairs, algorithm, options) -> dict:
+    """Cold vs warm serial batches on one shared cache."""
+    cache = SignatureCache()
+    started = time.perf_counter()
+    compare_many(pairs, algorithm, options, jobs=1, cache=cache)
+    cold = time.perf_counter() - started
+    started = time.perf_counter()
+    compare_many(pairs, algorithm, options, jobs=1, cache=cache)
+    warm = time.perf_counter() - started
+    return {
+        "cold_seconds": cold,
+        "warm_seconds": warm,
+        "warm_speedup": cold / warm if warm else 0.0,
+        "hit_rate_after_warm": cache.hit_rate,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=80)
+    parser.add_argument("--variants", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--algorithm", default="exact",
+        choices=("signature", "exact", "anytime"),
+    )
+    parser.add_argument("--jobs", type=int, nargs="+", default=[1, 2, 4])
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    args = parser.parse_args(argv)
+
+    pairs = build_grid(args.rows, args.variants, args.seed)
+    algorithm = Algorithm(args.algorithm)
+    options = MatchOptions.versioning()
+
+    levels = [
+        run_level(pairs, algorithm, options, jobs) for jobs in args.jobs
+    ]
+    baseline = levels[0]
+    diverged = False
+    for level in levels[1:]:
+        if (
+            level["scores"] != baseline["scores"]
+            or level["outcomes"] != baseline["outcomes"]
+        ):
+            diverged = True
+            print(
+                f"DIVERGENCE: jobs={level['jobs']} disagrees with "
+                f"jobs={baseline['jobs']}",
+                file=sys.stderr,
+            )
+        level["speedup_vs_serial"] = (
+            baseline["elapsed_seconds"] / level["elapsed_seconds"]
+            if level["elapsed_seconds"]
+            else 0.0
+        )
+    baseline["speedup_vs_serial"] = 1.0
+
+    report = {
+        "benchmark": "parallel-batch-comparison",
+        "algorithm": args.algorithm,
+        "rows": args.rows,
+        "pairs": len(pairs),
+        "cpus": os.cpu_count(),
+        "levels": levels,
+        "cache_effect": run_cache_effect(pairs, algorithm, options),
+        "scores_identical_across_levels": not diverged,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+
+    for level in levels:
+        print(
+            f"jobs={level['jobs']}: {level['pairs_per_second']:.2f} pairs/s "
+            f"({level['elapsed_seconds']:.2f}s, "
+            f"{level['speedup_vs_serial']:.2f}x vs serial, "
+            f"cache hit rate {level['cache']['hit_rate']:.2f})"
+        )
+    effect = report["cache_effect"]
+    print(
+        f"cache effect (serial): cold {effect['cold_seconds']:.2f}s → warm "
+        f"{effect['warm_seconds']:.2f}s ({effect['warm_speedup']:.2f}x)"
+    )
+    print(f"wrote {args.out}")
+    return 1 if diverged else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,7 @@ Run with::
     python examples/quickstart.py
 """
 
-from repro import Instance, LabeledNull, MatchOptions, compare
+from repro import Algorithm, Instance, LabeledNull, MatchOptions, compare
 
 # ---------------------------------------------------------------------------
 # The paper's Fig. 1: an instance I and two later versions I1, I2.
@@ -92,7 +92,7 @@ def main() -> None:
 
     # The exact algorithm is optimal but exponential; the signature
     # algorithm is the scalable default.  On small instances they agree.
-    exact = compare(original, version_1, algorithm="exact", options=options)
+    exact = compare(original, version_1, Algorithm.EXACT, options=options)
     agreed = abs(exact.similarity - signature_result.similarity) < 1e-9
     print(
         f"exact similarity(I, I1) = {exact.similarity:.4f}  "

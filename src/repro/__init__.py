@@ -26,12 +26,23 @@ constraint-repair evaluation — are presets on
 
 from __future__ import annotations
 
+from .algorithms.dispatch import run_algorithm
 from .algorithms.exact import DEFAULT_NODE_BUDGET, exact_compare
 from .algorithms.ground import ground_compare, symmetric_difference_similarity
+from .algorithms.options import (
+    Algorithm,
+    AlgorithmOptions,
+    AnytimeOptions,
+    ExactOptions,
+    GroundOptions,
+    PartialOptions,
+    SignatureOptions,
+    resolve_algorithm,
+)
 from .algorithms.partial import partial_signature_compare
 from .algorithms.refine import refine_match
 from .algorithms.result import ComparisonResult
-from .algorithms.signature import signature_compare
+from .algorithms.signature import SignatureIndex, signature_compare
 from .core.errors import ReproError
 from .core.instance import Instance, prepare_for_comparison
 from .core.schema import RelationSchema, Schema
@@ -41,6 +52,8 @@ from .mappings.constraints import DEFAULT_LAMBDA, MatchOptions
 from .mappings.instance_match import InstanceMatch
 from .mappings.tuple_mapping import TupleMapping
 from .mappings.value_mapping import ValueMapping
+from .comparator import Comparator
+from .parallel import SignatureCache, compare_many, instance_fingerprint
 from .runtime import (
     Budget,
     CancellationToken,
@@ -53,18 +66,13 @@ from .runtime import (
 )
 from .scoring.match_score import score_match
 
-__version__ = "1.1.0"
-
-_ALGORITHMS = ("signature", "exact", "ground", "partial", "anytime")
-
-#: Algorithms that accept a shared :class:`Budget` execution control.
-_CONTROLLABLE = ("signature", "exact", "anytime")
+__version__ = "1.2.0"
 
 
 def compare(
     left: Instance,
     right: Instance,
-    algorithm: str = "signature",
+    algorithm: Algorithm | AlgorithmOptions | str | None = None,
     options: MatchOptions | None = None,
     prepare: bool = True,
     align_schemas: bool = False,
@@ -84,13 +92,27 @@ def compare(
         padding trick of Sec. 4.3 (missing attributes are added with a
         distinct fresh null per row).
     algorithm:
-        ``"signature"`` (default, the scalable approximate algorithm),
-        ``"exact"`` (optimal, exponential; accepts ``node_budget=``),
-        ``"ground"`` (PTIME, ground instances only), ``"partial"``
-        (partial tuple matches, Sec. 6.3; accepts ``min_agreeing_cells=``
-        and friends), or ``"anytime"`` (the graceful-degradation ladder
-        signature → refine → exact; see
-        :func:`repro.runtime.compare_anytime`).
+        Which algorithm to run, as an :class:`Algorithm` member (e.g.
+        ``Algorithm.EXACT``) or a typed options object carrying its knobs
+        (e.g. ``ExactOptions(node_budget=10)``).  ``None`` (the default)
+        selects the scalable signature algorithm.  The available
+        algorithms:
+
+        * ``Algorithm.SIGNATURE`` — greedy approximate (Alg. 3–4), scalable;
+          knobs on :class:`SignatureOptions`;
+        * ``Algorithm.EXACT`` — optimal branch-and-bound, exponential;
+          knobs on :class:`ExactOptions`;
+        * ``Algorithm.GROUND`` — PTIME, ground instances only
+          (:class:`GroundOptions`);
+        * ``Algorithm.PARTIAL`` — partial tuple matches, Sec. 6.3; knobs on
+          :class:`PartialOptions`;
+        * ``Algorithm.ANYTIME`` — the graceful-degradation ladder signature
+          → refine → exact (:class:`AnytimeOptions`; see
+          :func:`repro.runtime.compare_anytime`).
+
+        Legacy string names (``algorithm="exact"``) and per-algorithm
+        keyword arguments (``node_budget=10``) still work but emit a
+        :class:`DeprecationWarning` naming the typed replacement.
     options:
         Structural constraints and λ; defaults to
         :meth:`MatchOptions.general`.
@@ -105,150 +127,59 @@ def compare(
         (:func:`repro.algorithms.refine.refine_match`); never lowers the
         score, costs extra time.
     deadline:
-        Wall-clock allowance in seconds.  Supported by ``"signature"``,
-        ``"exact"``, and ``"anytime"``; when the deadline trips, the result
-        carries a non-complete ``outcome`` and its score is a lower bound.
+        Wall-clock allowance in seconds.  Supported by signature, exact,
+        and anytime; when the deadline trips, the result carries a
+        non-complete ``outcome`` and its score is a lower bound.
     token:
         A :class:`~repro.runtime.CancellationToken` for cooperative
         cancellation (same algorithm support as ``deadline``).
     executor:
         An :class:`~repro.runtime.Executor` providing fault-tolerant
         execution (worker isolation, memory caps, retry/backoff).
-        Supported for ``"exact"`` and ``"anytime"``.  A hard death of the
-        exponential stage — OOM, wall kill, crash — then *degrades* to the
-        signature tier instead of propagating: the result carries the
-        approximate score, the failure outcome (``oom``/``killed``/
-        ``crashed``), and the structured attempt log in
-        ``stats["fault_log"]``.
-    **kwargs:
-        Forwarded to the selected algorithm.
+        Supported for exact and anytime.  A hard death of the exponential
+        stage — OOM, wall kill, crash — then *degrades* to the signature
+        tier instead of propagating: the result carries the approximate
+        score, the failure outcome (``oom``/``killed``/``crashed``), and
+        the structured attempt log in ``stats["fault_log"]``.
 
     Returns
     -------
     ComparisonResult
         ``result.similarity`` is the score; ``result.match`` explains it;
         ``result.outcome`` says whether the algorithm completed.
+
+    Examples
+    --------
+    >>> from repro import Algorithm, ExactOptions
+    >>> result = compare(I, J)                                # doctest: +SKIP
+    >>> result = compare(I, J, Algorithm.EXACT)               # doctest: +SKIP
+    >>> result = compare(I, J, ExactOptions(node_budget=10))  # doctest: +SKIP
     """
-    if algorithm not in _ALGORITHMS:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; choose one of {_ALGORITHMS}"
-        )
-    if (deadline is not None or token is not None) and (
-        algorithm not in _CONTROLLABLE
-    ):
-        raise ValueError(
-            f"deadline/cancellation control is not supported for algorithm "
-            f"{algorithm!r}; choose one of {_CONTROLLABLE}"
-        )
-    if executor is not None and algorithm not in ("exact", "anytime"):
-        raise ValueError(
-            f"fault-tolerant execution is not supported for algorithm "
-            f"{algorithm!r}; choose 'exact' or 'anytime'"
-        )
+    control = kwargs.pop("control", None)
+    spec = resolve_algorithm(algorithm, kwargs)
     if align_schemas:
         from .versioning.operations import align_schemas as _align
 
         left, right = _align(left, right)
     if prepare:
         left, right = prepare_for_comparison(left, right)
-    control = kwargs.pop("control", None)
-    if (
-        control is None
-        and executor is None
-        and (deadline is not None or token is not None)
-        and algorithm in ("signature", "exact")
-    ):
-        node_limit = None
-        if algorithm == "exact":
-            node_limit = kwargs.pop("node_budget", DEFAULT_NODE_BUDGET)
-        control = Budget(node_limit=node_limit, deadline=deadline, token=token)
-    if algorithm == "anytime":
-        result = compare_anytime(
-            left, right, deadline=deadline, options=options, token=token,
-            prepare=False, executor=executor, **kwargs,
-        )
-    elif algorithm == "signature":
-        result = signature_compare(
-            left, right, options=options, control=control, **kwargs
-        )
-    elif algorithm == "exact" and executor is not None:
-        result = _exact_with_executor(
-            left, right, options, control, executor, deadline=deadline,
-            token=token, **kwargs,
-        )
-    elif algorithm == "exact":
-        result = exact_compare(
-            left, right, options=options, control=control, **kwargs
-        )
-    elif algorithm == "ground":
-        result = ground_compare(left, right, options=options, **kwargs)
-    else:
-        result = partial_signature_compare(
-            left, right, options=options, **kwargs
-        )
-    if refine:
-        result = refine_match(result, control=control)
-    return result
-
-
-def _exact_with_executor(
-    left: Instance,
-    right: Instance,
-    options: MatchOptions | None,
-    control: Budget | None,
-    executor: Executor,
-    deadline: float | None = None,
-    token: CancellationToken | None = None,
-    **kwargs,
-) -> ComparisonResult:
-    """Exact comparison under the fault-tolerance policy.
-
-    Each retry attempt gets a fresh budget (a dead attempt must not pass
-    its spent nodes to its successor); once retries are exhausted on a
-    resource death or crash, the comparison degrades to the signature tier
-    — the result then carries the approximate score, the failure outcome,
-    and the structured attempt log.
-    """
-    node_budget = kwargs.pop("node_budget", DEFAULT_NODE_BUDGET)
-
-    def attempt() -> ComparisonResult:
-        if control is not None:
-            return exact_compare(
-                left, right, options=options, control=control, **kwargs
-            )
-        return exact_compare(
-            left, right, options=options, node_budget=node_budget,
-            deadline=deadline, token=token, **kwargs,
-        )
-
-    report = executor.run(attempt, degrade=lambda: None, label="exact")
-    if not report.degraded and report.value is not None:
-        result = report.value
-        if report.attempts and len(report.attempts) > 1:
-            result.stats["fault_log"] = report.log_dicts()
-        return result
-
-    floor = signature_compare(left, right, options=options)
-    return ComparisonResult(
-        similarity=floor.similarity,
-        match=floor.match,
-        options=floor.options,
-        algorithm="exact→signature(degraded)",
-        outcome=report.outcome,
-        stats={
-            **floor.stats,
-            "degraded_from": "exact",
-            "fault_log": report.log_dicts(),
-            "outcome": report.outcome.value,
-        },
-        elapsed_seconds=floor.elapsed_seconds,
+    return run_algorithm(
+        left,
+        right,
+        spec,
+        options,
+        control=control,
+        deadline=deadline,
+        token=token,
+        executor=executor,
+        refine=refine,
     )
 
 
 def similarity(
     left: Instance,
     right: Instance,
-    algorithm: str = "signature",
+    algorithm: Algorithm | AlgorithmOptions | str | None = None,
     options: MatchOptions | None = None,
     **kwargs,
 ) -> float:
@@ -262,17 +193,26 @@ def similarity(
 
 
 __all__ = [
+    "Algorithm",
+    "AlgorithmOptions",
+    "AnytimeOptions",
     "Budget",
     "CancellationToken",
     "Cell",
+    "Comparator",
     "ComparisonResult",
     "DEFAULT_LAMBDA",
     "DEFAULT_NODE_BUDGET",
+    "ExactOptions",
     "Executor",
     "FaultPlan",
+    "GroundOptions",
     "Instance",
     "Outcome",
+    "PartialOptions",
     "RetryPolicy",
+    "SignatureIndex",
+    "SignatureOptions",
     "WorkerLimits",
     "compare_anytime",
     "InstanceMatch",
@@ -282,13 +222,16 @@ __all__ = [
     "RelationSchema",
     "ReproError",
     "Schema",
+    "SignatureCache",
     "Tuple",
     "TupleMapping",
     "ValueMapping",
     "__version__",
     "compare",
+    "compare_many",
     "exact_compare",
     "ground_compare",
+    "instance_fingerprint",
     "is_constant",
     "is_null",
     "partial_signature_compare",

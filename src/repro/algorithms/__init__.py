@@ -9,6 +9,16 @@ from .compatibility import (
 )
 from .exact import DEFAULT_NODE_BUDGET, exact_compare
 from .ground import ground_compare, symmetric_difference_similarity
+from .options import (
+    Algorithm,
+    AlgorithmOptions,
+    AnytimeOptions,
+    ExactOptions,
+    GroundOptions,
+    PartialOptions,
+    SignatureOptions,
+    resolve_algorithm,
+)
 from .refine import DEFAULT_MOVE_BUDGET, refine_match
 from .partial import (
     all_signatures,
@@ -17,6 +27,7 @@ from .partial import (
 )
 from .result import ComparisonResult
 from .signature import (
+    SignatureIndex,
     maximal_signature,
     signature_compare,
     signature_of,
@@ -25,10 +36,19 @@ from .signature import (
 from .unifier import Unifier
 
 __all__ = [
+    "Algorithm",
+    "AlgorithmOptions",
+    "AnytimeOptions",
     "AttributeIndex",
     "ComparisonResult",
     "DEFAULT_NODE_BUDGET",
+    "ExactOptions",
+    "GroundOptions",
+    "PartialOptions",
+    "SignatureIndex",
+    "SignatureOptions",
     "Unifier",
+    "resolve_algorithm",
     "all_signatures",
     "c_compatible",
     "compatible",

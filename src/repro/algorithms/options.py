@@ -1,0 +1,284 @@
+"""Typed algorithm selection for :func:`repro.compare`.
+
+Historically the public API selected algorithms with a string plus untyped
+keyword arguments — ``compare(I, J, algorithm="exact", node_budget=10)`` —
+which meant typos surfaced at runtime deep inside the selected algorithm and
+per-algorithm knobs were undiscoverable.  This module replaces that with:
+
+* :class:`Algorithm` — an enum of the five comparison algorithms; and
+* one frozen options dataclass per algorithm (:class:`SignatureOptions`,
+  :class:`ExactOptions`, :class:`GroundOptions`, :class:`PartialOptions`,
+  :class:`AnytimeOptions`) carrying exactly the knobs that algorithm
+  understands.
+
+``compare()`` accepts either form::
+
+    compare(I, J, Algorithm.EXACT)                    # defaults
+    compare(I, J, ExactOptions(node_budget=10))       # tuned
+
+The legacy string form keeps working behind a :class:`DeprecationWarning`
+(see :func:`resolve_algorithm`), which names the typed replacement.
+
+The dataclasses are frozen and picklable, so a single spec object can be
+shipped to every worker of the parallel batch engine
+(:mod:`repro.parallel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from enum import Enum
+from typing import Callable, Union
+import warnings
+
+from ..runtime.anytime import DEFAULT_ANYTIME_NODE_BUDGET
+from ..runtime.budget import DEFAULT_CHECK_INTERVAL
+from .exact import DEFAULT_NODE_BUDGET
+
+
+class Algorithm(Enum):
+    """The comparison algorithms offered by :func:`repro.compare`.
+
+    Members compare equal to their legacy string names' semantics via
+    :attr:`value`, and each knows its options type
+    (:meth:`options_type`) and default options (:meth:`default_options`).
+    """
+
+    SIGNATURE = "signature"
+    EXACT = "exact"
+    GROUND = "ground"
+    PARTIAL = "partial"
+    ANYTIME = "anytime"
+
+    def options_type(self) -> type["AlgorithmOptions"]:
+        """The typed options dataclass for this algorithm."""
+        return _OPTION_TYPES[self]
+
+    def default_options(self) -> "AlgorithmOptions":
+        """This algorithm's options with every knob at its default."""
+        return _OPTION_TYPES[self]()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class SignatureOptions:
+    """Options for the scalable greedy signature algorithm (Alg. 3–4).
+
+    Parameters
+    ----------
+    align_preference:
+        Prefer signature matches that align equal constants (the paper's
+        tie-breaking heuristic); disable only to reproduce unaligned runs.
+    """
+
+    align_preference: bool = True
+
+    algorithm = Algorithm.SIGNATURE
+
+
+@dataclass(frozen=True)
+class ExactOptions:
+    """Options for the exact branch-and-bound comparison (NP-hard).
+
+    Parameters
+    ----------
+    node_budget:
+        Search-node cap; on exhaustion the best match found so far is
+        returned with a non-complete outcome.
+    prune:
+        Enable upper-bound pruning (turn off only for debugging the
+        search).
+    """
+
+    node_budget: int = DEFAULT_NODE_BUDGET
+    prune: bool = True
+
+    algorithm = Algorithm.EXACT
+
+
+@dataclass(frozen=True)
+class GroundOptions:
+    """Options for the PTIME ground-instance comparison (no knobs)."""
+
+    algorithm = Algorithm.GROUND
+
+
+@dataclass(frozen=True)
+class PartialOptions:
+    """Options for partial tuple matching (Sec. 6.3).
+
+    Parameters
+    ----------
+    min_agreeing_cells:
+        Minimum number of agreeing cells for a pair to be matched.
+    max_signature_width:
+        Cap on indexed signature width (bounds the powerset blowup).
+    constant_similarity:
+        Optional ``[0, 1]`` similarity on constants for partial credit;
+        note a callable here makes the options object unpicklable unless
+        the callable is a module-level function.
+    similarity_threshold:
+        Minimum ``constant_similarity`` for two constants to count as
+        agreeing.
+    """
+
+    min_agreeing_cells: int = 1
+    max_signature_width: int = 3
+    constant_similarity: Callable[[object, object], float] | None = None
+    similarity_threshold: float = 0.8
+
+    algorithm = Algorithm.PARTIAL
+
+
+@dataclass(frozen=True)
+class AnytimeOptions:
+    """Options for the anytime ladder signature → refine → exact.
+
+    Parameters
+    ----------
+    node_budget:
+        Node cap for the exact rung (composes with the deadline).
+    refine_move_budget:
+        Move cap for the refine rung; ``None`` uses the refine default.
+    check_interval:
+        How many search steps between deadline/cancellation checks.
+    """
+
+    node_budget: int = DEFAULT_ANYTIME_NODE_BUDGET
+    refine_move_budget: int | None = None
+    check_interval: int = DEFAULT_CHECK_INTERVAL
+
+    algorithm = Algorithm.ANYTIME
+
+
+AlgorithmOptions = Union[
+    SignatureOptions, ExactOptions, GroundOptions, PartialOptions, AnytimeOptions
+]
+"""Any per-algorithm options dataclass."""
+
+_OPTION_TYPES: dict[Algorithm, type] = {
+    Algorithm.SIGNATURE: SignatureOptions,
+    Algorithm.EXACT: ExactOptions,
+    Algorithm.GROUND: GroundOptions,
+    Algorithm.PARTIAL: PartialOptions,
+    Algorithm.ANYTIME: AnytimeOptions,
+}
+
+_VALID_NAMES = tuple(member.value for member in Algorithm)
+
+
+def algorithm_kwargs(spec: AlgorithmOptions) -> dict:
+    """The legacy keyword arguments encoded by a typed options object.
+
+    Only non-default values are emitted for :class:`AnytimeOptions`'s
+    ``refine_move_budget`` (the underlying function treats ``None`` as
+    "use the refine default").
+    """
+    out = {}
+    for field in fields(spec):
+        value = getattr(spec, field.name)
+        if field.name == "refine_move_budget" and value is None:
+            continue
+        if field.name == "constant_similarity" and value is None:
+            continue
+        out[field.name] = value
+    return out
+
+
+def resolve_algorithm(
+    algorithm: "Algorithm | AlgorithmOptions | str | None",
+    legacy_kwargs: dict | None = None,
+    *,
+    stacklevel: int = 3,
+) -> AlgorithmOptions:
+    """Normalize any accepted ``algorithm=`` argument to typed options.
+
+    Accepts (in decreasing order of preference):
+
+    * an options dataclass instance — returned as-is (``legacy_kwargs``
+      must then be empty);
+    * an :class:`Algorithm` member — expanded to its default options, with
+      ``legacy_kwargs`` applied as overrides;
+    * ``None`` — the default algorithm (signature);
+    * a legacy string name — accepted with a :class:`DeprecationWarning`
+      naming the typed replacement; unknown strings raise ``ValueError``
+      exactly as before.
+
+    Legacy per-algorithm ``**kwargs`` (e.g. ``node_budget=10``) are folded
+    into the typed options; an unknown kwarg raises ``TypeError`` naming
+    the options class, so typos fail at the API boundary instead of deep
+    inside an algorithm.
+    """
+    legacy_kwargs = dict(legacy_kwargs or ())
+    if isinstance(algorithm, _OPTION_CLASSES):
+        if legacy_kwargs:
+            raise TypeError(
+                f"cannot combine typed {type(algorithm).__name__} with legacy "
+                f"keyword argument(s) {sorted(legacy_kwargs)}; set them on the "
+                f"options object instead"
+            )
+        return algorithm
+    if algorithm is None:
+        member = Algorithm.SIGNATURE
+    elif isinstance(algorithm, Algorithm):
+        member = algorithm
+    elif isinstance(algorithm, str):
+        if algorithm not in _VALID_NAMES:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; choose one of {_VALID_NAMES}"
+            )
+        member = Algorithm(algorithm)
+        replacement = member.options_type().__name__
+        warnings.warn(
+            f"algorithm={algorithm!r} is deprecated; pass "
+            f"Algorithm.{member.name} or repro.{replacement}(...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+    else:
+        raise TypeError(
+            f"algorithm must be an Algorithm member, a typed options object, "
+            f"or a string; got {type(algorithm).__name__}"
+        )
+    options_type = member.options_type()
+    if legacy_kwargs:
+        known = {f.name for f in fields(options_type)}
+        unknown = sorted(set(legacy_kwargs) - known)
+        if unknown:
+            raise TypeError(
+                f"unknown option(s) {unknown} for algorithm "
+                f"{member.value!r}; {options_type.__name__} accepts "
+                f"{sorted(known) or 'no options'}"
+            )
+        if isinstance(algorithm, Algorithm):
+            warnings.warn(
+                f"passing {sorted(legacy_kwargs)} as keyword argument(s) is "
+                f"deprecated; construct {options_type.__name__}(...) instead",
+                DeprecationWarning,
+                stacklevel=stacklevel,
+            )
+        return options_type(**legacy_kwargs)
+    return options_type()
+
+
+_OPTION_CLASSES = (
+    SignatureOptions,
+    ExactOptions,
+    GroundOptions,
+    PartialOptions,
+    AnytimeOptions,
+)
+
+__all__ = [
+    "Algorithm",
+    "AlgorithmOptions",
+    "AnytimeOptions",
+    "ExactOptions",
+    "GroundOptions",
+    "PartialOptions",
+    "SignatureOptions",
+    "algorithm_kwargs",
+    "resolve_algorithm",
+]

@@ -62,6 +62,111 @@ def maximal_signature(t: Tuple) -> SignatureKey:
     return signature_of(t, t.constant_attributes())
 
 
+class _RelationSignatures:
+    """Precomputed signature structures for one relation of one instance.
+
+    * ``sigmap`` — maximal signature → tuples carrying it (the Alg. 4 hash
+      map, unfiltered);
+    * ``patterns`` — the distinct constant-attribute sets, largest first
+      (the pattern-keyed probing order);
+    * ``probe_order`` — all tuples, most-constant-first (the Alg. 4 probe
+      scan order).
+
+    All three depend only on attribute names and *constants* — labeled
+    nulls never appear in a signature — so the structures survive null
+    renaming unchanged.  They do depend on tuple ids (probe tie-breaking
+    and the tuple objects themselves), so an index is only valid for the
+    exact instance it was built from.
+    """
+
+    __slots__ = ("sigmap", "patterns", "probe_order")
+
+    def __init__(
+        self,
+        sigmap: dict[SignatureKey, tuple[Tuple, ...]],
+        patterns: tuple[frozenset[str], ...],
+        probe_order: tuple[Tuple, ...],
+    ) -> None:
+        self.sigmap = sigmap
+        self.patterns = patterns
+        self.probe_order = probe_order
+
+
+class SignatureIndex:
+    """Per-instance signature precomputation, reusable across comparisons.
+
+    Building the Alg. 4 signature map is the per-pair fixed cost of the
+    signature algorithm; when one instance participates in many pairs (the
+    Tables 2–3 grids, data-lake probing, the parallel batch engine), that
+    cost can be paid once.  ``signature_compare`` accepts prebuilt indexes
+    via ``left_index``/``right_index`` and otherwise builds them itself
+    (reusing them across its internal phases).
+
+    An index is bound to the identity of the instance it was built from:
+    same tuple ids, same tuple objects.  Renaming *nulls* does not
+    invalidate an index (signatures only contain constants) **as long as
+    the instance's tuple objects are unchanged** — which is why the
+    parallel engine caches instances in a canonical prepared form instead
+    of renaming per pair.
+
+    Examples
+    --------
+    >>> from repro.core.instance import Instance
+    >>> I = Instance.from_rows("R", ("A",), [("x",), ("y",)])
+    >>> index = SignatureIndex.build(I)
+    >>> index.matches(I)
+    True
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: dict[str, _RelationSignatures]) -> None:
+        self._relations = relations
+
+    @classmethod
+    def build(cls, instance: Instance) -> "SignatureIndex":
+        """Index every relation of ``instance``."""
+        relations: dict[str, _RelationSignatures] = {}
+        for relation in instance.relations():
+            sigmap: dict[SignatureKey, list[Tuple]] = {}
+            patterns: set[frozenset[str]] = set()
+            for t in relation:
+                sigmap.setdefault(maximal_signature(t), []).append(t)
+                patterns.add(frozenset(t.constant_attributes()))
+            relations[relation.schema.name] = _RelationSignatures(
+                sigmap={key: tuple(bucket) for key, bucket in sigmap.items()},
+                patterns=tuple(
+                    sorted(patterns, key=lambda p: (-len(p), sorted(p)))
+                ),
+                probe_order=tuple(
+                    sorted(
+                        relation, key=lambda t: (-t.constant_count(), t.tuple_id)
+                    )
+                ),
+            )
+        return cls(relations)
+
+    def relation(self, name: str) -> _RelationSignatures:
+        """The precomputed structures for relation ``name``."""
+        return self._relations[name]
+
+    def matches(self, instance: Instance) -> bool:
+        """Cheap sanity check that this index could describe ``instance``.
+
+        Verifies relation names and per-relation tuple counts — enough to
+        catch an index passed with the wrong instance, without re-hashing
+        every tuple.
+        """
+        names = set(instance.schema.relation_names())
+        if names != set(self._relations):
+            return False
+        return all(
+            len(self._relations[name].probe_order)
+            == sum(1 for _ in instance.relation(name))
+            for name in names
+        )
+
+
 def optimistic_pair_score(t: Tuple, t_prime: Tuple, lam: float) -> float:
     """Upper bound on ``score(M, t, t')`` independent of the value mappings.
 
@@ -197,6 +302,8 @@ def _find_signature_matches(
     probes: Sequence[Tuple],
     indexed_is_left: bool,
     policy: str = "any",
+    indexed_signatures: _RelationSignatures | None = None,
+    probe_signatures: _RelationSignatures | None = None,
 ) -> int:
     """``FindSigMatches`` (Alg. 4) for one relation and one direction.
 
@@ -204,6 +311,13 @@ def _find_signature_matches(
     signatures; ``probes`` are scanned against it.  ``policy`` is the
     admissibility rule of the current greedy phase (see
     :meth:`_MatchState.admissible`).  Returns the number of pairs added.
+
+    When precomputed :class:`_RelationSignatures` are supplied, the
+    signature map / pattern list / probe order are taken from them instead
+    of being rebuilt.  The cached map is unfiltered, so already-matched
+    indexed tuples are skipped at hit time — which the scan below does
+    anyway — making the cached and rebuilt paths commit identical pairs in
+    identical order.
     """
     options = state.options
     # Injectivity of the *indexed* side (the side a hit consumes from the map).
@@ -220,21 +334,37 @@ def _find_signature_matches(
         state.matched_right if indexed_is_left else state.matched_left
     )
 
-    sigmap: dict[SignatureKey, list[Tuple]] = {}
-    patterns: set[frozenset[str]] = set()
-    for t in indexed:
-        if indexed_injective and t.tuple_id in indexed_matched:
-            continue
-        sigmap.setdefault(maximal_signature(t), []).append(t)
-        patterns.add(frozenset(t.constant_attributes()))
-    # Largest patterns first: prefer matches sharing the most constants.
-    ordered_patterns = sorted(patterns, key=lambda p: (-len(p), sorted(p)))
+    sigmap: dict[SignatureKey, list[Tuple]]
+    ordered_patterns: Sequence[frozenset[str]]
+    if indexed_signatures is not None:
+        # Per-call mutable copy: the scan prunes consumed buckets in place
+        # and must never write back into the shared cached index.
+        sigmap = {
+            key: list(bucket)
+            for key, bucket in indexed_signatures.sigmap.items()
+        }
+        ordered_patterns = indexed_signatures.patterns
+    else:
+        sigmap = {}
+        patterns: set[frozenset[str]] = set()
+        for t in indexed:
+            if indexed_injective and t.tuple_id in indexed_matched:
+                continue
+            sigmap.setdefault(maximal_signature(t), []).append(t)
+            patterns.add(frozenset(t.constant_attributes()))
+        # Largest patterns first: prefer matches sharing the most constants.
+        ordered_patterns = sorted(patterns, key=lambda p: (-len(p), sorted(p)))
+
+    if probe_signatures is not None:
+        probe_scan: Sequence[Tuple] = probe_signatures.probe_order
+    else:
+        # Scan probes most-constant-first so constrained tuples commit early.
+        probe_scan = sorted(
+            probes, key=lambda t: (-t.constant_count(), t.tuple_id)
+        )
 
     added = 0
-    # Scan probes most-constant-first so constrained tuples commit early.
-    for probe in sorted(
-        probes, key=lambda t: (-t.constant_count(), t.tuple_id)
-    ):
+    for probe in probe_scan:
         if not state.control.spend():
             break  # budget tripped: keep the pairs committed so far
         if probe_injective and probe.tuple_id in probe_matched:
@@ -324,7 +454,11 @@ def _completion_step(state: _MatchState) -> int:
     return added
 
 
-def _relation_order(state: _MatchState) -> list[str]:
+def _relation_order(
+    state: _MatchState,
+    left_index: SignatureIndex | None = None,
+    right_index: SignatureIndex | None = None,
+) -> list[str]:
     """Relation names, most signature-selective first.
 
     Relations whose maximal signatures are nearly unique (e.g. entities with
@@ -332,15 +466,19 @@ def _relation_order(state: _MatchState) -> list[str]:
     collide heavily (e.g. fact tables sharing categorical values), so
     surrogate nulls are bound by the reliable matches first.
     """
+    if left_index is None:
+        left_index = SignatureIndex.build(state.left)
+    if right_index is None:
+        right_index = SignatureIndex.build(state.right)
 
     def selectivity(name: str) -> float:
-        tuples = list(state.left.relation(name)) + list(
-            state.right.relation(name)
-        )
-        if not tuples:
+        left_rel = left_index.relation(name)
+        right_rel = right_index.relation(name)
+        total = len(left_rel.probe_order) + len(right_rel.probe_order)
+        if not total:
             return 0.0
-        distinct = len({maximal_signature(t) for t in tuples})
-        return distinct / len(tuples)
+        distinct = len(left_rel.sigmap.keys() | right_rel.sigmap.keys())
+        return distinct / total
 
     names = list(state.left.schema.relation_names())
     return sorted(names, key=lambda n: (-selectivity(n), n))
@@ -352,6 +490,8 @@ def signature_compare(
     options: MatchOptions | None = None,
     align_preference: bool = True,
     control: Budget | None = None,
+    left_index: SignatureIndex | None = None,
+    right_index: SignatureIndex | None = None,
 ) -> ComparisonResult:
     """Run the signature algorithm (Alg. 3) and score the greedy match.
 
@@ -371,6 +511,13 @@ def signature_compare(
         polynomial, so this mostly matters for cooperative cancellation:
         when the budget trips, the pairs committed so far are scored and
         returned with the triggering outcome.
+    left_index, right_index:
+        Optional precomputed :class:`SignatureIndex` objects for ``left`` /
+        ``right``, e.g. from the parallel engine's signature cache.  They
+        must have been built from exactly these instances (checked
+        cheaply); when omitted they are built here and reused across the
+        algorithm's internal phases.  Supplying an index never changes the
+        result — only skips the per-pair index construction.
 
     Examples
     --------
@@ -387,6 +534,20 @@ def signature_compare(
         options = MatchOptions.general()
     left.assert_comparable_with(right)
     started = time.perf_counter()
+    if left_index is None:
+        left_index = SignatureIndex.build(left)
+    elif not left_index.matches(left):
+        raise ValueError(
+            "left_index was not built from the left instance "
+            "(relation names or tuple counts differ)"
+        )
+    if right_index is None:
+        right_index = SignatureIndex.build(right)
+    elif not right_index.matches(right):
+        raise ValueError(
+            "right_index was not built from the right instance "
+            "(relation names or tuple counts differ)"
+        )
     state = _MatchState(
         left, right, options,
         align_preference=align_preference, control=control,
@@ -398,20 +559,26 @@ def signature_compare(
     # B then allows merging pairs under the coverage rule.  With alignment
     # off, a single unrestricted phase reproduces the paper's plain greedy.
     phases = ("zero", "coverage") if align_preference else ("any",)
-    ordered_relations = _relation_order(state)
+    ordered_relations = _relation_order(state, left_index, right_index)
     for policy in phases:
         for relation_name in ordered_relations:
-            left_tuples = list(left.relation(relation_name))
-            right_tuples = list(right.relation(relation_name))
+            left_signatures = left_index.relation(relation_name)
+            right_signatures = right_index.relation(relation_name)
             # Pass 1: index left, probe with right (Alg. 3 line 3).
             signature_pairs += _find_signature_matches(
-                state, left_tuples, right_tuples,
+                state, left_signatures.probe_order,
+                right_signatures.probe_order,
                 indexed_is_left=True, policy=policy,
+                indexed_signatures=left_signatures,
+                probe_signatures=right_signatures,
             )
             # Pass 2: index right, probe with left (Alg. 3 line 4).
             signature_pairs += _find_signature_matches(
-                state, right_tuples, left_tuples,
+                state, right_signatures.probe_order,
+                left_signatures.probe_order,
                 indexed_is_left=False, policy=policy,
+                indexed_signatures=right_signatures,
+                probe_signatures=left_signatures,
             )
     pairs_after_signature = list(state.mapping)
 

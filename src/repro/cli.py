@@ -21,10 +21,12 @@ import json
 import sys
 
 from . import compare
+from .algorithms.options import Algorithm
 from .core.errors import ReproError
 from .io_.csvio import NULL_PREFIX, read_csv
 from .io_.serialization import result_to_dict
 from .mappings.constraints import MatchOptions
+from .parallel import compare_many
 from .runtime import Executor, FaultPlan, RetryPolicy, WorkerLimits
 
 PRESETS = {
@@ -52,11 +54,37 @@ def build_parser() -> argparse.ArgumentParser:
         "compare": "full comparison with match and stats",
         "similarity": "print only the similarity score",
         "diff": "structured version delta (updates / inserts / deletes)",
+        "compare-many": "batch comparison over a worker pool with caching",
     }
-    for command in ("compare", "similarity", "diff"):
+    for command in ("compare", "similarity", "diff", "compare-many"):
         sub = subparsers.add_parser(command, help=helps[command])
-        sub.add_argument("left", help="left CSV file")
-        sub.add_argument("right", help="right CSV file")
+        if command == "compare-many":
+            sub.add_argument(
+                "inputs", nargs="+", metavar="CSV",
+                help=(
+                    "with --baseline: variant files, each compared against "
+                    "the baseline; without: an even count consumed as "
+                    "consecutive (left, right) pairs"
+                ),
+            )
+            sub.add_argument(
+                "--baseline", default=None, metavar="CSV",
+                help="compare this file against every input file",
+            )
+            sub.add_argument(
+                "--jobs", type=int, default=1, metavar="N",
+                help=(
+                    "worker fan-out: 1 (default) runs in-process, N > 1 "
+                    "fans pairs over N fork workers"
+                ),
+            )
+            sub.add_argument(
+                "--json", action="store_true",
+                help="emit all results (and cache stats) as JSON",
+            )
+        else:
+            sub.add_argument("left", help="left CSV file")
+            sub.add_argument("right", help="right CSV file")
         sub.add_argument(
             "--algorithm",
             choices=("signature", "exact", "ground", "partial", "anytime"),
@@ -78,10 +106,31 @@ def build_parser() -> argparse.ArgumentParser:
             "--null-prefix", default=NULL_PREFIX,
             help=f"cell prefix marking labeled nulls (default {NULL_PREFIX!r})",
         )
-        sub.add_argument(
-            "--align-schemas", action="store_true",
-            help="pad differing columns with fresh nulls (Sec. 4.3)",
-        )
+        if command != "compare-many":
+            sub.add_argument(
+                "--align-schemas", action="store_true",
+                help="pad differing columns with fresh nulls (Sec. 4.3)",
+            )
+        if command == "compare-many":
+            sub.add_argument(
+                "--deadline", type=float, default=None, metavar="SECONDS",
+                help="per-pair wall-clock allowance",
+            )
+            sub.add_argument(
+                "--max-memory", type=float, default=None, metavar="MB",
+                help="address-space cap per worker, in MiB (forces workers)",
+            )
+            sub.add_argument(
+                "--retries", type=int, default=0, metavar="N",
+                help=(
+                    "retry a dead pair up to N times before degrading it "
+                    "to the signature floor"
+                ),
+            )
+            sub.add_argument(
+                "--fault-plan", default=None, metavar="SPEC",
+                help="inject deterministic faults into every pair's worker",
+            )
         if command in ("compare", "similarity"):
             sub.add_argument(
                 "--deadline", type=float, default=None, metavar="SECONDS",
@@ -183,10 +232,101 @@ def _build_executor(args, parser) -> Executor | None:
     )
 
 
+def _run_compare_many(args, parser) -> int:
+    """The ``compare-many`` command: batch comparison over the engine."""
+    read = lambda path, name: read_csv(  # noqa: E731
+        path, relation_name=args.relation,
+        null_prefix=args.null_prefix, name=name,
+    )
+    try:
+        if args.baseline is not None:
+            baseline = read(args.baseline, "baseline")
+            pairs = [(baseline, read(path, path)) for path in args.inputs]
+            labels = [(args.baseline, path) for path in args.inputs]
+        else:
+            if len(args.inputs) % 2:
+                parser.error(
+                    "compare-many without --baseline needs an even number "
+                    "of files (consecutive left/right pairs)"
+                )
+            pairs = [
+                (read(left, left), read(right, right))
+                for left, right in zip(args.inputs[::2], args.inputs[1::2])
+            ]
+            labels = list(zip(args.inputs[::2], args.inputs[1::2]))
+    except (OSError, ValueError, ReproError) as error:
+        parser.error(str(error))
+
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    plan = None
+    if args.fault_plan:
+        try:
+            plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as error:
+            parser.error(str(error))
+    limits = (
+        WorkerLimits(max_memory_mb=args.max_memory)
+        if args.max_memory is not None
+        else None
+    )
+
+    try:
+        results = compare_many(
+            pairs,
+            Algorithm(args.algorithm),
+            PRESETS[args.preset](lam=args.lam),
+            jobs=args.jobs,
+            deadline=args.deadline,
+            limits=limits,
+            retry=RetryPolicy(retries=args.retries),
+            fault_plan=plan,
+            out=lambda line: print(line, file=sys.stderr),
+        )
+    except ValueError as error:
+        parser.error(str(error))
+
+    cache_stats = results[0].stats["cache"] if results else {}
+    if args.json:
+        payload = {
+            "pairs": [
+                {
+                    "left": left,
+                    "right": right,
+                    **result_to_dict(result),
+                }
+                for (left, right), result in zip(labels, results)
+            ],
+            "cache": cache_stats,
+            "jobs": args.jobs,
+        }
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
+
+    for (left, right), result in zip(labels, results):
+        marker = "" if result.outcome.is_complete else f" {result.outcome.marker}"
+        print(
+            f"{left} vs {right}: {result.similarity:.6f} "
+            f"[{result.algorithm}]{marker}"
+        )
+    print(
+        f"cache: {cache_stats.get('hits', 0)} hits / "
+        f"{cache_stats.get('misses', 0)} misses "
+        f"(hit rate {cache_stats.get('hit_rate', 0.0):.2f})",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.command == "compare-many":
+        return _run_compare_many(args, parser)
 
     try:
         left = read_csv(
@@ -215,7 +355,7 @@ def main(argv: list[str] | None = None) -> int:
         result = compare(
             left,
             right,
-            algorithm=args.algorithm,
+            algorithm=Algorithm(args.algorithm),
             options=options,
             align_schemas=args.align_schemas,
             deadline=getattr(args, "deadline", None),

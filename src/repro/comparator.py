@@ -1,0 +1,142 @@
+"""The :class:`Comparator` session object: one configuration, many comparisons.
+
+:func:`repro.compare` is stateless — every call re-resolves options and
+re-prepares both instances.  A :class:`Comparator` instead fixes the
+algorithm, match options, and execution policy **once**, and keeps a
+content-addressed :class:`~repro.parallel.SignatureCache` alive across
+calls, so comparing one base instance against hundreds of variants (the
+paper's experiment shape) prepares and indexes each distinct instance a
+single time.
+
+    comparator = repro.Comparator(
+        algorithm=repro.ExactOptions(node_budget=50_000),
+        options=repro.MatchOptions.paper_default(),
+        jobs=4,
+    )
+    results = comparator.compare_many(pairs)
+    one = comparator.compare(left, right)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from .algorithms.options import Algorithm, AlgorithmOptions, resolve_algorithm
+from .algorithms.result import ComparisonResult
+from .core.instance import Instance
+from .mappings.constraints import MatchOptions
+from .parallel.cache import SignatureCache
+from .parallel.engine import compare_many
+from .runtime.faults import FaultPlan
+from .runtime.isolation import WorkerLimits
+from .runtime.retry import RetryPolicy
+
+
+class Comparator:
+    """A configured comparison session with a shared signature cache.
+
+    Parameters
+    ----------
+    algorithm:
+        An :class:`~repro.Algorithm` member, a typed options instance
+        (e.g. :class:`~repro.ExactOptions`), or ``None`` for signature
+        defaults.  Legacy strings are accepted with a
+        ``DeprecationWarning``.
+    options:
+        Match constraints and λ applied to every comparison.
+    jobs:
+        Worker fan-out for :meth:`compare_many` (``1`` = in-process
+        serial); :meth:`compare` always runs in-process.
+    cache:
+        A cache to share with other sessions; a private
+        :class:`SignatureCache` is created when omitted.
+    deadline:
+        Per-pair cooperative deadline in seconds.
+    limits / retry / fault_plan:
+        Worker-path execution policy, as in
+        :func:`repro.parallel.compare_many`.
+    out:
+        Optional sink for retry/progress lines.
+
+    Examples
+    --------
+    >>> import repro
+    >>> comparator = repro.Comparator(algorithm=repro.Algorithm.EXACT)
+    >>> a = repro.Instance.from_rows("R", ("A",), [("x",)])
+    >>> b = repro.Instance.from_rows("R", ("A",), [("y",)])
+    >>> comparator.compare(a, b).similarity
+    0.0
+    >>> comparator.cache.misses
+    2
+    """
+
+    def __init__(
+        self,
+        algorithm: Algorithm | AlgorithmOptions | str | None = None,
+        options: MatchOptions | None = None,
+        *,
+        jobs: int = 1,
+        cache: SignatureCache | None = None,
+        deadline: float | None = None,
+        refine: bool = False,
+        limits: WorkerLimits | None = None,
+        retry: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        out: Callable[[str], None] | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.spec = resolve_algorithm(algorithm)
+        self.options = options
+        self.jobs = jobs
+        self.cache = cache if cache is not None else SignatureCache()
+        self.deadline = deadline
+        self.refine = refine
+        self.limits = limits
+        self.retry = retry
+        self.fault_plan = fault_plan
+        self.out = out
+
+    def compare(self, left: Instance, right: Instance) -> ComparisonResult:
+        """Compare one pair in-process, through the session cache."""
+        [result] = self.compare_many([(left, right)], jobs=1)
+        return result
+
+    def compare_many(
+        self,
+        pairs: Iterable[tuple[Instance, Instance]],
+        *,
+        jobs: int | None = None,
+        fault_pairs: Sequence[int] | None = None,
+    ) -> list[ComparisonResult]:
+        """Compare every pair with the session configuration; input order.
+
+        ``jobs`` overrides the session fan-out for this batch.
+        """
+        return compare_many(
+            pairs,
+            self.spec,
+            self.options,
+            jobs=self.jobs if jobs is None else jobs,
+            cache=self.cache,
+            deadline=self.deadline,
+            refine=self.refine,
+            limits=self.limits,
+            retry=self.retry,
+            fault_plan=self.fault_plan,
+            fault_pairs=fault_pairs,
+            out=self.out,
+        )
+
+    def cache_stats(self) -> dict:
+        """The session cache's counters (entries/hits/misses/hit_rate)."""
+        return self.cache.stats()
+
+    def __repr__(self) -> str:
+        return (
+            f"Comparator(algorithm={self.spec.algorithm.value!r}, "
+            f"jobs={self.jobs}, cache={self.cache.stats()})"
+        )
+
+
+__all__ = ["Comparator"]

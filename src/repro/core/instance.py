@@ -469,6 +469,37 @@ class Instance:
             )
 
 
+def prepare_side(instance: Instance, side: str) -> Instance:
+    """Canonical prepared form of one comparison side.
+
+    Like :func:`prepare_for_comparison`, but each side is prepared
+    *independently*: tuple ids become ``l1, l2, ...`` / ``r1, r2, ...`` and
+    **every** labeled null is renamed to ``NL1, NL2, ...`` / ``NR1, NR2,
+    ...`` in first-occurrence order.  Because the two sides draw from
+    disjoint id and label spaces, any instance prepared as ``"left"`` is
+    comparable with any instance prepared as ``"right"`` without looking at
+    the other side — which is what lets the parallel engine cache one
+    prepared copy (and its signature index) per instance and reuse it
+    across every pair it participates in.
+
+    Renaming nulls and re-identifying tuples are semantics-preserving
+    (paper Sec. 4); the prepared instance is isomorphic to the input.
+    """
+    if side not in ("left", "right"):
+        raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+    id_prefix, null_prefix = ("l", "NL") if side == "left" else ("r", "NR")
+    prepared = instance.with_fresh_ids(id_prefix)
+    renaming: dict[LabeledNull, LabeledNull] = {}
+    counter = itertools.count(1)
+    for t in prepared.tuples():
+        for value in t.values:
+            if is_null(value) and value not in renaming:
+                renaming[value] = LabeledNull(f"{null_prefix}{next(counter)}")
+    if renaming:
+        prepared = prepared.map_values(dict(renaming))
+    return prepared
+
+
 def prepare_for_comparison(left: Instance, right: Instance) -> tuple[Instance, Instance]:
     """Return copies of ``left``/``right`` satisfying comparison preconditions.
 

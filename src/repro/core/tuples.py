@@ -158,6 +158,12 @@ class Tuple:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Pickle by construction arguments: ``_hash`` caches process-local
+        # string hashes and must be recomputed when a tuple is shipped to or
+        # from a worker process.
+        return (Tuple, (self.tuple_id, self.relation, self.values))
+
     def __repr__(self) -> str:
         rendered = ", ".join(
             f"{a}={v.label if is_null(v) else v!r}" for a, v in self.items()

@@ -64,6 +64,13 @@ class LabeledNull:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Pickle by label only: the cached ``_hash`` is derived from the
+        # process-local string hash (PYTHONHASHSEED) and must be recomputed
+        # on unpickle, or nulls shipped across worker processes would break
+        # dictionary lookups in the receiving process.
+        return (LabeledNull, (self.label,))
+
     def __repr__(self) -> str:
         return f"Null({self.label})"
 

@@ -54,6 +54,11 @@ def main(argv: list[str] | None = None) -> int:
         help="retry a dead exact search up to N times with exponential "
              "backoff before recording the † cell",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan independent experiment cells over N fork workers "
+             "(experiments that support it)",
+    )
     args = parser.parse_args(argv)
 
     executor = None
@@ -87,6 +92,11 @@ def main(argv: list[str] | None = None) -> int:
                     f"[{name}: --isolate/--max-memory/--retries not "
                     "supported; ignored]"
                 )
+        if args.jobs > 1:
+            if "jobs" in parameters:
+                kwargs["jobs"] = args.jobs
+            else:
+                print(f"[{name}: --jobs not supported; ignored]")
         started = time.perf_counter()
         runner(**kwargs)
         elapsed = time.perf_counter() - started

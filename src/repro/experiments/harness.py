@@ -174,12 +174,66 @@ class CellRun:
         return self.row is not None
 
 
+def _cell_job(thunk: Callable[[], dict]) -> dict:
+    """Worker-side cell runner for the parallel ``run_cells`` path.
+
+    Re-raises :class:`~repro.core.errors.ReproError` as a plain
+    ``RuntimeError`` so the worker classifies it as a retryable cell
+    failure (``crashed``) rather than a batch-fatal error — preserving the
+    serial path's partial-tables-beat-lost-tables semantics.
+    """
+    from ..core.errors import ReproError
+
+    try:
+        return thunk()
+    except ReproError as error:
+        raise RuntimeError(f"{type(error).__name__}: {error}") from None
+
+
+def _run_cells_pooled(
+    cells: list[tuple[str, Callable[[], dict]]],
+    out: Out,
+    retries: int,
+    policy,
+    jobs: int,
+) -> list[CellRun]:
+    """Fan cell thunks over fork workers; same CellRun contract as serial.
+
+    Fork inheritance means the thunks (closures over instances and
+    options) never cross a pipe — only the returned row dictionaries do.
+    """
+    from ..parallel.pool import PoolTask, WorkerPool
+
+    pool = WorkerPool(jobs=jobs, retry=policy, out=out)
+    tasks = [
+        PoolTask(index=i, args=(thunk,)) for i, (_, thunk) in enumerate(cells)
+    ]
+    outcomes = pool.run(_cell_job, tasks)
+    runs: list[CellRun] = []
+    for (key, _), outcome in zip(cells, outcomes):
+        run = CellRun(
+            key=key,
+            attempts=len(outcome.records),
+            elapsed_seconds=sum(
+                record.elapsed_seconds or 0.0 for record in outcome.records
+            ),
+        )
+        if outcome.status == "ok":
+            run.row = outcome.payload
+        else:
+            run.error = str(outcome.payload)
+            out(f"[{key}] FAILED after {run.attempts} attempt(s): {run.error}")
+        runs.append(run)
+    return runs
+
+
 def run_cells(
     cells: Iterable[tuple[str, Callable[[], dict]]],
     out: Out = print,
     retries: int = 1,
     policy: "RetryPolicy | None" = None,
     sleep: Callable[[float], None] | None = None,
+    jobs: int = 1,
 ) -> list[CellRun]:
     """Run experiment cells with per-cell retry, backoff, and checkpointing.
 
@@ -191,6 +245,11 @@ def run_cells(
     remaining cells continue: partial tables beat lost tables.  Deadline-hit
     cells do not raise at all; their row simply carries a non-complete
     outcome and renders with the † marker.
+
+    ``jobs > 1`` fans the cells over that many fork workers
+    (:class:`~repro.parallel.pool.WorkerPool`) with the same retry and
+    checkpoint semantics; results keep the input order.  Worker-path error
+    strings carry the worker's failure classification prefix.
 
     ``KeyboardInterrupt``, ``SystemExit``, and
     :class:`~repro.runtime.OperationCancelled` are *never* checkpointed as
@@ -204,6 +263,8 @@ def run_cells(
 
     if policy is None:
         policy = RetryPolicy(retries=max(0, retries))
+    if jobs > 1:
+        return _run_cells_pooled(list(cells), out, retries, policy, jobs)
     if sleep is None:
         sleep = _time.sleep
     rng = _random.Random(policy.seed)

@@ -156,6 +156,7 @@ def run(
     out: Out = print,
     deadline: float | None = None,
     executor=None,
+    jobs: int = 1,
 ) -> list[dict]:
     """Regenerate Table 2 at the requested scale.
 
@@ -164,7 +165,8 @@ def run(
     run through :func:`~repro.experiments.harness.run_cells`, so one
     crashing cell is recorded and retried rather than losing the table.
     ``executor`` adds worker isolation and retry/backoff to the exact
-    searches (see :func:`run_scenario`).
+    searches (see :func:`run_scenario`); ``jobs > 1`` fans independent
+    cells over that many fork workers.
     """
     options = MatchOptions.versioning()
     sizes = LADDER.for_scale(scale)
@@ -187,6 +189,7 @@ def run(
             for size in sizes
         ],
         out=out,
+        jobs=jobs,
     )
     rows = [run.row for run in runs if run.ok]
     emit_table(

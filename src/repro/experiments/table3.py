@@ -33,11 +33,12 @@ def run(
     out: Out = print,
     deadline: float | None = None,
     executor=None,
+    jobs: int = 1,
 ) -> list[dict]:
     """Regenerate Table 3 at the requested scale.
 
-    Same checkpoint/retry, per-cell ``deadline``, and ``executor``
-    (worker isolation + retry/backoff) semantics as
+    Same checkpoint/retry, per-cell ``deadline``, ``executor`` (worker
+    isolation + retry/backoff), and ``jobs`` (parallel cells) semantics as
     :func:`repro.experiments.table2.run`.
     """
     options = MatchOptions.general()
@@ -66,6 +67,7 @@ def run(
             for size in sizes
         ],
         out=out,
+        jobs=jobs,
     )
     rows = [run.row for run in runs if run.ok]
     emit_table(

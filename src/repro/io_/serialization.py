@@ -145,26 +145,53 @@ def instance_from_json(text: str) -> Instance:
 
 
 def match_to_dict(match: InstanceMatch) -> dict:
-    """Encode an instance match (value mappings + tuple mapping)."""
+    """Encode an instance match (value mappings + tuple mapping).
+
+    Value-mapping entries are emitted sorted by null label and tuple pairs in
+    sorted order, so content-equal matches always encode to the same JSON —
+    the value mappings iterate in assignment order, which depends on the
+    algorithm's search path, not the match's content.
+    """
     return {
         "left": match.left.name,
         "right": match.right.name,
         "h_l": {
-            null.label: value_to_json(image) for null, image in match.h_l.items()
+            null.label: value_to_json(image)
+            for null, image in sorted(match.h_l.items(), key=lambda kv: kv[0].label)
         },
         "h_r": {
-            null.label: value_to_json(image) for null, image in match.h_r.items()
+            null.label: value_to_json(image)
+            for null, image in sorted(match.h_r.items(), key=lambda kv: kv[0].label)
         },
         "pairs": sorted(match.m),
     }
 
 
+def _json_safe(value) -> bool:
+    """Whether ``value`` is directly JSON-encodable (scalars + containers)."""
+    if value is None or isinstance(value, (int, float, str, bool)):
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(_json_safe(item) for item in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(key, str) and _json_safe(item)
+            for key, item in value.items()
+        )
+    return False
+
+
 def result_to_dict(result: ComparisonResult) -> dict:
-    """Encode a comparison result (scores, stats, and the match)."""
+    """Encode a comparison result (scores, stats, and the match).
+
+    Stats entries that are not JSON-encodable (algorithm-internal objects)
+    are dropped; JSON-ready containers like the batch engine's ``cache``
+    dict and the executor's ``fault_log`` list pass through.
+    """
     stats = {
         key: value
         for key, value in result.stats.items()
-        if isinstance(value, (int, float, str, bool))
+        if _json_safe(value)
     }
     return {
         "similarity": result.similarity,

@@ -138,6 +138,13 @@ class TupleMapping:
             return NotImplemented
         return self._pairs == other._pairs
 
+    def __reduce__(self):
+        # Canonical pickled form: pairs in sorted order.  The internal set has
+        # an arbitrary, insertion-dependent iteration order, so two
+        # content-equal mappings would otherwise serialize to different bytes
+        # — breaking the cache-identity guarantees of the parallel engine.
+        return (TupleMapping, (sorted(self._pairs),))
+
     def __repr__(self) -> str:
         sample = sorted(self._pairs)[:4]
         suffix = ", ..." if len(self._pairs) > 4 else ""

@@ -100,6 +100,13 @@ class ValueMapping:
             return NotImplemented
         return self._assignments == other._assignments
 
+    def __reduce__(self):
+        # Canonical pickled form: assignments sorted by null label, so
+        # content-equal mappings serialize to identical bytes regardless of
+        # the order in which assignments were made.
+        ordered = sorted(self._assignments.items(), key=lambda kv: kv[0].label)
+        return (ValueMapping, (dict(ordered),))
+
     def __repr__(self) -> str:
         parts = ", ".join(
             f"{n.label}→{v.label if is_null(v) else v!r}"

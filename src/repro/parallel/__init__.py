@@ -1,0 +1,38 @@
+"""Parallel batch-comparison engine with content-addressed caching.
+
+The experiment grids of the paper (Tables 2–3, 7) compare hundreds of
+instance pairs drawn from a much smaller set of distinct instances.  This
+package makes that shape cheap and robust:
+
+* :mod:`~repro.parallel.cache` — fingerprint instances by content, prepare
+  each one once per side, and reuse its Alg. 4 signature index across every
+  pair it participates in (LRU, hit/miss stats in ``result.stats``);
+* :mod:`~repro.parallel.pool` — a single-threaded scheduler fanning pairs
+  over fork workers with the PR 2 guarantees intact: hard memory caps, wall
+  kills, classified deaths, deterministic fault injection, and per-pair
+  retry/degrade;
+* :mod:`~repro.parallel.engine` — :func:`compare_many`, the batch front
+  door used by :class:`repro.Comparator`, the ``repro compare-many`` CLI,
+  and the experiment harness.
+
+``jobs=1`` runs the identical job function in-process on the identical
+prepared instances, so serial and parallel batches agree bit-for-bit on
+scores, matches, and outcomes.
+
+See ``docs/PARALLEL.md`` for the design.
+"""
+
+from .cache import PreparedSide, SignatureCache, instance_fingerprint
+from .engine import compare_many, compare_pair_job
+from .pool import PoolTask, TaskOutcome, WorkerPool
+
+__all__ = [
+    "PoolTask",
+    "PreparedSide",
+    "SignatureCache",
+    "TaskOutcome",
+    "WorkerPool",
+    "compare_many",
+    "compare_pair_job",
+    "instance_fingerprint",
+]

@@ -49,12 +49,16 @@ from .faults import (
 )
 from .isolation import (
     JOB_REGISTRY,
+    STATUS_OUTCOMES,
     WorkerFailure,
+    WorkerHandle,
     WorkerLimits,
+    reap_worker,
     register_job,
     resolve_job,
     run_guarded,
     run_isolated,
+    start_worker,
 )
 from .outcome import Outcome
 from .retry import (
@@ -91,14 +95,18 @@ __all__ = [
     "OperationCancelled",
     "Outcome",
     "RetryPolicy",
+    "STATUS_OUTCOMES",
     "WorkerFailure",
+    "WorkerHandle",
     "WorkerLimits",
     "classify_failure",
     "compare_anytime",
     "fault_checkpoint",
+    "reap_worker",
     "register_job",
     "resolve_control",
     "resolve_job",
     "run_guarded",
     "run_isolated",
+    "start_worker",
 ]

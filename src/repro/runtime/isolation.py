@@ -33,6 +33,7 @@ from __future__ import annotations
 import importlib
 import os
 import sys
+import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
@@ -52,6 +53,7 @@ JOB_REGISTRY: dict[str, str] = {
     "chase": "repro.dataexchange.chase:chase",
     "compute_core": "repro.homomorphism.core:compute_core",
     "find_homomorphism": "repro.homomorphism.homomorphism:find_homomorphism",
+    "compare_pair": "repro.parallel.engine:compare_pair_job",
 }
 """Registered job names → ``module:callable`` import paths.
 
@@ -218,6 +220,132 @@ def _worker_main(
             pass
 
 
+class WorkerHandle:
+    """A running worker subprocess started by :func:`start_worker`.
+
+    Exposes the receiver :class:`~multiprocessing.connection.Connection`
+    (whose readiness — a report *or* pipe EOF on worker death — is what a
+    scheduler waits on, e.g. via ``multiprocessing.connection.wait``) and
+    the absolute wall-clock deadline derived from the worker's limits.
+    """
+
+    __slots__ = ("process", "receiver", "limits", "deadline")
+
+    def __init__(self, process, receiver, limits: WorkerLimits) -> None:
+        self.process = process
+        self.receiver = receiver
+        self.limits = limits
+        self.deadline = (
+            None
+            if limits.wall_timeout is None
+            else time.monotonic() + limits.wall_timeout
+        )
+
+    def remaining(self) -> float | None:
+        """Seconds until the wall kill is due (``None`` = no wall limit)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - time.monotonic()
+
+
+def start_worker(
+    job: str | Callable,
+    args: tuple = (),
+    kwargs: dict | None = None,
+    limits: WorkerLimits | None = None,
+    plan: FaultPlan | None = None,
+) -> WorkerHandle:
+    """Fork a worker subprocess running ``job``; returns without blocking.
+
+    The returned :class:`WorkerHandle` must eventually be passed to
+    :func:`reap_worker` (once its receiver is readable, or its wall
+    deadline has passed) to collect the ``(status, payload)`` pair and
+    release the process.  :func:`run_isolated` is the blocking composition
+    of the two; the parallel engine's pool multiplexes many handles.
+    """
+    import multiprocessing
+
+    limits = limits or WorkerLimits()
+    kwargs = kwargs or {}
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        ctx = multiprocessing.get_context("spawn")
+        if callable(job):
+            raise ReproError(
+                "isolated execution of bare callables requires the 'fork' "
+                "start method; register the job and submit it by name"
+            ) from None
+    receiver, sender = ctx.Pipe(duplex=False)
+    process = ctx.Process(
+        target=_worker_main,
+        args=(sender, job, args, kwargs, limits, plan),
+        daemon=True,
+    )
+    process.start()
+    sender.close()
+    return WorkerHandle(process, receiver, limits)
+
+
+def reap_worker(
+    handle: WorkerHandle, timed_out: bool = False
+) -> tuple[str, Any]:
+    """Collect a worker's ``(status, payload)``; never raises for deaths.
+
+    Call with ``timed_out=True`` when the worker's wall deadline passed
+    without its receiver becoming readable — the worker is then terminated
+    (escalating to ``kill``) and reported as ``("killed", ...)``.
+    Otherwise the receiver must be readable: either the worker's report or
+    the pipe EOF left by its death, which is classified by exit code.
+    """
+    process, receiver = handle.process, handle.receiver
+    limits = handle.limits
+
+    if timed_out:
+        # Wall-clock overrun: escalate terminate → kill.  (A worker that
+        # merely *died* does not land here: its pipe EOF wakes the poll, so
+        # the death is classified by exit code below.)
+        receiver.close()
+        process.terminate()
+        process.join(1.0)
+        if process.is_alive():  # pragma: no cover - stuck in kernel
+            process.kill()
+            process.join(1.0)
+        return (
+            "killed",
+            f"worker exceeded wall timeout of {limits.wall_timeout}s",
+        )
+
+    message: tuple[str, Any] | None = None
+    try:
+        if receiver.poll(0):
+            message = receiver.recv()
+    except (EOFError, OSError):
+        message = None  # worker died before/while reporting
+    finally:
+        receiver.close()
+
+    process.join(5.0)
+    if message is not None:
+        return message
+    code = process.exitcode
+    if code is not None and code < 0 and limits.max_memory_bytes is not None:
+        # Died on a signal with a memory cap in force: overwhelmingly the
+        # kernel OOM killer / allocation failure the cap is there to cause.
+        return ("oom", f"worker killed by signal {-code} under memory cap")
+    if code is not None and code < 0:
+        return ("crashed", f"worker killed by signal {-code}")
+    if (
+        code not in (0, _CRASH_EXIT_CODE)
+        and limits.max_memory_bytes is not None
+    ):
+        # A nonzero exit without a report under a memory cap: the cap hit
+        # before the worker's own MemoryError handler could run (e.g.
+        # during interpreter bootstrap).
+        return ("oom", f"worker exited with status {code} under memory cap")
+    return ("crashed", f"worker exited with status {code} without a result")
+
+
 def run_isolated(
     job: str | Callable,
     args: tuple = (),
@@ -245,73 +373,13 @@ def run_isolated(
     >>> status, value
     ('ok', 3)
     """
-    import multiprocessing
-
     limits = limits or WorkerLimits()
-    kwargs = kwargs or {}
+    handle = start_worker(job, args=args, kwargs=kwargs, limits=limits, plan=plan)
     try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX
-        ctx = multiprocessing.get_context("spawn")
-        if callable(job):
-            raise ReproError(
-                "isolated execution of bare callables requires the 'fork' "
-                "start method; register the job and submit it by name"
-            ) from None
-    receiver, sender = ctx.Pipe(duplex=False)
-    process = ctx.Process(
-        target=_worker_main,
-        args=(sender, job, args, kwargs, limits, plan),
-        daemon=True,
-    )
-    process.start()
-    sender.close()
-
-    message: tuple[str, Any] | None = None
-    timed_out = False
-    try:
-        if receiver.poll(limits.wall_timeout):
-            message = receiver.recv()
-        else:
-            timed_out = True
-    except (EOFError, OSError):
-        message = None  # worker died before/while reporting
-    finally:
-        receiver.close()
-
-    if timed_out:
-        # Wall-clock overrun: escalate terminate → kill.  (A worker that
-        # merely *died* does not land here: its pipe EOF wakes the poll, so
-        # the death is classified by exit code below.)
-        process.terminate()
-        process.join(1.0)
-        if process.is_alive():  # pragma: no cover - stuck in kernel
-            process.kill()
-            process.join(1.0)
-        return (
-            "killed",
-            f"worker exceeded wall timeout of {limits.wall_timeout}s",
-        )
-
-    process.join(5.0)
-    if message is not None:
-        return message
-    code = process.exitcode
-    if code is not None and code < 0 and limits.max_memory_bytes is not None:
-        # Died on a signal with a memory cap in force: overwhelmingly the
-        # kernel OOM killer / allocation failure the cap is there to cause.
-        return ("oom", f"worker killed by signal {-code} under memory cap")
-    if code is not None and code < 0:
-        return ("crashed", f"worker killed by signal {-code}")
-    if (
-        code not in (0, _CRASH_EXIT_CODE)
-        and limits.max_memory_bytes is not None
-    ):
-        # A nonzero exit without a report under a memory cap: the cap hit
-        # before the worker's own MemoryError handler could run (e.g.
-        # during interpreter bootstrap).
-        return ("oom", f"worker exited with status {code} under memory cap")
-    return ("crashed", f"worker exited with status {code} without a result")
+        ready = handle.receiver.poll(limits.wall_timeout)
+    except (EOFError, OSError):  # pragma: no cover - poll on a broken pipe
+        ready = True  # reap_worker classifies the death by exit code
+    return reap_worker(handle, timed_out=not ready)
 
 
 def run_guarded(

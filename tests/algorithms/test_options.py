@@ -1,0 +1,117 @@
+"""Typed algorithm selection (algorithms.options) and its legacy shims."""
+
+import pytest
+
+import repro
+from repro import (
+    Algorithm,
+    AnytimeOptions,
+    ExactOptions,
+    GroundOptions,
+    Instance,
+    LabeledNull,
+    PartialOptions,
+    SignatureOptions,
+)
+from repro.algorithms.options import algorithm_kwargs, resolve_algorithm
+
+
+@pytest.fixture()
+def instances():
+    N1, N2 = LabeledNull("N1"), LabeledNull("N2")
+    left = Instance.from_rows(
+        "R", ("A", "B"), [("a", 1), ("b", N1)], id_prefix="l"
+    )
+    right = Instance.from_rows(
+        "R", ("A", "B"), [("a", 1), ("b", N2)], id_prefix="r"
+    )
+    return left, right
+
+
+class TestAlgorithmEnum:
+    def test_members_cover_the_legacy_names(self):
+        assert {member.value for member in Algorithm} == {
+            "signature", "exact", "ground", "partial", "anytime",
+        }
+
+    def test_each_member_knows_its_options_type(self):
+        assert Algorithm.SIGNATURE.options_type() is SignatureOptions
+        assert Algorithm.EXACT.options_type() is ExactOptions
+        assert Algorithm.GROUND.options_type() is GroundOptions
+        assert Algorithm.PARTIAL.options_type() is PartialOptions
+        assert Algorithm.ANYTIME.options_type() is AnytimeOptions
+
+    def test_default_options_round_trip(self):
+        for member in Algorithm:
+            spec = member.default_options()
+            assert spec.algorithm is member
+
+
+class TestResolveAlgorithm:
+    def test_none_resolves_to_signature_defaults(self):
+        spec = resolve_algorithm(None)
+        assert isinstance(spec, SignatureOptions)
+        assert spec.align_preference is True
+
+    def test_enum_member_expands_to_defaults(self):
+        spec = resolve_algorithm(Algorithm.EXACT)
+        assert isinstance(spec, ExactOptions)
+        assert spec.prune is True
+
+    def test_typed_options_pass_through_unchanged(self):
+        given = ExactOptions(node_budget=7)
+        assert resolve_algorithm(given) is given
+
+    def test_typed_options_reject_legacy_kwargs(self):
+        with pytest.raises(TypeError, match="legacy keyword"):
+            resolve_algorithm(ExactOptions(), {"node_budget": 7})
+
+    def test_legacy_string_warns_and_resolves(self):
+        with pytest.warns(DeprecationWarning, match="Algorithm.EXACT"):
+            spec = resolve_algorithm("exact")
+        assert isinstance(spec, ExactOptions)
+
+    def test_legacy_kwargs_warn_and_land_on_the_options(self):
+        with pytest.warns(DeprecationWarning):
+            spec = resolve_algorithm("exact", {"node_budget": 3})
+        assert spec.node_budget == 3
+
+    def test_unknown_string_raises(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            resolve_algorithm("quantum")
+
+    def test_unknown_kwarg_names_the_options_class(self):
+        with pytest.raises(TypeError, match="ExactOptions"):
+            resolve_algorithm(Algorithm.EXACT, {"warp_factor": 9})
+
+    def test_algorithm_kwargs_extracts_the_knobs(self):
+        kwargs = algorithm_kwargs(ExactOptions(node_budget=5, prune=False))
+        assert kwargs == {"node_budget": 5, "prune": False}
+
+
+class TestCompareWithTypedOptions:
+    def test_enum_and_string_agree(self, instances):
+        left, right = instances
+        typed = repro.compare(left, right, Algorithm.EXACT)
+        with pytest.warns(DeprecationWarning):
+            legacy = repro.compare(left, right, "exact")
+        assert typed.similarity == legacy.similarity
+        assert typed.algorithm == legacy.algorithm
+
+    def test_options_instance_carries_its_knobs(self, instances):
+        left, right = instances
+        result = repro.compare(left, right, ExactOptions(node_budget=1))
+        # The budget check is amortized, so allow a node of slack.
+        assert result.stats["nodes_explored"] <= 2
+        assert not result.outcome.is_complete
+
+    def test_typed_anytime_runs_the_ladder(self, instances):
+        left, right = instances
+        result = repro.compare(left, right, Algorithm.ANYTIME)
+        assert result.algorithm.startswith("anytime")
+        assert result.similarity == 1.0
+
+    def test_ground_rejects_deadline(self, instances):
+        left, right = instances
+        with pytest.raises(ValueError, match="not supported"):
+            repro.compare(left, right, Algorithm.GROUND, deadline=1.0)

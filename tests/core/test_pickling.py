@@ -1,0 +1,94 @@
+"""Deterministic pickling of the result object graph.
+
+The parallel engine ships :class:`ComparisonResult` objects across worker
+pipes and the cache-identity tests compare pickled bytes, so pickling must
+be (a) correct — values, hashes, and mapping semantics survive the round
+trip — and (b) canonical — two equal objects pickle to identical bytes
+regardless of construction order or the per-process hash salt.
+"""
+
+import pickle
+
+import repro
+from repro import (
+    Algorithm,
+    ComparisonResult,
+    Instance,
+    LabeledNull,
+    RelationSchema,
+    Tuple,
+    TupleMapping,
+    ValueMapping,
+)
+
+
+class TestValuePickling:
+    def test_labeled_null_round_trip(self):
+        null = LabeledNull("N1")
+        clone = pickle.loads(pickle.dumps(null))
+        assert clone == null
+        assert hash(clone) == hash(null)
+        assert {clone} == {null}
+
+    def test_equal_nulls_pickle_identically(self):
+        assert pickle.dumps(LabeledNull("N1")) == pickle.dumps(
+            LabeledNull("N1")
+        )
+
+    def test_tuple_round_trip(self):
+        schema = RelationSchema("R", ("A", "B", "C"))
+        original = Tuple("t1", schema, ("a", LabeledNull("N1"), 3))
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone == original
+        assert hash(clone) == hash(original)
+        assert clone.values[1] == LabeledNull("N1")
+
+
+class TestMappingPickling:
+    def test_tuple_mapping_round_trip(self):
+        mapping = TupleMapping([("l1", "r1"), ("l2", "r2")])
+        clone = pickle.loads(pickle.dumps(mapping))
+        assert set(clone) == set(mapping)
+
+    def test_tuple_mapping_bytes_ignore_insertion_order(self):
+        forward = TupleMapping([("l1", "r1"), ("l2", "r2")])
+        backward = TupleMapping([("l2", "r2"), ("l1", "r1")])
+        assert pickle.dumps(forward) == pickle.dumps(backward)
+
+    def test_value_mapping_round_trip(self):
+        mapping = ValueMapping({LabeledNull("N1"): "a", LabeledNull("N2"): 3})
+        clone = pickle.loads(pickle.dumps(mapping))
+        assert clone == mapping
+
+    def test_value_mapping_bytes_ignore_insertion_order(self):
+        first = ValueMapping({LabeledNull("N1"): "a", LabeledNull("N2"): "b"})
+        second = ValueMapping({LabeledNull("N2"): "b", LabeledNull("N1"): "a"})
+        assert pickle.dumps(first) == pickle.dumps(second)
+
+
+class TestResultPickling:
+    @staticmethod
+    def result():
+        N1 = LabeledNull("N1")
+        left = Instance.from_rows("R", ("A", "B"), [("a", 1), ("b", N1)])
+        right = Instance.from_rows("R", ("A", "B"), [("a", 1), ("b", 2)])
+        return repro.compare(left, right, Algorithm.EXACT)
+
+    def test_round_trip_preserves_the_result(self):
+        original = self.result()
+        clone = pickle.loads(pickle.dumps(original))
+        assert isinstance(clone, ComparisonResult)
+        assert clone.similarity == original.similarity
+        assert clone.algorithm == original.algorithm
+        assert clone.outcome is original.outcome
+        assert set(clone.match.m) == set(original.match.m)
+
+    def test_unpickled_match_is_usable(self):
+        clone = pickle.loads(pickle.dumps(self.result()))
+        assert clone.statistics().matched_pairs == 2
+        assert clone.constraint_violations() == []
+
+    def test_identical_runs_pickle_identically(self):
+        assert pickle.dumps(self.result().match) == pickle.dumps(
+            self.result().match
+        )

@@ -1,0 +1,139 @@
+"""Content-addressed signature cache (parallel.cache)."""
+
+import pytest
+
+from repro import Instance, LabeledNull
+from repro.core.values import is_null
+from repro.parallel.cache import (
+    PreparedSide,
+    SignatureCache,
+    instance_fingerprint,
+)
+
+
+def make_instance(rows=(("a", 1), ("b", 2)), name="I", id_prefix="t"):
+    return Instance.from_rows(
+        "R", ("A", "B"), list(rows), name=name, id_prefix=id_prefix
+    )
+
+
+class TestInstanceFingerprint:
+    def test_identical_content_same_fingerprint(self):
+        assert instance_fingerprint(make_instance()) == instance_fingerprint(
+            make_instance()
+        )
+
+    def test_tuple_ids_do_not_matter(self):
+        a = make_instance(id_prefix="x")
+        b = make_instance(id_prefix="y")
+        assert instance_fingerprint(a) == instance_fingerprint(b)
+
+    def test_null_labels_do_not_matter(self):
+        a = make_instance(rows=[("a", LabeledNull("N1")), (LabeledNull("N2"), 2)])
+        b = make_instance(rows=[("a", LabeledNull("Zz")), (LabeledNull("Qq"), 2)])
+        assert instance_fingerprint(a) == instance_fingerprint(b)
+
+    def test_null_sharing_structure_does_matter(self):
+        shared = LabeledNull("N1")
+        a = make_instance(rows=[("a", shared), (shared, 2)])
+        b = make_instance(
+            rows=[("a", LabeledNull("N1")), (LabeledNull("N2"), 2)]
+        )
+        assert instance_fingerprint(a) != instance_fingerprint(b)
+
+    def test_values_matter(self):
+        assert instance_fingerprint(make_instance()) != instance_fingerprint(
+            make_instance(rows=(("a", 1), ("b", 3)))
+        )
+
+    def test_value_types_matter(self):
+        a = make_instance(rows=[("1", 2)])
+        b = make_instance(rows=[(1, 2)])
+        assert instance_fingerprint(a) != instance_fingerprint(b)
+
+    def test_instance_name_matters(self):
+        assert instance_fingerprint(
+            make_instance(name="I")
+        ) != instance_fingerprint(make_instance(name="J"))
+
+
+class TestSignatureCache:
+    def test_miss_then_hit_returns_the_same_entry(self):
+        cache = SignatureCache()
+        instance = make_instance()
+        first = cache.get(instance, "left")
+        second = cache.get(instance, "left")
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_content_equal_instances_share_an_entry(self):
+        cache = SignatureCache()
+        first = cache.get(make_instance(id_prefix="x"), "left")
+        second = cache.get(make_instance(id_prefix="y"), "left")
+        assert first is second
+
+    def test_sides_are_distinct_entries(self):
+        cache = SignatureCache()
+        instance = make_instance()
+        left = cache.get(instance, "left")
+        right = cache.get(instance, "right")
+        assert left is not right
+        assert len(cache) == 2
+
+    def test_prepared_sides_are_disjoint_by_construction(self):
+        cache = SignatureCache()
+        instance = make_instance(rows=[("a", LabeledNull("N1"))])
+        left = cache.get(instance, "left").instance
+        right = cache.get(instance, "right").instance
+        left_ids = {t.tuple_id for t in left.tuples()}
+        right_ids = {t.tuple_id for t in right.tuples()}
+        assert not (left_ids & right_ids)
+        left_nulls = {
+            v.label for t in left.tuples() for v in t.values if is_null(v)
+        }
+        right_nulls = {
+            v.label for t in right.tuples() for v in t.values if is_null(v)
+        }
+        assert left_nulls == {"NL1"}
+        assert right_nulls == {"NR1"}
+
+    def test_entry_carries_a_matching_index(self):
+        cache = SignatureCache()
+        entry = cache.get(make_instance(), "left")
+        assert isinstance(entry, PreparedSide)
+        assert entry.index.matches(entry.instance)
+
+    def test_lru_eviction(self):
+        cache = SignatureCache(max_entries=2)
+        a, b, c = (
+            make_instance(rows=((value, 1),)) for value in ("a", "b", "c")
+        )
+        cache.get(a, "left")
+        cache.get(b, "left")
+        cache.get(a, "left")  # refresh a: b is now the LRU entry
+        cache.get(c, "left")  # evicts b
+        assert cache.evictions == 1
+        cache.get(a, "left")
+        assert cache.hits == 2
+        cache.get(b, "left")  # must rebuild
+        assert cache.misses == 4
+
+    def test_stats_and_clear(self):
+        cache = SignatureCache()
+        cache.get(make_instance(), "left")
+        cache.get(make_instance(), "left")
+        stats = cache.stats()
+        assert stats == {
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "hit_rate": 0.5,
+        }
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1  # counters survive clear
+
+    def test_rejects_a_nonpositive_cap(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            SignatureCache(max_entries=0)

@@ -1,0 +1,216 @@
+"""Batch-comparison engine (parallel.engine) and its worker pool."""
+
+import pickle
+
+import pytest
+
+import repro
+from repro import Algorithm, ExactOptions, Instance, LabeledNull
+from repro.parallel import SignatureCache, compare_many, compare_pair_job
+from repro.parallel.pool import PoolTask, WorkerPool
+from repro.runtime import FaultPlan, Outcome, RetryPolicy, WorkerLimits
+from repro.runtime.isolation import JOB_REGISTRY
+
+
+def instance(rows, name="I"):
+    return Instance.from_rows("R", ("A", "B"), list(rows), name=name)
+
+
+@pytest.fixture()
+def grid():
+    """A base instance and three variants with distinct similarities."""
+    N1 = LabeledNull("N1")
+    base = instance([("a", 1), ("b", 2), ("c", 3)])
+    same = instance([("a", 1), ("b", 2), ("c", 3)])
+    close = instance([("a", 1), ("b", 2), ("c", N1)])
+    far = instance([("a", 1), ("x", 8), ("y", 9)])
+    return base, [same, close, far]
+
+
+def pairs_of(grid):
+    base, variants = grid
+    return [(base, variant) for variant in variants]
+
+
+class TestSerialEngine:
+    def test_results_in_input_order_with_distinct_scores(self, grid):
+        results = compare_many(pairs_of(grid), Algorithm.EXACT)
+        scores = [result.similarity for result in results]
+        assert scores == sorted(scores, reverse=True)
+        assert scores[0] == 1.0
+        assert len(set(scores)) == 3
+
+    def test_matches_single_pair_compare(self, grid):
+        base, variants = grid
+        [batch] = compare_many([(base, variants[1])], Algorithm.EXACT)
+        single = repro.compare(base, variants[1], Algorithm.EXACT)
+        assert batch.similarity == single.similarity
+        assert batch.algorithm == single.algorithm
+
+    def test_cache_stats_are_attached(self, grid):
+        results = compare_many(pairs_of(grid))
+        cache = results[0].stats["cache"]
+        # One left (the shared base) + three rights.
+        assert cache["misses"] == 4
+        assert cache["hits"] == 2  # base reused for pairs 2 and 3
+        assert 0 < cache["hit_rate"] < 1
+
+    def test_shared_cache_hits_across_calls(self, grid):
+        cache = SignatureCache()
+        compare_many(pairs_of(grid), cache=cache)
+        before = cache.misses
+        compare_many(pairs_of(grid), cache=cache)
+        assert cache.misses == before  # second batch fully cache-served
+
+    def test_cache_hits_are_bit_identical_to_cold_runs(self, grid):
+        cache = SignatureCache()
+        cold = compare_many(pairs_of(grid), Algorithm.EXACT, cache=cache)
+        warm = compare_many(pairs_of(grid), Algorithm.EXACT, cache=cache)
+        assert cache.hit_rate > 0.5
+        for cold_result, warm_result in zip(cold, warm):
+            assert cold_result.similarity == warm_result.similarity
+            assert pickle.dumps(cold_result.match) == pickle.dumps(
+                warm_result.match
+            )
+
+    def test_compare_pair_job_is_registered(self):
+        assert JOB_REGISTRY["compare_pair"].endswith("compare_pair_job")
+
+
+class TestParallelEngine:
+    def test_parallel_equals_serial(self, grid):
+        serial = compare_many(pairs_of(grid), Algorithm.EXACT)
+        parallel = compare_many(pairs_of(grid), Algorithm.EXACT, jobs=2)
+        assert [r.similarity for r in serial] == [
+            r.similarity for r in parallel
+        ]
+        assert [r.outcome for r in serial] == [r.outcome for r in parallel]
+        for serial_result, parallel_result in zip(serial, parallel):
+            assert pickle.dumps(serial_result.match) == pickle.dumps(
+                parallel_result.match
+            )
+
+    def test_more_jobs_than_pairs(self, grid):
+        results = compare_many(pairs_of(grid), jobs=8)
+        assert len(results) == 3
+        assert results[0].similarity == 1.0
+
+    def test_worker_death_daggers_only_its_own_pair(self, grid):
+        plan = FaultPlan.parse("crash@worker:1")  # crash on every attempt
+        results = compare_many(
+            pairs_of(grid),
+            Algorithm.EXACT,
+            jobs=2,
+            fault_plan=plan,
+            fault_pairs=[1],
+            retry=RetryPolicy(retries=1, base_delay=0.001),
+        )
+        dead = results[1]
+        assert dead.algorithm == "exact→signature(degraded)"
+        assert dead.outcome is Outcome.CRASHED
+        assert not dead.outcome.is_complete
+        assert dead.outcome.marker == "†"
+        assert len(dead.stats["fault_log"]) == 2  # both attempts recorded
+        for index in (0, 2):
+            assert results[index].algorithm == "exact"
+            assert results[index].outcome.is_complete
+
+    def test_degraded_score_is_the_signature_floor(self, grid):
+        plan = FaultPlan.parse("crash@worker:1")
+        [dead] = compare_many(
+            [pairs_of(grid)[1]],
+            Algorithm.EXACT,
+            jobs=2,
+            fault_plan=plan,
+            retry=RetryPolicy(retries=0),
+        )
+        [floor] = compare_many([pairs_of(grid)[1]], Algorithm.SIGNATURE)
+        assert dead.similarity == floor.similarity
+
+    def test_transient_crash_retries_to_success(self, grid):
+        plan = FaultPlan.parse("crash@worker:1#1")  # first attempt only
+        results = compare_many(
+            pairs_of(grid),
+            Algorithm.EXACT,
+            jobs=2,
+            fault_plan=plan,
+            fault_pairs=[0],
+            retry=RetryPolicy(retries=2, base_delay=0.001),
+        )
+        recovered = results[0]
+        assert recovered.algorithm == "exact"
+        assert recovered.outcome.is_complete
+        log = recovered.stats["fault_log"]
+        assert [entry["status"] for entry in log] == ["crashed", "ok"]
+
+    def test_garbage_results_are_retried(self, grid):
+        plan = FaultPlan.parse("garbage-result@worker:1#1")
+        results = compare_many(
+            pairs_of(grid),
+            Algorithm.EXACT,
+            jobs=2,
+            fault_plan=plan,
+            fault_pairs=[2],
+            retry=RetryPolicy(retries=2, base_delay=0.001),
+        )
+        assert results[2].outcome.is_complete
+        statuses = [e["status"] for e in results[2].stats["fault_log"]]
+        assert statuses == ["garbage", "ok"]
+
+    def test_oom_worker_degrades_with_oom_outcome(self, grid):
+        plan = FaultPlan.parse("memory-error@worker:1")
+        [dead] = compare_many(
+            [pairs_of(grid)[0]],
+            Algorithm.EXACT,
+            jobs=2,
+            fault_plan=plan,
+            retry=RetryPolicy(retries=0),
+        )
+        assert dead.outcome is Outcome.OOM
+        assert dead.stats["degraded_from"] == "exact"
+
+
+class TestWorkerPool:
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            WorkerPool(jobs=0)
+
+    def test_wall_timeout_kills_and_retries(self):
+        import time
+
+        pool = WorkerPool(
+            jobs=2,
+            limits=WorkerLimits(wall_timeout=0.2),
+            retry=RetryPolicy(retries=0),
+        )
+        [outcome] = pool.run(time.sleep, [PoolTask(index=0, args=(30,))])
+        assert outcome.status == "killed"
+        assert outcome.records[0].status == "killed"
+
+    def test_fatal_error_fails_the_batch(self, grid):
+        from repro.core.errors import ReproError
+
+        def boom():
+            raise ReproError("bad input")
+
+        pool = WorkerPool(jobs=2)
+        with pytest.raises(ReproError, match="bad input"):
+            pool.run(boom, [PoolTask(index=0)])
+
+    def test_preserves_order_across_unequal_durations(self):
+        def job(value, delay):
+            import time
+
+            time.sleep(delay)
+            return value
+
+        pool = WorkerPool(jobs=3)
+        tasks = [
+            PoolTask(index=0, args=("slow", 0.2)),
+            PoolTask(index=1, args=("fast", 0.0)),
+            PoolTask(index=2, args=("mid", 0.1)),
+        ]
+        outcomes = pool.run(job, tasks)
+        assert [outcome.payload for outcome in outcomes] == [
+            "slow", "fast", "mid",
+        ]

@@ -100,3 +100,49 @@ class TestRunCells:
         )
         assert sleeps == pytest.approx([0.1, 0.2])
         assert sum("backing off" in line for line in lines) == 2
+
+
+class TestRunCellsParallel:
+    def test_pooled_cells_keep_input_order(self):
+        cells = [
+            (f"cell-{value}", (lambda v=value: {"v": v}))
+            for value in ("a", "b", "c")
+        ]
+        runs = run_cells(cells, out=SILENT, jobs=2)
+        assert [run.key for run in runs] == ["cell-a", "cell-b", "cell-c"]
+        assert [run.row["v"] for run in runs] == ["a", "b", "c"]
+
+    def test_pooled_failure_is_checkpointed_not_raised(self):
+        def ok():
+            return {"v": 1}
+
+        def boom():
+            raise RuntimeError("flaky infra")
+
+        lines = []
+        runs = run_cells(
+            [("good", ok), ("bad", boom)],
+            out=lines.append,
+            policy=RetryPolicy(retries=1, base_delay=0.001),
+            jobs=2,
+        )
+        assert runs[0].ok and runs[0].row == {"v": 1}
+        assert not runs[1].ok
+        assert "RuntimeError" in runs[1].error
+        assert runs[1].attempts == 2
+        assert any("FAILED" in line for line in lines)
+
+    def test_pooled_repro_error_is_a_cell_error_not_fatal(self):
+        from repro.core.errors import ReproError
+
+        def bad_cell():
+            raise ReproError("bad lambda")
+
+        runs = run_cells(
+            [("cell", bad_cell)],
+            out=SILENT,
+            policy=RetryPolicy(retries=0),
+            jobs=2,
+        )
+        assert not runs[0].ok
+        assert "bad lambda" in runs[0].error

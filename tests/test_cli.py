@@ -115,3 +115,67 @@ class TestDiffCommand:
         main(["diff", str(old), str(new), "--preset", "versioning"])
         out = capsys.readouterr().out
         assert "1 inserted, 1 deleted" in out
+
+
+class TestCompareManyCommand:
+    @pytest.fixture
+    def csv_grid(self, tmp_path):
+        base = tmp_path / "base.csv"
+        base.write_text("Name,Year\nVLDB,1975\nSIGMOD,_N:N1\n")
+        same = tmp_path / "same.csv"
+        same.write_text("Name,Year\nVLDB,1975\nSIGMOD,_N:Na\n")
+        far = tmp_path / "far.csv"
+        far.write_text("Name,Year\nVLDB,1975\nICDE,1984\n")
+        return str(base), str(same), str(far)
+
+    def test_baseline_mode(self, csv_grid, capsys):
+        base, same, far = csv_grid
+        assert main([
+            "compare-many", "--baseline", base, same, far,
+            "--algorithm", "exact",
+        ]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert "1.000000" in lines[0]
+        assert "0.500000" in lines[1]
+        assert "cache:" in captured.err
+
+    def test_pairwise_mode(self, csv_grid, capsys):
+        base, same, far = csv_grid
+        assert main(["compare-many", base, same, base, far]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+    def test_odd_pairwise_count_is_an_error(self, csv_grid):
+        base, same, _ = csv_grid
+        with pytest.raises(SystemExit):
+            main(["compare-many", base, same, base])
+
+    def test_jobs_flag_agrees_with_serial(self, csv_grid, capsys):
+        base, same, far = csv_grid
+        main(["compare-many", "--baseline", base, same, far])
+        serial = capsys.readouterr().out
+        main(["compare-many", "--baseline", base, same, far, "--jobs", "2"])
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_json_output_includes_cache_stats(self, csv_grid, capsys):
+        base, same, far = csv_grid
+        assert main([
+            "compare-many", "--baseline", base, same, far, "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["pairs"]) == 2
+        assert payload["cache"]["misses"] == 3
+        assert payload["cache"]["hits"] == 1
+        assert payload["pairs"][0]["similarity"] == 1.0
+
+    def test_fault_plan_degrades_not_crashes(self, csv_grid, capsys):
+        base, same, far = csv_grid
+        assert main([
+            "compare-many", "--baseline", base, same, far,
+            "--algorithm", "exact", "--jobs", "2",
+            "--fault-plan", "crash@worker:1", "--retries", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "degraded" in out
+        assert "†" in out
