@@ -9,6 +9,12 @@ The lake here holds several derived versions of two base tables (perturbed,
 truncated, shuffled) plus unrelated tables; the query is a small sample of
 one base table.  Ranking by instance similarity surfaces the right family.
 
+Since PR 4 the search runs on the ``repro.index`` retrieval layer (see
+``docs/INDEX.md``): every table is sketched once when it enters the lake,
+the query prunes candidates through an admissible upper bound on the
+similarity score, and refinement runs best-bound-first — the ranking is
+identical to a brute-force scan, with fewer full comparisons.
+
 Run with::
 
     python examples/dataset_search.py
@@ -16,9 +22,10 @@ Run with::
 
 import random
 
-from repro import Instance, MatchOptions, compare
+from repro import Instance
 from repro.datagen.perturb import PerturbationConfig, perturb
 from repro.datagen.synthetic import generate_dataset
+from repro.discovery import DataLake
 from repro.versioning.operations import removed_rows_version, shuffled_version
 
 
@@ -73,22 +80,25 @@ def main() -> None:
     )
     print(f"Query example: {len(query)} rows of an (unlabeled) dataset\n")
 
-    lake = build_lake()
-    options = MatchOptions.versioning()
-    ranking = []
-    for name, table in lake.items():
-        result = compare(query, table, options=options)
-        ranking.append((result.similarity, name, result))
-    ranking.sort(reverse=True)
+    lake = DataLake()
+    for name, table in build_lake().items():
+        lake.add(name, table)           # sketched + LSH-bucketed on entry
+    hits = lake.search(query, top_k=len(lake))
+    report = lake.index.last_report
 
     print(f"{'rank':<5} {'dataset':<22} {'similarity':>10} {'matched':>8}")
     print("-" * 50)
-    for rank, (score, name, result) in enumerate(ranking, start=1):
+    for rank, hit in enumerate(hits, start=1):
         print(
-            f"{rank:<5} {name:<22} {score:>10.3f} "
-            f"{len(result.match.m):>8}"
+            f"{rank:<5} {hit.name:<22} {hit.similarity:>10.3f} "
+            f"{hit.matched_tuples:>8}"
         )
 
+    print(
+        f"\nindex: refined {report.refined}/{report.candidates} candidates "
+        f"(pruned {report.pruned} by the admissible\nsketch bound) — the "
+        "ranking is identical to a brute-force scan of the lake."
+    )
     print(
         "\nEvery member of the query's dataset family outranks the "
         "unrelated tables, with the\nsimilarity grading how far each "

@@ -53,6 +53,7 @@ from .mappings.instance_match import InstanceMatch
 from .mappings.tuple_mapping import TupleMapping
 from .mappings.value_mapping import ValueMapping
 from .comparator import Comparator
+from .index import IndexParams, RefinePolicy, SimilarityIndex
 from .parallel import SignatureCache, compare_many, instance_fingerprint
 from .runtime import (
     Budget,
@@ -207,10 +208,13 @@ __all__ = [
     "Executor",
     "FaultPlan",
     "GroundOptions",
+    "IndexParams",
     "Instance",
     "Outcome",
     "PartialOptions",
+    "RefinePolicy",
     "RetryPolicy",
+    "SimilarityIndex",
     "SignatureIndex",
     "SignatureOptions",
     "WorkerLimits",

@@ -9,6 +9,10 @@ Usage::
 
     python -m repro diff old.csv new.csv    # structured version delta
 
+    python -m repro index build lake.idx a.csv b.csv   # persistent index
+    python -m repro index search lake.idx query.csv --top-k 3
+    python -m repro index dedup lake.idx --threshold 0.8 --clusters
+
 Labeled nulls are encoded in the CSV cells with the ``_N:`` prefix
 (``_N:N1``); see :mod:`repro.io_.csvio`.  The exit code is 0 on success,
 2 on usage errors.
@@ -193,7 +197,121 @@ def build_parser() -> argparse.ArgumentParser:
                 "--json", action="store_true",
                 help="emit the full result as JSON",
             )
+
+    _add_index_parser(subparsers)
     return parser
+
+
+def _add_index_parser(subparsers) -> None:
+    """The ``index`` command family: persistent sketch-based retrieval."""
+    index_parser = subparsers.add_parser(
+        "index",
+        help="build, maintain, and query a persistent similarity index",
+        description=(
+            "Sub-linear dataset search and dedup over a persisted sketch "
+            "index (see docs/INDEX.md). Match options and sketch params "
+            "are fixed at build time and stored in the index manifest."
+        ),
+    )
+    actions = index_parser.add_subparsers(dest="index_command", required=True)
+
+    build = actions.add_parser(
+        "build", help="create a store and index one or more CSV tables"
+    )
+    build.add_argument("store", help="index store directory (created)")
+    build.add_argument(
+        "inputs", nargs="+", metavar="CSV",
+        help="tables to index; each is registered under its file path",
+    )
+    build.add_argument(
+        "--preset", choices=sorted(PRESETS), default="versioning",
+        help="match-constraint preset baked into the index",
+    )
+    build.add_argument(
+        "--lam", type=float, default=0.5,
+        help="null-to-constant penalty λ in [0, 1)",
+    )
+    build.add_argument(
+        "--perms", type=int, default=64, metavar="N",
+        help="min-hash signature length",
+    )
+    build.add_argument(
+        "--bands", type=int, default=16, metavar="N",
+        help="LSH band count",
+    )
+    build.add_argument(
+        "--rows-per-band", type=int, default=4, metavar="N",
+        help="signature rows per LSH band (bands*rows <= perms)",
+    )
+    build.add_argument(
+        "--seed", type=int, default=0,
+        help="min-hash permutation seed (part of the index identity)",
+    )
+
+    add = actions.add_parser(
+        "add", help="incrementally add tables to an existing store"
+    )
+    add.add_argument("store", help="existing index store directory")
+    add.add_argument("inputs", nargs="+", metavar="CSV", help="tables to add")
+
+    search = actions.add_parser(
+        "search", help="rank indexed tables against a query CSV"
+    )
+    search.add_argument("store", help="existing index store directory")
+    search.add_argument("query", help="query CSV file")
+    search.add_argument(
+        "--top-k", type=int, default=5, metavar="K",
+        help="number of hits to return",
+    )
+    search.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan refinement over N fork workers (1 = in-process)",
+    )
+    search.add_argument(
+        "--brute-force", action="store_true",
+        help=(
+            "bypass the sketch index and compare against every table "
+            "(same results by construction; used by CI to verify parity)"
+        ),
+    )
+    search.add_argument(
+        "--json", action="store_true",
+        help="emit hits plus the refinement report as JSON",
+    )
+
+    dedup = actions.add_parser(
+        "dedup", help="find near-duplicate table pairs in the index"
+    )
+    dedup.add_argument("store", help="existing index store directory")
+    dedup.add_argument(
+        "--threshold", type=float, default=0.8,
+        help="minimum similarity for a duplicate pair",
+    )
+    dedup.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="fan refinement over N fork workers (1 = in-process)",
+    )
+    dedup.add_argument(
+        "--clusters", action="store_true",
+        help="also report connected duplicate clusters",
+    )
+    dedup.add_argument(
+        "--brute-force", action="store_true",
+        help="compare every pair without bound pruning (parity checks)",
+    )
+    dedup.add_argument(
+        "--json", action="store_true",
+        help="emit pairs (and clusters) plus the report as JSON",
+    )
+    for sub in (build, add, search):
+        sub.add_argument(
+            "--relation", default="R",
+            help="relation name used for every CSV",
+        )
+        sub.add_argument(
+            "--null-prefix", default=NULL_PREFIX,
+            help=f"cell prefix marking labeled nulls (default {NULL_PREFIX!r})",
+        )
 
 
 def _build_executor(args, parser) -> Executor | None:
@@ -320,10 +438,153 @@ def _run_compare_many(args, parser) -> int:
     return 0
 
 
+def _read_index_table(args, path: str, name: str):
+    return read_csv(
+        path, relation_name=args.relation,
+        null_prefix=args.null_prefix, name=name,
+    )
+
+
+def _run_index(args, parser) -> int:
+    """The ``index`` command family: build / add / search / dedup."""
+    from .discovery.lake import DataLake
+    from .index import IndexParams, RefinePolicy, SimilarityIndex
+
+    try:
+        if args.index_command == "build":
+            try:
+                params = IndexParams(
+                    num_perms=args.perms,
+                    bands=args.bands,
+                    rows=args.rows_per_band,
+                    seed=args.seed,
+                )
+            except ValueError as error:
+                parser.error(str(error))
+            index = SimilarityIndex(
+                params=params, options=PRESETS[args.preset](lam=args.lam)
+            )
+            for path in args.inputs:
+                index.add(path, _read_index_table(args, path, path))
+            index.save(args.store)
+            print(f"indexed {len(index)} tables -> {args.store}")
+            return 0
+
+        if args.index_command == "add":
+            index = SimilarityIndex.load(args.store)
+            for path in args.inputs:
+                index.add(path, _read_index_table(args, path, path))
+            print(
+                f"added {len(args.inputs)} tables "
+                f"({len(index)} total) -> {args.store}"
+            )
+            return 0
+
+        index = SimilarityIndex.load(args.store)
+        if args.jobs < 1:
+            parser.error(f"--jobs must be >= 1, got {args.jobs}")
+        policy = RefinePolicy(
+            jobs=args.jobs,
+            out=lambda line: print(line, file=sys.stderr),
+        )
+
+        if args.index_command == "search":
+            query = _read_index_table(args, args.query, "query")
+            if args.brute_force:
+                lake = DataLake.from_index(index)
+                lake.use_index = False
+                hits = lake.search(query, top_k=args.top_k)
+                report = None
+            else:
+                hits = index.search(query, top_k=args.top_k, policy=policy)
+                report = index.last_report
+            if args.json:
+                payload = {
+                    "hits": [
+                        {
+                            "name": h.name,
+                            "similarity": h.similarity,
+                            "matched_tuples": h.matched_tuples,
+                        }
+                        for h in hits
+                    ],
+                    "report": report.as_dict() if report else None,
+                }
+                print(json.dumps(payload, indent=2))
+                return 0
+            for h in hits:
+                print(f"{h.similarity:.6f}  {h.name}  ({h.matched_tuples} matched)")
+            if report is not None:
+                print(
+                    f"refined {report.refined}/{report.candidates} candidates "
+                    f"(pruned {report.pruned} by bound)",
+                    file=sys.stderr,
+                )
+            return 0
+
+        # dedup
+        if args.brute_force:
+            lake = DataLake.from_index(index)
+            lake.use_index = False
+            pairs = lake.near_duplicates(threshold=args.threshold)
+            clusters = (
+                lake.duplicate_clusters(threshold=args.threshold)
+                if args.clusters else None
+            )
+            report = None
+        else:
+            pairs = index.near_duplicates(
+                threshold=args.threshold, policy=policy
+            )
+            report = index.last_report
+            clusters = (
+                index.duplicate_clusters(
+                    threshold=args.threshold, policy=policy
+                )
+                if args.clusters else None
+            )
+        if args.json:
+            payload = {
+                "pairs": [
+                    {
+                        "first": p.first,
+                        "second": p.second,
+                        "similarity": p.similarity,
+                    }
+                    for p in pairs
+                ],
+                "clusters": (
+                    [sorted(c) for c in clusters]
+                    if clusters is not None else None
+                ),
+                "report": report.as_dict() if report else None,
+            }
+            print(json.dumps(payload, indent=2))
+            return 0
+        for p in pairs:
+            print(f"{p.similarity:.6f}  {p.first} ~ {p.second}")
+        if clusters is not None:
+            for cluster in clusters:
+                print("cluster: " + ", ".join(sorted(cluster)))
+        if report is not None:
+            print(
+                f"refined {report.refined} pairs "
+                f"(pruned {report.pruned} by bound)",
+                file=sys.stderr,
+            )
+        return 0
+    except (OSError, ValueError, ReproError) as error:
+        parser.error(str(error))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.command == "index":
+        return _run_index(args, parser)
 
     if args.command == "compare-many":
         return _run_compare_many(args, parser)

@@ -13,46 +13,56 @@ Two of the paper's motivating applications (Sec. 1):
 ``search`` and ``near_duplicates``.  Tables with incompatible schemas can
 still be compared via the Sec. 4.3 null-padding when their relation names
 agree; otherwise they score 0 (different entities).
+
+Since PR 4 the lake is backed by the :mod:`repro.index` retrieval layer: a
+:class:`~repro.index.SimilarityIndex` maintains a sketch per table and
+serves ``search``/``near_duplicates``/``duplicate_clusters`` by admissible
+upper-bound pruning — *exactly* the same hits as a brute-force scan, with
+strictly fewer full comparisons on any corpus where the bounds separate
+candidates.  Construct with ``use_index=False`` to force the historical
+brute-force scan (both paths share one :class:`~repro.parallel.SignatureCache`
+and one comparison code path, so results are identical by construction —
+``benchmarks/bench_index.py`` gates on it).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterator
 
-from ..core.instance import Instance, prepare_for_comparison
-from ..mappings.constraints import MatchOptions
-from ..versioning.operations import align_schemas
 from ..algorithms.result import ComparisonResult
-from ..algorithms.signature import signature_compare
+from ..core.instance import Instance
+from ..index.core import SimilarityIndex
+from ..index.refine import (
+    DuplicatePair,
+    QueryComparer,
+    RefinePolicy,
+    SearchHit,
+)
+from ..index.sketch import IndexParams
+from ..mappings.constraints import MatchOptions
+from ..parallel.cache import SignatureCache
 
-
-@dataclass(frozen=True)
-class SearchHit:
-    """One ranked search result."""
-
-    name: str
-    similarity: float
-    matched_tuples: int
-
-    def __repr__(self) -> str:
-        return (
-            f"SearchHit({self.name!r}, sim={self.similarity:.3f}, "
-            f"matched={self.matched_tuples})"
-        )
-
-
-@dataclass(frozen=True)
-class DuplicatePair:
-    """A near-duplicate table pair found in the lake."""
-
-    first: str
-    second: str
-    similarity: float
+__all__ = ["DataLake", "DuplicatePair", "SearchHit"]
 
 
 class DataLake:
     """A collection of named instances supporting similarity discovery.
+
+    Parameters
+    ----------
+    options:
+        Match constraints for every comparison (default: the Sec. 4.3
+        versioning preset, fully injective).
+    params:
+        Sketch/LSH tuning for the backing index (default
+        :class:`~repro.index.IndexParams`).
+    cache:
+        A :class:`~repro.parallel.SignatureCache` to share with other
+        components; a private one is created if omitted.
+    use_index:
+        ``True`` (default) serves discovery through the sketch index with
+        admissible-bound pruning; ``False`` scans every table brute-force.
+        Both paths return identical results.
 
     Examples
     --------
@@ -66,77 +76,117 @@ class DataLake:
     ['a', 'b']
     """
 
-    def __init__(self, options: MatchOptions | None = None) -> None:
-        self._tables: dict[str, Instance] = {}
-        self.options = options if options is not None else MatchOptions.versioning()
+    def __init__(
+        self,
+        options: MatchOptions | None = None,
+        params: IndexParams | None = None,
+        cache: SignatureCache | None = None,
+        use_index: bool = True,
+    ) -> None:
+        self.options = (
+            options if options is not None else MatchOptions.versioning()
+        )
+        self._index = SimilarityIndex(
+            params=params, options=self.options, cache=cache
+        )
+        self.use_index = use_index
+
+    @classmethod
+    def from_index(cls, index: SimilarityIndex) -> "DataLake":
+        """Wrap an existing (e.g. just-loaded) index as a lake."""
+        lake = cls.__new__(cls)
+        lake.options = index.options
+        lake._index = index
+        lake.use_index = True
+        return lake
+
+    @property
+    def index(self) -> SimilarityIndex:
+        """The backing similarity index (sketches, LSH, cache, store)."""
+        return self._index
+
+    @property
+    def cache(self) -> SignatureCache:
+        """The signature cache shared by every comparison this lake runs."""
+        return self._index.cache
 
     # -- registry -------------------------------------------------------------
 
     def add(self, name: str, instance: Instance) -> None:
-        """Register ``instance`` under ``name`` (unique)."""
-        if name in self._tables:
+        """Register ``instance`` under ``name`` (unique); sketches it once."""
+        if name in self._index:
             raise ValueError(f"table {name!r} already in the lake")
-        self._tables[name] = instance
+        self._index.add(name, instance)
 
     def remove(self, name: str) -> None:
-        """Remove a table from the lake."""
-        del self._tables[name]
+        """Remove a table from the lake (KeyError names the known tables)."""
+        self._index.remove(name)
 
     def __len__(self) -> int:
-        return len(self._tables)
+        return len(self._index)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._tables
+        return name in self._index
 
     def names(self) -> list[str]:
         """Registered table names, sorted."""
-        return sorted(self._tables)
+        return self._index.names()
 
     def get(self, name: str) -> Instance:
-        """The registered instance called ``name``."""
-        return self._tables[name]
+        """The registered instance called ``name``.
+
+        Raises a ``KeyError`` whose message lists the known table names —
+        a typo'd lookup should not require a second call to debug.
+        """
+        return self._index.get(name)
 
     def tables(self) -> Iterator[tuple[str, Instance]]:
         """Iterate over (name, instance) pairs in name order."""
         for name in self.names():
-            yield name, self._tables[name]
+            yield name, self._index.get(name)
 
     # -- comparison -----------------------------------------------------------
 
-    def _comparable(self, query: Instance, candidate: Instance) -> bool:
-        return set(query.schema.relation_names()) == set(
-            candidate.schema.relation_names()
-        )
-
-    def compare(
-        self, query: Instance, name: str
-    ) -> ComparisonResult | None:
+    def compare(self, query: Instance, name: str) -> ComparisonResult | None:
         """Compare ``query`` against one lake table.
 
         Returns ``None`` when the tables are structurally incomparable
         (different relation names).  Attribute differences are bridged with
-        null padding (Sec. 4.3).
+        null padding (Sec. 4.3).  Both sides are prepared through the
+        shared signature cache, so repeated comparisons of the same query
+        or table never re-prepare it.
         """
-        candidate = self._tables[name]
-        if not self._comparable(query, candidate):
-            return None
-        left, right = query, candidate
-        if not left.schema.is_compatible_with(right.schema):
-            left, right = align_schemas(left, right)
-        left, right = prepare_for_comparison(left, right)
-        return signature_compare(left, right, self.options)
+        candidate = self.get(name)
+        comparer = QueryComparer(self.cache, self.options, query)
+        return comparer.compare(candidate)
 
     # -- discovery ------------------------------------------------------------
 
-    def search(self, query: Instance, top_k: int = 5) -> list[SearchHit]:
+    def search(
+        self,
+        query: Instance,
+        top_k: int = 5,
+        policy: RefinePolicy | None = None,
+    ) -> list[SearchHit]:
         """Rank lake tables by similarity to a query example.
 
         Incomparable tables are skipped.  Ties break alphabetically for
-        reproducibility.
+        reproducibility.  ``top_k <= 0`` and an empty lake return ``[]``
+        without touching any comparison machinery.
+
+        ``policy`` (index path only) fans refinement over worker processes
+        and applies the PR-2/PR-3 runtime policies.
         """
+        if top_k <= 0 or len(self) == 0:
+            return []
+        if self.use_index:
+            return self._index.search(query, top_k=top_k, policy=policy)
+        # Brute force: full comparison against every table, query side
+        # prepared once (hoisted) and reused via the shared cache.
+        comparer = QueryComparer(self.cache, self.options, query)
         hits = []
-        for name, _ in self.tables():
-            result = self.compare(query, name)
+        for name, candidate in self.tables():
+            result = comparer.compare(candidate)
             if result is None:
                 continue
             hits.append(
@@ -150,18 +200,27 @@ class DataLake:
         return hits[:top_k]
 
     def near_duplicates(
-        self, threshold: float = 0.8
+        self,
+        threshold: float = 0.8,
+        policy: RefinePolicy | None = None,
     ) -> list[DuplicatePair]:
         """All table pairs with similarity ≥ ``threshold``.
 
         The similarity explains *how* the duplication arose (via the
         instance match); this method reports the pairs, most similar first.
         """
+        if len(self) < 2:
+            return []
+        if self.use_index:
+            return self._index.near_duplicates(
+                threshold=threshold, policy=policy
+            )
         names = self.names()
         pairs = []
-        for index, first in enumerate(names):
-            for second in names[index + 1:]:
-                result = self.compare(self._tables[first], second)
+        for position, first in enumerate(names):
+            comparer = QueryComparer(self.cache, self.options, self.get(first))
+            for second in names[position + 1:]:
+                result = comparer.compare(self.get(second))
                 if result is not None and result.similarity >= threshold:
                     pairs.append(
                         DuplicatePair(first, second, result.similarity)
@@ -169,7 +228,11 @@ class DataLake:
         pairs.sort(key=lambda p: (-p.similarity, p.first, p.second))
         return pairs
 
-    def duplicate_clusters(self, threshold: float = 0.8) -> list[set[str]]:
+    def duplicate_clusters(
+        self,
+        threshold: float = 0.8,
+        policy: RefinePolicy | None = None,
+    ) -> list[set[str]]:
         """Connected components of the near-duplicate graph (size ≥ 2).
 
         Clusters are the groups a deduplication pass would resolve together
@@ -178,10 +241,21 @@ class DataLake:
         from ..utils.unionfind import UnionFind
 
         components: UnionFind = UnionFind(self.names())
-        for pair in self.near_duplicates(threshold=threshold):
+        for pair in self.near_duplicates(threshold=threshold, policy=policy):
             components.union(pair.first, pair.second)
         clusters = [
             set(group) for group in components.classes() if len(group) >= 2
         ]
         clusters.sort(key=lambda c: (-len(c), sorted(c)))
         return clusters
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the backing index at ``path`` (see :mod:`repro.index.store`)."""
+        self._index.save(path)
+
+    @classmethod
+    def load(cls, path, cache: SignatureCache | None = None) -> "DataLake":
+        """Reload a lake from a persisted index store."""
+        return cls.from_index(SimilarityIndex.load(path, cache=cache))

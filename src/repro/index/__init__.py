@@ -1,0 +1,66 @@
+"""``repro.index`` — persistent sketch-based similarity index.
+
+The retrieval layer over the paper's similarity measure: per-instance
+sketches with an admissible upper bound on the similarity score
+(:mod:`~repro.index.sketch`), banded LSH candidate generation
+(:mod:`~repro.index.lsh`), versioned on-disk persistence with incremental
+maintenance (:mod:`~repro.index.store`), and bound-ordered exact
+refinement through the parallel engine (:mod:`~repro.index.refine`) —
+assembled by :class:`~repro.index.core.SimilarityIndex`.
+
+See ``docs/INDEX.md`` for the full tour.
+"""
+
+from .core import SimilarityIndex
+from .lsh import LSHIndex
+from .refine import (
+    DuplicatePair,
+    QueryComparer,
+    RefinePolicy,
+    RefineReport,
+    SearchHit,
+    refine_dedup,
+    refine_search,
+)
+from .sketch import (
+    IndexParams,
+    InstanceSketch,
+    comparable,
+    estimated_jaccard,
+    similarity_upper_bound,
+    sketch_from_dict,
+    sketch_to_dict,
+    stable_hash64,
+)
+from .store import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    IndexStore,
+    load_index,
+    save_index,
+)
+
+__all__ = [
+    "DuplicatePair",
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "IndexParams",
+    "IndexStore",
+    "InstanceSketch",
+    "LSHIndex",
+    "QueryComparer",
+    "RefinePolicy",
+    "RefineReport",
+    "SearchHit",
+    "SimilarityIndex",
+    "comparable",
+    "estimated_jaccard",
+    "load_index",
+    "refine_dedup",
+    "refine_search",
+    "save_index",
+    "similarity_upper_bound",
+    "sketch_from_dict",
+    "sketch_to_dict",
+    "stable_hash64",
+]

@@ -1,0 +1,464 @@
+"""Per-instance sketches: null-aware token multisets, min-hash, upper bounds.
+
+A :class:`InstanceSketch` is a small, serializable summary of one instance,
+built once when the instance enters the index and reused for every query:
+
+* **column summaries** — per ``(relation, attribute)``, the multiset of
+  constant values (stored as stable 64-bit hashes with counts) plus the
+  number of null cells.  These drive :func:`similarity_upper_bound`, an
+  **admissible** upper bound on the paper's instance-similarity score:
+  the bound never under-estimates, so pruning a candidate whose bound is
+  below the current top-k floor can never drop a true hit;
+* **min-hash signature** — over the instance's null-aware token multiset
+  (one token per cell, constants by value, nulls by position only — null
+  *labels* never enter a token, mirroring how the Alg. 4 signatures ignore
+  them).  Banded LSH (:mod:`repro.index.lsh`) uses the signature for
+  sub-linear candidate generation.
+
+Why the bound is admissible (sketch of the argument): a matched cell scores
+at most 1 when both sides hold the *same* constant, at most 1 for null-null,
+at most λ for null-vs-constant, and exactly 0 for conflicting constants
+(:mod:`repro.scoring.cell_score`; ``⊓ ≥ 2`` caps the null cases).  Summing
+those per-cell maxima column-by-column over both sides over-approximates the
+score numerator ``Σ_t score(M,t) + Σ_t' score(M,t')`` for *any* instance
+match ``M`` — each tuple's score is an average of pair scores, each of which
+the column-wise maxima dominate.  Dividing by the exact denominator
+``size(I) + size(I')`` (computed on the Sec. 4.3 aligned schema, exactly as
+the brute-force path pads it) yields the bound.  Under fully injective
+options the bound tightens to multiset intersections and a
+``min(|I|,|I'|)·arity`` cap per relation, both of which still dominate any
+1:1 match.  ``tests/properties/test_sketch_bound.py`` checks the inequality
+on random perturbed instances.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from ..core.errors import FormatError
+from ..core.instance import Instance
+from ..core.values import is_null
+from ..mappings.constraints import MatchOptions
+from ..parallel.cache import instance_fingerprint
+
+_MERSENNE_PRIME = (1 << 61) - 1
+"""Modulus of the universal hash family behind the min-hash permutations."""
+
+EMPTY_SLOT = _MERSENNE_PRIME
+"""Signature value of an empty token set (no token can ever hash to it)."""
+
+
+def stable_hash64(text: str) -> int:
+    """A 64-bit hash of ``text`` that is stable across runs and processes.
+
+    Python's builtin ``hash`` is salted per process (``PYTHONHASHSEED``),
+    so sketches built from it would not reload deterministically; BLAKE2b
+    is stable, fast, and collision-resistant far beyond sketch sizes.
+    Collisions, if they ever happened, would only *raise* the upper bound
+    (a query constant spuriously counted as present) — admissibility is
+    preserved by construction.
+    """
+    return int.from_bytes(
+        hashlib.blake2b(text.encode(), digest_size=8).digest(), "big"
+    )
+
+
+@dataclass(frozen=True)
+class IndexParams:
+    """Sketch and LSH tuning knobs, fixed per index (and persisted with it).
+
+    Attributes
+    ----------
+    num_perms:
+        Min-hash signature length.  More permutations → better Jaccard
+        estimates and finer LSH bands, at linear sketch cost.
+    bands, rows:
+        Banded-LSH shape; ``bands * rows`` must not exceed ``num_perms``.
+        Two instances collide in a band when their signatures agree on all
+        ``rows`` slots of that band, so more rows per band → fewer, more
+        similar candidates.
+    seed:
+        Seed of the permutation coefficients; part of the index identity
+        (two stores built with different seeds are not comparable).
+    """
+
+    num_perms: int = 64
+    bands: int = 16
+    rows: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_perms < 1:
+            raise ValueError(f"num_perms must be >= 1, got {self.num_perms}")
+        if self.bands < 1 or self.rows < 1:
+            raise ValueError(
+                f"bands and rows must be >= 1, got bands={self.bands} "
+                f"rows={self.rows}"
+            )
+        if self.bands * self.rows > self.num_perms:
+            raise ValueError(
+                f"bands*rows = {self.bands * self.rows} exceeds "
+                f"num_perms = {self.num_perms}"
+            )
+
+    def coefficients(self) -> tuple[tuple[int, int], ...]:
+        """The ``(a, b)`` pairs of the universal hash family, deterministic."""
+        rng = random.Random(self.seed)
+        return tuple(
+            (rng.randrange(1, _MERSENNE_PRIME), rng.randrange(_MERSENNE_PRIME))
+            for _ in range(self.num_perms)
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "num_perms": self.num_perms,
+            "bands": self.bands,
+            "rows": self.rows,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "IndexParams":
+        try:
+            return cls(
+                num_perms=int(payload["num_perms"]),
+                bands=int(payload["bands"]),
+                rows=int(payload["rows"]),
+                seed=int(payload["seed"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise FormatError(f"invalid index params payload: {error}") from error
+
+
+@dataclass(frozen=True)
+class ColumnSketch:
+    """Summary of one attribute column: constant multiset + null count."""
+
+    constants: dict[int, int] = field(default_factory=dict)
+    null_count: int = 0
+
+    @property
+    def constant_count(self) -> int:
+        return sum(self.constants.values())
+
+    @property
+    def cell_count(self) -> int:
+        return self.constant_count + self.null_count
+
+
+@dataclass(frozen=True)
+class RelationSketch:
+    """Per-relation summary: schema shape plus one column sketch per attribute."""
+
+    name: str
+    attributes: tuple[str, ...]
+    tuple_count: int
+    columns: dict[str, ColumnSketch]
+
+
+def _constant_token(value) -> str:
+    """Identity-preserving encoding of a constant (type + repr)."""
+    return f"{type(value).__name__}:{value!r}"
+
+
+@dataclass(frozen=True)
+class InstanceSketch:
+    """The full per-instance sketch held by the similarity index.
+
+    Everything here is invariant under null relabeling and tuple re-id
+    (``fingerprint`` is the content hash of
+    :func:`repro.parallel.instance_fingerprint`), so semantically equal
+    instances sketch identically — the same invariance the signature
+    cache relies on.
+    """
+
+    fingerprint: str
+    relations: dict[str, RelationSketch]
+    minhash: tuple[int, ...]
+    token_count: int
+
+    @classmethod
+    def build(cls, instance: Instance, params: IndexParams) -> "InstanceSketch":
+        """Sketch ``instance`` under ``params`` (deterministic)."""
+        relations: dict[str, RelationSketch] = {}
+        token_hashes: list[int] = []
+        for relation in instance.relations():
+            rel_name = relation.schema.name
+            attributes = relation.schema.attributes
+            columns: dict[str, dict] = {
+                a: {"constants": {}, "nulls": 0} for a in attributes
+            }
+            occurrences: dict[str, int] = {}
+            count = 0
+            for t in relation:
+                count += 1
+                for attribute, value in zip(attributes, t.values):
+                    column = columns[attribute]
+                    if is_null(value):
+                        column["nulls"] += 1
+                        base = f"{rel_name}\x1f{attribute}\x1fN"
+                    else:
+                        encoded = _constant_token(value)
+                        key = stable_hash64(encoded)
+                        column["constants"][key] = (
+                            column["constants"].get(key, 0) + 1
+                        )
+                        base = f"{rel_name}\x1f{attribute}\x1fC\x1f{encoded}"
+                    # Multiset semantics: the k-th occurrence of a token is a
+                    # distinct element, so duplicated rows shift the Jaccard
+                    # estimate instead of collapsing.
+                    occurrence = occurrences.get(base, 0)
+                    occurrences[base] = occurrence + 1
+                    token_hashes.append(stable_hash64(f"{base}\x1f{occurrence}"))
+            relations[rel_name] = RelationSketch(
+                name=rel_name,
+                attributes=attributes,
+                tuple_count=count,
+                columns={
+                    a: ColumnSketch(
+                        constants=dict(columns[a]["constants"]),
+                        null_count=columns[a]["nulls"],
+                    )
+                    for a in attributes
+                },
+            )
+        return cls(
+            fingerprint=instance_fingerprint(instance),
+            relations=relations,
+            minhash=_minhash(token_hashes, params),
+            token_count=len(token_hashes),
+        )
+
+    def relation_names(self) -> frozenset[str]:
+        return frozenset(self.relations)
+
+
+def _minhash(token_hashes: list[int], params: IndexParams) -> tuple[int, ...]:
+    """Min-hash signature of a token-hash multiset (set semantics on hashes)."""
+    if not token_hashes:
+        return (EMPTY_SLOT,) * params.num_perms
+    distinct = set(token_hashes)
+    signature = []
+    for a, b in params.coefficients():
+        signature.append(
+            min((a * h + b) % _MERSENNE_PRIME for h in distinct)
+        )
+    return tuple(signature)
+
+
+def estimated_jaccard(left: InstanceSketch, right: InstanceSketch) -> float:
+    """Fraction of agreeing signature slots — the min-hash Jaccard estimate."""
+    if len(left.minhash) != len(right.minhash):
+        raise ValueError("sketches built with different num_perms")
+    agreeing = sum(1 for a, b in zip(left.minhash, right.minhash) if a == b)
+    return agreeing / len(left.minhash)
+
+
+def comparable(query: InstanceSketch, candidate: InstanceSketch) -> bool:
+    """Whether the sketched instances are lake-comparable (same relations)."""
+    return query.relation_names() == candidate.relation_names()
+
+
+def _column(sketch: RelationSketch, attribute: str) -> ColumnSketch:
+    """The column sketch for ``attribute``, or a virtual padded column.
+
+    An attribute the relation lacks is exactly what Sec. 4.3 alignment pads
+    with one fresh null per row, so the virtual column is all nulls.
+    """
+    column = sketch.columns.get(attribute)
+    if column is not None:
+        return column
+    return ColumnSketch(constants={}, null_count=sketch.tuple_count)
+
+
+def _side_bound_general(
+    probe: RelationSketch,
+    other: RelationSketch,
+    attributes: tuple[str, ...],
+    lam: float,
+) -> float:
+    """Upper bound on ``Σ_{t ∈ probe} score(M, t)`` with no injectivity.
+
+    Any probe cell can pair with the best cell anywhere in the other
+    column: a constant scores 1 when the other column contains it at all,
+    λ when the other column has a null, 0 otherwise; a null scores 1
+    against another null, λ against a constant.
+    """
+    total = 0.0
+    for attribute in attributes:
+        probe_col = _column(probe, attribute)
+        other_col = _column(other, attribute)
+        other_has_null = other_col.null_count > 0
+        other_has_constant = bool(other_col.constants)
+        matched = sum(
+            count
+            for key, count in probe_col.constants.items()
+            if key in other_col.constants
+        )
+        total += matched
+        total += (probe_col.constant_count - matched) * (
+            lam if other_has_null else 0.0
+        )
+        if probe_col.null_count:
+            if other_has_null:
+                total += probe_col.null_count
+            elif other_has_constant:
+                total += probe_col.null_count * lam
+    return total
+
+
+def _side_bound_injective(
+    probe: RelationSketch,
+    other: RelationSketch,
+    attributes: tuple[str, ...],
+    lam: float,
+) -> float:
+    """Upper bound on the probe-side sum under a fully injective match.
+
+    1:1 tuple mappings mean at most ``min(count, count')`` disjoint pairs
+    can realize a 1-score on any given constant, at most
+    ``min(nulls, nulls')`` pairs a 1-score on null-null cells, and at most
+    ``min(|probe|, |other|)`` probe tuples have a non-empty image at all.
+    """
+    per_tuple_cap = min(probe.tuple_count, other.tuple_count) * len(attributes)
+    total = 0.0
+    for attribute in attributes:
+        probe_col = _column(probe, attribute)
+        other_col = _column(other, attribute)
+        matched_constants = sum(
+            min(count, other_col.constants.get(key, 0))
+            for key, count in probe_col.constants.items()
+        )
+        matched_nulls = min(probe_col.null_count, other_col.null_count)
+        rest = probe_col.cell_count - matched_constants - matched_nulls
+        total += matched_constants + matched_nulls + rest * lam
+    return min(total, per_tuple_cap)
+
+
+def similarity_upper_bound(
+    query: InstanceSketch,
+    candidate: InstanceSketch,
+    options: MatchOptions,
+) -> float:
+    """Admissible upper bound on ``signature_compare`` / exact similarity.
+
+    Computed entirely from the two sketches in ``O(sketch size)`` — no
+    tuple alignment, no unification — on the Sec. 4.3 *aligned* schema
+    (union of attributes per relation), exactly the shape the brute-force
+    lake path pads to.  Returns 0.0 for incomparable sketches (different
+    relation names), mirroring the lake's skip.
+
+    The bound dominates the true score for *any* instance match honoring
+    ``options``; pruning with it therefore never drops a true top-k hit or
+    an above-threshold duplicate.
+
+    Examples
+    --------
+    >>> from repro.core.instance import Instance
+    >>> params = IndexParams()
+    >>> a = InstanceSketch.build(
+    ...     Instance.from_rows("R", ("A",), [("x",)]), params)
+    >>> b = InstanceSketch.build(
+    ...     Instance.from_rows("R", ("A",), [("y",)]), params)
+    >>> similarity_upper_bound(a, a, MatchOptions.versioning())
+    1.0
+    >>> similarity_upper_bound(a, b, MatchOptions.versioning())
+    0.0
+    """
+    if not comparable(query, candidate):
+        return 0.0
+    side = (
+        _side_bound_injective
+        if options.fully_injective
+        else _side_bound_general
+    )
+    numerator = 0.0
+    denominator = 0
+    for name in sorted(query.relations):
+        q_rel = query.relations[name]
+        c_rel = candidate.relations[name]
+        extra = tuple(
+            a for a in c_rel.attributes if a not in q_rel.attributes
+        )
+        attributes = q_rel.attributes + extra
+        denominator += (q_rel.tuple_count + c_rel.tuple_count) * len(attributes)
+        if q_rel.tuple_count == 0 or c_rel.tuple_count == 0:
+            continue  # no pairs possible in this relation
+        numerator += side(q_rel, c_rel, attributes, options.lam)
+        numerator += side(c_rel, q_rel, attributes, options.lam)
+    if denominator == 0:
+        return 1.0  # two empty instances are vacuously isomorphic
+    return min(1.0, numerator / denominator)
+
+
+def sketch_to_dict(sketch: InstanceSketch) -> dict:
+    """JSON-ready encoding, deterministic (sorted hashes, sorted relations)."""
+    return {
+        "fingerprint": sketch.fingerprint,
+        "token_count": sketch.token_count,
+        "minhash": list(sketch.minhash),
+        "relations": {
+            name: {
+                "attributes": list(rel.attributes),
+                "tuples": rel.tuple_count,
+                "columns": {
+                    attribute: {
+                        "nulls": column.null_count,
+                        "constants": sorted(
+                            [key, count]
+                            for key, count in column.constants.items()
+                        ),
+                    }
+                    for attribute, column in rel.columns.items()
+                },
+            }
+            for name, rel in sorted(sketch.relations.items())
+        },
+    }
+
+
+def sketch_from_dict(payload: dict) -> InstanceSketch:
+    """Decode :func:`sketch_to_dict` output; raises FormatError when malformed."""
+    try:
+        relations = {}
+        for name, rel in payload["relations"].items():
+            columns = {}
+            for attribute, column in rel["columns"].items():
+                columns[attribute] = ColumnSketch(
+                    constants={
+                        int(key): int(count)
+                        for key, count in column["constants"]
+                    },
+                    null_count=int(column["nulls"]),
+                )
+            relations[name] = RelationSketch(
+                name=name,
+                attributes=tuple(rel["attributes"]),
+                tuple_count=int(rel["tuples"]),
+                columns=columns,
+            )
+        return InstanceSketch(
+            fingerprint=payload["fingerprint"],
+            relations=relations,
+            minhash=tuple(int(v) for v in payload["minhash"]),
+            token_count=int(payload["token_count"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise FormatError(f"invalid sketch payload: {error}") from error
+
+
+__all__ = [
+    "ColumnSketch",
+    "EMPTY_SLOT",
+    "IndexParams",
+    "InstanceSketch",
+    "RelationSketch",
+    "comparable",
+    "estimated_jaccard",
+    "similarity_upper_bound",
+    "sketch_from_dict",
+    "sketch_to_dict",
+    "stable_hash64",
+]

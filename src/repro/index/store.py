@@ -1,0 +1,283 @@
+"""On-disk persistence for the similarity index: versioned, incremental.
+
+Layout of a store directory::
+
+    <path>/
+      manifest.json            format, version, params, options, table map
+      tables/<digest16>.json   one file per table: instance + sketch
+
+Design points:
+
+* **Versioned format** — ``manifest.json`` carries ``format``/``version``
+  and every load validates them (via the same :class:`FormatError`
+  diagnostics discipline as :mod:`repro.io_.serialization`, which encodes
+  the instances themselves).
+* **Incremental maintenance** — ``add``/``remove``/``update`` of a single
+  table touches exactly one table file plus the manifest; the rest of the
+  store is never rewritten (cf. incremental updating of incomplete
+  databases, Chabin et al.).
+* **Deterministic reload** — table files are keyed by a digest of the
+  *table name* (two tables may hold content-identical instances), payloads
+  are written with sorted keys, and the LSH tables are rebuilt from the
+  stored sketches — sketches embed the params' permutations, so a reload
+  is bit-identical to the pre-save index.
+* **Integrity** — each table file records the instance fingerprint three
+  ways (manifest entry, sketch, recomputed from the decoded instance);
+  any disagreement raises :class:`FormatError` instead of silently
+  serving corrupt data.
+* **Atomicity** — every file is written to a temporary sibling and
+  ``os.replace``'d into place, so a crash mid-write never leaves a
+  half-written manifest or table.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from ..core.errors import FormatError
+from ..core.instance import Instance
+from ..io_.serialization import instance_from_dict, instance_to_dict
+from ..mappings.constraints import MatchOptions
+from ..parallel.cache import SignatureCache, instance_fingerprint
+from .sketch import (
+    IndexParams,
+    InstanceSketch,
+    sketch_from_dict,
+    sketch_to_dict,
+)
+
+FORMAT_NAME = "repro-index-store"
+FORMAT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_TABLES_DIR = "tables"
+
+
+def _table_filename(name: str) -> str:
+    """Stable per-table filename: digest of the *name*, not the content."""
+    digest = hashlib.blake2b(name.encode(), digest_size=8).hexdigest()
+    return f"{digest}.json"
+
+
+def _options_to_dict(options: MatchOptions) -> dict:
+    return {
+        "left_injective": options.left_injective,
+        "right_injective": options.right_injective,
+        "left_total": options.left_total,
+        "right_total": options.right_total,
+        "lam": options.lam,
+    }
+
+
+def _options_from_dict(payload: dict) -> MatchOptions:
+    try:
+        return MatchOptions(
+            left_injective=bool(payload["left_injective"]),
+            right_injective=bool(payload["right_injective"]),
+            left_total=bool(payload["left_total"]),
+            right_total=bool(payload["right_total"]),
+            lam=float(payload["lam"]),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise FormatError(f"invalid match options payload: {error}") from error
+
+
+def _write_json(path: Path, payload: dict) -> None:
+    """Atomic, deterministic JSON write (sorted keys, tmp + replace)."""
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(
+        json.dumps(payload, sort_keys=True, indent=1) + "\n", encoding="utf-8"
+    )
+    os.replace(tmp, path)
+
+
+def _read_json(path: Path, what: str) -> dict:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise FormatError(f"{what} not found at {path}") from None
+    except (OSError, json.JSONDecodeError) as error:
+        raise FormatError(f"cannot read {what} at {path}: {error}") from error
+    if not isinstance(payload, dict):
+        raise FormatError(f"{what} at {path} is not a JSON object")
+    return payload
+
+
+class IndexStore:
+    """A directory-backed store holding one similarity index.
+
+    The store keeps its manifest in memory and mirrors every mutation to
+    disk; all writes are atomic and the manifest is written last, so the
+    manifest never references a table file that does not exist yet.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._tables_path = self.path / _TABLES_DIR
+        self._manifest: dict | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def initialize(self, params: IndexParams, options: MatchOptions) -> None:
+        """Create (or reset) the store directory for a fresh index."""
+        if self.path.exists():
+            if not self.path.is_dir():
+                raise FormatError(f"{self.path} exists and is not a directory")
+            if any(self.path.iterdir()) and not (self.path / _MANIFEST).exists():
+                raise FormatError(
+                    f"{self.path} is a non-empty directory without a "
+                    f"{_MANIFEST}; refusing to overwrite it"
+                )
+        self._tables_path.mkdir(parents=True, exist_ok=True)
+        for stale in self._tables_path.glob("*.json"):
+            stale.unlink()
+        self._manifest = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "params": params.as_dict(),
+            "options": _options_to_dict(options),
+            "tables": {},
+        }
+        self._flush_manifest()
+
+    def manifest(self) -> dict:
+        """The validated manifest (reading it from disk on first access)."""
+        if self._manifest is None:
+            payload = _read_json(self.path / _MANIFEST, "index manifest")
+            if payload.get("format") != FORMAT_NAME:
+                raise FormatError(
+                    f"not an index store: format is "
+                    f"{payload.get('format')!r}, expected {FORMAT_NAME!r}"
+                )
+            if payload.get("version") != FORMAT_VERSION:
+                raise FormatError(
+                    f"unsupported index store version "
+                    f"{payload.get('version')!r} (this build reads "
+                    f"version {FORMAT_VERSION})"
+                )
+            if not isinstance(payload.get("tables"), dict):
+                raise FormatError("index manifest has no table map")
+            self._manifest = payload
+        return self._manifest
+
+    def _flush_manifest(self) -> None:
+        assert self._manifest is not None
+        _write_json(self.path / _MANIFEST, self._manifest)
+
+    # -- accessors ----------------------------------------------------------
+
+    def params(self) -> IndexParams:
+        return IndexParams.from_dict(self.manifest().get("params", {}))
+
+    def options(self) -> MatchOptions:
+        return _options_from_dict(self.manifest().get("options", {}))
+
+    def table_names(self) -> list[str]:
+        return sorted(self.manifest()["tables"])
+
+    # -- mutation -----------------------------------------------------------
+
+    def write_table(
+        self, name: str, instance: Instance, sketch: InstanceSketch
+    ) -> None:
+        """Write (or replace) one table file and update the manifest."""
+        manifest = self.manifest()
+        filename = _table_filename(name)
+        _write_json(
+            self._tables_path / filename,
+            {
+                "name": name,
+                "instance": instance_to_dict(instance),
+                "sketch": sketch_to_dict(sketch),
+            },
+        )
+        manifest["tables"][name] = {
+            "file": filename,
+            "fingerprint": sketch.fingerprint,
+        }
+        self._flush_manifest()
+
+    def remove_table(self, name: str) -> None:
+        """Delete one table file and drop its manifest entry."""
+        manifest = self.manifest()
+        try:
+            entry = manifest["tables"].pop(name)
+        except KeyError:
+            raise KeyError(f"no table {name!r} in the index store") from None
+        self._flush_manifest()
+        table_path = self._tables_path / entry["file"]
+        if table_path.exists():
+            table_path.unlink()
+
+    # -- reading ------------------------------------------------------------
+
+    def load_table(self, name: str) -> tuple[Instance, InstanceSketch]:
+        """Decode one table, verifying all three fingerprint records agree."""
+        manifest = self.manifest()
+        try:
+            entry = manifest["tables"][name]
+        except KeyError:
+            raise KeyError(f"no table {name!r} in the index store") from None
+        payload = _read_json(
+            self._tables_path / entry["file"], f"table file for {name!r}"
+        )
+        if payload.get("name") != name:
+            raise FormatError(
+                f"table file {entry['file']} claims name "
+                f"{payload.get('name')!r}, manifest says {name!r}"
+            )
+        try:
+            instance = instance_from_dict(payload["instance"])
+            sketch = sketch_from_dict(payload["sketch"])
+        except KeyError as error:
+            raise FormatError(
+                f"table file for {name!r} is missing {error}"
+            ) from error
+        recomputed = instance_fingerprint(instance)
+        if not (
+            entry.get("fingerprint") == sketch.fingerprint == recomputed
+        ):
+            raise FormatError(
+                f"fingerprint mismatch for table {name!r}: manifest "
+                f"{entry.get('fingerprint')!r}, sketch "
+                f"{sketch.fingerprint!r}, recomputed {recomputed!r}"
+            )
+        return instance, sketch
+
+
+def save_index(index, path) -> IndexStore:
+    """Persist ``index`` at ``path`` and bind the store for incremental writes."""
+    return index.save(path)
+
+
+def load_index(path, cache: SignatureCache | None = None):
+    """Rebuild a :class:`~repro.index.core.SimilarityIndex` from a store.
+
+    Tables are installed in sorted-name order with their *stored* sketches
+    (no re-sketching), and the LSH tables are rebuilt from those sketches —
+    both deterministic, so two loads of the same store are identical, and a
+    load of a just-saved index equals the original.
+    """
+    from .core import SimilarityIndex
+
+    store = IndexStore(path)
+    index = SimilarityIndex(
+        params=store.params(), options=store.options(), cache=cache
+    )
+    for name in store.table_names():
+        instance, sketch = store.load_table(name)
+        index._restore(name, instance, sketch)
+    index.bind(store)
+    return index
+
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "IndexStore",
+    "load_index",
+    "save_index",
+]

@@ -37,6 +37,19 @@ class TestRegistry:
         lake.remove("far")
         assert "far" not in lake
 
+    def test_get_unknown_names_known_tables(self, lake):
+        """A typo'd lookup should not require a second call to debug."""
+        with pytest.raises(KeyError, match="known tables.*'copy'"):
+            lake.get("mistyped")
+
+    def test_compare_unknown_names_known_tables(self, lake):
+        with pytest.raises(KeyError, match="known tables"):
+            lake.compare(simple([("x", 1)]), "mistyped")
+
+    def test_remove_unknown_names_known_tables(self, lake):
+        with pytest.raises(KeyError, match="known tables"):
+            lake.remove("mistyped")
+
 
 class TestSearch:
     def test_ranking(self, lake):
@@ -50,6 +63,52 @@ class TestSearch:
 
     def test_top_k_limits(self, lake):
         assert len(lake.search(simple([("x", 1)]), top_k=2)) == 2
+
+    def test_zero_top_k_fast_path(self, lake):
+        """top_k=0 must return [] without running a single comparison."""
+        assert lake.search(simple([("x", 1)]), top_k=0) == []
+        assert lake.cache.stats()["misses"] == 0
+
+    def test_negative_top_k_fast_path(self, lake):
+        assert lake.search(simple([("x", 1)]), top_k=-3) == []
+
+    def test_empty_lake_fast_path(self):
+        empty = DataLake()
+        assert empty.search(simple([("x", 1)])) == []
+        assert empty.cache.stats()["misses"] == 0
+
+    def test_alphabetical_tie_breaking(self, lake):
+        """Equal-similarity hits are ordered by name for reproducibility."""
+        hits = lake.search(simple([("x", 1), ("y", 2), ("z", 3)]), top_k=2)
+        assert [h.name for h in hits] == ["copy", "orig"]
+        assert hits[0].similarity == hits[1].similarity == 1.0
+
+    def test_index_and_brute_force_agree(self, lake):
+        """The sketch index path returns exactly the brute-force hits."""
+        brute = DataLake(use_index=False)
+        for name, instance in lake.tables():
+            brute.add(name, instance)
+        for query in (
+            simple([("x", 1), ("y", 2), ("z", 3)]),
+            simple([("x", 1)]),
+            simple([("p", 7), ("q", 8)]),
+        ):
+            for top_k in (1, 2, 10):
+                assert lake.search(query, top_k=top_k) == brute.search(
+                    query, top_k=top_k
+                )
+
+    def test_query_prepared_once_across_candidates(self, lake):
+        """The hoisted query side is prepared once, not per candidate."""
+        query = simple([("unique", 0), ("y", 2), ("z", 3)])
+        lake.search(query, top_k=4)
+        stats = lake.cache.stats()
+        # 1 query + 3 distinct candidate contents ("orig" and "copy" share
+        # a fingerprint) = 4 prepares; the historical loop re-prepared the
+        # query for every one of the 4 candidates.
+        assert stats["misses"] == 4
+        lake.search(query, top_k=4)
+        assert lake.cache.stats()["misses"] == 4  # everything cached now
 
     def test_incomparable_relation_skipped(self, lake):
         query = Instance.from_rows("Other", ("A", "B"), [("x", 1)])
@@ -88,6 +147,59 @@ class TestNearDuplicates:
         lake.add("b", simple([("3", "4")]))
         assert lake.near_duplicates() == []
         assert lake.duplicate_clusters() == []
+
+    def test_cluster_transitivity(self):
+        """a~b, b~c (but not a~c) still cluster {a, b, c} together."""
+        lake = DataLake()
+        lake.add("a", simple([("1", "2"), ("3", "4"), ("5", "6")]))
+        lake.add("b", simple([("1", "2"), ("3", "4"), ("7", "8")]))
+        lake.add("c", simple([("9", "0"), ("3", "4"), ("7", "8")]))
+        lake.add("z", simple([("p", "q"), ("r", "s"), ("t", "u")]))
+        pairs = {
+            frozenset((p.first, p.second))
+            for p in lake.near_duplicates(threshold=0.6)
+        }
+        assert frozenset(("a", "b")) in pairs
+        assert frozenset(("b", "c")) in pairs
+        assert frozenset(("a", "c")) not in pairs
+        clusters = lake.duplicate_clusters(threshold=0.6)
+        assert {"a", "b", "c"} in clusters
+        assert all("z" not in cluster for cluster in clusters)
+
+    def test_dedup_index_and_brute_force_agree(self, lake):
+        brute = DataLake(use_index=False)
+        for name, instance in lake.tables():
+            brute.add(name, instance)
+        for threshold in (0.5, 0.8, 0.99):
+            assert lake.near_duplicates(
+                threshold=threshold
+            ) == brute.near_duplicates(threshold=threshold)
+            assert lake.duplicate_clusters(
+                threshold=threshold
+            ) == brute.duplicate_clusters(threshold=threshold)
+
+
+class TestIncomparableSchemas:
+    def test_incomparable_pairs_skipped_in_dedup(self, lake):
+        """Tables over different relations never pair, even at threshold 0."""
+        lake.add("alien", Instance.from_rows("Other", ("A",), [("x",)]))
+        pairs = lake.near_duplicates(threshold=0.0)
+        assert all(
+            "alien" not in (p.first, p.second) for p in pairs
+        )
+
+    def test_compare_incomparable_returns_none(self, lake):
+        query = Instance.from_rows("Other", ("A", "B"), [("x", 1)])
+        assert lake.compare(query, "orig") is None
+
+
+class TestPersistence:
+    def test_save_and_load_roundtrip(self, lake, tmp_path):
+        lake.save(tmp_path / "store")
+        loaded = DataLake.load(tmp_path / "store")
+        assert loaded.names() == lake.names()
+        query = simple([("x", 1), ("y", 2), ("z", 3)])
+        assert loaded.search(query, top_k=4) == lake.search(query, top_k=4)
 
 
 class TestIncompleteTables:

@@ -1,0 +1,117 @@
+"""Tests for the SimilarityIndex facade: registry, maintenance, wiring."""
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.index import IndexParams, SimilarityIndex
+from repro.parallel.cache import SignatureCache
+
+PARAMS = IndexParams(num_perms=16, bands=4, rows=2)
+
+
+def simple(rows, name="I", relation="R", attrs=("A", "B")):
+    return Instance.from_rows(relation, attrs, rows, name=name)
+
+
+@pytest.fixture
+def index():
+    index = SimilarityIndex(params=PARAMS)
+    index.add("a", simple([("x", 1), ("y", 2)]))
+    index.add("b", simple([("x", 1), ("z", 9)]))
+    return index
+
+
+class TestRegistry:
+    def test_add_len_contains(self, index):
+        assert len(index) == 2
+        assert "a" in index and "c" not in index
+        assert index.names() == ["a", "b"]
+
+    def test_duplicate_add_rejected(self, index):
+        with pytest.raises(ValueError, match="already"):
+            index.add("a", simple([("q", 0)]))
+
+    def test_get_unknown_lists_known_tables(self, index):
+        with pytest.raises(KeyError, match=r"'ghost'.*'a', 'b'"):
+            index.get("ghost")
+
+    def test_sketch_unknown_lists_known_tables(self, index):
+        with pytest.raises(KeyError, match="known tables"):
+            index.sketch("ghost")
+
+    def test_remove_unknown_rejected(self, index):
+        with pytest.raises(KeyError, match="known tables"):
+            index.remove("ghost")
+
+    def test_remove_updates_lsh(self, index):
+        index.remove("a")
+        assert "a" not in index.lsh
+        assert len(index) == 1
+
+    def test_update_replaces_sketch(self, index):
+        old_sketch = index.sketch("a")
+        index.update("a", simple([("fresh", 42)]))
+        assert index.sketch("a") != old_sketch
+        assert len(index) == 2
+
+    def test_update_unknown_rejected(self, index):
+        with pytest.raises(KeyError, match="known tables"):
+            index.update("ghost", simple([("x", 1)]))
+
+
+class TestWiring:
+    def test_search_records_report(self, index):
+        index.search(simple([("x", 1)]), top_k=1)
+        assert index.last_report is not None
+        assert index.last_report.refined >= 1
+
+    def test_shared_cache_is_used(self):
+        cache = SignatureCache()
+        index = SimilarityIndex(params=PARAMS, cache=cache)
+        index.add("a", simple([("x", 1)]))
+        index.search(simple([("x", 1)]), top_k=1)
+        stats = cache.stats()
+        assert stats["misses"] > 0 or stats["hits"] > 0
+
+    def test_repeat_search_hits_cache(self, index):
+        query = simple([("x", 1)])
+        index.search(query, top_k=2)
+        before = index.cache.stats()["hits"]
+        index.search(query, top_k=2)
+        assert index.cache.stats()["hits"] > before
+
+    def test_duplicate_clusters_transitive(self):
+        """a~b and b~c put a, b, c in one cluster even if a!~c directly."""
+        index = SimilarityIndex(params=PARAMS)
+        index.add("a", simple([("1", "2"), ("3", "4"), ("5", "6")]))
+        index.add("b", simple([("1", "2"), ("3", "4"), ("7", "8")]))
+        index.add("c", simple([("9", "0"), ("3", "4"), ("7", "8")]))
+        index.add("z", simple([("p", "q"), ("r", "s"), ("t", "u")]))
+        pairs = {
+            (p.first, p.second) for p in index.near_duplicates(threshold=0.6)
+        }
+        assert ("a", "b") in pairs and ("b", "c") in pairs
+        assert ("a", "c") not in pairs
+        clusters = index.duplicate_clusters(threshold=0.6)
+        assert {"a", "b", "c"} in clusters
+        assert all("z" not in cluster for cluster in clusters)
+
+    def test_stats_shape(self, index):
+        index.search(simple([("x", 1)]), top_k=1)
+        stats = index.stats()
+        assert stats["tables"] == 2
+        assert stats["lsh"]["members"] == 2
+        assert "hit_rate" in stats["cache"]
+        assert stats["last_report"]["refined"] >= 1
+
+    def test_save_binds_store_for_incremental_writes(self, index, tmp_path):
+        store = index.save(tmp_path / "store")
+        assert index.store is store
+        index.add("c", simple([("c", 3)]))
+        assert "c" in SimilarityIndex.load(tmp_path / "store")
+
+    def test_bind_none_detaches(self, index, tmp_path):
+        index.save(tmp_path / "store")
+        index.bind(None)
+        index.add("c", simple([("c", 3)]))
+        assert "c" not in SimilarityIndex.load(tmp_path / "store")

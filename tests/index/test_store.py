@@ -1,0 +1,187 @@
+"""Tests for the on-disk index store: versioning, integrity, determinism."""
+
+import json
+
+import pytest
+
+from repro.core.errors import FormatError
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull
+from repro.index import (
+    FORMAT_NAME,
+    FORMAT_VERSION,
+    IndexParams,
+    IndexStore,
+    SimilarityIndex,
+    load_index,
+)
+from repro.mappings.constraints import MatchOptions
+
+
+def simple(rows, name="I", relation="R", attrs=("A", "B")):
+    return Instance.from_rows(relation, attrs, rows, name=name)
+
+
+@pytest.fixture
+def index():
+    index = SimilarityIndex(params=IndexParams(num_perms=16, bands=4, rows=2))
+    index.add("alpha", simple([("x", 1), ("y", LabeledNull("N1"))]))
+    index.add("beta", simple([("x", 1), ("z", 3)]))
+    return index
+
+
+def snapshot(path):
+    """Every file in the store, as bytes, keyed by relative path."""
+    return {
+        str(p.relative_to(path)): p.read_bytes()
+        for p in sorted(path.rglob("*"))
+        if p.is_file()
+    }
+
+
+class TestRoundtrip:
+    def test_save_load_preserves_everything(self, index, tmp_path):
+        index.save(tmp_path / "store")
+        loaded = load_index(tmp_path / "store")
+        assert loaded.names() == index.names()
+        assert loaded.params == index.params
+        assert loaded.options == index.options
+        for name in index.names():
+            assert loaded.sketch(name) == index.sketch(name)
+            assert [t.values for t in loaded.get(name).tuples()] == [
+                t.values for t in index.get(name).tuples()
+            ]
+
+    def test_reload_is_deterministic(self, index, tmp_path):
+        """Two loads of one store — and a re-save — are bit-identical."""
+        index.save(tmp_path / "store")
+        first = snapshot(tmp_path / "store")
+        load_index(tmp_path / "store").save(tmp_path / "resaved")
+        assert snapshot(tmp_path / "resaved") == first
+
+    def test_search_results_survive_reload(self, index, tmp_path):
+        query = simple([("x", 1), ("y", 2)])
+        before = index.search(query, top_k=2)
+        index.save(tmp_path / "store")
+        after = SimilarityIndex.load(tmp_path / "store").search(query, top_k=2)
+        assert after == before
+
+
+class TestIncrementalMaintenance:
+    def test_add_after_save_is_mirrored(self, index, tmp_path):
+        index.save(tmp_path / "store")
+        index.add("gamma", simple([("g", 9)]))
+        loaded = load_index(tmp_path / "store")
+        assert "gamma" in loaded
+        assert loaded.sketch("gamma") == index.sketch("gamma")
+
+    def test_remove_after_save_is_mirrored(self, index, tmp_path):
+        index.save(tmp_path / "store")
+        index.remove("beta")
+        assert load_index(tmp_path / "store").names() == ["alpha"]
+        # the table file itself is gone, not just the manifest entry
+        assert len(list((tmp_path / "store" / "tables").glob("*.json"))) == 1
+
+    def test_update_after_save_is_mirrored(self, index, tmp_path):
+        index.save(tmp_path / "store")
+        index.update("beta", simple([("new", 1)]))
+        loaded = load_index(tmp_path / "store")
+        assert loaded.sketch("beta") == index.sketch("beta")
+
+    def test_incremental_add_touches_one_table_file(self, index, tmp_path):
+        index.save(tmp_path / "store")
+        before = snapshot(tmp_path / "store")
+        index.add("gamma", simple([("g", 9)]))
+        after = snapshot(tmp_path / "store")
+        changed = {
+            name for name in after
+            if before.get(name) != after[name]
+        }
+        assert len(changed) == 2  # manifest + exactly one new table file
+        assert "manifest.json" in changed
+
+
+class TestIntegrity:
+    def test_manifest_records_format_and_version(self, index, tmp_path):
+        index.save(tmp_path / "store")
+        manifest = json.loads((tmp_path / "store" / "manifest.json").read_text())
+        assert manifest["format"] == FORMAT_NAME
+        assert manifest["version"] == FORMAT_VERSION
+
+    def test_wrong_format_rejected(self, index, tmp_path):
+        index.save(tmp_path / "store")
+        manifest_path = tmp_path / "store" / "manifest.json"
+        payload = json.loads(manifest_path.read_text())
+        payload["format"] = "something-else"
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(FormatError, match="not an index store"):
+            load_index(tmp_path / "store")
+
+    def test_future_version_rejected(self, index, tmp_path):
+        index.save(tmp_path / "store")
+        manifest_path = tmp_path / "store" / "manifest.json"
+        payload = json.loads(manifest_path.read_text())
+        payload["version"] = FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(payload))
+        with pytest.raises(FormatError, match="version"):
+            load_index(tmp_path / "store")
+
+    def test_tampered_table_rejected(self, index, tmp_path):
+        index.save(tmp_path / "store")
+        table_file = next((tmp_path / "store" / "tables").glob("*.json"))
+        payload = json.loads(table_file.read_text())
+        payload["instance"]["relations"][0]["tuples"][0]["values"][0] = "evil"
+        table_file.write_text(json.dumps(payload))
+        with pytest.raises(FormatError, match="fingerprint mismatch"):
+            load_index(tmp_path / "store")
+
+    def test_missing_store_rejected(self, tmp_path):
+        with pytest.raises(FormatError, match="not found"):
+            load_index(tmp_path / "nowhere")
+
+    def test_refuses_to_clobber_foreign_directory(self, index, tmp_path):
+        victim = tmp_path / "precious"
+        victim.mkdir()
+        (victim / "data.txt").write_text("do not delete")
+        with pytest.raises(FormatError, match="refusing"):
+            index.save(victim)
+        assert (victim / "data.txt").read_text() == "do not delete"
+
+    def test_unknown_table_load_rejected(self, index, tmp_path):
+        store = index.save(tmp_path / "store")
+        with pytest.raises(KeyError, match="ghost"):
+            store.load_table("ghost")
+
+    def test_same_content_different_names_kept_apart(self, tmp_path):
+        """Table files are keyed by name: identical content must not merge."""
+        index = SimilarityIndex(
+            params=IndexParams(num_perms=16, bands=4, rows=2)
+        )
+        index.add("first", simple([("x", 1)]))
+        index.add("second", simple([("x", 1)]))
+        index.save(tmp_path / "store")
+        loaded = load_index(tmp_path / "store")
+        assert loaded.names() == ["first", "second"]
+        assert len(list((tmp_path / "store" / "tables").glob("*.json"))) == 2
+
+
+class TestOptionsPersistence:
+    def test_non_default_options_roundtrip(self, tmp_path):
+        options = MatchOptions(
+            left_injective=True, right_injective=False,
+            left_total=True, right_total=False, lam=0.25,
+        )
+        index = SimilarityIndex(
+            params=IndexParams(num_perms=16, bands=4, rows=2),
+            options=options,
+        )
+        index.add("a", simple([("x", 1)]))
+        index.save(tmp_path / "store")
+        assert load_index(tmp_path / "store").options == options
+
+    def test_store_accessors(self, index, tmp_path):
+        index.save(tmp_path / "store")
+        store = IndexStore(tmp_path / "store")
+        assert store.params() == index.params
+        assert store.options() == index.options
+        assert store.table_names() == ["alpha", "beta"]

@@ -179,3 +179,96 @@ class TestCompareManyCommand:
         out = capsys.readouterr().out
         assert "degraded" in out
         assert "†" in out
+
+
+@pytest.fixture
+def csv_lake(tmp_path):
+    """Three lake tables plus a query: two near-duplicates, one outlier."""
+    files = {}
+    files["a"] = tmp_path / "a.csv"
+    files["a"].write_text("A,B\nx,1\ny,2\nz,3\n")
+    files["b"] = tmp_path / "b.csv"
+    files["b"].write_text("A,B\nx,1\ny,2\nq,_N:N1\n")
+    files["c"] = tmp_path / "c.csv"
+    files["c"].write_text("A,B\np,7\nq,8\nr,9\n")
+    return {name: str(path) for name, path in files.items()}
+
+
+class TestIndexCommands:
+    def test_build_and_search(self, csv_lake, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main([
+            "index", "build", store, csv_lake["a"], csv_lake["b"],
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "index", "search", store, csv_lake["a"], "--top-k", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("1.000000")
+        assert csv_lake["a"] in lines[0]
+        assert csv_lake["b"] in lines[1]
+
+    def test_incremental_add(self, csv_lake, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["index", "build", store, csv_lake["a"]])
+        assert main(["index", "add", store, csv_lake["b"]]) == 0
+        capsys.readouterr()
+        main(["index", "search", store, csv_lake["b"], "--top-k", "1"])
+        out = capsys.readouterr().out
+        assert csv_lake["b"] in out
+
+    def test_search_brute_force_parity(self, csv_lake, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["index", "build", store, *csv_lake.values()])
+        capsys.readouterr()
+        main(["index", "search", store, csv_lake["a"], "--json"])
+        indexed = json.loads(capsys.readouterr().out)
+        main([
+            "index", "search", store, csv_lake["a"],
+            "--json", "--brute-force",
+        ])
+        brute = json.loads(capsys.readouterr().out)
+        assert indexed["hits"] == brute["hits"]
+        assert brute["report"] is None
+        assert indexed["report"]["refined"] >= 1
+
+    def test_dedup_with_clusters(self, csv_lake, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["index", "build", store, *csv_lake.values()])
+        capsys.readouterr()
+        assert main([
+            "index", "dedup", store, "--threshold", "0.6",
+            "--clusters", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        pair_names = {
+            frozenset((p["first"], p["second"])) for p in payload["pairs"]
+        }
+        assert frozenset((csv_lake["a"], csv_lake["b"])) in pair_names
+        assert payload["clusters"] == [
+            sorted([csv_lake["a"], csv_lake["b"]])
+        ]
+
+    def test_duplicate_table_rejected(self, csv_lake, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["index", "build", store, csv_lake["a"]])
+        with pytest.raises(SystemExit) as excinfo:
+            main(["index", "add", store, csv_lake["a"]])
+        assert excinfo.value.code == 2
+
+    def test_search_missing_store_is_usage_error(self, tmp_path, csv_lake):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "index", "search", str(tmp_path / "nowhere"), csv_lake["a"],
+            ])
+        assert excinfo.value.code == 2
+
+    def test_bad_lsh_shape_is_usage_error(self, csv_lake, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main([
+                "index", "build", str(tmp_path / "store"), csv_lake["a"],
+                "--perms", "8", "--bands", "4", "--rows-per-band", "4",
+            ])
+        assert excinfo.value.code == 2
