@@ -1,0 +1,185 @@
+"""Benchmark observability overhead; emit ``BENCH_obs.json``.
+
+Standalone (not pytest-benchmark) so CI can run it and archive the JSON::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py \
+        --rows 60 --variants 6 --out BENCH_obs.json --gate
+
+Measures, on the same Table-2-shaped grid as ``bench_parallel.py``:
+
+* the workload wall time with instrumentation **disabled** (the default
+  state — what every non-observing user pays), with **metrics only**, and
+  with **everything** (metrics + tracing + profiling), each min-of-N;
+* the per-call cost of the disabled guards (``active_metrics() is None``
+  and friends), measured directly on a tight loop;
+* the **estimated disabled overhead**: guard cost × a generous guard-site
+  count per pair, relative to the per-pair workload time.  Pre-PR wall
+  clock is not observable from inside the repo, but the disabled layer
+  *is* exactly these guards, so their measured cost bounds the regression.
+
+``--gate`` exits 1 if the estimated disabled overhead exceeds the 5 %
+budget — the CI regression gate.  Enabled-mode overheads are reported for
+the record but not gated (they are a feature's price, not a regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro import Algorithm  # noqa: E402
+from repro.datagen.perturb import PerturbationConfig, perturb  # noqa: E402
+from repro.datagen.synthetic import generate_dataset  # noqa: E402
+from repro.mappings.constraints import MatchOptions  # noqa: E402
+from repro.obs import (  # noqa: E402
+    collect_metrics,
+    collect_profile,
+    collect_trace,
+)
+from repro.obs.metrics import counter_inc  # noqa: E402
+from repro.obs.profile import profile_observe  # noqa: E402
+from repro.obs.trace import span  # noqa: E402
+from repro.parallel import compare_many  # noqa: E402
+
+DISABLED_OVERHEAD_BUDGET = 0.05
+# Generous over-estimate of disabled guard evaluations per compared pair;
+# the real count for one exact comparison is under ten.
+GUARDS_PER_PAIR = 50
+
+
+def build_grid(rows: int, variants: int, seed: int):
+    base = generate_dataset("doct", rows=rows, seed=seed)
+    pairs = []
+    for index in range(variants):
+        scenario = perturb(
+            base, PerturbationConfig.mod_cell(5.0, seed=seed + index + 1)
+        )
+        pairs.append((base, scenario.target))
+    return pairs
+
+
+def min_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def time_workload(pairs, algorithm, options, repeats: int) -> dict:
+    """Min-of-N workload timings per instrumentation mode."""
+
+    def disabled():
+        compare_many(pairs, algorithm, options)
+
+    def metrics_only():
+        with collect_metrics():
+            compare_many(pairs, algorithm, options)
+
+    def everything():
+        with collect_metrics(), collect_trace(), collect_profile():
+            compare_many(pairs, algorithm, options)
+
+    timings = {
+        "disabled_seconds": min_of(disabled, repeats),
+        "metrics_seconds": min_of(metrics_only, repeats),
+        "full_seconds": min_of(everything, repeats),
+    }
+    base = timings["disabled_seconds"]
+    timings["metrics_overhead"] = (
+        timings["metrics_seconds"] / base - 1.0 if base else 0.0
+    )
+    timings["full_overhead"] = (
+        timings["full_seconds"] / base - 1.0 if base else 0.0
+    )
+    return timings
+
+
+def time_guards(calls: int, repeats: int) -> float:
+    """Per-call cost of one disabled guard (counter + span + profile)."""
+
+    def loop():
+        for _ in range(calls):
+            counter_inc("bench.obs.guard")
+            span("bench.obs.guard")
+            profile_observe("bench.obs.guard", 1)
+
+    return min_of(loop, repeats) / (calls * 3)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=60)
+    parser.add_argument("--variants", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--algorithm", default="exact",
+        choices=("signature", "exact", "anytime"),
+    )
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--out", default="BENCH_obs.json")
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="exit 1 if the estimated disabled overhead exceeds the budget",
+    )
+    args = parser.parse_args(argv)
+
+    pairs = build_grid(args.rows, args.variants, args.seed)
+    algorithm = Algorithm(args.algorithm)
+    options = MatchOptions.versioning()
+
+    workload = time_workload(pairs, algorithm, options, args.repeats)
+    guard_seconds = time_guards(calls=20_000, repeats=args.repeats)
+    per_pair = workload["disabled_seconds"] / len(pairs)
+    estimated_disabled_overhead = (
+        guard_seconds * GUARDS_PER_PAIR / per_pair if per_pair else 0.0
+    )
+    within_budget = estimated_disabled_overhead <= DISABLED_OVERHEAD_BUDGET
+
+    report = {
+        "benchmark": "observability-overhead",
+        "algorithm": args.algorithm,
+        "rows": args.rows,
+        "pairs": len(pairs),
+        "repeats": args.repeats,
+        "cpus": os.cpu_count(),
+        "workload": workload,
+        "disabled_guard_seconds_per_call": guard_seconds,
+        "guards_per_pair_assumed": GUARDS_PER_PAIR,
+        "estimated_disabled_overhead": estimated_disabled_overhead,
+        "disabled_overhead_budget": DISABLED_OVERHEAD_BUDGET,
+        "within_budget": within_budget,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+
+    print(
+        f"workload ({len(pairs)} pairs, {args.algorithm}): "
+        f"disabled {workload['disabled_seconds']:.3f}s, "
+        f"metrics {workload['metrics_seconds']:.3f}s "
+        f"(+{workload['metrics_overhead']:.1%}), "
+        f"full {workload['full_seconds']:.3f}s "
+        f"(+{workload['full_overhead']:.1%})"
+    )
+    print(
+        f"disabled guard: {guard_seconds * 1e9:.0f}ns/call -> estimated "
+        f"{estimated_disabled_overhead:.3%} of a pair "
+        f"(budget {DISABLED_OVERHEAD_BUDGET:.0%}: "
+        f"{'OK' if within_budget else 'EXCEEDED'})"
+    )
+    print(f"wrote {args.out}")
+    if args.gate and not within_budget:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

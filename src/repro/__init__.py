@@ -54,6 +54,15 @@ from .mappings.tuple_mapping import TupleMapping
 from .mappings.value_mapping import ValueMapping
 from .comparator import Comparator
 from .index import IndexParams, RefinePolicy, SimilarityIndex
+from .obs import (
+    MetricsRegistry,
+    ProfileCollector,
+    Tracer,
+    collect_metrics,
+    collect_profile,
+    collect_trace,
+    render_report,
+)
 from .parallel import SignatureCache, compare_many, instance_fingerprint
 from .runtime import (
     Budget,
@@ -67,7 +76,7 @@ from .runtime import (
 )
 from .scoring.match_score import score_match
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 def compare(
@@ -210,15 +219,22 @@ __all__ = [
     "GroundOptions",
     "IndexParams",
     "Instance",
+    "MetricsRegistry",
     "Outcome",
     "PartialOptions",
+    "ProfileCollector",
     "RefinePolicy",
     "RetryPolicy",
     "SimilarityIndex",
     "SignatureIndex",
     "SignatureOptions",
+    "Tracer",
     "WorkerLimits",
+    "collect_metrics",
+    "collect_profile",
+    "collect_trace",
     "compare_anytime",
+    "render_report",
     "InstanceMatch",
     "LabeledNull",
     "MatchOptions",

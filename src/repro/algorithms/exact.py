@@ -38,6 +38,9 @@ from ..core.tuples import Tuple
 from ..mappings.constraints import MatchOptions
 from ..mappings.instance_match import InstanceMatch
 from ..mappings.tuple_mapping import TupleMapping
+from ..obs.metrics import active_metrics
+from ..obs.profile import active_profiler
+from ..obs.trace import annotate_budget, span
 from ..runtime.budget import Budget, resolve_control
 from ..runtime.cancellation import CancellationToken
 from ..runtime.outcome import Outcome
@@ -266,18 +269,23 @@ def exact_compare(
     control = resolve_control(
         control, node_limit=node_budget, deadline=deadline, token=token
     )
+    nodes_before = control.nodes
     search = _ExactSearch(left, right, options, control, prune=prune)
-    if control.check():
-        try:
-            if options.functional:
-                search.run_functional()
-            else:
-                search.run_non_functional()
-        except RecursionError:
-            # A blown stack on a very deep search is a structured CRASHED
-            # outcome, not an escaping RecursionError: the best match found
-            # before the crash still scores as a lower bound.
-            control.trip(Outcome.CRASHED)
+    with span(
+        "exact.search", functional=options.functional, prune=prune
+    ) as search_span:
+        if control.check():
+            try:
+                if options.functional:
+                    search.run_functional()
+                else:
+                    search.run_non_functional()
+            except RecursionError:
+                # A blown stack on a very deep search is a structured CRASHED
+                # outcome, not an escaping RecursionError: the best match found
+                # before the crash still scores as a lower bound.
+                control.trip(Outcome.CRASHED)
+        annotate_budget(search_span, control)
 
     # Rebuild the winning match (the search unifier has been rolled back).
     final_unifier = Unifier.for_instances(left, right)
@@ -288,6 +296,20 @@ def exact_compare(
     match = _build_match(left, right, search.best_pairs, final_unifier)
     score = score_match(match, lam=options.lam)
     candidate_pairs = sum(len(v) for v in search.compatible.values())
+    nodes_spent = control.nodes - nodes_before
+    registry = active_metrics()
+    if registry is not None:
+        registry.counter("exact.searches")
+        registry.counter("exact.nodes", nodes_spent)
+        registry.counter("exact.candidate_pairs", candidate_pairs)
+        registry.counter("exact.outcome", 1, outcome=control.outcome.value)
+        registry.observe("exact.nodes_per_search", nodes_spent)
+    profiler = active_profiler()
+    if profiler is not None:
+        for left_id in sorted(search.compatible):
+            profiler.observe(
+                "exact.fanout", len(search.compatible[left_id]), left_id
+            )
     return ComparisonResult(
         similarity=score,
         match=match,

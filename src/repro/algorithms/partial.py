@@ -34,6 +34,8 @@ from ..core.values import is_constant
 from ..mappings.constraints import MatchOptions
 from ..mappings.instance_match import InstanceMatch
 from ..mappings.tuple_mapping import TupleMapping
+from ..obs.metrics import active_metrics
+from ..obs.trace import span
 from ..scoring.match_score import score_match
 from .result import ComparisonResult
 from .signature import SignatureKey, signature_of
@@ -155,47 +157,60 @@ def partial_signature_compare(
         return agreeing, bonus
 
     pairs_added = 0
-    for relation in left.relations():
-        right_relation = right.relation(relation.schema.name)
-        # Index every (width-capped) signature of every left tuple.
-        sigmap: dict[SignatureKey, list[Tuple]] = {}
-        for t in relation:
-            for _, key in all_signatures(t, max_width=max_signature_width):
-                sigmap.setdefault(key, []).append(t)
+    with span(
+        "partial.compare", max_signature_width=max_signature_width
+    ) as match_span:
+        for relation in left.relations():
+            right_relation = right.relation(relation.schema.name)
+            # Index every (width-capped) signature of every left tuple.
+            sigmap: dict[SignatureKey, list[Tuple]] = {}
+            for t in relation:
+                for _, key in all_signatures(t, max_width=max_signature_width):
+                    sigmap.setdefault(key, []).append(t)
 
-        # Probe with right tuples, most constants first.
-        for t_prime in sorted(
-            right_relation, key=lambda x: (-x.constant_count(), x.tuple_id)
-        ):
-            if options.right_injective and t_prime.tuple_id in matched_right:
-                continue
-            seen: set[str] = set()
-            candidates: list[Tuple] = []
-            for subset, key in sorted(
-                all_signatures(t_prime, max_width=max_signature_width),
-                key=lambda pair: -len(pair[0]),
+            # Probe with right tuples, most constants first.
+            for t_prime in sorted(
+                right_relation, key=lambda x: (-x.constant_count(), x.tuple_id)
             ):
-                for t in sigmap.get(key, []):
-                    if t.tuple_id not in seen:
-                        seen.add(t.tuple_id)
-                        candidates.append(t)
-            for t in candidates:
-                if blocked(t.tuple_id, t_prime.tuple_id):
-                    continue
-                can_agree, bonus = cell_bounds(t, t_prime)
-                if can_agree < min_agreeing_cells:
-                    continue
-                # Similar-constant cells satisfy the gate without unifying.
-                required_strict = max(0, min_agreeing_cells - bonus)
-                if _agreeing_unification(
-                    unifier, t, t_prime, required_strict
+                if (
+                    options.right_injective
+                    and t_prime.tuple_id in matched_right
                 ):
-                    mapping.add(t.tuple_id, t_prime.tuple_id)
-                    matched_left.add(t.tuple_id)
-                    matched_right.add(t_prime.tuple_id)
-                    pairs_added += 1
-                    if options.right_injective:
-                        break
+                    continue
+                seen: set[str] = set()
+                candidates: list[Tuple] = []
+                for subset, key in sorted(
+                    all_signatures(t_prime, max_width=max_signature_width),
+                    key=lambda pair: -len(pair[0]),
+                ):
+                    for t in sigmap.get(key, []):
+                        if t.tuple_id not in seen:
+                            seen.add(t.tuple_id)
+                            candidates.append(t)
+                for t in candidates:
+                    if blocked(t.tuple_id, t_prime.tuple_id):
+                        continue
+                    can_agree, bonus = cell_bounds(t, t_prime)
+                    if can_agree < min_agreeing_cells:
+                        continue
+                    # Similar-constant cells satisfy the gate without
+                    # unifying.
+                    required_strict = max(0, min_agreeing_cells - bonus)
+                    if _agreeing_unification(
+                        unifier, t, t_prime, required_strict
+                    ):
+                        mapping.add(t.tuple_id, t_prime.tuple_id)
+                        matched_left.add(t.tuple_id)
+                        matched_right.add(t_prime.tuple_id)
+                        pairs_added += 1
+                        if options.right_injective:
+                            break
+        match_span.set(pairs_added=pairs_added)
+
+    registry = active_metrics()
+    if registry is not None:
+        registry.counter("partial.runs")
+        registry.counter("partial.pairs_added", pairs_added)
 
     h_l, h_r = unifier.to_value_mappings()
     match = InstanceMatch(left=left, right=right, h_l=h_l, h_r=h_r, m=mapping)

@@ -29,6 +29,8 @@ from ..core.instance import Instance
 from ..mappings.constraints import MatchOptions
 from ..mappings.instance_match import InstanceMatch
 from ..mappings.tuple_mapping import TupleMapping
+from ..obs.metrics import active_metrics
+from ..obs.trace import annotate_budget, span
 from ..runtime.budget import Budget, resolve_control
 from ..scoring.match_score import score_match
 from .compatibility import compatible_tuples_of_instances
@@ -129,59 +131,25 @@ def refine_match(
             return True
         return False
 
-    for _ in range(max_passes):
-        improved = False
+    with span("refine.climb", move_budget=move_budget) as climb:
+        _run_passes(
+            max_passes=max_passes,
+            move_budget=move_budget,
+            control=control,
+            options=options,
+            compatible=compatible,
+            try_pairs=try_pairs,
+            pairs_of=lambda: current_pairs,
+            tried=lambda: moves_tried,
+        )
+        annotate_budget(climb, control)
+        climb.set(moves_tried=moves_tried, moves_accepted=moves_accepted)
 
-        # Move 1: add matches for unmatched left tuples.
-        matched_left = {pair[0] for pair in current_pairs}
-        matched_right = {pair[1] for pair in current_pairs}
-        for left_id in sorted(compatible):
-            if moves_tried >= move_budget or control.interrupted:
-                break
-            if options.left_injective and left_id in matched_left:
-                continue
-            for right_id in compatible[left_id]:
-                if options.right_injective and right_id in matched_right:
-                    continue
-                if try_pairs(current_pairs | {(left_id, right_id)}):
-                    matched_left = {p[0] for p in current_pairs}
-                    matched_right = {p[1] for p in current_pairs}
-                    improved = True
-                    break
-                if moves_tried >= move_budget:
-                    break
-
-        # Move 2: drop pairs whose removal helps.
-        for pair in sorted(current_pairs):
-            if moves_tried >= move_budget or control.interrupted:
-                break
-            if try_pairs(current_pairs - {pair}):
-                improved = True
-
-        # Move 3: reassign a matched left tuple to a different right tuple.
-        for left_id, right_id in sorted(current_pairs):
-            if moves_tried >= move_budget or control.interrupted:
-                break
-            for alternative in compatible.get(left_id, []):
-                if alternative == right_id:
-                    continue
-                base = current_pairs - {(left_id, right_id)}
-                candidate = base | {(left_id, alternative)}
-                if options.right_injective:
-                    # Displace the alternative's current partner, if any.
-                    candidate = frozenset(
-                        pair for pair in candidate
-                        if pair == (left_id, alternative)
-                        or pair[1] != alternative
-                    )
-                if try_pairs(candidate):
-                    improved = True
-                    break
-                if moves_tried >= move_budget:
-                    break
-
-        if not improved or moves_tried >= move_budget or control.interrupted:
-            break
+    registry = active_metrics()
+    if registry is not None:
+        registry.counter("refine.runs")
+        registry.counter("refine.moves_tried", moves_tried)
+        registry.counter("refine.moves_accepted", moves_accepted)
 
     # A tripped control outranks the input's outcome: the climb itself was
     # cut short, so even an exact input is no longer known complete here.
@@ -201,3 +169,77 @@ def refine_match(
         elapsed_seconds=result.elapsed_seconds
         + (time.perf_counter() - started),
     )
+
+
+def _run_passes(
+    *,
+    max_passes,
+    move_budget,
+    control,
+    options,
+    compatible,
+    try_pairs,
+    pairs_of,
+    tried,
+):
+    """The hill-climbing pass loop of :func:`refine_match`.
+
+    State lives in the caller's closure (``try_pairs`` mutates it);
+    ``pairs_of`` / ``tried`` read the current pair set and move count.
+    """
+    for _ in range(max_passes):
+        improved = False
+        current_pairs = pairs_of()
+
+        # Move 1: add matches for unmatched left tuples.
+        matched_left = {pair[0] for pair in current_pairs}
+        matched_right = {pair[1] for pair in current_pairs}
+        for left_id in sorted(compatible):
+            if tried() >= move_budget or control.interrupted:
+                break
+            if options.left_injective and left_id in matched_left:
+                continue
+            for right_id in compatible[left_id]:
+                if options.right_injective and right_id in matched_right:
+                    continue
+                if try_pairs(current_pairs | {(left_id, right_id)}):
+                    current_pairs = pairs_of()
+                    matched_left = {p[0] for p in current_pairs}
+                    matched_right = {p[1] for p in current_pairs}
+                    improved = True
+                    break
+                if tried() >= move_budget:
+                    break
+
+        # Move 2: drop pairs whose removal helps.
+        for pair in sorted(current_pairs):
+            if tried() >= move_budget or control.interrupted:
+                break
+            if try_pairs(pairs_of() - {pair}):
+                improved = True
+        current_pairs = pairs_of()
+
+        # Move 3: reassign a matched left tuple to a different right tuple.
+        for left_id, right_id in sorted(current_pairs):
+            if tried() >= move_budget or control.interrupted:
+                break
+            for alternative in compatible.get(left_id, []):
+                if alternative == right_id:
+                    continue
+                base = pairs_of() - {(left_id, right_id)}
+                candidate = base | {(left_id, alternative)}
+                if options.right_injective:
+                    # Displace the alternative's current partner, if any.
+                    candidate = frozenset(
+                        pair for pair in candidate
+                        if pair == (left_id, alternative)
+                        or pair[1] != alternative
+                    )
+                if try_pairs(candidate):
+                    improved = True
+                    break
+                if tried() >= move_budget:
+                    break
+
+        if not improved or tried() >= move_budget or control.interrupted:
+            break

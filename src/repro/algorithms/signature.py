@@ -39,6 +39,9 @@ from ..core.values import is_null as is_null_value
 from ..mappings.constraints import MatchOptions
 from ..mappings.instance_match import InstanceMatch
 from ..mappings.tuple_mapping import TupleMapping
+from ..obs.metrics import active_metrics
+from ..obs.profile import active_profiler
+from ..obs.trace import annotate_budget, span
 from ..runtime.budget import Budget, resolve_control
 from ..scoring.match_score import score_match
 from .compatibility import compatible_tuples
@@ -126,6 +129,7 @@ class SignatureIndex:
     @classmethod
     def build(cls, instance: Instance) -> "SignatureIndex":
         """Index every relation of ``instance``."""
+        profiler = active_profiler()
         relations: dict[str, _RelationSignatures] = {}
         for relation in instance.relations():
             sigmap: dict[SignatureKey, list[Tuple]] = {}
@@ -133,6 +137,13 @@ class SignatureIndex:
             for t in relation:
                 sigmap.setdefault(maximal_signature(t), []).append(t)
                 patterns.add(frozenset(t.constant_attributes()))
+            if profiler is not None:
+                for key, bucket in sigmap.items():
+                    profiler.observe(
+                        "signature.bucket_size",
+                        len(bucket),
+                        f"{relation.schema.name}:{len(key)}-attrs",
+                    )
             relations[relation.schema.name] = _RelationSignatures(
                 sigmap={key: tuple(bucket) for key, bucket in sigmap.items()},
                 patterns=tuple(
@@ -552,41 +563,62 @@ def signature_compare(
         left, right, options,
         align_preference=align_preference, control=control,
     )
+    spends_before = state.control.nodes
 
     signature_pairs = 0
-    # With alignment on, the signature phase runs twice: phase A commits
-    # only merge-free pairs (building reliable value-mapping anchors), phase
-    # B then allows merging pairs under the coverage rule.  With alignment
-    # off, a single unrestricted phase reproduces the paper's plain greedy.
-    phases = ("zero", "coverage") if align_preference else ("any",)
-    ordered_relations = _relation_order(state, left_index, right_index)
-    for policy in phases:
-        for relation_name in ordered_relations:
-            left_signatures = left_index.relation(relation_name)
-            right_signatures = right_index.relation(relation_name)
-            # Pass 1: index left, probe with right (Alg. 3 line 3).
-            signature_pairs += _find_signature_matches(
-                state, left_signatures.probe_order,
-                right_signatures.probe_order,
-                indexed_is_left=True, policy=policy,
-                indexed_signatures=left_signatures,
-                probe_signatures=right_signatures,
-            )
-            # Pass 2: index right, probe with left (Alg. 3 line 4).
-            signature_pairs += _find_signature_matches(
-                state, right_signatures.probe_order,
-                left_signatures.probe_order,
-                indexed_is_left=False, policy=policy,
-                indexed_signatures=right_signatures,
-                probe_signatures=left_signatures,
-            )
-    pairs_after_signature = list(state.mapping)
+    with span(
+        "signature.compare", align_preference=align_preference
+    ) as compare_span:
+        # With alignment on, the signature phase runs twice: phase A commits
+        # only merge-free pairs (building reliable value-mapping anchors),
+        # phase B then allows merging pairs under the coverage rule.  With
+        # alignment off, a single unrestricted phase reproduces the paper's
+        # plain greedy.
+        phases = ("zero", "coverage") if align_preference else ("any",)
+        ordered_relations = _relation_order(state, left_index, right_index)
+        for policy in phases:
+            for relation_name in ordered_relations:
+                left_signatures = left_index.relation(relation_name)
+                right_signatures = right_index.relation(relation_name)
+                # Pass 1: index left, probe with right (Alg. 3 line 3).
+                signature_pairs += _find_signature_matches(
+                    state, left_signatures.probe_order,
+                    right_signatures.probe_order,
+                    indexed_is_left=True, policy=policy,
+                    indexed_signatures=left_signatures,
+                    probe_signatures=right_signatures,
+                )
+                # Pass 2: index right, probe with left (Alg. 3 line 4).
+                signature_pairs += _find_signature_matches(
+                    state, right_signatures.probe_order,
+                    left_signatures.probe_order,
+                    indexed_is_left=False, policy=policy,
+                    indexed_signatures=right_signatures,
+                    probe_signatures=left_signatures,
+                )
+        pairs_after_signature = list(state.mapping)
 
-    completion_pairs = _completion_step(state)
+        completion_pairs = _completion_step(state)
+        annotate_budget(compare_span, state.control)
+        compare_span.set(
+            signature_pairs=signature_pairs, completion_pairs=completion_pairs
+        )
 
     match = state.build_match()
     score = score_match(match, lam=options.lam)
     total_pairs = len(state.mapping)
+    registry = active_metrics()
+    if registry is not None:
+        registry.counter("signature.runs")
+        registry.counter("signature.pairs", total_pairs)
+        registry.counter("signature.signature_pairs", signature_pairs)
+        registry.counter("signature.completion_pairs", completion_pairs)
+        registry.counter(
+            "signature.spends", state.control.nodes - spends_before
+        )
+        registry.counter(
+            "signature.outcome", 1, outcome=state.control.outcome.value
+        )
     return ComparisonResult(
         similarity=score,
         match=match,

@@ -197,9 +197,30 @@ def build_parser() -> argparse.ArgumentParser:
                 "--json", action="store_true",
                 help="emit the full result as JSON",
             )
+        _add_obs_flags(sub)
 
     _add_index_parser(subparsers)
+    _add_obs_parser(subparsers)
     return parser
+
+
+def _add_obs_flags(sub) -> None:
+    """Observability output flags, shared by every comparison command."""
+    sub.add_argument(
+        "--metrics", default=None, metavar="OUT.json",
+        help=(
+            "collect per-layer counters/gauges/histograms during the run "
+            "and write the aggregated snapshot as JSON"
+        ),
+    )
+    sub.add_argument(
+        "--trace", default=None, metavar="OUT.jsonl",
+        help="trace the run and write one span per line (JSON Lines)",
+    )
+    sub.add_argument(
+        "--profile", default=None, metavar="OUT.json",
+        help="sample hotspot sites and write the top-K summary as JSON",
+    )
 
 
 def _add_index_parser(subparsers) -> None:
@@ -312,6 +333,120 @@ def _add_index_parser(subparsers) -> None:
             "--null-prefix", default=NULL_PREFIX,
             help=f"cell prefix marking labeled nulls (default {NULL_PREFIX!r})",
         )
+
+
+def _add_obs_parser(subparsers) -> None:
+    """The ``obs`` command family: inspect exported observability artifacts."""
+    obs_parser = subparsers.add_parser(
+        "obs",
+        help="render reports from --metrics/--trace/--profile artifacts",
+        description=(
+            "Offline inspection of observability artifacts written by the "
+            "comparison commands (see docs/OBSERVABILITY.md). Artifacts "
+            "are validated against their schemas before rendering."
+        ),
+    )
+    actions = obs_parser.add_subparsers(dest="obs_command", required=True)
+    report = actions.add_parser(
+        "report", help="render a plain-text summary grouped by layer"
+    )
+    report.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="metrics snapshot JSON written by --metrics",
+    )
+    report.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="span JSONL written by --trace",
+    )
+    report.add_argument(
+        "--profile", default=None, metavar="FILE",
+        help="profile summary JSON written by --profile",
+    )
+
+
+def _run_obs(args, parser) -> int:
+    """The ``obs report`` command: validate artifacts and print the report."""
+    from .obs import SchemaError, Tracer, render_report
+
+    if not (args.metrics or args.trace or args.profile):
+        parser.error(
+            "obs report needs at least one of --metrics / --trace / --profile"
+        )
+    metrics = spans = profile = None
+    try:
+        if args.metrics:
+            with open(args.metrics, encoding="utf-8") as handle:
+                metrics = json.load(handle)
+        if args.trace:
+            with open(args.trace, encoding="utf-8") as handle:
+                spans = Tracer.import_jsonl(handle)
+        if args.profile:
+            with open(args.profile, encoding="utf-8") as handle:
+                profile = json.load(handle)
+        print(
+            render_report(metrics=metrics, spans=spans, profile=profile),
+            end="",
+        )
+    except (OSError, ValueError, SchemaError) as error:
+        parser.error(str(error))
+    return 0
+
+
+class _ObsSession:
+    """Metrics/trace/profile collection scopes driven by the CLI flags.
+
+    Enters a collection scope for each requested artifact, and writes the
+    files on exit *even when the command fails partway* — a budget-tripped
+    or degraded run is exactly when the artifacts matter most.
+    """
+
+    def __init__(self, args) -> None:
+        self.metrics_path = getattr(args, "metrics", None)
+        self.trace_path = getattr(args, "trace", None)
+        self.profile_path = getattr(args, "profile", None)
+        self._scopes: list = []
+        self._registry = None
+        self._tracer = None
+        self._profiler = None
+
+    def __enter__(self) -> "_ObsSession":
+        from .obs import collect_metrics, collect_profile, collect_trace
+
+        if self.metrics_path:
+            scope = collect_metrics()
+            self._registry = scope.__enter__()
+            self._scopes.append(scope)
+        if self.trace_path:
+            scope = collect_trace()
+            self._tracer = scope.__enter__()
+            self._scopes.append(scope)
+        if self.profile_path:
+            scope = collect_profile()
+            self._profiler = scope.__enter__()
+            self._scopes.append(scope)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        while self._scopes:
+            self._scopes.pop().__exit__(*exc_info)
+        if self._registry is not None:
+            with open(self.metrics_path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    self._registry.snapshot().as_dict(),
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+                handle.write("\n")
+        if self._tracer is not None:
+            self._tracer.export_path(self.trace_path)
+        if self._profiler is not None:
+            with open(self.profile_path, "w", encoding="utf-8") as handle:
+                json.dump(
+                    self._profiler.as_dict(), handle, indent=2, sort_keys=True
+                )
+                handle.write("\n")
+        return None
 
 
 def _build_executor(args, parser) -> Executor | None:
@@ -586,9 +721,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "index":
         return _run_index(args, parser)
 
-    if args.command == "compare-many":
-        return _run_compare_many(args, parser)
+    if args.command == "obs":
+        return _run_obs(args, parser)
 
+    with _ObsSession(args):
+        if args.command == "compare-many":
+            return _run_compare_many(args, parser)
+        return _run_single(args, parser)
+
+
+def _run_single(args, parser) -> int:
+    """The ``compare`` / ``similarity`` / ``diff`` commands."""
     try:
         left = read_csv(
             args.left, relation_name=args.relation,

@@ -27,6 +27,9 @@ from ..core.errors import ChaseError
 from ..core.instance import Instance
 from ..core.schema import Schema
 from ..core.values import LabeledNull, Value
+from ..obs.metrics import active_metrics
+from ..obs.profile import active_profiler
+from ..obs.trace import span
 from ..runtime.faults import fault_checkpoint
 from .tgds import TGD, Atom, Var, mapping_labels_unique
 
@@ -146,46 +149,69 @@ def chase(
     target = Instance(target_schema, name=name)
     seen_contents: set[tuple] = set()
     tuple_counter = itertools.count(1)
+    firings = 0
+    emitted = 0
+    duplicates = 0
+    profiler = active_profiler()
 
-    for tgd in tgds:
-        existentials = tgd.existential_variables()
-        scope = tgd.skolem_scope or skolem_scope
-        if scope not in (SKOLEM_SCOPE_HEAD, SKOLEM_SCOPE_BODY):
-            raise ChaseError(
-                f"unknown skolem scope {scope!r} on tgd {tgd.label!r}"
-            )
-        for binding in _match_body(source, tgd.body):
-            # Fault-injection site: one "chase" checkpoint per tgd firing
-            # (no-op without an installed FaultPlan).
-            fault_checkpoint("chase")
-            null_binding: dict[Var, LabeledNull] = {
-                var: skolems.null_for(
-                    tgd.label, var.name, _skolem_key(tgd, var, binding, scope)
+    with span("chase.run", tgds=len(tgds), scope=skolem_scope) as chase_span:
+        for tgd in tgds:
+            existentials = tgd.existential_variables()
+            scope = tgd.skolem_scope or skolem_scope
+            if scope not in (SKOLEM_SCOPE_HEAD, SKOLEM_SCOPE_BODY):
+                raise ChaseError(
+                    f"unknown skolem scope {scope!r} on tgd {tgd.label!r}"
                 )
-                for var in existentials
-            }
-            for atom in tgd.head:
-                values: list[Value] = []
-                for term in atom.terms:
-                    if isinstance(term, Var):
-                        if term in binding:
-                            values.append(binding[term])
-                        elif term in null_binding:
-                            values.append(null_binding[term])
+            tgd_firings = 0
+            for binding in _match_body(source, tgd.body):
+                # Fault-injection site: one "chase" checkpoint per tgd firing
+                # (no-op without an installed FaultPlan).
+                fault_checkpoint("chase")
+                firings += 1
+                tgd_firings += 1
+                null_binding: dict[Var, LabeledNull] = {
+                    var: skolems.null_for(
+                        tgd.label, var.name,
+                        _skolem_key(tgd, var, binding, scope),
+                    )
+                    for var in existentials
+                }
+                for atom in tgd.head:
+                    values: list[Value] = []
+                    for term in atom.terms:
+                        if isinstance(term, Var):
+                            if term in binding:
+                                values.append(binding[term])
+                            elif term in null_binding:
+                                values.append(null_binding[term])
+                            else:
+                                raise ChaseError(
+                                    f"unbound variable {term!r} in head of "
+                                    f"{tgd.label!r}"
+                                )
                         else:
-                            raise ChaseError(
-                                f"unbound variable {term!r} in head of "
-                                f"{tgd.label!r}"
-                            )
-                    else:
-                        values.append(term)
-                content = (atom.relation, tuple(values))
-                if content in seen_contents:
-                    continue
-                seen_contents.add(content)
-                target.add_row(
-                    atom.relation,
-                    f"{id_prefix}{next(tuple_counter)}",
-                    values,
-                )
+                            values.append(term)
+                    content = (atom.relation, tuple(values))
+                    if content in seen_contents:
+                        duplicates += 1
+                        continue
+                    seen_contents.add(content)
+                    emitted += 1
+                    target.add_row(
+                        atom.relation,
+                        f"{id_prefix}{next(tuple_counter)}",
+                        values,
+                    )
+            if profiler is not None:
+                profiler.observe("chase.firings_per_tgd", tgd_firings, tgd.label)
+        chase_span.set(
+            firings=firings, tuples_emitted=emitted, duplicates=duplicates
+        )
+
+    registry = active_metrics()
+    if registry is not None:
+        registry.counter("chase.runs")
+        registry.counter("chase.firings", firings)
+        registry.counter("chase.tuples_emitted", emitted)
+        registry.counter("chase.duplicates_skipped", duplicates)
     return target

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from ..core.instance import Instance
 from ..mappings.value_mapping import ValueMapping
+from ..obs.metrics import active_metrics
+from ..obs.trace import span
 from ..runtime.budget import Budget
 from .homomorphism import DEFAULT_HOM_BUDGET, HomomorphismSearch
 
@@ -72,26 +74,37 @@ def compute_core(
     current = instance.with_fresh_ids(
         "c", name=name if name is not None else f"core({instance.name})"
     )
-    changed = True
-    while changed:
-        changed = False
-        if control is not None and not control.check():
-            break
-        for t in sorted(
-            current.tuples(), key=lambda x: (x.constant_count(), x.tuple_id)
-        ):
-            # Try to retract: find h : current -> current \ {t}.
-            target = current.filtered(lambda x: x.tuple_id != t.tuple_id)
-            search = HomomorphismSearch(
-                current, target, budget=budget, control=control
-            )
-            h = search.find()
-            if h is not None:
-                current = _image_instance(current, h, current.name)
-                changed = True
+    folds = 0
+    with span("core.compute", input_tuples=len(current)) as core_span:
+        changed = True
+        while changed:
+            changed = False
+            if control is not None and not control.check():
                 break
-            if control is not None and control.interrupted:
-                break
+            for t in sorted(
+                current.tuples(),
+                key=lambda x: (x.constant_count(), x.tuple_id),
+            ):
+                # Try to retract: find h : current -> current \ {t}.
+                target = current.filtered(lambda x: x.tuple_id != t.tuple_id)
+                search = HomomorphismSearch(
+                    current, target, budget=budget, control=control
+                )
+                h = search.find()
+                if h is not None:
+                    current = _image_instance(current, h, current.name)
+                    changed = True
+                    folds += 1
+                    break
+                if control is not None and control.interrupted:
+                    break
+        core_span.set(folds=folds, core_tuples=len(current))
+        if control is not None:
+            core_span.set_status(control.outcome.value)
+    registry = active_metrics()
+    if registry is not None:
+        registry.counter("core.computations")
+        registry.counter("core.folds", folds)
     return current
 
 

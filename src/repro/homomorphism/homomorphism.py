@@ -19,6 +19,8 @@ from ..core.instance import Instance
 from ..core.tuples import Tuple
 from ..core.values import LabeledNull, Value, is_constant, is_null
 from ..mappings.value_mapping import ValueMapping
+from ..obs.metrics import active_metrics
+from ..obs.trace import annotate_budget, span
 from ..runtime.budget import Budget, resolve_control
 from ..runtime.outcome import Outcome
 from .search_index import TargetIndex
@@ -81,11 +83,26 @@ class HomomorphismSearch:
         answer.
         """
         assignment: dict[LabeledNull, Value] = {}
-        try:
-            found = self._search(0, assignment)
-        except RecursionError:
-            self.control.trip(Outcome.CRASHED)
-            return None
+        steps_before = self.control.nodes
+        with span(
+            "homomorphism.search", source_tuples=len(self._ordered)
+        ) as search_span:
+            try:
+                found = self._search(0, assignment)
+            except RecursionError:
+                self.control.trip(Outcome.CRASHED)
+                found = False
+            annotate_budget(search_span, self.control)
+            search_span.set(found=found)
+        registry = active_metrics()
+        if registry is not None:
+            registry.counter("homomorphism.searches")
+            registry.counter(
+                "homomorphism.steps", self.control.nodes - steps_before
+            )
+            registry.counter(
+                "homomorphism.outcome", 1, outcome=self.control.outcome.value
+            )
         if found:
             return ValueMapping(assignment)
         return None

@@ -34,6 +34,8 @@ from ..algorithms.result import ComparisonResult
 from ..algorithms.signature import signature_compare
 from ..core.instance import Instance
 from ..mappings.constraints import MatchOptions
+from ..obs.metrics import active_metrics
+from ..obs.trace import span
 from ..parallel.cache import PreparedSide, SignatureCache
 from ..parallel.engine import compare_many
 from ..runtime.faults import FaultPlan
@@ -130,6 +132,20 @@ class RefineReport:
             "incomparable": self.incomparable,
             "lsh_candidates": self.lsh_candidates,
         }
+
+    def publish(self, op: str) -> None:
+        """Mirror the report's counters into the active metrics registry.
+
+        ``op`` labels the operation (``search`` / ``dedup``) so one run's
+        searches and dedups aggregate separately.  No-op when metrics are
+        disabled.
+        """
+        registry = active_metrics()
+        if registry is None:
+            return
+        registry.counter("index.runs", 1, op=op)
+        for key, value in self.as_dict().items():
+            registry.counter(f"index.{key}", value, op=op)
 
 
 class QueryComparer:
@@ -244,6 +260,20 @@ def refine_search(
     shortlist — sub-linear, but a sufficiently similar table outside every
     shared bucket can be missed.
     """
+    with span("index.search", top_k=top_k, exact=exact) as search_span:
+        hits, report = _refine_search_impl(index, query, top_k, policy, exact)
+        search_span.set(**report.as_dict())
+    report.publish("search")
+    return hits, report
+
+
+def _refine_search_impl(
+    index: "SimilarityIndex",
+    query: Instance,
+    top_k: int,
+    policy: RefinePolicy | None,
+    exact: bool,
+) -> tuple[list[SearchHit], RefineReport]:
     policy = policy if policy is not None else RefinePolicy()
     report = RefineReport()
     if top_k <= 0 or len(index) == 0:
@@ -317,6 +347,19 @@ def refine_dedup(
     pairs (sub-quadratic; may miss duplicates whose signatures never share
     a band).
     """
+    with span("index.dedup", threshold=threshold, exact=exact) as dedup_span:
+        pairs, report = _refine_dedup_impl(index, threshold, policy, exact)
+        dedup_span.set(**report.as_dict())
+    report.publish("dedup")
+    return pairs, report
+
+
+def _refine_dedup_impl(
+    index: "SimilarityIndex",
+    threshold: float,
+    policy: RefinePolicy | None,
+    exact: bool,
+) -> tuple[list[DuplicatePair], RefineReport]:
     policy = policy if policy is not None else RefinePolicy()
     report = RefineReport()
     lsh_pairs = set(index.lsh.candidate_pairs())

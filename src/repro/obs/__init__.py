@@ -1,0 +1,106 @@
+"""Observability: structured metrics, tracing, and profiling hooks.
+
+The paper's evaluation is all about *where the work goes* — exact-search
+node expansions, signature map construction, chase firings, index
+refinement counts — but a score alone cannot explain why a cell hit its
+budget or why a query refined 40 candidates instead of 4.  This package is
+the zero-dependency instrumentation substrate threaded through every
+execution layer:
+
+* :mod:`~repro.obs.metrics` — process-local counters / gauges / histograms
+  behind a :class:`MetricsRegistry`.  Disabled by default: every
+  instrumentation site guards on :func:`active_metrics` returning ``None``,
+  so the cost of the disabled path is one module-global read.  Snapshots
+  are deterministic (sorted keys, integer counters) and **merge exactly**,
+  which is what lets per-worker registries from the parallel engine
+  aggregate to the same totals as a serial run.
+* :mod:`~repro.obs.trace` — structured span tracing
+  (``with span("exact.search", pairs=12):``) with monotonic timings,
+  budget/outcome annotations, and JSONL export/import.
+* :mod:`~repro.obs.profile` — opt-in sampling collectors for the hot loops
+  (exact-search fan-out, signature bucket build, chase firings, index
+  refinement bounds) recording count/sum/max plus a top-K table per site.
+* :mod:`~repro.obs.schema` — the documented JSON schemas every exported
+  snapshot and span validates against (tested round-trip in
+  ``tests/obs/test_export.py``).
+* :mod:`~repro.obs.report` — renders a run summary table; the CLI front
+  end is ``python -m repro obs report metrics.json [--trace run.jsonl]``.
+
+Instrumentation contract (see ``docs/OBSERVABILITY.md`` for the counter
+catalog):
+
+1. hot loops count into plain local variables and record **once** per
+   search/run — never per node — so enabling metrics costs one dict update
+   per comparison and disabling them costs one ``is None`` check;
+2. counters carry only deterministic quantities (node counts, pair counts,
+   cache hits); wall-clock durations live on spans and are excluded from
+   the serial-vs-parallel differential equality that CI gates on;
+3. metric names are dotted ``layer.noun[.verb]`` paths; labels are a small
+   closed set rendered ``name{key=value}``.
+"""
+
+from .metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    active_metrics,
+    collect_metrics,
+    counter_inc,
+    metric_key,
+    set_metrics,
+)
+from .profile import (
+    ProfileCollector,
+    active_profiler,
+    collect_profile,
+    profile_observe,
+    set_profiler,
+)
+from .schema import (
+    METRICS_SCHEMA,
+    PROFILE_SCHEMA,
+    SPAN_SCHEMA,
+    SchemaError,
+    validate_metrics,
+    validate_profile,
+    validate_span,
+)
+from .trace import (
+    Span,
+    Tracer,
+    active_tracer,
+    annotate_budget,
+    collect_trace,
+    set_tracer,
+    span,
+)
+from .report import render_report
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "PROFILE_SCHEMA",
+    "ProfileCollector",
+    "SPAN_SCHEMA",
+    "SchemaError",
+    "Span",
+    "Tracer",
+    "active_metrics",
+    "active_profiler",
+    "active_tracer",
+    "annotate_budget",
+    "collect_metrics",
+    "collect_profile",
+    "collect_trace",
+    "counter_inc",
+    "metric_key",
+    "profile_observe",
+    "render_report",
+    "set_metrics",
+    "set_profiler",
+    "set_tracer",
+    "span",
+    "validate_metrics",
+    "validate_profile",
+    "validate_span",
+]

@@ -1,0 +1,346 @@
+"""Process-local metrics: counters, gauges, histograms, exact aggregation.
+
+Design constraints, in priority order:
+
+1. **Free when disabled.**  The registry is opt-in; every instrumentation
+   site does ``reg = active_metrics()`` followed by an ``is None`` check.
+   No decorator magic, no dummy objects on the hot path.
+2. **Deterministic.**  Counter values are exact integers (or exact float
+   sums of deterministic quantities); snapshot keys are sorted; histogram
+   buckets are fixed powers of two.  Two runs doing the same work produce
+   byte-identical snapshots, which is what the serial-vs-parallel
+   differential tests compare.
+3. **Exact merge.**  :meth:`MetricsSnapshot.merge` is associative and
+   commutative on counters and histograms (integer addition), so per-worker
+   snapshots shipped back by the :class:`~repro.parallel.pool.WorkerPool`
+   aggregate to exactly the serial totals regardless of completion order.
+
+Labels are keyword arguments folded into the metric key at record time
+(``exact.outcome{outcome=completed}``), keeping the storage a flat
+``dict[str, number]`` that serializes without any custom encoder.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+
+def metric_key(name: str, labels: dict | None = None) -> str:
+    """Canonical storage key: ``name`` or ``name{k1=v1,k2=v2}`` (sorted).
+
+    Examples
+    --------
+    >>> metric_key("exact.nodes")
+    'exact.nodes'
+    >>> metric_key("exact.outcome", {"outcome": "completed"})
+    'exact.outcome{outcome=completed}'
+    """
+    if not labels:
+        return name
+    rendered = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{rendered}}}"
+
+
+def split_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`metric_key` (labels come back as strings)."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, rest = key.partition("{")
+    labels = {}
+    for item in rest[:-1].split(","):
+        label, _, value = item.partition("=")
+        labels[label] = value
+    return name, labels
+
+
+def _bucket_of(value: float) -> int:
+    """Histogram bucket exponent: smallest ``e`` with ``value <= 2**e``.
+
+    Negative values all land in bucket 0 together with zero — histogram
+    sites record sizes and counts, which are never negative.
+    """
+    exponent = 0
+    bound = 1
+    while value > bound:
+        bound <<= 1
+        exponent += 1
+    return exponent
+
+
+class MetricsSnapshot:
+    """An immutable-by-convention, JSON-ready view of a registry's state.
+
+    Attributes
+    ----------
+    counters:
+        ``key -> total`` monotonic totals.
+    gauges:
+        ``key -> last value`` point-in-time readings.
+    histograms:
+        ``key -> {"count", "sum", "min", "max", "buckets"}`` where
+        ``buckets`` maps the stringified bucket exponent ``e`` to the
+        number of observations with ``value <= 2**e`` (and above the
+        previous bucket).
+    """
+
+    __slots__ = ("counters", "gauges", "histograms")
+
+    def __init__(
+        self,
+        counters: dict[str, float] | None = None,
+        gauges: dict[str, float] | None = None,
+        histograms: dict[str, dict] | None = None,
+    ) -> None:
+        self.counters = dict(counters or {})
+        self.gauges = dict(gauges or {})
+        self.histograms = {
+            key: {
+                "count": h["count"],
+                "sum": h["sum"],
+                "min": h["min"],
+                "max": h["max"],
+                "buckets": dict(h["buckets"]),
+            }
+            for key, h in (histograms or {}).items()
+        }
+
+    def as_dict(self) -> dict:
+        """Deterministically ordered plain-dict form (the export schema)."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                key: {
+                    "count": h["count"],
+                    "sum": h["sum"],
+                    "min": h["min"],
+                    "max": h["max"],
+                    "buckets": {
+                        b: h["buckets"][b]
+                        for b in sorted(h["buckets"], key=int)
+                    },
+                }
+                for key, h in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MetricsSnapshot":
+        """Rebuild a snapshot from :meth:`as_dict` output (round-trip safe)."""
+        return cls(
+            counters=payload.get("counters", {}),
+            gauges=payload.get("gauges", {}),
+            histograms=payload.get("histograms", {}),
+        )
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """A new snapshot with ``other`` folded in.
+
+        Counters and histogram buckets add; gauges take ``other``'s value
+        (last writer wins, matching what a single process would have seen);
+        histogram min/max combine.  Addition on integers is exact, so
+        ``a.merge(b).merge(c)`` equals ``a.merge(c).merge(b)`` on every
+        counter — the property the parallel engine relies on.
+        """
+        merged = MetricsSnapshot(self.counters, self.gauges, self.histograms)
+        for key, value in other.counters.items():
+            merged.counters[key] = merged.counters.get(key, 0) + value
+        merged.gauges.update(other.gauges)
+        for key, histogram in other.histograms.items():
+            if key not in merged.histograms:
+                merged.histograms[key] = {
+                    "count": histogram["count"],
+                    "sum": histogram["sum"],
+                    "min": histogram["min"],
+                    "max": histogram["max"],
+                    "buckets": dict(histogram["buckets"]),
+                }
+                continue
+            mine = merged.histograms[key]
+            mine["count"] += histogram["count"]
+            mine["sum"] += histogram["sum"]
+            mine["min"] = min(mine["min"], histogram["min"])
+            mine["max"] = max(mine["max"], histogram["max"])
+            for bucket, count in histogram["buckets"].items():
+                mine["buckets"][bucket] = (
+                    mine["buckets"].get(bucket, 0) + count
+                )
+        return merged
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricsSnapshot):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsSnapshot({len(self.counters)} counters, "
+            f"{len(self.gauges)} gauges, "
+            f"{len(self.histograms)} histograms)"
+        )
+
+
+class MetricsRegistry:
+    """Collects counters, gauges, and histograms for one run.
+
+    Not thread-safe by design: the repository's execution model is
+    single-threaded per process (the pool forks), so locking would be pure
+    overhead.  Per-worker registries are merged through snapshots.
+
+    Examples
+    --------
+    >>> registry = MetricsRegistry()
+    >>> registry.counter("exact.nodes", 41)
+    >>> registry.counter("exact.nodes")
+    >>> registry.snapshot().counters["exact.nodes"]
+    42
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, dict] = {}
+
+    def counter(self, name: str, value: float = 1, **labels) -> None:
+        """Add ``value`` to the counter ``name`` (with optional labels)."""
+        key = metric_key(name, labels)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        self._gauges[metric_key(name, labels)] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record ``value`` into the histogram ``name``."""
+        key = metric_key(name, labels)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = {
+                "count": 0,
+                "sum": 0,
+                "min": value,
+                "max": value,
+                "buckets": {},
+            }
+            self._histograms[key] = histogram
+        histogram["count"] += 1
+        histogram["sum"] += value
+        if value < histogram["min"]:
+            histogram["min"] = value
+        if value > histogram["max"]:
+            histogram["max"] = value
+        bucket = str(_bucket_of(value))
+        histogram["buckets"][bucket] = histogram["buckets"].get(bucket, 0) + 1
+
+    def merge_snapshot(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a (possibly remote) snapshot into this registry in place."""
+        merged = self.snapshot().merge(snapshot)
+        self._counters = dict(merged.counters)
+        self._gauges = dict(merged.gauges)
+        self._histograms = merged.snapshot_histograms()
+
+    def snapshot(self) -> MetricsSnapshot:
+        """A detached copy of the current state."""
+        return MetricsSnapshot(self._counters, self._gauges, self._histograms)
+
+    def clear(self) -> None:
+        """Drop every recorded metric."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self._counters)} counters, "
+            f"{len(self._gauges)} gauges, "
+            f"{len(self._histograms)} histograms)"
+        )
+
+
+# MetricsSnapshot helper used by merge_snapshot (kept off the public surface).
+def _snapshot_histograms(self: MetricsSnapshot) -> dict[str, dict]:
+    return {
+        key: {
+            "count": h["count"],
+            "sum": h["sum"],
+            "min": h["min"],
+            "max": h["max"],
+            "buckets": dict(h["buckets"]),
+        }
+        for key, h in self.histograms.items()
+    }
+
+
+MetricsSnapshot.snapshot_histograms = _snapshot_histograms  # type: ignore[attr-defined]
+
+
+_ACTIVE: MetricsRegistry | None = None
+
+
+def active_metrics() -> MetricsRegistry | None:
+    """The installed registry, or ``None`` when metrics are disabled.
+
+    This is *the* hot-path guard: instrumentation sites call it once per
+    search/run (never per node) and skip all recording when it returns
+    ``None``.
+    """
+    return _ACTIVE
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry | None:
+    """Install ``registry`` as the process-wide sink; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    return previous
+
+
+@contextmanager
+def collect_metrics(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Enable metrics for the duration of the block.
+
+    Examples
+    --------
+    >>> import repro
+    >>> from repro.obs import collect_metrics
+    >>> I = repro.Instance.from_rows("R", ("A",), [("x",)], id_prefix="l")
+    >>> J = repro.Instance.from_rows("R", ("A",), [("x",)], id_prefix="r")
+    >>> with collect_metrics() as reg:
+    ...     _ = repro.compare(I, J, repro.Algorithm.EXACT)
+    >>> reg.snapshot().counters["exact.searches"]
+    1
+    """
+    own = registry if registry is not None else MetricsRegistry()
+    previous = set_metrics(own)
+    try:
+        yield own
+    finally:
+        set_metrics(previous)
+
+
+def counter_inc(name: str, value: float = 1, **labels) -> None:
+    """Convenience: increment a counter iff metrics are enabled.
+
+    For single-shot sites (CLI entry points, batch boundaries).  Hot loops
+    should hold the ``active_metrics()`` result in a local instead.
+    """
+    registry = _ACTIVE
+    if registry is not None:
+        registry.counter(name, value, **labels)
+
+
+__all__ = [
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "active_metrics",
+    "collect_metrics",
+    "counter_inc",
+    "metric_key",
+    "set_metrics",
+    "split_metric_key",
+]

@@ -1,0 +1,149 @@
+"""Opt-in profiling hooks for the hot loops.
+
+Metrics answer "how much in total"; the profiler answers "how is the work
+*distributed*".  Each :class:`ProfileCollector` site accumulates count /
+sum / max over observed values (exact-search fan-out per node, signature
+bucket sizes, chase firings per tgd, index refinement bounds) plus a
+bounded top-K table of the largest observations with their labels — enough
+to point at the one pathological bucket or pair without storing every
+sample.
+
+Like metrics and tracing, profiling is disabled by default behind a single
+module-global; hot loops that observe per-iteration values should grab
+``active_profiler()`` once into a local before the loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from contextlib import contextmanager
+from typing import Iterator
+
+DEFAULT_TOP_K = 8
+
+
+class _Site:
+    """Aggregate state for one profile site (internal)."""
+
+    __slots__ = ("count", "total", "maximum", "top", "_seq")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.maximum = 0.0
+        # Min-heap of (value, -seq, label): smallest of the kept top-K at
+        # the root; -seq breaks value ties deterministically (keep oldest).
+        self.top: list[tuple[float, int, str]] = []
+        self._seq = 0
+
+
+class ProfileCollector:
+    """Collects per-site observation summaries with a bounded top-K table.
+
+    Examples
+    --------
+    >>> prof = ProfileCollector(top_k=2)
+    >>> for size, label in [(3, "a"), (9, "b"), (5, "c")]:
+    ...     prof.observe("signature.bucket", size, label)
+    >>> site = prof.as_dict()["sites"]["signature.bucket"]
+    >>> site["count"], site["max"], [t["label"] for t in site["top"]]
+    (3, 9, ['b', 'c'])
+    """
+
+    __slots__ = ("top_k", "_sites")
+
+    def __init__(self, top_k: int = DEFAULT_TOP_K) -> None:
+        self.top_k = top_k
+        self._sites: dict[str, _Site] = {}
+
+    def observe(self, site: str, value: float, label: str = "") -> None:
+        """Record one observation at ``site`` (``label`` names the sample)."""
+        state = self._sites.get(site)
+        if state is None:
+            state = _Site()
+            self._sites[site] = state
+        state.count += 1
+        state.total += value
+        if value > state.maximum:
+            state.maximum = value
+        entry = (value, -state._seq, label)
+        state._seq += 1
+        if len(state.top) < self.top_k:
+            heapq.heappush(state.top, entry)
+        elif entry > state.top[0]:
+            heapq.heapreplace(state.top, entry)
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary: per-site count/sum/max and top-K samples."""
+        sites = {}
+        for name in sorted(self._sites):
+            state = self._sites[name]
+            top = sorted(state.top, key=lambda t: (-t[0], -t[1]))
+            sites[name] = {
+                "count": state.count,
+                "sum": state.total,
+                "max": state.maximum,
+                "top": [
+                    {"value": value, "label": label}
+                    for value, _neg_seq, label in top
+                ],
+            }
+        return {"top_k": self.top_k, "sites": sites}
+
+    def clear(self) -> None:
+        self._sites.clear()
+
+    def __repr__(self) -> str:
+        return f"ProfileCollector({len(self._sites)} sites, top_k={self.top_k})"
+
+
+_ACTIVE: ProfileCollector | None = None
+
+
+def active_profiler() -> ProfileCollector | None:
+    """The installed collector, or ``None`` when profiling is disabled."""
+    return _ACTIVE
+
+
+def set_profiler(
+    collector: ProfileCollector | None,
+) -> ProfileCollector | None:
+    """Install ``collector`` process-wide; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = collector
+    return previous
+
+
+@contextmanager
+def collect_profile(
+    collector: ProfileCollector | None = None,
+) -> Iterator[ProfileCollector]:
+    """Enable profiling for the duration of the block."""
+    own = collector if collector is not None else ProfileCollector()
+    previous = set_profiler(own)
+    try:
+        yield own
+    finally:
+        set_profiler(previous)
+
+
+def profile_observe(site: str, value: float, label: str = "") -> None:
+    """Record one observation iff profiling is enabled.
+
+    For one-shot sites.  Per-iteration loops should hold the
+    :func:`active_profiler` result in a local instead.
+    """
+    collector = _ACTIVE
+    if collector is not None:
+        collector.observe(site, value, label)
+
+
+__all__ = [
+    "DEFAULT_TOP_K",
+    "ProfileCollector",
+    "active_profiler",
+    "collect_profile",
+    "profile_observe",
+    "set_profiler",
+]

@@ -1,0 +1,135 @@
+"""Render a human-readable summary of exported observability artifacts.
+
+Backs the ``obs report`` CLI subcommand: reads a ``--metrics`` JSON file
+(and optionally a ``--trace`` JSONL file), validates both against the
+documented schemas, and renders a plain-text table grouped by layer —
+the at-a-glance "where did the work go" view of one run.
+"""
+
+from __future__ import annotations
+
+from .metrics import split_metric_key
+from .schema import validate_metrics, validate_profile
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return str(int(value))
+
+
+def _layer_of(key: str) -> str:
+    name, _ = split_metric_key(key)
+    return name.split(".", 1)[0]
+
+
+def render_report(
+    metrics: dict | None = None,
+    spans: list | None = None,
+    profile: dict | None = None,
+) -> str:
+    """Render a text report from exported artifacts.
+
+    ``metrics`` is a snapshot dict (``MetricsSnapshot.as_dict`` shape),
+    ``spans`` a list of span dicts or :class:`~repro.obs.trace.Span`
+    objects, ``profile`` a :meth:`ProfileCollector.as_dict` summary.
+    All parts are optional; absent parts are skipped.
+    """
+    lines: list[str] = []
+
+    if metrics is not None:
+        validate_metrics(metrics)
+        counters = metrics.get("counters", {})
+        gauges = metrics.get("gauges", {})
+        histograms = metrics.get("histograms", {})
+        lines.append("== Counters ==")
+        if counters:
+            width = max(len(k) for k in counters)
+            current_layer = None
+            for key in sorted(counters):
+                layer = _layer_of(key)
+                if layer != current_layer:
+                    if current_layer is not None:
+                        lines.append("")
+                    lines.append(f"[{layer}]")
+                    current_layer = layer
+                lines.append(
+                    f"  {key:<{width}}  {_format_value(counters[key])}"
+                )
+        else:
+            lines.append("  (none)")
+        if gauges:
+            lines.append("")
+            lines.append("== Gauges ==")
+            width = max(len(k) for k in gauges)
+            for key in sorted(gauges):
+                lines.append(f"  {key:<{width}}  {_format_value(gauges[key])}")
+        if histograms:
+            lines.append("")
+            lines.append("== Histograms ==")
+            for key in sorted(histograms):
+                h = histograms[key]
+                count = h["count"]
+                mean = h["sum"] / count if count else 0.0
+                lines.append(
+                    f"  {key}: count={count} mean={mean:.2f} "
+                    f"min={_format_value(h['min'])} "
+                    f"max={_format_value(h['max'])}"
+                )
+
+    if profile is not None:
+        validate_profile(profile)
+        sites = profile.get("sites", {})
+        if sites:
+            if lines:
+                lines.append("")
+            lines.append("== Profile (top-K per site) ==")
+            for site in sorted(sites):
+                summary = sites[site]
+                count = summary["count"]
+                mean = summary["sum"] / count if count else 0.0
+                lines.append(
+                    f"  {site}: count={count} mean={mean:.2f} "
+                    f"max={_format_value(summary['max'])}"
+                )
+                for entry in summary["top"]:
+                    label = entry["label"] or "-"
+                    lines.append(
+                        f"    {_format_value(entry['value']):>8}  {label}"
+                    )
+
+    if spans:
+        if lines:
+            lines.append("")
+        lines.append("== Spans ==")
+        records = [
+            s.as_dict() if hasattr(s, "as_dict") else s for s in spans
+        ]
+        records.sort(key=lambda s: (s["start"], s["span_id"]))
+        by_name: dict[str, list[dict]] = {}
+        for record in records:
+            by_name.setdefault(record["name"], []).append(record)
+        for name in sorted(by_name):
+            group = by_name[name]
+            total = sum(r["duration"] for r in group)
+            statuses = sorted({r["status"] for r in group})
+            lines.append(
+                f"  {name}: n={len(group)} total={total * 1000:.2f}ms "
+                f"status={','.join(statuses)}"
+            )
+        slowest = sorted(
+            records, key=lambda r: (-r["duration"], r["span_id"])
+        )[:5]
+        lines.append("  slowest:")
+        for record in slowest:
+            lines.append(
+                f"    {record['duration'] * 1000:>9.2f}ms  "
+                f"{record['name']} [{record['status']}]"
+            )
+
+    if not lines:
+        return "(no observability artifacts)\n"
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["render_report"]

@@ -1,0 +1,195 @@
+"""Documented JSON schemas for exported observability artifacts.
+
+Three artifact kinds leave the process:
+
+* a **metrics snapshot** (``--metrics out.json``, worker→parent shipping),
+* a **span** (one JSONL line of ``--trace out.jsonl``),
+* a **profile summary** (embedded in the metrics file under ``"profile"``).
+
+The schema dicts below use JSON-Schema vocabulary (``type`` /
+``properties`` / ``required`` / ``additionalProperties``) as the
+*documentation format*, and the ``validate_*`` functions are a hand-rolled
+interpreter of exactly the subset these schemas use — the repository has a
+no-third-party-dependency rule, so ``jsonschema`` is out of reach.  The
+round-trip tests in ``tests/obs/test_export.py`` pin both directions:
+everything we export validates, and known-bad shapes are rejected.
+"""
+
+from __future__ import annotations
+
+
+class SchemaError(ValueError):
+    """An exported artifact does not match its documented schema."""
+
+
+_HISTOGRAM_SCHEMA = {
+    "type": "object",
+    "properties": {
+        "count": {"type": "integer"},
+        "sum": {"type": "number"},
+        "min": {"type": "number"},
+        "max": {"type": "number"},
+        "buckets": {"type": "object", "values": {"type": "integer"}},
+    },
+    "required": ["count", "sum", "min", "max", "buckets"],
+    "additionalProperties": False,
+}
+
+METRICS_SCHEMA = {
+    "type": "object",
+    "properties": {
+        "counters": {"type": "object", "values": {"type": "number"}},
+        "gauges": {"type": "object", "values": {"type": "number"}},
+        "histograms": {"type": "object", "values": _HISTOGRAM_SCHEMA},
+    },
+    "required": ["counters", "gauges", "histograms"],
+    "additionalProperties": False,
+}
+
+SPAN_SCHEMA = {
+    "type": "object",
+    "properties": {
+        "name": {"type": "string"},
+        "span_id": {"type": "integer"},
+        "parent_id": {"type": ["integer", "null"]},
+        "start": {"type": "number"},
+        "duration": {"type": "number"},
+        "status": {"type": "string"},
+        "attributes": {
+            "type": "object",
+            "values": {"type": ["string", "number", "boolean", "null"]},
+        },
+    },
+    "required": [
+        "name",
+        "span_id",
+        "parent_id",
+        "start",
+        "duration",
+        "status",
+        "attributes",
+    ],
+    "additionalProperties": False,
+}
+
+PROFILE_SCHEMA = {
+    "type": "object",
+    "properties": {
+        "top_k": {"type": "integer"},
+        "sites": {
+            "type": "object",
+            "values": {
+                "type": "object",
+                "properties": {
+                    "count": {"type": "integer"},
+                    "sum": {"type": "number"},
+                    "max": {"type": "number"},
+                    "top": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "properties": {
+                                "value": {"type": "number"},
+                                "label": {"type": "string"},
+                            },
+                            "required": ["value", "label"],
+                            "additionalProperties": False,
+                        },
+                    },
+                },
+                "required": ["count", "sum", "max", "top"],
+                "additionalProperties": False,
+            },
+        },
+    },
+    "required": ["top_k", "sites"],
+    "additionalProperties": False,
+}
+
+# ``values`` (for homogeneous maps) mirrors JSON Schema's
+# ``additionalProperties: <schema>`` form but keeps the interpreter below
+# trivially small.
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _check(value, schema: dict, path: str) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            raise SchemaError(
+                f"{path or '$'}: expected {'/'.join(types)}, "
+                f"got {type(value).__name__}"
+            )
+    if isinstance(value, dict):
+        properties = schema.get("properties", {})
+        for name in schema.get("required", []):
+            if name not in value:
+                raise SchemaError(f"{path or '$'}: missing key {name!r}")
+        value_schema = schema.get("values")
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SchemaError(f"{path or '$'}: non-string key {key!r}")
+            child_path = f"{path}.{key}" if path else key
+            if key in properties:
+                _check(item, properties[key], child_path)
+            elif value_schema is not None:
+                _check(item, value_schema, child_path)
+            elif schema.get("additionalProperties") is False:
+                raise SchemaError(f"{path or '$'}: unexpected key {key!r}")
+    elif isinstance(value, list):
+        item_schema = schema.get("items")
+        if item_schema is not None:
+            for index, item in enumerate(value):
+                _check(item, item_schema, f"{path}[{index}]")
+
+
+def validate_metrics(payload: object) -> dict:
+    """Validate a metrics-snapshot dict; returns it (raises SchemaError)."""
+    if not isinstance(payload, dict):
+        raise SchemaError(
+            f"metrics snapshot must be an object, got {type(payload).__name__}"
+        )
+    _check(payload, METRICS_SCHEMA, "")
+    return payload
+
+
+def validate_span(payload: object) -> dict:
+    """Validate one exported span dict; returns it (raises SchemaError)."""
+    if not isinstance(payload, dict):
+        raise SchemaError(
+            f"span must be an object, got {type(payload).__name__}"
+        )
+    _check(payload, SPAN_SCHEMA, "")
+    return payload
+
+
+def validate_profile(payload: object) -> dict:
+    """Validate a profile-summary dict; returns it (raises SchemaError)."""
+    if not isinstance(payload, dict):
+        raise SchemaError(
+            f"profile summary must be an object, got {type(payload).__name__}"
+        )
+    _check(payload, PROFILE_SCHEMA, "")
+    return payload
+
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "PROFILE_SCHEMA",
+    "SPAN_SCHEMA",
+    "SchemaError",
+    "validate_metrics",
+    "validate_profile",
+    "validate_span",
+]

@@ -1,0 +1,337 @@
+"""Structured span tracing with monotonic timings and JSONL export.
+
+A *span* is one timed region of execution — an exact search, a chase run,
+an index refinement phase — with a name, nesting (parent span), monotonic
+start/duration, free-form attributes, and a status that carries the
+:class:`~repro.runtime.Outcome` vocabulary (``completed`` /
+``budget-exhausted`` / ``oom`` / ...).  Spans answer the question metrics
+cannot: not just *how many* nodes a run expanded, but *which* comparison
+spent them and under which budget verdict.
+
+Like metrics, tracing is disabled by default and guarded by a single
+module-global read: ``span(...)`` returns a shared no-op context manager
+when no :class:`Tracer` is installed, so the disabled cost is one ``if``.
+
+Timing is ``time.perf_counter`` relative to the tracer's epoch — spans
+from one tracer order totally and deterministically by ``(start, span_id)``
+— plus one wall-clock epoch stamp on the tracer for log correlation.
+Export is JSON Lines (one span object per line, schema in
+:mod:`~repro.obs.schema`); import/export round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import IO, Iterable
+
+from .schema import validate_span
+
+_ATTR_TYPES = (str, int, float, bool, type(None))
+
+
+def _clean_attributes(attributes: dict) -> dict:
+    """Coerce attribute values to JSON scalars (repr() for anything else)."""
+    cleaned = {}
+    for key, value in attributes.items():
+        if isinstance(value, bool) or isinstance(value, _ATTR_TYPES):
+            cleaned[key] = value
+        else:
+            cleaned[key] = repr(value)
+    return cleaned
+
+
+class Span:
+    """One region of traced execution.  Created via :meth:`Tracer.span`."""
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "start",
+        "duration",
+        "attributes",
+        "status",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        start: float,
+        attributes: dict,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.duration: float | None = None  # None while the span is open
+        self.attributes = attributes
+        self.status = "completed"
+
+    def set(self, **attributes) -> "Span":
+        """Attach attributes to the span (chainable)."""
+        self.attributes.update(_clean_attributes(attributes))
+        return self
+
+    def set_status(self, status: str) -> "Span":
+        """Record why the spanned work stopped (Outcome value or ``error``)."""
+        self.status = str(status)
+        return self
+
+    def as_dict(self) -> dict:
+        """JSON-ready form (the JSONL line)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "duration": self.duration if self.duration is not None else 0.0,
+            "status": self.status,
+            "attributes": {
+                k: self.attributes[k] for k in sorted(self.attributes)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        span_record = cls(
+            name=payload["name"],
+            span_id=payload["span_id"],
+            parent_id=payload.get("parent_id"),
+            start=payload["start"],
+            attributes=dict(payload.get("attributes", {})),
+        )
+        span_record.duration = payload.get("duration", 0.0)
+        span_record.status = payload.get("status", "completed")
+        return span_record
+
+    def __repr__(self) -> str:
+        timing = (
+            f"{self.duration * 1000:.2f}ms"
+            if self.duration is not None
+            else "open"
+        )
+        return f"Span({self.name!r}, {timing}, status={self.status!r})"
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned when tracing is disabled.
+
+    Stateless, so one instance is safely reused as a context manager by
+    every disabled ``span(...)`` call site.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attributes) -> "_NullSpan":
+        return self
+
+    def set_status(self, status: str) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`Tracer.span`; closes the span."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span_record: Span) -> None:
+        self._tracer = tracer
+        self._span = span_record
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, _tb) -> None:
+        if exc_type is not None and self._span.status == "completed":
+            self._span.set_status("error")
+            self._span.set(error=f"{exc_type.__name__}: {exc}")
+        self._tracer._close(self._span)
+        return None
+
+
+class Tracer:
+    """Collects spans for one run; export/import is JSON Lines.
+
+    Examples
+    --------
+    >>> tracer = Tracer()
+    >>> with tracer.span("outer", kind="demo"):
+    ...     with tracer.span("inner"):
+    ...         pass
+    >>> [s.name for s in tracer.spans], tracer.spans[0].parent_id
+    (['inner', 'outer'], 1)
+    """
+
+    def __init__(self) -> None:
+        self.epoch_wall = time.time()
+        self._epoch = time.perf_counter()
+        self.spans: list[Span] = []
+        self._open: list[Span] = []
+        self._next_id = 1
+
+    def span(self, name: str, **attributes) -> _SpanContext:
+        """Open a span; use as a context manager."""
+        parent_id = self._open[-1].span_id if self._open else None
+        span_record = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent_id,
+            start=time.perf_counter() - self._epoch,
+            attributes=_clean_attributes(attributes),
+        )
+        self._next_id += 1
+        self._open.append(span_record)
+        return _SpanContext(self, span_record)
+
+    def _close(self, span_record: Span) -> None:
+        span_record.duration = (
+            time.perf_counter() - self._epoch - span_record.start
+        )
+        # Close any abandoned children first (defensive; normal exits pop
+        # exactly the last element).
+        while self._open and self._open[-1] is not span_record:
+            self._open.pop()
+        if self._open:
+            self._open.pop()
+        self.spans.append(span_record)
+
+    def export_jsonl(self, sink: IO[str]) -> int:
+        """Write one JSON object per completed span; returns the span count.
+
+        Spans are written sorted by ``(start, span_id)`` so exports are
+        deterministic regardless of close order (children close before
+        parents, but parents *start* first).
+        """
+        ordered = sorted(self.spans, key=lambda s: (s.start, s.span_id))
+        for span_record in ordered:
+            sink.write(json.dumps(span_record.as_dict(), sort_keys=True))
+            sink.write("\n")
+        return len(ordered)
+
+    def export_path(self, path: str) -> int:
+        """Export to a file path; returns the span count."""
+        with open(path, "w", encoding="utf-8") as handle:
+            return self.export_jsonl(handle)
+
+    @staticmethod
+    def import_jsonl(lines: Iterable[str]) -> list[Span]:
+        """Parse (and validate) spans from JSONL lines."""
+        spans = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            validate_span(payload)
+            spans.append(Span.from_dict(payload))
+        return spans
+
+    def __repr__(self) -> str:
+        return f"Tracer({len(self.spans)} spans, {len(self._open)} open)"
+
+
+_ACTIVE: Tracer | None = None
+
+
+def active_tracer() -> Tracer | None:
+    """The installed tracer, or ``None`` when tracing is disabled."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install ``tracer`` process-wide; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    return previous
+
+
+class _TraceScope:
+    """Context manager for :func:`collect_trace` (restores the previous tracer)."""
+
+    __slots__ = ("_tracer", "_previous")
+
+    def __init__(self, tracer: Tracer) -> None:
+        self._tracer = tracer
+        self._previous: Tracer | None = None
+
+    def __enter__(self) -> Tracer:
+        self._previous = set_tracer(self._tracer)
+        return self._tracer
+
+    def __exit__(self, *exc_info) -> None:
+        set_tracer(self._previous)
+        return None
+
+
+def collect_trace(tracer: Tracer | None = None) -> _TraceScope:
+    """Enable tracing for the duration of the block.
+
+    Examples
+    --------
+    >>> import repro
+    >>> from repro.obs import collect_trace
+    >>> I = repro.Instance.from_rows("R", ("A",), [("x",)], id_prefix="l")
+    >>> J = repro.Instance.from_rows("R", ("A",), [("x",)], id_prefix="r")
+    >>> with collect_trace() as tracer:
+    ...     _ = repro.compare(I, J, repro.Algorithm.EXACT)
+    >>> any(s.name == "exact.search" for s in tracer.spans)
+    True
+    """
+    return _TraceScope(tracer if tracer is not None else Tracer())
+
+
+def span(name: str, **attributes):
+    """Open a span on the active tracer, or a shared no-op when disabled.
+
+    The instrumentation entry point::
+
+        with span("exact.search", algorithm="exact") as sp:
+            ...
+            sp.set(nodes=control.nodes)
+            sp.set_status(control.outcome.value)
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attributes)
+
+
+def annotate_budget(span_record, control) -> None:
+    """Stamp a span with a :class:`~repro.runtime.Budget`'s verdict.
+
+    Records the nodes spent, the limits in force, and the outcome as the
+    span status — the per-span version of the † table markers.  Works on
+    real spans and the disabled no-op alike.
+    """
+    span_record.set(
+        nodes=control.nodes,
+        node_limit=control.node_limit,
+        deadline=control.deadline,
+        outcome=control.outcome.value,
+    )
+    span_record.set_status(control.outcome.value)
+
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "annotate_budget",
+    "collect_trace",
+    "set_tracer",
+    "span",
+]

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from ..algorithms.signature import SignatureIndex
 from ..core.instance import Instance, prepare_side
 from ..core.values import is_null
+from ..obs.metrics import counter_inc
 
 
 def instance_fingerprint(instance: Instance) -> str:
@@ -126,9 +127,11 @@ class SignatureCache:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
+            counter_inc("parallel.cache.hits")
             self._entries.move_to_end(key)
             return entry
         self.misses += 1
+        counter_inc("parallel.cache.misses")
         prepared = prepare_side(instance, side)
         entry = PreparedSide(
             fingerprint=fingerprint,
@@ -140,6 +143,7 @@ class SignatureCache:
         if len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
             self.evictions += 1
+            counter_inc("parallel.cache.evictions")
         return entry
 
     def __len__(self) -> int:

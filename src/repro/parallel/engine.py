@@ -30,6 +30,13 @@ from ..algorithms.result import ComparisonResult
 from ..algorithms.signature import SignatureIndex, signature_compare
 from ..core.instance import Instance
 from ..mappings.constraints import MatchOptions
+from ..obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    active_metrics,
+    set_metrics,
+)
+from ..obs.trace import span
 from ..runtime.faults import FaultPlan
 from ..runtime.isolation import STATUS_OUTCOMES, WorkerLimits
 from ..runtime.outcome import Outcome
@@ -47,6 +54,7 @@ def compare_pair_job(
     refine: bool = False,
     left_index: SignatureIndex | None = None,
     right_index: SignatureIndex | None = None,
+    collect: bool = False,
 ) -> ComparisonResult:
     """Compare one *prepared* pair; the unit of work shipped to workers.
 
@@ -55,17 +63,43 @@ def compare_pair_job(
     cache's canonical per-side form, or ``prepare_for_comparison`` output);
     the indexes, when given, must have been built from exactly these
     instances.
+
+    With ``collect=True`` the comparison runs under a fresh per-pair
+    :class:`~repro.obs.MetricsRegistry` and its snapshot is attached to
+    ``result.stats["metrics"]``.  This is how metrics cross the worker
+    pipe: the snapshot rides the result through the existing connection
+    protocol and the parent merges it.  ``compare_many`` uses the same
+    path for serial (``jobs=1``) runs, so serial and parallel batches
+    aggregate identically — the differential property CI gates on.
     """
-    return run_algorithm(
-        left,
-        right,
-        spec,
-        options=options,
-        deadline=deadline,
-        refine=refine,
-        left_index=left_index,
-        right_index=right_index,
-    )
+    if not collect:
+        return run_algorithm(
+            left,
+            right,
+            spec,
+            options=options,
+            deadline=deadline,
+            refine=refine,
+            left_index=left_index,
+            right_index=right_index,
+        )
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
+    try:
+        result = run_algorithm(
+            left,
+            right,
+            spec,
+            options=options,
+            deadline=deadline,
+            refine=refine,
+            left_index=left_index,
+            right_index=right_index,
+        )
+    finally:
+        set_metrics(previous)
+    result.stats["metrics"] = registry.snapshot().as_dict()
+    return result
 
 
 def _degraded_result(
@@ -166,92 +200,129 @@ def compare_many(
     spec = resolve_algorithm(algorithm)
     cache = cache if cache is not None else SignatureCache()
     use_workers = jobs > 1 or fault_plan is not None or limits is not None
+    # When the parent has metrics enabled, per-pair counters are collected
+    # in a scoped registry inside compare_pair_job and shipped back as a
+    # snapshot on result.stats["metrics"] — the identical code path in
+    # serial and worker mode, which is what makes jobs=1 and jobs=N
+    # aggregate to byte-identical counter totals.
+    parent_registry = active_metrics()
+    collecting = parent_registry is not None
 
-    prepared: list[tuple] = []
-    for left, right in pair_list:
-        left_entry = cache.get(left, "left")
-        right_entry = cache.get(right, "right")
-        prepared.append((left_entry, right_entry))
+    with span(
+        "parallel.compare_many",
+        pairs=len(pair_list),
+        jobs=jobs,
+        algorithm=spec.algorithm.value,
+    ) as batch_span:
+        prepared: list[tuple] = []
+        for left, right in pair_list:
+            left_entry = cache.get(left, "left")
+            right_entry = cache.get(right, "right")
+            prepared.append((left_entry, right_entry))
 
-    results: list[ComparisonResult] = []
-    if not use_workers:
-        for left_entry, right_entry in prepared:
-            results.append(
-                compare_pair_job(
-                    left_entry.instance,
-                    right_entry.instance,
-                    spec,
-                    options,
-                    deadline=deadline,
-                    refine=refine,
-                    left_index=left_entry.index,
-                    right_index=right_entry.index,
-                )
-            )
-    else:
-        fault_set = (
-            None if fault_pairs is None else {int(i) for i in fault_pairs}
-        )
-        tasks = []
-        for i, (left_entry, right_entry) in enumerate(prepared):
-            plan = fault_plan
-            if plan is not None and fault_set is not None and i not in fault_set:
-                plan = None
-            tasks.append(
-                PoolTask(
-                    index=i,
-                    args=(
+        results: list[ComparisonResult] = []
+        if not use_workers:
+            for left_entry, right_entry in prepared:
+                results.append(
+                    compare_pair_job(
                         left_entry.instance,
                         right_entry.instance,
                         spec,
                         options,
-                    ),
-                    kwargs={
-                        "deadline": deadline,
-                        "refine": refine,
-                        "left_index": left_entry.index,
-                        "right_index": right_entry.index,
-                    },
-                    plan=plan,
+                        deadline=deadline,
+                        refine=refine,
+                        left_index=left_entry.index,
+                        right_index=right_entry.index,
+                        collect=collecting,
+                    )
                 )
+        else:
+            fault_set = (
+                None if fault_pairs is None else {int(i) for i in fault_pairs}
             )
-        pool = WorkerPool(
-            jobs=jobs,
-            limits=limits,
-            retry=retry,
-            validate=lambda value: isinstance(value, ComparisonResult),
-            out=out,
-        )
-        started = time.perf_counter()
-        outcomes = pool.run(compare_pair_job, tasks)
-        elapsed = time.perf_counter() - started
-        if out is not None:
-            out(
-                f"compared {len(tasks)} pairs with jobs={jobs} "
-                f"in {elapsed:.2f}s"
-            )
-        for outcome, (left_entry, right_entry) in zip(outcomes, prepared):
-            if outcome.status == "ok":
-                result = outcome.payload
-                if len(outcome.records) > 1:
-                    result.stats["fault_log"] = [
-                        record.as_dict() for record in outcome.records
-                    ]
-            else:
-                result = _degraded_result(
-                    outcome,
-                    left_entry.instance,
-                    right_entry.instance,
-                    spec,
-                    options,
-                    left_entry.index,
-                    right_entry.index,
+            tasks = []
+            for i, (left_entry, right_entry) in enumerate(prepared):
+                plan = fault_plan
+                if (
+                    plan is not None
+                    and fault_set is not None
+                    and i not in fault_set
+                ):
+                    plan = None
+                tasks.append(
+                    PoolTask(
+                        index=i,
+                        args=(
+                            left_entry.instance,
+                            right_entry.instance,
+                            spec,
+                            options,
+                        ),
+                        kwargs={
+                            "deadline": deadline,
+                            "refine": refine,
+                            "left_index": left_entry.index,
+                            "right_index": right_entry.index,
+                            "collect": collecting,
+                        },
+                        plan=plan,
+                    )
                 )
-            results.append(result)
+            pool = WorkerPool(
+                jobs=jobs,
+                limits=limits,
+                retry=retry,
+                validate=lambda value: isinstance(value, ComparisonResult),
+                out=out,
+            )
+            started = time.perf_counter()
+            outcomes = pool.run(compare_pair_job, tasks)
+            elapsed = time.perf_counter() - started
+            if out is not None:
+                out(
+                    f"compared {len(tasks)} pairs with jobs={jobs} "
+                    f"in {elapsed:.2f}s"
+                )
+            for outcome, (left_entry, right_entry) in zip(outcomes, prepared):
+                if outcome.status == "ok":
+                    result = outcome.payload
+                    if len(outcome.records) > 1:
+                        result.stats["fault_log"] = [
+                            record.as_dict() for record in outcome.records
+                        ]
+                else:
+                    result = _degraded_result(
+                        outcome,
+                        left_entry.instance,
+                        right_entry.instance,
+                        spec,
+                        options,
+                        left_entry.index,
+                        right_entry.index,
+                    )
+                results.append(result)
 
-    cache_stats = cache.stats()
-    for result in results:
-        result.stats["cache"] = dict(cache_stats)
+        if collecting:
+            # Fold per-pair snapshots into the parent registry — shipped
+            # over the worker pipe in parallel mode, attached in-process in
+            # serial mode; either way the merge is exact integer addition.
+            for result in results:
+                shipped = result.stats.get("metrics")
+                if shipped is not None:
+                    parent_registry.merge_snapshot(
+                        MetricsSnapshot.from_dict(shipped)
+                    )
+            parent_registry.counter("parallel.batch.runs")
+            parent_registry.counter("parallel.batch.pairs", len(pair_list))
+
+        cache_stats = cache.stats()
+        for result in results:
+            result.stats["cache"] = dict(cache_stats)
+        batch_span.set(
+            degraded=sum(
+                1 for r in results if "degraded_from" in r.stats
+            ),
+        )
     return results
 
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
 from typing import Any, Callable
 
+from ..obs.metrics import counter_inc
 from ..runtime.faults import GARBAGE_RESULT, FaultPlan
 from ..runtime.isolation import WorkerHandle, WorkerLimits, reap_worker, start_worker
 from ..runtime.retry import (
@@ -168,6 +169,10 @@ class WorkerPool:
     def _launch(self, job: str | Callable, task: PoolTask) -> WorkerHandle:
         task.attempt += 1
         task.started_at = time.perf_counter()
+        # Parent-side scheduling counter.  Everything under parallel.pool.*
+        # exists only on the worker path, so the serial-vs-parallel
+        # differential tests exclude this namespace.
+        counter_inc("parallel.pool.attempts")
         if task.plan is not None:
             # Attempt pinning: the plan object is snapshotted into the
             # child at fork time, so setting the attribute here targets
@@ -232,6 +237,7 @@ class WorkerPool:
                 outcomes[task.index] = TaskOutcome(
                     task.index, "ok", payload, task.records
                 )
+                counter_inc("parallel.pool.tasks", 1, status="ok")
                 return
             status, payload = "garbage", "result failed validation"
 
@@ -251,11 +257,13 @@ class WorkerPool:
                 f"{status} ({payload}); backing off "
                 f"{record.backoff_seconds:.3f}s"
             )
+            counter_inc("parallel.pool.retries", 1, status=status)
             pending.append(task)
             return
         outcomes[task.index] = TaskOutcome(
             task.index, status, payload, task.records
         )
+        counter_inc("parallel.pool.tasks", 1, status=status)
 
     def _terminate_all(
         self, running: dict[Any, tuple[WorkerHandle, PoolTask]]

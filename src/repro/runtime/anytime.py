@@ -28,6 +28,8 @@ import time
 
 from ..core.instance import Instance, prepare_for_comparison
 from ..mappings.constraints import MatchOptions
+from ..obs.metrics import active_metrics
+from ..obs.trace import span
 from .budget import DEFAULT_CHECK_INTERVAL, Budget
 from .cancellation import CancellationToken
 from .outcome import Outcome
@@ -115,74 +117,88 @@ def compare_anytime(
         deadline=deadline, token=token, check_interval=check_interval
     ).start()
 
-    # Rung 1 — signature floor.  Deliberately *not* under the deadline (it
-    # must run even with deadline=0 so there is always a result), but under
-    # the token so cancellation still stops it.
-    floor_control = Budget(token=token, check_interval=check_interval)
-    best = signature_compare(
-        left, right, options=options, control=floor_control
-    )
-    best_rung = "signature"
-    rungs_run = ["signature"]
-    score_is_exact = False
-
-    # Rung 2 — refinement under the shared budget.
-    if control.check():
-        rungs_run.append("refine")
-        refined = refine_match(
-            best,
-            move_budget=(
-                DEFAULT_MOVE_BUDGET
-                if refine_move_budget is None
-                else refine_move_budget
-            ),
-            control=control,
+    with span("anytime.ladder", deadline=deadline) as ladder_span:
+        # Rung 1 — signature floor.  Deliberately *not* under the deadline
+        # (it must run even with deadline=0 so there is always a result),
+        # but under the token so cancellation still stops it.
+        floor_control = Budget(token=token, check_interval=check_interval)
+        best = signature_compare(
+            left, right, options=options, control=floor_control
         )
-        if refined.similarity > best.similarity:
-            best, best_rung = refined, "refine"
+        best_rung = "signature"
+        rungs_run = ["signature"]
+        score_is_exact = False
 
-    # Rung 3 — exact search with the remaining wall clock and a node cap.
-    exact_outcome: Outcome | None = None
-    fault_log: list[dict] | None = None
-    if control.check():
-        rungs_run.append("exact")
-
-        def attempt_exact() -> "ComparisonResult":
-            # Fresh child budget per attempt: a retried attempt must not
-            # inherit the nodes its dead predecessor already spent.
-            return exact_compare(
-                left,
-                right,
-                options=options,
-                control=control.child(node_limit=node_budget),
+        # Rung 2 — refinement under the shared budget.
+        if control.check():
+            rungs_run.append("refine")
+            refined = refine_match(
+                best,
+                move_budget=(
+                    DEFAULT_MOVE_BUDGET
+                    if refine_move_budget is None
+                    else refine_move_budget
+                ),
+                control=control,
             )
+            if refined.similarity > best.similarity:
+                best, best_rung = refined, "refine"
 
-        if executor is not None:
-            report = executor.run(
-                attempt_exact, degrade=lambda: None, label="exact-rung"
-            )
-            fault_log = report.log_dicts()
-            exact = report.value
-            if report.degraded or exact is None:
-                # The exact rung died hard; the signature/refine floor
-                # stands and the death is the ladder's outcome.
-                exact_outcome = report.outcome
-                exact = None
+        # Rung 3 — exact search with the remaining wall clock and a node cap.
+        exact_outcome: Outcome | None = None
+        fault_log: list[dict] | None = None
+        if control.check():
+            rungs_run.append("exact")
+
+            def attempt_exact() -> "ComparisonResult":
+                # Fresh child budget per attempt: a retried attempt must not
+                # inherit the nodes its dead predecessor already spent.
+                return exact_compare(
+                    left,
+                    right,
+                    options=options,
+                    control=control.child(node_limit=node_budget),
+                )
+
+            if executor is not None:
+                report = executor.run(
+                    attempt_exact, degrade=lambda: None, label="exact-rung"
+                )
+                fault_log = report.log_dicts()
+                exact = report.value
+                if report.degraded or exact is None:
+                    # The exact rung died hard; the signature/refine floor
+                    # stands and the death is the ladder's outcome.
+                    exact_outcome = report.outcome
+                    exact = None
+            else:
+                exact = attempt_exact()
+            if exact is not None:
+                exact_outcome = exact.outcome
+                if exact.outcome.is_complete:
+                    # Completed exact search dominates: its score is the
+                    # optimum.
+                    best, best_rung, score_is_exact = exact, "exact", True
+                elif exact.similarity > best.similarity:
+                    best, best_rung = exact, "exact"
+
+        if exact_outcome is not None:
+            overall = exact_outcome
         else:
-            exact = attempt_exact()
-        if exact is not None:
-            exact_outcome = exact.outcome
-            if exact.outcome.is_complete:
-                # Completed exact search dominates: its score is the optimum.
-                best, best_rung, score_is_exact = exact, "exact", True
-            elif exact.similarity > best.similarity:
-                best, best_rung = exact, "exact"
+            control.check()  # classify why the ladder stopped early
+            overall = control.outcome
+        ladder_span.set(
+            rung=best_rung,
+            rungs_run=",".join(rungs_run),
+            score_is_exact=score_is_exact,
+        )
+        ladder_span.set_status(overall.value)
 
-    if exact_outcome is not None:
-        overall = exact_outcome
-    else:
-        control.check()  # classify why the ladder stopped early
-        overall = control.outcome
+    registry = active_metrics()
+    if registry is not None:
+        registry.counter("anytime.ladders")
+        registry.counter("anytime.rung", 1, rung=best_rung)
+        registry.counter("anytime.outcome", 1, outcome=overall.value)
 
     stats = {
         **best.stats,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import time
 
+from ..obs.metrics import counter_inc
 from .cancellation import CancellationToken
 from .faults import fault_checkpoint
 from .outcome import Outcome
@@ -150,6 +151,7 @@ class Budget:
         self.nodes += n
         if self.node_limit is not None and self.nodes > self.node_limit:
             self._outcome = Outcome.BUDGET_EXHAUSTED
+            counter_inc("runtime.budget.trips", 1, outcome=self._outcome.value)
             return False
         if self.nodes >= self._next_check:
             self._next_check = self.nodes + self.check_interval
@@ -170,6 +172,7 @@ class Budget:
         fault_checkpoint("budget")
         if self.token is not None and self.token.cancelled:
             self._outcome = Outcome.CANCELLED
+            counter_inc("runtime.budget.trips", 1, outcome=self._outcome.value)
             return False
         if self._started_at is None:
             self.start()
@@ -178,6 +181,7 @@ class Budget:
             and time.monotonic() >= self._expires_at
         ):
             self._outcome = Outcome.DEADLINE_EXCEEDED
+            counter_inc("runtime.budget.trips", 1, outcome=self._outcome.value)
             return False
         return True
 
@@ -193,6 +197,7 @@ class Budget:
             raise ValueError("trip() requires a non-complete outcome")
         if self._outcome is Outcome.COMPLETED:
             self._outcome = outcome
+            counter_inc("runtime.budget.trips", 1, outcome=outcome.value)
 
     # -- inspection ------------------------------------------------------------
 

@@ -1,0 +1,193 @@
+"""Artifact schemas: everything exported validates; bad shapes are rejected.
+
+These tests pin the export contract both ways — real artifacts produced by
+instrumented runs round-trip through their schemas, and a battery of
+known-bad payloads raises :class:`SchemaError` — so a schema drift breaks
+loudly here rather than silently in a downstream consumer.
+"""
+
+import io
+import json
+
+import pytest
+
+import repro
+from repro import Algorithm, Instance
+from repro.obs import (
+    SchemaError,
+    Tracer,
+    collect_metrics,
+    collect_profile,
+    collect_trace,
+    validate_metrics,
+    validate_profile,
+    validate_span,
+)
+
+
+def pair():
+    left = Instance.from_rows("R", ("A",), [("x",), ("y",)], id_prefix="l")
+    right = Instance.from_rows("R", ("A",), [("x",), ("z",)], id_prefix="r")
+    return left, right
+
+
+class TestRealArtifactsValidate:
+    def test_metrics_snapshot_validates_and_round_trips(self):
+        left, right = pair()
+        with collect_metrics() as registry:
+            repro.compare(left, right, Algorithm.EXACT)
+        payload = registry.snapshot().as_dict()
+        validate_metrics(payload)
+        # JSON round trip preserves validity and content.
+        reloaded = json.loads(json.dumps(payload))
+        validate_metrics(reloaded)
+        assert reloaded == payload
+
+    def test_every_exported_span_validates(self):
+        left, right = pair()
+        with collect_trace() as tracer:
+            repro.compare(left, right, Algorithm.ANYTIME)
+        sink = io.StringIO()
+        count = tracer.export_jsonl(sink)
+        assert count == len(tracer.spans)
+        lines = sink.getvalue().strip().splitlines()
+        assert len(lines) == count
+        for line in lines:
+            validate_span(json.loads(line))
+
+    def test_trace_jsonl_import_round_trips(self):
+        left, right = pair()
+        with collect_trace() as tracer:
+            repro.compare(left, right, Algorithm.EXACT)
+        sink = io.StringIO()
+        tracer.export_jsonl(sink)
+        imported = Tracer.import_jsonl(sink.getvalue().splitlines())
+        exported_again = io.StringIO()
+        replay = Tracer()
+        replay.spans = imported
+        replay.export_jsonl(exported_again)
+        assert exported_again.getvalue() == sink.getvalue()
+
+    def test_profile_summary_validates(self):
+        left, right = pair()
+        with collect_profile() as prof:
+            repro.compare(left, right, Algorithm.EXACT)
+        payload = prof.as_dict()
+        validate_profile(payload)
+        validate_profile(json.loads(json.dumps(payload)))
+
+
+class TestBadShapesRejected:
+    def test_metrics_not_an_object(self):
+        with pytest.raises(SchemaError, match="object"):
+            validate_metrics([1, 2])
+
+    def test_metrics_missing_section(self):
+        with pytest.raises(SchemaError, match="histograms"):
+            validate_metrics({"counters": {}, "gauges": {}})
+
+    def test_metrics_non_numeric_counter(self):
+        with pytest.raises(SchemaError, match="number"):
+            validate_metrics(
+                {"counters": {"n": "five"}, "gauges": {}, "histograms": {}}
+            )
+
+    def test_metrics_bool_is_not_a_number(self):
+        with pytest.raises(SchemaError):
+            validate_metrics(
+                {"counters": {"n": True}, "gauges": {}, "histograms": {}}
+            )
+
+    def test_metrics_malformed_histogram(self):
+        with pytest.raises(SchemaError, match="buckets"):
+            validate_metrics(
+                {
+                    "counters": {},
+                    "gauges": {},
+                    "histograms": {
+                        "h": {"count": 1, "sum": 1, "min": 1, "max": 1}
+                    },
+                }
+            )
+
+    def test_metrics_extra_top_level_key(self):
+        with pytest.raises(SchemaError, match="unexpected"):
+            validate_metrics(
+                {
+                    "counters": {},
+                    "gauges": {},
+                    "histograms": {},
+                    "extra": {},
+                }
+            )
+
+    def test_span_missing_required_key(self):
+        with pytest.raises(SchemaError, match="duration"):
+            validate_span(
+                {
+                    "name": "s",
+                    "span_id": 1,
+                    "parent_id": None,
+                    "start": 0.0,
+                    "status": "completed",
+                    "attributes": {},
+                }
+            )
+
+    def test_span_wrong_id_type(self):
+        record = {
+            "name": "s",
+            "span_id": "one",
+            "parent_id": None,
+            "start": 0.0,
+            "duration": 0.0,
+            "status": "completed",
+            "attributes": {},
+        }
+        with pytest.raises(SchemaError, match="integer"):
+            validate_span(record)
+
+    def test_span_attribute_must_be_scalar(self):
+        record = {
+            "name": "s",
+            "span_id": 1,
+            "parent_id": None,
+            "start": 0.0,
+            "duration": 0.0,
+            "status": "completed",
+            "attributes": {"nested": {"no": "objects"}},
+        }
+        with pytest.raises(SchemaError):
+            validate_span(record)
+
+    def test_import_jsonl_rejects_invalid_line(self):
+        good = {
+            "name": "s",
+            "span_id": 1,
+            "parent_id": None,
+            "start": 0.0,
+            "duration": 0.0,
+            "status": "completed",
+            "attributes": {},
+        }
+        bad = dict(good)
+        del bad["status"]
+        lines = [json.dumps(good), json.dumps(bad)]
+        with pytest.raises(SchemaError, match="status"):
+            Tracer.import_jsonl(lines)
+
+    def test_profile_top_entry_shape(self):
+        with pytest.raises(SchemaError, match="label"):
+            validate_profile(
+                {
+                    "top_k": 8,
+                    "sites": {
+                        "s": {
+                            "count": 1,
+                            "sum": 1,
+                            "max": 1,
+                            "top": [{"value": 1}],
+                        }
+                    },
+                }
+            )

@@ -1,0 +1,230 @@
+"""MetricsRegistry: keys, snapshots, and the exact-merge contract."""
+
+import pytest
+
+import repro
+from repro import Algorithm, Instance, LabeledNull
+from repro.obs.metrics import (
+    MetricsRegistry,
+    MetricsSnapshot,
+    active_metrics,
+    collect_metrics,
+    counter_inc,
+    metric_key,
+    set_metrics,
+    split_metric_key,
+)
+
+
+class TestMetricKey:
+    def test_plain_name(self):
+        assert metric_key("exact.nodes") == "exact.nodes"
+
+    def test_labels_sorted(self):
+        key = metric_key("runs", {"b": 2, "a": 1})
+        assert key == "runs{a=1,b=2}"
+
+    def test_split_round_trip(self):
+        key = metric_key("exact.outcome", {"outcome": "completed"})
+        name, labels = split_metric_key(key)
+        assert name == "exact.outcome"
+        assert labels == {"outcome": "completed"}
+
+    def test_split_plain(self):
+        assert split_metric_key("exact.nodes") == ("exact.nodes", {})
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("n", 3)
+        registry.counter("n")
+        assert registry.snapshot().counters["n"] == 4
+
+    def test_counter_labels_separate_series(self):
+        registry = MetricsRegistry()
+        registry.counter("outcome", 1, outcome="completed")
+        registry.counter("outcome", 1, outcome="oom")
+        counters = registry.snapshot().counters
+        assert counters["outcome{outcome=completed}"] == 1
+        assert counters["outcome{outcome=oom}"] == 1
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth", 3)
+        registry.gauge("depth", 7)
+        assert registry.snapshot().gauges["depth"] == 7
+
+    def test_histogram_summary(self):
+        registry = MetricsRegistry()
+        for value in (1, 2, 3, 100):
+            registry.observe("sizes", value)
+        h = registry.snapshot().histograms["sizes"]
+        assert h["count"] == 4
+        assert h["sum"] == 106
+        assert h["min"] == 1
+        assert h["max"] == 100
+        # Power-of-two buckets: 1 -> e=0, 2 -> e=1, 3 -> e=2, 100 -> e=7.
+        assert h["buckets"] == {"0": 1, "1": 1, "2": 1, "7": 1}
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("n")
+        registry.gauge("g", 1)
+        registry.observe("h", 1)
+        registry.clear()
+        snapshot = registry.snapshot()
+        assert snapshot.as_dict() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestSnapshotMerge:
+    def _snap(self, **counters):
+        registry = MetricsRegistry()
+        for name, value in counters.items():
+            registry.counter(name, value)
+        return registry.snapshot()
+
+    def test_merge_adds_counters(self):
+        merged = self._snap(a=1, b=2).merge(self._snap(b=3, c=4))
+        assert merged.counters == {"a": 1, "b": 5, "c": 4}
+
+    def test_merge_is_commutative(self):
+        a, b = self._snap(x=1), self._snap(x=2, y=3)
+        assert a.merge(b) == b.merge(a)
+
+    def test_merge_is_associative(self):
+        a, b, c = self._snap(x=1), self._snap(x=2), self._snap(y=1)
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    def test_merge_histograms(self):
+        left = MetricsRegistry()
+        left.observe("h", 1)
+        right = MetricsRegistry()
+        right.observe("h", 100)
+        merged = left.snapshot().merge(right.snapshot())
+        h = merged.histograms["h"]
+        assert h["count"] == 2
+        assert h["min"] == 1
+        assert h["max"] == 100
+
+    def test_round_trip_through_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("a", 2, k="v")
+        registry.gauge("g", 1.5)
+        registry.observe("h", 7)
+        snapshot = registry.snapshot()
+        assert MetricsSnapshot.from_dict(snapshot.as_dict()) == snapshot
+
+    def test_merge_snapshot_into_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("n", 1)
+        registry.merge_snapshot(self._snap(n=2, m=5))
+        counters = registry.snapshot().counters
+        assert counters == {"n": 3, "m": 5}
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert active_metrics() is None
+
+    def test_counter_inc_noop_when_disabled(self):
+        counter_inc("nothing.breaks")  # must not raise
+
+    def test_collect_metrics_scopes_the_registry(self):
+        with collect_metrics() as registry:
+            assert active_metrics() is registry
+            counter_inc("scoped", 2)
+        assert active_metrics() is None
+        assert registry.snapshot().counters["scoped"] == 2
+
+    def test_nested_scopes_restore_previous(self):
+        with collect_metrics() as outer:
+            with collect_metrics() as inner:
+                counter_inc("inner.only")
+            assert active_metrics() is outer
+        assert "inner.only" in inner.snapshot().counters
+        assert "inner.only" not in outer.snapshot().counters
+
+    def test_set_metrics_returns_previous(self):
+        registry = MetricsRegistry()
+        assert set_metrics(registry) is None
+        assert set_metrics(None) is registry
+
+
+class TestInstrumentationCoverage:
+    """Every layer named in the catalog records under its namespace."""
+
+    def _pair(self):
+        N1 = LabeledNull("N1")
+        left = Instance.from_rows(
+            "R", ("A", "B"), [("x", 1), ("y", N1)], id_prefix="l"
+        )
+        right = Instance.from_rows(
+            "R", ("A", "B"), [("x", 1), ("y", 2)], id_prefix="r"
+        )
+        return left, right
+
+    @pytest.mark.parametrize(
+        "algorithm,expected",
+        [
+            (Algorithm.EXACT, "exact.searches"),
+            (Algorithm.SIGNATURE, "signature.runs"),
+            (Algorithm.PARTIAL, "partial.runs"),
+            (Algorithm.ANYTIME, "anytime.ladders"),
+        ],
+    )
+    def test_algorithm_counters(self, algorithm, expected):
+        left, right = self._pair()
+        with collect_metrics() as registry:
+            repro.compare(left, right, algorithm)
+        assert registry.snapshot().counters[expected] >= 1
+
+    def test_exact_histogram_and_outcome(self):
+        left, right = self._pair()
+        with collect_metrics() as registry:
+            repro.compare(left, right, Algorithm.EXACT)
+        snapshot = registry.snapshot()
+        assert snapshot.counters["exact.outcome{outcome=completed}"] == 1
+        assert snapshot.histograms["exact.nodes_per_search"]["count"] == 1
+
+    def test_budget_trip_counter(self):
+        left, right = self._pair()
+        with collect_metrics() as registry:
+            result = repro.compare(
+                left, right, repro.ExactOptions(node_budget=1)
+            )
+        assert not result.outcome.is_complete
+        counters = registry.snapshot().counters
+        assert counters["runtime.budget.trips{outcome=budget-exhausted}"] == 1
+
+    def test_homomorphism_and_core_counters(self):
+        from repro.homomorphism import find_homomorphism
+        from repro.homomorphism.core import compute_core
+
+        left, right = self._pair()
+        with collect_metrics() as registry:
+            find_homomorphism(left, left)
+            compute_core(left)
+        counters = registry.snapshot().counters
+        assert counters["homomorphism.searches"] >= 1
+        assert counters["core.computations"] == 1
+
+    def test_chase_counters(self):
+        from repro.core.schema import RelationSchema, Schema
+        from repro.dataexchange.chase import chase
+        from repro.dataexchange.tgds import TGD, Atom, Var
+
+        source = Instance.from_rows("S", ("A",), [("x",), ("y",)])
+        a = Var("a")
+        tgd = TGD("m1", body=(Atom("S", (a,)),), head=(Atom("T", (a,)),))
+        target = Schema([RelationSchema("T", ("A",))])
+        with collect_metrics() as registry:
+            chase(source, [tgd], target)
+        counters = registry.snapshot().counters
+        assert counters["chase.runs"] == 1
+        assert counters["chase.firings"] == 2
+        assert counters["chase.tuples_emitted"] == 2

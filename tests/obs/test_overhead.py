@@ -1,0 +1,127 @@
+"""Disabled-instrumentation overhead: structurally free, measurably cheap.
+
+The observability layer's core promise is that *not* using it costs one
+``is None`` check per search (never per node).  Two kinds of tests pin
+that:
+
+* structural — the disabled entry points return shared singletons and
+  record nothing, so there is no per-call allocation to pay for;
+* timing — the measured per-call cost of the disabled guards, scaled by a
+  generous over-estimate of guard sites per comparison, stays under the
+  5 % overhead budget relative to one real comparison.  (A direct
+  pre-PR-vs-post-PR wall-clock diff is not measurable from inside the
+  repo; ``benchmarks/bench_obs.py`` computes the same estimate on a
+  larger workload and gates CI on it.)
+
+Timing assertions use min-of-N and generous bounds to stay robust on
+noisy shared runners.
+"""
+
+import time
+
+import repro
+from repro import Algorithm, Instance
+from repro.obs import collect_metrics, collect_profile, collect_trace
+from repro.obs.metrics import active_metrics, counter_inc
+from repro.obs.profile import active_profiler, profile_observe
+from repro.obs.trace import NULL_SPAN, active_tracer, span
+
+# Generous over-estimate of disabled guard sites evaluated per comparison
+# (the real count for one exact compare is under ten).
+GUARDS_PER_COMPARE = 50
+OVERHEAD_BUDGET = 0.05
+
+
+def pair(rows=6):
+    left = Instance.from_rows(
+        "R", ("A", "B"),
+        [(f"v{i}", i) for i in range(rows)],
+        id_prefix="l",
+    )
+    right = Instance.from_rows(
+        "R", ("A", "B"),
+        [(f"v{i}", i if i % 3 else i + 100) for i in range(rows)],
+        id_prefix="r",
+    )
+    return left, right
+
+
+def min_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+class TestDisabledIsStructurallyFree:
+    def test_disabled_span_is_a_shared_singleton(self):
+        assert span("a") is span("b") is NULL_SPAN
+
+    def test_disabled_recorders_are_noops(self):
+        counter_inc("x", 1, label="y")
+        profile_observe("x", 1, "y")
+        with span("x") as record:
+            record.set(a=1).set_status("s")
+        assert active_metrics() is None
+        assert active_tracer() is None
+        assert active_profiler() is None
+
+    def test_compare_leaves_no_collector_installed(self):
+        left, right = pair()
+        repro.compare(left, right, Algorithm.EXACT)
+        assert active_metrics() is None
+        assert active_tracer() is None
+        assert active_profiler() is None
+
+    def test_result_carries_no_metrics_when_disabled(self):
+        from repro.parallel import compare_many
+
+        left, right = pair()
+        [result] = compare_many([(left, right)], Algorithm.EXACT)
+        assert "metrics" not in result.stats
+
+
+class TestDisabledGuardBudget:
+    def test_guard_cost_is_within_overhead_budget(self):
+        left, right = pair()
+        compare_seconds = min_of(
+            lambda: repro.compare(left, right, Algorithm.EXACT)
+        )
+
+        calls = 2000
+        def guards():
+            for _ in range(calls):
+                counter_inc("overhead.test")
+                span("overhead.test")
+                profile_observe("overhead.test", 1)
+
+        per_guard = min_of(guards) / (calls * 3)
+        estimated_overhead = per_guard * GUARDS_PER_COMPARE
+        assert estimated_overhead < OVERHEAD_BUDGET * compare_seconds, (
+            f"disabled guards cost ~{estimated_overhead * 1e6:.1f}us per "
+            f"compare vs a {compare_seconds * 1e3:.2f}ms comparison "
+            f"(> {OVERHEAD_BUDGET:.0%} budget)"
+        )
+
+
+class TestEnabledOverheadIsBounded:
+    def test_full_collection_does_not_blow_up_the_runtime(self):
+        """Enabled collection stays within 2x — a tripwire for accidental
+        per-node recording, not a precise overhead claim (bench_obs.py
+        measures that)."""
+        left, right = pair(rows=8)
+        disabled = min_of(
+            lambda: repro.compare(left, right, Algorithm.EXACT), repeats=7
+        )
+
+        def enabled_run():
+            with collect_metrics(), collect_trace(), collect_profile():
+                repro.compare(left, right, Algorithm.EXACT)
+
+        enabled = min_of(enabled_run, repeats=7)
+        assert enabled < disabled * 2 + 0.005, (
+            f"enabled collection took {enabled * 1e3:.2f}ms vs "
+            f"{disabled * 1e3:.2f}ms disabled"
+        )

@@ -1,0 +1,91 @@
+"""ProfileCollector: top-K selection, determinism, and hot-site coverage."""
+
+import repro
+from repro import Algorithm, Instance
+from repro.obs.profile import (
+    ProfileCollector,
+    active_profiler,
+    collect_profile,
+    profile_observe,
+    set_profiler,
+)
+
+
+class TestCollector:
+    def test_site_summary(self):
+        prof = ProfileCollector()
+        for value in (1, 5, 3):
+            prof.observe("site", value)
+        site = prof.as_dict()["sites"]["site"]
+        assert site["count"] == 3
+        assert site["sum"] == 9
+        assert site["max"] == 5
+
+    def test_top_k_keeps_largest(self):
+        prof = ProfileCollector(top_k=2)
+        for value, label in [(3, "a"), (9, "b"), (5, "c"), (1, "d")]:
+            prof.observe("site", value, label)
+        top = prof.as_dict()["sites"]["site"]["top"]
+        assert [t["label"] for t in top] == ["b", "c"]
+        assert [t["value"] for t in top] == [9, 5]
+
+    def test_value_ties_keep_oldest(self):
+        prof = ProfileCollector(top_k=1)
+        prof.observe("site", 5, "first")
+        prof.observe("site", 5, "second")
+        [kept] = prof.as_dict()["sites"]["site"]["top"]
+        assert kept["label"] == "first"
+
+    def test_sites_sorted_in_export(self):
+        prof = ProfileCollector()
+        prof.observe("z", 1)
+        prof.observe("a", 1)
+        assert list(prof.as_dict()["sites"]) == ["a", "z"]
+
+    def test_clear(self):
+        prof = ProfileCollector()
+        prof.observe("site", 1)
+        prof.clear()
+        assert prof.as_dict()["sites"] == {}
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert active_profiler() is None
+        profile_observe("nothing", 1)  # no raise
+
+    def test_collect_profile_scopes_the_collector(self):
+        with collect_profile() as prof:
+            assert active_profiler() is prof
+            profile_observe("scoped", 7, "x")
+        assert active_profiler() is None
+        assert prof.as_dict()["sites"]["scoped"]["max"] == 7
+
+    def test_set_profiler_returns_previous(self):
+        prof = ProfileCollector()
+        assert set_profiler(prof) is None
+        assert set_profiler(None) is prof
+
+
+class TestInstrumentedSites:
+    def _pair(self):
+        left = Instance.from_rows(
+            "R", ("A", "B"), [("x", 1), ("y", 2)], id_prefix="l"
+        )
+        right = Instance.from_rows(
+            "R", ("A", "B"), [("x", 1), ("y", 3)], id_prefix="r"
+        )
+        return left, right
+
+    def test_exact_fanout_site(self):
+        left, right = self._pair()
+        with collect_profile() as prof:
+            repro.compare(left, right, Algorithm.EXACT)
+        sites = prof.as_dict()["sites"]
+        assert sites["exact.fanout"]["count"] == 2  # one per left tuple
+
+    def test_signature_bucket_site(self):
+        left, right = self._pair()
+        with collect_profile() as prof:
+            repro.compare(left, right, Algorithm.SIGNATURE)
+        assert "signature.bucket_size" in prof.as_dict()["sites"]

@@ -1,0 +1,71 @@
+"""The ``obs report`` renderer: grouping, validation, graceful absence."""
+
+import pytest
+
+import repro
+from repro import Algorithm, Instance
+from repro.obs import (
+    SchemaError,
+    collect_metrics,
+    collect_profile,
+    collect_trace,
+    render_report,
+)
+
+
+def artifacts():
+    left = Instance.from_rows("R", ("A",), [("x",), ("y",)], id_prefix="l")
+    right = Instance.from_rows("R", ("A",), [("x",), ("z",)], id_prefix="r")
+    with collect_metrics() as registry, collect_trace() as tracer, \
+            collect_profile() as prof:
+        repro.compare(left, right, Algorithm.EXACT)
+    return (
+        registry.snapshot().as_dict(),
+        [s.as_dict() for s in tracer.spans],
+        prof.as_dict(),
+    )
+
+
+class TestRenderReport:
+    def test_counters_grouped_by_layer(self):
+        metrics, _, _ = artifacts()
+        text = render_report(metrics=metrics)
+        assert "== Counters ==" in text
+        assert "[exact]" in text
+        assert "exact.searches" in text
+
+    def test_spans_section(self):
+        _, spans, _ = artifacts()
+        text = render_report(spans=spans)
+        assert "== Spans ==" in text
+        assert "exact.search" in text
+        assert "slowest:" in text
+
+    def test_profile_section(self):
+        _, _, profile = artifacts()
+        text = render_report(profile=profile)
+        assert "== Profile" in text
+        assert "exact.fanout" in text
+
+    def test_all_parts_together(self):
+        metrics, spans, profile = artifacts()
+        text = render_report(metrics=metrics, spans=spans, profile=profile)
+        for heading in ("== Counters ==", "== Spans ==", "== Profile"):
+            assert heading in text
+
+    def test_no_artifacts(self):
+        assert render_report() == "(no observability artifacts)\n"
+
+    def test_invalid_metrics_rejected(self):
+        with pytest.raises(SchemaError):
+            render_report(metrics={"counters": {}})
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(SchemaError):
+            render_report(profile={"sites": {}})
+
+    def test_histogram_line(self):
+        metrics, _, _ = artifacts()
+        text = render_report(metrics=metrics)
+        assert "exact.nodes_per_search" in text
+        assert "mean=" in text

@@ -1,0 +1,190 @@
+"""Span tracing: nesting, status, determinism, and the disabled no-op."""
+
+import io
+
+import pytest
+
+import repro
+from repro import Algorithm, Instance
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    active_tracer,
+    annotate_budget,
+    collect_trace,
+    set_tracer,
+    span,
+)
+from repro.runtime import Budget
+
+
+def pair():
+    left = Instance.from_rows("R", ("A",), [("x",), ("y",)], id_prefix="l")
+    right = Instance.from_rows("R", ("A",), [("x",), ("z",)], id_prefix="r")
+    return left, right
+
+
+class TestTracer:
+    def test_nesting_records_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans
+        assert (inner.name, outer.name) == ("inner", "outer")
+        assert outer.parent_id is None
+        assert inner.parent_id == outer.span_id
+
+    def test_span_ids_are_sequential(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.span_id for s in tracer.spans] == [1, 2]
+
+    def test_attributes_cleaned_to_json_scalars(self):
+        tracer = Tracer()
+        with tracer.span("s", n=3, flag=True, obj=object()) as record:
+            record.set(late="yes")
+        attrs = tracer.spans[0].attributes
+        assert attrs["n"] == 3
+        assert attrs["flag"] is True
+        assert attrs["late"] == "yes"
+        assert isinstance(attrs["obj"], str)  # repr() fallback
+
+    def test_exception_marks_error_status(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        record = tracer.spans[0]
+        assert record.status == "error"
+        assert "RuntimeError" in record.attributes["error"]
+        assert record.duration is not None
+
+    def test_explicit_status_survives_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("s") as record:
+                record.set_status("budget-exhausted")
+                raise RuntimeError("boom")
+        assert tracer.spans[0].status == "budget-exhausted"
+
+    def test_durations_are_non_negative(self):
+        tracer = Tracer()
+        with tracer.span("timed"):
+            pass
+        assert tracer.spans[0].duration >= 0.0
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert active_tracer() is None
+        assert span("anything") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with span("nothing") as record:
+            record.set(a=1).set_status("whatever")
+        # No tracer installed, nothing recorded anywhere.
+        assert active_tracer() is None
+
+    def test_collect_trace_scopes_the_tracer(self):
+        with collect_trace() as tracer:
+            assert active_tracer() is tracer
+            with span("scoped"):
+                pass
+        assert active_tracer() is None
+        assert [s.name for s in tracer.spans] == ["scoped"]
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        assert set_tracer(tracer) is None
+        assert set_tracer(None) is tracer
+
+
+class TestAnnotateBudget:
+    def test_stamps_nodes_and_outcome(self):
+        budget = Budget(node_limit=2).start()
+        while budget.spend():
+            pass
+        tracer = Tracer()
+        with tracer.span("search") as record:
+            annotate_budget(record, budget)
+        attrs = tracer.spans[0].attributes
+        assert attrs["nodes"] == budget.nodes
+        assert attrs["node_limit"] == 2
+        assert attrs["outcome"] == "budget-exhausted"
+        assert tracer.spans[0].status == "budget-exhausted"
+
+    def test_works_on_null_span(self):
+        annotate_budget(NULL_SPAN, Budget.unlimited().start())  # no raise
+
+
+class TestInstrumentedSpans:
+    def test_compare_produces_named_spans(self):
+        left, right = pair()
+        with collect_trace() as tracer:
+            repro.compare(left, right, Algorithm.EXACT)
+        assert any(s.name == "exact.search" for s in tracer.spans)
+
+    def test_anytime_ladder_nests_rungs(self):
+        left, right = pair()
+        with collect_trace() as tracer:
+            repro.compare(left, right, Algorithm.ANYTIME)
+        by_name = {s.name: s for s in tracer.spans}
+        ladder = by_name["anytime.ladder"]
+        children = [
+            s for s in tracer.spans if s.parent_id == ladder.span_id
+        ]
+        assert children  # at least the signature rung ran under the ladder
+
+    def test_compare_many_wraps_batch(self):
+        left, right = pair()
+        from repro.parallel import compare_many
+
+        with collect_trace() as tracer:
+            compare_many([(left, right)], Algorithm.SIGNATURE)
+        batch = [s for s in tracer.spans if s.name == "parallel.compare_many"]
+        assert len(batch) == 1
+        assert batch[0].attributes["pairs"] == 1
+
+    def test_budget_trip_sets_span_status(self):
+        left, right = pair()
+        with collect_trace() as tracer:
+            repro.compare(left, right, repro.ExactOptions(node_budget=1))
+        search = next(s for s in tracer.spans if s.name == "exact.search")
+        assert search.status == "budget-exhausted"
+
+
+class TestExportOrdering:
+    def test_export_sorted_by_start_then_id(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        sink = io.StringIO()
+        count = tracer.export_jsonl(sink)
+        assert count == 2
+        lines = sink.getvalue().strip().splitlines()
+        imported = Tracer.import_jsonl(lines)
+        # Parents start before children, so export order is outer, inner —
+        # the reverse of close order.
+        assert [s.name for s in imported] == ["outer", "inner"]
+
+    def test_round_trip_preserves_fields(self):
+        tracer = Tracer()
+        with tracer.span("s", a=1) as record:
+            record.set_status("oom")
+        sink = io.StringIO()
+        tracer.export_jsonl(sink)
+        [imported] = Tracer.import_jsonl(sink.getvalue().splitlines())
+        original = tracer.spans[0]
+        assert imported.as_dict() == original.as_dict()
+
+    def test_from_dict_round_trip(self):
+        record = Span("n", 1, None, 0.5, {"k": "v"})
+        record.duration = 0.25
+        record.status = "completed"
+        assert Span.from_dict(record.as_dict()).as_dict() == record.as_dict()

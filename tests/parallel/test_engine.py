@@ -214,3 +214,81 @@ class TestWorkerPool:
         assert [outcome.payload for outcome in outcomes] == [
             "slow", "fast", "mid",
         ]
+
+
+class TestDifferentialMetrics:
+    """Serial and parallel batches aggregate to identical counters.
+
+    Per-pair counters are recorded in a scoped registry inside
+    ``compare_pair_job`` and merged into the parent — the same code path
+    whether the pair ran in-process or was shipped to a fork worker — so
+    ``jobs=1`` and ``jobs=N`` must agree exactly on every counter and
+    histogram.  Only the ``parallel.pool.*`` namespace (parent-side
+    scheduling counters that exist only on the worker path) is excluded;
+    timings are wall-clock and never enter the registries.
+    """
+
+    @staticmethod
+    def _without_pool(counters):
+        return {
+            key: value
+            for key, value in counters.items()
+            if not key.startswith("parallel.pool.")
+        }
+
+    def _aggregate(self, grid, algorithm, jobs):
+        from repro.obs import collect_metrics
+
+        with collect_metrics() as registry:
+            results = compare_many(pairs_of(grid), algorithm, jobs=jobs)
+        return results, registry.snapshot()
+
+    @pytest.mark.parametrize(
+        "algorithm", [Algorithm.EXACT, Algorithm.SIGNATURE, Algorithm.ANYTIME]
+    )
+    def test_serial_equals_jobs2(self, grid, algorithm):
+        serial_results, serial = self._aggregate(grid, algorithm, jobs=1)
+        parallel_results, parallel = self._aggregate(grid, algorithm, jobs=2)
+        assert [r.similarity for r in serial_results] == [
+            r.similarity for r in parallel_results
+        ]
+        assert self._without_pool(serial.counters) == self._without_pool(
+            parallel.counters
+        )
+        assert serial.histograms == parallel.histograms
+
+    def test_aggregation_is_order_independent(self, grid):
+        """Two parallel runs agree with each other, not just with serial —
+        worker completion order must not leak into the totals."""
+        _, first = self._aggregate(grid, Algorithm.EXACT, jobs=3)
+        _, second = self._aggregate(grid, Algorithm.EXACT, jobs=3)
+        assert self._without_pool(first.counters) == self._without_pool(
+            second.counters
+        )
+
+    def test_per_pair_snapshots_sum_to_parent_total(self, grid):
+        from repro.obs import collect_metrics
+        from repro.obs.metrics import MetricsSnapshot
+
+        with collect_metrics() as registry:
+            results = compare_many(pairs_of(grid), Algorithm.EXACT, jobs=2)
+        total = MetricsSnapshot()
+        for result in results:
+            total = total.merge(
+                MetricsSnapshot.from_dict(result.stats["metrics"])
+            )
+        parent = registry.snapshot()
+        for key, value in total.counters.items():
+            assert parent.counters[key] == value
+
+    def test_pool_counters_only_on_worker_path(self, grid):
+        _, serial = self._aggregate(grid, Algorithm.EXACT, jobs=1)
+        _, parallel = self._aggregate(grid, Algorithm.EXACT, jobs=2)
+        assert not any(
+            key.startswith("parallel.pool.") for key in serial.counters
+        )
+        assert parallel.counters["parallel.pool.tasks{status=ok}"] == 3
+
+    def test_disabled_metrics_ship_nothing(self, grid):
+        results = compare_many(pairs_of(grid), Algorithm.EXACT, jobs=2)
+        assert all("metrics" not in result.stats for result in results)

@@ -1,0 +1,145 @@
+"""Property-based invariants of the observability counters.
+
+Counters must inherit the algorithms' representation-independence: work
+measured on two representations of the *same* incomplete database must be
+identical work.  Three families are pinned here:
+
+* **null renaming** — a semantics-preserving injective null renaming
+  changes neither scores nor any counter or histogram (preparation
+  canonicalizes labels before any instrumented loop runs);
+* **row reordering** — scores and *structural* counters (searches run,
+  candidate pairs considered) are order-invariant, while traversal
+  counters like ``exact.nodes`` legitimately vary with expansion order
+  and are excluded;
+* **cross-algorithm bounds** — the greedy signature algorithm commits at
+  most one pair per left tuple, while a completed exact search expands at
+  least one node per left tuple, so committed signature pairs never
+  exceed completed exact node expansions on the same pair.
+
+Collection itself must also be a no-op on results: enabling every
+collector cannot change a similarity score.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.algorithms.exact import exact_compare
+from repro.algorithms.signature import signature_compare
+from repro.core.instance import Instance, prepare_for_comparison
+from repro.core.values import LabeledNull
+from repro.mappings.constraints import MatchOptions
+from repro.obs import collect_metrics, collect_profile, collect_trace
+
+CONSTANTS = ["a", "b", "c", "d"]
+OPTIONS = MatchOptions.versioning(lam=0.5)
+
+STRUCTURAL_EXACT_COUNTERS = (
+    "exact.searches",
+    "exact.candidate_pairs",
+)
+
+
+@st.composite
+def instance_pair(draw, max_rows: int = 4, arity: int = 2):
+    """Two random same-schema instances with labeled nulls."""
+
+    def build(prefix: str):
+        n_rows = draw(st.integers(min_value=0, max_value=max_rows))
+        null_pool = [LabeledNull(f"{prefix}{k}") for k in range(4)]
+        rows = []
+        for _ in range(n_rows):
+            row = tuple(
+                draw(st.sampled_from(null_pool))
+                if draw(st.booleans())
+                else draw(st.sampled_from(CONSTANTS))
+                for _ in range(arity)
+            )
+            rows.append(row)
+        return Instance.from_rows(
+            "R", tuple(f"A{i}" for i in range(arity)), rows,
+            id_prefix=prefix,
+        )
+
+    return build("L"), build("R")
+
+
+def measured(algorithm_fn, left, right):
+    """Run one algorithm under a fresh registry; (result, snapshot)."""
+    left, right = prepare_for_comparison(left, right)
+    with collect_metrics() as registry:
+        result = algorithm_fn(left, right, OPTIONS)
+    return result, registry.snapshot()
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(instance_pair())
+@pytest.mark.parametrize(
+    "algorithm_fn", [signature_compare, exact_compare],
+    ids=["signature", "exact"],
+)
+def test_counters_invariant_under_null_renaming(algorithm_fn, pair):
+    """Renaming nulls changes no score, counter, or histogram."""
+    left, right = pair
+    renaming = {
+        null: LabeledNull(f"Z_{null.label}") for null in right.vars()
+    }
+    renamed = right.rename_nulls(renaming)
+
+    base_result, base = measured(algorithm_fn, left, right)
+    renamed_result, after = measured(algorithm_fn, left, renamed)
+
+    assert base_result.similarity == renamed_result.similarity
+    assert base.counters == after.counters
+    assert base.histograms == after.histograms
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(instance_pair(), st.randoms(use_true_random=False))
+def test_structural_counters_invariant_under_row_shuffle(pair, rng):
+    """Row order may steer the search but not the structural counters.
+
+    ``exact.nodes`` is deliberately *not* asserted: branch-and-bound
+    expansion order (and hence node count) legitimately depends on tuple
+    order; only the optimum and the candidate structure cannot.
+    """
+    left, right = pair
+    shuffled = right.shuffled(rng)
+
+    base_result, base = measured(exact_compare, left, right)
+    shuffled_result, after = measured(exact_compare, left, shuffled)
+
+    assert base_result.similarity == pytest.approx(
+        shuffled_result.similarity
+    )
+    for name in STRUCTURAL_EXACT_COUNTERS:
+        assert base.counters.get(name, 0) == after.counters.get(name, 0)
+
+
+@settings(max_examples=25, deadline=None, derandomize=True)
+@given(instance_pair())
+def test_signature_pairs_bounded_by_exact_nodes(pair):
+    """Committed greedy pairs never exceed completed exact expansions."""
+    left, right = pair
+    _, signature = measured(signature_compare, left, right)
+    exact_result, exact = measured(exact_compare, left, right)
+    assert exact_result.outcome.is_complete  # unlimited budget
+
+    committed = signature.counters.get(
+        "signature.signature_pairs", 0
+    ) + signature.counters.get("signature.completion_pairs", 0)
+    assert committed <= exact.counters.get("exact.nodes", 0) or committed == 0
+
+
+@settings(max_examples=15, deadline=None, derandomize=True)
+@given(instance_pair())
+def test_collection_does_not_change_results(pair):
+    """Enabling every collector is invisible to the comparison itself."""
+    left, right = pair
+    plain = repro.compare(left, right, repro.Algorithm.EXACT)
+    with collect_metrics(), collect_trace(), collect_profile():
+        observed = repro.compare(left, right, repro.Algorithm.EXACT)
+    assert plain.similarity == observed.similarity
+    assert len(plain.match.m) == len(observed.match.m)
