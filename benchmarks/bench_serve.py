@@ -1,0 +1,385 @@
+"""Closed-loop load benchmark for ``repro serve``; emits ``BENCH_serve.json``.
+
+Standalone (like ``bench_index.py``) so CI can run it briefly against a
+small corpus and archive the JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py \
+        --rows 30 --tables 6 --duration 4 --out BENCH_serve.json
+
+Starts the server as a real subprocess (``python -m repro serve``), then
+drives it with closed-loop client threads — each thread issues the next
+request the moment the previous one answers, so offered load scales with
+the client count — through three phases:
+
+* **baseline**: one client, measures the unloaded service time (and thus
+  the server's approximate capacity in QPS);
+* **saturation**: as many clients as worker slots;
+* **overload**: enough clients that offered QPS is at least 3× measured
+  capacity, which must drive shedding and/or degradation.
+
+Robustness gates (any failure exits 1):
+
+1. every request gets an HTTP response — no hung or dropped connections;
+2. every shed response is a 429 carrying ``Retry-After``;
+3. in the overload phase the server actually protects itself: some
+   requests are shed or degraded;
+4. p99 latency of *admitted* (200) requests stays within 2× the full
+   per-request budget (deadline + kill grace) in every phase;
+5. SIGTERM during load drains cleanly: exit code 0 within the drain
+   deadline plus margin, and the ``--metrics`` artifact it flushes
+   validates against the obs metrics schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.datagen.perturb import PerturbationConfig, perturb  # noqa: E402
+from repro.datagen.synthetic import generate_dataset  # noqa: E402
+from repro.io_.csvio import NULL_PREFIX, _encode, write_csv  # noqa: E402
+from repro.obs.schema import SchemaError, validate_metrics  # noqa: E402
+
+
+def build_corpus(directory: Path, rows: int, tables: int, seed: int) -> list[str]:
+    """Write a chain of perturbed versions of one synthetic table as CSVs."""
+    paths = []
+    current = generate_dataset("doct", rows=rows, seed=seed)
+    for step in range(tables):
+        path = directory / f"table_{step}.csv"
+        write_csv(current, path)
+        paths.append(str(path))
+        scenario = perturb(
+            current, PerturbationConfig.mod_cell(8.0, seed=seed + step)
+        )
+        current = scenario.target
+    return paths
+
+
+def start_server(args, corpus: list[str], metrics_path: str) -> tuple:
+    """Launch ``repro serve`` on an ephemeral port; returns (proc, host, port)."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", *corpus,
+            "--port", "0",
+            "--jobs", str(args.jobs),
+            "--max-queue", str(args.max_queue),
+            "--timeout-ms", str(args.timeout_ms),
+            "--kill-grace-ms", str(args.kill_grace_ms),
+            "--drain-deadline", str(args.drain_deadline),
+            "--metrics", metrics_path,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    assert proc.stdout is not None
+    pattern = re.compile(r"serving on http://([0-9.]+):(\d+)")
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(
+                f"server exited before binding (code {proc.poll()})"
+            )
+        match = pattern.search(line)
+        if match:
+            return proc, match.group(1), int(match.group(2))
+    raise SystemExit("server did not report its address within 30s")
+
+
+def make_query(rows: int, seed: int) -> dict:
+    """A query table in the wire encoding, derived from the corpus seed."""
+    instance = generate_dataset("doct", rows=max(2, rows // 2), seed=seed)
+    relation = instance.schema.relation_names()[0]
+    attrs = list(instance.schema.relation(relation).attributes)
+    wire_rows = []
+    for tup in instance.tuples():
+        wire_rows.append(
+            [_encode(value, NULL_PREFIX) for value in tup.values]
+        )
+    return {"relation": relation, "columns": attrs, "rows": wire_rows}
+
+
+class Recorder:
+    """Thread-safe accumulator of per-request observations."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.samples: list[dict] = []
+        self.transport_errors = 0
+
+    def record(self, sample: dict) -> None:
+        with self.lock:
+            self.samples.append(sample)
+
+    def error(self) -> None:
+        with self.lock:
+            self.transport_errors += 1
+
+
+def client_loop(
+    host: str, port: int, body: bytes, stop_at: float, recorder: Recorder
+) -> None:
+    """One closed-loop client: next request as soon as the last answers."""
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        while time.monotonic() < stop_at:
+            started = time.perf_counter()
+            try:
+                conn.request(
+                    "POST", "/search", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+                payload = json.loads(response.read())
+            except Exception:
+                recorder.error()
+                conn.close()
+                conn = http.client.HTTPConnection(host, port, timeout=60)
+                continue
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            degradation = payload.get("degradation") or {}
+            recorder.record(
+                {
+                    "status": response.status,
+                    "latency_ms": elapsed_ms,
+                    "level": degradation.get("label"),
+                    "retry_after": response.getheader("Retry-After"),
+                }
+            )
+    finally:
+        conn.close()
+
+
+def percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def run_phase(
+    name: str, host: str, port: int, body: bytes, clients: int, duration: float
+) -> dict:
+    recorder = Recorder()
+    stop_at = time.monotonic() + duration
+    threads = [
+        threading.Thread(
+            target=client_loop, args=(host, port, body, stop_at, recorder)
+        )
+        for _ in range(clients)
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - started
+    samples = recorder.samples
+    admitted = [s["latency_ms"] for s in samples if s["status"] == 200]
+    shed = [s for s in samples if s["status"] == 429]
+    degraded = [s for s in samples if s["level"] not in (None, "full")]
+    by_level: dict[str, int] = {}
+    for sample in samples:
+        if sample["level"]:
+            by_level[sample["level"]] = by_level.get(sample["level"], 0) + 1
+    return {
+        "phase": name,
+        "clients": clients,
+        "duration_seconds": elapsed,
+        "requests": len(samples),
+        "offered_qps": len(samples) / elapsed if elapsed else 0.0,
+        "goodput_qps": len(admitted) / elapsed if elapsed else 0.0,
+        "admitted": len(admitted),
+        "shed": len(shed),
+        "shed_missing_retry_after": sum(
+            1 for s in shed if not s["retry_after"]
+        ),
+        "other_statuses": sorted(
+            {s["status"] for s in samples} - {200, 429}
+        ),
+        "degraded": len(degraded),
+        "by_level": by_level,
+        "transport_errors": recorder.transport_errors,
+        "latency_ms": {
+            "p50": percentile(admitted, 0.50),
+            "p99": percentile(admitted, 0.99),
+            "max": max(admitted) if admitted else 0.0,
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=30)
+    parser.add_argument("--tables", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--jobs", type=int, default=2)
+    parser.add_argument("--max-queue", type=int, default=8)
+    parser.add_argument("--timeout-ms", type=int, default=2000)
+    parser.add_argument("--kill-grace-ms", type=int, default=1000)
+    parser.add_argument("--drain-deadline", type=float, default=5.0)
+    parser.add_argument(
+        "--duration", type=float, default=4.0,
+        help="seconds per load phase",
+    )
+    parser.add_argument(
+        "--overload-clients", type=int, default=None,
+        help="clients in the overload phase (default: sized from capacity)",
+    )
+    parser.add_argument("--out", default="BENCH_serve.json")
+    args = parser.parse_args()
+
+    failures: list[str] = []
+    workdir = Path(tempfile.mkdtemp(prefix="bench_serve_"))
+    metrics_path = str(workdir / "serve_metrics.json")
+    corpus = build_corpus(workdir, args.rows, args.tables, args.seed)
+    body = json.dumps(
+        {"query": make_query(args.rows, args.seed), "top_k": 3}
+    ).encode()
+
+    proc, host, port = start_server(args, corpus, metrics_path)
+    # Drain server stdout in the background so it never blocks on a full
+    # pipe; the lines are not needed past the address banner.
+    sink = threading.Thread(
+        target=lambda: [None for _ in proc.stdout], daemon=True
+    )
+    sink.start()
+
+    phases = []
+    try:
+        baseline = run_phase(
+            "baseline", host, port, body, clients=1, duration=args.duration
+        )
+        phases.append(baseline)
+        service_ms = max(baseline["latency_ms"]["p50"], 1.0)
+        capacity_qps = args.jobs * 1000.0 / service_ms
+        saturation = run_phase(
+            "saturation", host, port, body,
+            clients=args.jobs, duration=args.duration,
+        )
+        phases.append(saturation)
+        overload_clients = args.overload_clients
+        if overload_clients is None:
+            # Closed loop: each client offers ~1/service_time QPS, so 3×
+            # capacity needs ≈ 3 × jobs clients; headroom for the queue.
+            overload_clients = max(3 * args.jobs + args.max_queue, 8)
+        overload = run_phase(
+            "overload", host, port, body,
+            clients=overload_clients, duration=args.duration,
+        )
+        phases.append(overload)
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            exit_code = proc.wait(timeout=args.drain_deadline + 10)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            exit_code = proc.wait()
+            failures.append(
+                "server did not exit within the drain deadline after SIGTERM"
+            )
+
+    # -- gates ---------------------------------------------------------------
+    if exit_code != 0:
+        failures.append(f"server exited {exit_code} after SIGTERM, wanted 0")
+    budget_ms = args.timeout_ms + args.kill_grace_ms
+    for phase in phases:
+        tag = phase["phase"]
+        if phase["transport_errors"]:
+            failures.append(
+                f"{tag}: {phase['transport_errors']} request(s) got no "
+                "HTTP response"
+            )
+        if phase["shed_missing_retry_after"]:
+            failures.append(
+                f"{tag}: {phase['shed_missing_retry_after']} shed "
+                "response(s) lacked Retry-After"
+            )
+        if phase["admitted"] and phase["latency_ms"]["p99"] > 2 * budget_ms:
+            failures.append(
+                f"{tag}: admitted p99 {phase['latency_ms']['p99']:.0f}ms "
+                f"exceeds 2x request budget ({2 * budget_ms}ms)"
+            )
+    overload = phases[-1] if phases else None
+    if overload is not None and overload["phase"] == "overload":
+        if overload["offered_qps"] < 3 * overload["goodput_qps"] * 0.5:
+            # Informational only: closed-loop offered load self-limits once
+            # shedding answers arrive fast; the protective gate is below.
+            pass
+        if not overload["shed"] and not overload["degraded"]:
+            failures.append(
+                "overload phase produced neither shedding nor degradation"
+            )
+
+    metrics_valid = False
+    try:
+        with open(metrics_path, encoding="utf-8") as handle:
+            validate_metrics(json.load(handle))
+        metrics_valid = True
+    except (OSError, ValueError, SchemaError) as error:
+        failures.append(f"drained metrics artifact invalid: {error}")
+
+    report = {
+        "config": {
+            "rows": args.rows,
+            "tables": args.tables,
+            "jobs": args.jobs,
+            "max_queue": args.max_queue,
+            "timeout_ms": args.timeout_ms,
+            "kill_grace_ms": args.kill_grace_ms,
+            "duration_seconds": args.duration,
+        },
+        "capacity_qps_estimate": capacity_qps if phases else None,
+        "phases": phases,
+        "shutdown": {
+            "exit_code": exit_code,
+            "metrics_artifact_valid": metrics_valid,
+        },
+        "failures": failures,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    for phase in phases:
+        print(
+            f"{phase['phase']:>10}: {phase['clients']:>3} clients  "
+            f"{phase['offered_qps']:7.1f} req/s offered  "
+            f"{phase['goodput_qps']:7.1f} ok/s  "
+            f"p50 {phase['latency_ms']['p50']:7.1f}ms  "
+            f"p99 {phase['latency_ms']['p99']:7.1f}ms  "
+            f"shed {phase['shed']:>4}  degraded {phase['degraded']:>4}"
+        )
+    print(f"shutdown: exit={exit_code} metrics_valid={metrics_valid}")
+    print(f"wrote {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"GATE FAILED: {failure}", file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

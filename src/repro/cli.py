@@ -13,6 +13,8 @@ Usage::
     python -m repro index search lake.idx query.csv --top-k 3
     python -m repro index dedup lake.idx --threshold 0.8 --clusters
 
+    python -m repro serve --store lake.idx --port 8645   # HTTP service
+
 Labeled nulls are encoded in the CSV cells with the ``_N:`` prefix
 (``_N:N1``); see :mod:`repro.io_.csvio`.  The exit code is 0 on success,
 2 on usage errors.
@@ -201,6 +203,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     _add_index_parser(subparsers)
     _add_obs_parser(subparsers)
+    _add_serve_parser(subparsers)
     return parser
 
 
@@ -333,6 +336,139 @@ def _add_index_parser(subparsers) -> None:
             "--null-prefix", default=NULL_PREFIX,
             help=f"cell prefix marking labeled nulls (default {NULL_PREFIX!r})",
         )
+
+
+def _add_serve_parser(subparsers) -> None:
+    """The ``serve`` command: run the similarity service (docs/SERVE.md)."""
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the resilient similarity HTTP server",
+        description=(
+            "Serve search/compare/dedup/ingest over HTTP/JSON with "
+            "per-request deadlines, bounded admission, load shedding down "
+            "the anytime ladder, supervised fork workers, and graceful "
+            "drain on SIGTERM (see docs/SERVE.md)."
+        ),
+    )
+    serve_parser.add_argument(
+        "inputs", nargs="*", metavar="CSV",
+        help="tables to serve; each is registered under its file path",
+    )
+    serve_parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="serve an existing index store instead of loose CSVs",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=None, metavar="N",
+        help="bind port (0 = ephemeral; default 8645)",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker slots (max concurrently forked compute workers)",
+    )
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=16, metavar="N",
+        help="max waiting requests before arrivals shed with 429",
+    )
+    serve_parser.add_argument(
+        "--timeout-ms", type=int, default=2000, metavar="MS",
+        help="default per-request deadline",
+    )
+    serve_parser.add_argument(
+        "--max-timeout-ms", type=int, default=30000, metavar="MS",
+        help="ceiling a request's timeout_ms is clamped to",
+    )
+    serve_parser.add_argument(
+        "--kill-grace-ms", type=int, default=1000, metavar="MS",
+        help="grace past the deadline before the worker is hard-killed",
+    )
+    serve_parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retries per request after a crashed worker attempt",
+    )
+    serve_parser.add_argument(
+        "--no-exact-pressure", type=float, default=0.5, metavar="P",
+        help="queue pressure at which the exact rung is dropped",
+    )
+    serve_parser.add_argument(
+        "--signature-only-pressure", type=float, default=0.85, metavar="P",
+        help="queue pressure at which answers become signature-only",
+    )
+    serve_parser.add_argument(
+        "--drain-deadline", type=float, default=5.0, metavar="S",
+        help="seconds in-flight requests get to finish on SIGTERM",
+    )
+    serve_parser.add_argument(
+        "--max-memory-mb", type=float, default=None, metavar="MB",
+        help="per-worker address-space cap (deaths classify as oom)",
+    )
+    serve_parser.add_argument(
+        "--metrics", default=None, metavar="OUT.json",
+        help="flush the aggregated metrics snapshot here on drain",
+    )
+    serve_parser.add_argument(
+        "--preset", choices=sorted(PRESETS), default="versioning",
+        help="match-constraint preset (CSV mode; stores bake in their own)",
+    )
+    serve_parser.add_argument(
+        "--lam", type=float, default=0.5,
+        help="null-to-constant penalty λ in [0, 1)",
+    )
+    serve_parser.add_argument(
+        "--relation", default="R", help="relation name used for every CSV",
+    )
+    serve_parser.add_argument(
+        "--null-prefix", default=NULL_PREFIX,
+        help=f"cell prefix marking labeled nulls (default {NULL_PREFIX!r})",
+    )
+
+
+def _run_serve(args, parser) -> int:
+    """The ``serve`` command: build/load the index, run the server."""
+    import asyncio
+
+    from .index import SimilarityIndex
+    from .obs.metrics import MetricsRegistry, set_metrics
+    from .serve import DEFAULT_PORT, ServerConfig
+    from .serve.app import serve as serve_app
+
+    try:
+        if args.store is not None:
+            if args.inputs:
+                parser.error("pass either --store or loose CSVs, not both")
+            index = SimilarityIndex.load(args.store)
+        else:
+            index = SimilarityIndex(options=PRESETS[args.preset](lam=args.lam))
+            for path in args.inputs:
+                index.add(path, _read_index_table(args, path, path))
+        config = ServerConfig(
+            host=args.host,
+            port=args.port if args.port is not None else DEFAULT_PORT,
+            jobs=args.jobs,
+            max_queue=args.max_queue,
+            default_timeout_ms=args.timeout_ms,
+            max_timeout_ms=args.max_timeout_ms,
+            kill_grace_ms=args.kill_grace_ms,
+            no_exact_pressure=args.no_exact_pressure,
+            signature_only_pressure=args.signature_only_pressure,
+            retries=args.retries,
+            drain_deadline_seconds=args.drain_deadline,
+            max_memory_mb=args.max_memory_mb,
+            metrics_path=args.metrics,
+        )
+    except (OSError, ValueError, ReproError) as error:
+        parser.error(str(error))
+    registry = MetricsRegistry()
+    set_metrics(registry)
+    try:
+        return asyncio.run(serve_app(config, index, metrics=registry))
+    except KeyboardInterrupt:  # pragma: no cover - non-Unix fallback
+        return 0
+    finally:
+        set_metrics(None)
 
 
 def _add_obs_parser(subparsers) -> None:
@@ -723,6 +859,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "obs":
         return _run_obs(args, parser)
+
+    if args.command == "serve":
+        return _run_serve(args, parser)
 
     with _ObsSession(args):
         if args.command == "compare-many":

@@ -56,6 +56,21 @@ class FormatError(ReproError, ValueError):
     """
 
 
+class StoreCorruptionError(FormatError):
+    """An on-disk index store is corrupt, truncated, or inconsistent.
+
+    Raised with the offending file path named, so a half-written manifest,
+    a truncated table file, or a fingerprint disagreement surfaces as a
+    diagnosable storage problem instead of a raw ``json.JSONDecodeError``
+    escaping from the store internals.  Subclasses :class:`FormatError`,
+    so existing handlers around index loading keep working.
+    """
+
+    def __init__(self, message: str, path=None) -> None:
+        super().__init__(message)
+        self.path = path
+
+
 class ScoringError(ReproError):
     """A similarity score could not be computed.
 

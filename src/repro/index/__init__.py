@@ -32,6 +32,7 @@ from .sketch import (
     sketch_to_dict,
     stable_hash64,
 )
+from ..core.errors import StoreCorruptionError
 from .store import (
     FORMAT_NAME,
     FORMAT_VERSION,
@@ -53,6 +54,7 @@ __all__ = [
     "RefineReport",
     "SearchHit",
     "SimilarityIndex",
+    "StoreCorruptionError",
     "comparable",
     "estimated_jaccard",
     "load_index",

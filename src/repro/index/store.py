@@ -37,7 +37,7 @@ import json
 import os
 from pathlib import Path
 
-from ..core.errors import FormatError
+from ..core.errors import FormatError, StoreCorruptionError
 from ..core.instance import Instance
 from ..io_.serialization import instance_from_dict, instance_to_dict
 from ..mappings.constraints import MatchOptions
@@ -85,13 +85,36 @@ def _options_from_dict(payload: dict) -> MatchOptions:
         raise FormatError(f"invalid match options payload: {error}") from error
 
 
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives a power cut."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - directories not fsync-able here
+        pass
+    finally:
+        os.close(fd)
+
+
 def _write_json(path: Path, payload: dict) -> None:
-    """Atomic, deterministic JSON write (sorted keys, tmp + replace)."""
+    """Atomic, durable, deterministic JSON write.
+
+    The payload goes to a temporary sibling (sorted keys), is fsync'd,
+    renamed into place with ``os.replace``, and then the *directory* is
+    fsync'd — without the directory sync a crash after rename can still
+    lose the entry, leaving a manifest that references a table file the
+    directory never durably recorded.
+    """
     tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(
-        json.dumps(payload, sort_keys=True, indent=1) + "\n", encoding="utf-8"
-    )
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, sort_keys=True, indent=1) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, path)
+    _fsync_dir(path.parent)
 
 
 def _read_json(path: Path, what: str) -> dict:
@@ -99,10 +122,16 @@ def _read_json(path: Path, what: str) -> dict:
         payload = json.loads(path.read_text(encoding="utf-8"))
     except FileNotFoundError:
         raise FormatError(f"{what} not found at {path}") from None
-    except (OSError, json.JSONDecodeError) as error:
+    except json.JSONDecodeError as error:
+        raise StoreCorruptionError(
+            f"{what} at {path} is corrupt or truncated: {error}", path=path
+        ) from error
+    except OSError as error:
         raise FormatError(f"cannot read {what} at {path}: {error}") from error
     if not isinstance(payload, dict):
-        raise FormatError(f"{what} at {path} is not a JSON object")
+        raise StoreCorruptionError(
+            f"{what} at {path} is not a JSON object", path=path
+        )
     return payload
 
 
@@ -221,29 +250,31 @@ class IndexStore:
             entry = manifest["tables"][name]
         except KeyError:
             raise KeyError(f"no table {name!r} in the index store") from None
-        payload = _read_json(
-            self._tables_path / entry["file"], f"table file for {name!r}"
-        )
+        table_path = self._tables_path / entry["file"]
+        payload = _read_json(table_path, f"table file for {name!r}")
         if payload.get("name") != name:
-            raise FormatError(
-                f"table file {entry['file']} claims name "
-                f"{payload.get('name')!r}, manifest says {name!r}"
+            raise StoreCorruptionError(
+                f"table file {table_path} claims name "
+                f"{payload.get('name')!r}, manifest says {name!r}",
+                path=table_path,
             )
         try:
             instance = instance_from_dict(payload["instance"])
             sketch = sketch_from_dict(payload["sketch"])
         except KeyError as error:
-            raise FormatError(
-                f"table file for {name!r} is missing {error}"
+            raise StoreCorruptionError(
+                f"table file {table_path} is missing {error}",
+                path=table_path,
             ) from error
         recomputed = instance_fingerprint(instance)
         if not (
             entry.get("fingerprint") == sketch.fingerprint == recomputed
         ):
-            raise FormatError(
-                f"fingerprint mismatch for table {name!r}: manifest "
-                f"{entry.get('fingerprint')!r}, sketch "
-                f"{sketch.fingerprint!r}, recomputed {recomputed!r}"
+            raise StoreCorruptionError(
+                f"fingerprint mismatch for table {name!r} at {table_path}: "
+                f"manifest {entry.get('fingerprint')!r}, sketch "
+                f"{sketch.fingerprint!r}, recomputed {recomputed!r}",
+                path=table_path,
             )
         return instance, sketch
 

@@ -20,7 +20,6 @@ parent also sidesteps the classic fork-with-threads hazards.
 
 from __future__ import annotations
 
-import random
 import time
 from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
@@ -118,7 +117,6 @@ class WorkerPool:
         pending: list[PoolTask] = sorted(tasks, key=lambda t: t.index)
         running: dict[Any, tuple[WorkerHandle, PoolTask]] = {}
         outcomes: dict[int, TaskOutcome] = {}
-        rng = random.Random(self.retry.seed)
         total_attempts = 1 + self.retry.retries
 
         try:
@@ -157,7 +155,7 @@ class WorkerPool:
                 for handle, task, timed_out in finished:
                     self._finish(
                         handle, task, timed_out, pending, outcomes,
-                        rng, total_attempts,
+                        total_attempts,
                     )
         except BaseException:
             self._terminate_all(running)
@@ -209,7 +207,6 @@ class WorkerPool:
         timed_out: bool,
         pending: list[PoolTask],
         outcomes: dict[int, TaskOutcome],
-        rng: random.Random,
         total_attempts: int,
     ) -> None:
         status, payload = reap_worker(handle, timed_out=timed_out)
@@ -250,7 +247,13 @@ class WorkerPool:
         task.records.append(record)
 
         if decision.retry and task.attempt < total_attempts:
-            record.backoff_seconds = self.retry.delay(task.attempt, rng)
+            # Salted by task index: every task gets its own deterministic
+            # jitter schedule, decorrelated from its neighbours and immune
+            # to completion-order nondeterminism (a shared RNG would hand
+            # out delays in whatever order workers happened to die).
+            record.backoff_seconds = self.retry.delay_for(
+                task.attempt, salt=task.index
+            )
             task.not_before = time.monotonic() + record.backoff_seconds
             self.out(
                 f"[pair {task.index}] attempt {task.attempt}/{total_attempts} "

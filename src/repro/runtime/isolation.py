@@ -317,17 +317,37 @@ def reap_worker(
         )
 
     message: tuple[str, Any] | None = None
+    broken_report: str | None = None
     try:
         if receiver.poll(0):
             message = receiver.recv()
     except (EOFError, OSError):
         message = None  # worker died before/while reporting
+    except Exception as error:  # noqa: BLE001 - corrupt/truncated payload
+        # The worker died (or misbehaved) mid-send: the pipe carried a
+        # partial or unpicklable report.  That is a worker death, not a
+        # caller error — classify it below instead of raising here.
+        broken_report = f"{type(error).__name__}: {error}"
     finally:
         receiver.close()
 
-    process.join(5.0)
+    process.join(5.0 if message is not None else 1.0)
     if message is not None:
         return message
+    if process.is_alive():
+        # The report pipe is dead but the process is not (e.g. the worker
+        # closed its end and hung).  Reap it hard so the slot can restart —
+        # returning while it still runs would leak a live subprocess.
+        process.terminate()
+        process.join(1.0)
+        if process.is_alive():  # pragma: no cover - stuck in kernel
+            process.kill()
+            process.join(1.0)
+        detail = broken_report or "closed its result pipe"
+        return (
+            "crashed",
+            f"worker broke its result pipe while still running ({detail})",
+        )
     code = process.exitcode
     if code is not None and code < 0 and limits.max_memory_bytes is not None:
         # Died on a signal with a memory cap in force: overwhelmingly the
@@ -343,6 +363,12 @@ def reap_worker(
         # before the worker's own MemoryError handler could run (e.g.
         # during interpreter bootstrap).
         return ("oom", f"worker exited with status {code} under memory cap")
+    if broken_report is not None:
+        return (
+            "crashed",
+            f"worker died mid-result with an unreadable report "
+            f"({broken_report}); exit status {code}",
+        )
     return ("crashed", f"worker exited with status {code} without a result")
 
 

@@ -35,6 +35,7 @@ structured per-attempt log.
 
 from __future__ import annotations
 
+import hashlib
 import random
 import time
 from dataclasses import dataclass, field
@@ -149,6 +150,35 @@ class RetryPolicy:
         if self.jitter:
             raw *= rng.uniform(1 - self.jitter, 1 + self.jitter)
         return raw
+
+    def delay_for(self, attempt: int, salt: object = None) -> float:
+        """Decorrelated backoff: deterministic per ``(seed, salt, attempt)``.
+
+        :meth:`delay` draws jitter from a caller-owned RNG, which makes the
+        sequence depend on *draw order* — and synchronized clients sharing
+        the default seed retry in lockstep, the thundering-herd pattern
+        jitter exists to break.  This variant instead derives the jitter
+        factor from a stable hash of ``(seed, salt, attempt)`` (stable
+        across processes — not Python's randomized ``hash``), so:
+
+        * two callers with different salts (task index, request id,
+          worker slot) are decorrelated;
+        * the same caller replays the identical schedule on every run;
+        * completion order cannot change anyone's delay.
+
+        The result stays within ``[raw * (1 - jitter), raw * (1 + jitter)]``
+        of the un-jittered exponential ``raw``.
+        """
+        raw = min(
+            self.base_delay * self.multiplier ** (attempt - 1), self.max_delay
+        )
+        if not self.jitter:
+            return raw
+        digest = hashlib.blake2b(
+            f"{self.seed}|{salt}|{attempt}".encode(), digest_size=8
+        ).digest()
+        rng = random.Random(int.from_bytes(digest, "big"))
+        return raw * rng.uniform(1 - self.jitter, 1 + self.jitter)
 
 
 @dataclass
@@ -267,7 +297,6 @@ class Executor:
         which also catches injected garbage results.
         """
         attempts: list[AttemptRecord] = []
-        rng = random.Random(self.retry.seed)
         total_attempts = 1 + self.retry.retries
         last_status = "crashed"
         last_detail = "no attempt ran"
@@ -318,7 +347,9 @@ class Executor:
             last_status, last_detail = status, str(payload)
 
             if decision.retry and attempt < total_attempts:
-                record.backoff_seconds = self.retry.delay(attempt, rng)
+                record.backoff_seconds = self.retry.delay_for(
+                    attempt, salt=label
+                )
                 self.out(
                     f"[{label}] attempt {attempt}/{total_attempts} "
                     f"{status} ({payload}); backing off "

@@ -1,0 +1,47 @@
+"""Similarity-as-a-service: a resilient asyncio front-end for the index.
+
+``repro.serve`` turns the library into a long-running server without
+adding a single dependency: stdlib ``asyncio`` sockets, hand-rolled
+HTTP/1.1 JSON framing, and the fork-worker isolation machinery the batch
+engine already trusts.  The robustness story (see ``docs/SERVE.md``):
+
+- **deadlines** — every request gets a server-clamped budget; the
+  cooperative in-worker deadline answers with the anytime ladder's best
+  partial result, and a hard wall kill backstops wedged workers;
+- **admission control** — a bounded queue; beyond it requests shed with
+  429 + ``Retry-After`` instead of queueing without bound;
+- **load shedding** — queue pressure walks responses down the anytime
+  ladder (full → no-exact → signature-only), reported per response;
+- **supervision** — dead workers are classified (oom/killed/crashed),
+  reported as structured errors, and their slots restart under capped
+  exponential backoff;
+- **graceful drain** — SIGTERM/SIGINT stops accepting, finishes or
+  cancels in-flight work within a deadline, flushes the metrics
+  artifact, and exits 0 with no orphan processes.
+"""
+
+from .admission import AdmissionController, AdmissionDecision, DegradationLevel
+from .app import Server, serve
+from .config import DEFAULT_PORT, ServerConfig
+from .http import HttpError, Request, read_request, render_response
+from .service import RequestError, ServiceResponse, SimilarityService, decode_table
+from .supervisor import WorkerSupervisor
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "DEFAULT_PORT",
+    "DegradationLevel",
+    "HttpError",
+    "Request",
+    "RequestError",
+    "Server",
+    "ServerConfig",
+    "ServiceResponse",
+    "SimilarityService",
+    "WorkerSupervisor",
+    "decode_table",
+    "read_request",
+    "render_response",
+    "serve",
+]

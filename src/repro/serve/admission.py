@@ -1,0 +1,180 @@
+"""Admission control and load shedding for the similarity server.
+
+The server's overload story is the paper's anytime ladder turned into an
+operational policy.  Work arrives faster than the worker slots drain it,
+so a bounded queue forms; the controller converts *queue pressure* —
+waiting requests over queue capacity — into a degradation level:
+
+===========================  ==============================================
+pressure                     behaviour
+===========================  ==============================================
+below ``no_exact``           full anytime ladder (signature → refine →
+                             exact), exact top-k search
+``no_exact`` ≤ p <           the exact rung is dropped: refinement still
+``signature_only``           runs, search restricts to the LSH shortlist
+``signature_only`` ≤ p < 1   signature/bound-only answers — the floor the
+                             ladder guarantees at any budget
+queue full                   **shed**: 429 with a ``Retry-After`` hint;
+                             never an unbounded queue, never a hung socket
+===========================  ==============================================
+
+Quality degrades before latency does: an admitted request always gets an
+answer within its deadline, and the response says which level produced it
+(``degradation.level``), so clients can distinguish "exact" from "floor".
+
+The controller is deliberately synchronous, allocation-free bookkeeping —
+the async orchestration lives in :mod:`repro.serve.app` — so the policy is
+unit-testable without an event loop.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class DegradationLevel(IntEnum):
+    """How far down the anytime ladder the server currently answers."""
+
+    FULL = 0
+    NO_EXACT = 1
+    SIGNATURE_ONLY = 2
+
+    @property
+    def label(self) -> str:
+        return _LEVEL_LABELS[self]
+
+
+_LEVEL_LABELS = {
+    DegradationLevel.FULL: "full",
+    DegradationLevel.NO_EXACT: "no-exact",
+    DegradationLevel.SIGNATURE_ONLY: "signature-only",
+}
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The controller's verdict on one arriving request.
+
+    ``admitted=False`` means shed: the caller must answer 429 with
+    ``retry_after`` seconds and must *not* call ``release()``.  Admitted
+    requests carry the degradation level frozen at admission time (the
+    level a request was promised does not churn while it waits) and must
+    ``release()`` exactly once when finished.
+    """
+
+    admitted: bool
+    level: DegradationLevel
+    inflight: int
+    waiting: int
+    retry_after: float | None = None
+
+
+class AdmissionController:
+    """Bounded-queue admission with pressure-driven degradation.
+
+    ``slots`` requests run; up to ``max_queue`` more wait; the rest shed.
+    ``inflight`` counts every admitted-and-unfinished request, so
+    ``waiting = max(0, inflight - slots)`` is the queue depth without the
+    controller having to know *which* requests hold worker slots.
+    """
+
+    def __init__(
+        self,
+        slots: int,
+        max_queue: int,
+        no_exact_pressure: float = 0.5,
+        signature_only_pressure: float = 0.85,
+        retry_after_seconds: float = 1.0,
+    ) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.slots = slots
+        self.max_queue = max_queue
+        self.no_exact_pressure = no_exact_pressure
+        self.signature_only_pressure = signature_only_pressure
+        self.retry_after_seconds = retry_after_seconds
+        self.inflight = 0
+        self.admitted_total = 0
+        self.shed_total = 0
+        self.degraded_total = 0
+
+    @property
+    def waiting(self) -> int:
+        """Admitted requests not yet holding a worker slot."""
+        return max(0, self.inflight - self.slots)
+
+    def pressure(self) -> float:
+        """Queue occupancy in [0, 1] (1.0 when the queue is full)."""
+        if self.max_queue == 0:
+            return 0.0 if self.inflight < self.slots else 1.0
+        return min(1.0, self.waiting / self.max_queue)
+
+    def level(self) -> DegradationLevel:
+        """The degradation level implied by the current pressure."""
+        pressure = self.pressure()
+        if pressure >= self.signature_only_pressure:
+            return DegradationLevel.SIGNATURE_ONLY
+        if pressure >= self.no_exact_pressure:
+            return DegradationLevel.NO_EXACT
+        return DegradationLevel.FULL
+
+    def retry_after(self) -> float:
+        """Back-pressure hint: deeper backlog ⇒ come back later.
+
+        Scales the configured base with backlog depth in units of the
+        drain rate (``slots``), so a client that honours the hint returns
+        roughly when its place in line would have cleared.
+        """
+        backlog = self.inflight + 1  # the request being turned away
+        scale = backlog / self.slots
+        return max(self.retry_after_seconds, self.retry_after_seconds * scale)
+
+    def admit(self) -> AdmissionDecision:
+        """Decide one arrival; mutates the in-flight count when admitted."""
+        if self.waiting >= self.max_queue and self.inflight >= self.slots:
+            self.shed_total += 1
+            return AdmissionDecision(
+                admitted=False,
+                level=self.level(),
+                inflight=self.inflight,
+                waiting=self.waiting,
+                retry_after=math.ceil(self.retry_after() * 1000) / 1000,
+            )
+        level = self.level()
+        self.inflight += 1
+        self.admitted_total += 1
+        if level is not DegradationLevel.FULL:
+            self.degraded_total += 1
+        return AdmissionDecision(
+            admitted=True,
+            level=level,
+            inflight=self.inflight,
+            waiting=self.waiting,
+        )
+
+    def release(self) -> None:
+        """Mark one admitted request finished (success or failure alike)."""
+        if self.inflight <= 0:
+            raise RuntimeError("release() without a matching admit()")
+        self.inflight -= 1
+
+    def snapshot(self) -> dict:
+        """JSON-ready occupancy counters for ``/stats`` and diagnostics."""
+        return {
+            "slots": self.slots,
+            "max_queue": self.max_queue,
+            "inflight": self.inflight,
+            "waiting": self.waiting,
+            "pressure": self.pressure(),
+            "level": self.level().label,
+            "admitted_total": self.admitted_total,
+            "shed_total": self.shed_total,
+            "degraded_total": self.degraded_total,
+        }
+
+
+__all__ = ["AdmissionController", "AdmissionDecision", "DegradationLevel"]

@@ -1,0 +1,317 @@
+"""The asyncio server: sockets, routing, signals, and graceful drain.
+
+One :class:`Server` owns one :class:`~repro.serve.service.SimilarityService`
+and an ``asyncio.start_server`` listener.  The event loop only ever does
+cheap work — parsing frames, admission decisions, writing responses —
+while every comparison runs in a supervised fork worker.  The drain
+sequence on SIGTERM/SIGINT is the robustness contract of the whole PR:
+
+1. mark not-ready (``/readyz`` → 503) and stop accepting connections;
+2. let in-flight requests finish, up to ``drain_deadline_seconds``;
+3. hard-cancel whatever remains — those requests get structured 503
+   ``cancelled`` bodies, never a silently dropped socket;
+4. kill any still-running workers (no orphan processes), flush the
+   metrics artifact if one was configured, and exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import sys
+import time
+import traceback
+
+from ..index.core import SimilarityIndex
+from ..obs.metrics import MetricsRegistry
+from .config import ServerConfig
+from .http import HttpError, Request, read_request, render_response
+from .service import RequestError, ServiceResponse, SimilarityService
+
+
+class Server:
+    """The similarity service bound to a TCP listener."""
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        index: SimilarityIndex,
+        metrics: MetricsRegistry | None = None,
+        out=None,
+    ) -> None:
+        self.config = config
+        self.service = SimilarityService(config, index, metrics=metrics)
+        self.out = out or (lambda line: print(line, flush=True))
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._stop_requested = asyncio.Event()
+        self._stop_signal: str | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — meaningful after :meth:`start`."""
+        assert self._server is not None, "server not started"
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> "Server":
+        """Bind the listener and the worker supervisor; returns self."""
+        self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        host, port = self.address
+        self.out(f"serving on http://{host}:{port}")
+        return self
+
+    def request_stop(self, signame: str = "stop") -> None:
+        """Idempotent stop trigger (signal handlers land here)."""
+        self._stop_signal = self._stop_signal or signame
+        self._stop_requested.set()
+
+    async def run(self) -> int:
+        """Serve until SIGTERM/SIGINT, then drain.  Returns the exit code."""
+        # Signal handlers go in BEFORE the address banner is printed:
+        # anything that parses the banner (tests, CI, orchestration) may
+        # send SIGTERM immediately, and the default disposition would kill
+        # the process instead of draining it.
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig, self.request_stop, signal.Signals(sig).name
+                )
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-Unix loop: rely on KeyboardInterrupt
+        await self.start()
+        try:
+            await self._stop_requested.wait()
+        finally:
+            await self.drain()
+        self.out(f"drained after {self._stop_signal or 'stop'}; exiting")
+        return 0
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish, then cancel, then clean up."""
+        service = self.service
+        if service.draining:
+            return
+        service.draining = True
+        self.out(
+            f"draining: {service.admission.inflight} in flight, "
+            f"deadline {self.config.drain_deadline_seconds}s"
+        )
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+        deadline = time.monotonic() + self.config.drain_deadline_seconds
+        while service.admission.inflight and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+
+        if service.admission.inflight:
+            # Past the deadline: fail the stragglers with structured
+            # cancellations and reap their workers.
+            service.supervisor.close()
+            cancelled = service.supervisor.cancel_inflight()
+            self.out(
+                f"drain deadline passed; cancelled {cancelled} running "
+                f"worker(s), {service.admission.inflight} request(s) in flight"
+            )
+            grace = time.monotonic() + 1.0
+            while service.admission.inflight and time.monotonic() < grace:
+                await asyncio.sleep(0.02)
+        service.supervisor.close()
+
+        for writer in list(self._connections):
+            self._close_writer(writer)
+        self._connections.clear()
+        self._flush_metrics()
+
+    def _flush_metrics(self) -> None:
+        """Write the metrics artifact (atomically) if one was configured."""
+        path = self.config.metrics_path
+        if not path:
+            return
+        payload = self.service.metrics.snapshot().as_dict()
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        self.out(f"metrics artifact -> {path}")
+
+    # -- connection handling -------------------------------------------------
+
+    def _close_writer(self, writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+        except Exception:  # pragma: no cover - already closed
+            pass
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, self.config.max_body_bytes
+                    )
+                except HttpError as error:
+                    writer.write(render_response(
+                        error.status,
+                        {
+                            "ok": False,
+                            "error": {
+                                "outcome": "failed", "message": str(error)
+                            },
+                        },
+                        keep_alive=False,
+                    ))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                keep = request.keep_alive and not self.service.draining
+                writer.write(render_response(
+                    response.status, response.body, response.headers,
+                    keep_alive=keep,
+                ))
+                await writer.drain()
+                if not keep:
+                    break
+        except (
+            ConnectionResetError, BrokenPipeError, asyncio.CancelledError
+        ):
+            pass
+        finally:
+            self._connections.discard(writer)
+            self._close_writer(writer)
+
+    async def _dispatch(self, request: Request) -> ServiceResponse:
+        path = request.path.partition("?")[0]
+        service = self.service
+
+        probes = {
+            "/healthz": service.healthz,
+            "/readyz": service.readyz,
+            "/metrics": service.metrics_body,
+            "/stats": service.stats,
+        }
+        if path in probes:
+            if request.method != "GET":
+                return ServiceResponse(
+                    405,
+                    {
+                        "ok": False,
+                        "error": {
+                            "outcome": "failed",
+                            "message": f"{path} only supports GET",
+                        },
+                    },
+                )
+            return probes[path]()
+
+        endpoints = {
+            "/compare": service.compare,
+            "/search": service.search,
+            "/dedup": service.dedup,
+            "/ingest": service.ingest,
+        }
+        if path not in endpoints:
+            return ServiceResponse(
+                404,
+                {
+                    "ok": False,
+                    "error": {
+                        "outcome": "failed",
+                        "message": f"no such endpoint: {path}",
+                    },
+                },
+            )
+        if request.method != "POST":
+            return ServiceResponse(
+                405,
+                {
+                    "ok": False,
+                    "error": {
+                        "outcome": "failed",
+                        "message": f"{path} only supports POST",
+                    },
+                },
+            )
+        if service.draining:
+            return ServiceResponse(
+                503,
+                {
+                    "ok": False,
+                    "error": {
+                        "outcome": "cancelled",
+                        "message": "server is draining",
+                    },
+                },
+            )
+        try:
+            body = request.json()
+        except HttpError as error:
+            return ServiceResponse(
+                error.status,
+                {
+                    "ok": False,
+                    "error": {"outcome": "failed", "message": str(error)},
+                },
+            )
+        try:
+            return await endpoints[path](body)
+        except RequestError as error:
+            self.service.metrics.counter(
+                "serve.requests", 1,
+                endpoint=path.lstrip("/"), outcome="bad-request",
+            )
+            return ServiceResponse(
+                error.status,
+                {
+                    "ok": False,
+                    "error": {"outcome": "failed", "message": str(error)},
+                },
+            )
+        except Exception as error:  # noqa: BLE001 - the loop must survive
+            traceback.print_exc(file=sys.stderr)
+            self.service.metrics.counter(
+                "serve.requests", 1,
+                endpoint=path.lstrip("/"), outcome="error",
+            )
+            return ServiceResponse(
+                500,
+                {
+                    "ok": False,
+                    "error": {
+                        "outcome": "crashed",
+                        "message": f"internal error: "
+                                   f"{type(error).__name__}: {error}",
+                    },
+                },
+            )
+
+
+async def serve(
+    config: ServerConfig,
+    index: SimilarityIndex,
+    metrics: MetricsRegistry | None = None,
+    out=None,
+) -> int:
+    """Run a :class:`Server` to completion (the CLI entry point awaits this)."""
+    return await Server(config, index, metrics=metrics, out=out).run()
+
+
+__all__ = ["Server", "serve"]

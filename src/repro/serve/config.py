@@ -1,0 +1,144 @@
+"""Server policy knobs: one frozen object, validated at construction.
+
+Every robustness behaviour of :mod:`repro.serve` — deadline clamping,
+admission-queue sizing, load-shed thresholds, worker supervision backoff,
+drain deadlines — is driven by a :class:`ServerConfig`.  The defaults are
+tuned for the small corpora the benchmarks and CI smoke jobs use; a real
+deployment sizes ``jobs`` to cores and ``max_queue`` to the latency SLO
+(queue depth × per-request service time is the tail latency you accept).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..runtime.retry import RetryPolicy
+
+DEFAULT_PORT = 8645
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Policy for one :class:`~repro.serve.app.Server`.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address.  ``port=0`` binds an ephemeral port (tests and the
+        benchmark harness use this); the bound address is printed on
+        startup either way.
+    jobs:
+        Worker slots — the maximum number of concurrently forked compute
+        workers.  Requests beyond this wait in the admission queue.
+    max_queue:
+        Maximum *waiting* (admitted, not yet running) requests.  Arrivals
+        beyond ``jobs + max_queue`` in flight are shed with 429.
+    default_timeout_ms / max_timeout_ms:
+        Per-request deadline policy: a request's ``timeout_ms`` defaults
+        to the former and is clamped to the latter — a client cannot buy
+        unbounded server time.
+    kill_grace_ms:
+        Extra wall clock granted past the cooperative deadline before the
+        worker is hard-killed.  The cooperative
+        :class:`~repro.runtime.budget.Budget` should trip first and return
+        a partial (lower-bound) result; the kill is the backstop that
+        keeps a wedged worker from holding a slot.
+    no_exact_pressure / signature_only_pressure:
+        Load-shedding thresholds on queue pressure (waiting / max_queue).
+        At or above the first, requests drop the exact rung of the anytime
+        ladder; at or above the second, they run signature/bound-only.
+    retry_after_seconds:
+        Base of the ``Retry-After`` hint on shed responses, scaled by how
+        deep the backlog is.
+    retries:
+        Transient-failure retries per request (a crashed worker attempt is
+        retried at most this many times if deadline remains).
+    restart_backoff:
+        Capped exponential backoff applied to a worker *slot* after its
+        worker dies — consecutive deaths delay the slot's next fork, so a
+        poisoned host does not fork-bomb itself.
+    drain_deadline_seconds:
+        On SIGTERM/SIGINT: how long in-flight requests get to finish
+        before being cancelled with structured error bodies.
+    max_body_bytes:
+        Request-body cap (413 beyond it).
+    max_memory_mb:
+        Optional per-worker address-space cap (worker deaths classify as
+        ``oom`` and degrade, exactly as in the batch engine).
+    metrics_path:
+        When set, the final metrics snapshot is flushed here on drain
+        (the obs artifact contract: written even on an unclean stop).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    jobs: int = 2
+    max_queue: int = 16
+    default_timeout_ms: int = 2_000
+    max_timeout_ms: int = 30_000
+    kill_grace_ms: int = 1_000
+    no_exact_pressure: float = 0.5
+    signature_only_pressure: float = 0.85
+    retry_after_seconds: float = 1.0
+    retries: int = 0
+    restart_backoff: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            retries=0, base_delay=0.05, multiplier=2.0, max_delay=2.0,
+            jitter=0.1,
+        )
+    )
+    drain_deadline_seconds: float = 5.0
+    max_body_bytes: int = 8 * 1024 * 1024
+    max_memory_mb: float | None = None
+    metrics_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+        if self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {self.max_queue}")
+        if self.default_timeout_ms <= 0 or self.max_timeout_ms <= 0:
+            raise ValueError("timeouts must be positive milliseconds")
+        if self.default_timeout_ms > self.max_timeout_ms:
+            raise ValueError(
+                f"default_timeout_ms ({self.default_timeout_ms}) exceeds "
+                f"max_timeout_ms ({self.max_timeout_ms})"
+            )
+        if self.kill_grace_ms < 0:
+            raise ValueError("kill_grace_ms must be >= 0")
+        if not 0 < self.no_exact_pressure <= 1:
+            raise ValueError("no_exact_pressure must be in (0, 1]")
+        if not 0 < self.signature_only_pressure <= 1:
+            raise ValueError("signature_only_pressure must be in (0, 1]")
+        if self.no_exact_pressure > self.signature_only_pressure:
+            raise ValueError(
+                "no_exact_pressure must not exceed signature_only_pressure "
+                "(the ladder degrades monotonically with pressure)"
+            )
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.drain_deadline_seconds < 0:
+            raise ValueError("drain_deadline_seconds must be >= 0")
+        if self.max_body_bytes <= 0:
+            raise ValueError("max_body_bytes must be positive")
+
+    def clamp_timeout_ms(self, requested: object) -> int:
+        """The effective deadline for a request asking for ``requested``.
+
+        ``None`` (absent) takes the default; anything else must be a
+        positive number and is clamped to ``max_timeout_ms``.
+        """
+        if requested is None:
+            return self.default_timeout_ms
+        if isinstance(requested, bool) or not isinstance(
+            requested, (int, float)
+        ):
+            raise ValueError(
+                f"timeout_ms must be a number, got {requested!r}"
+            )
+        if requested <= 0:
+            raise ValueError(f"timeout_ms must be positive, got {requested}")
+        return int(min(requested, self.max_timeout_ms))
+
+
+__all__ = ["DEFAULT_PORT", "ServerConfig"]

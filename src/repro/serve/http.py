@@ -1,0 +1,153 @@
+"""Minimal HTTP/1.1 framing over asyncio streams — stdlib only.
+
+The server speaks just enough HTTP for its JSON API: request-line +
+headers + ``Content-Length`` bodies in, status + JSON bodies out, with
+keep-alive.  No chunked transfer, no TLS, no pipelining of partially-read
+bodies — a shedding server must be able to answer 429 *cheaply*, and this
+hand-rolled framing keeps the per-request parse cost to a few string
+splits.  Malformed input maps to 400, oversized bodies to 413, both as
+structured JSON; a connection is never left hanging without a response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+_MAX_HEADER_BYTES = 32 * 1024
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A framing-level protocol violation (maps to 4xx then close)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class Request:
+    """One parsed request: method, path, headers (lower-cased), raw body."""
+
+    __slots__ = ("method", "path", "headers", "body")
+
+    def __init__(
+        self, method: str, path: str, headers: dict[str, str], body: bytes
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict:
+        """The body decoded as a JSON object (400 on anything else)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HttpError(400, f"request body is not valid JSON: {error}")
+        if not isinstance(payload, dict):
+            raise HttpError(
+                400,
+                f"request body must be a JSON object, "
+                f"got {type(payload).__name__}",
+            )
+        return payload
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive").lower() != "close"
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> Request | None:
+    """Parse one request; ``None`` on a clean EOF between requests.
+
+    Raises :class:`HttpError` for protocol violations — the caller answers
+    with the error status and closes the connection (framing is no longer
+    trustworthy after a malformed request).
+    """
+    try:
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "connection closed mid-request")
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request headers too large")
+    if len(header_blob) > _MAX_HEADER_BYTES:
+        raise HttpError(400, "request headers too large")
+
+    lines = header_blob.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, path, _version = parts
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        raise HttpError(400, "chunked transfer encoding is not supported")
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, f"invalid Content-Length: {length_text!r}")
+    if length < 0:
+        raise HttpError(400, f"invalid Content-Length: {length}")
+    if length > max_body_bytes:
+        raise HttpError(
+            413,
+            f"request body of {length} bytes exceeds the "
+            f"{max_body_bytes}-byte limit",
+        )
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "connection closed mid-body")
+    return Request(method, path, headers, body)
+
+
+def render_response(
+    status: int,
+    body: dict,
+    headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one JSON response, ready for ``writer.write``."""
+    payload = json.dumps(body, sort_keys=True).encode()
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(payload)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload
+
+
+__all__ = ["HttpError", "Request", "read_request", "render_response"]

@@ -1,0 +1,498 @@
+"""Endpoint logic for the similarity server, independent of HTTP framing.
+
+:class:`SimilarityService` owns the long-lived state — the
+:class:`~repro.index.SimilarityIndex`, the
+:class:`~repro.serve.admission.AdmissionController`, the
+:class:`~repro.serve.supervisor.WorkerSupervisor`, and the metrics
+registry — and turns one decoded JSON request into one
+``(status, body, headers)`` triple.  Keeping it transport-free makes the
+robustness semantics (deadline clamping, shedding, degradation levels,
+worker-death mapping) unit-testable without sockets.
+
+The outcome vocabulary is the runtime's
+(:class:`~repro.runtime.budget.Outcome`), mapped onto HTTP:
+
+==============  ======  ==================================================
+worker status   HTTP    meaning
+==============  ======  ==================================================
+``ok``          200     payload returned (its own ``outcome`` field may
+                        still say ``deadline-exceeded`` for a partial —
+                        the anytime ladder's floor answer is a success)
+``fatal``       400     the job raised a :class:`~repro.core.errors.
+                        ReproError`: the *request* was bad
+``killed``      504     hard wall kill after the cooperative deadline and
+                        the grace period both passed
+``oom``         500     worker exceeded the memory cap
+``crashed``     500     worker died (segfault, pipe break, …) after any
+                        retry budget was spent
+``cancelled``   503     server drained while the request ran
+shed            429     admission queue full; ``Retry-After`` is set
+==============  ======  ==================================================
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Any
+
+from ..core.errors import ReproError
+from ..core.instance import Instance
+from ..index.core import SimilarityIndex
+from ..io_.csvio import NULL_PREFIX, _decode
+from ..obs.metrics import MetricsRegistry, MetricsSnapshot
+from ..runtime.isolation import WorkerLimits
+from .admission import AdmissionController, DegradationLevel
+from .config import ServerConfig
+from .jobs import compare_job, dedup_job, search_job
+from .supervisor import WorkerSupervisor
+
+_TRANSIENT = frozenset({"crashed"})
+_STATUS_HTTP = {
+    "killed": 504,
+    "oom": 500,
+    "crashed": 500,
+    "cancelled": 503,
+    "interrupt": 503,
+}
+_STATUS_OUTCOME = {
+    "killed": "killed",
+    "oom": "oom",
+    "crashed": "crashed",
+    "cancelled": "cancelled",
+    "interrupt": "cancelled",
+}
+
+
+class RequestError(Exception):
+    """A malformed or unserviceable request (maps to a 4xx response)."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+def decode_table(payload: Any, where: str) -> Instance:
+    """Build an :class:`Instance` from the wire table encoding.
+
+    The wire form mirrors the CSV reader's conventions: ``{"relation":
+    str, "columns": [str, ...], "rows": [[cell, ...], ...]}`` with cells
+    as strings, labeled nulls spelled with the ``_N:`` prefix and the
+    ``_C:`` escape available for literal constants.
+    """
+    if not isinstance(payload, dict):
+        raise RequestError(f"{where} must be an object, got {type(payload).__name__}")
+    relation = payload.get("relation")
+    columns = payload.get("columns")
+    rows = payload.get("rows")
+    if not isinstance(relation, str) or not relation:
+        raise RequestError(f"{where}.relation must be a non-empty string")
+    if (
+        not isinstance(columns, list)
+        or not columns
+        or not all(isinstance(c, str) and c for c in columns)
+    ):
+        raise RequestError(f"{where}.columns must be a non-empty list of strings")
+    if not isinstance(rows, list):
+        raise RequestError(f"{where}.rows must be a list of rows")
+    decoded = []
+    for i, row in enumerate(rows):
+        if not isinstance(row, list) or len(row) != len(columns):
+            raise RequestError(
+                f"{where}.rows[{i}] must be a list of {len(columns)} cells"
+            )
+        cells = []
+        for j, cell in enumerate(row):
+            if not isinstance(cell, str):
+                raise RequestError(
+                    f"{where}.rows[{i}][{j}] must be a string "
+                    f"(encode nulls as {NULL_PREFIX!r}-prefixed labels)"
+                )
+            cells.append(
+                _decode(cell, NULL_PREFIX, where=f"{where}.rows[{i}][{j}]")
+            )
+        decoded.append(cells)
+    name = payload.get("name", where)
+    if not isinstance(name, str) or not name:
+        raise RequestError(f"{where}.name must be a non-empty string")
+    try:
+        return Instance.from_rows(
+            relation, tuple(columns), decoded, name=name
+        )
+    except ReproError as error:
+        raise RequestError(f"{where}: {error}") from error
+
+
+class ServiceResponse:
+    """One endpoint result: HTTP status, JSON body, extra headers."""
+
+    __slots__ = ("status", "body", "headers")
+
+    def __init__(
+        self, status: int, body: dict, headers: dict[str, str] | None = None
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.headers = headers or {}
+
+
+class SimilarityService:
+    """The long-lived server state plus one method per endpoint."""
+
+    def __init__(
+        self,
+        config: ServerConfig,
+        index: SimilarityIndex,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config
+        self.index = index
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.admission = AdmissionController(
+            slots=config.jobs,
+            max_queue=config.max_queue,
+            no_exact_pressure=config.no_exact_pressure,
+            signature_only_pressure=config.signature_only_pressure,
+            retry_after_seconds=config.retry_after_seconds,
+        )
+        self.supervisor = WorkerSupervisor(
+            slots=config.jobs, restart_backoff=config.restart_backoff
+        )
+        self.started_at = time.monotonic()
+        self.draining = False
+        self.warm(index.names())
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the supervisor to the running event loop."""
+        self.supervisor.start()
+
+    def warm(self, names: list[str]) -> None:
+        """Pre-build cache entries in the parent so forked workers inherit
+        them copy-on-write: a worker's first comparison against a warmed
+        table is a cache hit, not a preparation."""
+        for name in names:
+            instance = self.index.get(name)
+            self.index.cache.get(instance, "left")
+            self.index.cache.get(instance, "right")
+
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self.started_at
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _limits(self, deadline_s: float) -> WorkerLimits:
+        return WorkerLimits(
+            max_memory_mb=self.config.max_memory_mb,
+            wall_timeout=deadline_s + self.config.kill_grace_ms / 1000.0,
+        )
+
+    def _degradation(self, level: DegradationLevel) -> dict:
+        return {"level": int(level), "label": level.label}
+
+    def _count(self, endpoint: str, outcome: str) -> None:
+        self.metrics.counter("serve.requests", 1, endpoint=endpoint, outcome=outcome)
+
+    def _shed_response(self, endpoint: str, decision) -> ServiceResponse:
+        self.metrics.counter("serve.shed", 1, endpoint=endpoint)
+        self._count(endpoint, "shed")
+        retry_after = decision.retry_after or self.config.retry_after_seconds
+        return ServiceResponse(
+            429,
+            {
+                "ok": False,
+                "error": {
+                    "outcome": "shed",
+                    "message": (
+                        "admission queue full "
+                        f"({decision.waiting} waiting, "
+                        f"{decision.inflight} in flight); retry later"
+                    ),
+                },
+                "retry_after_seconds": retry_after,
+                "degradation": self._degradation(decision.level),
+            },
+            {"Retry-After": str(max(1, math.ceil(retry_after)))},
+        )
+
+    def _failure_response(
+        self,
+        endpoint: str,
+        status: str,
+        payload: Any,
+        level: DegradationLevel,
+        timeout_ms: int,
+    ) -> ServiceResponse:
+        outcome = _STATUS_OUTCOME.get(status, "crashed")
+        self._count(endpoint, outcome)
+        return ServiceResponse(
+            _STATUS_HTTP.get(status, 500),
+            {
+                "ok": False,
+                "error": {"outcome": outcome, "message": str(payload)},
+                "degradation": self._degradation(level),
+                "timeout_ms": timeout_ms,
+            },
+        )
+
+    async def _run_job(
+        self,
+        endpoint: str,
+        job,
+        args: tuple,
+        kwargs: dict,
+        level: DegradationLevel,
+        timeout_ms: int,
+    ) -> ServiceResponse:
+        """Submit a job with deadline, retry-on-crash, and outcome mapping."""
+        deadline_s = timeout_ms / 1000.0
+        started = time.monotonic()
+        attempts = 1 + self.config.retries
+        status, payload = "crashed", "not attempted"
+        for attempt in range(1, attempts + 1):
+            remaining = deadline_s - (time.monotonic() - started)
+            if attempt > 1 and remaining < 0.05:
+                break  # no budget left to retry into
+            kwargs = dict(kwargs, deadline=max(remaining, 0.001))
+            status, payload = await self.supervisor.submit(
+                job, args=args, kwargs=kwargs,
+                limits=self._limits(max(remaining, 0.001)),
+            )
+            if status not in _TRANSIENT:
+                break
+            self.metrics.counter(
+                "serve.retries", 1, endpoint=endpoint, status=status
+            )
+
+        elapsed_ms = (time.monotonic() - started) * 1000.0
+        self.metrics.observe("serve.latency_ms", elapsed_ms, endpoint=endpoint)
+
+        if status == "fatal":
+            self._count(endpoint, "bad-request")
+            return ServiceResponse(
+                400,
+                {
+                    "ok": False,
+                    "error": {
+                        "outcome": "failed",
+                        "message": f"{type(payload).__name__}: {payload}",
+                    },
+                    "degradation": self._degradation(level),
+                    "timeout_ms": timeout_ms,
+                },
+            )
+        if status != "ok":
+            return self._failure_response(
+                endpoint, status, payload, level, timeout_ms
+            )
+
+        # Fold the worker's scoped metrics into the server registry so
+        # /metrics aggregates compute-side counters exactly.
+        result = payload
+        if isinstance(payload, dict) and "payload" in payload:
+            shipped = payload.get("metrics")
+            if shipped:
+                self.metrics.merge_snapshot(MetricsSnapshot.from_dict(shipped))
+            result = payload["payload"]
+        self._count(endpoint, "ok")
+        return ServiceResponse(
+            200,
+            {
+                "ok": True,
+                "result": result,
+                "degradation": self._degradation(level),
+                "timeout_ms": timeout_ms,
+                "elapsed_ms": elapsed_ms,
+            },
+        )
+
+    def _admit(self, endpoint: str):
+        """Admission decision plus the metrics it implies."""
+        decision = self.admission.admit()
+        self.metrics.gauge("serve.queue.depth", self.admission.waiting)
+        self.metrics.gauge("serve.inflight", self.admission.inflight)
+        if decision.admitted and decision.level is not DegradationLevel.FULL:
+            self.metrics.counter(
+                "serve.degraded", 1,
+                endpoint=endpoint, level=decision.level.label,
+            )
+        return decision
+
+    def _timeout_ms(self, body: dict) -> int:
+        try:
+            return self.config.clamp_timeout_ms(body.get("timeout_ms"))
+        except ValueError as error:
+            raise RequestError(str(error)) from error
+
+    # -- endpoints -----------------------------------------------------------
+
+    async def compare(self, body: dict) -> ServiceResponse:
+        timeout_ms = self._timeout_ms(body)
+        if "left" not in body or "right" not in body:
+            raise RequestError("compare needs 'left' and 'right' tables")
+        left = decode_table(body["left"], "left")
+        right = decode_table(body["right"], "right")
+        decision = self._admit("compare")
+        if not decision.admitted:
+            return self._shed_response("compare", decision)
+        try:
+            return await self._run_job(
+                "compare",
+                compare_job,
+                args=(left, right),
+                kwargs={"level": decision.level, "options": self.index.options},
+                level=decision.level,
+                timeout_ms=timeout_ms,
+            )
+        finally:
+            self.admission.release()
+
+    async def search(self, body: dict) -> ServiceResponse:
+        timeout_ms = self._timeout_ms(body)
+        if "query" not in body:
+            raise RequestError("search needs a 'query' table")
+        query = decode_table(body["query"], "query")
+        top_k = body.get("top_k", 5)
+        if (
+            isinstance(top_k, bool)
+            or not isinstance(top_k, int)
+            or top_k < 1
+        ):
+            raise RequestError(f"top_k must be a positive integer, got {top_k!r}")
+        decision = self._admit("search")
+        if not decision.admitted:
+            return self._shed_response("search", decision)
+        try:
+            return await self._run_job(
+                "search",
+                search_job,
+                args=(self.index, query),
+                kwargs={"top_k": top_k, "level": decision.level},
+                level=decision.level,
+                timeout_ms=timeout_ms,
+            )
+        finally:
+            self.admission.release()
+
+    async def dedup(self, body: dict) -> ServiceResponse:
+        timeout_ms = self._timeout_ms(body)
+        threshold = body.get("threshold", 0.8)
+        if (
+            isinstance(threshold, bool)
+            or not isinstance(threshold, (int, float))
+            or not 0 < threshold <= 1
+        ):
+            raise RequestError(
+                f"threshold must be a number in (0, 1], got {threshold!r}"
+            )
+        decision = self._admit("dedup")
+        if not decision.admitted:
+            return self._shed_response("dedup", decision)
+        try:
+            return await self._run_job(
+                "dedup",
+                dedup_job,
+                args=(self.index,),
+                kwargs={"threshold": float(threshold), "level": decision.level},
+                level=decision.level,
+                timeout_ms=timeout_ms,
+            )
+        finally:
+            self.admission.release()
+
+    async def ingest(self, body: dict) -> ServiceResponse:
+        """Register a table.  Runs in the parent — ingest mutates the index
+        (and its bound store, if any), and only parent-side mutations
+        survive; forked workers see the new table on their next fork."""
+        name = body.get("name")
+        if not isinstance(name, str) or not name:
+            raise RequestError("ingest needs a non-empty 'name' string")
+        if "table" not in body:
+            raise RequestError("ingest needs a 'table' object")
+        table = decode_table(body["table"], "table")
+        started = time.monotonic()
+        if name in self.index:
+            self._count("ingest", "conflict")
+            return ServiceResponse(
+                409,
+                {
+                    "ok": False,
+                    "error": {
+                        "outcome": "failed",
+                        "message": f"table {name!r} already in the index",
+                    },
+                },
+            )
+        try:
+            self.index.add(name, table)
+        except ReproError as error:
+            raise RequestError(f"ingest failed: {error}") from error
+        self.warm([name])
+        elapsed_ms = (time.monotonic() - started) * 1000.0
+        self.metrics.observe("serve.latency_ms", elapsed_ms, endpoint="ingest")
+        self._count("ingest", "ok")
+        return ServiceResponse(
+            200,
+            {
+                "ok": True,
+                "result": {"name": name, "tables": len(self.index)},
+                "elapsed_ms": elapsed_ms,
+            },
+        )
+
+    # -- probes and introspection -------------------------------------------
+
+    def healthz(self) -> ServiceResponse:
+        """Liveness: the loop is turning.  Always 200 while the process
+        can answer at all — draining servers are alive, just not ready."""
+        return ServiceResponse(
+            200,
+            {
+                "status": "ok",
+                "uptime_seconds": self.uptime_seconds(),
+                "draining": self.draining,
+            },
+        )
+
+    def readyz(self) -> ServiceResponse:
+        """Readiness: accepting new work.  503 while draining so load
+        balancers stop routing here before the listener closes."""
+        if self.draining:
+            return ServiceResponse(
+                503, {"status": "draining", "ready": False}
+            )
+        return ServiceResponse(
+            200,
+            {
+                "status": "ok",
+                "ready": True,
+                "tables": len(self.index),
+                "pressure": self.admission.pressure(),
+            },
+        )
+
+    def metrics_body(self) -> ServiceResponse:
+        """The obs export schema, same shape as ``--metrics`` artifacts."""
+        return ServiceResponse(200, self.metrics.snapshot().as_dict())
+
+    def stats(self) -> ServiceResponse:
+        return ServiceResponse(
+            200,
+            {
+                "uptime_seconds": self.uptime_seconds(),
+                "tables": len(self.index),
+                "draining": self.draining,
+                "admission": self.admission.snapshot(),
+                "supervisor": self.supervisor.snapshot(),
+                "cache": self.index.cache.stats(),
+            },
+        )
+
+
+__all__ = [
+    "RequestError",
+    "ServiceResponse",
+    "SimilarityService",
+    "decode_table",
+]

@@ -1,0 +1,267 @@
+"""Asyncio supervision of fork workers for the similarity server.
+
+The server's event loop must never block on compute, and a dead worker
+must never take the server down with it.  This module bridges the two
+worlds with the same primitives the batch engine's
+:class:`~repro.parallel.pool.WorkerPool` schedules over —
+:func:`~repro.runtime.isolation.start_worker` /
+:func:`~repro.runtime.isolation.reap_worker` — but multiplexed by the
+event loop instead of ``multiprocessing.connection.wait``:
+
+- a worker's report (or the pipe EOF left by its death) makes its
+  receiver readable, which ``loop.add_reader`` turns into a future
+  resolution — no polling, no helper threads (the parent stays
+  thread-free, so forking stays safe);
+- the wall-clock kill is a ``loop.call_later`` timer per worker, the
+  backstop behind the cooperative in-worker deadline;
+- every death comes back classified (``oom`` / ``killed`` / ``crashed``)
+  exactly as in the batch engine, so the HTTP layer maps it onto the same
+  :class:`~repro.runtime.budget.Outcome` vocabulary.
+
+Slots, not processes, are the supervised resource: the supervisor owns
+``slots`` permits, forks one worker per request attempt, and when a
+worker dies it delays that *slot's* next fork by a capped exponential
+backoff (decorrelated per slot).  A poisoned host therefore degrades to a
+slow trickle of forks instead of a fork bomb, while healthy slots keep
+serving at full speed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Callable
+
+from ..runtime.isolation import WorkerHandle, WorkerLimits, reap_worker, start_worker
+from ..runtime.retry import RetryPolicy
+
+_READY = "ready"
+_TIMED_OUT = "timed-out"
+_CANCELLED = "cancelled"
+
+
+class _Inflight:
+    """Book-keeping for one running worker: handle, waker, wall timer."""
+
+    __slots__ = ("handle", "future", "timer", "slot")
+
+    def __init__(
+        self,
+        handle: WorkerHandle,
+        future: "asyncio.Future[str]",
+        timer: asyncio.TimerHandle | None,
+        slot: int,
+    ) -> None:
+        self.handle = handle
+        self.future = future
+        self.timer = timer
+        self.slot = slot
+
+    def wake(self, loop: asyncio.AbstractEventLoop, reason: str) -> None:
+        """Resolve the waiter exactly once and detach loop callbacks."""
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
+        try:
+            loop.remove_reader(self.handle.receiver.fileno())
+        except (OSError, ValueError):  # pragma: no cover - fd already gone
+            pass
+        if not self.future.done():
+            self.future.set_result(reason)
+
+
+class WorkerSupervisor:
+    """Run request jobs in supervised fork workers from an event loop.
+
+    Parameters
+    ----------
+    slots:
+        Maximum concurrently forked workers.  ``submit`` waits for a free
+        slot; the admission controller bounds how many waiters can pile up.
+    restart_backoff:
+        Capped exponential backoff (with deterministic per-slot jitter)
+        applied to a slot after its worker dies; consecutive deaths grow
+        the delay, a success resets it.
+    out:
+        Optional sink for human-readable supervision log lines.
+    """
+
+    def __init__(
+        self,
+        slots: int,
+        restart_backoff: RetryPolicy | None = None,
+        out: Callable[[str], None] | None = None,
+    ) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self.slots = slots
+        self.restart_backoff = restart_backoff or RetryPolicy(
+            retries=0, base_delay=0.05, multiplier=2.0, max_delay=2.0,
+            jitter=0.1,
+        )
+        self.out = out or (lambda _line: None)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._free: asyncio.Queue[int] | None = None
+        self._failures = [0] * slots
+        self._inflight: set[_Inflight] = set()
+        self._timers: set[asyncio.TimerHandle] = set()
+        self._draining = False
+        self.deaths_total = 0
+        self.restarts_delayed_total = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind to the running loop and make every slot available."""
+        self._loop = asyncio.get_running_loop()
+        self._free = asyncio.Queue()
+        for slot in range(self.slots):
+            self._free.put_nowait(slot)
+
+    @property
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    def cancel_inflight(self, reason: str = "server draining") -> int:
+        """Hard-cancel every running worker; their submitters observe
+        ``("cancelled", reason)``.  Returns how many were cancelled."""
+        assert self._loop is not None
+        cancelled = 0
+        for entry in list(self._inflight):
+            if not entry.future.done():
+                entry.wake(self._loop, _CANCELLED)
+                cancelled += 1
+        return cancelled
+
+    def close(self) -> None:
+        """Cancel pending slot-restart timers (drain epilogue)."""
+        self._draining = True
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(
+        self,
+        job: str | Callable,
+        args: tuple = (),
+        kwargs: dict | None = None,
+        limits: WorkerLimits | None = None,
+    ) -> tuple[str, Any]:
+        """Run ``job`` in a fork worker; returns a classified
+        ``(status, payload)`` pair and never raises for worker deaths.
+
+        Statuses are those of :func:`~repro.runtime.isolation.reap_worker`
+        (``ok``/``oom``/``killed``/``crashed``/``fatal``/``interrupt``)
+        plus ``cancelled`` when the server drained while the worker ran.
+        """
+        assert self._loop is not None and self._free is not None, (
+            "WorkerSupervisor.start() must run inside the event loop first"
+        )
+        if self._draining:
+            return ("cancelled", "server draining")
+        slot = await self._free.get()
+        if self._draining:
+            # Woken by a slot freed during hard-cancel: do not fork a new
+            # worker into a draining server.
+            self._release_slot(slot)
+            return ("cancelled", "server draining")
+        try:
+            handle = start_worker(job, args=args, kwargs=kwargs, limits=limits)
+        except BaseException:
+            self._release_slot(slot)
+            raise
+        loop = self._loop
+        future: asyncio.Future[str] = loop.create_future()
+        entry = _Inflight(handle, future, None, slot)
+        remaining = handle.remaining()
+        if remaining is not None:
+            entry.timer = loop.call_later(
+                max(0.0, remaining), entry.wake, loop, _TIMED_OUT
+            )
+        loop.add_reader(handle.receiver.fileno(), entry.wake, loop, _READY)
+        self._inflight.add(entry)
+        try:
+            reason = await asyncio.shield(future)
+        except asyncio.CancelledError:
+            # The submitting task itself was cancelled (e.g. drain timeout
+            # hit): make sure the worker does not outlive the request.
+            entry.wake(loop, _CANCELLED)
+            reason = _CANCELLED
+        finally:
+            self._inflight.discard(entry)
+
+        if reason == _CANCELLED:
+            self._destroy(handle)
+            # A cancellation says nothing about the slot's health.
+            self._release_slot(slot)
+            return ("cancelled", "request cancelled while running")
+
+        status, payload = reap_worker(handle, timed_out=reason == _TIMED_OUT)
+        self._account(slot, status, payload)
+        return (status, payload)
+
+    # -- internals -----------------------------------------------------------
+
+    def _account(self, slot: int, status: str, payload: Any) -> None:
+        """Update slot health and schedule its return to the free pool."""
+        if status in ("ok", "fatal", "interrupt"):
+            # Clean worker exits (including a job raising a ReproError):
+            # the slot is healthy.
+            self._failures[slot] = 0
+            self._release_slot(slot)
+            return
+        self.deaths_total += 1
+        self._failures[slot] += 1
+        delay = self.restart_backoff.delay_for(
+            self._failures[slot], salt=("slot", slot)
+        )
+        self.out(
+            f"[slot {slot}] worker died ({status}: {payload}); "
+            f"restart backoff {delay:.3f}s "
+            f"(consecutive failures: {self._failures[slot]})"
+        )
+        self.restarts_delayed_total += 1
+        self._release_slot(slot, after=delay)
+
+    def _release_slot(self, slot: int, after: float | None = None) -> None:
+        assert self._loop is not None and self._free is not None
+        if after is None or after <= 0 or self._draining:
+            self._free.put_nowait(slot)
+            return
+        timer: asyncio.TimerHandle | None = None
+
+        def restore() -> None:
+            if timer is not None:
+                self._timers.discard(timer)
+            assert self._free is not None
+            self._free.put_nowait(slot)
+
+        timer = self._loop.call_later(after, restore)
+        self._timers.add(timer)
+
+    def _destroy(self, handle: WorkerHandle) -> None:
+        """Kill a worker whose result nobody will read."""
+        try:
+            handle.receiver.close()
+        except Exception:  # pragma: no cover - best effort
+            pass
+        handle.process.terminate()
+        handle.process.join(1.0)
+        if handle.process.is_alive():  # pragma: no cover - stuck in kernel
+            handle.process.kill()
+            handle.process.join(1.0)
+
+    def snapshot(self) -> dict:
+        """JSON-ready supervision counters for ``/stats``."""
+        return {
+            "slots": self.slots,
+            "inflight": self.inflight_count,
+            "deaths_total": self.deaths_total,
+            "restarts_delayed_total": self.restarts_delayed_total,
+            "slot_failures": list(self._failures),
+        }
+
+
+__all__ = ["WorkerSupervisor"]

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.core.errors import FormatError
+from repro.core.errors import FormatError, StoreCorruptionError
 from repro.core.instance import Instance
 from repro.core.values import LabeledNull
 from repro.index import (
@@ -151,6 +151,61 @@ class TestIntegrity:
         store = index.save(tmp_path / "store")
         with pytest.raises(KeyError, match="ghost"):
             store.load_table("ghost")
+
+    def test_truncated_manifest_is_structured_corruption(
+        self, index, tmp_path
+    ):
+        """A half-written manifest must surface as StoreCorruptionError
+        naming the path — never a raw json.JSONDecodeError."""
+        index.save(tmp_path / "store")
+        manifest_path = tmp_path / "store" / "manifest.json"
+        blob = manifest_path.read_bytes()
+        manifest_path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(StoreCorruptionError, match="manifest") as info:
+            load_index(tmp_path / "store")
+        assert info.value.path == manifest_path
+        assert "manifest.json" in str(info.value)
+
+    def test_garbage_manifest_is_structured_corruption(self, index, tmp_path):
+        index.save(tmp_path / "store")
+        manifest_path = tmp_path / "store" / "manifest.json"
+        manifest_path.write_text("not json at all {{{")
+        with pytest.raises(StoreCorruptionError, match="corrupt or truncated"):
+            load_index(tmp_path / "store")
+
+    def test_non_object_manifest_is_structured_corruption(
+        self, index, tmp_path
+    ):
+        index.save(tmp_path / "store")
+        manifest_path = tmp_path / "store" / "manifest.json"
+        manifest_path.write_text("[1, 2, 3]")
+        with pytest.raises(StoreCorruptionError, match="not a JSON object"):
+            load_index(tmp_path / "store")
+
+    def test_truncated_table_is_structured_corruption(self, index, tmp_path):
+        index.save(tmp_path / "store")
+        table_file = next((tmp_path / "store" / "tables").glob("*.json"))
+        blob = table_file.read_bytes()
+        table_file.write_bytes(blob[: len(blob) // 3])
+        with pytest.raises(StoreCorruptionError) as info:
+            load_index(tmp_path / "store")
+        assert info.value.path == table_file
+
+    def test_table_missing_keys_is_structured_corruption(
+        self, index, tmp_path
+    ):
+        index.save(tmp_path / "store")
+        table_file = next((tmp_path / "store" / "tables").glob("*.json"))
+        table_file.write_text(json.dumps({"name": "alpha"}))
+        with pytest.raises(StoreCorruptionError, match="missing"):
+            load_index(tmp_path / "store")
+
+    def test_corruption_error_is_a_format_error(self, index, tmp_path):
+        """Existing FormatError handlers keep working."""
+        index.save(tmp_path / "store")
+        (tmp_path / "store" / "manifest.json").write_text("}{")
+        with pytest.raises(FormatError):
+            load_index(tmp_path / "store")
 
     def test_same_content_different_names_kept_apart(self, tmp_path):
         """Table files are keyed by name: identical content must not merge."""

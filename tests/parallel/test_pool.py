@@ -1,0 +1,107 @@
+"""Tests for WorkerPool supervision of workers that die mid-result.
+
+A worker can break its result pipe in ways subtler than a clean crash:
+send a truncated/unpicklable report and exit, or close the pipe and hang.
+The reaping layer must classify every such death as ``crashed`` — never
+propagate ``EOFError``/``UnpicklingError`` to the scheduler — and the
+pool must retry the task per policy on a fresh worker.
+"""
+
+import multiprocessing
+import time
+
+from repro.parallel import pool as pool_module
+from repro.parallel.pool import PoolTask, WorkerPool
+from repro.runtime.isolation import WorkerHandle, WorkerLimits, reap_worker
+from repro.runtime.retry import RetryPolicy
+
+
+def _seven():
+    return 7
+
+
+def _send_garbage(sender):
+    # A valid frame whose bytes are not a valid pickle: recv() on the
+    # parent side raises during deserialization, not EOFError.
+    sender.send_bytes(b"\x80\x04broken-frame")
+    sender.close()
+
+
+def _close_then_hang(sender):
+    sender.close()
+    time.sleep(60)
+
+
+def _spawn_raw(target) -> WorkerHandle:
+    """A hand-built worker that bypasses the report protocol entirely."""
+    ctx = multiprocessing.get_context("fork")
+    receiver, sender = ctx.Pipe(duplex=False)
+    process = ctx.Process(target=target, args=(sender,), daemon=True)
+    process.start()
+    sender.close()
+    return WorkerHandle(process, receiver, WorkerLimits())
+
+
+class TestReapMidResultDeath:
+    def test_unpicklable_report_classifies_as_crashed(self):
+        handle = _spawn_raw(_send_garbage)
+        # Wait for the report bytes to land, as the scheduler would.
+        assert handle.receiver.poll(5.0)
+        status, payload = reap_worker(handle)
+        assert status == "crashed"
+        assert "unreadable report" in str(payload)
+        assert not handle.process.is_alive()
+
+    def test_pipe_closed_while_alive_is_crashed_and_reaped(self):
+        handle = _spawn_raw(_close_then_hang)
+        assert handle.receiver.poll(5.0)  # EOF makes the pipe readable
+        status, payload = reap_worker(handle)
+        assert status == "crashed"
+        assert "result pipe" in str(payload)
+        # No orphan: the hung process was terminated, not leaked.
+        assert not handle.process.is_alive()
+
+
+class TestPoolMidResultDeath:
+    def test_task_retries_on_fresh_worker_after_broken_pipe(self, monkeypatch):
+        """Attempt 1 dies mid-result; the pool classifies it as crashed,
+        restarts the slot, and attempt 2 succeeds."""
+        real_start = pool_module.start_worker
+        launches = []
+
+        def flaky_start(job, args=(), kwargs=None, limits=None, plan=None):
+            launches.append(job)
+            if len(launches) == 1:
+                return _spawn_raw(_send_garbage)
+            return real_start(
+                job, args=args, kwargs=kwargs, limits=limits, plan=plan
+            )
+
+        monkeypatch.setattr(pool_module, "start_worker", flaky_start)
+        pool = WorkerPool(
+            jobs=1,
+            retry=RetryPolicy(retries=2, base_delay=0.01, jitter=0.0),
+        )
+        outcomes = pool.run(_seven, [PoolTask(index=0)])
+        assert len(outcomes) == 1
+        assert outcomes[0].status == "ok"
+        assert outcomes[0].payload == 7
+        assert [r.status for r in outcomes[0].records] == ["crashed", "ok"]
+        assert len(launches) == 2
+
+    def test_exhausted_retries_surface_crashed_not_an_exception(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(
+            pool_module,
+            "start_worker",
+            lambda job, args=(), kwargs=None, limits=None, plan=None: (
+                _spawn_raw(_send_garbage)
+            ),
+        )
+        pool = WorkerPool(
+            jobs=1, retry=RetryPolicy(retries=1, base_delay=0.01, jitter=0.0)
+        )
+        outcomes = pool.run(_seven, [PoolTask(index=0)])
+        assert outcomes[0].status == "crashed"
+        assert len(outcomes[0].records) == 2

@@ -77,6 +77,48 @@ class TestRetryPolicy:
             RetryPolicy(retries=-1)
 
 
+class TestDelayFor:
+    """The self-seeded jitter path used by the executor and the pool."""
+
+    def test_no_jitter_matches_raw_curve(self):
+        policy = RetryPolicy(
+            retries=3, base_delay=1.0, multiplier=2.0, max_delay=100.0,
+            jitter=0.0,
+        )
+        assert policy.delay_for(1) == pytest.approx(1.0)
+        assert policy.delay_for(2) == pytest.approx(2.0)
+        assert policy.delay_for(3) == pytest.approx(4.0)
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(
+            retries=5, base_delay=1.0, multiplier=2.0, max_delay=100.0,
+            jitter=0.25, seed=11,
+        )
+        for attempt in range(1, 6):
+            raw = min(2.0 ** (attempt - 1), 100.0)
+            for salt in (None, "label", ("slot", 3), 17):
+                delay = policy.delay_for(attempt, salt=salt)
+                assert raw * 0.75 <= delay <= raw * 1.25, (attempt, salt)
+
+    def test_deterministic_per_seed_salt_attempt(self):
+        policy = RetryPolicy(retries=2, jitter=0.5, seed=3)
+        assert policy.delay_for(1, salt="a") == policy.delay_for(1, salt="a")
+        assert policy.delay_for(2, salt="a") == policy.delay_for(2, salt="a")
+
+    def test_salts_decorrelate_delays(self):
+        """Different salts must not share a jitter schedule — that is the
+        whole point: synchronized clients spread out instead of retrying
+        in lockstep."""
+        policy = RetryPolicy(retries=2, jitter=0.5, seed=3)
+        delays = {policy.delay_for(1, salt=i) for i in range(16)}
+        assert len(delays) > 8
+
+    def test_seed_changes_the_schedule(self):
+        a = RetryPolicy(retries=2, jitter=0.5, seed=1)
+        b = RetryPolicy(retries=2, jitter=0.5, seed=2)
+        assert a.delay_for(1, salt="x") != b.delay_for(1, salt="x")
+
+
 def _seven():
     return 7
 

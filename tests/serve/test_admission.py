@@ -1,0 +1,127 @@
+"""Unit tests for admission control and the degradation policy."""
+
+import pytest
+
+from repro.serve.admission import AdmissionController, DegradationLevel
+from repro.serve.config import ServerConfig
+
+
+def controller(slots=2, max_queue=4, **kwargs):
+    return AdmissionController(slots=slots, max_queue=max_queue, **kwargs)
+
+
+class TestAdmission:
+    def test_admits_until_slots_plus_queue(self):
+        ctrl = controller(slots=2, max_queue=3)
+        decisions = [ctrl.admit() for _ in range(5)]
+        assert all(d.admitted for d in decisions)
+        shed = ctrl.admit()
+        assert not shed.admitted
+        assert shed.retry_after is not None and shed.retry_after > 0
+        assert ctrl.shed_total == 1
+        assert ctrl.inflight == 5
+
+    def test_release_reopens_admission(self):
+        ctrl = controller(slots=1, max_queue=0)
+        assert ctrl.admit().admitted
+        assert not ctrl.admit().admitted
+        ctrl.release()
+        assert ctrl.admit().admitted
+
+    def test_release_without_admit_is_an_error(self):
+        with pytest.raises(RuntimeError):
+            controller().release()
+
+    def test_zero_queue_sheds_once_slots_are_full(self):
+        ctrl = controller(slots=2, max_queue=0)
+        assert ctrl.admit().admitted
+        assert ctrl.admit().admitted
+        assert not ctrl.admit().admitted
+
+    def test_waiting_counts_only_beyond_slots(self):
+        ctrl = controller(slots=2, max_queue=4)
+        for _ in range(3):
+            ctrl.admit()
+        assert ctrl.waiting == 1
+        assert ctrl.inflight == 3
+
+
+class TestDegradation:
+    def test_level_walks_the_ladder_with_pressure(self):
+        ctrl = controller(
+            slots=1, max_queue=10,
+            no_exact_pressure=0.5, signature_only_pressure=0.8,
+        )
+        assert ctrl.level() is DegradationLevel.FULL
+        ctrl.inflight = 1 + 5  # pressure 0.5
+        assert ctrl.level() is DegradationLevel.NO_EXACT
+        ctrl.inflight = 1 + 8  # pressure 0.8
+        assert ctrl.level() is DegradationLevel.SIGNATURE_ONLY
+
+    def test_level_is_frozen_at_admission(self):
+        ctrl = controller(slots=1, max_queue=4, no_exact_pressure=0.5)
+        ctrl.inflight = 1 + 2  # pressure 0.5 -> NO_EXACT
+        decision = ctrl.admit()
+        assert decision.admitted
+        assert decision.level is DegradationLevel.NO_EXACT
+        assert ctrl.degraded_total == 1
+
+    def test_labels(self):
+        assert DegradationLevel.FULL.label == "full"
+        assert DegradationLevel.NO_EXACT.label == "no-exact"
+        assert DegradationLevel.SIGNATURE_ONLY.label == "signature-only"
+
+    def test_retry_after_scales_with_backlog(self):
+        ctrl = controller(slots=2, max_queue=2, retry_after_seconds=1.0)
+        shallow = ctrl.retry_after()
+        for _ in range(4):
+            ctrl.admit()
+        deep = ctrl.retry_after()
+        assert deep > shallow
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        ctrl = controller()
+        ctrl.admit()
+        payload = ctrl.snapshot()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["inflight"] == 1
+        assert payload["level"] == "full"
+
+
+class TestServerConfig:
+    def test_defaults_validate(self):
+        ServerConfig()
+
+    def test_clamp_uses_default_when_absent(self):
+        config = ServerConfig(default_timeout_ms=1500, max_timeout_ms=4000)
+        assert config.clamp_timeout_ms(None) == 1500
+
+    def test_clamp_caps_at_max(self):
+        config = ServerConfig(default_timeout_ms=1500, max_timeout_ms=4000)
+        assert config.clamp_timeout_ms(99999) == 4000
+        assert config.clamp_timeout_ms(2000) == 2000
+
+    @pytest.mark.parametrize("bad", ["soon", True, -5, 0, [1]])
+    def test_clamp_rejects_non_positive_numbers(self, bad):
+        with pytest.raises(ValueError):
+            ServerConfig().clamp_timeout_ms(bad)
+
+    def test_rejects_inverted_pressure_thresholds(self):
+        with pytest.raises(ValueError, match="monotonically"):
+            ServerConfig(
+                no_exact_pressure=0.9, signature_only_pressure=0.5
+            )
+
+    def test_rejects_default_timeout_above_max(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            ServerConfig(default_timeout_ms=5000, max_timeout_ms=1000)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            ServerConfig(jobs=0)
+        with pytest.raises(ValueError):
+            ServerConfig(max_queue=-1)
+        with pytest.raises(ValueError):
+            ServerConfig(max_body_bytes=0)

@@ -1,0 +1,101 @@
+"""Tests for routing, error envelopes, and drain behaviour of the app."""
+
+import asyncio
+
+from repro.core.instance import Instance
+from repro.index.core import SimilarityIndex
+from repro.serve.app import Server
+from repro.serve.config import ServerConfig
+from repro.serve.http import Request
+
+
+def make_server(**overrides):
+    index = SimilarityIndex()
+    index.add(
+        "t1",
+        Instance.from_rows("R", ("A",), [("1",), ("2",)], name="t1"),
+    )
+    config = ServerConfig(port=0, **overrides)
+    return Server(config, index, out=lambda _line: None)
+
+
+def request(method="GET", path="/healthz", body=b""):
+    return Request(method, path, {"content-length": str(len(body))}, body)
+
+
+def dispatch(server, req):
+    async def main():
+        server.service.start()
+        return await server._dispatch(req)
+
+    return asyncio.run(main())
+
+
+class TestRouting:
+    def test_unknown_path_is_404(self):
+        server = make_server()
+        response = dispatch(server, request(path="/nope"))
+        assert response.status == 404
+        assert response.body["error"]["outcome"] == "failed"
+
+    def test_wrong_method_is_405(self):
+        server = make_server()
+        assert dispatch(server, request("POST", "/healthz")).status == 405
+        assert dispatch(server, request("GET", "/compare")).status == 405
+
+    def test_probe_routes(self):
+        server = make_server()
+        assert dispatch(server, request(path="/healthz")).status == 200
+        assert dispatch(server, request(path="/readyz")).status == 200
+        metrics = dispatch(server, request(path="/metrics"))
+        assert set(metrics.body) >= {"counters", "gauges", "histograms"}
+        stats = dispatch(server, request(path="/stats"))
+        assert stats.body["tables"] == 1
+
+    def test_query_string_is_ignored_for_routing(self):
+        server = make_server()
+        assert dispatch(server, request(path="/healthz?probe=1")).status == 200
+
+    def test_invalid_json_body_is_400(self):
+        server = make_server()
+        response = dispatch(server, request("POST", "/search", b"{nope"))
+        assert response.status == 400
+        assert not response.body["ok"]
+
+    def test_request_error_is_structured_400(self):
+        server = make_server()
+        response = dispatch(server, request("POST", "/search", b"{}"))
+        assert response.status == 400
+        assert "query" in response.body["error"]["message"]
+
+
+class TestDraining:
+    def test_draining_rejects_work_but_answers_probes(self):
+        server = make_server()
+        server.service.draining = True
+        response = dispatch(server, request("POST", "/search", b"{}"))
+        assert response.status == 503
+        assert response.body["error"]["outcome"] == "cancelled"
+        assert dispatch(server, request(path="/healthz")).status == 200
+        assert dispatch(server, request(path="/readyz")).status == 503
+
+    def test_drain_flushes_metrics_artifact(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        server = make_server(metrics_path=str(path))
+
+        async def main():
+            server.service.start()
+            await server.drain()
+
+        asyncio.run(main())
+        assert path.exists()
+
+    def test_drain_is_idempotent(self):
+        server = make_server()
+
+        async def main():
+            server.service.start()
+            await server.drain()
+            await server.drain()
+
+        asyncio.run(main())

@@ -1,0 +1,103 @@
+"""Unit tests for the hand-rolled HTTP/1.1 framing."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import HttpError, read_request, render_response
+
+
+def parse(raw: bytes, max_body: int = 1024):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, max_body)
+
+    return asyncio.run(run())
+
+
+def frame(method="POST", path="/compare", body=b"", extra=()):
+    lines = [f"{method} {path} HTTP/1.1", "Host: x"]
+    lines.extend(extra)
+    lines.append(f"Content-Length: {len(body)}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+class TestReadRequest:
+    def test_parses_method_path_headers_body(self):
+        body = json.dumps({"a": 1}).encode()
+        request = parse(frame(body=body, extra=("X-Thing: 7",)))
+        assert request.method == "POST"
+        assert request.path == "/compare"
+        assert request.headers["x-thing"] == "7"
+        assert request.json() == {"a": 1}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_half_request_is_a_400(self):
+        with pytest.raises(HttpError) as info:
+            parse(b"POST /x HTTP/1.1\r\nConte")
+        assert info.value.status == 400
+
+    def test_malformed_request_line_is_a_400(self):
+        with pytest.raises(HttpError) as info:
+            parse(b"NONSENSE\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_oversized_body_is_a_413(self):
+        with pytest.raises(HttpError) as info:
+            parse(frame(body=b"x" * 100), max_body=10)
+        assert info.value.status == 413
+
+    def test_truncated_body_is_a_400(self):
+        blob = frame(body=b"12345678")
+        with pytest.raises(HttpError) as info:
+            parse(blob[:-4])
+        assert info.value.status == 400
+
+    def test_bad_content_length_is_a_400(self):
+        with pytest.raises(HttpError) as info:
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: ZZZ\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_chunked_encoding_rejected(self):
+        with pytest.raises(HttpError) as info:
+            parse(
+                b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            )
+        assert info.value.status == 400
+
+    def test_non_object_json_body_rejected(self):
+        request = parse(frame(body=b"[1, 2]"))
+        with pytest.raises(HttpError, match="JSON object"):
+            request.json()
+
+    def test_invalid_json_body_rejected(self):
+        request = parse(frame(body=b"{nope"))
+        with pytest.raises(HttpError, match="not valid JSON"):
+            request.json()
+
+    def test_connection_close_header(self):
+        request = parse(frame(extra=("Connection: close",)))
+        assert not request.keep_alive
+        assert parse(frame()).keep_alive
+
+
+class TestRenderResponse:
+    def test_status_line_and_json_body(self):
+        blob = render_response(429, {"ok": False}, {"Retry-After": "2"})
+        text = blob.decode()
+        head, _, body = text.partition("\r\n\r\n")
+        assert head.startswith("HTTP/1.1 429 Too Many Requests")
+        assert "Retry-After: 2" in head
+        assert f"Content-Length: {len(body.encode())}" in head
+        assert json.loads(body) == {"ok": False}
+
+    def test_connection_header_tracks_keep_alive(self):
+        assert b"Connection: keep-alive" in render_response(200, {})
+        assert b"Connection: close" in render_response(
+            200, {}, keep_alive=False
+        )

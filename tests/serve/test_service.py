@@ -1,0 +1,265 @@
+"""Tests for the endpoint logic: deadlines, shedding, degradation, errors."""
+
+import asyncio
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.index.core import SimilarityIndex
+from repro.serve.admission import DegradationLevel
+from repro.serve.config import ServerConfig
+from repro.serve.service import RequestError, SimilarityService, decode_table
+
+
+def wire_table(rows, relation="R", columns=("A", "B"), name=None):
+    payload = {
+        "relation": relation,
+        "columns": list(columns),
+        "rows": [list(r) for r in rows],
+    }
+    if name is not None:
+        payload["name"] = name
+    return payload
+
+
+def make_index():
+    index = SimilarityIndex()
+    index.add(
+        "t1",
+        Instance.from_rows(
+            "R", ("A", "B"), [("1", "x"), ("2", "y"), ("3", "z")], name="t1"
+        ),
+    )
+    index.add(
+        "t2",
+        Instance.from_rows("R", ("A", "B"), [("1", "x"), ("9", "q")], name="t2"),
+    )
+    return index
+
+
+def make_service(**overrides) -> SimilarityService:
+    defaults = dict(jobs=2, max_queue=4, default_timeout_ms=5000)
+    defaults.update(overrides)
+    return SimilarityService(ServerConfig(**defaults), make_index())
+
+
+def run(coro_fn, **overrides):
+    """Run an async test body with a started service."""
+
+    async def main():
+        service = make_service(**overrides)
+        service.start()
+        return await coro_fn(service)
+
+    return asyncio.run(main())
+
+
+QUERY = wire_table([("1", "x"), ("2", "y")])
+
+
+class TestDecodeTable:
+    def test_round_trips_rows_and_nulls(self):
+        instance = decode_table(
+            wire_table([("1", "_N:n1"), ("_C:_N:lit", "y")]), "q"
+        )
+        values = [t.values for t in instance.tuples()]
+        from repro.core.values import LabeledNull
+
+        assert values[0] == ("1", LabeledNull("n1"))
+        assert values[1] == ("_N:lit", "y")
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            42,
+            {"relation": "", "columns": ["A"], "rows": []},
+            {"relation": "R", "columns": [], "rows": []},
+            {"relation": "R", "columns": ["A"], "rows": [["a", "b"]]},
+            {"relation": "R", "columns": ["A"], "rows": [[7]]},
+            {"relation": "R", "columns": ["A"], "rows": "nope"},
+        ],
+    )
+    def test_malformed_tables_are_request_errors(self, payload):
+        with pytest.raises(RequestError):
+            decode_table(payload, "q")
+
+
+class TestEndpoints:
+    def test_compare_full_ladder(self):
+        async def body(service):
+            response = await service.compare(
+                {"left": QUERY, "right": wire_table([("1", "x")])}
+            )
+            assert response.status == 200
+            assert response.body["ok"]
+            assert response.body["degradation"]["label"] == "full"
+            result = response.body["result"]
+            assert 0.0 <= result["similarity"] <= 1.0
+            assert result["outcome"] == "completed"
+            assert result["score_is_exact"]
+            return response
+
+        run(body)
+
+    def test_search_returns_ranked_hits(self):
+        async def body(service):
+            response = await service.search({"query": QUERY, "top_k": 2})
+            assert response.status == 200
+            hits = response.body["result"]["hits"]
+            assert [h["name"] for h in hits] == ["t1", "t2"]
+            assert not response.body["result"]["approximate"]
+            assert response.body["timeout_ms"] == 5000
+
+        run(body)
+
+    def test_dedup_returns_pairs(self):
+        async def body(service):
+            response = await service.dedup({"threshold": 0.3})
+            assert response.status == 200
+            pairs = response.body["result"]["pairs"]
+            assert {(p["first"], p["second"]) for p in pairs} == {("t1", "t2")}
+
+        run(body)
+
+    def test_timeout_is_clamped_to_server_max(self):
+        async def body(service):
+            response = await service.search(
+                {"query": QUERY, "timeout_ms": 10_000_000}
+            )
+            assert response.body["timeout_ms"] == service.config.max_timeout_ms
+
+        run(body)
+
+    def test_ingest_registers_and_search_finds_it(self):
+        async def body(service):
+            response = await service.ingest(
+                {
+                    "name": "t3",
+                    "table": wire_table(
+                        [("1", "x"), ("2", "y"), ("3", "z")], name="t3"
+                    ),
+                }
+            )
+            assert response.status == 200
+            assert response.body["result"]["tables"] == 3
+            found = await service.search({"query": QUERY, "top_k": 3})
+            assert "t3" in [h["name"] for h in found.body["result"]["hits"]]
+
+        run(body)
+
+    def test_ingest_conflict_is_409(self):
+        async def body(service):
+            response = await service.ingest(
+                {"name": "t1", "table": wire_table([("1", "x")])}
+            )
+            assert response.status == 409
+            assert not response.body["ok"]
+
+        run(body)
+
+    @pytest.mark.parametrize(
+        "endpoint,body",
+        [
+            ("compare", {}),
+            ("compare", {"left": QUERY}),
+            ("search", {}),
+            ("search", {"query": QUERY, "top_k": 0}),
+            ("search", {"query": QUERY, "top_k": True}),
+            ("search", {"query": QUERY, "timeout_ms": -1}),
+            ("dedup", {"threshold": 0}),
+            ("dedup", {"threshold": "high"}),
+            ("ingest", {"table": wire_table([])}),
+            ("ingest", {"name": "x"}),
+        ],
+    )
+    def test_invalid_requests_raise_request_errors(self, endpoint, body):
+        async def main(service):
+            with pytest.raises(RequestError):
+                await getattr(service, endpoint)(body)
+
+        run(main)
+
+
+class TestSheddingAndDegradation:
+    def test_full_queue_sheds_with_retry_after(self):
+        async def body(service):
+            capacity = service.config.jobs + service.config.max_queue
+            service.admission.inflight = capacity
+            response = await service.search({"query": QUERY})
+            assert response.status == 429
+            assert response.body["error"]["outcome"] == "shed"
+            assert "Retry-After" in response.headers
+            assert int(response.headers["Retry-After"]) >= 1
+            assert response.body["retry_after_seconds"] > 0
+            service.admission.inflight = 0
+
+        run(body)
+
+    def test_pressure_degrades_search_to_lsh_shortlist(self):
+        async def body(service):
+            # Pressure exactly at the no-exact threshold.
+            service.admission.inflight = service.config.jobs + 2
+            response = await service.search({"query": QUERY, "top_k": 2})
+            assert response.status == 200
+            assert response.body["degradation"]["label"] == "no-exact"
+            assert response.body["result"]["approximate"]
+            service.admission.inflight -= 1  # our own release already ran
+
+        run(body)
+
+    def test_heavy_pressure_degrades_to_signature_only(self):
+        async def body(service):
+            # Pressure 0.9 with a queue of 10: above the signature-only
+            # threshold but one short of shedding.
+            service.admission.inflight = service.config.jobs + 9
+            response = await service.search({"query": QUERY, "top_k": 2})
+            assert response.status == 200
+            assert (
+                response.body["degradation"]["label"] == "signature-only"
+            )
+            result = response.body["result"]
+            assert result["approximate"]
+            # Bound-only hits carry no matched-tuples evidence.
+            assert all(h["matched_tuples"] is None for h in result["hits"])
+
+        run(body, max_queue=10)
+
+    def test_signature_only_compare_still_answers(self):
+        async def body(service):
+            service.admission.inflight = service.config.jobs + 9
+            response = await service.compare(
+                {"left": QUERY, "right": QUERY}
+            )
+            assert response.status == 200
+            result = response.body["result"]
+            assert result["rung"] == "signature"
+            assert not result["score_is_exact"]
+
+        run(body, max_queue=10)
+
+
+class TestMetrics:
+    def test_worker_side_counters_merge_into_server_registry(self):
+        async def body(service):
+            await service.search({"query": QUERY})
+            counters = service.metrics.snapshot().as_dict()["counters"]
+            assert any(k.startswith("serve.requests") for k in counters)
+            # index.* counters were recorded inside the fork worker and
+            # shipped back on the result pipe.
+            assert any(k.startswith("index.") for k in counters)
+
+        run(body)
+
+    def test_readyz_and_healthz_and_stats(self):
+        async def body(service):
+            assert service.healthz().status == 200
+            ready = service.readyz()
+            assert ready.status == 200 and ready.body["tables"] == 2
+            service.draining = True
+            assert service.readyz().status == 503
+            assert service.healthz().status == 200  # alive while draining
+            stats = service.stats()
+            assert stats.body["admission"]["slots"] == service.config.jobs
+            assert "cache" in stats.body
+
+        run(body)

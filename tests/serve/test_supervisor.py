@@ -1,0 +1,152 @@
+"""Tests for asyncio worker supervision: deaths, kills, backoff, cancel."""
+
+import asyncio
+import os
+import time
+
+import pytest
+
+from repro.runtime.isolation import WorkerLimits
+from repro.runtime.retry import RetryPolicy
+from repro.serve.supervisor import WorkerSupervisor
+
+
+def _seven():
+    return 7
+
+
+def _die():
+    os._exit(3)
+
+
+def _nap():
+    time.sleep(0.2)
+    return "rested"
+
+
+def _sleep_forever():
+    time.sleep(60)
+
+
+def fast_backoff():
+    return RetryPolicy(
+        retries=0, base_delay=0.01, multiplier=2.0, max_delay=0.05,
+        jitter=0.0,
+    )
+
+
+def supervisor(slots=1):
+    return WorkerSupervisor(slots=slots, restart_backoff=fast_backoff())
+
+
+class TestSubmit:
+    def test_ok_result_round_trips(self):
+        async def main():
+            sup = supervisor(slots=2)
+            sup.start()
+            status, payload = await sup.submit(_seven)
+            assert (status, payload) == ("ok", 7)
+            assert sup.inflight_count == 0
+            assert sup.deaths_total == 0
+
+        asyncio.run(main())
+
+    def test_worker_death_is_classified_not_raised(self):
+        async def main():
+            sup = supervisor()
+            sup.start()
+            status, payload = await sup.submit(_die)
+            assert status == "crashed"
+            assert "exit" in str(payload) or "status" in str(payload)
+            assert sup.deaths_total == 1
+
+        asyncio.run(main())
+
+    def test_slot_restarts_after_death_with_backoff(self):
+        async def main():
+            sup = supervisor(slots=1)
+            sup.start()
+            await sup.submit(_die)
+            # The slot comes back after the backoff delay and serves again.
+            status, payload = await sup.submit(_seven)
+            assert (status, payload) == ("ok", 7)
+            assert sup.restarts_delayed_total == 1
+            # A success resets the slot's consecutive-failure count.
+            assert sup.snapshot()["slot_failures"] == [0]
+
+        asyncio.run(main())
+
+    def test_wall_deadline_kills_wedged_worker(self):
+        async def main():
+            sup = supervisor()
+            sup.start()
+            started = time.monotonic()
+            status, payload = await sup.submit(
+                _sleep_forever, limits=WorkerLimits(wall_timeout=0.3)
+            )
+            elapsed = time.monotonic() - started
+            assert status == "killed"
+            assert "wall timeout" in str(payload)
+            assert elapsed < 5.0  # killed at the deadline, not after 60s
+
+        asyncio.run(main())
+
+    def test_single_slot_serializes_workers(self):
+        async def main():
+            sup = supervisor(slots=1)
+            sup.start()
+            started = time.monotonic()
+            results = await asyncio.gather(
+                sup.submit(_nap), sup.submit(_nap)
+            )
+            elapsed = time.monotonic() - started
+            assert [r[0] for r in results] == ["ok", "ok"]
+            assert elapsed >= 0.35  # two 0.2s jobs never overlapped
+
+        asyncio.run(main())
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            WorkerSupervisor(slots=0)
+
+
+class TestCancellation:
+    def test_cancel_inflight_returns_structured_cancellation(self):
+        async def main():
+            sup = supervisor(slots=1)
+            sup.start()
+            task = asyncio.ensure_future(sup.submit(_sleep_forever))
+            while sup.inflight_count == 0:
+                await asyncio.sleep(0.01)
+            assert sup.cancel_inflight() == 1
+            status, payload = await task
+            assert status == "cancelled"
+            assert sup.inflight_count == 0
+
+        asyncio.run(main())
+
+    def test_submit_after_close_is_cancelled(self):
+        async def main():
+            sup = supervisor()
+            sup.start()
+            sup.close()
+            status, _payload = await sup.submit(_seven)
+            assert status == "cancelled"
+
+        asyncio.run(main())
+
+    def test_cancelling_the_submitting_task_kills_the_worker(self):
+        async def main():
+            sup = supervisor(slots=1)
+            sup.start()
+            task = asyncio.ensure_future(sup.submit(_sleep_forever))
+            while sup.inflight_count == 0:
+                await asyncio.sleep(0.01)
+            task.cancel()
+            status, _payload = await task
+            assert status == "cancelled"
+            # The slot is free again: the next submit runs immediately.
+            status, payload = await sup.submit(_seven)
+            assert (status, payload) == ("ok", 7)
+
+        asyncio.run(main())
