@@ -1,0 +1,309 @@
+"""Benchmark the write-ahead log; emit ``BENCH_wal.json``.
+
+Standalone (not pytest-benchmark, like ``bench_index.py``) so CI can run
+it and archive the JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_wal.py \
+        --records 2000 --log-lengths 1000 5000 10000 --out BENCH_wal.json
+
+Measures the two costs the log design trades off:
+
+* **append throughput vs group-commit window**: records/second through a
+  :class:`SegmentWriter` at ``sync_every`` of 1 (fsync per record), small
+  and large batches, and 0 (one explicit fsync at the end) — the latency
+  price of per-record durability, and what batching buys back;
+* **recovery time vs log length**: time to open a store whose log holds
+  N upsert records (scan + checksum + replay onto the overlay), and the
+  full ``load_index`` decode time for scale;
+* **torn-tail repair**: recovery time when the log ends in garbage that
+  must be truncated first.
+
+Gates (any failure exits 1):
+
+* recovering a 10k-record log takes **< 2 seconds**;
+* a recovered store **re-saves byte-identically**: save the replayed
+  index, reload that store, save again — the two snapshots match file
+  for file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.core.instance import Instance  # noqa: E402
+from repro.index import (  # noqa: E402
+    IndexParams,
+    IndexStore,
+    SimilarityIndex,
+    load_index,
+)
+from repro.index.sketch import InstanceSketch  # noqa: E402
+from repro.index.wal import (  # noqa: E402
+    LogReader,
+    SegmentWriter,
+    encode_payload,
+    segment_name,
+)
+
+PARAMS = IndexParams(num_perms=32, bands=8, rows=4)
+
+RECOVERY_GATE_RECORDS = 10_000
+RECOVERY_GATE_SECONDS = 2.0
+
+
+def timed(fn, *args, **kwargs):
+    started = time.perf_counter()
+    value = fn(*args, **kwargs)
+    return value, time.perf_counter() - started
+
+
+def snapshot(path: Path) -> dict[str, bytes]:
+    return {
+        str(p.relative_to(path)): p.read_bytes()
+        for p in sorted(path.rglob("*"))
+        if p.is_file()
+    }
+
+
+def sample_table(rows: int, tag: str) -> Instance:
+    return Instance.from_rows(
+        "R", ("A", "B", "C"),
+        [(f"{tag}-{r}", f"v{r}", str(r % 7)) for r in range(rows)],
+        name=tag,
+    )
+
+
+def bench_throughput(workdir: Path, records: int, payload: bytes) -> list[dict]:
+    """Append ``records`` copies of a realistic payload per fsync window."""
+    results = []
+    for window in (1, 4, 16, 64, 0):
+        segment = workdir / f"window-{window}" / segment_name(1)
+        segment.parent.mkdir(parents=True)
+        writer = SegmentWriter.create(segment, 1, sync_every=window)
+        started = time.perf_counter()
+        for _ in range(records):
+            writer.append(payload)
+        writer.sync()  # the tail of the last batch must still land
+        elapsed = time.perf_counter() - started
+        writer.close()
+        results.append({
+            "sync_every": window,
+            "records": records,
+            "seconds": elapsed,
+            "records_per_second": records / elapsed if elapsed else 0.0,
+            "mb_per_second": (
+                records * len(payload) / (1024 * 1024) / elapsed
+                if elapsed else 0.0
+            ),
+            "fsyncs": writer.syncs,
+        })
+    return results
+
+
+def build_logged_store(path: Path, n_records: int) -> None:
+    """A saved store plus ``n_records`` upsert records in its log."""
+    index = SimilarityIndex(params=PARAMS)
+    index.add("seed", sample_table(8, "seed"))
+    index.save(path)
+    index.store.close()
+    # Append through the store (real framing, real overlay bookkeeping)
+    # with an explicit-only window: one fsync for the whole history, the
+    # fastest honest way to lay down a long log.
+    store = IndexStore(path, sync_every=0)
+    store.open()
+    instance = sample_table(8, "bulk")
+    sketch = InstanceSketch.build(instance, PARAMS)
+    for i in range(n_records):
+        store.write_table(f"t{i:05d}", instance, sketch)
+    store.sync()
+    store.close()
+
+
+def bench_recovery(workdir: Path, log_lengths: list[int]) -> list[dict]:
+    results = []
+    for n_records in log_lengths:
+        path = workdir / f"recover-{n_records}"
+        build_logged_store(path, n_records)
+
+        store = IndexStore(path)
+        report, open_elapsed = timed(store.open)
+        tables = len(store.table_names())
+        store.close()
+
+        _, reopen_elapsed = timed(lambda: IndexStore(path).open())
+        index, load_elapsed = timed(load_index, path)
+        index.store.close()
+
+        # Torn tail: recovery must first truncate garbage, then replay.
+        segment = path / "wal" / segment_name(1)
+        with open(segment, "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef" * 64)
+        torn_store = IndexStore(path)
+        torn_report, torn_elapsed = timed(torn_store.open)
+        torn_store.close()
+
+        results.append({
+            "log_records": n_records,
+            "log_bytes": report.wal_bytes,
+            "tables_after_replay": tables,
+            "recovery_seconds": open_elapsed,
+            "reopen_seconds": reopen_elapsed,
+            "full_load_seconds": load_elapsed,
+            "torn_recovery_seconds": torn_elapsed,
+            "torn_bytes_dropped": torn_report.torn_bytes_dropped,
+        })
+    return results
+
+
+def check_resave_identical(workdir: Path) -> tuple[dict, list[str]]:
+    """Gate: replayed log -> save -> reload -> save is byte-identical."""
+    failures = []
+    path = workdir / "resave-source"
+    build_logged_store(path, 50)
+    index = load_index(path)
+    index.store.close()
+    index.bind(None)
+
+    first_dir = workdir / "resave-1"
+    second_dir = workdir / "resave-2"
+    _, save_elapsed = timed(index.save, first_dir)
+    index.store.close()
+    reloaded = load_index(first_dir)
+    reloaded.store.close()
+    reloaded.bind(None)
+    reloaded.save(second_dir)
+    reloaded.store.close()
+
+    first = snapshot(first_dir)
+    second = snapshot(second_dir)
+    identical = first == second
+    if not identical:
+        diff = sorted(
+            name for name in set(first) | set(second)
+            if first.get(name) != second.get(name)
+        )
+        failures.append(
+            f"RESAVE: recovered store re-save differs in {diff}"
+        )
+    return (
+        {
+            "records_replayed": 50,
+            "save_seconds": save_elapsed,
+            "files": len(first),
+            "byte_identical": identical,
+        },
+        failures,
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=2000,
+                        help="appends per group-commit window")
+    parser.add_argument(
+        "--log-lengths", type=int, nargs="+",
+        default=[1000, 5000, RECOVERY_GATE_RECORDS],
+    )
+    parser.add_argument("--out", default="BENCH_wal.json")
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    workdir = Path(tempfile.mkdtemp(prefix="bench_wal_"))
+    try:
+        # One realistic upsert payload, reused for raw append throughput.
+        instance = sample_table(8, "payload")
+        sketch = InstanceSketch.build(instance, PARAMS)
+        from repro.io_.serialization import instance_to_dict
+        from repro.index.sketch import sketch_to_dict
+
+        payload = encode_payload({
+            "op": "put",
+            "name": "payload",
+            "table": {
+                "name": "payload",
+                "instance": instance_to_dict(instance),
+                "sketch": sketch_to_dict(sketch),
+            },
+            "fingerprint": sketch.fingerprint,
+        })
+
+        throughput = bench_throughput(
+            workdir / "throughput", args.records, payload
+        )
+        recovery = bench_recovery(workdir, sorted(set(args.log_lengths)))
+        resave, resave_failures = check_resave_identical(workdir)
+        failures.extend(resave_failures)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    for row in recovery:
+        if (
+            row["log_records"] >= RECOVERY_GATE_RECORDS
+            and row["recovery_seconds"] >= RECOVERY_GATE_SECONDS
+        ):
+            failures.append(
+                f"RECOVERY: {row['log_records']} records took "
+                f"{row['recovery_seconds']:.2f}s "
+                f"(gate: < {RECOVERY_GATE_SECONDS}s)"
+            )
+    if not any(r["log_records"] >= RECOVERY_GATE_RECORDS for r in recovery):
+        failures.append(
+            f"RECOVERY: no log length >= {RECOVERY_GATE_RECORDS} was "
+            f"measured, the gate did not run"
+        )
+
+    report_payload = {
+        "benchmark": "wal-append-and-recovery",
+        "payload_bytes": len(payload),
+        "throughput": throughput,
+        "recovery": recovery,
+        "resave": resave,
+        "gates": {
+            "recovery_seconds_max": RECOVERY_GATE_SECONDS,
+            "recovery_gate_records": RECOVERY_GATE_RECORDS,
+            "resave_byte_identical": resave["byte_identical"],
+        },
+        "gates_passed": not failures,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report_payload, handle, indent=2)
+
+    for row in throughput:
+        window = row["sync_every"] or "explicit"
+        print(
+            f"append sync_every={window!s:>8}: "
+            f"{row['records_per_second']:9.0f} rec/s "
+            f"({row['mb_per_second']:6.1f} MB/s, {row['fsyncs']} fsyncs)"
+        )
+    for row in recovery:
+        print(
+            f"recover {row['log_records']:>6} records "
+            f"({row['log_bytes'] / (1024 * 1024):5.1f} MB): "
+            f"open {row['recovery_seconds'] * 1000:7.1f}ms, "
+            f"full load {row['full_load_seconds'] * 1000:7.1f}ms, "
+            f"torn-tail {row['torn_recovery_seconds'] * 1000:7.1f}ms"
+        )
+    print(
+        f"re-save after replay: "
+        f"{'byte-identical' if resave['byte_identical'] else 'DIVERGED'} "
+        f"({resave['files']} files)"
+    )
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    print(f"wrote {args.out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -327,6 +327,43 @@ def _add_index_parser(subparsers) -> None:
         "--json", action="store_true",
         help="emit pairs (and clusters) plus the report as JSON",
     )
+
+    recover = actions.add_parser(
+        "recover",
+        help="replay the store's write-ahead log and report what recovery did",
+        description=(
+            "Open the store exactly as any reader would: scan the WAL "
+            "segment to its last valid record, truncate a torn tail left "
+            "by a power cut, replay the log, and print the recovery "
+            "report. Exit 0 means the store is consistent and open-able."
+        ),
+    )
+    verify = actions.add_parser(
+        "verify",
+        help="audit manifest, tables, and WAL; report every corruption",
+        description=(
+            "Read-only integrity audit: checks the manifest, every table "
+            "file's fingerprints, and the WAL checksums without modifying "
+            "anything, and reports every finding (not just the first). "
+            "Exits non-zero if any error-severity corruption is found."
+        ),
+    )
+    compact = actions.add_parser(
+        "compact",
+        help="fold the write-ahead log into a new snapshot generation",
+        description=(
+            "Rewrites logged mutations as snapshot table files, starts a "
+            "fresh WAL segment, and atomically switches the manifest; "
+            "reclaims removed tables' files and bounds future recovery "
+            "time. Safe against crashes at any point."
+        ),
+    )
+    for sub in (recover, verify, compact):
+        sub.add_argument("store", help="existing index store directory")
+        sub.add_argument(
+            "--json", action="store_true",
+            help="emit the report as JSON",
+        )
     for sub in (build, add, search):
         sub.add_argument(
             "--relation", default="R",
@@ -435,11 +472,16 @@ def _run_serve(args, parser) -> int:
     from .serve import DEFAULT_PORT, ServerConfig
     from .serve.app import serve as serve_app
 
+    index = index_loader = None
     try:
         if args.store is not None:
             if args.inputs:
                 parser.error("pass either --store or loose CSVs, not both")
-            index = SimilarityIndex.load(args.store)
+            # Recovery (WAL replay, torn-tail repair) happens *behind* the
+            # listener: the loader runs after the port is bound, /readyz
+            # answers {"status": "recovering"} (503) until it finishes.
+            store_path = args.store
+            index_loader = lambda: SimilarityIndex.load(store_path)  # noqa: E731
         else:
             index = SimilarityIndex(options=PRESETS[args.preset](lam=args.lam))
             for path in args.inputs:
@@ -464,7 +506,9 @@ def _run_serve(args, parser) -> int:
     registry = MetricsRegistry()
     set_metrics(registry)
     try:
-        return asyncio.run(serve_app(config, index, metrics=registry))
+        return asyncio.run(serve_app(
+            config, index, metrics=registry, index_loader=index_loader
+        ))
     except KeyboardInterrupt:  # pragma: no cover - non-Unix fallback
         return 0
     finally:
@@ -721,6 +765,9 @@ def _run_index(args, parser) -> int:
     from .discovery.lake import DataLake
     from .index import IndexParams, RefinePolicy, SimilarityIndex
 
+    if args.index_command in ("recover", "verify", "compact"):
+        return _run_index_maintenance(args, parser)
+
     try:
         if args.index_command == "build":
             try:
@@ -843,6 +890,92 @@ def _run_index(args, parser) -> int:
                 f"(pruned {report.pruned} by bound)",
                 file=sys.stderr,
             )
+        return 0
+    except (OSError, ValueError, ReproError) as error:
+        parser.error(str(error))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _run_index_maintenance(args, parser) -> int:
+    """The ``index recover|verify|compact`` verbs (docs/STORE.md)."""
+    from .index import IndexStore
+
+    store = IndexStore(args.store)
+
+    if args.index_command == "verify":
+        try:
+            findings = store.verify()
+        except OSError as error:
+            parser.error(str(error))
+        errors = sum(1 for f in findings if f.severity == "error")
+        warnings = len(findings) - errors
+        if args.json:
+            print(json.dumps(
+                {
+                    "store": args.store,
+                    "ok": errors == 0,
+                    "errors": errors,
+                    "warnings": warnings,
+                    "findings": [f.as_dict() for f in findings],
+                },
+                indent=2, default=str,
+            ))
+        else:
+            for f in findings:
+                where = f" [table {f.table}]" if f.table else ""
+                print(f"{f.severity}: {f.kind}{where}: {f.message}")
+            if errors:
+                print(
+                    f"{args.store}: CORRUPT — {errors} error(s), "
+                    f"{warnings} warning(s)"
+                )
+            else:
+                print(f"{args.store}: ok ({warnings} warning(s))")
+        return 1 if errors else 0
+
+    try:
+        report = store.open()
+        if args.index_command == "recover":
+            payload = {"store": args.store, **report.as_dict()}
+            store.close()
+            if args.json:
+                print(json.dumps(payload, indent=2, default=str))
+                return 0
+            print(
+                f"generation {report.generation}: "
+                f"{report.snapshot_tables} snapshot table(s), "
+                f"{report.wal_records} log record(s) replayed"
+            )
+            if report.was_torn:
+                print(
+                    f"torn tail truncated at byte {report.torn_offset}: "
+                    f"{report.torn_reason} "
+                    f"({report.torn_bytes_dropped} byte(s) dropped)"
+                )
+            return 0
+
+        # compact
+        folded = store.compact()
+        store.close()
+        if args.json:
+            print(json.dumps(
+                {"store": args.store, **folded.as_dict()},
+                indent=2, default=str,
+            ))
+            return 0
+        if folded.records_folded == 0:
+            print(
+                f"{args.store}: log is empty "
+                f"(generation {folded.new_generation}); nothing to compact"
+            )
+            return 0
+        print(
+            f"compacted generation {folded.old_generation} -> "
+            f"{folded.new_generation}: folded {folded.records_folded} "
+            f"record(s), rewrote {folded.tables_rewritten} table(s), "
+            f"dropped {folded.tables_dropped}, removed "
+            f"{folded.files_removed} file(s)"
+        )
         return 0
     except (OSError, ValueError, ReproError) as error:
         parser.error(str(error))

@@ -64,11 +64,28 @@ class StoreCorruptionError(FormatError):
     diagnosable storage problem instead of a raw ``json.JSONDecodeError``
     escaping from the store internals.  Subclasses :class:`FormatError`,
     so existing handlers around index loading keep working.
+
+    Beyond the path, corruption diagnostics carry the evidence needed to
+    act on a report without re-running the check: the byte ``offset`` of
+    the bad record inside the file (WAL records, headers) and the
+    ``expected`` vs ``actual`` fingerprint/checksum values that disagreed.
+    Any of them may be ``None`` when the failure has no meaningful value
+    for it (e.g. a file that is missing outright).
     """
 
-    def __init__(self, message: str, path=None) -> None:
+    def __init__(
+        self,
+        message: str,
+        path=None,
+        offset: int | None = None,
+        expected=None,
+        actual=None,
+    ) -> None:
         super().__init__(message)
         self.path = path
+        self.offset = offset
+        self.expected = expected
+        self.actual = actual
 
 
 class ScoringError(ReproError):

@@ -36,12 +36,24 @@ from ..core.errors import StoreCorruptionError
 from .store import (
     FORMAT_NAME,
     FORMAT_VERSION,
+    CompactionReport,
     IndexStore,
+    RecoveryReport,
+    StoreFinding,
     load_index,
     save_index,
 )
+from .wal import (
+    LogReader,
+    ScanResult,
+    SegmentWriter,
+    TornTail,
+    crc32c,
+    segment_name,
+)
 
 __all__ = [
+    "CompactionReport",
     "DuplicatePair",
     "FORMAT_NAME",
     "FORMAT_VERSION",
@@ -49,18 +61,26 @@ __all__ = [
     "IndexStore",
     "InstanceSketch",
     "LSHIndex",
+    "LogReader",
     "QueryComparer",
+    "RecoveryReport",
     "RefinePolicy",
     "RefineReport",
+    "ScanResult",
     "SearchHit",
+    "SegmentWriter",
     "SimilarityIndex",
     "StoreCorruptionError",
+    "StoreFinding",
+    "TornTail",
     "comparable",
+    "crc32c",
     "estimated_jaccard",
     "load_index",
     "refine_dedup",
     "refine_search",
     "save_index",
+    "segment_name",
     "similarity_upper_bound",
     "sketch_from_dict",
     "sketch_to_dict",

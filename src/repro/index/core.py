@@ -106,11 +106,22 @@ class SimilarityIndex:
             self._store.remove_table(name)
 
     def update(self, name: str, instance: Instance) -> InstanceSketch:
-        """Replace the instance registered under ``name`` (must exist)."""
+        """Replace the instance registered under ``name`` (must exist).
+
+        Deliberately NOT remove-then-add: the store mirrors an update as a
+        single upsert log record, so a crash mid-update recovers to the
+        old instance or the new one — never to the table missing.
+        """
         if name not in self._instances:
             raise KeyError(self._unknown(name))
-        self.remove(name)
-        return self.add(name, instance)
+        sketch = InstanceSketch.build(instance, self.params)
+        self._instances[name] = instance
+        self._sketches[name] = sketch
+        self.lsh.remove(name)
+        self.lsh.add(name, sketch.minhash)
+        if self._store is not None:
+            self._store.write_table(name, instance, sketch)
+        return sketch
 
     def get(self, name: str) -> Instance:
         """The registered instance called ``name``."""
@@ -204,15 +215,21 @@ class SimilarityIndex:
     def save(self, path) -> "IndexStore":
         """Write the whole index to ``path`` and bind the store.
 
-        After ``save``, every ``add``/``remove``/``update`` is mirrored to
-        disk incrementally.
+        Saving uses the store's bulk snapshot path (table files plus one
+        manifest commit, no log records), so re-saving an unchanged index
+        is byte-identical.  After ``save``, every ``add``/``remove``/
+        ``update`` is mirrored to disk as a write-ahead log record.
         """
         from .store import IndexStore
 
         store = IndexStore(path)
         store.initialize(self.params, self.options)
-        for name in self.names():
-            store.write_table(name, self._instances[name], self._sketches[name])
+        store.bulk_write(
+            [
+                (name, self._instances[name], self._sketches[name])
+                for name in self.names()
+            ]
+        )
         self._store = store
         return store
 

@@ -37,6 +37,13 @@ See ``docs/RUNTIME.md`` for the budget design.
 
 from .budget import DEFAULT_CHECK_INTERVAL, Budget, resolve_control
 from .cancellation import CancellationToken, OperationCancelled
+from .crashfs import (
+    CRASH_MODES,
+    CrashFS,
+    PowerCut,
+    RealIO,
+    count_io_steps,
+)
 from .faults import (
     FAULT_KINDS,
     FAULT_SITES,
@@ -76,7 +83,9 @@ from .anytime import DEFAULT_ANYTIME_NODE_BUDGET, compare_anytime
 __all__ = [
     "AttemptRecord",
     "Budget",
+    "CRASH_MODES",
     "CancellationToken",
+    "CrashFS",
     "DEFAULT_ANYTIME_NODE_BUDGET",
     "DEFAULT_CHECK_INTERVAL",
     "DEFAULT_DECISIONS",
@@ -94,6 +103,8 @@ __all__ = [
     "JOB_REGISTRY",
     "OperationCancelled",
     "Outcome",
+    "PowerCut",
+    "RealIO",
     "RetryPolicy",
     "STATUS_OUTCOMES",
     "WorkerFailure",
@@ -101,6 +112,7 @@ __all__ = [
     "WorkerLimits",
     "classify_failure",
     "compare_anytime",
+    "count_io_steps",
     "fault_checkpoint",
     "reap_worker",
     "register_job",

@@ -1,0 +1,451 @@
+"""Deterministic crash-injection filesystem shim for the index store.
+
+The store's durability claims ("acked ingests survive any crash",
+"recovery lands on a consistent prefix") are only worth something if we
+can *enumerate every crash point and check them*.  This module provides
+the seam that makes that possible:
+
+* An **IO layer** — :class:`RealIO` — through which :mod:`repro.index.store`
+  and :mod:`repro.index.wal` route every state-changing filesystem
+  operation (``write``/``fsync``/``replace``/``fsync_dir``/``unlink``/
+  ``truncate``).  In production this is a zero-cost passthrough to ``os``.
+
+* A **crash simulator** — :class:`CrashFS` — that can be installed in
+  place of the passthrough.  It numbers every IO step, raises
+  :class:`PowerCut` at a chosen step, and — crucially — maintains a model
+  of the *durable* disk image alongside the live one: which bytes were
+  fsync'd, which renames were pinned by a directory fsync, and which
+  writes were still sitting in the page cache when the power died.
+
+After the simulated cut, :meth:`CrashFS.materialize` produces the
+directory as a real power cut could have left it, under one of several
+adversarial cache-flush modes (:data:`CRASH_MODES`):
+
+``lost``
+    Nothing unsynced survived: files hold exactly their last-fsync'd
+    contents and unsynced renames/unlinks never happened.  (The minimum
+    state a correct fsync discipline guarantees.)
+``flushed``
+    Everything issued before the cut survived, even without fsync (the
+    kernel flushed opportunistically).  (The maximum state.)
+``torn``
+    Like ``flushed`` but the write in flight at the cut hit the platter
+    only partially — a torn write, half its bytes present.
+``reordered``
+    Later unsynced writes survived while an earlier one was zeroed out —
+    blocks hit the disk out of order, leaving a hole of zeros inside
+    otherwise-present data (the classic unsynced-reorder failure).
+
+Recovery invariants are then asserted by re-opening the materialized
+store with the passthrough layer installed.  The matrix of (every step ×
+every mode) is deterministic: the same mutation replays the same steps in
+the same order on every run.
+
+The shim also participates in the :mod:`repro.runtime.faults` checkpoint
+vocabulary: the store and WAL call ``fault_checkpoint("storage")`` on
+their mutation paths, so seeded :class:`~repro.runtime.faults.FaultPlan`
+triggers (``transient-error@storage:2``) compose with deterministic
+crash-point enumeration.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+CRASH_MODES = ("lost", "flushed", "torn", "reordered")
+"""Cache-flush adversary modes a :class:`CrashFS` can materialize."""
+
+
+class PowerCut(BaseException):
+    """The simulated power cut.
+
+    A ``BaseException`` on purpose: recovery code under test must never be
+    able to swallow it with ``except Exception`` — a real power cut gives
+    no such chance.
+    """
+
+
+class FileHandle:
+    """A writable file plus the path it was opened at (layer bookkeeping)."""
+
+    __slots__ = ("file", "path")
+
+    def __init__(self, file, path: Path) -> None:
+        self.file = file
+        self.path = Path(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FileHandle({self.path})"
+
+
+class RealIO:
+    """The production layer: a thin, uncounted passthrough to ``os``.
+
+    Directory fsync policy (EINVAL/ENOTSUP tolerance) lives in the
+    *store*, not here — this layer reports failures faithfully.
+    """
+
+    label = "real"
+
+    def open_fresh(self, path) -> FileHandle:
+        """Open ``path`` for writing, created or truncated to empty."""
+        return FileHandle(open(path, "wb"), path)
+
+    def open_append(self, path) -> FileHandle:
+        """Open ``path`` for appending at its current end."""
+        return FileHandle(open(path, "ab"), path)
+
+    def write(self, handle: FileHandle, data: bytes) -> None:
+        handle.file.write(data)
+
+    def fsync(self, handle: FileHandle) -> None:
+        handle.file.flush()
+        os.fsync(handle.file.fileno())
+
+    def close(self, handle: FileHandle) -> None:
+        handle.file.close()
+
+    def replace(self, src, dst) -> None:
+        os.replace(src, dst)
+
+    def fsync_dir(self, path) -> None:
+        """fsync a directory; raises ``OSError`` as the kernel reports it."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def unlink(self, path) -> None:
+        os.unlink(path)
+
+    def truncate(self, path, size: int) -> None:
+        """Truncate ``path`` to ``size`` bytes, durably."""
+        with open(path, "r+b") as handle:
+            handle.truncate(size)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+_REAL = RealIO()
+_ACTIVE = _REAL
+
+
+def io_layer():
+    """The installed IO layer (the store and WAL call this per operation)."""
+    return _ACTIVE
+
+
+def install(layer) -> None:
+    """Install ``layer`` as the process-wide IO layer."""
+    global _ACTIVE
+    _ACTIVE = layer
+
+
+def uninstall(layer=None) -> None:
+    """Restore the passthrough layer (only if ``layer`` is still active)."""
+    global _ACTIVE
+    if layer is None or _ACTIVE is layer:
+        _ACTIVE = _REAL
+
+
+class _FileModel:
+    """Durability model of one file: fsync'd prefix + unsynced appends."""
+
+    __slots__ = ("synced", "pending", "existed_durably", "creation_pinned")
+
+    def __init__(
+        self, synced: bytes, existed_durably: bool, creation_pinned: bool
+    ) -> None:
+        self.synced = synced
+        self.pending: list[bytes] = []
+        # Visible after a crash at all?  True once the file either existed
+        # before the simulation began or its directory entry was pinned by
+        # a parent-directory fsync (or it arrived via a pinned rename).
+        self.existed_durably = existed_durably
+        self.creation_pinned = creation_pinned
+
+
+class CrashFS:
+    """An IO layer that cuts the power at a chosen step.
+
+    Parameters
+    ----------
+    root:
+        Directory under which operations are modeled.  Operations outside
+        ``root`` pass through uncounted (nothing in the store writes
+        outside its own directory; the guard keeps stray paths honest).
+    crash_at:
+        1-based IO step at which :class:`PowerCut` fires, *before* the
+        step's effect reaches the live filesystem.  ``None`` = never crash
+        (counting mode — run once to learn the step count).
+    mode:
+        One of :data:`CRASH_MODES`; decides what :meth:`materialize`
+        reconstructs.
+
+    Use as a context manager; it installs itself as the process IO layer
+    and restores the passthrough on exit.
+    """
+
+    def __init__(self, root, crash_at: int | None = None, mode: str = "lost"):
+        if mode not in CRASH_MODES:
+            raise ValueError(
+                f"unknown crash mode {mode!r}; choose from {CRASH_MODES}"
+            )
+        self.root = Path(root).resolve()
+        self.crash_at = crash_at
+        self.mode = mode
+        self.steps = 0
+        self.step_log: list[str] = []
+        self.crashed = False
+        self._crash_op: tuple[str, Path, bytes] | None = None
+        self._files: dict[Path, _FileModel] = {}
+        # Unsynced directory-entry ops, in issue order: ("rename", src,
+        # dst, content) | ("unlink", path).  Pinned (dropped from here)
+        # by fsync_dir on the parent.
+        self._dirops: dict[Path, list[tuple]] = {}
+        self._seed_from_disk()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def _seed_from_disk(self) -> None:
+        """Everything already on disk at install is durable by definition."""
+        if not self.root.exists():
+            return
+        for path in sorted(self.root.rglob("*")):
+            if path.is_file():
+                self._files[path] = _FileModel(
+                    path.read_bytes(),
+                    existed_durably=True,
+                    creation_pinned=True,
+                )
+
+    def __enter__(self) -> "CrashFS":
+        install(self)
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        uninstall(self)
+
+    # -- step accounting -------------------------------------------------
+
+    def _in_scope(self, path) -> bool:
+        try:
+            Path(path).resolve().relative_to(self.root)
+        except ValueError:
+            return False
+        return True
+
+    def _step(self, op: str, path, data: bytes = b"") -> None:
+        """Count one IO step; cut the power if this is the chosen one."""
+        if self.crashed:
+            raise PowerCut("machine already powered off")
+        self.steps += 1
+        self.step_log.append(f"{op}:{Path(path).name}")
+        if self.crash_at is not None and self.steps == self.crash_at:
+            self.crashed = True
+            self._crash_op = (op, Path(path).resolve(), data)
+            raise PowerCut(
+                f"power cut at step {self.steps} ({op} on {path})"
+            )
+
+    def _model(self, path: Path) -> _FileModel:
+        path = Path(path).resolve()
+        model = self._files.get(path)
+        if model is None:
+            model = _FileModel(
+                b"", existed_durably=False, creation_pinned=False
+            )
+            self._files[path] = model
+        return model
+
+    # -- the layer interface --------------------------------------------
+
+    def open_fresh(self, path) -> FileHandle:
+        if not self._in_scope(path):
+            return _REAL.open_fresh(path)
+        if self.crashed:
+            raise PowerCut("machine already powered off")
+        resolved = Path(path).resolve()
+        # O_TRUNC is volatile too, but the store only opens *new* tmp
+        # paths fresh; model a fresh, empty, unpinned file.
+        self._files[resolved] = _FileModel(
+            b"", existed_durably=False, creation_pinned=False
+        )
+        return FileHandle(open(path, "wb"), path)
+
+    def open_append(self, path) -> FileHandle:
+        if not self._in_scope(path):
+            return _REAL.open_append(path)
+        if self.crashed:
+            raise PowerCut("machine already powered off")
+        self._model(path)
+        return FileHandle(open(path, "ab"), path)
+
+    def write(self, handle: FileHandle, data: bytes) -> None:
+        if not self._in_scope(handle.path):
+            return _REAL.write(handle, data)
+        self._step("write", handle.path, data)
+        self._model(handle.path).pending.append(bytes(data))
+        handle.file.write(data)
+
+    def fsync(self, handle: FileHandle) -> None:
+        if not self._in_scope(handle.path):
+            return _REAL.fsync(handle)
+        self._step("fsync", handle.path)
+        model = self._model(handle.path)
+        model.synced += b"".join(model.pending)
+        model.pending.clear()
+        handle.file.flush()
+        os.fsync(handle.file.fileno())
+
+    def close(self, handle: FileHandle) -> None:
+        # Closing is not a durability event and not a step; it must work
+        # even "after" the cut so the process under test can unwind.
+        try:
+            handle.file.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def replace(self, src, dst) -> None:
+        if not self._in_scope(dst):
+            return _REAL.replace(src, dst)
+        self._step("replace", dst)
+        src_model = self._model(src)
+        # The store always fsyncs the source before renaming; what the
+        # rename can make durable is the source's *synced* content.
+        self._dirops.setdefault(Path(dst).resolve().parent, []).append(
+            ("rename", Path(src).resolve(), Path(dst).resolve(),
+             src_model.synced)
+        )
+        os.replace(src, dst)
+        # Live view: dst now holds src's full content.
+        full = src_model.synced + b"".join(src_model.pending)
+        dst_model = self._model(dst)
+        dst_model.pending = [full]  # volatile until the dir fsync pins it
+
+    def fsync_dir(self, path) -> None:
+        if not self._in_scope(path):
+            return _REAL.fsync_dir(path)
+        self._step("fsync_dir", path)
+        resolved = Path(path).resolve()
+        for op in self._dirops.pop(resolved, []):
+            if op[0] == "rename":
+                _, src, dst, content = op
+                model = self._model(dst)
+                model.synced = content
+                model.pending.clear()
+                model.existed_durably = True
+                model.creation_pinned = True
+                self._files.pop(src, None)
+            else:  # unlink
+                self._files.pop(op[1], None)
+        # Pin the creation of every file opened fresh in this directory:
+        # a directory fsync makes all its current entries durable, not
+        # just renamed ones.
+        for file_path, model in self._files.items():
+            if file_path.parent == resolved and os.path.exists(file_path):
+                model.creation_pinned = True
+        _REAL.fsync_dir(path)
+
+    def unlink(self, path) -> None:
+        if not self._in_scope(path):
+            return _REAL.unlink(path)
+        self._step("unlink", path)
+        self._dirops.setdefault(Path(path).resolve().parent, []).append(
+            ("unlink", Path(path).resolve())
+        )
+        os.unlink(path)
+
+    def truncate(self, path, size: int) -> None:
+        if not self._in_scope(path):
+            return _REAL.truncate(path, size)
+        self._step("truncate", path)
+        model = self._model(path)
+        full = model.synced + b"".join(model.pending)
+        model.synced = full[:size]
+        model.pending.clear()
+        _REAL.truncate(path, size)
+
+    # -- post-crash reconstruction --------------------------------------
+
+    def materialize(self, into) -> Path:
+        """Write the post-cut durable image of ``root`` into ``into``.
+
+        What survives depends on :attr:`mode` (see the module docstring).
+        Returns ``into`` as a :class:`~pathlib.Path`.
+        """
+        target = Path(into)
+        target.mkdir(parents=True, exist_ok=True)
+        pessimistic = self.mode == "lost"
+        for path, model in sorted(self._files.items()):
+            visible = model.existed_durably or model.creation_pinned
+            if pessimistic:
+                if not visible:
+                    continue
+                content = model.synced
+            else:
+                content = model.synced + b"".join(model.pending)
+                if self.mode == "reordered" and model.pending:
+                    # The first unsynced write never hit the disk; later
+                    # ones did, leaving a hole of zeros.
+                    hole = len(model.pending[0])
+                    keep = b"".join(model.pending[1:])
+                    content = (
+                        model.synced + b"\x00" * hole + keep
+                    )
+            rel = path.relative_to(self.root)
+            out = target / rel
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_bytes(content)
+        if self.mode in ("flushed", "torn", "reordered"):
+            self._apply_pending_dirops(target)
+        if self.mode == "torn" and self._crash_op is not None:
+            op, path, data = self._crash_op
+            if op == "write" and data:
+                out = target / path.relative_to(self.root)
+                out.parent.mkdir(parents=True, exist_ok=True)
+                prior = out.read_bytes() if out.exists() else b""
+                out.write_bytes(prior + data[: len(data) // 2])
+        return target
+
+    def _apply_pending_dirops(self, target: Path) -> None:
+        for ops in sorted(self._dirops.items()):
+            for op in ops[1]:
+                if op[0] == "rename":
+                    _, src, dst, _content = op
+                    src_out = target / src.relative_to(self.root)
+                    dst_out = target / dst.relative_to(self.root)
+                    if src_out.exists():
+                        dst_out.parent.mkdir(parents=True, exist_ok=True)
+                        os.replace(src_out, dst_out)
+                else:
+                    out = target / op[1].relative_to(self.root)
+                    if out.exists():
+                        out.unlink()
+
+
+def count_io_steps(root, operation) -> int:
+    """Run ``operation()`` under a counting-only :class:`CrashFS`.
+
+    Returns the number of IO steps the operation performed — the size of
+    one axis of the crash matrix.
+    """
+    fs = CrashFS(root, crash_at=None)
+    with fs:
+        operation()
+    return fs.steps
+
+
+__all__ = [
+    "CRASH_MODES",
+    "CrashFS",
+    "FileHandle",
+    "PowerCut",
+    "RealIO",
+    "count_io_steps",
+    "install",
+    "io_layer",
+    "uninstall",
+]

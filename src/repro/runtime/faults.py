@@ -48,8 +48,13 @@ FAULT_KINDS = (
     "garbage-result",
 )
 
-FAULT_SITES = ("budget", "chase", "io", "worker")
-"""Well-known checkpoint sites (a spec may also name ``"*"`` for any site)."""
+FAULT_SITES = ("budget", "chase", "io", "worker", "storage")
+"""Well-known checkpoint sites (a spec may also name ``"*"`` for any site).
+
+``"storage"`` checkpoints fire on index-store mutation paths (WAL appends,
+group-commit fsyncs, compaction) — see :mod:`repro.index.wal` and
+:mod:`repro.runtime.crashfs` for the deterministic power-cut counterpart.
+"""
 
 
 class InjectedCrash(BaseException):

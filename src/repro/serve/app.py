@@ -37,13 +37,21 @@ class Server:
     def __init__(
         self,
         config: ServerConfig,
-        index: SimilarityIndex,
+        index: SimilarityIndex | None = None,
         metrics: MetricsRegistry | None = None,
         out=None,
+        index_loader=None,
     ) -> None:
+        if (index is None) == (index_loader is None):
+            raise ValueError(
+                "provide exactly one of index= or index_loader="
+            )
         self.config = config
         self.service = SimilarityService(config, index, metrics=metrics)
         self.out = out or (lambda line: print(line, flush=True))
+        self._index_loader = index_loader
+        self._recovery_task: asyncio.Task | None = None
+        self._recovery_failed = False
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.StreamWriter] = set()
         self._stop_requested = asyncio.Event()
@@ -60,14 +68,59 @@ class Server:
         return host, port
 
     async def start(self) -> "Server":
-        """Bind the listener and the worker supervisor; returns self."""
+        """Bind the listener and the worker supervisor; returns self.
+
+        With an ``index_loader``, the listener comes up *first* and the
+        store's WAL replay runs in an executor thread behind it: probes
+        answer immediately (``/readyz`` says ``recovering``, 503) and the
+        work endpoints open up only once recovery attaches the index.
+        Acked-durable writes replay from the log, so a server killed
+        mid-ingest restarts into exactly the acknowledged state.
+        """
         self.service.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
         host, port = self.address
         self.out(f"serving on http://{host}:{port}")
+        if self._index_loader is not None:
+            self._recovery_task = asyncio.ensure_future(self._recover())
         return self
+
+    async def _recover(self) -> None:
+        """Run the index loader off-loop, then open the work endpoints."""
+        loop = asyncio.get_running_loop()
+        started = time.monotonic()
+        try:
+            index = await loop.run_in_executor(None, self._index_loader)
+        except asyncio.CancelledError:  # pragma: no cover - drain race
+            raise
+        except BaseException as error:  # noqa: BLE001 - must not die silently
+            self._recovery_failed = True
+            self.out(
+                f"index recovery FAILED: {type(error).__name__}: {error}"
+            )
+            self.request_stop("recovery-failed")
+            return
+        self.service.attach_index(index)
+        elapsed = time.monotonic() - started
+        store = index.store
+        report = store.last_recovery if store is not None else None
+        detail = ""
+        if report is not None:
+            detail = (
+                f" (generation {report.generation}, "
+                f"{report.wal_records} log record(s) replayed"
+                + (
+                    f", {report.torn_bytes_dropped} torn byte(s) dropped"
+                    if report.was_torn
+                    else ""
+                )
+                + ")"
+            )
+        self.out(
+            f"recovered {len(index)} table(s) in {elapsed:.3f}s{detail}; ready"
+        )
 
     def request_stop(self, signame: str = "stop") -> None:
         """Idempotent stop trigger (signal handlers land here)."""
@@ -94,7 +147,7 @@ class Server:
         finally:
             await self.drain()
         self.out(f"drained after {self._stop_signal or 'stop'}; exiting")
-        return 0
+        return 1 if self._recovery_failed else 0
 
     async def drain(self) -> None:
         """Graceful shutdown: finish, then cancel, then clean up."""
@@ -102,6 +155,12 @@ class Server:
         if service.draining:
             return
         service.draining = True
+        if self._recovery_task is not None and not self._recovery_task.done():
+            self._recovery_task.cancel()
+            try:
+                await self._recovery_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
         self.out(
             f"draining: {service.admission.inflight} in flight, "
             f"deadline {self.config.drain_deadline_seconds}s"
@@ -261,6 +320,20 @@ class Server:
                     },
                 },
             )
+        if service.recovering:
+            return ServiceResponse(
+                503,
+                {
+                    "ok": False,
+                    "error": {
+                        "outcome": "recovering",
+                        "message": (
+                            "index recovery in progress; "
+                            "poll /readyz and retry"
+                        ),
+                    },
+                },
+            )
         try:
             body = request.json()
         except HttpError as error:
@@ -306,12 +379,15 @@ class Server:
 
 async def serve(
     config: ServerConfig,
-    index: SimilarityIndex,
+    index: SimilarityIndex | None = None,
     metrics: MetricsRegistry | None = None,
     out=None,
+    index_loader=None,
 ) -> int:
     """Run a :class:`Server` to completion (the CLI entry point awaits this)."""
-    return await Server(config, index, metrics=metrics, out=out).run()
+    return await Server(
+        config, index, metrics=metrics, out=out, index_loader=index_loader
+    ).run()
 
 
 __all__ = ["Server", "serve"]

@@ -142,7 +142,7 @@ class SimilarityService:
     def __init__(
         self,
         config: ServerConfig,
-        index: SimilarityIndex,
+        index: SimilarityIndex | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config
@@ -160,13 +160,24 @@ class SimilarityService:
         )
         self.started_at = time.monotonic()
         self.draining = False
-        self.warm(index.names())
+        # ``index=None`` means the store is still replaying its write-ahead
+        # log: the listener is up (probes answer) but work endpoints return
+        # 503 until attach_index() flips this off.
+        self.recovering = index is None
+        if index is not None:
+            self.warm(index.names())
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> None:
         """Bind the supervisor to the running event loop."""
         self.supervisor.start()
+
+    def attach_index(self, index: SimilarityIndex) -> None:
+        """Install the recovered index and leave the recovering state."""
+        self.index = index
+        self.warm(index.names())
+        self.recovering = False
 
     def warm(self, names: list[str]) -> None:
         """Pre-build cache entries in the parent so forked workers inherit
@@ -428,6 +439,14 @@ class SimilarityService:
             self.index.add(name, table)
         except ReproError as error:
             raise RequestError(f"ingest failed: {error}") from error
+        # Durability gate: the add above wrote a WAL record, but the 200
+        # is the promise that the table survives a crash — so fsync the
+        # log (group-commit flush; a no-op when sync_every already synced)
+        # before acknowledging.  A sync failure escapes as a 500 and the
+        # client must not treat the ingest as durable.
+        durable = self.index.store is not None
+        if durable:
+            self.index.store.sync()
         self.warm([name])
         elapsed_ms = (time.monotonic() - started) * 1000.0
         self.metrics.observe("serve.latency_ms", elapsed_ms, endpoint="ingest")
@@ -436,7 +455,11 @@ class SimilarityService:
             200,
             {
                 "ok": True,
-                "result": {"name": name, "tables": len(self.index)},
+                "result": {
+                    "name": name,
+                    "tables": len(self.index),
+                    "durable": durable,
+                },
                 "elapsed_ms": elapsed_ms,
             },
         )
@@ -452,15 +475,22 @@ class SimilarityService:
                 "status": "ok",
                 "uptime_seconds": self.uptime_seconds(),
                 "draining": self.draining,
+                "recovering": self.recovering,
             },
         )
 
     def readyz(self) -> ServiceResponse:
         """Readiness: accepting new work.  503 while draining so load
-        balancers stop routing here before the listener closes."""
+        balancers stop routing here before the listener closes, and 503
+        while the store's write-ahead log is still replaying at startup —
+        the listener is up, but the index is not yet queryable."""
         if self.draining:
             return ServiceResponse(
                 503, {"status": "draining", "ready": False}
+            )
+        if self.recovering:
+            return ServiceResponse(
+                503, {"status": "recovering", "ready": False}
             )
         return ServiceResponse(
             200,
@@ -481,11 +511,16 @@ class SimilarityService:
             200,
             {
                 "uptime_seconds": self.uptime_seconds(),
-                "tables": len(self.index),
+                "tables": len(self.index) if self.index is not None else 0,
                 "draining": self.draining,
+                "recovering": self.recovering,
                 "admission": self.admission.snapshot(),
                 "supervisor": self.supervisor.snapshot(),
-                "cache": self.index.cache.stats(),
+                "cache": (
+                    self.index.cache.stats()
+                    if self.index is not None
+                    else None
+                ),
             },
         )
 

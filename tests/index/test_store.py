@@ -76,10 +76,12 @@ class TestIncrementalMaintenance:
         assert loaded.sketch("gamma") == index.sketch("gamma")
 
     def test_remove_after_save_is_mirrored(self, index, tmp_path):
-        index.save(tmp_path / "store")
+        store = index.save(tmp_path / "store")
         index.remove("beta")
         assert load_index(tmp_path / "store").names() == ["alpha"]
-        # the table file itself is gone, not just the manifest entry
+        # removal is a log record; compaction reclaims the table file
+        store.compact()
+        assert load_index(tmp_path / "store").names() == ["alpha"]
         assert len(list((tmp_path / "store" / "tables").glob("*.json"))) == 1
 
     def test_update_after_save_is_mirrored(self, index, tmp_path):
@@ -88,7 +90,8 @@ class TestIncrementalMaintenance:
         loaded = load_index(tmp_path / "store")
         assert loaded.sketch("beta") == index.sketch("beta")
 
-    def test_incremental_add_touches_one_table_file(self, index, tmp_path):
+    def test_incremental_add_appends_only_to_the_log(self, index, tmp_path):
+        """A mutation is one WAL append: no table file or manifest rewrite."""
         index.save(tmp_path / "store")
         before = snapshot(tmp_path / "store")
         index.add("gamma", simple([("g", 9)]))
@@ -97,8 +100,10 @@ class TestIncrementalMaintenance:
             name for name in after
             if before.get(name) != after[name]
         }
-        assert len(changed) == 2  # manifest + exactly one new table file
-        assert "manifest.json" in changed
+        assert changed == {"wal/segment-000001.log"}
+        # and the log grew strictly by appending
+        segment = "wal/segment-000001.log"
+        assert after[segment].startswith(before[segment])
 
 
 class TestIntegrity:

@@ -1,0 +1,328 @@
+"""Unit tests for the write-ahead segment log: framing, scan, repair.
+
+The crash matrix exercises the WAL through the store; these tests pin the
+log's own contract — CRC32C correctness, torn-tail classification (every
+way a power cut can shred the tail), the no-resync rule, and group-commit
+fsync batching.
+"""
+
+import struct
+
+import pytest
+
+from repro.core.errors import StoreCorruptionError
+from repro.index.wal import (
+    HEADER_SIZE,
+    MAX_RECORD_BYTES,
+    RECORD_HEADER_SIZE,
+    LogReader,
+    SegmentWriter,
+    TornTail,
+    WAL_MAGIC,
+    WAL_VERSION,
+    crc32c,
+    encode_header,
+    encode_payload,
+    encode_record,
+    segment_name,
+)
+from repro.runtime.faults import FaultPlan, InjectedFault
+
+
+@pytest.fixture
+def segment(tmp_path):
+    return tmp_path / segment_name(1)
+
+
+def write_records(segment, payloads, **kwargs):
+    writer = SegmentWriter.create(segment, 1, **kwargs)
+    for payload in payloads:
+        writer.append(payload)
+    writer.close()
+    return writer
+
+
+class TestCrc32c:
+    def test_known_vectors(self):
+        # RFC 3720 test vectors for CRC32C (Castagnoli)
+        assert crc32c(b"123456789") == 0xE3069283
+        assert crc32c(b"") == 0
+        assert crc32c(b"\x00" * 32) == 0x8A9136AA
+        assert crc32c(b"\xff" * 32) == 0x62A8AB43
+
+    def test_incremental_equals_one_shot(self):
+        data = b"the quick brown fox jumps over the lazy dog" * 7
+        for split in (0, 1, 7, 8, 9, len(data) - 1, len(data)):
+            assert crc32c(data[split:], crc32c(data[:split])) == crc32c(data)
+
+    def test_detects_single_bit_flips(self):
+        data = bytearray(b"payload-bytes-under-test")
+        reference = crc32c(bytes(data))
+        for i in range(len(data)):
+            data[i] ^= 0x01
+            assert crc32c(bytes(data)) != reference
+            data[i] ^= 0x01
+
+
+class TestFraming:
+    def test_record_layout(self):
+        payload = b'{"op":"put"}'
+        framed = encode_record(payload)
+        length, crc = struct.unpack_from(">II", framed)
+        assert length == len(payload)
+        assert crc == crc32c(payload)
+        assert framed[RECORD_HEADER_SIZE:] == payload
+
+    def test_empty_payload_rejected(self):
+        # crc32c(b"") == 0, so an empty record would be indistinguishable
+        # from a hole of zeros; the format forbids it outright.
+        with pytest.raises(ValueError, match="non-empty"):
+            encode_record(b"")
+
+    def test_oversize_payload_rejected(self):
+        with pytest.raises(ValueError, match="cap"):
+            encode_record(b"x" * (MAX_RECORD_BYTES + 1))
+
+    def test_header_layout(self):
+        magic, version, generation = struct.unpack(
+            ">4sIQ", encode_header(7)
+        )
+        assert magic == WAL_MAGIC
+        assert version == WAL_VERSION
+        assert generation == 7
+
+    def test_payload_encoding_is_canonical(self):
+        assert encode_payload({"b": 1, "a": 2}) == b'{"a":2,"b":1}'
+
+
+class TestScan:
+    def test_empty_segment_is_clean(self, segment):
+        write_records(segment, [])
+        scan = LogReader(segment, expect_generation=1).scan()
+        assert scan.is_clean
+        assert scan.records == []
+        assert scan.valid_length == HEADER_SIZE
+
+    def test_roundtrip_preserves_payloads_and_offsets(self, segment):
+        payloads = [b"first", b"second-longer", b"third"]
+        write_records(segment, payloads)
+        scan = LogReader(segment, expect_generation=1).scan()
+        assert scan.is_clean
+        assert [p for _, p in scan.records] == payloads
+        offsets = [o for o, _ in scan.records]
+        assert offsets[0] == HEADER_SIZE
+        assert offsets == sorted(offsets)
+        assert scan.valid_length == segment.stat().st_size
+
+    def test_missing_segment_is_corruption(self, tmp_path):
+        with pytest.raises(StoreCorruptionError, match="missing"):
+            LogReader(tmp_path / "nope.log", expect_generation=1).scan()
+
+    def test_bad_magic_is_corruption_with_evidence(self, segment):
+        segment.write_bytes(b"NOPE" + encode_header(1)[4:])
+        with pytest.raises(StoreCorruptionError, match="bad magic") as info:
+            LogReader(segment, expect_generation=1).scan()
+        assert info.value.offset == 0
+        assert info.value.expected == WAL_MAGIC.hex()
+        assert info.value.actual == b"NOPE".hex()
+
+    def test_wrong_generation_is_corruption_with_evidence(self, segment):
+        write_records(segment, [b"data"])
+        with pytest.raises(StoreCorruptionError, match="generation") as info:
+            LogReader(segment, expect_generation=9).scan()
+        assert info.value.expected == 9
+        assert info.value.actual == 1
+
+    def test_wrong_version_is_corruption(self, segment):
+        segment.write_bytes(struct.pack(">4sIQ", WAL_MAGIC, 99, 1))
+        with pytest.raises(StoreCorruptionError, match="version 99"):
+            LogReader(segment, expect_generation=1).scan()
+
+
+class TestTornTails:
+    def torn(self, segment) -> TornTail:
+        scan = LogReader(segment, expect_generation=1).scan()
+        assert scan.torn is not None, "expected a torn tail"
+        return scan
+
+    def test_truncated_segment_header(self, segment):
+        segment.write_bytes(encode_header(1)[: HEADER_SIZE - 3])
+        scan = self.torn(segment)
+        assert scan.torn.reason == "truncated segment header"
+        assert scan.valid_length == 0
+
+    def test_truncated_record_header(self, segment):
+        write_records(segment, [b"whole"])
+        good = segment.stat().st_size
+        with open(segment, "ab") as handle:
+            handle.write(b"\x00\x00")  # 2 of 8 header bytes
+        scan = self.torn(segment)
+        assert scan.torn.reason == "truncated record header"
+        assert scan.valid_length == good
+        assert [p for _, p in scan.records] == [b"whole"]
+
+    def test_truncated_record_payload(self, segment):
+        write_records(segment, [b"whole", b"will-be-cut"])
+        data = segment.read_bytes()
+        segment.write_bytes(data[:-4])
+        scan = self.torn(segment)
+        assert scan.torn.reason == "truncated record payload"
+        assert [p for _, p in scan.records] == [b"whole"]
+
+    def test_corrupted_payload_byte_fails_its_checksum(self, segment):
+        write_records(segment, [b"whole", b"corrupted"])
+        data = bytearray(segment.read_bytes())
+        data[-3] ^= 0xFF
+        segment.write_bytes(bytes(data))
+        scan = self.torn(segment)
+        assert scan.torn.reason == "record checksum mismatch"
+        assert scan.torn.expected_crc is not None
+        assert scan.torn.actual_crc is not None
+        assert scan.torn.expected_crc != scan.torn.actual_crc
+        assert "CRC32C" in scan.torn.describe()
+        assert [p for _, p in scan.records] == [b"whole"]
+
+    def test_zeroed_hole_is_torn_not_an_empty_record(self, segment):
+        write_records(segment, [b"whole"])
+        with open(segment, "ab") as handle:
+            handle.write(b"\x00" * (RECORD_HEADER_SIZE + 8))
+        scan = self.torn(segment)
+        assert scan.torn.reason == "zero-length record"
+
+    def test_implausible_length_is_torn(self, segment):
+        write_records(segment, [b"whole"])
+        with open(segment, "ab") as handle:
+            handle.write(struct.pack(">II", 0xFFFFFFFF, 0) + b"junk")
+        scan = self.torn(segment)
+        assert "implausible record length" in scan.torn.reason
+
+    def test_never_resyncs_past_a_hole(self, segment):
+        """Intact records *after* a hole stay dropped: everything past the
+        first invalid byte was unacknowledged and must not resurface."""
+        write_records(segment, [b"before"])
+        intact = encode_record(b"after-the-hole")
+        with open(segment, "ab") as handle:
+            handle.write(b"\x00" * 12)
+            handle.write(intact)
+        scan = self.torn(segment)
+        assert [p for _, p in scan.records] == [b"before"]
+        assert scan.torn_bytes == 12 + len(intact)
+
+
+class TestRepair:
+    def test_repair_truncates_to_last_valid_record(self, segment):
+        write_records(segment, [b"keep-me"])
+        good = segment.stat().st_size
+        with open(segment, "ab") as handle:
+            handle.write(b"\x00" * 20)
+        reader = LogReader(segment, expect_generation=1)
+        dropped = reader.repair(reader.scan())
+        assert dropped == 20
+        assert segment.stat().st_size == good
+        rescan = reader.scan()
+        assert rescan.is_clean
+        assert [p for _, p in rescan.records] == [b"keep-me"]
+
+    def test_repair_of_clean_segment_is_a_noop(self, segment):
+        write_records(segment, [b"data"])
+        before = segment.read_bytes()
+        reader = LogReader(segment, expect_generation=1)
+        assert reader.repair(reader.scan()) == 0
+        assert segment.read_bytes() == before
+
+    def test_repair_of_torn_header_rewrites_an_empty_segment(self, segment):
+        segment.write_bytes(encode_header(1)[:5])
+        reader = LogReader(segment, expect_generation=1)
+        assert reader.repair(reader.scan()) == 5
+        rescan = reader.scan()
+        assert rescan.is_clean
+        assert rescan.records == []
+        assert segment.read_bytes() == encode_header(1)
+
+    def test_repaired_segment_accepts_new_appends(self, segment):
+        write_records(segment, [b"one"])
+        with open(segment, "ab") as handle:
+            handle.write(b"\xde\xad")
+        reader = LogReader(segment, expect_generation=1)
+        reader.repair(reader.scan())
+        writer = SegmentWriter(segment, 1)
+        writer.append(b"two")
+        writer.close()
+        rescan = reader.scan()
+        assert rescan.is_clean
+        assert [p for _, p in rescan.records] == [b"one", b"two"]
+
+
+class TestDecode:
+    def test_decode_roundtrip(self):
+        record = {"op": "put", "name": "t", "table": {"x": 1}}
+        assert LogReader.decode(encode_payload(record)) == record
+
+    def test_non_object_payload_is_corruption(self, segment):
+        with pytest.raises(StoreCorruptionError, match="operation object"):
+            LogReader.decode(b"[1,2]", path=segment, offset=16)
+
+    def test_undecodable_payload_is_corruption(self, segment):
+        with pytest.raises(StoreCorruptionError, match="undecodable") as info:
+            LogReader.decode(b"\xff\xfe", path=segment, offset=16)
+        assert info.value.offset == 16
+
+
+class TestGroupCommit:
+    def test_sync_every_one_syncs_each_append(self, segment):
+        writer = SegmentWriter.create(segment, 1, sync_every=1)
+        writer.append(b"a")
+        writer.append(b"b")
+        assert writer.in_sync
+        assert writer.syncs == 2
+        writer.close()
+
+    def test_batched_window_syncs_once_per_batch(self, segment):
+        writer = SegmentWriter.create(segment, 1, sync_every=3)
+        writer.append(b"a")
+        writer.append(b"b")
+        assert not writer.in_sync
+        assert writer.syncs == 0
+        writer.append(b"c")  # window filled: one fsync for all three
+        assert writer.in_sync
+        assert writer.syncs == 1
+        writer.close()
+        assert writer.syncs == 1
+
+    def test_explicit_only_window_defers_to_sync(self, segment):
+        writer = SegmentWriter.create(segment, 1, sync_every=0)
+        for payload in (b"a", b"b", b"c", b"d"):
+            writer.append(payload)
+        assert not writer.in_sync
+        writer.sync()
+        assert writer.in_sync
+        assert writer.syncs == 1
+        writer.sync()  # idempotent: nothing pending, no extra fsync
+        assert writer.syncs == 1
+        writer.close()
+
+    def test_close_syncs_pending_records(self, segment):
+        writer = SegmentWriter.create(segment, 1, sync_every=0)
+        writer.append(b"tail")
+        writer.close()
+        assert writer.in_sync
+        scan = LogReader(segment, expect_generation=1).scan()
+        assert [p for _, p in scan.records] == [b"tail"]
+
+    def test_negative_window_rejected(self, segment):
+        write_records(segment, [])
+        with pytest.raises(ValueError, match="sync_every"):
+            SegmentWriter(segment, 1, sync_every=-1)
+
+
+class TestFaultCheckpoints:
+    def test_append_crosses_the_storage_site(self, segment):
+        write_records(segment, [])
+        writer = SegmentWriter(segment, 1)
+        with FaultPlan.single("transient-error", site="storage", at=1):
+            with pytest.raises(InjectedFault):
+                writer.append(b"doomed")
+        writer.close()
+        # the fault fired before the write: the log is still empty
+        scan = LogReader(segment, expect_generation=1).scan()
+        assert scan.records == []

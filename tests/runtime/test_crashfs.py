@@ -1,0 +1,243 @@
+"""Unit tests for the deterministic crash-injection IO layer.
+
+The crash matrix (tests/index/test_crash_matrix.py) trusts this shim to
+model durability honestly; these tests pin that model down: what fsync
+pins, what a rename without a directory fsync loses, and what each
+adversarial materialization mode reconstructs.
+"""
+
+import pytest
+
+from repro.runtime.crashfs import (
+    CRASH_MODES,
+    CrashFS,
+    PowerCut,
+    RealIO,
+    count_io_steps,
+    io_layer,
+)
+
+
+def do_write(io, path, data, sync=True):
+    handle = io.open_fresh(path)
+    try:
+        io.write(handle, data)
+        if sync:
+            io.fsync(handle)
+    finally:
+        io.close(handle)
+
+
+class TestRealIO:
+    def test_write_fsync_roundtrip(self, tmp_path):
+        io = RealIO()
+        do_write(io, tmp_path / "f", b"hello")
+        assert (tmp_path / "f").read_bytes() == b"hello"
+
+    def test_append_and_truncate(self, tmp_path):
+        io = RealIO()
+        do_write(io, tmp_path / "f", b"hello")
+        handle = io.open_append(tmp_path / "f")
+        io.write(handle, b" world")
+        io.fsync(handle)
+        io.close(handle)
+        assert (tmp_path / "f").read_bytes() == b"hello world"
+        io.truncate(tmp_path / "f", 5)
+        assert (tmp_path / "f").read_bytes() == b"hello"
+
+    def test_replace_and_unlink(self, tmp_path):
+        io = RealIO()
+        do_write(io, tmp_path / "a", b"x")
+        io.replace(tmp_path / "a", tmp_path / "b")
+        assert not (tmp_path / "a").exists()
+        assert (tmp_path / "b").read_bytes() == b"x"
+        io.unlink(tmp_path / "b")
+        assert not (tmp_path / "b").exists()
+
+    def test_fsync_dir_works_on_real_directories(self, tmp_path):
+        RealIO().fsync_dir(tmp_path)  # must not raise
+
+
+class TestInstallation:
+    def test_context_manager_installs_and_restores(self, tmp_path):
+        default = io_layer()
+        with CrashFS(tmp_path) as fs:
+            assert io_layer() is fs
+        assert io_layer() is default
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown crash mode"):
+            CrashFS(tmp_path, mode="optimistic")
+
+    def test_out_of_scope_paths_pass_through_uncounted(self, tmp_path):
+        inside = tmp_path / "scope"
+        inside.mkdir()
+        outside = tmp_path / "elsewhere"
+        outside.mkdir()
+        with CrashFS(inside) as fs:
+            do_write(io_layer(), outside / "f", b"data")
+        assert fs.steps == 0
+        assert (outside / "f").read_bytes() == b"data"
+
+
+class TestStepCounting:
+    def test_count_io_steps_counts_writes_and_fsyncs(self, tmp_path):
+        steps = count_io_steps(
+            tmp_path, lambda: do_write(io_layer(), tmp_path / "f", b"data")
+        )
+        assert steps == 2  # one write + one fsync
+
+    def test_steps_are_deterministic(self, tmp_path):
+        def operation():
+            do_write(io_layer(), tmp_path / "f", b"data")
+            io_layer().replace(tmp_path / "f", tmp_path / "g")
+            io_layer().fsync_dir(tmp_path)
+
+        first = count_io_steps(tmp_path, operation)
+        second = count_io_steps(tmp_path, operation)
+        assert first == second == 4
+
+    def test_crash_fires_before_the_operation_applies(self, tmp_path):
+        with CrashFS(tmp_path, crash_at=1) as fs:
+            handle = io_layer().open_fresh(tmp_path / "f")
+            with pytest.raises(PowerCut):
+                io_layer().write(handle, b"data")
+            io_layer().close(handle)  # close still works post-crash
+        assert fs.crashed
+        # The write never reached the live file either.
+        assert (tmp_path / "f").read_bytes() == b""
+
+    def test_everything_after_the_cut_raises(self, tmp_path):
+        with CrashFS(tmp_path, crash_at=1):
+            handle = io_layer().open_fresh(tmp_path / "f")
+            with pytest.raises(PowerCut):
+                io_layer().write(handle, b"data")
+            with pytest.raises(PowerCut):
+                io_layer().write(handle, b"more")
+            with pytest.raises(PowerCut):
+                io_layer().open_fresh(tmp_path / "g")
+            io_layer().close(handle)
+
+    def test_powercut_is_not_an_exception(self):
+        # except Exception must never swallow a power cut
+        assert not issubclass(PowerCut, Exception)
+
+
+class TestMaterializeLost:
+    """``lost``: only fsync'd state survives."""
+
+    def test_unsynced_write_is_gone(self, tmp_path):
+        root = tmp_path / "root"
+        root.mkdir()
+        (root / "f").write_bytes(b"base")
+        with CrashFS(root, crash_at=3, mode="lost") as fs:
+            handle = io_layer().open_append(root / "f")
+            io_layer().write(handle, b"+synced")
+            io_layer().fsync(handle)
+            with pytest.raises(PowerCut):
+                io_layer().write(handle, b"+unsynced")
+            io_layer().close(handle)
+        image = fs.materialize(tmp_path / "after")
+        assert (image / "f").read_bytes() == b"base+synced"
+
+    def test_new_file_without_dir_fsync_never_existed(self, tmp_path):
+        root = tmp_path / "root"
+        root.mkdir()
+        with CrashFS(root, crash_at=3, mode="lost") as fs:
+            do_write(io_layer(), root / "new", b"data")  # write + fsync
+            with pytest.raises(PowerCut):
+                io_layer().fsync_dir(root)
+        image = fs.materialize(tmp_path / "after")
+        # fsync'd *contents*, but the directory entry was never pinned.
+        assert not (image / "new").exists()
+
+    def test_rename_without_dir_fsync_is_lost(self, tmp_path):
+        root = tmp_path / "root"
+        root.mkdir()
+        (root / "f").write_bytes(b"old")
+        with CrashFS(root, crash_at=4, mode="lost") as fs:
+            do_write(io_layer(), root / "f.tmp", b"new")
+            io_layer().replace(root / "f.tmp", root / "f")
+            with pytest.raises(PowerCut):
+                io_layer().fsync_dir(root)
+        image = fs.materialize(tmp_path / "after")
+        assert (image / "f").read_bytes() == b"old"
+
+    def test_rename_pinned_by_dir_fsync_survives(self, tmp_path):
+        root = tmp_path / "root"
+        root.mkdir()
+        (root / "f").write_bytes(b"old")
+        with CrashFS(root, crash_at=5, mode="lost") as fs:
+            do_write(io_layer(), root / "f.tmp", b"new")
+            io_layer().replace(root / "f.tmp", root / "f")
+            io_layer().fsync_dir(root)
+            with pytest.raises(PowerCut):
+                io_layer().unlink(root / "f")
+        image = fs.materialize(tmp_path / "after")
+        assert (image / "f").read_bytes() == b"new"
+
+    def test_unpinned_unlink_never_happened(self, tmp_path):
+        root = tmp_path / "root"
+        root.mkdir()
+        (root / "f").write_bytes(b"keep")
+        with CrashFS(root, crash_at=2, mode="lost") as fs:
+            io_layer().unlink(root / "f")
+            with pytest.raises(PowerCut):
+                io_layer().fsync_dir(root)
+        image = fs.materialize(tmp_path / "after")
+        assert (image / "f").read_bytes() == b"keep"
+
+
+class TestMaterializeAdversarial:
+    def test_flushed_keeps_unsynced_data(self, tmp_path):
+        root = tmp_path / "root"
+        root.mkdir()
+        (root / "f").write_bytes(b"base")
+        with CrashFS(root, crash_at=2, mode="flushed") as fs:
+            handle = io_layer().open_append(root / "f")
+            io_layer().write(handle, b"+unsynced")
+            with pytest.raises(PowerCut):
+                io_layer().write(handle, b"+never-issued")
+            io_layer().close(handle)
+        image = fs.materialize(tmp_path / "after")
+        assert (image / "f").read_bytes() == b"base+unsynced"
+
+    def test_torn_applies_half_of_the_crashing_write(self, tmp_path):
+        root = tmp_path / "root"
+        root.mkdir()
+        (root / "f").write_bytes(b"base")
+        with CrashFS(root, crash_at=1, mode="torn") as fs:
+            handle = io_layer().open_append(root / "f")
+            with pytest.raises(PowerCut):
+                io_layer().write(handle, b"ABCDEFGH")
+            io_layer().close(handle)
+        image = fs.materialize(tmp_path / "after")
+        assert (image / "f").read_bytes() == b"base" + b"ABCD"
+
+    def test_reordered_zeroes_an_earlier_unsynced_write(self, tmp_path):
+        root = tmp_path / "root"
+        root.mkdir()
+        (root / "f").write_bytes(b"base")
+        with CrashFS(root, crash_at=3, mode="reordered") as fs:
+            handle = io_layer().open_append(root / "f")
+            io_layer().write(handle, b"AAAA")
+            io_layer().write(handle, b"BBBB")
+            with pytest.raises(PowerCut):
+                io_layer().fsync(handle)
+            io_layer().close(handle)
+        image = fs.materialize(tmp_path / "after")
+        # first unsynced write became a hole of zeros, the later one landed
+        assert (image / "f").read_bytes() == b"base" + b"\x00" * 4 + b"BBBB"
+
+    def test_all_modes_are_materializable(self, tmp_path):
+        for i, mode in enumerate(CRASH_MODES):
+            root = tmp_path / f"root{i}"
+            root.mkdir()
+            (root / "f").write_bytes(b"seed")
+            with CrashFS(root, crash_at=1, mode=mode) as fs:
+                handle = io_layer().open_append(root / "f")
+                with pytest.raises(PowerCut):
+                    io_layer().write(handle, b"data")
+                io_layer().close(handle)
+            image = fs.materialize(tmp_path / f"after{i}")
+            assert (image / "f").exists()

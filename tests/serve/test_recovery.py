@@ -1,0 +1,279 @@
+"""Startup recovery: the listener is up while the WAL replays behind it.
+
+Two layers of contract:
+
+* unit: a service without an index is *recovering* — ``/readyz`` answers
+  503 ``{"status": "recovering"}``, work endpoints return structured 503s,
+  and ``attach_index`` flips the server ready; a failing loader makes
+  ``run()`` exit non-zero instead of serving an empty index.
+* live: a real ``repro serve --store`` process acknowledges an ingest as
+  durable, is SIGKILLed (no drain, no atexit), and a fresh process on the
+  same store replays the log and still has the acked table.
+"""
+
+import asyncio
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.instance import Instance
+from repro.index import IndexParams, SimilarityIndex
+from repro.serve.app import Server
+from repro.serve.config import ServerConfig
+from repro.serve.http import Request
+from repro.serve.service import SimilarityService
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+PARAMS = IndexParams(num_perms=16, bands=4, rows=2)
+
+
+def small_index():
+    index = SimilarityIndex(params=PARAMS)
+    index.add(
+        "seed",
+        Instance.from_rows("R", ("A", "B"), [("1", "x"), ("2", "y")],
+                           name="seed"),
+    )
+    return index
+
+
+def request(method="GET", path="/healthz", body=b""):
+    return Request(method, path, {"content-length": str(len(body))}, body)
+
+
+class TestRecoveringService:
+    def test_service_without_index_is_recovering(self):
+        service = SimilarityService(ServerConfig(port=0))
+        assert service.recovering
+
+        ready = service.readyz()
+        assert ready.status == 503
+        assert ready.body == {"status": "recovering", "ready": False}
+
+        health = service.healthz()
+        assert health.status == 200
+        assert health.body["recovering"] is True
+
+        stats = service.stats()
+        assert stats.status == 200
+        assert stats.body["tables"] == 0
+        assert stats.body["recovering"] is True
+        assert stats.body["cache"] is None
+
+    def test_attach_index_flips_ready(self):
+        service = SimilarityService(ServerConfig(port=0))
+        service.attach_index(small_index())
+        assert not service.recovering
+        ready = service.readyz()
+        assert ready.status == 200
+        assert ready.body["ready"] is True
+        assert ready.body["tables"] == 1
+
+    def test_service_with_index_is_never_recovering(self):
+        service = SimilarityService(ServerConfig(port=0), small_index())
+        assert not service.recovering
+        assert service.readyz().status == 200
+
+
+class TestRecoveringServer:
+    def test_exactly_one_of_index_or_loader(self):
+        config = ServerConfig(port=0)
+        with pytest.raises(ValueError, match="exactly one"):
+            Server(config, out=lambda _line: None)
+        with pytest.raises(ValueError, match="exactly one"):
+            Server(
+                config, small_index(),
+                index_loader=small_index, out=lambda _line: None,
+            )
+
+    def test_work_endpoints_503_while_recovering(self):
+        server = Server(
+            ServerConfig(port=0),
+            index_loader=small_index, out=lambda _line: None,
+        )
+
+        async def main():
+            server.service.start()
+            ingest = await server._dispatch(request("POST", "/ingest", b"{}"))
+            search = await server._dispatch(request("POST", "/search", b"{}"))
+            ready = await server._dispatch(request(path="/readyz"))
+            health = await server._dispatch(request(path="/healthz"))
+            return ingest, search, ready, health
+
+        ingest, search, ready, health = asyncio.run(main())
+        for response in (ingest, search):
+            assert response.status == 503
+            assert response.body["error"]["outcome"] == "recovering"
+            assert "readyz" in response.body["error"]["message"]
+        assert ready.status == 503
+        assert ready.body["status"] == "recovering"
+        assert health.status == 200  # alive, just not ready
+
+    def test_recovery_attaches_index_and_reports(self):
+        lines = []
+        server = Server(
+            ServerConfig(port=0), index_loader=small_index, out=lines.append
+        )
+
+        async def main():
+            await server.start()
+            assert server.service.recovering  # loader still in flight
+            await server._recovery_task
+            ready = await server._dispatch(request(path="/readyz"))
+            await server.drain()
+            return ready
+
+        ready = asyncio.run(main())
+        assert not server.service.recovering
+        assert ready.status == 200
+        assert ready.body["tables"] == 1
+        assert any("recovered 1 table(s)" in line for line in lines)
+        assert any("; ready" in line for line in lines)
+
+    def test_failed_recovery_exits_nonzero(self):
+        lines = []
+
+        def exploding_loader():
+            raise RuntimeError("store is a smoking crater")
+
+        server = Server(
+            ServerConfig(port=0, drain_deadline_seconds=1),
+            index_loader=exploding_loader, out=lines.append,
+        )
+        exit_code = asyncio.run(server.run())
+        assert exit_code == 1
+        assert any("index recovery FAILED" in line for line in lines)
+        assert any("smoking crater" in line for line in lines)
+
+
+# -- the live contract: acked ingests survive SIGKILL ------------------------
+
+
+def build_store(path):
+    index = small_index()
+    index.save(path)
+    index.store.close()
+
+
+def start_store_server(store):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--store", str(store),
+            "--port", "0", "--jobs", "2", "--max-queue", "8",
+            "--drain-deadline", "5",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    assert proc.stdout is not None
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise AssertionError(f"server died during startup ({proc.poll()})")
+        match = re.search(r"serving on http://([0-9.]+):(\d+)", line)
+        if match:
+            threading.Thread(
+                target=lambda: [None for _ in proc.stdout], daemon=True
+            ).start()
+            return proc, match.group(1), int(match.group(2))
+    raise AssertionError("server never reported its address")
+
+
+def http_call(host, port, method, path, payload=None):
+    conn = http.client.HTTPConnection(host, port, timeout=20)
+    try:
+        body = None if payload is None else json.dumps(payload).encode()
+        conn.request(
+            method, path, body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def await_ready(host, port, deadline_s=30):
+    """Poll /readyz until the WAL replay finishes; returns the 200 body."""
+    deadline = time.monotonic() + deadline_s
+    last = None
+    while time.monotonic() < deadline:
+        try:
+            status, body = http_call(host, port, "GET", "/readyz")
+        except OSError:
+            time.sleep(0.05)
+            continue
+        last = (status, body)
+        if status == 200:
+            return body
+        assert status == 503 and body["status"] in ("recovering", "draining")
+        time.sleep(0.05)
+    raise AssertionError(f"server never became ready (last: {last})")
+
+
+INGEST_BODY = {
+    "name": "acked",
+    "table": {
+        "relation": "R",
+        "columns": ["A", "B"],
+        "rows": [["9", "z"], ["10", "w"]],
+        "name": "acked",
+    },
+}
+
+
+class TestKillMidIngest:
+    def test_acked_ingest_survives_sigkill_and_restart(self, tmp_path):
+        store = tmp_path / "lake.idx"
+        build_store(store)
+
+        proc, host, port = start_store_server(store)
+        try:
+            ready = await_ready(host, port)
+            assert ready["tables"] == 1
+
+            status, body = http_call(
+                host, port, "POST", "/ingest", INGEST_BODY
+            )
+            assert status == 200, body
+            assert body["result"]["durable"] is True
+            assert body["result"]["tables"] == 2
+        finally:
+            # SIGKILL: no drain, no flush, no atexit — the crash the WAL
+            # exists for.
+            proc.kill()
+            proc.wait(timeout=15)
+
+        proc2, host2, port2 = start_store_server(store)
+        try:
+            ready = await_ready(host2, port2)
+            # The durable ack is the promise: the killed server's ingest
+            # replays from the log into the restarted one.
+            assert ready["tables"] == 2
+            status, body = http_call(
+                host2, port2, "POST", "/ingest", INGEST_BODY
+            )
+            assert status == 409, body  # it's really there: re-ingest conflicts
+            status, stats = http_call(host2, port2, "GET", "/stats")
+            assert status == 200
+            assert stats["tables"] == 2
+            assert stats["recovering"] is False
+        finally:
+            proc2.send_signal(signal.SIGTERM)
+            assert proc2.wait(timeout=15) == 0
