@@ -335,14 +335,17 @@ class IndexStore:
                     f"{self.path} is a non-empty directory without a "
                     f"{_MANIFEST}; refusing to overwrite it"
                 )
+        # Release any segment the previous incarnation held open before
+        # its file is unlinked below.
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
         self._tables_path.mkdir(parents=True, exist_ok=True)
         self._wal_path.mkdir(parents=True, exist_ok=True)
         for stale in self._tables_path.glob("*.json"):
             stale.unlink()
         for stale in self._wal_path.glob("segment-*.log"):
             stale.unlink()
-        if self._writer is not None:
-            self._writer = None
         generation = 1
         # Segment before manifest: the manifest names it, so it must be
         # durable first.
@@ -385,10 +388,19 @@ class IndexStore:
         return self.last_recovery
 
     def close(self) -> None:
-        """Sync pending log records and release the segment handle."""
+        """Sync pending log records and release the segment handle.
+
+        The in-memory state is dropped too, so a later :meth:`open` (or
+        any lazy accessor) re-runs recovery from disk instead of
+        operating on a store that looks open but has no writer.
+        """
         if self._writer is not None:
             self._writer.close()
             self._writer = None
+        self._manifest = None
+        self._overlay = {}
+        self._deleted = set()
+        self._wal_records = 0
 
     def _load_manifest(self) -> None:
         payload = _read_json(self.path / _MANIFEST, "index manifest")
@@ -524,10 +536,23 @@ class IndexStore:
     # -- mutation -----------------------------------------------------------
 
     def _append(self, record: dict) -> None:
-        assert self._writer is not None
+        if self._writer is None:
+            raise FormatError(
+                f"index store at {self.path} is closed; "
+                f"call open() before mutating it"
+            )
         self._writer.append_record(record)
         self._wal_records += 1
         counter_inc("repro.index.store.wal_appends")
+
+    def _maybe_auto_compact(self) -> None:
+        """Fold the log once it crosses the auto-compaction threshold.
+
+        Must run *after* the caller has mirrored its mutation into
+        ``_overlay``/``_deleted``: compaction folds the in-memory overlay
+        into the new snapshot and then discards the old segment, so a
+        record appended but not yet mirrored would be silently dropped.
+        """
         if (
             self.auto_compact_records
             and self._wal_records >= self.auto_compact_records
@@ -552,6 +577,7 @@ class IndexStore:
         self._append(record)
         self._overlay[name] = record
         self._deleted.discard(name)
+        self._maybe_auto_compact()
 
     def remove_table(self, name: str) -> None:
         """Log the removal of one table (the file lives until compaction)."""
@@ -561,6 +587,7 @@ class IndexStore:
         self._overlay.pop(name, None)
         if name in self.manifest()["tables"]:
             self._deleted.add(name)
+        self._maybe_auto_compact()
 
     def sync(self) -> None:
         """Make every logged mutation durable (group-commit fsync)."""

@@ -102,11 +102,31 @@ def op_compact(path):
     store.close()
 
 
+def op_add_autocompact(path):
+    """An add that trips auto-compaction: the triggering record must be
+    folded into the new snapshot, never lost with the swept segment."""
+    index = SimilarityIndex.load(path)
+    index.store.auto_compact_records = 1
+    index.add("gamma", simple([("g", "9")], name="gamma"))
+    index.store.close()
+
+
+def op_remove_autocompact(path):
+    """A remove that trips auto-compaction: the removed table must not
+    be resurrected by the fold."""
+    index = SimilarityIndex.load(path)
+    index.store.auto_compact_records = 1
+    index.remove("beta")
+    index.store.close()
+
+
 MUTATIONS = {
     "add": (_noop, op_add),
     "remove": (_noop, op_remove),
     "update": (_noop, op_update),
     "compact": (_seed_log, op_compact),
+    "add-autocompact": (_noop, op_add_autocompact),
+    "remove-autocompact": (_noop, op_remove_autocompact),
 }
 
 

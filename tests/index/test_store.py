@@ -225,6 +225,91 @@ class TestIntegrity:
         assert len(list((tmp_path / "store" / "tables").glob("*.json"))) == 2
 
 
+class TestAutoCompaction:
+    """``auto_compact_records``: the mutation that trips the threshold
+    must be folded into the new snapshot, never lost with the swept
+    segment (regression: compaction used to run before the overlay
+    mirrored the triggering record)."""
+
+    def test_triggering_add_survives_reopen(self, index, tmp_path):
+        store = index.save(tmp_path / "store")
+        store.auto_compact_records = 2
+        index.add("gamma", simple([("g", 9)]))
+        index.add("delta", simple([("d", 4)]))  # trips the threshold
+        assert store.manifest()["generation"] == 2
+        assert store.wal_records() == 0
+        loaded = load_index(tmp_path / "store")
+        assert loaded.names() == ["alpha", "beta", "delta", "gamma"]
+        assert loaded.sketch("delta") == index.sketch("delta")
+
+    def test_triggering_remove_stays_removed_after_reopen(
+        self, index, tmp_path
+    ):
+        store = index.save(tmp_path / "store")
+        store.auto_compact_records = 2
+        index.add("gamma", simple([("g", 9)]))
+        index.remove("beta")  # trips the threshold
+        assert store.manifest()["generation"] == 2
+        assert load_index(tmp_path / "store").names() == ["alpha", "gamma"]
+
+    def test_every_record_folds_with_window_of_one(self, index, tmp_path):
+        index.save(tmp_path / "store")
+        index.store.close()
+        store = IndexStore(tmp_path / "store", auto_compact_records=1)
+        store.open()
+        instance, sketch = store.load_table("alpha")
+        store.write_table("gamma", instance, sketch)
+        assert store.wal_records() == 0
+        assert store.manifest()["generation"] == 2
+        store.remove_table("gamma")
+        assert store.manifest()["generation"] == 3
+        store.close()
+        assert load_index(tmp_path / "store").names() == ["alpha", "beta"]
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self, index, tmp_path):
+        store = index.save(tmp_path / "store")
+        store.close()
+        store.close()
+
+    def test_reopen_after_close_reruns_recovery(self, index, tmp_path):
+        store = index.save(tmp_path / "store")
+        index.add("gamma", simple([("g", 9)]))
+        store.close()
+        report = store.open()
+        assert report.wal_records == 1
+        assert store.table_names() == ["alpha", "beta", "gamma"]
+
+    def test_mutation_after_close_reopens_cleanly(self, index, tmp_path):
+        """A closed store must not look open: the next mutation re-runs
+        recovery and appends to a live writer (regression: it used to
+        hit a bare AssertionError on the dead writer)."""
+        store = index.save(tmp_path / "store")
+        instance, sketch = store.load_table("alpha")
+        store.close()
+        store.write_table("gamma", instance, sketch)
+        store.sync()
+        assert store.table_names() == ["alpha", "beta", "gamma"]
+        loaded = load_index(tmp_path / "store")
+        assert loaded.names() == ["alpha", "beta", "gamma"]
+
+    def test_reinitialize_releases_previous_segment(self, index, tmp_path):
+        """initialize() on a live store must close the old writer (no
+        leaked handle, pending records synced) before unlinking its
+        segment, and leave a usable fresh writer."""
+        store = index.save(tmp_path / "store")
+        index.add("gamma", simple([("g", 9)]))
+        instance, sketch = store.load_table("alpha")
+        params, options = store.params(), store.options()
+        old_writer = store._writer
+        store.initialize(params, options)
+        assert old_writer._handle is None  # closed, not leaked
+        assert store.table_names() == []
+        store.write_table("alpha", instance, sketch)
+        assert load_index(tmp_path / "store").names() == ["alpha"]
+
+
 class TestOptionsPersistence:
     def test_non_default_options_roundtrip(self, tmp_path):
         options = MatchOptions(
