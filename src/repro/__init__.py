@@ -17,11 +17,22 @@ Quickstart
 >>> result.similarity
 1.0
 
-The two entry points are :func:`compare` (full result with match and stats)
-and :func:`similarity` (just the score).  Constraints for specific
+The primary entry point is :class:`Comparator` — one configured session
+object offering one-shot (:meth:`~Comparator.compare_one`), cached
+(:meth:`~Comparator.compare`), batch (:meth:`~Comparator.compare_many`),
+and anytime (:meth:`~Comparator.compare_anytime`) comparisons.  The
+module-level :func:`compare`, :func:`compare_many`,
+:func:`compare_anytime`, and :func:`similarity` are thin wrappers that
+build a throwaway ``Comparator`` per call.  Constraints for specific
 applications — data versioning, data-exchange solution comparison,
 constraint-repair evaluation — are presets on
 :class:`~repro.mappings.MatchOptions`.
+
+Bulk data enters columnar: :meth:`Instance.from_columns` ingests
+per-attribute value arrays (with optional null masks) and arrives with
+the integer-coded columnar view (:mod:`repro.core.columnar`) already
+built, which the signature, compatibility, and sketching hot paths then
+consume directly (see ``docs/COLUMNAR.md``).
 """
 
 from __future__ import annotations
@@ -63,7 +74,7 @@ from .obs import (
     collect_trace,
     render_report,
 )
-from .parallel import SignatureCache, compare_many, instance_fingerprint
+from .parallel import SignatureCache, instance_fingerprint
 from .runtime import (
     Budget,
     CancellationToken,
@@ -72,11 +83,12 @@ from .runtime import (
     Outcome,
     RetryPolicy,
     WorkerLimits,
-    compare_anytime,
 )
+from .runtime.anytime import DEFAULT_ANYTIME_NODE_BUDGET
+from .runtime.budget import DEFAULT_CHECK_INTERVAL
 from .scoring.match_score import score_match
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 
 def compare(
@@ -164,25 +176,21 @@ def compare(
     >>> result = compare(I, J)                                # doctest: +SKIP
     >>> result = compare(I, J, Algorithm.EXACT)               # doctest: +SKIP
     >>> result = compare(I, J, ExactOptions(node_budget=10))  # doctest: +SKIP
+
+    This is a thin wrapper over :meth:`Comparator.compare_one`; hold a
+    :class:`Comparator` instead when comparing more than once with the
+    same configuration.
     """
     control = kwargs.pop("control", None)
     spec = resolve_algorithm(algorithm, kwargs)
-    if align_schemas:
-        from .versioning.operations import align_schemas as _align
-
-        left, right = _align(left, right)
-    if prepare:
-        left, right = prepare_for_comparison(left, right)
-    return run_algorithm(
+    return Comparator(spec, options, deadline=deadline, refine=refine).compare_one(
         left,
         right,
-        spec,
-        options,
-        control=control,
-        deadline=deadline,
+        prepare=prepare,
+        align_schemas=align_schemas,
         token=token,
         executor=executor,
-        refine=refine,
+        control=control,
     )
 
 
@@ -200,6 +208,73 @@ def similarity(
     return compare(
         left, right, algorithm=algorithm, options=options, **kwargs
     ).similarity
+
+
+def compare_many(
+    pairs,
+    algorithm: Algorithm | AlgorithmOptions | str | None = None,
+    options: MatchOptions | None = None,
+    *,
+    jobs: int = 1,
+    cache: SignatureCache | None = None,
+    deadline: float | None = None,
+    refine: bool = False,
+    limits: WorkerLimits | None = None,
+    retry: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    fault_pairs=None,
+    out=None,
+) -> list[ComparisonResult]:
+    """Compare every ``(left, right)`` pair; results in input order.
+
+    A thin wrapper over :meth:`Comparator.compare_many` — see
+    :func:`repro.parallel.compare_many` for the full parameter reference.
+    Hold a :class:`Comparator` instead to keep the signature cache warm
+    across batches.
+    """
+    return Comparator(
+        algorithm,
+        options,
+        jobs=jobs,
+        cache=cache,
+        deadline=deadline,
+        refine=refine,
+        limits=limits,
+        retry=retry,
+        fault_plan=fault_plan,
+        out=out,
+    ).compare_many(pairs, fault_pairs=fault_pairs)
+
+
+def compare_anytime(
+    left: Instance,
+    right: Instance,
+    deadline: float | None = None,
+    options: MatchOptions | None = None,
+    token: CancellationToken | None = None,
+    prepare: bool = True,
+    node_budget: int = DEFAULT_ANYTIME_NODE_BUDGET,
+    refine_move_budget: int | None = None,
+    check_interval: int = DEFAULT_CHECK_INTERVAL,
+    executor: Executor | None = None,
+) -> ComparisonResult:
+    """Best similarity obtainable within ``deadline`` seconds.
+
+    A thin wrapper over :meth:`Comparator.compare_anytime` — see
+    :func:`repro.runtime.compare_anytime` for the full parameter
+    reference and the ladder semantics.
+    """
+    return Comparator(
+        AnytimeOptions(
+            node_budget=node_budget,
+            refine_move_budget=refine_move_budget,
+            check_interval=check_interval,
+        ),
+        options,
+        deadline=deadline,
+    ).compare_anytime(
+        left, right, token=token, prepare=prepare, executor=executor
+    )
 
 
 __all__ = [

@@ -232,8 +232,9 @@ def resolve_algorithm(
         member = Algorithm(algorithm)
         replacement = member.options_type().__name__
         warnings.warn(
-            f"algorithm={algorithm!r} is deprecated; pass "
-            f"Algorithm.{member.name} or repro.{replacement}(...) instead",
+            f"algorithm={algorithm!r} is deprecated and will be removed in "
+            f"repro 2.0; pass Algorithm.{member.name} or "
+            f"repro.{replacement}(...) instead",
             DeprecationWarning,
             stacklevel=stacklevel,
         )
@@ -255,7 +256,8 @@ def resolve_algorithm(
         if isinstance(algorithm, Algorithm):
             warnings.warn(
                 f"passing {sorted(legacy_kwargs)} as keyword argument(s) is "
-                f"deprecated; construct {options_type.__name__}(...) instead",
+                f"deprecated and will be removed in repro 2.0; construct "
+                f"{options_type.__name__}(...) instead",
                 DeprecationWarning,
                 stacklevel=stacklevel,
             )

@@ -45,6 +45,37 @@ PRESETS = {
 }
 
 
+ALGORITHMS = ("signature", "exact", "ground", "partial", "anytime")
+"""The ``--algorithm`` vocabulary, shared by every command that compares."""
+
+
+def _add_algorithm_flag(sub) -> None:
+    """The one ``--algorithm`` flag definition (compare *and* index)."""
+    sub.add_argument(
+        "--algorithm",
+        choices=ALGORITHMS,
+        default="signature",
+        help=(
+            "comparison algorithm; the same vocabulary everywhere "
+            "(default: signature)"
+        ),
+    )
+
+
+def _add_match_flags(
+    sub, default_preset: str, preset_help: str | None = None
+) -> None:
+    """The one ``--preset``/``--lam`` flags definition."""
+    sub.add_argument(
+        "--preset", choices=sorted(PRESETS), default=default_preset,
+        help=preset_help or "match-constraint preset (paper Sec. 4.3)",
+    )
+    sub.add_argument(
+        "--lam", type=float, default=0.5,
+        help="null-to-constant penalty λ in [0, 1)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -91,19 +122,8 @@ def build_parser() -> argparse.ArgumentParser:
         else:
             sub.add_argument("left", help="left CSV file")
             sub.add_argument("right", help="right CSV file")
-        sub.add_argument(
-            "--algorithm",
-            choices=("signature", "exact", "ground", "partial", "anytime"),
-            default="signature",
-        )
-        sub.add_argument(
-            "--preset", choices=sorted(PRESETS), default="general",
-            help="match-constraint preset (paper Sec. 4.3)",
-        )
-        sub.add_argument(
-            "--lam", type=float, default=0.5,
-            help="null-to-constant penalty λ in [0, 1)",
-        )
+        _add_algorithm_flag(sub)
+        _add_match_flags(sub, "general")
         sub.add_argument(
             "--relation", default="R",
             help="relation name used for both CSVs",
@@ -247,13 +267,9 @@ def _add_index_parser(subparsers) -> None:
         "inputs", nargs="+", metavar="CSV",
         help="tables to index; each is registered under its file path",
     )
-    build.add_argument(
-        "--preset", choices=sorted(PRESETS), default="versioning",
-        help="match-constraint preset baked into the index",
-    )
-    build.add_argument(
-        "--lam", type=float, default=0.5,
-        help="null-to-constant penalty λ in [0, 1)",
+    _add_match_flags(
+        build, "versioning",
+        preset_help="match-constraint preset baked into the index",
     )
     build.add_argument(
         "--perms", type=int, default=64, metavar="N",
@@ -287,6 +303,7 @@ def _add_index_parser(subparsers) -> None:
         "--top-k", type=int, default=5, metavar="K",
         help="number of hits to return",
     )
+    _add_algorithm_flag(search)
     search.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="fan refinement over N fork workers (1 = in-process)",
@@ -311,6 +328,7 @@ def _add_index_parser(subparsers) -> None:
         "--threshold", type=float, default=0.8,
         help="minimum similarity for a duplicate pair",
     )
+    _add_algorithm_flag(dedup)
     dedup.add_argument(
         "--jobs", type=int, default=1, metavar="N",
         help="fan refinement over N fork workers (1 = in-process)",
@@ -446,13 +464,9 @@ def _add_serve_parser(subparsers) -> None:
         "--metrics", default=None, metavar="OUT.json",
         help="flush the aggregated metrics snapshot here on drain",
     )
-    serve_parser.add_argument(
-        "--preset", choices=sorted(PRESETS), default="versioning",
-        help="match-constraint preset (CSV mode; stores bake in their own)",
-    )
-    serve_parser.add_argument(
-        "--lam", type=float, default=0.5,
-        help="null-to-constant penalty λ in [0, 1)",
+    _add_match_flags(
+        serve_parser, "versioning",
+        preset_help="match-constraint preset (CSV mode; stores bake in their own)",
     )
     serve_parser.add_argument(
         "--relation", default="R", help="relation name used for every CSV",
@@ -801,8 +815,14 @@ def _run_index(args, parser) -> int:
         index = SimilarityIndex.load(args.store)
         if args.jobs < 1:
             parser.error(f"--jobs must be >= 1, got {args.jobs}")
+        if args.brute_force and args.algorithm != "signature":
+            parser.error(
+                "--brute-force always refines with the signature "
+                "algorithm; drop --algorithm or the parity flag"
+            )
         policy = RefinePolicy(
             jobs=args.jobs,
+            algorithm=Algorithm(args.algorithm),
             out=lambda line: print(line, file=sys.stderr),
         )
 

@@ -1,35 +1,50 @@
-"""The :class:`Comparator` session object: one configuration, many comparisons.
+"""The :class:`Comparator` session object — the library's main entry point.
 
-:func:`repro.compare` is stateless — every call re-resolves options and
-re-prepares both instances.  A :class:`Comparator` instead fixes the
-algorithm, match options, and execution policy **once**, and keeps a
-content-addressed :class:`~repro.parallel.SignatureCache` alive across
-calls, so comparing one base instance against hundreds of variants (the
-paper's experiment shape) prepares and indexes each distinct instance a
-single time.
+A :class:`Comparator` fixes the algorithm, match options, and execution
+policy **once**, and keeps a content-addressed
+:class:`~repro.parallel.SignatureCache` alive across calls, so comparing
+one base instance against hundreds of variants (the paper's experiment
+shape) prepares and indexes each distinct instance a single time.  All
+comparison shapes hang off the one object:
 
     comparator = repro.Comparator(
         algorithm=repro.ExactOptions(node_budget=50_000),
         options=repro.MatchOptions.paper_default(),
         jobs=4,
     )
-    results = comparator.compare_many(pairs)
-    one = comparator.compare(left, right)
+    results = comparator.compare_many(pairs)   # batch, cached, parallel
+    one = comparator.compare(left, right)      # one pair, cached
+    raw = comparator.compare_one(left, right)  # one pair, full knobs
+    best = comparator.compare_anytime(left, right, deadline=2.0)
+
+The module-level helpers :func:`repro.compare`,
+:func:`repro.compare_many`, and :func:`repro.compare_anytime` are thin
+wrappers that build a throwaway ``Comparator`` per call — convenient for
+scripts, but sessions that compare more than once should hold a
+``Comparator`` to keep its cache warm.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
-from .algorithms.options import Algorithm, AlgorithmOptions, resolve_algorithm
+from .algorithms.dispatch import run_algorithm
+from .algorithms.options import (
+    Algorithm,
+    AlgorithmOptions,
+    AnytimeOptions,
+    resolve_algorithm,
+)
 from .algorithms.result import ComparisonResult
-from .core.instance import Instance
+from .core.instance import Instance, prepare_for_comparison
 from .mappings.constraints import MatchOptions
 from .parallel.cache import SignatureCache
 from .parallel.engine import compare_many
+from .runtime.anytime import compare_anytime as _compare_anytime
+from .runtime.budget import CancellationToken
 from .runtime.faults import FaultPlan
 from .runtime.isolation import WorkerLimits
-from .runtime.retry import RetryPolicy
+from .runtime.retry import Executor, RetryPolicy
 
 
 class Comparator:
@@ -101,6 +116,90 @@ class Comparator:
         """Compare one pair in-process, through the session cache."""
         [result] = self.compare_many([(left, right)], jobs=1)
         return result
+
+    def compare_one(
+        self,
+        left: Instance,
+        right: Instance,
+        *,
+        options: MatchOptions | None = None,
+        prepare: bool = True,
+        align_schemas: bool = False,
+        refine: bool | None = None,
+        deadline: float | None = None,
+        token: CancellationToken | None = None,
+        executor: Executor | None = None,
+        control=None,
+    ) -> ComparisonResult:
+        """One comparison with every per-call knob exposed (no cache).
+
+        This is the session form of :func:`repro.compare`: the algorithm
+        comes from the session, everything else can be overridden per
+        call.  Unlike :meth:`compare` it does **not** go through the
+        signature cache — use it when you need ``prepare=False`` (the
+        match must reference your exact tuple objects), schema alignment,
+        cancellation, or a fault-tolerant executor for a single pair.
+
+        Parameters mirror :func:`repro.compare`; ``options``, ``refine``
+        and ``deadline`` default to the session's settings.
+        """
+        if align_schemas:
+            from .versioning.operations import align_schemas as _align
+
+            left, right = _align(left, right)
+        if prepare:
+            left, right = prepare_for_comparison(left, right)
+        return run_algorithm(
+            left,
+            right,
+            self.spec,
+            self.options if options is None else options,
+            control=control,
+            deadline=self.deadline if deadline is None else deadline,
+            token=token,
+            executor=executor,
+            refine=self.refine if refine is None else refine,
+        )
+
+    def compare_anytime(
+        self,
+        left: Instance,
+        right: Instance,
+        *,
+        deadline: float | None = None,
+        options: MatchOptions | None = None,
+        token: CancellationToken | None = None,
+        prepare: bool = True,
+        executor: Executor | None = None,
+    ) -> ComparisonResult:
+        """Best similarity obtainable within ``deadline`` seconds.
+
+        Runs the anytime ladder (signature → refine → exact) regardless
+        of the session algorithm; when the session was configured with
+        :class:`~repro.AnytimeOptions`, its knobs (node budget, refine
+        move budget, check interval) shape the ladder.  ``deadline``
+        defaults to the session deadline.
+        """
+        spec = (
+            self.spec
+            if isinstance(self.spec, AnytimeOptions)
+            else AnytimeOptions()
+        )
+        kwargs = {}
+        if spec.refine_move_budget is not None:
+            kwargs["refine_move_budget"] = spec.refine_move_budget
+        return _compare_anytime(
+            left,
+            right,
+            deadline=self.deadline if deadline is None else deadline,
+            options=self.options if options is None else options,
+            token=token,
+            prepare=prepare,
+            node_budget=spec.node_budget,
+            check_interval=spec.check_interval,
+            executor=executor,
+            **kwargs,
+        )
 
     def compare_many(
         self,

@@ -12,6 +12,7 @@ tuples over ``Consts ∪ Vars``.  This module provides:
 from __future__ import annotations
 
 import itertools
+import sys
 from collections import Counter
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
@@ -108,6 +109,7 @@ class Instance:
             rel.name: RelationInstance(rel) for rel in schema
         }
         self._ids: dict[str, str] = {}  # tuple id -> relation name
+        self._columnar = None  # cached ColumnarInstance view (never pickled)
 
     # -- construction -------------------------------------------------------
 
@@ -170,6 +172,53 @@ class Instance:
         )
 
     @classmethod
+    def from_columns(
+        cls,
+        schema,
+        columns,
+        *,
+        nulls=None,
+        name: str = "I",
+        id_prefix: str = "t",
+        id_start: int = 1,
+        null_prefix: str = "N",
+    ) -> "Instance":
+        """Build an instance from column-shaped data (the bulk-ingest path).
+
+        ``schema`` is a relation name (attributes taken from the mapping
+        order of ``columns``), a :class:`RelationSchema`, or a full
+        :class:`Schema`; ``columns`` holds one value sequence per attribute
+        (nested per relation for a full schema).  ``nulls`` optionally marks
+        cells to replace with fresh :class:`LabeledNull` values — per
+        attribute either one boolean per row or an iterable of row indices.
+
+        Tuple ids, values, and iteration order are byte-identical to the
+        equivalent :meth:`from_rows` build; the columnar view
+        (:meth:`columns`) is built in the same pass and cached.
+
+        Examples
+        --------
+        >>> inst = Instance.from_columns(
+        ...     "Conf", {"Name": ["VLDB", "SIGMOD"], "Year": [1975, 1974]},
+        ...     nulls={"Year": [False, True]},
+        ... )
+        >>> sorted(n.label for n in inst.vars())
+        ['N1']
+        """
+        from .columnar import build_from_columns
+
+        return build_from_columns(
+            cls,
+            schema,
+            columns,
+            nulls=nulls,
+            name=name,
+            id_prefix=id_prefix,
+            id_start=id_start,
+            null_prefix=null_prefix,
+        )
+
+    @classmethod
     def empty_like(cls, other: "Instance", name: str | None = None) -> "Instance":
         """An empty instance over the same schema as ``other``."""
         return cls(other.schema, name=name if name is not None else other.name)
@@ -184,6 +233,7 @@ class Instance:
             )
         self._relations[t.relation.name].add(t)
         self._ids[t.tuple_id] = t.relation.name
+        self._columnar = None
 
     def add_row(
         self, relation_name: str, tuple_id: str, values: Sequence[Value]
@@ -192,6 +242,60 @@ class Instance:
         t = Tuple(tuple_id, self.schema.relation(relation_name), values)
         self.add(t)
         return t
+
+    # -- columnar view --------------------------------------------------------
+
+    def columns(self):
+        """The cached columnar view of this instance.
+
+        Built on first access (one pass over all cells) and invalidated by
+        :meth:`add`; see :mod:`repro.core.columnar` for the representation.
+        Mutating relations directly (bypassing :meth:`add`) does not
+        invalidate the cache.
+        """
+        view = self._columnar
+        if view is None:
+            from .columnar import ColumnarInstance
+
+            view = ColumnarInstance.from_instance(self)
+            self._columnar = view
+        return view
+
+    def to_columns(self) -> dict[str, dict[str, list[Value]]]:
+        """Column-shaped export: ``{relation: {attribute: [values...]}}``.
+
+        ``Instance.from_columns(self.schema, self.to_columns())`` round-trips
+        the cell values (tuple ids are regenerated in scan order).
+        """
+        return {
+            relation.schema.name: {
+                attribute: [t.values[position] for t in relation]
+                for position, attribute in enumerate(
+                    relation.schema.attributes
+                )
+            }
+            for relation in self.relations()
+        }
+
+    # -- pickling -------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # The columnar view is a derived cache; dropping it keeps pickles
+        # canonical (row-wise and from_columns builds serialize identically).
+        state = self.__dict__.copy()
+        state.pop("_columnar", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        # Intern the attribute names, as pickle's default BUILD path would:
+        # without this, an instance that round-tripped through a worker
+        # re-pickles with different string memoization than one that never
+        # left the process, breaking byte-identical result comparisons.
+        self.__dict__.update(
+            (sys.intern(k) if type(k) is str else k, v)
+            for k, v in state.items()
+        )
+        self._columnar = None
 
     # -- access ---------------------------------------------------------------
 

@@ -9,15 +9,37 @@ from .synthetic import (
     generate_dataset,
     profile,
 )
+from .tpch import (
+    TPCH_FKS,
+    TPCH_KEYS,
+    TPCH_SCHEMAS,
+    TPCH_TABLES,
+    fk_violations,
+    generate_tpch,
+    pk_duplicates,
+    read_tbl,
+    tpch_cardinality,
+    write_tbl,
+)
 
 __all__ = [
     "PROFILES",
+    "TPCH_FKS",
+    "TPCH_KEYS",
+    "TPCH_SCHEMAS",
+    "TPCH_TABLES",
     "ColumnSpec",
     "DatasetProfile",
     "PerturbationConfig",
     "PerturbationScenario",
     "dataset_statistics",
+    "fk_violations",
     "generate_dataset",
+    "generate_tpch",
     "perturb",
+    "pk_duplicates",
     "profile",
+    "read_tbl",
+    "tpch_cardinality",
+    "write_tbl",
 ]

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.instance import Instance
+from ..core.schema import RelationSchema
 from ..utils.rand import make_rng, zipf_index
 
 KIND_UNIQUE = "unique"
@@ -291,18 +292,18 @@ def generate_dataset(
     rng = make_rng(seed)
     count = spec.default_rows if rows is None else rows
     scale = count / spec.default_rows
-    rows_out = []
+    columns_out: list[list] = [[] for _ in spec.columns]
     for row_index in range(count):
         row_so_far: dict = {}
         for column in spec.columns:
             row_so_far[column.name] = _column_value(
                 column, row_index, scale, rng, row_so_far
             )
-        rows_out.append(tuple(row_so_far[c.name] for c in spec.columns))
-    return Instance.from_rows(
-        spec.relation,
-        spec.attribute_names(),
-        rows_out,
+        for position, column in enumerate(spec.columns):
+            columns_out[position].append(row_so_far[column.name])
+    return Instance.from_columns(
+        RelationSchema(spec.relation, spec.attribute_names()),
+        columns_out,
         name=instance_name if instance_name is not None else name,
         id_prefix="t",
     )

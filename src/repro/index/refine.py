@@ -29,7 +29,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
-from ..algorithms.options import Algorithm
+from ..algorithms.dispatch import run_algorithm
+from ..algorithms.options import (
+    Algorithm,
+    AlgorithmOptions,
+    SignatureOptions,
+    resolve_algorithm,
+)
 from ..algorithms.result import ComparisonResult
 from ..algorithms.signature import signature_compare
 from ..core.instance import Instance
@@ -82,6 +88,14 @@ class RefinePolicy:
     actually trips makes the affected scores lower bounds, which weakens
     the exactness guarantee — keep policies off when bit-exact parity with
     brute force is required.
+
+    ``algorithm`` accepts the same vocabulary as :func:`repro.compare`
+    (an :class:`~repro.Algorithm` member, a typed options instance, or a
+    legacy string).  ``None`` — the default — refines with the signature
+    algorithm, whose scores the sketch bounds are admissible for; other
+    algorithms re-rank with their own scores, so the index-vs-brute-force
+    parity guarantee then only holds against a brute force running the
+    same algorithm.
     """
 
     jobs: int = 1
@@ -90,10 +104,17 @@ class RefinePolicy:
     retry: RetryPolicy | None = None
     fault_plan: FaultPlan | None = None
     out: Callable[[str], None] | None = None
+    algorithm: "Algorithm | AlgorithmOptions | str | None" = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {self.jobs}")
+
+    def resolved_algorithm(self) -> AlgorithmOptions:
+        """The refinement algorithm as typed options (signature default)."""
+        if self.algorithm is None:
+            return SignatureOptions()
+        return resolve_algorithm(self.algorithm)
 
     @property
     def needs_workers(self) -> bool:
@@ -165,10 +186,12 @@ class QueryComparer:
         cache: SignatureCache,
         options: MatchOptions,
         query: Instance,
+        spec: AlgorithmOptions | None = None,
     ) -> None:
         self.cache = cache
         self.options = options
         self.query = query
+        self.spec = SignatureOptions() if spec is None else spec
         self._query_names = set(query.schema.relation_names())
         self._query_entry: PreparedSide | None = None
 
@@ -190,14 +213,30 @@ class QueryComparer:
         return left_entry, right_entry
 
     def compare(self, candidate: Instance) -> ComparisonResult | None:
-        """Full signature comparison, or ``None`` when incomparable."""
+        """Full comparison with the policy algorithm, or ``None``.
+
+        Signature refinement (the default) reuses the cached Alg. 4
+        indexes directly; other algorithms run through the common
+        dispatcher, which forwards the indexes to those able to exploit
+        them.
+        """
         pair = self.prepared_pair(candidate)
         if pair is None:
             return None
         left_entry, right_entry = pair
-        return signature_compare(
+        if isinstance(self.spec, SignatureOptions):
+            return signature_compare(
+                left_entry.instance,
+                right_entry.instance,
+                self.options,
+                align_preference=self.spec.align_preference,
+                left_index=left_entry.index,
+                right_index=right_entry.index,
+            )
+        return run_algorithm(
             left_entry.instance,
             right_entry.instance,
+            self.spec,
             self.options,
             left_index=left_entry.index,
             right_index=right_entry.index,
@@ -232,7 +271,7 @@ def _refine_batch(
     ]
     return compare_many(
         pairs,
-        Algorithm.SIGNATURE,
+        policy.resolved_algorithm(),
         index.options,
         jobs=policy.jobs,
         cache=index.cache,
@@ -298,7 +337,9 @@ def _refine_search_impl(
     report.bounds = dict(bounds)
 
     order = sorted(bounds, key=lambda name: (-bounds[name], name))
-    comparer = QueryComparer(index.cache, index.options, query)
+    comparer = QueryComparer(
+        index.cache, index.options, query, spec=policy.resolved_algorithm()
+    )
     hits: list[SearchHit] = []
     position = 0
     chunk = max(1, policy.jobs)
@@ -401,7 +442,16 @@ def _refine_dedup_impl(
         batch = survivors[position : position + chunk]
         position += len(batch)
         comparers = [
-            (first, second, QueryComparer(index.cache, index.options, index.get(first)))
+            (
+                first,
+                second,
+                QueryComparer(
+                    index.cache,
+                    index.options,
+                    index.get(first),
+                    spec=policy.resolved_algorithm(),
+                ),
+            )
             for first, second, _bound in batch
         ]
         if not policy.needs_workers:
@@ -416,7 +466,7 @@ def _refine_dedup_impl(
             ]
             results = compare_many(
                 raw_pairs,
-                Algorithm.SIGNATURE,
+                policy.resolved_algorithm(),
                 index.options,
                 jobs=policy.jobs,
                 cache=index.cache,

@@ -43,6 +43,17 @@ from ..core.values import is_null
 from ..mappings.constraints import MatchOptions
 from ..parallel.cache import instance_fingerprint
 
+try:  # pragma: no cover - exercised through both lanes
+    import numpy as _np
+except Exception:  # pragma: no cover - numpy genuinely absent
+    _np = None
+
+_COLUMNAR_MIN_CELLS = 4096
+"""Build the columnar view for sketching above this many cells."""
+
+_NUMPY_MIN_TOKENS = 256
+"""Below this many distinct tokens the pure min-hash loop wins."""
+
 _MERSENNE_PRIME = (1 << 61) - 1
 """Modulus of the universal hash family behind the min-hash permutations."""
 
@@ -181,7 +192,78 @@ class InstanceSketch:
 
     @classmethod
     def build(cls, instance: Instance, params: IndexParams) -> "InstanceSketch":
-        """Sketch ``instance`` under ``params`` (deterministic)."""
+        """Sketch ``instance`` under ``params`` (deterministic).
+
+        Uses the columnar lane (per-code token aggregation over the
+        :meth:`~repro.core.instance.Instance.columns` view) when the view
+        is already cached or the instance is large enough to warrant
+        building it; both lanes produce identical sketches
+        (property-tested).  Cells the codes cannot reconstruct exactly
+        (``ColumnarInstance.overrides``) force the object lane, since
+        tokens are type-and-repr sensitive.
+        """
+        view = instance._columnar
+        if view is None and _cell_estimate(instance) >= _COLUMNAR_MIN_CELLS:
+            view = instance.columns()
+        if view is not None and not view.overrides:
+            return cls._build_columnar(instance, view, params)
+        return cls._build_object(instance, params)
+
+    @classmethod
+    def _build_columnar(cls, instance, view, params) -> "InstanceSketch":
+        """One pass per column over code arrays, tokens per distinct code."""
+        relations: dict[str, RelationSketch] = {}
+        token_hashes: list[int] = []
+        decode = view.decode
+        token_cache: dict[int, tuple[str, int]] = {}
+        for rel_name, crel in view.relations.items():
+            attributes = crel.schema.attributes
+            columns_out: dict[str, ColumnSketch] = {}
+            for position, attribute in enumerate(attributes):
+                counts = _code_counts(crel.columns[position])
+                constants: dict[int, int] = {}
+                null_total = 0
+                per_base: dict[str, int] = {}
+                for code, count in counts:
+                    if code < 0:
+                        null_total += count
+                        continue
+                    cached = token_cache.get(code)
+                    if cached is None:
+                        encoded = _constant_token(decode[code])
+                        cached = (encoded, stable_hash64(encoded))
+                        token_cache[code] = cached
+                    encoded, key = cached
+                    constants[key] = constants.get(key, 0) + count
+                    base = f"{rel_name}\x1f{attribute}\x1fC\x1f{encoded}"
+                    per_base[base] = per_base.get(base, 0) + count
+                if null_total:
+                    per_base[f"{rel_name}\x1f{attribute}\x1fN"] = null_total
+                for base, count in per_base.items():
+                    token_hashes.extend(
+                        stable_hash64(f"{base}\x1f{occurrence}")
+                        for occurrence in range(count)
+                    )
+                columns_out[attribute] = ColumnSketch(
+                    constants=constants, null_count=null_total
+                )
+            relations[rel_name] = RelationSketch(
+                name=rel_name,
+                attributes=attributes,
+                tuple_count=crel.n_rows,
+                columns=columns_out,
+            )
+        return cls(
+            fingerprint=instance_fingerprint(instance),
+            relations=relations,
+            minhash=_minhash(token_hashes, params),
+            token_count=len(token_hashes),
+        )
+
+    @classmethod
+    def _build_object(
+        cls, instance: Instance, params: IndexParams
+    ) -> "InstanceSketch":
         relations: dict[str, RelationSketch] = {}
         token_hashes: list[int] = []
         for relation in instance.relations():
@@ -235,16 +317,75 @@ class InstanceSketch:
         return frozenset(self.relations)
 
 
+def _cell_estimate(instance: Instance) -> int:
+    """Cell count of an instance without touching any cell."""
+    return sum(
+        len(relation) * relation.schema.arity
+        for relation in instance.relations()
+    )
+
+
+def _code_counts(column) -> list[tuple[int, int]]:
+    """``(code, count)`` pairs of one code column (order irrelevant)."""
+    if _np is not None and len(column) >= _NUMPY_MIN_TOKENS:
+        codes, counts = _np.unique(
+            _np.frombuffer(column, dtype=_np.int64), return_counts=True
+        )
+        return list(zip(map(int, codes), map(int, counts)))
+    counts: dict[int, int] = {}
+    for code in column:
+        counts[code] = counts.get(code, 0) + 1
+    return list(counts.items())
+
+
 def _minhash(token_hashes: list[int], params: IndexParams) -> tuple[int, ...]:
     """Min-hash signature of a token-hash multiset (set semantics on hashes)."""
     if not token_hashes:
         return (EMPTY_SLOT,) * params.num_perms
     distinct = set(token_hashes)
+    if _np is not None and len(distinct) >= _NUMPY_MIN_TOKENS:
+        return _minhash_numpy(distinct, params)
     signature = []
     for a, b in params.coefficients():
         signature.append(
             min((a * h + b) % _MERSENNE_PRIME for h in distinct)
         )
+    return tuple(signature)
+
+
+def _minhash_numpy(distinct: set[int], params: IndexParams) -> tuple[int, ...]:
+    """Vectorized min-hash, bit-exact with the pure loop.
+
+    ``(a*h + b) mod p`` with ``p = 2^61 - 1`` cannot be computed directly
+    in uint64 (``a*h`` overflows), so the product is assembled from 31-bit
+    limbs using ``2^61 ≡ 1 (mod p)``:
+
+        a*h = a_hi*h_hi*2^62 + (a_hi*h_lo + a_lo*h_hi)*2^31 + a_lo*h_lo
+        2^62 ≡ 2,   m*2^31 ≡ (m >> 30) + (m & (2^30-1)) * 2^31
+
+    Every intermediate stays below 2^64 (terms are < 2^62 each), so the
+    congruence is exact and one final ``% p`` recovers the value.
+    """
+    h = _np.fromiter(distinct, dtype=_np.uint64, count=len(distinct))
+    p = _np.uint64(_MERSENNE_PRIME)
+    h = h % p
+    one = _np.uint64(1)
+    shift31 = _np.uint64(31)
+    shift30 = _np.uint64(30)
+    mask31 = _np.uint64((1 << 31) - 1)
+    mask30 = _np.uint64((1 << 30) - 1)
+    h_hi = h >> shift31
+    h_lo = h & mask31
+    signature = []
+    for a, b in params.coefficients():
+        a_hi = _np.uint64(a >> 31)
+        a_lo = _np.uint64(a & ((1 << 31) - 1))
+        t1 = (a_hi * h_hi) << one
+        mid = a_hi * h_lo + a_lo * h_hi
+        t2 = (mid >> shift30) + ((mid & mask30) << shift31)
+        t3 = a_lo * h_lo
+        total = (t1 + t2 + t3) % p
+        signature.append(int(((total + _np.uint64(b)) % p).min()))
     return tuple(signature)
 
 

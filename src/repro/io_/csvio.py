@@ -23,6 +23,7 @@ from typing import Iterable, TextIO
 
 from ..core.errors import FormatError
 from ..core.instance import Instance
+from ..core.schema import RelationSchema
 from ..core.values import LabeledNull, Value, is_null
 from ..runtime.faults import fault_checkpoint
 
@@ -189,9 +190,18 @@ def read_csv(
                     for index, cell in enumerate(row)
                 ]
 
-        return Instance.from_rows(
-            relation_name, header, decoded_rows(), name=name,
-            id_prefix=id_prefix,
+        # Bulk ingest goes through the columnar constructor: cells are
+        # decoded once into per-attribute columns, and the instance arrives
+        # with its columnar view already built and cached.  The schema is
+        # built first so a bad header (duplicate names) raises before any
+        # data row is consumed, as the row-wise path did.
+        schema = RelationSchema(relation_name, tuple(header))
+        columns: list[list[Value]] = [[] for _ in header]
+        for decoded in decoded_rows():
+            for index, value in enumerate(decoded):
+                columns[index].append(value)
+        return Instance.from_columns(
+            schema, columns, name=name, id_prefix=id_prefix
         )
 
     if isinstance(source, (str, Path)):

@@ -33,6 +33,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from ..algorithms.signature import SignatureIndex
+from ..core.columnar import ColumnarInstance
 from ..core.instance import Instance, prepare_side
 from ..core.values import is_null
 from ..obs.metrics import counter_inc
@@ -57,6 +58,9 @@ def instance_fingerprint(instance: Instance) -> str:
     >>> instance_fingerprint(a) == instance_fingerprint(b)
     True
     """
+    view = instance._columnar
+    if view is not None and not view.overrides:
+        return _fingerprint_columnar(view)
     digest = hashlib.sha256()
     digest.update(repr(instance.name).encode())
     null_numbers: dict[str, int] = {}
@@ -78,14 +82,57 @@ def instance_fingerprint(instance: Instance) -> str:
     return digest.hexdigest()
 
 
+def _fingerprint_columnar(view: ColumnarInstance) -> str:
+    """Fast lane of :func:`instance_fingerprint` over a cached columnar view.
+
+    Byte-identical to the object path: the per-cell ``repr`` is computed
+    once per distinct constant code, and the columnar null codes are
+    assigned in the exact first-occurrence scan order the object path
+    numbers nulls in, so ``-code - 1`` *is* the canonical null number.
+    Only exact views qualify (``overrides`` would change a cell's repr).
+    """
+    digest = hashlib.sha256()
+    digest.update(repr(view.name).encode())
+    decode = view.decode
+    const_bytes: dict[int, bytes] = {}
+    for crel in view.relations.values():
+        digest.update(b"\x00R")
+        digest.update(repr(crel.schema.name).encode())
+        digest.update(repr(crel.schema.attributes).encode())
+        columns = crel.columns
+        arity = crel.schema.arity
+        for row in range(crel.n_rows):
+            digest.update(b"\x00T")
+            for position in range(arity):
+                code = columns[position][row]
+                if code < 0:
+                    digest.update(f"\x00N{-code - 1}".encode())
+                else:
+                    encoded = const_bytes.get(code)
+                    if encoded is None:
+                        value = decode[code]
+                        encoded = (
+                            f"\x00C{type(value).__name__}:{value!r}".encode()
+                        )
+                        const_bytes[code] = encoded
+                    digest.update(encoded)
+    return digest.hexdigest()
+
+
 @dataclass(frozen=True)
 class PreparedSide:
-    """One instance prepared for one side of comparisons, plus its index."""
+    """One instance prepared for one side of comparisons, plus its index.
+
+    ``columnar`` is the prepared instance's cached columnar view (built at
+    cache-fill time), so every consumer of a cache entry — sketching,
+    fingerprinting, compatibility — gets the array form for free.
+    """
 
     fingerprint: str
     side: str  # "left" | "right"
     instance: Instance
     index: SignatureIndex
+    columnar: ColumnarInstance
 
 
 class SignatureCache:
@@ -138,6 +185,7 @@ class SignatureCache:
             side=side,
             instance=prepared,
             index=SignatureIndex.build(prepared),
+            columnar=prepared.columns(),
         )
         self._entries[key] = entry
         if len(self._entries) > self.max_entries:
