@@ -64,6 +64,13 @@ from .mappings.instance_match import InstanceMatch
 from .mappings.tuple_mapping import TupleMapping
 from .mappings.value_mapping import ValueMapping
 from .comparator import Comparator
+from .delta import (
+    DeltaBatch,
+    DeltaSession,
+    SketchMaintainer,
+    TupleOp,
+    UpdateReport,
+)
 from .index import IndexParams, RefinePolicy, SimilarityIndex
 from .obs import (
     MetricsRegistry,
@@ -288,6 +295,8 @@ __all__ = [
     "ComparisonResult",
     "DEFAULT_LAMBDA",
     "DEFAULT_NODE_BUDGET",
+    "DeltaBatch",
+    "DeltaSession",
     "ExactOptions",
     "Executor",
     "FaultPlan",
@@ -303,7 +312,10 @@ __all__ = [
     "SimilarityIndex",
     "SignatureIndex",
     "SignatureOptions",
+    "SketchMaintainer",
     "Tracer",
+    "TupleOp",
+    "UpdateReport",
     "WorkerLimits",
     "collect_metrics",
     "collect_profile",

@@ -29,6 +29,7 @@ finds nothing left to do), functional (Case 3), fully injective (Case 4).
 
 from __future__ import annotations
 
+import bisect
 import time
 from typing import Iterable, Sequence
 
@@ -176,6 +177,204 @@ class SignatureIndex:
             == sum(1 for _ in instance.relation(name))
             for name in names
         )
+
+
+class _MutableRelationSignatures:
+    """Live, editable counterpart of :class:`_RelationSignatures`.
+
+    Buckets are kept as rank-sorted lists so that materialization
+    reproduces the *cold-build* bucket order exactly: ranks follow the
+    relation's insertion order, updates keep their rank (an in-place
+    replacement, matching how :meth:`DeltaBatch.apply
+    <repro.delta.DeltaBatch.apply>` preserves tuple positions), and
+    inserts take fresh ranks at the tail.
+    """
+
+    __slots__ = (
+        "schema",
+        "buckets",
+        "pattern_counts",
+        "probe",
+        "rank",
+        "next_rank",
+    )
+
+    def __init__(self, schema) -> None:
+        self.schema = schema
+        self.buckets: dict[SignatureKey, list[tuple[int, Tuple]]] = {}
+        self.pattern_counts: dict[frozenset[str], int] = {}
+        self.probe: list[tuple[int, str, Tuple]] = []
+        self.rank: dict[str, int] = {}
+        self.next_rank = 0
+
+    def insert(self, t: Tuple) -> None:
+        if t.tuple_id in self.rank:
+            raise ValueError(
+                f"tuple {t.tuple_id!r} already indexed in relation "
+                f"{self.schema.name!r}"
+            )
+        rank = self.next_rank
+        self.next_rank += 1
+        self.rank[t.tuple_id] = rank
+        self._insert_structures(t, rank)
+
+    def _insert_structures(self, t: Tuple, rank: int) -> None:
+        key = maximal_signature(t)
+        bucket = self.buckets.setdefault(key, [])
+        bisect.insort(bucket, (rank, t))
+        pattern = frozenset(t.constant_attributes())
+        self.pattern_counts[pattern] = self.pattern_counts.get(pattern, 0) + 1
+        bisect.insort(self.probe, (-t.constant_count(), t.tuple_id, t))
+
+    def _remove_structures(self, t: Tuple, rank: int) -> None:
+        key = maximal_signature(t)
+        bucket = self.buckets.get(key)
+        if bucket is None:
+            raise ValueError(
+                f"tuple {t.tuple_id!r} not found under its signature in "
+                f"relation {self.schema.name!r}"
+            )
+        i = bisect.bisect_left(bucket, (rank,))
+        if i >= len(bucket) or bucket[i][0] != rank:
+            raise ValueError(
+                f"tuple {t.tuple_id!r} missing from its signature bucket "
+                f"in relation {self.schema.name!r}"
+            )
+        bucket.pop(i)
+        if not bucket:
+            del self.buckets[key]
+        pattern = frozenset(t.constant_attributes())
+        count = self.pattern_counts.get(pattern, 0)
+        if count <= 1:
+            self.pattern_counts.pop(pattern, None)
+        else:
+            self.pattern_counts[pattern] = count - 1
+        probe_key = (-t.constant_count(), t.tuple_id)
+        j = bisect.bisect_left(self.probe, probe_key)
+        if j >= len(self.probe) or self.probe[j][:2] != probe_key:
+            raise ValueError(
+                f"tuple {t.tuple_id!r} missing from the probe order of "
+                f"relation {self.schema.name!r}"
+            )
+        self.probe.pop(j)
+
+    def delete(self, t: Tuple) -> None:
+        try:
+            rank = self.rank.pop(t.tuple_id)
+        except KeyError:
+            raise ValueError(
+                f"tuple {t.tuple_id!r} not indexed in relation "
+                f"{self.schema.name!r}"
+            ) from None
+        self._remove_structures(t, rank)
+
+    def replace(self, old: Tuple, new: Tuple) -> None:
+        if old.tuple_id != new.tuple_id:
+            raise ValueError("replace requires matching tuple ids")
+        rank = self.rank.get(old.tuple_id)
+        if rank is None:
+            raise ValueError(
+                f"tuple {old.tuple_id!r} not indexed in relation "
+                f"{self.schema.name!r}"
+            )
+        self._remove_structures(old, rank)
+        self._insert_structures(new, rank)
+
+    def materialize(self) -> _RelationSignatures:
+        return _RelationSignatures(
+            sigmap={
+                key: tuple(t for _, t in bucket)
+                for key, bucket in self.buckets.items()
+            },
+            patterns=tuple(
+                sorted(
+                    self.pattern_counts, key=lambda p: (-len(p), sorted(p))
+                )
+            ),
+            probe_order=tuple(t for _, _, t in self.probe),
+        )
+
+
+class MutableSignatureIndex(SignatureIndex):
+    """A :class:`SignatureIndex` that can be patched under a delta batch.
+
+    Instead of invalidating and rebuilding the whole index when its
+    instance evolves, individual tuples can be inserted, deleted, or
+    replaced; the (lazily re-materialized) structures are *structurally
+    identical* to a cold :meth:`SignatureIndex.build` of the post-edit
+    instance — same buckets in the same order, same pattern order, same
+    probe order (regression-tested in ``tests/delta/test_signature_delta``).
+
+    Drop-in compatible with ``signature_compare``'s ``left_index`` /
+    ``right_index`` parameters.
+    """
+
+    __slots__ = ("_mutable",)
+
+    def __init__(self, mutable: dict[str, _MutableRelationSignatures]) -> None:
+        super().__init__({})
+        self._mutable = mutable
+
+    @classmethod
+    def build(cls, instance: Instance) -> "MutableSignatureIndex":
+        """Index every relation of ``instance``, in editable form."""
+        mutable: dict[str, _MutableRelationSignatures] = {}
+        for relation in instance.relations():
+            state = _MutableRelationSignatures(relation.schema)
+            mutable[relation.schema.name] = state
+            for t in relation:
+                state.insert(t)
+        return cls(mutable)
+
+    def relation(self, name: str) -> _RelationSignatures:
+        cached = self._relations.get(name)
+        if cached is None:
+            cached = self._mutable[name].materialize()
+            self._relations[name] = cached
+        return cached
+
+    def matches(self, instance: Instance) -> bool:
+        names = set(instance.schema.relation_names())
+        if names != set(self._mutable):
+            return False
+        return all(
+            len(self._mutable[name].rank)
+            == sum(1 for _ in instance.relation(name))
+            for name in names
+        )
+
+    def insert_tuple(self, t: Tuple) -> None:
+        """Index a newly inserted tuple."""
+        self._mutable[t.relation.name].insert(t)
+        self._relations.pop(t.relation.name, None)
+
+    def delete_tuple(self, t: Tuple) -> None:
+        """Drop a deleted tuple (matched by id; values drive bucket lookup)."""
+        self._mutable[t.relation.name].delete(t)
+        self._relations.pop(t.relation.name, None)
+
+    def replace_tuple(self, old: Tuple, new: Tuple) -> None:
+        """Re-index an updated tuple in place, keeping its position."""
+        self._mutable[old.relation.name].replace(old, new)
+        self._relations.pop(old.relation.name, None)
+
+    def apply_batch(self, batch, new_instance: Instance) -> None:
+        """Patch the index under a delta batch.
+
+        ``new_instance`` is the post-batch instance (inserted/updated
+        tuple objects are taken from it, so the index shares them).
+        """
+        for op in batch:
+            schema = new_instance.schema.relation(op.relation)
+            if op.kind == "insert":
+                self.insert_tuple(new_instance.get_tuple(op.tuple_id))
+            elif op.kind == "delete":
+                self.delete_tuple(Tuple(op.tuple_id, schema, op.old_values))
+            else:
+                self.replace_tuple(
+                    Tuple(op.tuple_id, schema, op.old_values),
+                    new_instance.get_tuple(op.tuple_id),
+                )
 
 
 # -- columnar signature building --------------------------------------------

@@ -293,6 +293,22 @@ def _add_index_parser(subparsers) -> None:
     )
     add.add_argument("store", help="existing index store directory")
     add.add_argument("inputs", nargs="+", metavar="CSV", help="tables to add")
+    add.add_argument(
+        "--update", action="store_true",
+        help=(
+            "allow re-adding known table names: the new content is "
+            "diffed against the stored instance and the sketch/LSH "
+            "state is repaired in place (delta maintenance)"
+        ),
+    )
+    add.add_argument(
+        "--json", action="store_true",
+        help=(
+            "emit one update report per table as JSON (what was "
+            "inserted/deleted/updated, sketch columns repaired vs "
+            "rebuilt, min-hash slots patched, LSH buckets moved)"
+        ),
+    )
 
     search = actions.add_parser(
         "search", help="rank indexed tables against a query CSV"
@@ -804,12 +820,27 @@ def _run_index(args, parser) -> int:
 
         if args.index_command == "add":
             index = SimilarityIndex.load(args.store)
+            reports = []
             for path in args.inputs:
-                index.add(path, _read_index_table(args, path, path))
-            print(
-                f"added {len(args.inputs)} tables "
-                f"({len(index)} total) -> {args.store}"
-            )
+                table = _read_index_table(args, path, path)
+                if args.update and path in index:
+                    reports.append(index.update(path, table))
+                else:
+                    reports.append(index.add(path, table))
+            if args.json:
+                print(json.dumps(
+                    {
+                        "store": args.store,
+                        "tables": len(index),
+                        "updates": [report.as_dict() for report in reports],
+                    },
+                    indent=2, sort_keys=True,
+                ))
+            else:
+                print(
+                    f"added {len(args.inputs)} tables "
+                    f"({len(index)} total) -> {args.store}"
+                )
             return 0
 
         index = SimilarityIndex.load(args.store)

@@ -26,6 +26,7 @@ scripts, but sessions that compare more than once should hold a
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Iterable, Sequence
 
 from .algorithms.dispatch import run_algorithm
@@ -111,6 +112,11 @@ class Comparator:
         self.retry = retry
         self.fault_plan = fault_plan
         self.out = out
+        # Live delta sessions keyed by id() of their latest result; the
+        # weakref lets a session die with the result chain it serves.
+        self._delta_sessions: dict[
+            int, tuple["weakref.ref[ComparisonResult]", object]
+        ] = {}
 
     def compare(self, left: Instance, right: Instance) -> ComparisonResult:
         """Compare one pair in-process, through the session cache."""
@@ -226,6 +232,91 @@ class Comparator:
             fault_pairs=fault_pairs,
             out=self.out,
         )
+
+    # -- delta-aware comparison ------------------------------------------
+
+    def delta_session(
+        self,
+        left: Instance,
+        right: Instance,
+        *,
+        options: MatchOptions | None = None,
+        align_preference: bool = True,
+        params=None,
+        fallback_fraction: float | None = None,
+    ):
+        """Open a warm :class:`~repro.delta.DeltaSession` for this pair.
+
+        The instances are used **as-is** (no preparation): delta batches
+        reference the caller's tuple ids, so the ids must stay stable.
+        The instances must already be comparable (disjoint tuple ids and
+        null labels) — prepare them once with
+        :func:`repro.core.instance.prepare_for_comparison` if needed and
+        keep expressing batches against the prepared right instance.
+
+        The session's initial result is registered with this comparator,
+        so ``compare_delta(session.last_result, batch)`` continues it.
+        """
+        from .delta.engine import DEFAULT_FALLBACK_FRACTION, DeltaSession
+
+        session = DeltaSession(
+            left,
+            right,
+            self.options if options is None else options,
+            align_preference=align_preference,
+            params=params,
+            fallback_fraction=(
+                DEFAULT_FALLBACK_FRACTION
+                if fallback_fraction is None
+                else fallback_fraction
+            ),
+        )
+        self._register_delta(session.last_result, session)
+        return session
+
+    def compare_delta(self, prev_result: ComparisonResult, batch):
+        """Re-compare after a :class:`~repro.delta.DeltaBatch` warm.
+
+        ``batch`` mutates the *right* instance of ``prev_result``'s match
+        (ops reference that instance's tuple ids).  When ``prev_result``
+        came from this comparator's delta machinery the live session is
+        reused; otherwise the match is replayed into a fresh session
+        first (no greedy re-run either way).
+
+        Returns a result with ``algorithm == "signature-delta"`` whose
+        ``stats["staleness_bound"]`` certifies how far the warm answer
+        can trail a cold re-comparison; ``stats["certified_exact"]``
+        flags a zero bound.
+        """
+        from .delta.engine import DeltaSession
+
+        session = self._live_delta_session(prev_result)
+        if session is None:
+            session = DeltaSession.from_result(prev_result)
+        result = session.advance(batch)
+        self._register_delta(result, session)
+        return result
+
+    def _register_delta(self, result: ComparisonResult, session) -> None:
+        self._purge_delta_sessions()
+        self._delta_sessions[id(result)] = (weakref.ref(result), session)
+
+    def _live_delta_session(self, result: ComparisonResult):
+        entry = self._delta_sessions.get(id(result))
+        if entry is None:
+            return None
+        ref, session = entry
+        if ref() is not result or session.last_result is not result:
+            # id() reuse after GC, or the session moved past this result.
+            del self._delta_sessions[id(result)]
+            return None
+        return session
+
+    def _purge_delta_sessions(self) -> None:
+        dead = [key for key, (ref, _) in self._delta_sessions.items()
+                if ref() is None]
+        for key in dead:
+            del self._delta_sessions[key]
 
     def cache_stats(self) -> dict:
         """The session cache's counters (entries/hits/misses/hit_rate)."""

@@ -273,6 +273,52 @@ class ColumnarInstance:
             return self.null_values[null_index(code)]
         return self.decode[code]
 
+    # -- in-place maintenance ------------------------------------------------
+
+    def try_append(self, t: Tuple) -> bool:
+        """Patch the view in place for a single-tuple append, when lossless.
+
+        Returns ``True`` when every value of ``t`` is already covered by
+        the decode tables with *exact* reconstruction — then the patched
+        view is structurally identical to a cold rebuild of the grown
+        instance (regression-tested).  Returns ``False`` (leaving the
+        view untouched) when any value would need a fresh code, a fresh
+        null label, or an override entry: fresh codes are assigned in
+        first-occurrence scan order, which an append in the middle of a
+        multi-relation scan cannot reproduce.
+        """
+        crel = self.relations.get(t.relation.name)
+        if crel is None or crel.schema.attributes != t.relation.attributes:
+            return False
+        codes: list[int] = []
+        for value in t.values:
+            if is_null(value):
+                code = self.null_codes.get(value.label)
+                if code is None:
+                    return False
+            else:
+                try:
+                    code = self.value_codes.get(value)
+                except TypeError:  # unhashable: the coder would fail too
+                    return False
+                if code is None:
+                    return False
+                representative = self.decode[code]
+                if representative is not value:
+                    kind = type(value)
+                    if type(representative) is not kind:
+                        return False  # would need an override entry
+                    if kind not in _REPR_SAFE_TYPES and repr(
+                        representative
+                    ) != repr(value):
+                        return False
+            codes.append(code)
+        for position, code in enumerate(codes):
+            crel.columns[position].append(code)
+        crel.tuple_ids = crel.tuple_ids + (t.tuple_id,)
+        crel._matrix = None
+        return True
+
     # -- back to the object model ------------------------------------------
 
     def to_instance(self, name: str | None = None) -> "Instance":

@@ -101,3 +101,12 @@ class ChaseError(ReproError):
 
 class RepairError(ReproError):
     """A data-repair operation failed (e.g. unknown repair system name)."""
+
+
+class DeltaError(ReproError):
+    """A delta batch is malformed or does not apply to its base instance.
+
+    Raised when an operation's precondition fails (inserting an existing
+    tuple id, deleting a missing one, recorded old values disagreeing with
+    the instance) or when two batches cannot be composed.
+    """

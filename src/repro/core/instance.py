@@ -233,7 +233,11 @@ class Instance:
             )
         self._relations[t.relation.name].add(t)
         self._ids[t.tuple_id] = t.relation.name
-        self._columnar = None
+        view = self._columnar
+        if view is not None and not view.try_append(t):
+            # The append needs a fresh code / null label / override, which
+            # only a cold first-occurrence rescan can assign consistently.
+            self._columnar = None
 
     def add_row(
         self, relation_name: str, tuple_id: str, values: Sequence[Value]
@@ -248,10 +252,14 @@ class Instance:
     def columns(self):
         """The cached columnar view of this instance.
 
-        Built on first access (one pass over all cells) and invalidated by
-        :meth:`add`; see :mod:`repro.core.columnar` for the representation.
-        Mutating relations directly (bypassing :meth:`add`) does not
-        invalidate the cache.
+        Built on first access (one pass over all cells); see
+        :mod:`repro.core.columnar` for the representation.  :meth:`add`
+        patches the cached view in place when the appended tuple's values
+        are already covered by the decode tables
+        (:meth:`ColumnarInstance.try_append
+        <repro.core.columnar.ColumnarInstance.try_append>`) and discards
+        it otherwise.  Mutating relations directly (bypassing
+        :meth:`add`) does not invalidate the cache.
         """
         view = self._columnar
         if view is None:

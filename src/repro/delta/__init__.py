@@ -1,0 +1,57 @@
+"""``repro.delta`` — incremental, delta-aware comparison and maintenance.
+
+The package answers "the instance changed a little; what now?" without
+re-running anything from scratch:
+
+* :class:`DeltaBatch` / :class:`TupleOp` — a validated, composable,
+  invertible batch of tuple inserts/deletes/updates against one
+  instance (:mod:`repro.delta.batch`);
+* :class:`SketchMaintainer` — keeps an instance's
+  :class:`~repro.index.sketch.InstanceSketch` (column statistics and
+  min-hash) exact under a batch, repairing min-hash slots in place and
+  falling back to targeted rebuilds only when a retired token was a
+  slot's minimum (:mod:`repro.delta.maintenance`);
+* :class:`DeltaSession` — warm-started ``compare_delta``: live greedy
+  matching state that re-scores only the disturbed region and certifies
+  a staleness bound on every answer (:mod:`repro.delta.engine`);
+* :class:`UpdateReport` — the observable outcome of one index
+  ``add``/``update`` (:mod:`repro.delta.report`).
+
+Entry points elsewhere: :meth:`repro.Comparator.compare_delta`,
+:meth:`repro.index.SimilarityIndex.update_delta`, and
+:func:`repro.versioning.batch_from_diff`.
+"""
+
+from .batch import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_UPDATE,
+    DeltaBatch,
+    TupleOp,
+    batch_from_wal_record,
+)
+from .engine import DEFAULT_FALLBACK_FRACTION, DeltaSession
+from .maintenance import SketchMaintainer, SketchRepair
+from .report import (
+    MODE_ADDED,
+    MODE_INCREMENTAL,
+    MODE_REBUILT,
+    UpdateReport,
+)
+
+__all__ = [
+    "DeltaBatch",
+    "TupleOp",
+    "OP_INSERT",
+    "OP_DELETE",
+    "OP_UPDATE",
+    "batch_from_wal_record",
+    "DeltaSession",
+    "DEFAULT_FALLBACK_FRACTION",
+    "SketchMaintainer",
+    "SketchRepair",
+    "UpdateReport",
+    "MODE_ADDED",
+    "MODE_INCREMENTAL",
+    "MODE_REBUILT",
+]

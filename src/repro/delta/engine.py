@@ -1,0 +1,826 @@
+"""Warm-started delta-aware comparison (the ``compare_delta`` engine).
+
+A :class:`DeltaSession` keeps the full greedy matching state of one
+left/right comparison alive — the growing :class:`~repro.algorithms.unifier.Unifier`,
+the committed tuple mapping, per-pair scores, and a mutable signature
+index over the evolving right side — so that after a
+:class:`~repro.delta.batch.DeltaBatch` mutates the right instance, only
+the disturbed part of the match is recomputed:
+
+* pairs whose right tuple was deleted or updated are dropped;
+* the freed left tuples and the new/updated right tuples are re-probed
+  through the signature phases and a *restricted* completion step;
+* pair scores are repaired incrementally: a committed pair's score only
+  depends on the value-mapping classes of its null cells, so the session
+  mirrors the unifier's class structure in a lightweight union-find and
+  re-scores exactly the pairs whose classes merged or whose class lost or
+  gained a right-side null occurrence.
+
+The warm result is always a *valid* instance match of the current
+instances — ``score_match`` of the returned match reproduces the reported
+similarity bit-for-bit — but the greedy search is restricted to the
+disturbed region, so it may trail the cold greedy optimum.  Every result
+therefore carries a certified ``staleness_bound``: the admissible sketch
+bound (:func:`~repro.index.sketch.similarity_upper_bound`) minus the warm
+similarity, an upper bound on how far *any* rematch (cold greedy or even
+the exact algorithm) can pull ahead.  A bound of zero certifies the warm
+answer as exact.
+
+Pair-score algebra
+------------------
+For a committed pair every cell falls into one of three shapes, scored
+straight from the class structure (``L``/``R`` = number of *distinct*
+left/right nulls of the cell's unifier class that occur in the current
+instances — precisely the fiber sizes of
+:class:`~repro.scoring.noninjectivity.NonInjectivityMeasure`):
+
+* constant/constant: ``1.0`` (committed pairs never conflict);
+* null/null (one shared class): ``2 / (L + R)``;
+* null/constant: ``2λ / (L + 1)`` or ``2λ / (1 + R)``.
+
+Deletions shrink ``R`` for surviving classes, merges grow ``L``/``R`` —
+both are tracked as *dirty classes* and their incident pairs re-scored.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+from ..algorithms.result import ComparisonResult
+from ..algorithms.signature import (
+    MutableSignatureIndex,
+    SignatureIndex,
+    _find_signature_matches,
+    _MatchState,
+    _relation_order,
+)
+from ..algorithms.compatibility import compatible_tuples
+from ..core.errors import DeltaError
+from ..core.instance import Instance
+from ..core.tuples import Tuple
+from ..core.values import LabeledNull, is_null
+from ..index.sketch import IndexParams, InstanceSketch, similarity_upper_bound
+from ..mappings.constraints import MatchOptions
+from ..scoring.sizes import normalization_denominator
+from .batch import OP_DELETE, OP_INSERT, DeltaBatch
+from .maintenance import SketchMaintainer
+
+_EXACTNESS_EPS = 1e-12
+"""Staleness bounds at or below this are reported as certified exact."""
+
+DEFAULT_FALLBACK_FRACTION = 0.5
+"""Batches touching more than this fraction of right tuples re-run cold."""
+
+MODE_NOOP = "noop"
+MODE_COLD = "cold"
+MODE_WARM_START = "warm-start"
+MODE_INCREMENTAL = "incremental"
+MODE_COLD_FALLBACK = "cold-fallback"
+
+
+class _ClassTracker:
+    """Union-find mirror of the unifier's committed value-mapping classes.
+
+    The unifier itself cannot answer "which pairs touch this class" or
+    "how many right-side nulls of this class are still present", so the
+    session maintains this shadow structure: for every class root, the
+    left nulls, the right nulls, and the committed pairs incident to the
+    class.  Unions merge small-into-large, keeping total set movement
+    ``O(n log n)``.
+    """
+
+    __slots__ = ("_parent", "_size", "_left", "_right", "_pairs")
+
+    def __init__(self) -> None:
+        self._parent: dict = {}
+        self._size: dict = {}
+        self._left: dict = {}
+        self._right: dict = {}
+        self._pairs: dict = {}
+
+    def __contains__(self, value) -> bool:
+        return value in self._parent
+
+    def add(self, value, side: str | None):
+        """Ensure ``value`` is tracked; ``side`` is its null side or None."""
+        if value in self._parent:
+            return self.find(value)
+        self._parent[value] = value
+        self._size[value] = 1
+        self._left[value] = {value} if side == "left" else set()
+        self._right[value] = {value} if side == "right" else set()
+        self._pairs[value] = set()
+        return value
+
+    def find(self, value):
+        # Identity comparisons throughout: values can be NaN (equality-
+        # hostile) and dict lookups already canonicalize equal values to
+        # the stored key object, so ``is`` against the stored parent is
+        # both safe and exact.
+        parent = self._parent
+        root = value
+        while True:
+            above = parent[root]
+            if above is root:
+                break
+            root = above
+        while True:
+            above = parent[value]
+            if above is root:
+                break
+            parent[value] = root
+            value = above
+        return root
+
+    def union(self, a, b):
+        """Merge the classes of ``a`` and ``b``.
+
+        Returns the surviving root when a real merge happened, ``None``
+        when the two values were already in one class.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra is rb:
+            return None
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size.pop(rb)
+        self._left[ra] |= self._left.pop(rb)
+        self._right[ra] |= self._right.pop(rb)
+        self._pairs[ra] |= self._pairs.pop(rb)
+        return ra
+
+    def attach_pair(self, root, pair: tuple[str, str]) -> None:
+        self._pairs[root].add(pair)
+
+    def pairs_of(self, root) -> set:
+        return self._pairs[root]
+
+    def left_count(self, root) -> int:
+        return len(self._left[root])
+
+    def right_nulls(self, root) -> set:
+        return self._right[root]
+
+
+class _ObservedState(_MatchState):
+    """A :class:`_MatchState` that mirrors committed pairs into a session.
+
+    ``try_add`` replicates the parent's guard sequence (blocked →
+    duplicate → admissible → unify) so the session only ever observes
+    pairs that actually committed; failed attempts roll the unifier back
+    and must leave the class tracker untouched.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.session: "DeltaSession | None" = None
+
+    def try_add(self, t: Tuple, t_prime: Tuple, policy: str = "any") -> bool:
+        session = self.session
+        if session is None:
+            return super().try_add(t, t_prime, policy)
+        if self.blocked(t.tuple_id, t_prime.tuple_id):
+            return False
+        if (t.tuple_id, t_prime.tuple_id) in self.mapping:
+            return False
+        if not self.admissible(t, t_prime, policy):
+            return False
+        if not self.unifier.try_unify_tuples(t, t_prime):
+            return False
+        self.mapping.add(t.tuple_id, t_prime.tuple_id)
+        self.matched_left.add(t.tuple_id)
+        self.matched_right.add(t_prime.tuple_id)
+        session._observe_pair(t, t_prime)
+        return True
+
+
+class DeltaSession:
+    """Live matching state for one evolving comparison.
+
+    The left instance is fixed; the right instance evolves through
+    :meth:`advance` calls, each applying one :class:`DeltaBatch` and
+    returning a fresh :class:`ComparisonResult` with ``algorithm
+    == "signature-delta"`` and delta-specific stats (``delta_mode``,
+    ``staleness_bound``, ``certified_exact``, pair churn counters).
+
+    Construct with :meth:`DeltaSession.cold` to run the full greedy
+    matching once, or :meth:`DeltaSession.from_result` to warm-start from
+    an existing result's match without re-running the greedy search.
+    """
+
+    def __init__(
+        self,
+        left: Instance,
+        right: Instance,
+        options: MatchOptions | None = None,
+        *,
+        align_preference: bool = True,
+        params: IndexParams | None = None,
+        fallback_fraction: float = DEFAULT_FALLBACK_FRACTION,
+        left_index: SignatureIndex | None = None,
+        _defer_matching: bool = False,
+    ) -> None:
+        self._init_core(
+            left,
+            right,
+            options,
+            align_preference=align_preference,
+            params=params,
+            fallback_fraction=fallback_fraction,
+            left_index=left_index,
+        )
+        if not _defer_matching:
+            started = time.perf_counter()
+            self._run_cold_matching()
+            self._rescore_all()
+            self.last_result = self._build_result(
+                started, mode=MODE_COLD, batch=None
+            )
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def cold(
+        cls,
+        left: Instance,
+        right: Instance,
+        options: MatchOptions | None = None,
+        **kwargs,
+    ) -> "DeltaSession":
+        """Run the full signature algorithm once and keep the state warm."""
+        return cls(left, right, options, **kwargs)
+
+    @classmethod
+    def from_result(
+        cls,
+        result: ComparisonResult,
+        *,
+        align_preference: bool = True,
+        params: IndexParams | None = None,
+        fallback_fraction: float = DEFAULT_FALLBACK_FRACTION,
+        left_index: SignatureIndex | None = None,
+    ) -> "DeltaSession":
+        """Warm-start from an existing result's match.
+
+        The committed pairs are replayed through a fresh unifier — the
+        class partition is determined by the pair set alone, so the
+        replay reconstructs the exact value-mapping state without
+        re-running the greedy search.  The result's match must be a
+        valid match of its own instances (any :class:`ComparisonResult`
+        produced by this package qualifies).
+        """
+        match = result.match
+        session = cls(
+            match.left,
+            match.right,
+            result.options,
+            align_preference=align_preference,
+            params=params,
+            fallback_fraction=fallback_fraction,
+            left_index=left_index,
+            _defer_matching=True,
+        )
+        state = session._state
+        for left_id, right_id in sorted(match.m):
+            t = match.left.get_tuple(left_id)
+            t_prime = match.right.get_tuple(right_id)
+            if not state.try_add(t, t_prime, policy="any"):
+                raise DeltaError(
+                    f"cannot replay pair ({left_id}, {right_id}): the "
+                    "previous match is not internally consistent"
+                )
+        session._rescore_all()
+        session.last_result = session._build_result(
+            time.perf_counter(), mode=MODE_WARM_START, batch=None
+        )
+        return session
+
+    def _init_core(
+        self,
+        left: Instance,
+        right: Instance,
+        options: MatchOptions | None,
+        *,
+        align_preference: bool,
+        params: IndexParams | None,
+        fallback_fraction: float,
+        left_index: SignatureIndex | None,
+    ) -> None:
+        if options is None:
+            options = MatchOptions.general()
+        left.assert_comparable_with(right)
+        self.left = left
+        self.right = right
+        self.options = options
+        self.align_preference = align_preference
+        self.params = params if params is not None else IndexParams()
+        self.fallback_fraction = fallback_fraction
+        if left_index is None:
+            left_index = SignatureIndex.build(left)
+        elif not left_index.matches(left):
+            raise DeltaError(
+                "left_index was not built from the left instance"
+            )
+        self._left_index = left_index
+        self._left_ids = left.ids()
+        self._left_nulls = left.vars()
+        self._left_sketch = SketchMaintainer(
+            left, self.params, track_minhash=False
+        ).materialize()
+        self.last_result: ComparisonResult | None = None
+        self._reset_right_state(right)
+        # Relation priority fixed at session start: warm advances only
+        # reorder *within* this cold ordering, keeping runs deterministic.
+        self._relation_priority = {
+            name: position
+            for position, name in enumerate(
+                _relation_order(self._state, self._left_index, self._right_index)
+            )
+        }
+
+    def _reset_right_state(self, right: Instance) -> None:
+        """(Re)build all state that depends on the right instance."""
+        self.right = right
+        self._right_index = MutableSignatureIndex.build(right)
+        self._right_maintainer = SketchMaintainer(
+            right, self.params, track_minhash=False
+        )
+        self._right_sketch = self._right_maintainer.materialize()
+        self._state = _ObservedState(
+            self.left, right, self.options,
+            align_preference=self.align_preference,
+        )
+        self._state.session = self
+        self._tracker = _ClassTracker()
+        self._pairs: dict[tuple[str, str], tuple[Tuple, Tuple]] = {}
+        self._pair_scores: dict[tuple[str, str], float] = {}
+        self._left_scores: dict[str, float] = {}
+        self._right_scores: dict[str, float] = {}
+        self._dirty_roots: set = set()
+        self._new_pairs: set[tuple[str, str]] = set()
+        self._rc_cache: dict = {}
+        self._right_refs: dict[LabeledNull, int] = {}
+        for t in right.tuples():
+            for value in t.values:
+                if is_null(value):
+                    self._right_refs[value] = (
+                        self._right_refs.get(value, 0) + 1
+                    )
+        self.similarity = 0.0
+
+    # -- observation hooks ------------------------------------------------
+
+    def _observe_pair(self, t: Tuple, t_prime: Tuple) -> None:
+        """Mirror one committed pair into the class tracker."""
+        tracker = self._tracker
+        pair = (t.tuple_id, t_prime.tuple_id)
+        self._pairs[pair] = (t, t_prime)
+        self._new_pairs.add(pair)
+        for left_value, right_value in zip(t.values, t_prime.values):
+            left_null = is_null(left_value)
+            right_null = is_null(right_value)
+            if not left_null and not right_null:
+                continue
+            tracker.add(left_value, "left" if left_null else None)
+            tracker.add(right_value, "right" if right_null else None)
+            survivor = tracker.union(left_value, right_value)
+            if survivor is not None:
+                self._dirty_roots.add(survivor)
+            tracker.attach_pair(tracker.find(left_value), pair)
+
+    def _change_ref(self, null: LabeledNull, delta: int) -> None:
+        """Adjust a right null's occurrence count; dirty its class on flips."""
+        refs = self._right_refs
+        before = refs.get(null, 0)
+        after = before + delta
+        if after < 0:
+            raise DeltaError(
+                f"right null {null!r} retired more times than it occurs"
+            )
+        if after:
+            refs[null] = after
+        else:
+            refs.pop(null, None)
+        if (before == 0) != (after == 0) and null in self._tracker:
+            self._dirty_roots.add(self._tracker.find(null))
+
+    # -- scoring ----------------------------------------------------------
+
+    def _right_count(self, root) -> int:
+        cached = self._rc_cache.get(root)
+        if cached is None:
+            refs = self._right_refs
+            cached = sum(
+                1
+                for null in self._tracker.right_nulls(root)
+                if refs.get(null, 0) > 0
+            )
+            self._rc_cache[root] = cached
+        return cached
+
+    def _pair_score(self, t: Tuple, t_prime: Tuple) -> float:
+        """Exact paper pair score from the class structure (module docs)."""
+        lam = self.options.lam
+        tracker = self._tracker
+        total = 0.0
+        for left_value, right_value in zip(t.values, t_prime.values):
+            left_null = is_null(left_value)
+            right_null = is_null(right_value)
+            if not left_null and not right_null:
+                if left_value == right_value:
+                    total += 1.0
+            elif left_null and right_null:
+                root = tracker.find(left_value)
+                total += 2.0 / (
+                    tracker.left_count(root) + self._right_count(root)
+                )
+            elif left_null:
+                root = tracker.find(left_value)
+                total += 2.0 * lam / (tracker.left_count(root) + 1.0)
+            else:
+                root = tracker.find(right_value)
+                total += 2.0 * lam / (1.0 + self._right_count(root))
+        return total
+
+    def _refresh_tuple_scores(
+        self, left_ids: Iterable[str], right_ids: Iterable[str]
+    ) -> None:
+        mapping = self._state.mapping
+        pair_scores = self._pair_scores
+        for left_id in left_ids:
+            image = mapping.image(left_id)
+            if image:
+                self._left_scores[left_id] = sum(
+                    pair_scores[(left_id, right_id)] for right_id in image
+                ) / len(image)
+            else:
+                self._left_scores.pop(left_id, None)
+        for right_id in right_ids:
+            preimage = mapping.preimage(right_id)
+            if preimage:
+                self._right_scores[right_id] = sum(
+                    pair_scores[(left_id, right_id)] for left_id in preimage
+                ) / len(preimage)
+            else:
+                self._right_scores.pop(right_id, None)
+
+    def _recompute_similarity(self) -> float:
+        denominator = normalization_denominator(self.left, self.right)
+        if denominator == 0:
+            self.similarity = 1.0
+            return 1.0
+        numerator = sum(self._left_scores.values()) + sum(
+            self._right_scores.values()
+        )
+        self.similarity = numerator / denominator
+        return self.similarity
+
+    def _rescore_dirty(
+        self, removed_pairs: Sequence[tuple[str, str]]
+    ) -> tuple[int, int]:
+        """Re-score disturbed pairs and refresh affected tuple scores.
+
+        Returns ``(pairs_added, pairs_rescored)``.
+        """
+        self._rc_cache.clear()
+        tracker = self._tracker
+        dirty_pairs = set(self._new_pairs)
+        pairs_added = len(self._new_pairs)
+        for root in self._dirty_roots:
+            dirty_pairs |= tracker.pairs_of(tracker.find(root))
+        self._dirty_roots.clear()
+        self._new_pairs.clear()
+        rescored = 0
+        for pair in dirty_pairs:
+            members = self._pairs.get(pair)
+            if members is None:
+                continue  # the pair was removed this advance
+            self._pair_scores[pair] = self._pair_score(*members)
+            rescored += 1
+        affected_left = {pair[0] for pair in dirty_pairs}
+        affected_right = {pair[1] for pair in dirty_pairs}
+        affected_left.update(pair[0] for pair in removed_pairs)
+        affected_right.update(pair[1] for pair in removed_pairs)
+        self._refresh_tuple_scores(affected_left, affected_right)
+        self._recompute_similarity()
+        return pairs_added, rescored
+
+    def _rescore_all(self) -> None:
+        """Score every committed pair from scratch (cold setup / replay)."""
+        self._rc_cache.clear()
+        self._dirty_roots.clear()
+        self._new_pairs.clear()
+        self._pair_scores = {
+            pair: self._pair_score(*members)
+            for pair, members in self._pairs.items()
+        }
+        self._left_scores = {}
+        self._right_scores = {}
+        mapping = self._state.mapping
+        self._refresh_tuple_scores(
+            mapping.matched_left_ids(), mapping.matched_right_ids()
+        )
+        self._recompute_similarity()
+
+    # -- matching ---------------------------------------------------------
+
+    def _phases(self) -> tuple[str, ...]:
+        return ("zero", "coverage") if self.align_preference else ("any",)
+
+    def _run_cold_matching(self) -> None:
+        """The full signature algorithm, mirroring ``signature_compare``."""
+        state = self._state
+        ordered = _relation_order(state, self._left_index, self._right_index)
+        for policy in self._phases():
+            for name in ordered:
+                left_signatures = self._left_index.relation(name)
+                right_signatures = self._right_index.relation(name)
+                _find_signature_matches(
+                    state, left_signatures.probe_order,
+                    right_signatures.probe_order,
+                    indexed_is_left=True, policy=policy,
+                    indexed_signatures=left_signatures,
+                    probe_signatures=right_signatures,
+                )
+                _find_signature_matches(
+                    state, right_signatures.probe_order,
+                    left_signatures.probe_order,
+                    indexed_is_left=False, policy=policy,
+                    indexed_signatures=right_signatures,
+                    probe_signatures=left_signatures,
+                )
+        for name in ordered:
+            left_pool = self._eligible_left(self.left.relation(name))
+            right_pool = self._eligible_right(self.right.relation(name))
+            self._complete_pairs(left_pool, right_pool)
+
+    def _eligible_left(self, tuples: Iterable[Tuple]) -> list[Tuple]:
+        matched = self._state.matched_left
+        if self.options.left_injective:
+            return [t for t in tuples if t.tuple_id not in matched]
+        return list(tuples)
+
+    def _eligible_right(self, tuples: Iterable[Tuple]) -> list[Tuple]:
+        matched = self._state.matched_right
+        if self.options.right_injective:
+            return [t for t in tuples if t.tuple_id not in matched]
+        return list(tuples)
+
+    def _complete_pairs(
+        self, left_pool: Sequence[Tuple], right_pool: Sequence[Tuple]
+    ) -> int:
+        """One completion sweep, mirroring the cold ``_completion_step``."""
+        state = self._state
+        options = self.options
+        if not left_pool or not right_pool:
+            return 0
+        right_lookup = {t.tuple_id: t for t in right_pool}
+        compatible = compatible_tuples(left_pool, right_pool, right_lookup)
+        policy = "coverage" if self.align_preference else "any"
+        added = 0
+        for t in sorted(
+            left_pool, key=lambda x: (-x.constant_count(), x.tuple_id)
+        ):
+            if options.left_injective and t.tuple_id in state.matched_left:
+                continue
+            candidates = [
+                right_lookup[right_id]
+                for right_id in compatible.get(t.tuple_id, [])
+            ]
+            for t_prime in state.order_candidates(
+                candidates, t, probe_is_right=False
+            ):
+                if state.try_add(t, t_prime, policy):
+                    added += 1
+                    if options.left_injective:
+                        break
+        return added
+
+    # -- delta application ------------------------------------------------
+
+    def _validate_batch(self, batch: DeltaBatch) -> None:
+        """New right values must stay disjoint from the fixed left side."""
+        for op in batch:
+            if op.kind == OP_DELETE:
+                continue
+            if op.kind == OP_INSERT and op.tuple_id in self._left_ids:
+                raise DeltaError(
+                    f"inserted tuple id {op.tuple_id!r} collides with a "
+                    "left-instance id"
+                )
+            for value in op.values:
+                if is_null(value) and value in self._left_nulls:
+                    raise DeltaError(
+                        f"right-side null {value!r} collides with a "
+                        "left-instance null"
+                    )
+
+    def advance(self, batch: DeltaBatch) -> ComparisonResult:
+        """Apply ``batch`` to the right instance and re-score warm.
+
+        Returns a :class:`ComparisonResult` whose match is a valid match
+        of ``(left, new right)`` and whose ``stats["staleness_bound"]``
+        bounds the gap to any rematch honoring the same options.
+        """
+        started = time.perf_counter()
+        if not isinstance(batch, DeltaBatch):
+            raise DeltaError("advance() expects a DeltaBatch")
+        if batch.is_empty:
+            result = self._build_result(started, mode=MODE_NOOP, batch=batch)
+            self.last_result = result
+            return result
+        self._validate_batch(batch)
+        new_right = batch.apply(self.right)
+        right_tuples = len(self.right)
+        if len(batch) > self.fallback_fraction * max(1, right_tuples):
+            return self._cold_fallback(new_right, batch, started)
+
+        # 1. Sketch + signature-index maintenance under the batch.
+        self._right_sketch, _ = self._right_maintainer.apply(
+            batch, fingerprint=False
+        )
+        self._right_index.apply_batch(batch, new_right)
+
+        # 2. Retire pairs of deleted/updated right tuples; track null
+        #    occurrence flips (they change fiber sizes of live classes).
+        state = self._state
+        mapping = state.mapping
+        removed_pairs: list[tuple[str, str]] = []
+        freed_left: set[str] = set()
+        changed_right: dict[str, list[Tuple]] = {}
+        for op in batch:
+            if op.kind != OP_INSERT:
+                right_id = op.tuple_id
+                for left_id in list(mapping.preimage(right_id)):
+                    mapping.remove(left_id, right_id)
+                    pair = (left_id, right_id)
+                    removed_pairs.append(pair)
+                    self._pairs.pop(pair, None)
+                    self._pair_scores.pop(pair, None)
+                    if not mapping.image(left_id):
+                        state.matched_left.discard(left_id)
+                        freed_left.add(left_id)
+                state.matched_right.discard(right_id)
+                for value in op.old_values:
+                    if is_null(value):
+                        self._change_ref(value, -1)
+            if op.kind != OP_DELETE:
+                for value in op.values:
+                    if is_null(value):
+                        self._change_ref(value, +1)
+                changed_right.setdefault(op.relation, []).append(
+                    new_right.get_tuple(op.tuple_id)
+                )
+        self.right = new_right
+        state.right = new_right
+
+        # 3. Re-probe the disturbed region through the signature phases.
+        freed_left_by_rel: dict[str, list[Tuple]] = {}
+        for left_id in freed_left:
+            t = self.left.get_tuple(left_id)
+            freed_left_by_rel.setdefault(t.relation.name, []).append(t)
+        touched = sorted(
+            set(changed_right) | set(freed_left_by_rel),
+            key=lambda name: self._relation_priority.get(name, len(self._relation_priority)),
+        )
+        for policy in self._phases():
+            for name in touched:
+                left_signatures = self._left_index.relation(name)
+                right_signatures = self._right_index.relation(name)
+                probes = changed_right.get(name)
+                if probes:
+                    _find_signature_matches(
+                        state, left_signatures.probe_order, probes,
+                        indexed_is_left=True, policy=policy,
+                        indexed_signatures=left_signatures,
+                    )
+                probes = freed_left_by_rel.get(name)
+                if probes:
+                    _find_signature_matches(
+                        state, right_signatures.probe_order, probes,
+                        indexed_is_left=False, policy=policy,
+                        indexed_signatures=right_signatures,
+                    )
+
+        # 4. Restricted completion: only currently-unmatched tuples are
+        #    pooled (full-pool alignment sweeps are deferred to the
+        #    staleness bound).
+        matched_left = state.matched_left
+        matched_right = state.matched_right
+        for name in touched:
+            changed = [
+                t
+                for t in changed_right.get(name, ())
+                if t.tuple_id not in matched_right
+            ]
+            if changed:
+                left_pool = [
+                    t
+                    for t in self.left.relation(name)
+                    if t.tuple_id not in matched_left
+                ]
+                self._complete_pairs(left_pool, changed)
+            freed = [
+                t
+                for t in freed_left_by_rel.get(name, ())
+                if t.tuple_id not in matched_left
+            ]
+            if freed:
+                right_pool = [
+                    t
+                    for t in self.right.relation(name)
+                    if t.tuple_id not in matched_right
+                ]
+                self._complete_pairs(freed, right_pool)
+
+        # 5. Repair scores and build the warm result.
+        pairs_added, rescored = self._rescore_dirty(removed_pairs)
+        result = self._build_result(
+            started,
+            mode=MODE_INCREMENTAL,
+            batch=batch,
+            pairs_added=pairs_added,
+            pairs_removed=len(removed_pairs),
+            rescored_pairs=rescored,
+        )
+        self.last_result = result
+        return result
+
+    def _cold_fallback(
+        self, new_right: Instance, batch: DeltaBatch, started: float
+    ) -> ComparisonResult:
+        """Rebuild the right-side state and re-run the greedy matching."""
+        self._reset_right_state(new_right)
+        self._run_cold_matching()
+        pairs_added = len(self._new_pairs)
+        self._rescore_all()
+        result = self._build_result(
+            started,
+            mode=MODE_COLD_FALLBACK,
+            batch=batch,
+            pairs_added=pairs_added,
+        )
+        self.last_result = result
+        return result
+
+    # -- results ----------------------------------------------------------
+
+    def staleness_bound(self) -> float:
+        """``min(1, sketch upper bound) - warm similarity``, floored at 0."""
+        upper = min(
+            1.0,
+            similarity_upper_bound(
+                self._left_sketch, self._right_sketch, self.options
+            ),
+        )
+        return max(0.0, upper - self.similarity)
+
+    def _build_result(
+        self,
+        started: float,
+        *,
+        mode: str,
+        batch: DeltaBatch | None,
+        pairs_added: int = 0,
+        pairs_removed: int = 0,
+        rescored_pairs: int = 0,
+    ) -> ComparisonResult:
+        match = self._state.build_match()
+        bound = self.staleness_bound()
+        summary = batch.summary() if batch is not None else {
+            "inserted": 0, "deleted": 0, "updated": 0
+        }
+        stats = {
+            "delta_mode": mode,
+            "staleness_bound": bound,
+            "certified_exact": bound <= _EXACTNESS_EPS,
+            "pairs_added": pairs_added,
+            "pairs_removed": pairs_removed,
+            "rescored_pairs": rescored_pairs,
+            "reused_pairs": len(self._state.mapping) - pairs_added,
+            "ops": summary,
+            "relations_touched": sorted(
+                batch.relations_touched()
+            ) if batch is not None else [],
+        }
+        return ComparisonResult(
+            similarity=self.similarity,
+            match=match,
+            options=self.options,
+            algorithm="signature-delta",
+            stats=stats,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+
+__all__ = [
+    "DeltaSession",
+    "DEFAULT_FALLBACK_FRACTION",
+    "MODE_NOOP",
+    "MODE_COLD",
+    "MODE_WARM_START",
+    "MODE_INCREMENTAL",
+    "MODE_COLD_FALLBACK",
+]

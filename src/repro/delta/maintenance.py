@@ -1,0 +1,425 @@
+"""Incremental sketch and min-hash maintenance under a delta batch.
+
+:class:`SketchMaintainer` keeps the live state behind an
+:class:`~repro.index.sketch.InstanceSketch` — per-column constant
+multisets, null counts, and the count-tracked token multiset feeding the
+min-hash signature — and repairs it in ``O(|batch|)`` instead of
+re-sketching the whole instance:
+
+* **inserts** admit their cell tokens and min-merge the new token hashes
+  into the signature slot-by-slot;
+* **deletes** retire tokens from the per-base occurrence counters.  A
+  retired hash only *dirties* a signature slot when its permuted value
+  equals the slot's current minimum; only dirty slots are recomputed,
+  over the surviving distinct hash set kept in ``_hash_counts`` — never
+  by rescanning the instance;
+* **updates** retire the old cells and admit the new ones (cells whose
+  value is unchanged are skipped).
+
+The maintained sketch is byte-identical to a cold
+:meth:`InstanceSketch.build <repro.index.sketch.InstanceSketch.build>`
+of the post-batch instance (property-tested in
+``tests/delta/test_maintenance.py``): column state is exact arithmetic
+on counts, and the min-hash repair recomputes exactly the slots whose
+minimum could have moved.
+
+``track_minhash=False`` runs a *light* maintainer that keeps only the
+column statistics — enough for
+:func:`~repro.index.sketch.similarity_upper_bound` — skipping all
+per-cell token hashing.  The warm comparison engine
+(:mod:`repro.delta.engine`) uses this mode for its staleness bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.errors import DeltaError
+from ..core.instance import Instance
+from ..core.values import is_null
+from ..index.sketch import (
+    EMPTY_SLOT,
+    _MERSENNE_PRIME,
+    ColumnSketch,
+    IndexParams,
+    InstanceSketch,
+    RelationSketch,
+    _constant_token,
+    _minhash,
+    stable_hash64,
+)
+from ..parallel.cache import instance_fingerprint
+from .batch import OP_DELETE, OP_INSERT, OP_UPDATE, DeltaBatch
+
+_FULL_RECOMPUTE_DIRTY_FRACTION = 0.5
+"""Recompute every slot at once when at least this fraction is dirty."""
+
+
+@dataclass(frozen=True)
+class SketchRepair:
+    """What one :meth:`SketchMaintainer.apply` call actually did.
+
+    ``minhash_slots_patched`` counts slots updated by pure min-merges of
+    admitted hashes (or left untouched); ``minhash_slots_rebuilt`` counts
+    slots whose minimum was retired and had to be recomputed over the
+    surviving token set.  ``full_minhash_rebuild`` is set when the dirty
+    fraction made a whole-signature recompute cheaper than per-slot
+    repair — still over the count-tracked hash set, never the instance.
+    """
+
+    tokens_added: int = 0
+    tokens_removed: int = 0
+    relations_touched: tuple[str, ...] = ()
+    columns_touched: tuple[tuple[str, str], ...] = ()
+    minhash_slots_patched: int = 0
+    minhash_slots_rebuilt: int = 0
+    full_minhash_rebuild: bool = False
+
+    @property
+    def columns_repaired(self) -> int:
+        return len(self.columns_touched)
+
+
+class _ColumnState:
+    """Mutable counterpart of :class:`ColumnSketch`."""
+
+    __slots__ = ("constants", "nulls")
+
+    def __init__(self) -> None:
+        self.constants: dict[int, int] = {}
+        self.nulls = 0
+
+
+class _RelationState:
+    """Mutable counterpart of :class:`RelationSketch`."""
+
+    __slots__ = ("attributes", "tuple_count", "columns")
+
+    def __init__(self, attributes: tuple[str, ...]) -> None:
+        self.attributes = attributes
+        self.tuple_count = 0
+        self.columns: dict[str, _ColumnState] = {
+            a: _ColumnState() for a in attributes
+        }
+
+
+class SketchMaintainer:
+    """Live, incrementally-maintained sketch state for one instance.
+
+    Parameters
+    ----------
+    instance:
+        The base instance; one pass over its cells seeds the state.
+    params:
+        Sketch parameters (fixed for the maintainer's lifetime).
+    track_minhash:
+        When ``False``, skip the token multiset and min-hash entirely
+        (column statistics only — the light mode used for admissible
+        bounds).
+    """
+
+    def __init__(
+        self,
+        instance: Instance,
+        params: IndexParams,
+        *,
+        track_minhash: bool = True,
+    ) -> None:
+        self._params = params
+        self._track_minhash = track_minhash
+        self._touched: dict[int, int] | None = None
+        self._coefficients = params.coefficients() if track_minhash else ()
+        self._relations: dict[str, _RelationState] = {}
+        self._base_counts: dict[str, int] = {}
+        self._hash_counts: dict[int, int] = {}
+        self._token_count = 0
+        self._minhash: list[int] = []
+        # Cache of (type, value) -> (encoded token, stable hash): constant
+        # columns repeat values, and blake2b per cell is the dominant cost.
+        self._token_cache: dict[tuple, tuple[str, int]] = {}
+        for relation in instance.relations():
+            rel_name = relation.schema.name
+            state = _RelationState(relation.schema.attributes)
+            self._relations[rel_name] = state
+            for t in relation:
+                state.tuple_count += 1
+                for attribute, value in zip(state.attributes, t.values):
+                    self._admit(rel_name, state.columns[attribute], attribute, value)
+        if track_minhash:
+            self._minhash = list(
+                _minhash(list(self._hash_counts), params)
+            )
+
+    @property
+    def params(self) -> IndexParams:
+        return self._params
+
+    @property
+    def track_minhash(self) -> bool:
+        return self._track_minhash
+
+    @property
+    def token_count(self) -> int:
+        return self._token_count
+
+    # -- cell admission / retirement ---------------------------------------
+
+    def _token_key(self, value) -> tuple[str, int]:
+        try:
+            cache_key = (type(value), value)
+            cached = self._token_cache.get(cache_key)
+        except TypeError:  # unhashable constant: encode without caching
+            encoded = _constant_token(value)
+            return encoded, stable_hash64(encoded)
+        if cached is None:
+            encoded = _constant_token(value)
+            cached = (encoded, stable_hash64(encoded))
+            self._token_cache[cache_key] = cached
+        return cached
+
+    def _admit(self, rel_name: str, column: _ColumnState, attribute: str, value) -> None:
+        if is_null(value):
+            column.nulls += 1
+            base = f"{rel_name}\x1f{attribute}\x1fN"
+        else:
+            encoded, key = self._token_key(value)
+            column.constants[key] = column.constants.get(key, 0) + 1
+            base = f"{rel_name}\x1f{attribute}\x1fC\x1f{encoded}"
+        self._token_count += 1
+        if not self._track_minhash:
+            return
+        occurrence = self._base_counts.get(base, 0)
+        self._base_counts[base] = occurrence + 1
+        h = stable_hash64(f"{base}\x1f{occurrence}")
+        before = self._hash_counts.get(h, 0)
+        self._hash_counts[h] = before + 1
+        touched = self._touched
+        if touched is not None and h not in touched:
+            touched[h] = before
+
+    def _retire(self, rel_name: str, column: _ColumnState, attribute: str, value) -> None:
+        if is_null(value):
+            if column.nulls <= 0:
+                raise DeltaError(
+                    f"retiring a null from empty column "
+                    f"{rel_name}.{attribute}"
+                )
+            column.nulls -= 1
+            base = f"{rel_name}\x1f{attribute}\x1fN"
+        else:
+            encoded, key = self._token_key(value)
+            count = column.constants.get(key, 0)
+            if count <= 0:
+                raise DeltaError(
+                    f"retiring constant {value!r} absent from column "
+                    f"{rel_name}.{attribute}"
+                )
+            if count == 1:
+                del column.constants[key]
+            else:
+                column.constants[key] = count - 1
+            base = f"{rel_name}\x1f{attribute}\x1fC\x1f{encoded}"
+        self._token_count -= 1
+        if not self._track_minhash:
+            return
+        occurrence = self._base_counts.get(base, 0) - 1
+        if occurrence < 0:
+            raise DeltaError(f"retiring token with no occurrences: {base!r}")
+        if occurrence == 0:
+            del self._base_counts[base]
+        else:
+            self._base_counts[base] = occurrence
+        # Multiset tokens are indexed by occurrence, so removing one
+        # occurrence of a base always retires the *last* index.
+        h = stable_hash64(f"{base}\x1f{occurrence}")
+        before = self._hash_counts.get(h, 0)
+        if before <= 0:
+            raise DeltaError(f"retiring unknown token hash for base {base!r}")
+        if before == 1:
+            del self._hash_counts[h]
+        else:
+            self._hash_counts[h] = before - 1
+        touched = self._touched
+        if touched is not None and h not in touched:
+            touched[h] = before
+
+    # -- batch application --------------------------------------------------
+
+    def apply(
+        self,
+        batch: DeltaBatch,
+        new_instance: Instance | None = None,
+        *,
+        fingerprint: bool = True,
+    ) -> tuple[InstanceSketch, SketchRepair]:
+        """Repair the state under ``batch``; return the new sketch + report.
+
+        ``new_instance`` (the post-batch instance) is only needed when
+        ``fingerprint`` is true — content fingerprints cannot be patched
+        incrementally, so they are recomputed from the instance (the same
+        cost the cold path pays).  With ``fingerprint=False`` the
+        returned sketch carries an empty fingerprint, which is fine for
+        bounds and LSH but must not be persisted.
+        """
+        if fingerprint and new_instance is None:
+            raise DeltaError(
+                "apply(fingerprint=True) needs the post-batch instance"
+            )
+        prev_minhash = tuple(self._minhash)
+        self._touched = touched = {} if self._track_minhash else None
+        columns_touched: set[tuple[str, str]] = set()
+        try:
+            for op in batch:
+                state = self._relations.get(op.relation)
+                if state is None:
+                    raise DeltaError(
+                        f"batch touches relation {op.relation!r} unknown to "
+                        "the maintained sketch"
+                    )
+                attributes = state.attributes
+                if op.kind == OP_INSERT:
+                    self._check_arity(op, len(op.values), len(attributes))
+                    state.tuple_count += 1
+                    for attribute, value in zip(attributes, op.values):
+                        self._admit(op.relation, state.columns[attribute], attribute, value)
+                        columns_touched.add((op.relation, attribute))
+                elif op.kind == OP_DELETE:
+                    self._check_arity(op, len(op.old_values), len(attributes))
+                    state.tuple_count -= 1
+                    if state.tuple_count < 0:
+                        raise DeltaError(
+                            f"delete from empty relation {op.relation!r}"
+                        )
+                    for attribute, value in zip(attributes, op.old_values):
+                        self._retire(op.relation, state.columns[attribute], attribute, value)
+                        columns_touched.add((op.relation, attribute))
+                else:
+                    self._check_arity(op, len(op.values), len(attributes))
+                    self._check_arity(op, len(op.old_values), len(attributes))
+                    for attribute, old_value, new_value in zip(
+                        attributes, op.old_values, op.values
+                    ):
+                        if type(old_value) is type(new_value) and (
+                            old_value is new_value or old_value == new_value
+                        ):
+                            continue
+                        column = state.columns[attribute]
+                        self._retire(op.relation, column, attribute, old_value)
+                        self._admit(op.relation, column, attribute, new_value)
+                        columns_touched.add((op.relation, attribute))
+        finally:
+            self._touched = None
+        added: list[int] = []
+        removed: list[int] = []
+        if touched is not None:
+            for h, before in touched.items():
+                after = self._hash_counts.get(h, 0)
+                if before == 0 and after > 0:
+                    added.append(h)
+                elif before > 0 and after == 0:
+                    removed.append(h)
+        patched, rebuilt, full_rebuild = self._repair_minhash(
+            prev_minhash, added, removed
+        )
+        sketch = self.materialize(
+            fingerprint=instance_fingerprint(new_instance) if fingerprint else ""
+        )
+        report = SketchRepair(
+            tokens_added=len(added),
+            tokens_removed=len(removed),
+            relations_touched=batch.relations_touched(),
+            columns_touched=tuple(sorted(columns_touched)),
+            minhash_slots_patched=patched,
+            minhash_slots_rebuilt=rebuilt,
+            full_minhash_rebuild=full_rebuild,
+        )
+        return sketch, report
+
+    @staticmethod
+    def _check_arity(op, got: int, expected: int) -> None:
+        if got != expected:
+            raise DeltaError(
+                f"{op.kind} op for tuple {op.tuple_id!r} carries {got} "
+                f"values but relation {op.relation!r} has arity {expected}"
+            )
+
+    # -- min-hash repair -----------------------------------------------------
+
+    def _repair_minhash(
+        self,
+        prev: tuple[int, ...],
+        added: list[int],
+        removed: list[int],
+    ) -> tuple[int, int, bool]:
+        """Patch ``self._minhash`` in place; returns (patched, rebuilt, full)."""
+        if not self._track_minhash:
+            return 0, 0, False
+        params = self._params
+        num_perms = params.num_perms
+        if not self._hash_counts:
+            self._minhash = [EMPTY_SLOT] * num_perms
+            return num_perms, 0, False
+        coefficients = self._coefficients
+        # A retired hash can only move a slot's minimum when its permuted
+        # value *was* that minimum; every other slot keeps its witness.
+        dirty: list[int] = []
+        if removed:
+            for i, (a, b) in enumerate(coefficients):
+                slot = prev[i]
+                if any((a * h + b) % _MERSENNE_PRIME == slot for h in removed):
+                    dirty.append(i)
+        if dirty and len(dirty) >= max(
+            1, int(num_perms * _FULL_RECOMPUTE_DIRTY_FRACTION)
+        ):
+            self._minhash = list(_minhash(list(self._hash_counts), params))
+            return num_perms - len(dirty), len(dirty), True
+        signature = list(prev)
+        if added:
+            added_min = _minhash(added, params)
+            signature = [min(s, v) for s, v in zip(signature, added_min)]
+        if dirty:
+            survivors = list(self._hash_counts)
+            for i in dirty:
+                a, b = coefficients[i]
+                signature[i] = min(
+                    (a * h + b) % _MERSENNE_PRIME for h in survivors
+                )
+        self._minhash = signature
+        return num_perms - len(dirty), len(dirty), False
+
+    # -- materialization -----------------------------------------------------
+
+    def materialize(self, *, fingerprint: str = "") -> InstanceSketch:
+        """Freeze the current state into an :class:`InstanceSketch`.
+
+        Dictionaries are copied so later maintenance never mutates a
+        sketch already handed out (sketches are shared with the LSH index
+        and the store).
+        """
+        relations: dict[str, RelationSketch] = {}
+        for rel_name, state in self._relations.items():
+            relations[rel_name] = RelationSketch(
+                name=rel_name,
+                attributes=state.attributes,
+                tuple_count=state.tuple_count,
+                columns={
+                    attribute: ColumnSketch(
+                        constants=dict(column.constants),
+                        null_count=column.nulls,
+                    )
+                    for attribute, column in state.columns.items()
+                },
+            )
+        return InstanceSketch(
+            fingerprint=fingerprint,
+            relations=relations,
+            minhash=tuple(self._minhash) if self._track_minhash else (),
+            token_count=self._token_count,
+        )
+
+    def sketch_for(self, instance: Instance) -> InstanceSketch:
+        """Materialize with the fingerprint of ``instance``."""
+        return self.materialize(fingerprint=instance_fingerprint(instance))
+
+
+__all__ = ["SketchMaintainer", "SketchRepair"]

@@ -1,0 +1,92 @@
+"""The :class:`UpdateReport` returned by index mutations.
+
+:meth:`SimilarityIndex.update <repro.index.SimilarityIndex.update>` (and
+``add``) used to answer "what changed?" with silence — callers saw a new
+sketch and nothing else.  The report makes the maintenance work
+observable: which tables and sketch columns were touched, whether the
+min-hash was patched slot-by-slot or rebuilt, and how many LSH buckets
+the instance entered or left.  ``repro index add --json`` surfaces it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..index.sketch import InstanceSketch
+
+MODE_ADDED = "added"
+MODE_INCREMENTAL = "incremental"
+MODE_REBUILT = "rebuilt"
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """What one index ``add``/``update`` actually did.
+
+    Attributes
+    ----------
+    table:
+        The table name that was added or updated.
+    mode:
+        ``"added"`` (first insertion), ``"incremental"`` (delta-maintained
+        repair), or ``"rebuilt"`` (full re-sketch fallback — e.g. a schema
+        change or a maintainer that was never seeded).
+    tuples_inserted, tuples_deleted, tuples_updated:
+        Delta batch shape that drove the maintenance (all zero for
+        ``"added"``/``"rebuilt"``).
+    relations_touched:
+        Relation names whose sketch state changed.
+    sketch_columns_repaired, sketch_columns_rebuilt:
+        Columns patched in place vs. columns recomputed from scratch.
+    minhash_slots_patched, minhash_slots_rebuilt:
+        Signature slots updated by min-merge vs. recomputed because their
+        minimum token was retired.
+    lsh_buckets_entered, lsh_buckets_left:
+        Band buckets the table joined / abandoned when rebucketed.
+    sketch:
+        The table's new sketch (what ``update`` historically returned).
+    """
+
+    table: str
+    mode: str
+    tuples_inserted: int = 0
+    tuples_deleted: int = 0
+    tuples_updated: int = 0
+    relations_touched: tuple[str, ...] = ()
+    sketch_columns_repaired: int = 0
+    sketch_columns_rebuilt: int = 0
+    minhash_slots_patched: int = 0
+    minhash_slots_rebuilt: int = 0
+    lsh_buckets_entered: int = 0
+    lsh_buckets_left: int = 0
+    sketch: InstanceSketch | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def as_dict(self) -> dict:
+        """JSON-ready encoding (sketch omitted; it has its own codec)."""
+        return {
+            "table": self.table,
+            "mode": self.mode,
+            "tuples": {
+                "inserted": self.tuples_inserted,
+                "deleted": self.tuples_deleted,
+                "updated": self.tuples_updated,
+            },
+            "relations_touched": list(self.relations_touched),
+            "sketch_columns": {
+                "repaired": self.sketch_columns_repaired,
+                "rebuilt": self.sketch_columns_rebuilt,
+            },
+            "minhash_slots": {
+                "patched": self.minhash_slots_patched,
+                "rebuilt": self.minhash_slots_rebuilt,
+            },
+            "lsh_buckets": {
+                "entered": self.lsh_buckets_entered,
+                "left": self.lsh_buckets_left,
+            },
+        }
+
+
+__all__ = ["UpdateReport", "MODE_ADDED", "MODE_INCREMENTAL", "MODE_REBUILT"]

@@ -11,6 +11,7 @@ assembled by :class:`~repro.index.core.SimilarityIndex`.
 See ``docs/INDEX.md`` for the full tour.
 """
 
+from ..delta.report import UpdateReport
 from .core import SimilarityIndex
 from .lsh import LSHIndex
 from .refine import (
@@ -73,6 +74,7 @@ __all__ = [
     "StoreCorruptionError",
     "StoreFinding",
     "TornTail",
+    "UpdateReport",
     "comparable",
     "crc32c",
     "estimated_jaccard",

@@ -18,6 +18,14 @@ update is the thing to avoid.
 from __future__ import annotations
 
 from ..core.instance import Instance
+from ..delta.batch import DeltaBatch
+from ..delta.maintenance import SketchMaintainer
+from ..delta.report import (
+    MODE_ADDED,
+    MODE_INCREMENTAL,
+    MODE_REBUILT,
+    UpdateReport,
+)
 from ..mappings.constraints import MatchOptions
 from ..parallel.cache import SignatureCache
 from .lsh import LSHIndex
@@ -69,6 +77,8 @@ class SimilarityIndex:
         params: IndexParams | None = None,
         options: MatchOptions | None = None,
         cache: SignatureCache | None = None,
+        *,
+        delta_maintenance: bool = True,
     ) -> None:
         self.params = params if params is not None else IndexParams()
         self.options = (
@@ -76,24 +86,47 @@ class SimilarityIndex:
         )
         self.cache = cache if cache is not None else SignatureCache()
         self.lsh = LSHIndex(self.params)
+        self.delta_maintenance = delta_maintenance
         self._instances: dict[str, Instance] = {}
         self._sketches: dict[str, InstanceSketch] = {}
+        self._maintainers: dict[str, SketchMaintainer] = {}
         self._store: "IndexStore | None" = None
         self.last_report: RefineReport | None = None
+        self.last_update: UpdateReport | None = None
 
     # -- registry -------------------------------------------------------------
 
-    def add(self, name: str, instance: Instance) -> InstanceSketch:
-        """Register ``instance`` under ``name``; sketches and persists it."""
+    def add(self, name: str, instance: Instance) -> UpdateReport:
+        """Register ``instance`` under ``name``; sketches and persists it.
+
+        With ``delta_maintenance`` on (the default) the table is seeded
+        into a live :class:`~repro.delta.SketchMaintainer`, so later
+        ``update``/``update_delta`` calls repair the sketch instead of
+        re-sketching.  Returns an :class:`~repro.delta.UpdateReport` with
+        ``mode == "added"`` (the new sketch rides on ``report.sketch``).
+        """
         if name in self._instances:
             raise ValueError(f"table {name!r} already in the index")
-        sketch = InstanceSketch.build(instance, self.params)
+        if self.delta_maintenance:
+            maintainer = SketchMaintainer(instance, self.params)
+            sketch = maintainer.sketch_for(instance)
+            self._maintainers[name] = maintainer
+        else:
+            sketch = InstanceSketch.build(instance, self.params)
         self._instances[name] = instance
         self._sketches[name] = sketch
         self.lsh.add(name, sketch.minhash)
         if self._store is not None:
             self._store.write_table(name, instance, sketch)
-        return sketch
+        report = UpdateReport(
+            table=name,
+            mode=MODE_ADDED,
+            relations_touched=tuple(sorted(instance.schema.relation_names())),
+            lsh_buckets_entered=self.params.bands,
+            sketch=sketch,
+        )
+        self.last_update = report
+        return report
 
     def remove(self, name: str) -> None:
         """Drop a table from the index (and the bound store, if any)."""
@@ -101,27 +134,126 @@ class SimilarityIndex:
             raise KeyError(self._unknown(name))
         del self._instances[name]
         del self._sketches[name]
+        self._maintainers.pop(name, None)
         self.lsh.remove(name)
         if self._store is not None:
             self._store.remove_table(name)
 
-    def update(self, name: str, instance: Instance) -> InstanceSketch:
+    def update(self, name: str, instance: Instance) -> UpdateReport:
         """Replace the instance registered under ``name`` (must exist).
 
         Deliberately NOT remove-then-add: the store mirrors an update as a
         single upsert log record, so a crash mid-update recovers to the
         old instance or the new one — never to the table missing.
+
+        With ``delta_maintenance`` on and an unchanged schema, the
+        replacement is diffed into a :class:`~repro.delta.DeltaBatch` and
+        maintained incrementally (``mode == "incremental"``): sketch
+        columns are repaired token-by-token, min-hash slots patched or
+        selectively recomputed, and only the changed LSH band buckets are
+        touched.  A table restored from disk seeds its maintainer lazily
+        here.  Schema changes (or ``delta_maintenance=False``) re-sketch
+        the table instead (``"rebuilt"``).
         """
         if name not in self._instances:
             raise KeyError(self._unknown(name))
-        sketch = InstanceSketch.build(instance, self.params)
+        old = self._instances[name]
+        if self.delta_maintenance and old.schema.is_compatible_with(
+            instance.schema
+        ):
+            maintainer = self._maintainers.get(name)
+            if maintainer is None:
+                # Store-restored tables skip seeding until the first
+                # mutation actually needs the maintainer.
+                maintainer = SketchMaintainer(old, self.params)
+                self._maintainers[name] = maintainer
+            batch = DeltaBatch.from_instances(old, instance)
+            return self._apply_maintained(name, maintainer, batch, instance)
+        return self._rebuild(name, instance)
+
+    def update_delta(self, name: str, batch: DeltaBatch) -> UpdateReport:
+        """Apply a :class:`~repro.delta.DeltaBatch` to a registered table.
+
+        The batch's ops reference the stored instance's tuple ids; the
+        sketch, min-hash, and LSH membership are repaired in place and the
+        bound store (if any) mirrors the result as one upsert.  A table
+        restored from disk without a live maintainer is seeded lazily
+        from its current instance first, then maintained.
+        """
+        if name not in self._instances:
+            raise KeyError(self._unknown(name))
+        old = self._instances[name]
+        new_instance = batch.apply(old)
+        maintainer = self._maintainers.get(name)
+        if maintainer is None:
+            # Lazily seed (store-restored tables skip seeding until the
+            # first mutation actually needs it).
+            maintainer = SketchMaintainer(old, self.params)
+            self._maintainers[name] = maintainer
+        return self._apply_maintained(name, maintainer, batch, new_instance)
+
+    def _apply_maintained(
+        self,
+        name: str,
+        maintainer: SketchMaintainer,
+        batch: DeltaBatch,
+        instance: Instance,
+    ) -> UpdateReport:
+        sketch, repair = maintainer.apply(batch, instance)
+        self._instances[name] = instance
+        self._sketches[name] = sketch
+        entered, left = self.lsh.rebucket(name, sketch.minhash)
+        if self._store is not None:
+            self._store.write_table(name, instance, sketch)
+        summary = batch.summary()
+        report = UpdateReport(
+            table=name,
+            mode=MODE_INCREMENTAL,
+            tuples_inserted=summary["inserted"],
+            tuples_deleted=summary["deleted"],
+            tuples_updated=summary["updated"],
+            relations_touched=tuple(sorted(batch.relations_touched())),
+            sketch_columns_repaired=len(repair.columns_touched),
+            sketch_columns_rebuilt=0,
+            minhash_slots_patched=repair.minhash_slots_patched,
+            minhash_slots_rebuilt=repair.minhash_slots_rebuilt,
+            lsh_buckets_entered=entered,
+            lsh_buckets_left=left,
+            sketch=sketch,
+        )
+        self.last_update = report
+        return report
+
+    def _rebuild(self, name: str, instance: Instance) -> UpdateReport:
+        """Full re-sketch fallback (schema change / no maintainer)."""
+        if self.delta_maintenance:
+            maintainer = SketchMaintainer(instance, self.params)
+            sketch = maintainer.sketch_for(instance)
+            self._maintainers[name] = maintainer
+        else:
+            sketch = InstanceSketch.build(instance, self.params)
         self._instances[name] = instance
         self._sketches[name] = sketch
         self.lsh.remove(name)
         self.lsh.add(name, sketch.minhash)
         if self._store is not None:
             self._store.write_table(name, instance, sketch)
-        return sketch
+        n_columns = sum(
+            len(instance.schema.relation(rel_name).attributes)
+            for rel_name in instance.schema.relation_names()
+        )
+        report = UpdateReport(
+            table=name,
+            mode=MODE_REBUILT,
+            relations_touched=tuple(sorted(instance.schema.relation_names())),
+            sketch_columns_rebuilt=n_columns,
+            minhash_slots_rebuilt=self.params.num_perms,
+            lsh_buckets_entered=self.params.bands,
+            lsh_buckets_left=self.params.bands,
+            sketch=sketch,
+        )
+        self.last_update = report
+        return report
 
     def get(self, name: str) -> Instance:
         """The registered instance called ``name``."""

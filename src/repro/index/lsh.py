@@ -84,6 +84,34 @@ class LSHIndex:
                 if not bucket:
                     del self._buckets[band][key]
 
+    def rebucket(self, name: str, minhash: Sequence[int]) -> tuple[int, int]:
+        """Move ``name`` to the buckets of a repaired signature.
+
+        Only bands whose key actually changed are touched — for a small
+        delta most band keys survive, so this is the cheap path behind
+        incremental index maintenance.  Returns ``(entered, left)``: the
+        number of band buckets joined and abandoned (equal by
+        construction, and 0 for an unchanged signature).
+        """
+        try:
+            old_keys = self._members[name]
+        except KeyError:
+            raise KeyError(f"{name!r} is not in the LSH index") from None
+        new_keys = self._band_keys(minhash)
+        changed = 0
+        for band, (old_key, new_key) in enumerate(zip(old_keys, new_keys)):
+            if old_key == new_key:
+                continue
+            changed += 1
+            bucket = self._buckets[band].get(old_key)
+            if bucket is not None:
+                bucket.discard(name)
+                if not bucket:
+                    del self._buckets[band][old_key]
+            self._buckets[band].setdefault(new_key, set()).add(name)
+        self._members[name] = new_keys
+        return changed, changed
+
     def __len__(self) -> int:
         return len(self._members)
 

@@ -413,17 +413,24 @@ class SimilarityService:
             self.admission.release()
 
     async def ingest(self, body: dict) -> ServiceResponse:
-        """Register a table.  Runs in the parent — ingest mutates the index
-        (and its bound store, if any), and only parent-side mutations
-        survive; forked workers see the new table on their next fork."""
+        """Register or replace a table.  Runs in the parent — ingest
+        mutates the index (and its bound store, if any), and only
+        parent-side mutations survive; forked workers see the new table
+        on their next fork.
+
+        Re-ingesting an existing name is a 409 unless the request sets
+        ``"replace": true``; a replace routes through the index's delta
+        maintenance, so the live sketch/LSH state is repaired in place
+        (the response's ``update`` object says what was touched)."""
         name = body.get("name")
         if not isinstance(name, str) or not name:
             raise RequestError("ingest needs a non-empty 'name' string")
         if "table" not in body:
             raise RequestError("ingest needs a 'table' object")
+        replace = bool(body.get("replace", False))
         table = decode_table(body["table"], "table")
         started = time.monotonic()
-        if name in self.index:
+        if name in self.index and not replace:
             self._count("ingest", "conflict")
             return ServiceResponse(
                 409,
@@ -431,12 +438,16 @@ class SimilarityService:
                     "ok": False,
                     "error": {
                         "outcome": "failed",
-                        "message": f"table {name!r} already in the index",
+                        "message": f"table {name!r} already in the index"
+                        " (set 'replace': true to update it in place)",
                     },
                 },
             )
         try:
-            self.index.add(name, table)
+            if name in self.index:
+                report = self.index.update(name, table)
+            else:
+                report = self.index.add(name, table)
         except ReproError as error:
             raise RequestError(f"ingest failed: {error}") from error
         # Durability gate: the add above wrote a WAL record, but the 200
@@ -459,6 +470,7 @@ class SimilarityService:
                     "name": name,
                     "tables": len(self.index),
                     "durable": durable,
+                    "update": report.as_dict(),
                 },
                 "elapsed_ms": elapsed_ms,
             },

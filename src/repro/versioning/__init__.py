@@ -1,9 +1,28 @@
-"""Data versioning substrate: version operations, diff baseline, reports."""
+"""``repro.versioning`` — dataset-version comparison on top of the measure.
+
+The paper's motivating application: treat two snapshots of one dataset as
+incomplete instances and derive both a similarity *score* and a
+structured *difference report*.  The package collects:
+
+* version transforms for experiments (:mod:`~repro.versioning.operations`:
+  row/column removal, shuffling, schema alignment);
+* the diff baseline and structured deltas (:mod:`~repro.versioning.delta`:
+  :func:`diff_versions`, :class:`VersionDelta`, cell-level change
+  classification, and :func:`batch_from_diff` — the bridge from a diff
+  report to a replayable :class:`repro.delta.DeltaBatch` for warm
+  ``compare_delta`` / live index maintenance);
+* row-serialization diffing as a comparison point
+  (:mod:`~repro.versioning.difftool`);
+* version-history reconstruction from pairwise similarities
+  (:mod:`~repro.versioning.history`);
+* human-readable comparison reports (:mod:`~repro.versioning.report`).
+"""
 
 from .delta import (
     CellChange,
     TupleUpdate,
     VersionDelta,
+    batch_from_diff,
     delta_from_match,
     diff_versions,
 )
@@ -26,18 +45,19 @@ __all__ = [
     "CellChange",
     "DiffReport",
     "TupleUpdate",
-    "VersionDelta",
     "VersionComparison",
+    "VersionDelta",
     "VersionHistory",
     "align_schemas",
+    "batch_from_diff",
     "compare_versions",
     "delta_from_match",
     "diff_instances",
     "diff_versions",
-    "removed_and_shuffled_version",
-    "removed_columns_version",
     "pairwise_similarities",
     "reconstruct_history",
+    "removed_and_shuffled_version",
+    "removed_columns_version",
     "removed_rows_version",
     "serialize_rows",
     "shuffled_version",

@@ -20,11 +20,14 @@ value-level updates should pair up instead.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
+from ..core.errors import DeltaError
 from ..core.instance import Instance, prepare_for_comparison
 from ..core.tuples import Tuple
-from ..core.values import Value, is_null
+from ..core.values import LabeledNull, Value, is_null
+from ..delta.batch import DeltaBatch, TupleOp
 from ..mappings.constraints import MatchOptions
 from ..algorithms.result import ComparisonResult
 from ..algorithms.signature import signature_compare
@@ -221,3 +224,142 @@ def diff_versions(
     left, right = prepare_for_comparison(left, right)
     result = signature_compare(left, right, options)
     return delta_from_match(result)
+
+
+def batch_from_diff(
+    delta: VersionDelta,
+    original: Instance,
+    *,
+    id_prefix: str = "d",
+    null_prefix: str = "ND",
+) -> DeltaBatch:
+    """Express a :class:`VersionDelta` as a delta batch against ``original``.
+
+    :func:`diff_versions` compares *prepared* copies of the two versions
+    (tuple ids renumbered ``l1…``/``r1…``, nulls renamed), so its report
+    cannot be applied to the caller's instances directly.  This maps it
+    back: deleted tuples become ``delete`` ops on the matching original
+    tuples, updates patch cells in place (null→null cells keep the
+    original null — pure renamings carry no information), and inserted
+    tuples get fresh ids and null labels that avoid collisions with
+    ``original``.  Shared surrogate nulls of the new version stay shared.
+
+    Applying the returned batch to ``original`` reproduces the new
+    version up to null renaming — the similarity-relevant content is
+    identical — which is exactly the shape
+    :meth:`repro.Comparator.compare_delta` and
+    :meth:`repro.index.SimilarityIndex.update_delta` consume.
+    """
+    result = delta.result
+    if result is None:
+        raise DeltaError(
+            "this VersionDelta carries no ComparisonResult; only deltas "
+            "produced by diff_versions/delta_from_match can be converted"
+        )
+    prepared = result.match.left
+    if not original.schema.is_compatible_with(prepared.schema):
+        raise DeltaError(
+            "original's schema does not match the diffed old version "
+            "(schema drift between versions is not expressible as a "
+            "tuple-level DeltaBatch)"
+        )
+    # prepare_for_comparison renumbers ids in per-relation iteration
+    # order, so zipping recovers the prepared-id -> original-tuple map.
+    originals: dict[str, Tuple] = {}
+    for name in original.schema.relation_names():
+        original_relation = original.relation(name)
+        prepared_relation = prepared.relation(name)
+        if len(original_relation) != len(prepared_relation):
+            raise DeltaError(
+                f"relation {name!r}: original has {len(original_relation)} "
+                f"tuples but the diffed old version has "
+                f"{len(prepared_relation)} — wrong 'original' instance?"
+            )
+        for original_tuple, prepared_tuple in zip(
+            original_relation, prepared_relation
+        ):
+            for o_value, p_value in zip(
+                original_tuple.values, prepared_tuple.values
+            ):
+                if is_null(o_value) != is_null(p_value) or (
+                    not is_null(o_value) and o_value != p_value
+                ):
+                    raise DeltaError(
+                        f"tuple {original_tuple.tuple_id!r} does not match "
+                        f"the diffed old version's {prepared_tuple.tuple_id!r}"
+                        " — wrong 'original' instance?"
+                    )
+            originals[prepared_tuple.tuple_id] = original_tuple
+
+    used_labels = {null.label for null in original.vars()}
+    used_ids = set(original.ids())
+    null_map: dict[LabeledNull, LabeledNull] = {}
+    label_counter = itertools.count(1)
+    id_counter = itertools.count(1)
+
+    def fresh_null(prepared_null: LabeledNull) -> LabeledNull:
+        mapped = null_map.get(prepared_null)
+        if mapped is None:
+            label = f"{null_prefix}{next(label_counter)}"
+            while label in used_labels:
+                label = f"{null_prefix}{next(label_counter)}"
+            used_labels.add(label)
+            mapped = LabeledNull(label)
+            null_map[prepared_null] = mapped
+        return mapped
+
+    def fresh_id() -> str:
+        tuple_id = f"{id_prefix}{next(id_counter)}"
+        while tuple_id in used_ids:
+            tuple_id = f"{id_prefix}{next(id_counter)}"
+        used_ids.add(tuple_id)
+        return tuple_id
+
+    ops: list[TupleOp] = []
+    for old_tuple in delta.deleted:
+        original_tuple = originals[old_tuple.tuple_id]
+        ops.append(
+            TupleOp(
+                "delete",
+                original_tuple.relation.name,
+                original_tuple.tuple_id,
+                old_values=original_tuple.values,
+            )
+        )
+    for update in delta.updated:
+        original_tuple = originals[update.old.tuple_id]
+        values = []
+        for o_value, new_value in zip(
+            original_tuple.values, update.new.values
+        ):
+            if is_null(new_value):
+                if is_null(o_value):
+                    values.append(o_value)  # pure renaming: keep ours
+                else:
+                    values.append(fresh_null(new_value))  # redacted
+            else:
+                values.append(new_value)  # filled or unchanged constant
+        if tuple(values) == original_tuple.values:
+            continue
+        ops.append(
+            TupleOp(
+                "update",
+                original_tuple.relation.name,
+                original_tuple.tuple_id,
+                values=tuple(values),
+                old_values=original_tuple.values,
+            )
+        )
+    for new_tuple in delta.inserted:
+        ops.append(
+            TupleOp(
+                "insert",
+                new_tuple.relation.name,
+                fresh_id(),
+                values=tuple(
+                    fresh_null(value) if is_null(value) else value
+                    for value in new_tuple.values
+                ),
+            )
+        )
+    return DeltaBatch(ops)

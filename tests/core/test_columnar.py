@@ -211,3 +211,86 @@ class TestNumpyLane:
         assert matrix.shape == (4, 2)
         for position in range(2):
             assert list(matrix[:, position]) == list(crel.columns[position])
+
+
+class TestTryAppend:
+    """``Instance.add`` patches the cached view in place when lossless."""
+
+    @staticmethod
+    def structure(view):
+        return {
+            "decode": view.decode,
+            "value_codes": view.value_codes,
+            "null_codes": view.null_codes,
+            "null_labels": [n.label for n in view.null_values],
+            "overrides": view.overrides,
+            "tables": {
+                name: (crel.tuple_ids, [list(c) for c in crel.columns])
+                for name, crel in view.relations.items()
+            },
+        }
+
+    def test_covered_append_patches_in_place(self):
+        instance = small_instance()
+        view = instance.columns()
+        # Every value of the new row is already coded: "x", 1, and N1.
+        instance.add_row("R", "t9", ("x", LabeledNull("N1")))
+        assert instance.columns() is view  # patched, not rebuilt
+        cold = ColumnarInstance.from_instance(instance)
+        assert self.structure(view) == self.structure(cold)
+
+    def test_patched_view_round_trips(self):
+        instance = small_instance()
+        instance.columns()
+        instance.add_row("R", "t9", (1, 1))
+        back = instance.columns().to_instance()
+        assert {t.tuple_id: t.values for t in back.tuples()} == {
+            t.tuple_id: t.values for t in instance.tuples()
+        }
+
+    def test_append_resets_matrix_cache(self):
+        if numpy_or_none() is None:
+            pytest.skip("numpy not installed")
+        instance = small_instance()
+        crel = instance.columns().relations["R"]
+        crel.matrix()
+        instance.add_row("R", "t9", ("x", 1))
+        assert crel.matrix().shape == (5, 2)
+
+    def test_fresh_constant_invalidates(self):
+        instance = small_instance()
+        view = instance.columns()
+        instance.add_row("R", "t9", ("unseen", 1))
+        rebuilt = instance.columns()
+        assert rebuilt is not view
+        assert self.structure(rebuilt) == self.structure(
+            ColumnarInstance.from_instance(instance)
+        )
+
+    def test_fresh_null_label_invalidates(self):
+        instance = small_instance()
+        view = instance.columns()
+        instance.add_row("R", "t9", ("x", LabeledNull("FRESH")))
+        assert instance.columns() is not view
+
+    def test_override_needing_value_invalidates(self):
+        # True == 1 in dict lookups, but reconstructing True from the
+        # stored 1 would be lossy — must fall back to a cold rebuild.
+        instance = small_instance()
+        view = instance.columns()
+        instance.add_row("R", "t9", ("x", True))
+        rebuilt = instance.columns()
+        assert rebuilt is not view
+        assert rebuilt.to_instance().get_tuple("t9").values == ("x", True)
+
+    def test_failed_try_append_leaves_view_untouched(self):
+        from repro.core.tuples import Tuple
+
+        instance = small_instance()
+        view = instance.columns()
+        before = self.structure(view)
+        appended = view.try_append(
+            Tuple("t9", instance.schema.relation("R"), ("unseen", 1))
+        )
+        assert not appended
+        assert self.structure(view) == before

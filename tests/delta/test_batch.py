@@ -1,0 +1,235 @@
+"""The :class:`DeltaBatch` algebra: apply/invert/compose and constructors."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import DeltaError
+from repro.core.instance import Instance
+from repro.core.schema import Schema
+from repro.core.values import LabeledNull
+from repro.delta.batch import (
+    OP_DELETE,
+    OP_INSERT,
+    OP_UPDATE,
+    DeltaBatch,
+    TupleOp,
+    batch_from_wal_record,
+)
+
+from .conftest import rand_batch, rand_instance
+
+
+def rows_of(instance):
+    """``{relation: {tuple_id: values}}`` for structural comparison."""
+    return {
+        relation.schema.name: {t.tuple_id: t.values for t in relation}
+        for relation in instance.relations()
+    }
+
+
+def make(rows, attrs=("A",), relation="R", prefix="t"):
+    return Instance.from_rows(relation, attrs, rows, id_prefix=prefix)
+
+
+class TestTupleOp:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(DeltaError, match="unknown delta op kind"):
+            TupleOp("upsert", "R", "t1", values=("x",))
+
+    def test_insert_needs_values(self):
+        with pytest.raises(DeltaError, match="needs values"):
+            TupleOp(OP_INSERT, "R", "t1")
+
+    def test_delete_needs_old_values(self):
+        with pytest.raises(DeltaError, match="needs old_values"):
+            TupleOp(OP_DELETE, "R", "t1")
+
+    def test_update_needs_both(self):
+        with pytest.raises(DeltaError):
+            TupleOp(OP_UPDATE, "R", "t1", values=("x",))
+        with pytest.raises(DeltaError):
+            TupleOp(OP_UPDATE, "R", "t1", old_values=("x",))
+
+    def test_sequences_coerced_to_tuples(self):
+        op = TupleOp(OP_UPDATE, "R", "t1", values=["x"], old_values=["y"])
+        assert op.values == ("x",) and op.old_values == ("y",)
+
+
+class TestApply:
+    def test_insert_update_delete(self):
+        old = make([("x",), ("y",), ("z",)])
+        batch = DeltaBatch([
+            TupleOp(OP_DELETE, "R", "t1", old_values=("x",)),
+            TupleOp(OP_UPDATE, "R", "t2", values=("Y",), old_values=("y",)),
+            TupleOp(OP_INSERT, "R", "t9", values=("w",)),
+        ])
+        new = old if batch.is_empty else batch.apply(old)
+        assert rows_of(new) == {
+            "R": {"t2": ("Y",), "t3": ("z",), "t9": ("w",)}
+        }
+        # untouched tuple objects are shared, not copied
+        assert new.get_tuple("t3") is old.get_tuple("t3")
+
+    def test_duplicate_ops_per_tuple_rejected(self):
+        with pytest.raises(DeltaError, match="two ops for tuple"):
+            DeltaBatch([
+                TupleOp(OP_DELETE, "R", "t1", old_values=("x",)),
+                TupleOp(OP_INSERT, "R", "t1", values=("y",)),
+            ])
+
+    def test_insert_of_existing_id_rejected(self):
+        old = make([("x",)])
+        batch = DeltaBatch([TupleOp(OP_INSERT, "R", "t1", values=("y",))])
+        with pytest.raises(DeltaError, match="insert of existing tuple"):
+            batch.apply(old)
+
+    def test_stale_old_values_rejected(self):
+        old = make([("x",)])
+        batch = DeltaBatch(
+            [TupleOp(OP_DELETE, "R", "t1", old_values=("stale",))]
+        )
+        with pytest.raises(DeltaError, match="stale old values"):
+            batch.apply(old)
+
+    def test_delete_of_unknown_tuple_rejected(self):
+        old = make([("x",)])
+        batch = DeltaBatch(
+            [TupleOp(OP_DELETE, "R", "missing", old_values=("x",))]
+        )
+        with pytest.raises(DeltaError, match="unknown tuple"):
+            batch.apply(old)
+
+    def test_unknown_relation_rejected(self):
+        old = make([("x",)])
+        batch = DeltaBatch([TupleOp(OP_INSERT, "Q", "q1", values=("y",))])
+        with pytest.raises(DeltaError, match="unknown relation"):
+            batch.apply(old)
+
+
+class TestAlgebra:
+    def test_invert_round_trip(self, rng):
+        base = rand_instance(rng, "r", "NR", 10)
+        batch = rand_batch(rng, base, [0])
+        forward = batch.apply(base)
+        assert rows_of(batch.invert().apply(forward)) == rows_of(base)
+
+    def test_compose_equals_sequential_apply(self, rng):
+        counter = [0]
+        base = rand_instance(rng, "r", "NR", 10)
+        first = rand_batch(rng, base, counter)
+        mid = first.apply(base)
+        second = rand_batch(rng, mid, counter)
+        assert rows_of(first.compose(second).apply(base)) == rows_of(
+            second.apply(mid)
+        )
+
+    def test_compose_insert_then_delete_annihilates(self):
+        first = DeltaBatch([TupleOp(OP_INSERT, "R", "t9", values=("w",))])
+        second = DeltaBatch([TupleOp(OP_DELETE, "R", "t9", old_values=("w",))])
+        assert first.compose(second).is_empty
+
+    def test_compose_incoherent_pair_rejected(self):
+        first = DeltaBatch([TupleOp(OP_DELETE, "R", "t1", old_values=("x",))])
+        second = DeltaBatch([TupleOp(OP_DELETE, "R", "t1", old_values=("x",))])
+        with pytest.raises(DeltaError, match="cannot compose"):
+            first.compose(second)
+
+    def test_compose_update_update_keeps_first_old_values(self):
+        first = DeltaBatch(
+            [TupleOp(OP_UPDATE, "R", "t1", values=("b",), old_values=("a",))]
+        )
+        second = DeltaBatch(
+            [TupleOp(OP_UPDATE, "R", "t1", values=("c",), old_values=("b",))]
+        )
+        (folded,) = first.compose(second).ops
+        assert folded.values == ("c",) and folded.old_values == ("a",)
+
+    def test_compose_drops_no_op_updates(self):
+        first = DeltaBatch(
+            [TupleOp(OP_UPDATE, "R", "t1", values=("b",), old_values=("a",))]
+        )
+        assert first.compose(first.invert()).is_empty
+
+
+class TestConstructors:
+    def test_from_instances_round_trip(self, rng):
+        old = rand_instance(rng, "r", "NR", 12)
+        new = rand_batch(rng, old, [0]).apply(old)
+        diff = DeltaBatch.from_instances(old, new)
+        assert rows_of(diff.apply(old)) == rows_of(new)
+
+    def test_from_instances_identical_is_empty(self):
+        old = make([("x",), ("y",)])
+        assert DeltaBatch.from_instances(old, old).is_empty
+
+    def test_from_instances_incompatible_schema_rejected(self):
+        old = make([("x",)])
+        other = make([("x", 1)], attrs=("A", "B"))
+        with pytest.raises(DeltaError, match="incompatible schemas"):
+            DeltaBatch.from_instances(old, other)
+
+    def test_inserts_from_columns_matches_from_columns(self):
+        schema = Schema.single("R", ("A", "B"))
+        columns = {"R": {"A": ["x", "y"], "B": [1, None]}}
+        nulls = {"R": {"B": [False, True]}}
+        batch = DeltaBatch.inserts_from_columns(
+            schema, columns, nulls=nulls, id_prefix="n", null_prefix="NB"
+        )
+        staged = Instance.from_columns(
+            schema, columns, nulls=nulls, id_prefix="n", null_prefix="NB"
+        )
+        assert rows_of(batch.apply(Instance(schema))) == rows_of(staged)
+        assert batch.summary() == {"inserted": 2, "deleted": 0, "updated": 0}
+
+
+class TestWalRecordBridge:
+    def test_first_put_is_all_inserts(self):
+        from repro.io_.serialization import instance_to_dict
+
+        instance = make([("x",), (LabeledNull("N1"),)])
+        record = {
+            "op": "put",
+            "name": "t",
+            "table": {"instance": instance_to_dict(instance)},
+        }
+        name, batch, new = batch_from_wal_record(record, previous=None)
+        assert name == "t"
+        assert batch.summary() == {"inserted": 2, "deleted": 0, "updated": 0}
+        assert rows_of(new) == rows_of(instance)
+
+    def test_del_inverts_previous(self):
+        previous = make([("x",), ("y",)])
+        name, batch, new = batch_from_wal_record(
+            {"op": "del", "name": "t"}, previous=previous
+        )
+        assert new is None
+        assert batch.summary() == {"inserted": 0, "deleted": 2, "updated": 0}
+        assert rows_of(batch.apply(previous)) == {"R": {}}
+
+    def test_del_without_previous_rejected(self):
+        with pytest.raises(DeltaError, match="without a previous instance"):
+            batch_from_wal_record({"op": "del", "name": "t"}, previous=None)
+
+    def test_malformed_records_rejected(self):
+        with pytest.raises(DeltaError, match="no table name"):
+            batch_from_wal_record({"op": "put"})
+        with pytest.raises(DeltaError, match="unknown WAL record op"):
+            batch_from_wal_record({"op": "compact", "name": "t"})
+        with pytest.raises(DeltaError, match="malformed WAL put record"):
+            batch_from_wal_record({"op": "put", "name": "t", "table": {}})
+
+
+class TestIntrospection:
+    def test_summary_relations_kinds(self):
+        batch = DeltaBatch([
+            TupleOp(OP_INSERT, "S", "s9", values=("p", 7)),
+            TupleOp(OP_DELETE, "R", "r1", old_values=("a", 1, "x")),
+        ])
+        assert len(batch) == 2 and bool(batch)
+        assert batch.relations_touched() == ("R", "S")
+        assert [op.kind for op in batch.ops_of_kind(OP_INSERT)] == [OP_INSERT]
+        assert repr(batch) == "<DeltaBatch +1 -1 ~0>"
+        assert DeltaBatch().is_empty

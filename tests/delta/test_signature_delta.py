@@ -1,0 +1,101 @@
+"""MutableSignatureIndex ≡ cold ``SignatureIndex.build`` after patching.
+
+Structural identity is the contract: same signature buckets holding the
+same tuples in the same order, same pattern order, same probe order —
+so a warm comparison probing a patched index walks *exactly* the
+candidates a cold comparison would.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algorithms.signature import (
+    MutableSignatureIndex,
+    SignatureIndex,
+    signature_compare,
+)
+from repro.core.instance import Instance
+from repro.core.tuples import Tuple
+
+from .conftest import rand_batch, rand_instance
+
+
+def structure_of(index, instance):
+    """Id-level snapshot of all three structures, per relation."""
+    snapshot = {}
+    for name in instance.schema.relation_names():
+        rel = index.relation(name)
+        snapshot[name] = {
+            "sigmap": {
+                key: tuple(t.tuple_id for t in bucket)
+                for key, bucket in rel.sigmap.items()
+            },
+            "patterns": rel.patterns,
+            "probe_order": tuple(t.tuple_id for t in rel.probe_order),
+        }
+    return snapshot
+
+
+class TestStructuralEquality:
+    @pytest.mark.parametrize("trial", range(8))
+    def test_patched_equals_cold_build(self, trial):
+        rng = random.Random(7700 + trial)
+        instance = rand_instance(rng, "r", "NR", rng.randint(3, 14))
+        index = MutableSignatureIndex.build(instance)
+        counter = [0]
+        for _ in range(4):
+            batch = rand_batch(rng, instance, counter)
+            instance = batch.apply(instance)
+            index.apply_batch(batch, instance)
+            cold = SignatureIndex.build(instance)
+            assert structure_of(index, instance) == structure_of(
+                cold, instance
+            )
+            assert index.matches(instance)
+
+    def test_update_keeps_bucket_position(self):
+        """An updated tuple keeps its rank, exactly as an in-place edit of
+        the relation (and a re-build of the edited instance) would."""
+        instance = Instance.from_rows(
+            "R", ("A", "B"), [("x", 1), ("x", 2), ("x", 3)], id_prefix="t"
+        )
+        index = MutableSignatureIndex.build(instance)
+        schema = instance.schema.relation("R")
+        old = instance.get_tuple("t2")
+        new = Tuple("t2", schema, ("x", 9))
+        index.replace_tuple(old, new)
+        edited = Instance(instance.schema)
+        for t in instance.tuples():
+            edited.add(new if t.tuple_id == "t2" else t)
+        assert structure_of(index, edited) == structure_of(
+            SignatureIndex.build(edited), edited
+        )
+
+    def test_matches_detects_divergence(self):
+        instance = Instance.from_rows("R", ("A",), [("x",), ("y",)])
+        index = MutableSignatureIndex.build(instance)
+        assert index.matches(instance)
+        grown = Instance.from_rows("R", ("A",), [("x",), ("y",), ("z",)])
+        assert not index.matches(grown)
+
+    def test_duplicate_insert_rejected(self):
+        instance = Instance.from_rows("R", ("A",), [("x",)])
+        index = MutableSignatureIndex.build(instance)
+        with pytest.raises(ValueError):
+            index.insert_tuple(instance.get_tuple("t1"))
+
+
+class TestDropInCompatibility:
+    def test_signature_compare_accepts_patched_index(self, rng):
+        left = rand_instance(rng, "l", "NL", 10)
+        right = rand_instance(rng, "r", "NR", 10)
+        batch = rand_batch(rng, right, [0])
+        new_right = batch.apply(right)
+        index = MutableSignatureIndex.build(right)
+        index.apply_batch(batch, new_right)
+        via_patched = signature_compare(left, new_right, right_index=index)
+        cold = signature_compare(left, new_right)
+        assert via_patched.similarity == cold.similarity

@@ -154,6 +154,37 @@ class TestEndpoints:
             )
             assert response.status == 409
             assert not response.body["ok"]
+            # The conflict names the escape hatch.
+            assert "replace" in response.body["error"]["message"]
+
+        run(body)
+
+    def test_ingest_reports_update_mode(self):
+        async def body(service):
+            response = await service.ingest(
+                {"name": "t9", "table": wire_table([("1", "x")], name="t9")}
+            )
+            assert response.body["result"]["update"]["mode"] == "added"
+
+        run(body)
+
+    def test_ingest_replace_updates_in_place(self):
+        async def body(service):
+            tables_before = len(service.index)
+            response = await service.ingest(
+                {
+                    "name": "t1",
+                    "replace": True,
+                    "table": wire_table(
+                        [("1", "x"), ("2", "changed")], name="t1"
+                    ),
+                }
+            )
+            assert response.status == 200
+            update = response.body["result"]["update"]
+            assert update["table"] == "t1"
+            assert update["mode"] in ("incremental", "rebuilt")
+            assert len(service.index) == tables_before
 
         run(body)
 

@@ -251,6 +251,32 @@ class TestIndexCommands:
             sorted([csv_lake["a"], csv_lake["b"]])
         ]
 
+    def test_add_update_json_reports_incremental(self, csv_lake, tmp_path,
+                                                 capsys):
+        store = str(tmp_path / "store")
+        main(["index", "build", store, csv_lake["a"]])
+        capsys.readouterr()
+        # Evolve a.csv in place; --update routes through delta maintenance.
+        (tmp_path / "a.csv").write_text("A,B\nx,1\ny,2\nz,9\nw,4\n")
+        assert main([
+            "index", "add", store, csv_lake["a"], "--update", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (update,) = payload["updates"]
+        assert update["mode"] == "incremental"
+        assert update["tuples"] == {"inserted": 1, "deleted": 0, "updated": 1}
+        assert payload["tables"] == 1
+
+    def test_add_json_reports_added(self, csv_lake, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(["index", "build", store, csv_lake["a"]])
+        capsys.readouterr()
+        assert main([
+            "index", "add", store, csv_lake["b"], "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [u["mode"] for u in payload["updates"]] == ["added"]
+
     def test_duplicate_table_rejected(self, csv_lake, tmp_path, capsys):
         store = str(tmp_path / "store")
         main(["index", "build", store, csv_lake["a"]])

@@ -1,0 +1,133 @@
+"""``batch_from_diff``: from a version-diff report to a replayable batch."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import similarity
+from repro.core.errors import DeltaError
+from repro.core.instance import Instance
+from repro.core.values import LabeledNull, is_null
+from repro.versioning import (
+    VersionDelta,
+    batch_from_diff,
+    diff_versions,
+)
+
+
+def inst(rows, attrs=("A", "B"), name="I"):
+    return Instance.from_rows("R", attrs, rows, id_prefix="t", name=name)
+
+
+class TestRoundTrip:
+    def test_apply_reproduces_new_version(self):
+        old = inst([("x", LabeledNull("N1")), ("gone", "g"), ("keep", 1)])
+        new = inst(
+            [("x", "filled-in"), ("keep", 1), ("added", "a")], name="J"
+        )
+        batch = batch_from_diff(diff_versions(old, new), old)
+        rebuilt = batch.apply(old)
+        # Content-identical up to null renaming: similarity 1.0 both ways.
+        assert similarity(rebuilt, new) == 1.0
+        assert diff_versions(rebuilt, new).summary()["updated"] == 0
+
+    def test_identical_versions_give_empty_batch(self):
+        old = inst([("x", 1), ("y", LabeledNull("N1"))])
+        new = inst([("x", 1), ("y", LabeledNull("M7"))], name="J")
+        batch = batch_from_diff(diff_versions(old, new), old)
+        assert batch.is_empty
+
+    def test_update_targets_original_tuple_ids(self):
+        old = inst([("x", LabeledNull("N1"))])
+        new = inst([("x", "filled")], name="J")
+        batch = batch_from_diff(diff_versions(old, new), old)
+        (op,) = batch.ops
+        assert op.kind == "update"
+        assert op.tuple_id in old.ids()
+        assert op.values == ("x", "filled")
+
+    def test_redaction_gets_fresh_null(self):
+        old = inst([("x", "secret")])
+        new = inst([("x", LabeledNull("M1"))], name="J")
+        batch = batch_from_diff(diff_versions(old, new), old)
+        (op,) = batch.ops
+        redacted = op.values[1]
+        assert is_null(redacted)
+        assert redacted not in old.vars()
+
+    def test_shared_surrogate_nulls_stay_shared(self):
+        shared = LabeledNull("M1")
+        old = inst([("a", 1), ("b", 2)])
+        new = inst(
+            [("a", 1), ("b", 2), ("c", shared), ("d", shared)], name="J"
+        )
+        batch = batch_from_diff(diff_versions(old, new), old)
+        inserted = [op for op in batch.ops if op.kind == "insert"]
+        assert len(inserted) == 2
+        n1, n2 = (op.values[1] for op in inserted)
+        assert is_null(n1) and n1 is n2
+
+    def test_null_to_null_update_keeps_original_null(self):
+        """A cell that stays unknown must keep the *original* null so no
+        information (null sharing) is invented or lost."""
+        n = LabeledNull("N1")
+        old = inst([("x", n), ("y", n)])
+        new = inst(
+            [("x", LabeledNull("Ma")), ("y", LabeledNull("Ma")),
+             ("z", "fresh")],
+            name="J",
+        )
+        batch = batch_from_diff(diff_versions(old, new), old)
+        rebuilt = batch.apply(old)
+        survivors = [t.values[1] for t in rebuilt.relation("R")
+                     if t.values[0] in ("x", "y")]
+        assert survivors == [n, n]
+
+
+class TestFeedsDeltaConsumers:
+    def test_comparator_compare_delta_consumes_it(self):
+        from repro import Comparator
+
+        # delta_session consumes instances as-is (no preparation), so the
+        # base side needs its own id and null spaces.
+        base = Instance.from_rows(
+            "R", ("A", "B"), [("x", 1), ("y", 2), ("z", 3)],
+            id_prefix="b", name="base",
+        )
+        old = inst([("x", 1), ("y", 2)], name="V1")
+        new = inst([("x", 1), ("y", 9), ("w", 4)], name="V2")
+        comparator = Comparator()
+        session = comparator.delta_session(base, old)
+        batch = batch_from_diff(diff_versions(old, new), old)
+        result = comparator.compare_delta(session.last_result, batch)
+        assert result.algorithm == "signature-delta"
+        cold = similarity(base, new)
+        bound = result.stats["staleness_bound"]
+        assert cold <= result.similarity + bound + 1e-9
+
+    def test_index_update_delta_consumes_it(self):
+        from repro.index import SimilarityIndex
+
+        old = inst([("x", 1), ("y", 2)])
+        new = inst([("x", 1), ("y", 9)], name="J")
+        index = SimilarityIndex()
+        index.add("t", old)
+        batch = batch_from_diff(diff_versions(old, new), old)
+        report = index.update_delta("t", batch)
+        assert report.mode == "incremental"
+        assert similarity(index.get("t"), new) == 1.0
+
+
+class TestValidation:
+    def test_delta_without_result_rejected(self):
+        bare = VersionDelta(similarity=1.0)
+        with pytest.raises(DeltaError, match="no ComparisonResult"):
+            batch_from_diff(bare, inst([("x", 1)]))
+
+    def test_mismatched_original_rejected(self):
+        old = inst([("x", 1)])
+        new = inst([("x", 2)], name="J")
+        delta = diff_versions(old, new)
+        other = Instance.from_rows("Q", ("Z",), [("q",)])
+        with pytest.raises(DeltaError):
+            batch_from_diff(delta, other)
