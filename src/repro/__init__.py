@@ -37,6 +37,11 @@ consume directly (see ``docs/COLUMNAR.md``).
 
 from __future__ import annotations
 
+from .algorithms.assignment import (
+    assignment_bounds,
+    assignment_compare,
+    solve_assignment,
+)
 from .algorithms.dispatch import run_algorithm
 from .algorithms.exact import DEFAULT_NODE_BUDGET, exact_compare
 from .algorithms.ground import ground_compare, symmetric_difference_similarity
@@ -44,6 +49,7 @@ from .algorithms.options import (
     Algorithm,
     AlgorithmOptions,
     AnytimeOptions,
+    AssignmentOptions,
     ExactOptions,
     GroundOptions,
     PartialOptions,
@@ -129,6 +135,9 @@ def compare(
 
         * ``Algorithm.SIGNATURE`` — greedy approximate (Alg. 3–4), scalable;
           knobs on :class:`SignatureOptions`;
+        * ``Algorithm.ASSIGNMENT`` — greedy-seeded globally-optimal 1:1
+          completion (Hungarian / Jonker-Volgenant), polynomial, score ≥
+          signature; knobs on :class:`AssignmentOptions`;
         * ``Algorithm.EXACT`` — optimal branch-and-bound, exponential;
           knobs on :class:`ExactOptions`;
         * ``Algorithm.GROUND`` — PTIME, ground instances only
@@ -136,7 +145,7 @@ def compare(
         * ``Algorithm.PARTIAL`` — partial tuple matches, Sec. 6.3; knobs on
           :class:`PartialOptions`;
         * ``Algorithm.ANYTIME`` — the graceful-degradation ladder signature
-          → refine → exact (:class:`AnytimeOptions`; see
+          → refine → assignment → exact (:class:`AnytimeOptions`; see
           :func:`repro.runtime.compare_anytime`).
 
         Legacy string names (``algorithm="exact"``) and per-algorithm
@@ -288,6 +297,7 @@ __all__ = [
     "Algorithm",
     "AlgorithmOptions",
     "AnytimeOptions",
+    "AssignmentOptions",
     "Budget",
     "CancellationToken",
     "Cell",
@@ -334,6 +344,8 @@ __all__ = [
     "TupleMapping",
     "ValueMapping",
     "__version__",
+    "assignment_bounds",
+    "assignment_compare",
     "compare",
     "compare_many",
     "exact_compare",
@@ -347,5 +359,6 @@ __all__ = [
     "score_match",
     "signature_compare",
     "similarity",
+    "solve_assignment",
     "symmetric_difference_similarity",
 ]

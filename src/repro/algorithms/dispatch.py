@@ -16,6 +16,7 @@ from ..core.instance import Instance
 from ..mappings.constraints import MatchOptions
 from ..runtime.budget import Budget
 from ..runtime.cancellation import CancellationToken
+from .assignment import assignment_compare
 from .exact import exact_compare
 from .ground import ground_compare
 from .options import (
@@ -36,7 +37,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..runtime.retry import Executor
 
 #: Algorithms that accept deadline/cancellation control.
-CONTROLLABLE = (Algorithm.SIGNATURE, Algorithm.EXACT, Algorithm.ANYTIME)
+CONTROLLABLE = (
+    Algorithm.SIGNATURE,
+    Algorithm.ASSIGNMENT,
+    Algorithm.EXACT,
+    Algorithm.ANYTIME,
+)
 
 #: Algorithms that accept a fault-tolerant :class:`Executor`.
 EXECUTABLE = (Algorithm.EXACT, Algorithm.ANYTIME)
@@ -100,7 +106,8 @@ def run_algorithm(
         control is None
         and executor is None
         and (deadline is not None or token is not None)
-        and algorithm in (Algorithm.SIGNATURE, Algorithm.EXACT)
+        and algorithm
+        in (Algorithm.SIGNATURE, Algorithm.ASSIGNMENT, Algorithm.EXACT)
     ):
         node_limit = spec.node_budget if algorithm is Algorithm.EXACT else None
         control = Budget(node_limit=node_limit, deadline=deadline, token=token)
@@ -111,6 +118,18 @@ def run_algorithm(
             right,
             options=options,
             align_preference=spec.align_preference,
+            control=control,
+            left_index=left_index,
+            right_index=right_index,
+        )
+    elif algorithm is Algorithm.ASSIGNMENT:
+        result = assignment_compare(
+            left,
+            right,
+            options=options,
+            align_preference=spec.align_preference,
+            max_block_size=spec.max_block_size,
+            dense_threshold=spec.dense_threshold,
             control=control,
             left_index=left_index,
             right_index=right_index,
@@ -129,6 +148,7 @@ def run_algorithm(
                 node_budget=spec.node_budget,
                 prune=spec.prune,
                 control=control,
+                assignment_bound=spec.assignment_bound,
             )
     elif algorithm is Algorithm.GROUND:
         result = ground_compare(left, right, options=options)
@@ -156,6 +176,7 @@ def run_algorithm(
             refine_move_budget=spec.refine_move_budget,
             check_interval=spec.check_interval,
             executor=executor,
+            assignment=spec.assignment,
         )
     else:  # pragma: no cover - exhaustive over Algorithm
         raise AssertionError(f"unhandled algorithm {algorithm!r}")
@@ -186,7 +207,12 @@ def _exact_with_executor(
     def attempt() -> ComparisonResult:
         if control is not None:
             return exact_compare(
-                left, right, options=options, prune=spec.prune, control=control
+                left,
+                right,
+                options=options,
+                prune=spec.prune,
+                control=control,
+                assignment_bound=spec.assignment_bound,
             )
         return exact_compare(
             left,
@@ -196,6 +222,7 @@ def _exact_with_executor(
             prune=spec.prune,
             deadline=deadline,
             token=token,
+            assignment_bound=spec.assignment_bound,
         )
 
     report = executor.run(attempt, degrade=lambda: None, label="exact")

@@ -54,6 +54,73 @@ DEFAULT_NODE_BUDGET = 2_000_000
 """Default cap on search nodes before the exact search gives up."""
 
 
+class _AssignmentHints:
+    """Precomputed assignment-relaxation data for bound-tightened pruning.
+
+    ``opt_weight`` maps committed-pair ids to their optimistic pair score;
+    ``row_max`` / ``row_total`` / ``col_total`` are per-left-tuple maxima
+    and their side sums; ``relaxation`` is the solved 1:1 relaxation value
+    (``None`` unless the options are fully injective — the 1:1 bound is
+    unsound otherwise, see :mod:`repro.algorithms.assignment`).
+    """
+
+    __slots__ = (
+        "opt_weight", "row_max", "row_total", "col_total", "relaxation"
+    )
+
+    def __init__(
+        self,
+        opt_weight: dict[tuple[str, str], float],
+        row_max: dict[str, float],
+        row_total: float,
+        col_total: float,
+        relaxation: float | None,
+    ) -> None:
+        self.opt_weight = opt_weight
+        self.row_max = row_max
+        self.row_total = row_total
+        self.col_total = col_total
+        self.relaxation = relaxation
+
+    @classmethod
+    def build(
+        cls,
+        left: Instance,
+        right: Instance,
+        options: MatchOptions,
+        compatible: dict[str, list[str]],
+    ) -> "_AssignmentHints":
+        from .assignment import candidate_blocks, solve_assignment
+
+        blocks = candidate_blocks(
+            left, right, options.lam, compatible=compatible
+        )
+        opt_weight: dict[tuple[str, str], float] = {}
+        row_max: dict[str, float] = {}
+        col_total = 0.0
+        relaxation = 0.0 if options.fully_injective else None
+        for block in blocks:
+            for (i, j), w in block.weights.items():
+                left_id = block.left_ids[i]
+                opt_weight[(left_id, block.right_ids[j])] = w
+                if w > row_max.get(left_id, 0.0):
+                    row_max[left_id] = w
+            col_total += sum(block.col_maxima())
+            if relaxation is None or not block.weights:
+                continue
+            solution = solve_assignment(
+                block.weights, len(block.left_ids), len(block.right_ids)
+            )
+            relaxation += solution.value
+        return cls(
+            opt_weight,
+            row_max,
+            sum(row_max.values()),
+            col_total,
+            relaxation,
+        )
+
+
 class _ExactSearch:
     """Shared state of the exact depth-first search."""
 
@@ -64,12 +131,16 @@ class _ExactSearch:
         options: MatchOptions,
         control: Budget,
         prune: bool = True,
+        hints: _AssignmentHints | None = None,
     ) -> None:
         self.left = left
         self.right = right
         self.options = options
         self.control = control
         self.prune = prune
+        self.hints = hints
+        self.committed_opt = 0.0
+        self.suffix_row_max: list[float] = []
         self.denominator = normalization_denominator(left, right)
         self.unifier = Unifier.for_instances(left, right)
         self.current_pairs: list[tuple[str, str]] = []
@@ -108,6 +179,28 @@ class _ExactSearch:
         )
         return (committed + 2 * max_arity * pair_count_bound) / self.denominator
 
+    def _assignment_bound(self, suffix_index: int | None) -> float:
+        """Admissible score bound from the solved assignment relaxation.
+
+        In the functional search ``suffix_index`` points into the
+        suffix-row-maxima array (the optimistic weight still reachable by
+        the unassigned left tuples); in the powerset search it is ``None``
+        and the global per-tuple bound applies.  Fully injective options
+        additionally cap the total at the solved 1:1 relaxation value.
+        """
+        hints = self.hints
+        if hints is None or self.denominator == 0:
+            return 1.0
+        if suffix_index is None:
+            numerator = hints.row_total + hints.col_total
+        else:
+            total = self.committed_opt + self.suffix_row_max[suffix_index]
+            if hints.relaxation is not None:
+                numerator = 2.0 * min(hints.relaxation, total)
+            else:
+                numerator = total + hints.col_total
+        return numerator / self.denominator
+
     # -- functional (left-injective) search ------------------------------------
 
     def run_functional(self) -> None:
@@ -116,6 +209,15 @@ class _ExactSearch:
             self.left.tuples(),
             key=lambda t: (len(self.compatible.get(t.tuple_id, [])), t.tuple_id),
         )
+        if self.hints is not None:
+            # suffix_row_max[i] = Σ_{j ≥ i} rowmax(left_tuples[j]): the most
+            # the still-unassigned left tuples can contribute.
+            suffix = [0.0] * (len(left_tuples) + 1)
+            for i in range(len(left_tuples) - 1, -1, -1):
+                suffix[i] = suffix[i + 1] + self.hints.row_max.get(
+                    left_tuples[i].tuple_id, 0.0
+                )
+            self.suffix_row_max = suffix
         self._functional_dfs(left_tuples, 0)
 
     def _functional_dfs(self, left_tuples: list[Tuple], index: int) -> None:
@@ -126,6 +228,11 @@ class _ExactSearch:
             return
         remaining = len(left_tuples) - index
         if self.prune and self._pair_bound(remaining) <= self.best_score:
+            return
+        if (
+            self.hints is not None
+            and self._assignment_bound(index) <= self.best_score
+        ):
             return
         t = left_tuples[index]
         for right_id in self.compatible.get(t.tuple_id, []):
@@ -143,7 +250,15 @@ class _ExactSearch:
             self.right_use_count[right_id] = (
                 self.right_use_count.get(right_id, 0) + 1
             )
+            pair_opt = 0.0
+            if self.hints is not None:
+                pair_opt = self.hints.opt_weight.get(
+                    (t.tuple_id, right_id), 0.0
+                )
+                self.committed_opt += pair_opt
             self._functional_dfs(left_tuples, index + 1)
+            if self.hints is not None:
+                self.committed_opt -= pair_opt
             self.right_use_count[right_id] -= 1
             self.current_pairs.pop()
             self.unifier.rollback(token)
@@ -170,6 +285,11 @@ class _ExactSearch:
             self._evaluate_leaf()
             return
         if self.prune and self._pair_bound(len(pairs) - index) <= self.best_score:
+            return
+        if (
+            self.hints is not None
+            and self._assignment_bound(None) <= self.best_score
+        ):
             return
         left_id, right_id = pairs[index]
         t = self.left.get_tuple(left_id)
@@ -226,6 +346,7 @@ def exact_compare(
     deadline: float | None = None,
     token: CancellationToken | None = None,
     control: Budget | None = None,
+    assignment_bound: bool = False,
 ) -> ComparisonResult:
     """Run the exact algorithm (Alg. 1) and return the best instance match.
 
@@ -245,6 +366,10 @@ def exact_compare(
     prune:
         Enable the branch-and-bound upper-bound pruning (disable only for
         the ablation benchmark measuring its effect).
+    assignment_bound:
+        Additionally prune with the solved assignment-relaxation bound
+        (one solve per comparison up front; identical results, fewer
+        nodes — see :mod:`repro.algorithms.assignment`).
     deadline:
         Optional wall-clock allowance in seconds for this search.
     token:
@@ -271,8 +396,13 @@ def exact_compare(
     )
     nodes_before = control.nodes
     search = _ExactSearch(left, right, options, control, prune=prune)
+    if assignment_bound and prune:
+        search.hints = _AssignmentHints.build(
+            left, right, options, search.compatible
+        )
     with span(
-        "exact.search", functional=options.functional, prune=prune
+        "exact.search", functional=options.functional, prune=prune,
+        assignment_bound=search.hints is not None,
     ) as search_span:
         if control.check():
             try:
@@ -320,6 +450,7 @@ def exact_compare(
             "nodes_explored": control.nodes,
             "candidate_pairs": candidate_pairs,
             "node_budget": control.node_limit,
+            "assignment_bound": search.hints is not None,
             "outcome": control.outcome.value,
         },
         elapsed_seconds=time.perf_counter() - started,

@@ -5,11 +5,11 @@ keyword arguments — ``compare(I, J, algorithm="exact", node_budget=10)`` —
 which meant typos surfaced at runtime deep inside the selected algorithm and
 per-algorithm knobs were undiscoverable.  This module replaces that with:
 
-* :class:`Algorithm` — an enum of the five comparison algorithms; and
+* :class:`Algorithm` — an enum of the six comparison algorithms; and
 * one frozen options dataclass per algorithm (:class:`SignatureOptions`,
-  :class:`ExactOptions`, :class:`GroundOptions`, :class:`PartialOptions`,
-  :class:`AnytimeOptions`) carrying exactly the knobs that algorithm
-  understands.
+  :class:`AssignmentOptions`, :class:`ExactOptions`, :class:`GroundOptions`,
+  :class:`PartialOptions`, :class:`AnytimeOptions`) carrying exactly the
+  knobs that algorithm understands.
 
 ``compare()`` accepts either form::
 
@@ -33,6 +33,7 @@ import warnings
 
 from ..runtime.anytime import DEFAULT_ANYTIME_NODE_BUDGET
 from ..runtime.budget import DEFAULT_CHECK_INTERVAL
+from .assignment import DEFAULT_MAX_BLOCK_SIZE, DENSE_FALLBACK_SIZE
 from .exact import DEFAULT_NODE_BUDGET
 
 
@@ -49,6 +50,7 @@ class Algorithm(Enum):
     GROUND = "ground"
     PARTIAL = "partial"
     ANYTIME = "anytime"
+    ASSIGNMENT = "assignment"
 
     def options_type(self) -> type["AlgorithmOptions"]:
         """The typed options dataclass for this algorithm."""
@@ -79,6 +81,30 @@ class SignatureOptions:
 
 
 @dataclass(frozen=True)
+class AssignmentOptions:
+    """Options for the globally-optimal assignment completion.
+
+    Parameters
+    ----------
+    align_preference:
+        Forwarded to the greedy floor (see :class:`SignatureOptions`).
+    max_block_size:
+        Per-relation candidate-block cap: relations whose candidate matrix
+        exceeds this many rows or columns keep the greedy pairs instead of
+        being solved (bounds solver cost on huge tables).
+    dense_threshold:
+        Blocks up to this size run the dense O(n³) Hungarian fallback;
+        larger blocks run the sparse Jonker-Volgenant path.
+    """
+
+    align_preference: bool = True
+    max_block_size: int = DEFAULT_MAX_BLOCK_SIZE
+    dense_threshold: int = DENSE_FALLBACK_SIZE
+
+    algorithm = Algorithm.ASSIGNMENT
+
+
+@dataclass(frozen=True)
 class ExactOptions:
     """Options for the exact branch-and-bound comparison (NP-hard).
 
@@ -90,10 +116,15 @@ class ExactOptions:
     prune:
         Enable upper-bound pruning (turn off only for debugging the
         search).
+    assignment_bound:
+        Additionally prune with the solved assignment-relaxation bound
+        (:func:`repro.algorithms.assignment.assignment_bounds`) — same
+        results, fewer nodes; costs one solve per comparison up front.
     """
 
     node_budget: int = DEFAULT_NODE_BUDGET
     prune: bool = True
+    assignment_bound: bool = False
 
     algorithm = Algorithm.EXACT
 
@@ -134,7 +165,7 @@ class PartialOptions:
 
 @dataclass(frozen=True)
 class AnytimeOptions:
-    """Options for the anytime ladder signature → refine → exact.
+    """Options for the anytime ladder signature → refine → assignment → exact.
 
     Parameters
     ----------
@@ -144,17 +175,26 @@ class AnytimeOptions:
         Move cap for the refine rung; ``None`` uses the refine default.
     check_interval:
         How many search steps between deadline/cancellation checks.
+    assignment:
+        Run the globally-optimal assignment rung between refine and exact
+        (disable to reproduce the pre-assignment three-rung ladder).
     """
 
     node_budget: int = DEFAULT_ANYTIME_NODE_BUDGET
     refine_move_budget: int | None = None
     check_interval: int = DEFAULT_CHECK_INTERVAL
+    assignment: bool = True
 
     algorithm = Algorithm.ANYTIME
 
 
 AlgorithmOptions = Union[
-    SignatureOptions, ExactOptions, GroundOptions, PartialOptions, AnytimeOptions
+    SignatureOptions,
+    AssignmentOptions,
+    ExactOptions,
+    GroundOptions,
+    PartialOptions,
+    AnytimeOptions,
 ]
 """Any per-algorithm options dataclass."""
 
@@ -164,6 +204,7 @@ _OPTION_TYPES: dict[Algorithm, type] = {
     Algorithm.GROUND: GroundOptions,
     Algorithm.PARTIAL: PartialOptions,
     Algorithm.ANYTIME: AnytimeOptions,
+    Algorithm.ASSIGNMENT: AssignmentOptions,
 }
 
 _VALID_NAMES = tuple(member.value for member in Algorithm)
@@ -267,6 +308,7 @@ def resolve_algorithm(
 
 _OPTION_CLASSES = (
     SignatureOptions,
+    AssignmentOptions,
     ExactOptions,
     GroundOptions,
     PartialOptions,
@@ -277,6 +319,7 @@ __all__ = [
     "Algorithm",
     "AlgorithmOptions",
     "AnytimeOptions",
+    "AssignmentOptions",
     "ExactOptions",
     "GroundOptions",
     "PartialOptions",

@@ -45,7 +45,9 @@ PRESETS = {
 }
 
 
-ALGORITHMS = ("signature", "exact", "ground", "partial", "anytime")
+ALGORITHMS = (
+    "signature", "assignment", "exact", "ground", "partial", "anytime"
+)
 """The ``--algorithm`` vocabulary, shared by every command that compares."""
 
 

@@ -1,4 +1,4 @@
-"""The anytime comparison ladder: signature → refine → exact.
+"""The anytime comparison ladder: signature → refine → assignment → exact.
 
 The exact comparison algorithm is NP-hard (Theorem 5.11), so any caller
 with a latency requirement faces the choice the paper resolves with an
@@ -14,7 +14,10 @@ Rungs, cheapest first:
    cancellation token).
 2. **refine** — hill-climbing over the signature match; never lowers the
    score, stops at the shared deadline.
-3. **exact** — the optimal search with the remaining wall clock (and a
+3. **assignment** — globally-optimal 1:1 completion over the candidate
+   matrix (polynomial); never lowers the score, degrades back to the
+   floor under the shared budget.
+4. **exact** — the optimal search with the remaining wall clock (and a
    node cap); if it completes, the returned score is provably optimal.
 
 Every rung's result is a complete, scoreable instance match, so whichever
@@ -49,6 +52,7 @@ def compare_anytime(
     refine_move_budget: int | None = None,
     check_interval: int = DEFAULT_CHECK_INTERVAL,
     executor=None,
+    assignment: bool = True,
 ):
     """Best similarity obtainable within ``deadline`` seconds.
 
@@ -70,6 +74,9 @@ def compare_anytime(
         Node cap for the exact rung (composes with the deadline).
     refine_move_budget:
         Move cap for the refine rung; ``None`` uses the refine default.
+    assignment:
+        Run the globally-optimal assignment rung between refine and exact
+        (disable to reproduce the pre-assignment three-rung ladder).
     executor:
         Optional :class:`~repro.runtime.retry.Executor`.  When given, the
         exact rung runs under its fault-tolerance policy — optionally in a
@@ -103,6 +110,7 @@ def compare_anytime(
     """
     # Imported here, not at module top: algorithms/ itself imports the
     # runtime primitives, and a top-level import would be circular.
+    from ..algorithms.assignment import assignment_compare
     from ..algorithms.exact import exact_compare
     from ..algorithms.refine import DEFAULT_MOVE_BUDGET, refine_match
     from ..algorithms.result import ComparisonResult
@@ -144,7 +152,23 @@ def compare_anytime(
             if refined.similarity > best.similarity:
                 best, best_rung = refined, "refine"
 
-        # Rung 3 — exact search with the remaining wall clock and a node cap.
+        # Rung 3 — globally-optimal assignment completion.  Seeded with
+        # the current best so the greedy floor is not recomputed; under a
+        # tripped budget it returns the seed unchanged (degrade-to-greedy),
+        # so the ladder's floor guarantee is preserved.
+        if assignment and control.check():
+            rungs_run.append("assignment")
+            assigned = assignment_compare(
+                left,
+                right,
+                options=options,
+                control=control,
+                seed_result=best,
+            )
+            if assigned.similarity > best.similarity:
+                best, best_rung = assigned, "assignment"
+
+        # Rung 4 — exact search with the remaining wall clock and a node cap.
         exact_outcome: Outcome | None = None
         fault_log: list[dict] | None = None
         if control.check():

@@ -74,6 +74,7 @@ def compare_job(
     def run() -> dict:
         # Imported lazily for the same circularity reason as the anytime
         # ladder itself: algorithms/ imports the runtime primitives.
+        from ..algorithms.assignment import assignment_compare
         from ..algorithms.refine import refine_match
         from ..algorithms.signature import signature_compare
 
@@ -104,6 +105,20 @@ def compare_job(
             refined = refine_match(best, control=control)
             if refined.similarity > best.similarity:
                 best, rung = refined, "refine"
+        if level is DegradationLevel.NO_EXACT and control.check():
+            # The polynomial rungs of the anytime ladder, minus the exact
+            # search this level forbids: globally-optimal 1:1 completion,
+            # seeded with the current best, degrading back to it under the
+            # shared deadline.
+            assigned = assignment_compare(
+                prepared_left,
+                prepared_right,
+                options=match_options,
+                control=control,
+                seed_result=best,
+            )
+            if assigned.similarity > best.similarity:
+                best, rung = assigned, "assignment"
         return _result_payload(best, rung=rung, score_is_exact=False)
 
     return _collected(run)

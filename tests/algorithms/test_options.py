@@ -31,11 +31,15 @@ def instances():
 class TestAlgorithmEnum:
     def test_members_cover_the_legacy_names(self):
         assert {member.value for member in Algorithm} == {
-            "signature", "exact", "ground", "partial", "anytime",
+            "signature", "assignment", "exact", "ground", "partial",
+            "anytime",
         }
 
     def test_each_member_knows_its_options_type(self):
+        from repro.algorithms.options import AssignmentOptions
+
         assert Algorithm.SIGNATURE.options_type() is SignatureOptions
+        assert Algorithm.ASSIGNMENT.options_type() is AssignmentOptions
         assert Algorithm.EXACT.options_type() is ExactOptions
         assert Algorithm.GROUND.options_type() is GroundOptions
         assert Algorithm.PARTIAL.options_type() is PartialOptions
@@ -86,7 +90,9 @@ class TestResolveAlgorithm:
 
     def test_algorithm_kwargs_extracts_the_knobs(self):
         kwargs = algorithm_kwargs(ExactOptions(node_budget=5, prune=False))
-        assert kwargs == {"node_budget": 5, "prune": False}
+        assert kwargs == {
+            "node_budget": 5, "prune": False, "assignment_bound": False,
+        }
 
 
 class TestCompareWithTypedOptions:

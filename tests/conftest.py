@@ -1,12 +1,25 @@
-"""Shared fixtures and instance builders for the test suite."""
+"""Shared fixtures and instance builders for the test suite.
+
+Determinism policy: no test may draw from an unseeded RNG.  Hypothesis
+tests run with ``derandomize=True``; everything else either seeds its own
+``random.Random`` explicitly or uses the shared :func:`rng` fixture below.
+"""
 
 from __future__ import annotations
+
+import random
 
 import pytest
 
 from repro.core.instance import Instance
 from repro.core.schema import RelationSchema, Schema
 from repro.core.values import LabeledNull
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministically seeded RNG — the only sanctioned randomness."""
+    return random.Random(0xA551)
 
 
 def null(label: str) -> LabeledNull:

@@ -37,7 +37,9 @@ class TestDeadlineLadder:
         )
         elapsed = time.perf_counter() - started
         assert result.similarity >= floor.similarity - 1e-9
-        assert result.stats["anytime_rung"] in ("signature", "refine", "exact")
+        assert result.stats["anytime_rung"] in (
+            "signature", "refine", "assignment", "exact"
+        )
         assert result.stats["anytime_rungs_run"].startswith("signature")
         assert "anytime_score_is_exact" in result.stats
         # One second of allowance must not balloon into many seconds.
@@ -70,7 +72,10 @@ class TestDeadlineLadder:
         result = compare_anytime(I, J)
         assert result.outcome is Outcome.COMPLETED
         assert result.stats["anytime_score_is_exact"]
-        assert result.stats["anytime_rungs_run"] == "signature,refine,exact"
+        assert (
+            result.stats["anytime_rungs_run"]
+            == "signature,refine,assignment,exact"
+        )
 
 
 class TestCancellation:

@@ -1,0 +1,172 @@
+"""Degradation of the assignment rung under faults, deadlines, and workers.
+
+The rung's contract: whatever kills phases 2–3 (solve/commit) — an
+injected resource fault at a ``"budget"`` checkpoint, a zero deadline, a
+cancelled token — the greedy floor is returned with
+``stats["degraded_to_greedy"] = True`` and the classified
+:class:`~repro.runtime.Outcome`.  Only :class:`InjectedCrash` (a
+``BaseException``, modelling a hard process death) passes through.
+
+The parallel half: ``compare_many`` with ``Algorithm.ASSIGNMENT`` must be
+bit-identical between serial and ``jobs=2`` runs — the dispatch funnel
+guarantee extended to the new rung.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Algorithm, compare_many
+from repro.algorithms.assignment import assignment_compare
+from repro.algorithms.signature import signature_compare
+from repro.core.instance import Instance, prepare_for_comparison
+from repro.core.values import LabeledNull
+from repro.mappings.constraints import MatchOptions
+from repro.runtime import Budget, FaultPlan, Outcome
+from repro.runtime.faults import InjectedCrash
+
+from tests.algorithms.test_assignment import TRAP_GREEDY, trap_pair
+
+
+@pytest.fixture
+def trap_with_floor():
+    left, right = trap_pair()
+    options = MatchOptions.versioning()
+    floor = signature_compare(left, right, options=options)
+    return left, right, options, floor
+
+
+class TestFaultInjection:
+    @pytest.mark.parametrize(
+        ("kind", "outcome"),
+        [
+            ("memory-error", Outcome.OOM),
+            ("timeout-error", Outcome.KILLED),
+            ("transient-error", Outcome.CRASHED),
+        ],
+    )
+    @pytest.mark.parametrize("at", [1, 3])
+    def test_budget_fault_degrades_to_greedy(
+        self, trap_with_floor, kind, outcome, at
+    ):
+        left, right, options, floor = trap_with_floor
+        with FaultPlan.single(kind, site="budget", at=at):
+            result = assignment_compare(
+                left,
+                right,
+                options=options,
+                control=Budget(check_interval=1).start(),
+                seed_result=floor,
+            )
+        assert result.stats["degraded_to_greedy"]
+        assert result.similarity == pytest.approx(floor.similarity)
+        assert result.outcome is outcome
+        assert result.stats["outcome"] == outcome.value
+        # The floor's match ships unchanged — still a scoreable result.
+        assert sorted(result.match.m) == sorted(floor.match.m)
+
+    def test_injected_crash_passes_through(self, trap_with_floor):
+        left, right, options, floor = trap_with_floor
+        with FaultPlan.single("crash", site="budget", at=1):
+            with pytest.raises(InjectedCrash):
+                assignment_compare(
+                    left,
+                    right,
+                    options=options,
+                    control=Budget(check_interval=1).start(),
+                    seed_result=floor,
+                )
+
+    def test_no_plan_no_degradation(self, trap_with_floor):
+        left, right, options, floor = trap_with_floor
+        result = assignment_compare(
+            left, right, options=options, seed_result=floor
+        )
+        assert not result.stats["degraded_to_greedy"]
+        assert result.similarity > floor.similarity
+
+
+class TestBudgetExhaustion:
+    def test_zero_deadline_returns_floor(self, trap_with_floor):
+        left, right, options, floor = trap_with_floor
+        result = assignment_compare(
+            left,
+            right,
+            options=options,
+            control=Budget(deadline=0).start(),
+            seed_result=floor,
+        )
+        assert result.stats["degraded_to_greedy"]
+        assert result.similarity == pytest.approx(TRAP_GREEDY)
+        assert result.outcome is Outcome.DEADLINE_EXCEEDED
+
+    def test_node_cap_mid_commit_returns_floor(self, trap_with_floor):
+        left, right, options, floor = trap_with_floor
+        # One node is enough for the solve's single augmentation but not
+        # for committing both solved pairs.
+        result = assignment_compare(
+            left,
+            right,
+            options=options,
+            control=Budget(node_limit=1, check_interval=1).start(),
+            seed_result=floor,
+        )
+        assert result.stats["degraded_to_greedy"]
+        assert result.similarity == pytest.approx(TRAP_GREEDY)
+        assert result.outcome is Outcome.BUDGET_EXHAUSTED
+
+    def test_ample_budget_completes(self, trap_with_floor):
+        left, right, options, floor = trap_with_floor
+        result = assignment_compare(
+            left,
+            right,
+            options=options,
+            control=Budget(node_limit=10_000).start(),
+            seed_result=floor,
+        )
+        assert not result.stats["degraded_to_greedy"]
+        assert result.outcome is Outcome.COMPLETED
+
+
+def _random_pairs(n_pairs: int, seed: int):
+    rng = random.Random(seed)
+    constants = ["a", "b", "c", "d"]
+
+    def build(prefix, rows):
+        return Instance.from_rows(
+            "R",
+            ("A", "B", "C"),
+            rows,
+            id_prefix=prefix,
+        )
+
+    pairs = []
+    for k in range(n_pairs):
+        def row(prefix, i):
+            return tuple(
+                LabeledNull(f"{prefix}{k}_{i}_{j}")
+                if rng.random() < 0.3
+                else rng.choice(constants)
+                for j in range(3)
+            )
+
+        left = build(f"l{k}", [row("L", i) for i in range(rng.randint(1, 5))])
+        right = build(f"r{k}", [row("R", i) for i in range(rng.randint(1, 5))])
+        pairs.append((left, right))
+    pairs.append(prepare_for_comparison(*trap_pair()))
+    return pairs
+
+
+class TestParallelParity:
+    def test_serial_equals_two_jobs(self):
+        pairs = _random_pairs(6, seed=42)
+        options = MatchOptions.versioning()
+        serial = compare_many(pairs, Algorithm.ASSIGNMENT, options, jobs=1)
+        pooled = compare_many(pairs, Algorithm.ASSIGNMENT, options, jobs=2)
+        assert len(serial) == len(pooled) == len(pairs)
+        for one, two in zip(serial, pooled):
+            assert one.similarity == two.similarity
+            assert one.algorithm == two.algorithm == "assignment"
+            assert sorted(one.match.m) == sorted(two.match.m)
